@@ -1,0 +1,48 @@
+"""E7 + E8 — the paper's supporting analyses.
+
+* Branch misprediction (Section 3.2.2): VIS eliminates the
+  hard-to-predict saturation/threshold/SAD-termination branches —
+  conv 10%->0%, thresh 6%->0%, mpeg-enc 27%->10% in the paper; we
+  assert the direction and a substantial relative reduction.
+* MSHR/load-miss overlap (Section 3.1): overlap exists but is small
+  (2-3 typical), and prefetching raises MSHR utilization (Section 4.2).
+"""
+
+from conftest import run_once
+
+from repro.experiments import branch_stats, mshr_study
+from repro.experiments.report import format_table
+from repro.workloads import Variant
+
+
+def test_branch_mispredictions(benchmark, small_cache):
+    headers, rows, raw = run_once(
+        benchmark,
+        lambda: branch_stats(small_cache, benchmarks=("conv", "thresh", "scaling")),
+    )
+    print()
+    print(format_table(headers, rows, title="Branch misprediction (small)"))
+    # thresh is the robust case: double-limit tests on image data are
+    # intrinsically hard to predict; conv/scaling saturate only on
+    # bright inputs, so their rates are input-dependent (printed above)
+    base, vis = raw["thresh"]
+    assert base.mispredict_rate > 0.01
+    assert vis.mispredict_rate < 0.6 * base.mispredict_rate
+
+
+def test_mshr_overlap(benchmark, small_cache):
+    headers, rows, raw = run_once(
+        benchmark,
+        lambda: mshr_study(small_cache, benchmarks=("addition", "dotprod")),
+    )
+    print()
+    print(format_table(headers, rows, title="MSHR / load-miss overlap (small)"))
+    for name in ("addition", "dotprod"):
+        vis = raw[(name, Variant.VIS)]
+        # some overlap, but far from the 12-MSHR capacity (Section 3.1)
+        assert 1 <= vis.memory.max_load_miss_overlap <= 11
+        pf = raw[(name, Variant.VIS_PREFETCH)]
+        assert (
+            pf.memory.max_load_miss_overlap
+            >= vis.memory.max_load_miss_overlap
+        )

@@ -1,0 +1,46 @@
+"""E4 — Section 4.1: L2 capacity sweep (scaled 128K..2M equivalents).
+
+Paper shape asserted: the six streaming kernels and the blocked
+non-progressive codecs are insensitive to L2 size; the multi-pass
+benchmarks (cjpeg, djpeg, mpeg-enc, mpeg-dec) gain, but by a modest
+factor (paper: 1.1x-1.2x; we accept up to 2x at the reduced scale)."""
+
+from conftest import run_once
+
+from repro.experiments import cache_sweep
+from repro.experiments.report import format_table
+
+INSENSITIVE = ("addition", "blend", "dotprod", "scaling", "thresh")
+# The blocked codecs are insensitive in the paper because their
+# entropy/quant tables (a few KB) vanish inside a 128K+ L2; our scaled
+# L2 starts at 2KB, so the *unscaled* tables make them mildly
+# sensitive.  EXPERIMENTS.md discusses this scaling artifact.
+BLOCKED = ("cjpeg-np", "djpeg-np")
+REUSERS = ("cjpeg", "djpeg", "mpeg-enc", "mpeg-dec")
+
+
+def test_l2_sweep(benchmark, default_cache):
+    headers, rows, raw = run_once(
+        benchmark, lambda: cache_sweep(default_cache, "l2")
+    )
+    print()
+    print(format_table(headers, rows, title="L2 sweep (default scale)"))
+
+    sizes = sorted({size for _n, size in raw})
+    for name in INSENSITIVE:
+        small = raw[(name, sizes[0])].cycles
+        large = raw[(name, sizes[-1])].cycles
+        assert small / large < 1.25, (name, small / large)
+
+    for name in BLOCKED:
+        small = raw[(name, sizes[0])].cycles
+        large = raw[(name, sizes[-1])].cycles
+        assert small / large < 1.8, (name, small / large)
+
+    # the data-reusing benchmarks benefit measurably but modestly
+    gains = {
+        name: raw[(name, sizes[0])].cycles / raw[(name, sizes[-1])].cycles
+        for name in REUSERS
+    }
+    assert any(gain > 1.03 for gain in gains.values()), gains
+    assert all(gain < 2.0 for gain in gains.values()), gains

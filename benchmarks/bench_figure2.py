@@ -1,0 +1,34 @@
+"""E2 — Figure 2: dynamic (retired) instruction counts, base vs VIS.
+
+Paper shape asserted: VIS reduces every benchmark's dynamic count; the
+pixel kernels shrink to roughly 16-45% of base (paper: 17.6-30.5%,
+dotprod 88.5%), the codecs shrink moderately; branch counts fall
+(edge masks, partitioned compares, unrolled SIMD iterations)."""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+from repro.experiments.report import format_table
+from repro.workloads import Variant
+from repro.workloads.suite import KERNEL_NAMES, names
+
+
+def test_figure2_instruction_mix(benchmark, small_cache):
+    headers, rows, raw = run_once(benchmark, lambda: figure2(small_cache))
+    print()
+    print(format_table(headers, rows, title="Figure 2 (small scale)"))
+
+    for name in names():
+        base = raw[(name, Variant.SCALAR)]
+        vis = raw[(name, Variant.VIS)]
+        ratio = vis.instructions / base.instructions
+        assert ratio < 0.95, (name, ratio)
+        assert vis.category_counts["VIS"] > 0
+        assert vis.category_counts["FU"] < base.category_counts["FU"]
+
+    for name in ("blend", "scaling", "thresh", "addition"):
+        base = raw[(name, Variant.SCALAR)]
+        vis = raw[(name, Variant.VIS)]
+        assert vis.instructions / base.instructions < 0.45, name
+        # branch eliminations (edge masks, compares, SIMD unrolling)
+        assert vis.category_counts["Branch"] < base.category_counts["Branch"]

@@ -1,0 +1,44 @@
+"""E3/E9 — Figure 3: software prefetching on the VIS + out-of-order
+system, at the *default* scale (the cache geometry the result needs).
+
+Paper shape asserted: the streaming kernels speed up 1.4x-2.5x
+(we accept 1.3x-3.0x), cjpeg/djpeg/mpeg-dec barely move, and with
+prefetching every benchmark reverts to compute-bound (Section 4.2)."""
+
+from conftest import run_once
+
+from repro.experiments import figure3
+from repro.experiments.report import format_table
+
+STREAMING = ("addition", "blend", "dotprod", "scaling", "thresh")
+
+
+def test_figure3_prefetching(benchmark, default_cache):
+    headers, rows, raw = run_once(benchmark, lambda: figure3(default_cache))
+    print()
+    print(format_table(headers, rows, title="Figure 3 (default scale)"))
+
+    for name in STREAMING:
+        base, pf = raw[name]
+        speedup = base.cycles / pf.cycles
+        assert 1.3 < speedup < 3.0, (name, speedup)
+        assert pf.memory.prefetch_useful > 0
+
+    # conv is compute-heavy: small benefit (paper: 1.4x, the smallest)
+    base, pf = raw["conv"]
+    assert 0.95 < base.cycles / pf.cycles < 1.6
+
+    # the codec benchmarks barely move (paper: 98.1 / 98.1 / 95.0)
+    for name in ("cjpeg", "djpeg", "mpeg-dec"):
+        base, pf = raw[name]
+        assert 0.9 < base.cycles / pf.cycles < 1.3, name
+
+    # with prefetching the kernels' *miss* component collapses: the
+    # paper's "revert to compute-bound" claim.  (The codecs keep their
+    # residual table/coefficient misses at our scale — prefetching of
+    # indirectly addressed data cannot remove them, per Section 4.2 —
+    # so the check covers the six kernels.)
+    for name in STREAMING + ("conv",):
+        base, pf = raw[name]
+        miss_share = pf.l1_miss_stall / pf.cycles
+        assert miss_share < 0.30, (name, miss_share)

@@ -1,0 +1,99 @@
+"""Simulator micro-benchmarks: throughput of the building blocks.
+
+These are conventional pytest-benchmark timings (multiple rounds) of
+the infrastructure itself — useful to track regressions in the
+simulator rather than in the modeled machine."""
+
+import pytest
+
+from repro.asm import ProgramBuilder
+from repro.cpu import ProcessorConfig
+from repro.experiments.runner import simulate_program
+from repro.mem import A_LOAD, MemoryConfig, MemorySystem
+from repro.sim import Machine, StaticProgramInfo
+
+
+def _alu_loop_program(iterations=20_000):
+    b = ProgramBuilder("alu-loop")
+    b.buffer("out", 8)
+    acc = b.ireg()
+    b.li(acc, 0)
+    with b.loop(0, iterations):
+        b.add(acc, acc, 1)
+        b.xor(acc, acc, 3)
+        b.sll(acc, acc, 1)
+        b.srl(acc, acc, 1)
+    with b.scratch(iregs=1) as p:
+        b.la(p, "out")
+        b.stx(acc, p)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def alu_program():
+    return _alu_loop_program()
+
+
+def test_functional_execution_throughput(benchmark, alu_program):
+    machine = Machine(alu_program)
+
+    def run():
+        machine.reset()
+        return machine.run_functional()
+
+    count = benchmark(run)
+    assert count > 100_000
+
+
+def test_out_of_order_timing_throughput(benchmark, alu_program):
+    machine = Machine(alu_program)
+    trace = machine.run_to_completion()
+    info = StaticProgramInfo(alu_program)
+    config = ProcessorConfig.ooo_4way()
+    mem_config = MemoryConfig().scaled(64)
+
+    def run():
+        from repro.cpu.pipeline import OutOfOrderModel
+
+        model = OutOfOrderModel(info, config, MemorySystem(mem_config))
+        return model.simulate([trace]).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+def test_cache_access_throughput(benchmark):
+    config = MemoryConfig().scaled(64)
+
+    def run():
+        mem = MemorySystem(config)
+        t = 0
+        for i in range(20_000):
+            t, _ = mem.access(A_LOAD, (i * 8) & 0xFFFF, t)
+        return mem.stats.l1_misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_program_build_and_decode(benchmark):
+    def run():
+        program = _alu_loop_program(2_000)
+        return len(Machine(program)._code)
+
+    assert benchmark(run) > 0
+
+
+def test_end_to_end_small_kernel(benchmark):
+    from repro.workloads import TINY_SCALE, Variant
+    from repro.workloads.suite import get
+
+    built = get("scaling").build(Variant.VIS, TINY_SCALE)
+    config = ProcessorConfig.ooo_4way()
+    mem = TINY_SCALE.memory_config()
+
+    def run():
+        stats, _ = simulate_program(built.program, config, mem)
+        return stats.cycles
+
+    assert benchmark(run) > 0

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one of the paper's tables/figures
+(DESIGN.md's per-experiment index) at a reduced scale, times it under
+pytest-benchmark, prints the table, and asserts the paper's qualitative
+shape.  ``python -m repro.experiments.cli <exp>`` regenerates the same
+artifacts at the default scale.
+"""
+
+import pytest
+
+from repro.experiments.runner import RunCache
+from repro.workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
+
+
+@pytest.fixture(scope="session")
+def small_cache():
+    """Shared build/run cache at the small scale (kernels + codecs)."""
+    return RunCache(scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def tiny_cache():
+    return RunCache(scale=TINY_SCALE)
+
+
+@pytest.fixture(scope="session")
+def default_cache():
+    """Default scale: the cache geometry the headline results use."""
+    return RunCache(scale=DEFAULT_SCALE)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulations are deterministic and
+    expensive; variance comes from the host, not the subject)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

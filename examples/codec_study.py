@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Study the image/video codecs: compression, fidelity, and where the
+cycles go.
+
+Encodes a synthetic image with the JPEG-style codec (both progressive
+and blocked non-progressive modes) and a synthetic video with the
+MPEG-style codec, reports stream sizes and reconstruction quality,
+writes the images as PPM files for inspection, then simulates cjpeg-np
+and mpeg-enc to show the codec benchmarks' instruction mixes.
+
+Run:  python examples/codec_study.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import ProcessorConfig, SMALL_SCALE, Variant, get_workload, simulate_program
+from repro.media import jpeg, mpeg
+from repro.media.images import synthetic_image, synthetic_video_yuv
+from repro.media.metrics import psnr
+from repro.media.ppm import write_pnm
+
+
+def study_jpeg(out_dir: Path) -> None:
+    image = synthetic_image(SMALL_SCALE.jpeg_width, SMALL_SCALE.jpeg_height, 3)
+    write_pnm(out_dir / "input.ppm", image)
+    print("JPEG-style codec")
+    for progressive in (False, True):
+        enc = jpeg.encode(image, quality=75, progressive=progressive)
+        dec = jpeg.decode(enc.data)
+        mode = "progressive" if progressive else "baseline"
+        print(f"  {mode:12s} {len(enc.data):6d} bytes "
+              f"({image.size / len(enc.data):5.1f}x), "
+              f"PSNR {psnr(image, dec.rgb):5.2f} dB, "
+              f"{len(enc.scans)} scan(s)")
+        write_pnm(out_dir / f"decoded_{mode}.ppm", dec.rgb)
+
+
+def study_mpeg(out_dir: Path) -> None:
+    frames = synthetic_video_yuv(
+        SMALL_SCALE.video_width, SMALL_SCALE.video_height, 4
+    )
+    enc = mpeg.encode(frames, quality=75, search_range=SMALL_SCALE.search_range)
+    dec = mpeg.decode(enc.data)
+    raw = sum(f[0].size + f[1].size + f[2].size for f in frames)
+    print("\nMPEG-style codec (I-B-B-P group of pictures)")
+    print(f"  stream {len(enc.data)} bytes ({raw / len(enc.data):.1f}x), "
+          f"macroblock modes: {enc.mode_counts}")
+    for i, ((y, _u, _v), ftype) in enumerate(zip(dec.frames, dec.frame_types)):
+        print(f"  frame {i} ({ftype}): luma PSNR {psnr(frames[i][0], y):5.2f} dB")
+        write_pnm(out_dir / f"frame{i}_{ftype}.pgm", y)
+
+
+def simulate_codecs() -> None:
+    print("\nsimulated codec benchmarks (out-of-order 4-way, small scale)")
+    config = ProcessorConfig.ooo_4way()
+    memory = SMALL_SCALE.memory_config()
+    for name in ("cjpeg-np", "mpeg-enc"):
+        for variant in (Variant.SCALAR, Variant.VIS):
+            built = get_workload(name).build(variant, SMALL_SCALE)
+            stats, machine = simulate_program(built.program, config, memory)
+            built.validate(machine)
+            mix = ", ".join(
+                f"{k} {v}" for k, v in stats.category_counts.items() if v
+            )
+            print(f"  {name:9s} {variant.value:7s} {stats.cycles:9d} cycles "
+                  f"| {mix}")
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results/codec_study")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    study_jpeg(out_dir)
+    study_mpeg(out_dir)
+    simulate_codecs()
+    print(f"\nimages written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Write your own media kernel against the public API.
+
+This example builds a *new* benchmark that is not part of the paper's
+suite — image inversion with a brightness floor — in both scalar and
+VIS forms, validates it against numpy, and compares the two on the
+out-of-order machine.  It shows the full workflow a user follows to
+study their own kernel:
+
+1. express the math in numpy (the reference),
+2. emit scalar and VIS assembly with :class:`repro.ProgramBuilder`,
+3. simulate with :func:`repro.simulate_program` and compare.
+
+Run:  python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro import (
+    DEFAULT_SCALE,
+    Machine,
+    ProcessorConfig,
+    ProgramBuilder,
+    simulate_program,
+)
+from repro.media.images import synthetic_gray
+from repro.workloads.kernels.common import broadcast16, setup_vis_unpack
+
+
+def reference(src: np.ndarray, floor: int) -> np.ndarray:
+    """max(255 - x, floor) — inversion with a brightness floor."""
+    return np.maximum(255 - src.astype(np.int64), floor).astype(np.uint8)
+
+
+def build_scalar(data: bytes, floor: int):
+    b = ProgramBuilder("invert-scalar")
+    b.buffer("src", len(data), data=data)
+    b.buffer("dst", len(data))
+    ps, pd = b.iregs(2)
+    b.la(ps, "src")
+    b.la(pd, "dst")
+    with b.loop(0, len(data)):
+        with b.scratch(iregs=2) as (t, inv):
+            keep = b.label("keep")
+            b.ldb(t, ps)
+            b.li(inv, 255)
+            b.sub(inv, inv, t)            # 255 - x
+            b.bge(inv, floor, keep, hint=True)
+            b.li(inv, floor)              # brightness floor
+            b.bind(keep)
+            b.stb(inv, pd)
+        b.add(ps, ps, 1)
+        b.add(pd, pd, 1)
+    return b.build()
+
+
+def build_vis(data: bytes, floor: int):
+    """8 pixels per iteration: 255-x via fpsub16, the floor via a
+    partitioned compare + partial store (no branches at all)."""
+    b = ProgramBuilder("invert-vis")
+    b.buffer("src", len(data), data=data)
+    b.buffer("dst", len(data))
+    b.buffer("k255", 8, data=broadcast16(255 << 4))
+    b.buffer("kfloor16", 8, data=broadcast16(floor << 4))
+    b.buffer("kfloor8", 8, data=bytes([floor]) * 8)
+    ps, pd = b.iregs(2)
+    b.la(ps, "src")
+    b.la(pd, "dst")
+    fz = setup_vis_unpack(b, scale=3)     # pack scale: >>4 of the <<4 format
+    k255, kfloor, kfloor8 = b.fregs(3)
+    with b.scratch(iregs=1) as t:
+        b.la(t, "k255")
+        b.ldf(k255, t)
+        b.la(t, "kfloor16")
+        b.ldf(kfloor, t)
+        b.la(t, "kfloor8")
+        b.ldf(kfloor8, t)
+    fs, lo, hi = b.fregs(3)
+    m1, m2 = b.iregs(2)
+    with b.loop(0, len(data), step=8):
+        b.ldf(fs, ps)
+        b.fexpand(lo, fs)                  # x << 4, lanes 0-3
+        b.faligndata(hi, fs, fz)
+        b.fexpand(hi, hi)                  # lanes 4-7
+        b.fpsub16(lo, k255, lo)            # (255 - x) << 4
+        b.fpsub16(hi, k255, hi)
+        # default result: the inversion
+        b.fpack16(lo, lo)
+        b.fpack16(hi, hi)
+        b.stfw(lo, pd, 0)
+        b.stfw(hi, pd, 4)
+        # floor mask: lanes where (255-x) < floor
+        b.fexpand(lo, lo)
+        b.fexpand(hi, hi)
+        b.fcmpgt16(m1, kfloor, lo)
+        b.fcmpgt16(m2, kfloor, hi)
+        b.sll(m2, m2, 4)
+        b.or_(m1, m1, m2)
+        b.pst(kfloor8, m1, pd)             # overwrite floored pixels
+        b.add(ps, ps, 8)
+        b.add(pd, pd, 8)
+    return b.build()
+
+
+def main() -> None:
+    floor = 40
+    image = synthetic_gray(96, 64, seed=33)
+    data = image.tobytes()
+    expected = reference(np.frombuffer(data, dtype=np.uint8), floor)
+
+    config = ProcessorConfig.ooo_4way()
+    memory = DEFAULT_SCALE.memory_config()
+    results = {}
+    for label, build in (("scalar", build_scalar), ("vis", build_vis)):
+        program = build(data, floor)
+        stats, machine = simulate_program(program, config, memory)
+        got = machine.read_buffer_array("dst")
+        assert np.array_equal(got, expected), f"{label} output mismatch"
+        results[label] = stats
+        print(f"{label:7s} {stats.cycles:8d} cycles, "
+              f"{stats.instructions:7d} instructions, "
+              f"mispredict {stats.mispredict_rate:.1%}")
+    speedup = results["scalar"].cycles / results["vis"].cycles
+    print(f"\nVIS speedup: {speedup:.2f}x (branch-free via fcmpgt16 + pst)")
+
+
+if __name__ == "__main__":
+    main()

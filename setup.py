@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so PEP 660 editable installs are unavailable; this enables
+`pip install -e . --no-use-pep517`.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""Reproduction of "Performance of Image and Video Processing with
+General-Purpose Processors and Media ISA Extensions" (ISCA 1999).
+
+Public API quick tour::
+
+    from repro import (
+        ProgramBuilder, Machine, ProcessorConfig, MemoryConfig,
+        simulate_program, Variant, get_workload, DEFAULT_SCALE,
+    )
+
+    built = get_workload("addition").build(Variant.VIS, DEFAULT_SCALE)
+    stats, machine = simulate_program(
+        built.program, ProcessorConfig.ooo_4way(),
+        DEFAULT_SCALE.memory_config(),
+    )
+    built.validate(machine)          # bit-exact output check
+    print(stats.cycles, stats.components())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from .asm.builder import ProgramBuilder
+from .asm.program import Program
+from .cpu.config import ProcessorConfig
+from .cpu.stats import ExecutionStats
+from .mem.config import MemoryConfig
+from .sim.machine import Machine, SimulationError
+from .experiments.runner import RunCache, simulate_program
+from .workloads.base import Variant
+from .workloads.params import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    WorkloadScale,
+)
+from .workloads.suite import ALL_WORKLOADS, get as get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProgramBuilder",
+    "Program",
+    "ProcessorConfig",
+    "ExecutionStats",
+    "MemoryConfig",
+    "Machine",
+    "SimulationError",
+    "RunCache",
+    "simulate_program",
+    "Variant",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "SMALL_SCALE",
+    "TINY_SCALE",
+    "WorkloadScale",
+    "ALL_WORKLOADS",
+    "get_workload",
+    "__version__",
+]

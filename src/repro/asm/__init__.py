@@ -1,0 +1,27 @@
+"""Assembler layer: the DSL benchmarks are written in."""
+
+from .builder import (
+    ProgramBuilder,
+    R_AT,
+    R_LINK,
+    R_SP,
+    R_ZERO,
+    Reg,
+    RegisterPressureError,
+)
+from .program import Buffer, DATA_BASE, Program, SymAddr, layout_buffers
+
+__all__ = [
+    "ProgramBuilder",
+    "R_AT",
+    "R_LINK",
+    "R_SP",
+    "R_ZERO",
+    "Reg",
+    "RegisterPressureError",
+    "Buffer",
+    "DATA_BASE",
+    "Program",
+    "SymAddr",
+    "layout_buffers",
+]

@@ -1,0 +1,641 @@
+"""``ProgramBuilder``: the assembly DSL the benchmarks are written in.
+
+The builder plays the role of the SPARC SC4.2 compiler output plus the
+hand-coded VIS methodology of Section 2.3.2: kernels are written as
+Python functions that emit SVIS instructions through this interface,
+with symbolic registers, structured loops, named data buffers and
+static branch hints.
+
+Typical use::
+
+    b = ProgramBuilder("addition")
+    src = b.buffer("src", n)
+    dst = b.buffer("dst", n)
+    p_src, p_dst = b.iregs(2)
+    b.la(p_src, src)
+    b.la(p_dst, dst)
+    with b.loop(0, n) as i:
+        t = b.ireg()
+        b.ldb(t, p_src)
+        b.add(t, t, 1)
+        b.stb(t, p_dst)
+        b.add(p_src, p_src, 1)
+        b.add(p_dst, p_dst, 1)
+        b.release(t)
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass, spec
+from ..isa.registers import (
+    AT,
+    GSR,
+    LINK,
+    NUM_FREGS,
+    NUM_IREGS,
+    SP,
+    ZERO,
+    freg as freg_index,
+    ireg as ireg_index,
+)
+from .program import Buffer, Program, SymAddr, layout_buffers
+
+
+class Reg(int):
+    """A register operand.  Subclasses ``int`` (the unified register
+    number) so that plain ints can be recognised as immediates."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Reg({int(self)})"
+
+
+#: Always-available registers.
+R_ZERO = Reg(ZERO)
+R_AT = Reg(AT)
+R_SP = Reg(SP)
+R_LINK = Reg(LINK)
+
+Operand = Union[Reg, int]
+
+
+class RegisterPressureError(RuntimeError):
+    """Raised when a kernel asks for more registers than the ISA has."""
+
+
+class ProgramBuilder:
+    """Incrementally assembles a :class:`repro.asm.program.Program`."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._buffers: Dict[str, Buffer] = {}
+        self._labels: Dict[str, int] = {}
+        self._markers: List[Tuple[int, str]] = []
+        self._label_counter = itertools.count()
+        # r0 zero, r1 AT, r30 SP, r31 LINK are reserved.
+        self._free_iregs = [Reg(ireg_index(i)) for i in range(29, 1, -1)]
+        self._free_fregs = [Reg(freg_index(i)) for i in range(NUM_FREGS - 1, -1, -1)]
+        self._pending_comment = ""
+        self._built = False
+
+    # -- registers -----------------------------------------------------------
+
+    def ireg(self) -> Reg:
+        """Allocate a scratch integer register."""
+        if not self._free_iregs:
+            raise RegisterPressureError("out of integer registers")
+        return self._free_iregs.pop()
+
+    def freg(self) -> Reg:
+        """Allocate a scratch media register."""
+        if not self._free_fregs:
+            raise RegisterPressureError("out of media registers")
+        return self._free_fregs.pop()
+
+    def iregs(self, count: int) -> List[Reg]:
+        return [self.ireg() for _ in range(count)]
+
+    def fregs(self, count: int) -> List[Reg]:
+        return [self.freg() for _ in range(count)]
+
+    def release(self, *regs: Reg) -> None:
+        """Return scratch registers to the pool."""
+        for reg in regs:
+            if reg < NUM_IREGS:
+                if reg in (ZERO, AT, SP, LINK):
+                    raise ValueError(f"cannot release reserved register {int(reg)}")
+                self._free_iregs.append(Reg(reg))
+            else:
+                self._free_fregs.append(Reg(reg))
+
+    @contextmanager
+    def scratch(self, iregs: int = 0, fregs: int = 0):
+        """Scoped allocation: registers are released when the block exits."""
+        regs = [self.ireg() for _ in range(iregs)]
+        regs += [self.freg() for _ in range(fregs)]
+        try:
+            yield regs if len(regs) != 1 else regs[0]
+        finally:
+            self.release(*regs)
+
+    # -- data segment ----------------------------------------------------------
+
+    def buffer(
+        self,
+        name: str,
+        size: int,
+        align: int = 64,
+        data: Optional[bytes] = None,
+        skew: int = 0,
+    ) -> Buffer:
+        """Declare a named buffer in the data segment.
+
+        ``skew`` adds a starting-address offset on top of the alignment;
+        the VSDK kernels use it to de-conflict concurrent streams
+        (paper footnote 3).
+        """
+        if name in self._buffers:
+            raise ValueError(f"duplicate buffer {name!r}")
+        if data is not None and len(data) > size:
+            raise ValueError(f"initializer larger than buffer {name!r}")
+        buf = Buffer(name=name, size=size, align=align, data=data, skew=skew)
+        self._buffers[name] = buf
+        return buf
+
+    # -- labels / structure ------------------------------------------------------
+
+    def label(self, stem: str = "L") -> str:
+        """Create a fresh label name (not yet bound to a position)."""
+        return f"{stem}_{next(self._label_counter)}"
+
+    def bind(self, label: str) -> None:
+        """Bind a label to the current instruction position."""
+        if label in self._labels:
+            raise ValueError(f"label {label!r} bound twice")
+        self._labels[label] = len(self._instructions)
+
+    def here(self, stem: str = "L") -> str:
+        """Create a label bound to the current position."""
+        label = self.label(stem)
+        self.bind(label)
+        return label
+
+    def marker(self, text: str) -> None:
+        """Record a phase marker at the current position (metadata only;
+        does not emit an instruction)."""
+        self._markers.append((len(self._instructions), text))
+
+    def comment(self, text: str) -> None:
+        """Attach a comment to the next emitted instruction."""
+        self._pending_comment = text
+
+    @contextmanager
+    def loop(
+        self,
+        start: Operand,
+        stop: Operand,
+        step: int = 1,
+        counter: Optional[Reg] = None,
+    ):
+        """Structured counted loop; yields the counter register.
+
+        Emits a pre-header (counter/bound setup), a body, and a
+        backward conditional branch statically hinted taken.
+        """
+        own_counter = counter is None
+        ctr = counter if counter is not None else self.ireg()
+        if isinstance(start, Reg):
+            self.mov(ctr, start)
+        else:
+            self.li(ctr, start)
+        own_bound = not isinstance(stop, Reg)
+        if own_bound:
+            bound = self.ireg()
+            self.li(bound, stop)
+        else:
+            bound = stop
+        top = self.here("loop")
+        yield ctr
+        self.add(ctr, ctr, step)
+        if step > 0:
+            self.blt(ctr, bound, top, hint=True)
+        else:
+            self.bgt(ctr, bound, top, hint=True)
+        if own_bound:
+            self.release(bound)
+        if own_counter:
+            self.release(ctr)
+
+    # -- emission core -------------------------------------------------------------
+
+    def _emit(
+        self,
+        op: str,
+        dst: int = -1,
+        dst2: int = -1,
+        srcs: Sequence[int] = (),
+        imm=None,
+        target: Optional[str] = None,
+        hint: Optional[bool] = None,
+    ) -> None:
+        if self._built:
+            raise RuntimeError("builder already finalized")
+        spec(op)  # validate the mnemonic early
+        if dst == ZERO:
+            raise ValueError("r0 is read-only")
+        instr = Instruction(
+            op=op,
+            dst=int(dst),
+            dst2=int(dst2),
+            srcs=tuple(int(s) for s in srcs),
+            imm=imm,
+            target=-1 if target is None else target,  # patched in build()
+            hint_taken=True if hint is None else hint,
+            comment=self._pending_comment,
+        )
+        if target is not None and hint is None:
+            instr.hint_taken = None  # resolved (backward=taken) in build()
+        self._pending_comment = ""
+        self._instructions.append(instr)
+
+    @staticmethod
+    def _require_reg(value: Operand, what: str) -> Reg:
+        if not isinstance(value, Reg):
+            raise TypeError(f"{what} must be a register, got {value!r}")
+        return value
+
+    def _alu(self, op: str, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._require_reg(rd, "destination")
+        self._require_reg(ra, "first operand")
+        if isinstance(b, Reg):
+            self._emit(op, dst=rd, srcs=(ra, b))
+        else:
+            self._emit(op, dst=rd, srcs=(ra,), imm=int(b))
+
+    # -- integer ALU ------------------------------------------------------------------
+
+    def add(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("add", rd, ra, b)
+
+    def sub(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("sub", rd, ra, b)
+
+    def mul(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("mul", rd, ra, b)
+
+    def div(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("div", rd, ra, b)
+
+    def rem(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("rem", rd, ra, b)
+
+    def and_(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("and_", rd, ra, b)
+
+    def or_(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("or_", rd, ra, b)
+
+    def xor(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("xor", rd, ra, b)
+
+    def andn(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("andn", rd, ra, b)
+
+    def sll(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("sll", rd, ra, b)
+
+    def srl(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("srl", rd, ra, b)
+
+    def sra(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("sra", rd, ra, b)
+
+    def slt(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("slt", rd, ra, b)
+
+    def sltu(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("sltu", rd, ra, b)
+
+    def seq(self, rd: Reg, ra: Reg, b: Operand) -> None:
+        self._alu("seq", rd, ra, b)
+
+    def li(self, rd: Reg, value: Union[int, SymAddr]) -> None:
+        """Load an immediate (or a buffer address placeholder)."""
+        self._require_reg(rd, "destination")
+        self._emit("li", dst=rd, imm=value)
+
+    def la(self, rd: Reg, buf: Union[Buffer, str], offset: int = 0) -> None:
+        """Load the address of ``buf + offset``."""
+        name = buf.name if isinstance(buf, Buffer) else buf
+        if name not in self._buffers:
+            raise KeyError(f"unknown buffer {name!r}")
+        self.li(rd, SymAddr(name, offset))
+
+    def mov(self, rd: Reg, ra: Reg) -> None:
+        self._require_reg(rd, "destination")
+        self._require_reg(ra, "source")
+        self._emit("mov", dst=rd, srcs=(ra,))
+
+    def nop(self) -> None:
+        self._emit("nop")
+
+    # -- floating point -------------------------------------------------------------------
+
+    def fadd(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fadd", dst=fd, srcs=(fa, fb))
+
+    def fsub(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fsub", dst=fd, srcs=(fa, fb))
+
+    def fmuld(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fmuld", dst=fd, srcs=(fa, fb))
+
+    def fdivd(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fdivd", dst=fd, srcs=(fa, fb))
+
+    def fmovd(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fmovd", dst=fd, srcs=(fa,))
+
+    def fitod(self, fd: Reg, ra: Reg) -> None:
+        """Convert a signed integer register to double."""
+        self._emit("fitod", dst=fd, srcs=(ra,))
+
+    def fdtoi(self, rd: Reg, fa: Reg) -> None:
+        """Convert (truncate) a double to a signed integer register."""
+        self._emit("fdtoi", dst=rd, srcs=(fa,))
+
+    # -- memory -----------------------------------------------------------------------------
+
+    def _load(self, op: str, rd: Reg, base: Reg, offset: int) -> None:
+        self._require_reg(rd, "destination")
+        self._require_reg(base, "base address")
+        self._emit(op, dst=rd, srcs=(base,), imm=int(offset))
+
+    def _store(self, op: str, rs: Reg, base: Reg, offset: int) -> None:
+        self._require_reg(rs, "store value")
+        self._require_reg(base, "base address")
+        self._emit(op, srcs=(rs, base), imm=int(offset))
+
+    def ldb(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldb", rd, base, offset)
+
+    def ldbs(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldbs", rd, base, offset)
+
+    def ldh(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldh", rd, base, offset)
+
+    def ldhs(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldhs", rd, base, offset)
+
+    def ldw(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldw", rd, base, offset)
+
+    def ldws(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldws", rd, base, offset)
+
+    def ldx(self, rd: Reg, base: Reg, offset: int = 0) -> None:
+        self._load("ldx", rd, base, offset)
+
+    def ldf(self, fd: Reg, base: Reg, offset: int = 0) -> None:
+        """64-bit load into the media register file."""
+        self._load("ldf", fd, base, offset)
+
+    def ldfw(self, fd: Reg, base: Reg, offset: int = 0) -> None:
+        """32-bit load into the low half of a media register."""
+        self._load("ldfw", fd, base, offset)
+
+    def ldfb(self, fd: Reg, base: Reg, offset: int = 0) -> None:
+        """VIS short load: one byte into a media register."""
+        self._load("ldfb", fd, base, offset)
+
+    def ldfh(self, fd: Reg, base: Reg, offset: int = 0) -> None:
+        """VIS short load: two bytes into a media register."""
+        self._load("ldfh", fd, base, offset)
+
+    def stb(self, rs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stb", rs, base, offset)
+
+    def sth(self, rs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("sth", rs, base, offset)
+
+    def stw(self, rs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stw", rs, base, offset)
+
+    def stx(self, rs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stx", rs, base, offset)
+
+    def stf(self, fs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stf", fs, base, offset)
+
+    def stfw(self, fs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stfw", fs, base, offset)
+
+    def stfb(self, fs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stfb", fs, base, offset)
+
+    def stfh(self, fs: Reg, base: Reg, offset: int = 0) -> None:
+        self._store("stfh", fs, base, offset)
+
+    def pst(self, fs: Reg, mask: Reg, base: Reg, offset: int = 0) -> None:
+        """Partial store: write the bytes of ``fs`` selected by the
+        8-bit mask in integer register ``mask``."""
+        self._emit("pst", srcs=(fs, mask, base), imm=int(offset))
+
+    def pf(self, base: Reg, offset: int = 0) -> None:
+        """Non-binding software prefetch of the line at ``base+offset``."""
+        self._require_reg(base, "base address")
+        self._emit("pf", srcs=(base,), imm=int(offset))
+
+    # -- control flow ---------------------------------------------------------------------------
+
+    def _branch(self, op: str, ra: Reg, b: Operand, target: str, hint) -> None:
+        self._require_reg(ra, "branch operand")
+        if not isinstance(b, Reg):
+            if int(b) == 0:
+                b = R_ZERO
+            else:
+                self.li(R_AT, int(b))
+                b = R_AT
+        self._emit(op, srcs=(ra, b), target=target, hint=hint)
+
+    def beq(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("beq", ra, b, target, hint)
+
+    def bne(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("bne", ra, b, target, hint)
+
+    def blt(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("blt", ra, b, target, hint)
+
+    def ble(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("ble", ra, b, target, hint)
+
+    def bgt(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("bgt", ra, b, target, hint)
+
+    def bge(self, ra: Reg, b: Operand, target: str, hint: Optional[bool] = None):
+        self._branch("bge", ra, b, target, hint)
+
+    def j(self, target: str) -> None:
+        self._emit("j", target=target)
+
+    def call(self, target: str) -> None:
+        self._emit("call", dst=R_LINK, target=target)
+
+    def ret(self) -> None:
+        self._emit("ret", srcs=(R_LINK,))
+
+    # -- VIS ---------------------------------------------------------------------------------------
+
+    def _vis3(self, op: str, fd: Reg, fa: Reg, fb: Reg, gsr_src: bool = False):
+        srcs = (fa, fb, GSR) if gsr_src else (fa, fb)
+        self._emit(op, dst=fd, srcs=srcs)
+
+    def fpadd16(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fpadd16", fd, fa, fb)
+
+    def fpadd32(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fpadd32", fd, fa, fb)
+
+    def fpsub16(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fpsub16", fd, fa, fb)
+
+    def fpsub32(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fpsub32", fd, fa, fb)
+
+    def fand(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fand", fd, fa, fb)
+
+    def for_(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("for_", fd, fa, fb)
+
+    def fxor(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fxor", fd, fa, fb)
+
+    def fandnot(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fandnot", fd, fa, fb)
+
+    def fnot(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fnot", dst=fd, srcs=(fa,))
+
+    def fzero(self, fd: Reg) -> None:
+        self._emit("fzero", dst=fd)
+
+    def fone(self, fd: Reg) -> None:
+        self._emit("fone", dst=fd)
+
+    def fsrc(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fsrc", dst=fd, srcs=(fa,))
+
+    def fmul8x16(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fmul8x16", fd, fa, fb)
+
+    def fmul8x16au(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fmul8x16au", fd, fa, fb)
+
+    def fmul8x16al(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fmul8x16al", fd, fa, fb)
+
+    def fmul8sux16(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fmul8sux16", fd, fa, fb)
+
+    def fmul8ulx16(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fmul8ulx16", fd, fa, fb)
+
+    def pdist(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        """``fd += sum(|fa_i - fb_i|)`` over 8 bytes; fd is read-modify-write."""
+        self._emit("pdist", dst=fd, srcs=(fa, fb, fd))
+
+    def fpack16(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fpack16", dst=fd, srcs=(fa, GSR))
+
+    def fpack32(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fpack32", dst=fd, srcs=(fa, GSR))
+
+    def fpackfix(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fpackfix", dst=fd, srcs=(fa, GSR))
+
+    def fexpand(self, fd: Reg, fa: Reg) -> None:
+        self._emit("fexpand", dst=fd, srcs=(fa,))
+
+    def fpmerge(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("fpmerge", fd, fa, fb)
+
+    def faligndata(self, fd: Reg, fa: Reg, fb: Reg) -> None:
+        self._vis3("faligndata", fd, fa, fb, gsr_src=True)
+
+    def alignaddr(self, rd: Reg, ra: Reg, b: Operand = 0) -> None:
+        """rd = (ra + b) & ~7; GSR.align = (ra + b) & 7."""
+        self._require_reg(rd, "destination")
+        self._require_reg(ra, "address")
+        if isinstance(b, Reg):
+            self._emit("alignaddr", dst=rd, dst2=GSR, srcs=(ra, b))
+        else:
+            self._emit("alignaddr", dst=rd, dst2=GSR, srcs=(ra,), imm=int(b))
+
+    def fcmpgt16(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmpgt16", dst=rd, srcs=(fa, fb))
+
+    def fcmple16(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmple16", dst=rd, srcs=(fa, fb))
+
+    def fcmpeq16(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmpeq16", dst=rd, srcs=(fa, fb))
+
+    def fcmpne16(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmpne16", dst=rd, srcs=(fa, fb))
+
+    def fcmpgt32(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmpgt32", dst=rd, srcs=(fa, fb))
+
+    def fcmpeq32(self, rd: Reg, fa: Reg, fb: Reg) -> None:
+        self._emit("fcmpeq32", dst=rd, srcs=(fa, fb))
+
+    def edge8(self, rd: Reg, ra: Reg, rb: Reg) -> None:
+        self._emit("edge8", dst=rd, srcs=(ra, rb))
+
+    def edge16(self, rd: Reg, ra: Reg, rb: Reg) -> None:
+        self._emit("edge16", dst=rd, srcs=(ra, rb))
+
+    def edge32(self, rd: Reg, ra: Reg, rb: Reg) -> None:
+        self._emit("edge32", dst=rd, srcs=(ra, rb))
+
+    def array8(self, rd: Reg, ra: Reg, bits: int = 0) -> None:
+        self._emit("array8", dst=rd, srcs=(ra,), imm=int(bits))
+
+    def rdgsr(self, rd: Reg) -> None:
+        self._emit("rdgsr", dst=rd, srcs=(GSR,))
+
+    def wrgsr(self, ra: Reg) -> None:
+        self._emit("wrgsr", dst=GSR, srcs=(ra,))
+
+    def set_gsr(self, align: int = 0, scale: int = 0) -> None:
+        """Convenience: materialize a GSR value and write it."""
+        from ..isa.registers import pack_gsr
+
+        self.li(R_AT, pack_gsr(align=align, scale=scale))
+        self.wrgsr(R_AT)
+
+    # -- finalize ----------------------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels/addresses, append the terminating ``halt`` and
+        return an immutable :class:`Program`."""
+        if self._built:
+            raise RuntimeError("build() called twice")
+        self._emit("halt")
+        self._built = True
+
+        memory_size = layout_buffers(self._buffers)
+
+        for index, instr in enumerate(self._instructions):
+            if isinstance(instr.target, str):
+                try:
+                    instr.target = self._labels[instr.target]
+                except KeyError:
+                    raise ValueError(
+                        f"undefined label {instr.target!r} at instruction {index}"
+                    ) from None
+            if instr.hint_taken is None:
+                # Static compiler bias: backward taken, forward not-taken.
+                instr.hint_taken = instr.target <= index
+            if isinstance(instr.imm, SymAddr):
+                instr.imm = (
+                    self._buffers[instr.imm.buffer].address + instr.imm.offset
+                )
+
+        return Program(
+            instructions=self._instructions,
+            buffers=self._buffers,
+            labels=dict(self._labels),
+            markers=list(self._markers),
+            memory_size=memory_size,
+            name=self.name,
+        )

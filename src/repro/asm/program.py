@@ -1,0 +1,93 @@
+"""Finalized program representation: instructions + data segment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.instruction import Instruction
+
+#: Data-segment base address: leaves the low pages unused so that a zero
+#: base register is always an obvious bug rather than a silent read.
+DATA_BASE = 0x10000
+
+
+@dataclass
+class Buffer:
+    """A named region in the simulated data segment."""
+
+    name: str
+    size: int
+    align: int = 64
+    data: Optional[bytes] = None
+    #: extra bytes inserted *before* the buffer, on top of alignment.
+    #: Used to skew concurrent array starting addresses and avoid cache
+    #: conflicts (footnote 3 of the paper).
+    skew: int = 0
+    address: int = -1  # assigned at finalize time
+
+    def end(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class SymAddr:
+    """Unresolved address of ``buffer + offset``; patched at finalize."""
+
+    buffer: str
+    offset: int = 0
+
+
+@dataclass
+class Program:
+    """An assembled SVIS program, ready to run on the simulator."""
+
+    instructions: List[Instruction]
+    buffers: Dict[str, Buffer]
+    labels: Dict[str, int] = field(default_factory=dict)
+    markers: List[Tuple[int, str]] = field(default_factory=list)
+    memory_size: int = 0
+    name: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def buffer(self, name: str) -> Buffer:
+        return self.buffers[name]
+
+    def address_of(self, name: str, offset: int = 0) -> int:
+        return self.buffers[name].address + offset
+
+    def disassemble(self) -> str:
+        """Full program listing with label and marker annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(f"{label}:")
+        for index, marker in self.markers:
+            by_index.setdefault(index, []).append(f"; === {marker} ===")
+        lines: List[str] = []
+        for buf in self.buffers.values():
+            lines.append(
+                f"; buffer {buf.name}: 0x{buf.address:x} (+{buf.size} bytes)"
+            )
+        for i, instr in enumerate(self.instructions):
+            for annotation in by_index.get(i, ()):
+                lines.append(annotation)
+            lines.append(instr.disassemble(i))
+        return "\n".join(lines)
+
+
+def layout_buffers(buffers: Dict[str, Buffer], base: int = DATA_BASE) -> int:
+    """Assign addresses to all buffers with a bump allocator.
+
+    Returns the total memory size needed (rounded up to a 4 KB page).
+    Buffers keep declaration order; each is aligned and then skewed.
+    """
+    cursor = base
+    for buf in buffers.values():
+        align = max(buf.align, 1)
+        cursor = (cursor + align - 1) & ~(align - 1)
+        cursor += buf.skew
+        buf.address = cursor
+        cursor += buf.size
+    return (cursor + 0xFFF) & ~0xFFF

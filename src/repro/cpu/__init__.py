@@ -1,0 +1,32 @@
+"""Processor timing models (Table 2)."""
+
+from .branch import AgreePredictor, ReturnAddressStack
+from .config import ProcessorConfig
+from .pipeline import InOrderModel, OutOfOrderModel, make_model
+from .stats import (
+    ExecutionStats,
+    NUM_STALL_CLASSES,
+    RetireUnit,
+    SC_BRANCH,
+    SC_FU,
+    SC_L1HIT,
+    SC_L1MISS,
+    STALL_NAMES,
+)
+
+__all__ = [
+    "AgreePredictor",
+    "ReturnAddressStack",
+    "ProcessorConfig",
+    "InOrderModel",
+    "OutOfOrderModel",
+    "make_model",
+    "ExecutionStats",
+    "NUM_STALL_CLASSES",
+    "RetireUnit",
+    "SC_BRANCH",
+    "SC_FU",
+    "SC_L1HIT",
+    "SC_L1MISS",
+    "STALL_NAMES",
+]

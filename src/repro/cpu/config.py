@@ -1,0 +1,76 @@
+"""Processor parameters (Table 2 of the paper).
+
+Functional-unit latencies live on the opcodes (:mod:`repro.isa.opcodes`)
+since they are properties of the operations; this module holds the
+machine-organization knobs.  When studying a 1-way issue processor the
+paper scales the number of functional units to one of each type
+(Section 2.2.1) — :func:`ProcessorConfig.inorder_1way` does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..sim.static_info import FU_ADDR, FU_FP, FU_INT, FU_VADD, FU_VMUL, NUM_FU_TYPES
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """One processor configuration (1 GHz; one cycle = 1 ns)."""
+
+    name: str = "ooo-4way"
+    out_of_order: bool = True
+    issue_width: int = 4
+    window_size: int = 64
+    mem_queue_size: int = 32
+
+    #: bimodal agree predictor entries
+    predictor_size: int = 2048
+    ras_size: int = 32
+    max_speculated_branches: int = 16
+    #: fetch-redirect bubble on a mispredicted branch
+    mispredict_penalty: int = 7
+
+    int_alu_units: int = 2
+    fp_units: int = 2
+    addr_units: int = 2
+    vis_add_units: int = 1
+    vis_mul_units: int = 1
+
+    def fu_counts(self) -> list:
+        counts = [0] * NUM_FU_TYPES
+        counts[FU_INT] = self.int_alu_units
+        counts[FU_FP] = self.fp_units
+        counts[FU_ADDR] = self.addr_units
+        counts[FU_VADD] = self.vis_add_units
+        counts[FU_VMUL] = self.vis_mul_units
+        return counts
+
+    # -- the three architecture variants of Figure 1 -----------------------
+
+    @classmethod
+    def inorder_1way(cls) -> "ProcessorConfig":
+        """Base machine: single-issue in-order, one FU of each type."""
+        return cls(
+            name="in-order 1-way",
+            out_of_order=False,
+            issue_width=1,
+            int_alu_units=1,
+            fp_units=1,
+            addr_units=1,
+            vis_add_units=1,
+            vis_mul_units=1,
+        )
+
+    @classmethod
+    def inorder_4way(cls) -> "ProcessorConfig":
+        """4-way in-order (21164 / UltraSPARC-II class)."""
+        return cls(name="in-order 4-way", out_of_order=False)
+
+    @classmethod
+    def ooo_4way(cls) -> "ProcessorConfig":
+        """4-way out-of-order (21264 / R10000 class): the default."""
+        return cls(name="out-of-order 4-way")
+
+    def renamed(self, name: str) -> "ProcessorConfig":
+        return replace(self, name=name)

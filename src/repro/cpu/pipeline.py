@@ -1,0 +1,406 @@
+"""In-order and out-of-order processor timing models.
+
+Both models consume the dynamic trace produced by the functional
+machine and compute per-instruction dispatch/issue/complete cycles
+under the resource constraints of Table 2:
+
+* issue width (1 or 4), with in-order or out-of-order issue,
+* a 64-entry instruction window and 32-entry memory queue (OoO),
+* per-class functional-unit pools with the opcode latencies,
+* non-blocking loads and stores through :class:`~repro.mem.MemorySystem`,
+* a bimodal agree predictor + RAS with a fetch-redirect penalty,
+* at most one taken branch fetched per cycle and at most 16
+  unresolved speculated branches in flight.
+
+Retirement is in-order at the issue width in both models, with the
+paper's stall-attribution convention (see :mod:`repro.cpu.stats`).
+
+The models are deliberately recurrence-based — O(1) work per dynamic
+instruction — rather than cycle-by-cycle; DESIGN.md substitution 1
+discusses why this preserves the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..mem.system import A_LOAD, A_PREFETCH, A_STORE, LEVEL_L1, MemorySystem
+from ..sim.static_info import (
+    CATEGORY_NAMES,
+    K_BRANCH,
+    K_LOAD,
+    K_PREFETCH,
+    K_SIMPLE,
+    K_STORE,
+    K_UNCOND,
+    StaticProgramInfo,
+)
+from .branch import AgreePredictor, ReturnAddressStack
+from .config import ProcessorConfig
+from .stats import (
+    ExecutionStats,
+    RetireUnit,
+    SC_BRANCH,
+    SC_FU,
+    SC_L1HIT,
+    SC_L1MISS,
+)
+
+
+class _BaseModel:
+    """State and bookkeeping shared by both pipelines."""
+
+    def __init__(
+        self,
+        info: StaticProgramInfo,
+        config: ProcessorConfig,
+        memory: MemorySystem,
+    ) -> None:
+        self.info = info
+        self.config = config
+        self.memory = memory
+        self.predictor = AgreePredictor(config.predictor_size)
+        self.ras = ReturnAddressStack(config.ras_size)
+        self.retire = RetireUnit(config.issue_width)
+        self.reg_ready: List[int] = [0] * 70
+        self.fus: List[List[int]] = [
+            [0] * count for count in config.fu_counts()
+        ]
+        self.category_counts = [0, 0, 0, 0]
+        self.branches = 0
+        self.mispredicts = 0
+
+    def _finish(self, benchmark: str) -> ExecutionStats:
+        stats = ExecutionStats(
+            benchmark=benchmark,
+            config_name=self.config.name,
+            instructions=self.retire.retired,
+            cycles=self.retire.total_cycles,
+            busy=self.retire.busy_cycles,
+            fu_stall=self.retire.stalls[SC_FU],
+            branch_stall=self.retire.stalls[SC_BRANCH],
+            l1_hit_stall=self.retire.stalls[SC_L1HIT],
+            l1_miss_stall=self.retire.stalls[SC_L1MISS],
+            category_counts={
+                CATEGORY_NAMES[i]: self.category_counts[i] for i in range(4)
+            },
+            branches=self.branches,
+            mispredicts=self.mispredicts,
+            memory=self.memory.stats,
+        )
+        return stats
+
+
+class InOrderModel(_BaseModel):
+    """In-order issue (21164 / UltraSPARC-II class): issue stalls on the
+    first instruction whose operands or unit are not ready."""
+
+    def simulate(self, chunks: Iterable[list], benchmark: str = "") -> ExecutionStats:
+        info = self.info
+        kind = info.kind
+        fu_of = info.fu
+        latency = info.latency
+        pipelined = info.pipelined
+        dsts = info.dst
+        dst2s = info.dst2
+        srcs_of = info.srcs
+        cats = info.category
+        hints = info.hint_taken
+        is_call = info.is_call
+        is_ret = info.is_ret
+
+        config = self.config
+        width = config.issue_width
+        penalty = config.mispredict_penalty
+        memory = self.memory
+        predictor = self.predictor
+        ras = self.ras
+        retire = self.retire
+        reg_ready = self.reg_ready
+        fus = self.fus
+        cat_counts = self.category_counts
+        memq_size = config.mem_queue_size
+        memq = [0] * memq_size
+        mem_index = 0
+
+        fetch_ready = 0
+        redirect_until = -1
+        prev_issue = -1
+        issued_in_cycle = 0
+
+        for chunk in chunks:
+            for sidx, aux in chunk:
+                k = kind[sidx]
+                cat_counts[cats[sidx]] += 1
+
+                earliest = fetch_ready
+                if earliest < prev_issue:
+                    earliest = prev_issue
+                if earliest == prev_issue and issued_in_cycle >= width:
+                    earliest += 1
+
+                ready = earliest
+                for s in srcs_of[sidx]:
+                    r = reg_ready[s]
+                    if r > ready:
+                        ready = r
+
+                units = fus[fu_of[sidx]]
+                best = 0
+                for u in range(1, len(units)):
+                    if units[u] < units[best]:
+                        best = u
+                issue = ready if ready >= units[best] else units[best]
+
+                if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+                    slot = memq[mem_index % memq_size]
+                    if slot > issue:
+                        issue = slot
+
+                if issue > prev_issue:
+                    prev_issue = issue
+                    issued_in_cycle = 1
+                else:
+                    issued_in_cycle += 1
+
+                lat = latency[sidx]
+                units[best] = issue + (1 if pipelined[sidx] else lat)
+
+                cls = SC_FU
+                if k == K_SIMPLE:
+                    complete = issue + lat
+                    if issue == redirect_until:
+                        cls = SC_BRANCH
+                elif k == K_LOAD:
+                    done, level = memory.access(A_LOAD, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                    memq[mem_index % memq_size] = done
+                    mem_index += 1
+                elif k == K_STORE:
+                    done, _level = memory.access(A_STORE, aux, issue + 1)
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                    memq[mem_index % memq_size] = done
+                    mem_index += 1
+                elif k == K_PREFETCH:
+                    if aux:
+                        done, _level = memory.access(A_PREFETCH, aux, issue + 1)
+                        memq[mem_index % memq_size] = done
+                        mem_index += 1
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                elif k == K_BRANCH:
+                    complete = issue + 1
+                    self.branches += 1
+                    cls = SC_BRANCH
+                    if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
+                        self.mispredicts += 1
+                        redirect_until = complete + penalty
+                        fetch_ready = redirect_until
+                    elif aux == 1 and complete > fetch_ready:
+                        fetch_ready = complete
+                else:  # K_UNCOND: j / call / ret
+                    complete = issue + 1
+                    self.branches += 1
+                    cls = SC_BRANCH
+                    mispredicted = False
+                    if is_call[sidx]:
+                        ras.push(sidx + 1)
+                    elif is_ret[sidx]:
+                        # RAS supplies the target; only an empty stack
+                        # (after overflow) mispredicts.
+                        mispredicted = ras.pop()
+                    if is_ret[sidx] and mispredicted:
+                        self.mispredicts += 1
+                        redirect_until = complete + penalty
+                        fetch_ready = redirect_until
+                    elif complete > fetch_ready:
+                        fetch_ready = complete
+
+                dst = dsts[sidx]
+                if dst >= 0:
+                    reg_ready[dst] = complete
+                dst2 = dst2s[sidx]
+                if dst2 >= 0:
+                    reg_ready[dst2] = complete
+
+                retire_at = complete if k != K_STORE else issue + 1
+                retire.retire(retire_at, cls)
+
+        return self._finish(benchmark)
+
+
+class OutOfOrderModel(_BaseModel):
+    """Out-of-order issue (21264 / R10000 class): dataflow issue inside
+    a 64-entry window with in-order dispatch and retirement."""
+
+    def simulate(self, chunks: Iterable[list], benchmark: str = "") -> ExecutionStats:
+        info = self.info
+        kind = info.kind
+        fu_of = info.fu
+        latency = info.latency
+        pipelined = info.pipelined
+        dsts = info.dst
+        dst2s = info.dst2
+        srcs_of = info.srcs
+        cats = info.category
+        hints = info.hint_taken
+        is_call = info.is_call
+        is_ret = info.is_ret
+
+        config = self.config
+        width = config.issue_width
+        penalty = config.mispredict_penalty
+        window = config.window_size
+        memory = self.memory
+        predictor = self.predictor
+        ras = self.ras
+        retire = self.retire
+        reg_ready = self.reg_ready
+        fus = self.fus
+        cat_counts = self.category_counts
+
+        memq_size = config.mem_queue_size
+        memq = [0] * memq_size
+        mem_index = 0
+        retire_ring = [0] * window
+        index = 0
+        branch_ring = [0] * config.max_speculated_branches
+        branch_index = 0
+
+        fetch_ready = 0
+        redirect_until = -1
+        prev_dispatch = -1
+        dispatched_in_cycle = 0
+
+        for chunk in chunks:
+            for sidx, aux in chunk:
+                k = kind[sidx]
+                cat_counts[cats[sidx]] += 1
+
+                # ---- dispatch (in order, width per cycle, window/branch caps)
+                earliest = fetch_ready
+                if earliest < prev_dispatch:
+                    earliest = prev_dispatch
+                if earliest == prev_dispatch and dispatched_in_cycle >= width:
+                    earliest += 1
+                slot_free = retire_ring[index % window]
+                if slot_free > earliest:
+                    earliest = slot_free
+                if k == K_BRANCH or k == K_UNCOND:
+                    bslot = branch_ring[branch_index % len(branch_ring)]
+                    if bslot > earliest:
+                        earliest = bslot
+                dispatch = earliest
+                if dispatch > prev_dispatch:
+                    prev_dispatch = dispatch
+                    dispatched_in_cycle = 1
+                else:
+                    dispatched_in_cycle += 1
+
+                # ---- issue (dataflow)
+                ready = dispatch + 1
+                for s in srcs_of[sidx]:
+                    r = reg_ready[s]
+                    if r > ready:
+                        ready = r
+                units = fus[fu_of[sidx]]
+                best = 0
+                for u in range(1, len(units)):
+                    if units[u] < units[best]:
+                        best = u
+                issue = ready if ready >= units[best] else units[best]
+                if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+                    slot = memq[mem_index % memq_size]
+                    if slot > issue:
+                        issue = slot
+                lat = latency[sidx]
+                units[best] = issue + (1 if pipelined[sidx] else lat)
+
+                # ---- complete
+                cls = SC_FU
+                if k == K_SIMPLE:
+                    complete = issue + lat
+                    if dispatch == redirect_until:
+                        cls = SC_BRANCH
+                elif k == K_LOAD:
+                    done, level = memory.access(A_LOAD, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                    memq[mem_index % memq_size] = done
+                    mem_index += 1
+                elif k == K_STORE:
+                    done, _level = memory.access(A_STORE, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT
+                    memq[mem_index % memq_size] = done
+                    mem_index += 1
+                elif k == K_PREFETCH:
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                    if aux:
+                        done, _level = memory.access(A_PREFETCH, aux, issue + 1)
+                        memq[mem_index % memq_size] = done
+                        mem_index += 1
+                        complete = issue + 1
+                elif k == K_BRANCH:
+                    complete = issue + 1
+                    self.branches += 1
+                    cls = SC_BRANCH
+                    branch_ring[branch_index % len(branch_ring)] = complete
+                    branch_index += 1
+                    if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
+                        self.mispredicts += 1
+                        redirect_until = complete + penalty
+                        if redirect_until > fetch_ready:
+                            fetch_ready = redirect_until
+                    elif aux == 1 and dispatch + 1 > fetch_ready:
+                        # One taken branch fetched per cycle.
+                        fetch_ready = dispatch + 1
+                else:  # K_UNCOND
+                    complete = issue + 1
+                    self.branches += 1
+                    cls = SC_BRANCH
+                    branch_ring[branch_index % len(branch_ring)] = complete
+                    branch_index += 1
+                    if is_call[sidx]:
+                        ras.push(sidx + 1)
+                        if dispatch + 1 > fetch_ready:
+                            fetch_ready = dispatch + 1
+                    elif is_ret[sidx]:
+                        if ras.pop():
+                            self.mispredicts += 1
+                            redirect_until = complete + penalty
+                            if redirect_until > fetch_ready:
+                                fetch_ready = redirect_until
+                        elif dispatch + 1 > fetch_ready:
+                            fetch_ready = dispatch + 1
+                    elif dispatch + 1 > fetch_ready:
+                        fetch_ready = dispatch + 1
+
+                dst = dsts[sidx]
+                if dst >= 0:
+                    reg_ready[dst] = complete
+                dst2 = dst2s[sidx]
+                if dst2 >= 0:
+                    reg_ready[dst2] = complete
+
+                # Stores retire as soon as they are issued (write-buffer
+                # semantics); everything else waits for completion.
+                retire_at = issue + 1 if k == K_STORE else complete
+                retire_ring[index % window] = retire.retire(retire_at, cls)
+                index += 1
+
+        return self._finish(benchmark)
+
+
+def make_model(
+    info: StaticProgramInfo,
+    config: ProcessorConfig,
+    memory: MemorySystem,
+):
+    """Instantiate the right pipeline for ``config``."""
+    if config.out_of_order:
+        return OutOfOrderModel(info, config, memory)
+    return InOrderModel(info, config, memory)

@@ -1,0 +1,151 @@
+"""Execution statistics and the paper's stall-attribution convention.
+
+Section 2.3.4: "At every cycle, the fraction of instructions retired
+that cycle to the maximum retire rate is attributed to the busy time;
+the remaining fraction is attributed as stall time to the first
+instruction that could not be retired that cycle."
+
+:class:`RetireUnit` implements exactly that in a streaming, in-order
+retirement pass shared by both CPU models.  Stall classes mirror the
+components of Figure 1: FU stall, branch stall (shown folded into FU
+stall, as the figure has no separate branch component), L1-hit memory
+stall and L1-miss memory stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mem.system import MemoryStats
+
+# Stall classes.
+SC_FU = 0
+SC_BRANCH = 1
+SC_L1HIT = 2
+SC_L1MISS = 3
+NUM_STALL_CLASSES = 4
+STALL_NAMES = ("FU stall", "Branch stall", "L1 hit", "L1 miss")
+
+
+class RetireUnit:
+    """Streaming in-order retirement with per-class stall attribution."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.cycle = 0          # cycle currently being filled
+        self.slots = 0          # retire slots used in `cycle`
+        self.retired = 0
+        self.stalls = [0.0] * NUM_STALL_CLASSES
+
+    def retire(self, complete: int, stall_class: int) -> int:
+        """Retire the next instruction (program order); ``complete`` is
+        the earliest cycle it can retire.  Returns its retire cycle."""
+        width = self.width
+        self.retired += 1
+        if complete <= self.cycle:
+            if self.slots < width:
+                self.slots += 1
+                return self.cycle
+            self.cycle += 1
+            self.slots = 1
+            return self.cycle
+        # Idle gap: the remainder of the current cycle plus any whole
+        # cycles up to `complete` are stall time charged to this
+        # instruction's class.
+        gap = (self.width - self.slots) / width + (complete - self.cycle - 1)
+        self.stalls[stall_class] += gap
+        self.cycle = complete
+        self.slots = 1
+        return complete
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cycle + 1 if self.retired else 0
+
+    @property
+    def busy_cycles(self) -> float:
+        return self.retired / self.width
+
+
+@dataclass
+class ExecutionStats:
+    """Everything one simulation run produces."""
+
+    benchmark: str = ""
+    config_name: str = ""
+    instructions: int = 0
+    cycles: int = 0
+    busy: float = 0.0
+    fu_stall: float = 0.0
+    branch_stall: float = 0.0
+    l1_hit_stall: float = 0.0
+    l1_miss_stall: float = 0.0
+    #: dynamic retired-instruction counts per Figure 2 category
+    category_counts: Dict[str, int] = field(default_factory=dict)
+    branches: int = 0
+    mispredicts: int = 0
+    memory: Optional[MemoryStats] = None
+
+    # -- figure-1 components --------------------------------------------------
+
+    @property
+    def time_ns(self) -> float:
+        """Execution time (1 GHz: cycles == nanoseconds)."""
+        return float(self.cycles)
+
+    @property
+    def fu_component(self) -> float:
+        """FU-stall component as shown in Figure 1 (includes branch
+        bubbles, which the figure does not break out separately)."""
+        return self.fu_stall + self.branch_stall
+
+    @property
+    def memory_component(self) -> float:
+        return self.l1_hit_stall + self.l1_miss_stall
+
+    @property
+    def cpu_component(self) -> float:
+        return self.busy + self.fu_component
+
+    @property
+    def memory_bound(self) -> bool:
+        """Paper's criterion: majority of time in memory stalls."""
+        return self.memory_component > 0.5 * self.cycles
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+    def components(self) -> Dict[str, float]:
+        """The four stacked components of Figure 1, in cycles."""
+        return {
+            "Busy": self.busy,
+            "FU stall": self.fu_component,
+            "L1 hit": self.l1_hit_stall,
+            "L1 miss": self.l1_miss_stall,
+        }
+
+    def components_normalized(self, baseline_cycles: float) -> Dict[str, float]:
+        """Components as percentages of a baseline run (Figure 1 style)."""
+        scale = 100.0 / baseline_cycles if baseline_cycles else 0.0
+        return {k: v * scale for k, v in self.components().items()}
+
+    def speedup_over(self, other: "ExecutionStats") -> float:
+        return other.cycles / self.cycles if self.cycles else float("inf")
+
+    def check_consistency(self, tolerance: float = 1e-6) -> None:
+        """The components must add up to the cycle count (paper's
+        attribution is a complete partition of execution time)."""
+        total = (
+            self.busy
+            + self.fu_stall
+            + self.branch_stall
+            + self.l1_hit_stall
+            + self.l1_miss_stall
+        )
+        if abs(total - self.cycles) > max(1.0, tolerance * self.cycles):
+            raise AssertionError(
+                f"component sum {total} != cycles {self.cycles} "
+                f"({self.benchmark} on {self.config_name})"
+            )

@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .figures import (
+    ARCH_CONFIGS,
+    ablation,
+    branch_stats,
+    cache_sweep,
+    figure1,
+    figure2,
+    figure3,
+    mshr_study,
+)
+from .runner import RunCache, simulate_program
+
+__all__ = [
+    "ARCH_CONFIGS",
+    "ablation",
+    "branch_stats",
+    "cache_sweep",
+    "figure1",
+    "figure2",
+    "figure3",
+    "mshr_study",
+    "RunCache",
+    "simulate_program",
+]

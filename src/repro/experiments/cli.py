@@ -1,0 +1,112 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Examples::
+
+    python -m repro.experiments.cli figure1
+    python -m repro.experiments.cli figure3 --scale small
+    python -m repro.experiments.cli l2-sweep --benchmarks cjpeg djpeg
+    python -m repro.experiments.cli all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..cpu.config import ProcessorConfig
+from ..mem.config import MemoryConfig
+from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
+from ..workloads.suite import names
+from . import figures
+from .report import format_table, write_csv
+from .runner import RunCache
+
+SCALES = {"default": DEFAULT_SCALE, "small": SMALL_SCALE, "tiny": TINY_SCALE}
+
+EXPERIMENTS = {
+    "figure1": ("E1: normalized execution time (Figure 1)",
+                lambda cache, bm: figures.figure1(cache, bm)),
+    "figure2": ("E2: dynamic instruction mix (Figure 2)",
+                lambda cache, bm: figures.figure2(cache, bm)),
+    "figure3": ("E3: software prefetching (Figure 3)",
+                lambda cache, bm: figures.figure3(cache, bm)),
+    "l2-sweep": ("E4: L2 cache-size sweep (Section 4.1)",
+                 lambda cache, bm: figures.cache_sweep(cache, "l2", bm)),
+    "l1-sweep": ("E5: L1 cache-size sweep (Section 4.1)",
+                 lambda cache, bm: figures.cache_sweep(cache, "l1", bm)),
+    "branch-stats": ("E7: branch misprediction rates (Section 3.2.2)",
+                     lambda cache, bm: figures.branch_stats(cache, bm)),
+    "mshr": ("E8: MSHR occupancy / load-miss overlap (Section 3.1)",
+             lambda cache, bm: figures.mshr_study(cache, bm)),
+}
+
+
+def _print_params() -> None:
+    cpu = ProcessorConfig.ooo_4way()
+    mem = MemoryConfig()
+    print("Table 2 (processor):")
+    for field, value in vars(cpu).items():
+        print(f"  {field:24s} {value}")
+    print("Table 3 (memory):")
+    for field, value in vars(mem).items():
+        print(f"  {field:24s} {value}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all"],
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="workload/cache scale (DESIGN.md substitution 3)",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help=f"subset of: {', '.join(names())}",
+    )
+    parser.add_argument("--out", default="results", help="CSV output directory")
+    parser.add_argument(
+        "--no-validate", action="store_true",
+        help="skip functional output validation (faster re-runs)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "params":
+        _print_params()
+        return 0
+
+    scale = SCALES[args.scale]
+    cache = RunCache(scale=scale, validate=not args.no_validate)
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else None
+    todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "ablation":
+        todo = ["ablation"]
+
+    for key in todo:
+        start = time.time()
+        if key == "ablation":
+            title = "E10: footnote-3 source-tuning ablation"
+            headers, rows, _ = figures.ablation(None, scale)
+        else:
+            title, fn = EXPERIMENTS[key]
+            headers, rows, _ = fn(cache, benchmarks)
+        print()
+        print(format_table(headers, rows, title=f"{title} [scale={args.scale}]"))
+        csv_path = write_csv(
+            Path(args.out) / f"{key.replace('-', '_')}_{args.scale}.csv",
+            headers, rows,
+        )
+        print(f"[{time.time() - start:6.1f}s] wrote {csv_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+"""Experiment drivers: one function per paper artifact.
+
+Each driver returns ``(headers, rows, text)`` so the CLI can print the
+table and write a CSV, and the pytest benchmarks can assert on the
+numbers.  See DESIGN.md's per-experiment index (E1..E10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..cpu.config import ProcessorConfig
+from ..mem.config import MemoryConfig
+from ..workloads.base import Variant
+from ..workloads.params import WorkloadScale
+from ..workloads.suite import KERNEL_NAMES, PREFETCH_NAMES, names
+from .runner import RunCache
+
+#: Figure 1's three architecture variants, in paper order.
+ARCH_CONFIGS = (
+    ProcessorConfig.inorder_1way(),
+    ProcessorConfig.inorder_4way(),
+    ProcessorConfig.ooo_4way(),
+)
+
+
+def figure1(
+    cache: RunCache,
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E1 — normalized execution time, six bars per benchmark with the
+    Busy / FU-stall / L1-hit / L1-miss breakdown."""
+    mem = cache.scale.memory_config()
+    headers = [
+        "benchmark", "variant", "config", "norm time",
+        "busy", "fu stall", "l1 hit", "l1 miss", "cycles",
+    ]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or names():
+        base_cycles = None
+        for variant in (Variant.SCALAR, Variant.VIS):
+            for config in ARCH_CONFIGS:
+                stats = cache.run(name, variant, config, mem)
+                if base_cycles is None:
+                    base_cycles = stats.cycles
+                comp = stats.components_normalized(base_cycles)
+                rows.append([
+                    name,
+                    "VIS" if variant is Variant.VIS else "base",
+                    config.name,
+                    f"{100 * stats.cycles / base_cycles:.1f}",
+                    f"{comp['Busy']:.1f}",
+                    f"{comp['FU stall']:.1f}",
+                    f"{comp['L1 hit']:.1f}",
+                    f"{comp['L1 miss']:.1f}",
+                    stats.cycles,
+                ])
+                raw[(name, variant, config.name)] = stats
+    return headers, rows, raw
+
+
+def figure2(
+    cache: RunCache,
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E2 — dynamic retired-instruction mix (FU / Branch / Memory /
+    VIS), base vs. VIS on the 4-way out-of-order processor."""
+    mem = cache.scale.memory_config()
+    config = ProcessorConfig.ooo_4way()
+    headers = [
+        "benchmark", "variant", "total %", "FU", "Branch", "Memory", "VIS",
+        "instructions",
+    ]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or names():
+        base_total = None
+        for variant in (Variant.SCALAR, Variant.VIS):
+            stats = cache.run(name, variant, config, mem)
+            counts = stats.category_counts
+            total = stats.instructions
+            if base_total is None:
+                base_total = total
+            rows.append([
+                name,
+                "VIS" if variant is Variant.VIS else "base",
+                f"{100 * total / base_total:.1f}",
+                counts["FU"],
+                counts["Branch"],
+                counts["Memory"],
+                counts["VIS"],
+                total,
+            ])
+            raw[(name, variant)] = stats
+    return headers, rows, raw
+
+
+def figure3(
+    cache: RunCache,
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E3 — software prefetching: VIS vs VIS+PF on the 4-way
+    out-of-order processor (the 9 benchmarks with memory stall time)."""
+    mem = cache.scale.memory_config()
+    config = ProcessorConfig.ooo_4way()
+    headers = [
+        "benchmark", "variant", "norm time", "busy", "fu stall",
+        "l1 hit", "l1 miss", "pf issued", "pf late",
+    ]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or PREFETCH_NAMES:
+        base = cache.run(name, Variant.VIS, config, mem)
+        pf = cache.run(name, Variant.VIS_PREFETCH, config, mem)
+        for label, stats in (("VIS", base), ("+PF", pf)):
+            comp = stats.components_normalized(base.cycles)
+            rows.append([
+                name, label,
+                f"{100 * stats.cycles / base.cycles:.1f}",
+                f"{comp['Busy']:.1f}",
+                f"{comp['FU stall']:.1f}",
+                f"{comp['L1 hit']:.1f}",
+                f"{comp['L1 miss']:.1f}",
+                stats.memory.prefetches,
+                stats.memory.prefetch_late,
+            ])
+        raw[name] = (base, pf)
+    return headers, rows, raw
+
+
+def cache_sweep(
+    cache: RunCache,
+    level: str = "l2",
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E4/E5 — L2 (or L1) capacity sweep on the VIS + out-of-order
+    system.  Capacities are the scaled equivalents of the paper's
+    128K..2M (L2) and 1K..64K (L1) ranges."""
+    config = ProcessorConfig.ooo_4way()
+    base_mem = cache.scale.memory_config()
+    if level == "l2":
+        sizes = [base_mem.l2_size * (1 << k) for k in range(5)]
+        make = base_mem.with_l2_size
+        paper_sizes = [128 << 10 << k for k in range(5)]
+    else:
+        raw_sizes = [
+            max(base_mem.line_size * 4, base_mem.l1_size >> k)
+            for k in reversed(range(4))
+        ]
+        sizes = sorted(set(raw_sizes))
+        make = base_mem.with_l1_size
+        paper_sizes = [64 << 10 >> k for k in reversed(range(len(sizes)))]
+    headers = ["benchmark"] + [
+        f"{size}B (~{paper // 1024}K)" for size, paper in zip(sizes, paper_sizes)
+    ] + ["speedup largest/smallest"]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or names():
+        cycles = []
+        for size in sizes:
+            stats = cache.run(name, Variant.VIS, config, make(size))
+            cycles.append(stats.cycles)
+            raw[(name, size)] = stats
+        rows.append(
+            [name]
+            + [f"{100 * c / cycles[0]:.1f}" for c in cycles]
+            + [f"{cycles[0] / cycles[-1]:.2f}x"]
+        )
+    return headers, rows, raw
+
+
+def branch_stats(
+    cache: RunCache,
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E7 — branch misprediction rates, base vs VIS (Section 3.2.2:
+    conv 10%->0%, thresh 6%->0%, mpeg-enc 27%->10%)."""
+    mem = cache.scale.memory_config()
+    config = ProcessorConfig.ooo_4way()
+    headers = ["benchmark", "base mispredict", "VIS mispredict",
+               "base branches", "VIS branches"]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or names():
+        base = cache.run(name, Variant.SCALAR, config, mem)
+        vis = cache.run(name, Variant.VIS, config, mem)
+        rows.append([
+            name,
+            f"{base.mispredict_rate:.1%}",
+            f"{vis.mispredict_rate:.1%}",
+            base.branches,
+            vis.branches,
+        ])
+        raw[name] = (base, vis)
+    return headers, rows, raw
+
+
+def mshr_study(
+    cache: RunCache,
+    benchmarks: Tuple[str, ...] = None,
+) -> Tuple[List[str], List[List], Dict]:
+    """E8 — load-miss overlap and MSHR contention (Section 3.1: 2-3
+    overlapped misses typical; write backup causes contention)."""
+    mem = cache.scale.memory_config()
+    config = ProcessorConfig.ooo_4way()
+    headers = [
+        "benchmark", "variant", "max overlap", "mean overlap",
+        "mshr-full stalls", "combine-limit stalls", "l1 miss rate",
+    ]
+    rows: List[List] = []
+    raw: Dict = {}
+    for name in benchmarks or names():
+        for variant in (Variant.SCALAR, Variant.VIS, Variant.VIS_PREFETCH):
+            stats = cache.run(name, variant, config, mem)
+            overlap = stats.memory.load_miss_overlap
+            total = sum(overlap.values()) or 1
+            mean = sum(k * v for k, v in overlap.items()) / total
+            rows.append([
+                name, variant.value,
+                stats.memory.max_load_miss_overlap,
+                f"{mean:.2f}",
+                stats.memory.mshr_full_stalls,
+                stats.memory.combine_limit_stalls,
+                f"{stats.memory.l1_miss_rate:.3f}",
+            ])
+            raw[(name, variant)] = stats
+    return headers, rows, raw
+
+
+def ablation(
+    cache_factory,
+    scale: WorkloadScale,
+) -> Tuple[List[str], List[List], Dict]:
+    """E10 — footnote 3: effect of stream skewing + unrolling on the
+    scalar kernels (paper: 1.2x-6.7x from these source tweaks)."""
+    from ..workloads.suite import get
+
+    mem = scale.memory_config()
+    config = ProcessorConfig.ooo_4way()
+    headers = ["kernel", "tuned cycles", "naive cycles", "benefit"]
+    rows: List[List] = []
+    raw: Dict = {}
+    from .runner import simulate_program
+
+    for name in KERNEL_NAMES:
+        workload = get(name)
+        tuned = workload.build(Variant.SCALAR, scale, skew=True, unroll=2)
+        naive = workload.build(Variant.SCALAR, scale, skew=False, unroll=1)
+        tuned_stats, _ = simulate_program(tuned.program, config, mem, name)
+        naive_stats, _ = simulate_program(
+            naive.program, config, scale.memory_config(), name
+        )
+        rows.append([
+            name, tuned_stats.cycles, naive_stats.cycles,
+            f"{naive_stats.cycles / tuned_stats.cycles:.2f}x",
+        ])
+        raw[name] = (tuned_stats, naive_stats)
+    return headers, rows, raw

@@ -1,0 +1,53 @@
+"""Plain-text tables + CSV output for the experiment drivers."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Fixed-width table (first column left-aligned)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt(row):
+        first = row[0].ljust(widths[0])
+        rest = [c.rjust(w) for c, w in zip(row[1:], widths[1:])]
+        return "  ".join([first] + rest)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def write_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def stacked_bar(components: Dict[str, float], width: int = 40) -> str:
+    """ASCII rendition of one Figure-1 stacked bar (percent units)."""
+    glyphs = {"Busy": "#", "FU stall": "=", "L1 hit": "+", "L1 miss": "."}
+    total = sum(components.values())
+    out = []
+    for name, value in components.items():
+        out.append(glyphs.get(name, "?") * max(0, round(value * width / 100)))
+    bar = "".join(out)
+    return f"|{bar}| {total:5.1f}"

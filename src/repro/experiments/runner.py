@@ -1,0 +1,71 @@
+"""Glue: build a benchmark, run it functionally, feed the trace to a
+timing model, validate the output, return :class:`ExecutionStats`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..cpu.config import ProcessorConfig
+from ..cpu.pipeline import make_model
+from ..cpu.stats import ExecutionStats
+from ..mem.config import MemoryConfig
+from ..mem.system import MemorySystem
+from ..sim.machine import Machine
+from ..sim.static_info import StaticProgramInfo
+from ..workloads.base import BuiltWorkload, Variant
+from ..workloads.params import DEFAULT_SCALE, WorkloadScale
+from ..workloads.suite import get
+
+
+def simulate_program(
+    program,
+    cpu_config: ProcessorConfig,
+    mem_config: MemoryConfig,
+    benchmark: str = "",
+    machine: Optional[Machine] = None,
+) -> Tuple[ExecutionStats, Machine]:
+    """Run one program through the functional machine + timing model."""
+    machine = machine or Machine(program)
+    machine.reset()
+    info = StaticProgramInfo(program)
+    memory = MemorySystem(mem_config)
+    model = make_model(info, cpu_config, memory)
+    stats = model.simulate(machine.run(), benchmark or program.name)
+    stats.check_consistency()
+    return stats, machine
+
+
+@dataclass
+class RunCache:
+    """Builds (program construction is expensive for the codecs) and
+    functional validations are cached per (benchmark, variant, scale)."""
+
+    scale: WorkloadScale = DEFAULT_SCALE
+    validate: bool = True
+    _built: Dict[Tuple[str, Variant], BuiltWorkload] = field(default_factory=dict)
+    _validated: Dict[Tuple[str, Variant], bool] = field(default_factory=dict)
+
+    def built(self, name: str, variant: Variant) -> BuiltWorkload:
+        key = (name, variant)
+        if key not in self._built:
+            self._built[key] = get(name).build(variant, self.scale)
+        return self._built[key]
+
+    def run(
+        self,
+        name: str,
+        variant: Variant,
+        cpu_config: ProcessorConfig,
+        mem_config: MemoryConfig,
+    ) -> ExecutionStats:
+        built = self.built(name, variant)
+        stats, machine = simulate_program(
+            built.program, cpu_config, mem_config,
+            benchmark=f"{name}[{variant.value}]",
+        )
+        key = (name, variant)
+        if self.validate and not self._validated.get(key):
+            built.validate(machine)
+            self._validated[key] = True
+        return stats

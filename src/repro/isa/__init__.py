@@ -1,0 +1,53 @@
+"""SVIS: a RISC ISA with a VIS-like media extension.
+
+The ISA package is the ground truth for instruction semantics and
+classification.  It is consumed by the assembler (:mod:`repro.asm`),
+the functional machine (:mod:`repro.sim`) and the timing models
+(:mod:`repro.cpu`).
+"""
+
+from .instruction import Instruction
+from .opcodes import OPCODES, Category, OpClass, OpSpec, VisGroup, spec, vis_opcodes
+from .registers import (
+    AT,
+    GSR,
+    LINK,
+    NUM_IREGS,
+    NUM_FREGS,
+    NUM_REGS,
+    ZERO,
+    freg,
+    gsr_align,
+    gsr_scale,
+    ireg,
+    is_freg,
+    is_ireg,
+    pack_gsr,
+    reg_name,
+)
+
+__all__ = [
+    "Instruction",
+    "OPCODES",
+    "Category",
+    "OpClass",
+    "OpSpec",
+    "VisGroup",
+    "spec",
+    "vis_opcodes",
+    "AT",
+    "GSR",
+    "LINK",
+    "NUM_IREGS",
+    "NUM_FREGS",
+    "NUM_REGS",
+    "ZERO",
+    "freg",
+    "gsr_align",
+    "gsr_scale",
+    "ireg",
+    "is_freg",
+    "is_ireg",
+    "pack_gsr",
+    "reg_name",
+]

@@ -1,0 +1,87 @@
+"""Fixed-width integer helpers for the SVIS ISA.
+
+All architectural registers are modelled as unsigned 64-bit Python ints.
+Packed (SIMD) values use **little-endian lane order**: lane 0 occupies the
+least-significant bits, matching the byte at the lowest memory address
+under the machine's little-endian loads.  (Real VIS/SPARC is big-endian;
+the semantics here are self-consistent end to end and validated against
+the numpy references, which is what the reproduction requires.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def u64(value: int) -> int:
+    """Wrap an arbitrary Python int to unsigned 64-bit."""
+    return value & MASK64
+
+
+def s64(value: int) -> int:
+    """Interpret the low 64 bits of ``value`` as a signed 64-bit int."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def s32(value: int) -> int:
+    value &= MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def s16(value: int) -> int:
+    value &= MASK16
+    return value - (1 << 16) if value >= (1 << 15) else value
+
+
+def s8(value: int) -> int:
+    value &= MASK8
+    return value - (1 << 8) if value >= (1 << 7) else value
+
+
+def split16(value: int) -> List[int]:
+    """Split a 64-bit value into four unsigned 16-bit lanes (lane 0 = LSB)."""
+    return [(value >> (16 * i)) & MASK16 for i in range(4)]
+
+
+def join16(lanes: List[int]) -> int:
+    """Join four 16-bit lanes (lane 0 = LSB) into a 64-bit value."""
+    out = 0
+    for i, lane in enumerate(lanes):
+        out |= (lane & MASK16) << (16 * i)
+    return out
+
+
+def split32(value: int) -> List[int]:
+    """Split a 64-bit value into two unsigned 32-bit lanes (lane 0 = LSB)."""
+    return [value & MASK32, (value >> 32) & MASK32]
+
+
+def join32(lanes: List[int]) -> int:
+    return (lanes[0] & MASK32) | ((lanes[1] & MASK32) << 32)
+
+
+def split8(value: int) -> List[int]:
+    """Split a 64-bit value into eight unsigned bytes (lane 0 = LSB)."""
+    return [(value >> (8 * i)) & MASK8 for i in range(8)]
+
+
+def join8(lanes: List[int]) -> int:
+    out = 0
+    for i, lane in enumerate(lanes):
+        out |= (lane & MASK8) << (8 * i)
+    return out
+
+
+def clamp(value: int, lo: int, hi: int) -> int:
+    """Saturate ``value`` into [lo, hi]."""
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value

@@ -1,0 +1,55 @@
+"""The static instruction record produced by the assembler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import OpSpec, spec
+from .registers import reg_name
+
+
+@dataclass
+class Instruction:
+    """One static SVIS instruction.
+
+    ``dst``/``srcs`` use the unified register numbering of
+    :mod:`repro.isa.registers`; ``-1`` means "no destination".  Memory
+    opcodes use ``srcs[0]`` as the base address register and ``imm`` as
+    the byte offset.  Branches compare ``srcs[0]`` with ``srcs[1]`` and
+    carry a resolved static ``target`` index plus a static prediction
+    hint (the compiler-set bias bit consumed by the agree predictor).
+    """
+
+    op: str
+    dst: int = -1
+    dst2: int = -1  # second destination (e.g. alignaddr also writes the GSR)
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[int] = None
+    target: int = -1
+    hint_taken: bool = True
+    comment: str = ""
+
+    _spec: OpSpec = field(default=None, repr=False, compare=False)
+
+    @property
+    def spec(self) -> OpSpec:
+        if self._spec is None:
+            self._spec = spec(self.op)
+        return self._spec
+
+    def disassemble(self, index: int = -1) -> str:
+        """Render the instruction as assembly-like text."""
+        parts = [self.op]
+        operands = []
+        if self.dst >= 0:
+            operands.append(reg_name(self.dst))
+        operands.extend(reg_name(s) for s in self.srcs)
+        if self.imm is not None:
+            operands.append(str(self.imm))
+        if self.target >= 0:
+            operands.append(f"@{self.target}")
+        text = f"{parts[0]} " + ", ".join(operands)
+        prefix = f"{index:6d}: " if index >= 0 else ""
+        suffix = f"  ; {self.comment}" if self.comment else ""
+        return prefix + text.strip() + suffix

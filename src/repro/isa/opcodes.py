@@ -1,0 +1,212 @@
+"""Opcode registry for the SVIS ISA.
+
+Each opcode carries the metadata the timing models need: which
+functional-unit class executes it (Table 2), its latency, whether it is
+pipelined, and which dynamic-instruction category it counts towards in
+the paper's Figure 2 (FU / Branch / Memory / VIS).
+
+The VIS subset mirrors Table 4's classification:
+
+* packed arithmetic and logical operations,
+* subword rearrangement and realignment,
+* partitioned compares and edge operations,
+* memory-related operations (partial stores, short loads/stores),
+* special-purpose operations (pdist, array8, GSR access).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode (drives issue + latency)."""
+
+    IALU = "ialu"
+    IMUL = "imul"
+    IDIV = "idiv"
+    FALU = "falu"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RET = "ret"
+    VIS_ADD = "vis_add"  # executes on the VIS adder
+    VIS_MUL = "vis_mul"  # executes on the VIS multiplier
+
+
+class Category(enum.Enum):
+    """Dynamic-instruction category used by Figure 2."""
+
+    FU = "FU"
+    BRANCH = "Branch"
+    MEMORY = "Memory"
+    VIS = "VIS"
+
+
+#: Table 4 grouping, used for documentation and the ISA-inventory tests.
+class VisGroup(enum.Enum):
+    ARITHMETIC = "packed arithmetic and logical"
+    REARRANGE = "subword rearrangement and realignment"
+    COMPARE = "partitioned compares and edge operations"
+    MEMORY = "memory-related operations"
+    SPECIAL = "special-purpose operations"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    name: str
+    opclass: OpClass
+    category: Category
+    latency: int = 1
+    pipelined: bool = True
+    vis_group: VisGroup = None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in (OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH)
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (
+            OpClass.BRANCH,
+            OpClass.JUMP,
+            OpClass.CALL,
+            OpClass.RET,
+        )
+
+    @property
+    def is_vis(self) -> bool:
+        return self.opclass in (OpClass.VIS_ADD, OpClass.VIS_MUL)
+
+
+OPCODES: Dict[str, OpSpec] = {}
+
+
+def _op(
+    name: str,
+    opclass: OpClass,
+    category: Category,
+    latency: int = 1,
+    pipelined: bool = True,
+    vis_group: VisGroup = None,
+) -> None:
+    OPCODES[name] = OpSpec(name, opclass, category, latency, pipelined, vis_group)
+
+
+# -- Integer ALU (latency 1, Table 2) ---------------------------------------
+for _name in (
+    "add",
+    "sub",
+    "and_",
+    "or_",
+    "xor",
+    "andn",
+    "sll",
+    "srl",
+    "sra",
+    "slt",
+    "sltu",
+    "seq",
+    "li",
+    "mov",
+    "nop",
+):
+    _op(_name, OpClass.IALU, Category.FU, latency=1)
+
+_op("halt", OpClass.IALU, Category.FU, latency=1)
+
+_op("mul", OpClass.IMUL, Category.FU, latency=7)
+_op("div", OpClass.IDIV, Category.FU, latency=12, pipelined=False)
+_op("rem", OpClass.IDIV, Category.FU, latency=12, pipelined=False)
+
+# -- Floating point (default 4; moves/converts 4; divide 12 non-pipelined) --
+for _name in ("fadd", "fsub"):
+    _op(_name, OpClass.FALU, Category.FU, latency=4)
+for _name in ("fmovd", "fitod", "fdtoi"):
+    _op(_name, OpClass.FALU, Category.FU, latency=4)
+_op("fmuld", OpClass.FMUL, Category.FU, latency=4)
+_op("fdivd", OpClass.FDIV, Category.FU, latency=12, pipelined=False)
+
+# -- Loads (latency comes from the cache model) ------------------------------
+for _name in ("ldb", "ldbs", "ldh", "ldhs", "ldw", "ldws", "ldx", "ldf", "ldfw"):
+    _op(_name, OpClass.LOAD, Category.MEMORY)
+# VIS short loads (8/16-bit into the media register file): Table 4 memory ops.
+_op("ldfb", OpClass.LOAD, Category.MEMORY, vis_group=VisGroup.MEMORY)
+_op("ldfh", OpClass.LOAD, Category.MEMORY, vis_group=VisGroup.MEMORY)
+
+# -- Stores -------------------------------------------------------------------
+for _name in ("stb", "sth", "stw", "stx", "stf", "stfw"):
+    _op(_name, OpClass.STORE, Category.MEMORY)
+_op("stfb", OpClass.STORE, Category.MEMORY, vis_group=VisGroup.MEMORY)
+_op("stfh", OpClass.STORE, Category.MEMORY, vis_group=VisGroup.MEMORY)
+# Partial store under an 8-bit byte mask.
+_op("pst", OpClass.STORE, Category.MEMORY, vis_group=VisGroup.MEMORY)
+
+# -- Software prefetch (non-binding, into L1) ---------------------------------
+_op("pf", OpClass.PREFETCH, Category.MEMORY)
+
+# -- Control flow -------------------------------------------------------------
+for _name in ("beq", "bne", "blt", "ble", "bgt", "bge"):
+    _op(_name, OpClass.BRANCH, Category.BRANCH)
+_op("j", OpClass.JUMP, Category.BRANCH)
+_op("call", OpClass.CALL, Category.BRANCH)
+_op("ret", OpClass.RET, Category.BRANCH)
+
+# -- VIS packed arithmetic and logical (VIS adder, latency 1) ------------------
+for _name in ("fpadd16", "fpadd32", "fpsub16", "fpsub32"):
+    _op(_name, OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.ARITHMETIC)
+for _name in ("fand", "for_", "fxor", "fandnot", "fnot", "fzero", "fone", "fsrc"):
+    _op(_name, OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.ARITHMETIC)
+
+# -- VIS multiplies + pdist (VIS multiplier, latency 3, Table 2) ---------------
+for _name in ("fmul8x16", "fmul8x16au", "fmul8x16al", "fmul8sux16", "fmul8ulx16"):
+    _op(_name, OpClass.VIS_MUL, Category.VIS, latency=3, vis_group=VisGroup.ARITHMETIC)
+_op("pdist", OpClass.VIS_MUL, Category.VIS, latency=3, vis_group=VisGroup.SPECIAL)
+
+# -- Subword rearrangement and realignment (VIS adder, latency 1) --------------
+for _name in ("fpack16", "fpack32", "fpackfix", "fexpand", "fpmerge", "faligndata"):
+    _op(_name, OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.REARRANGE)
+_op("alignaddr", OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.REARRANGE)
+
+# -- Partitioned compares and edge operations ----------------------------------
+for _name in (
+    "fcmpgt16",
+    "fcmple16",
+    "fcmpeq16",
+    "fcmpne16",
+    "fcmpgt32",
+    "fcmpeq32",
+):
+    _op(_name, OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.COMPARE)
+for _name in ("edge8", "edge16", "edge32"):
+    _op(_name, OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.COMPARE)
+
+# -- Special purpose ------------------------------------------------------------
+_op("array8", OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.SPECIAL)
+_op("rdgsr", OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.SPECIAL)
+_op("wrgsr", OpClass.VIS_ADD, Category.VIS, latency=1, vis_group=VisGroup.SPECIAL)
+
+
+def spec(name: str) -> OpSpec:
+    """Look up the :class:`OpSpec` for a mnemonic, raising ``KeyError``
+    with a helpful message for typos."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode {name!r}") from None
+
+
+def vis_opcodes() -> Tuple[str, ...]:
+    """All mnemonics that belong to the media extension (Table 4)."""
+    return tuple(
+        name for name, op in OPCODES.items() if op.vis_group is not None
+    )

@@ -1,0 +1,78 @@
+"""Register-file layout of the SVIS machine.
+
+A single unified numbering is used throughout the simulator so that the
+timing models can keep one scoreboard array:
+
+* ``0 .. 31``   — integer registers ``r0 .. r31`` (``r0`` is wired to 0)
+* ``32 .. 63``  — 64-bit media/FP registers ``f0 .. f31``
+* ``64``        — the Graphics Status Register (GSR)
+
+Software conventions (enforced by the assembler's register allocator):
+``r0`` zero, ``r1`` assembler temporary, ``r30`` stack, ``r31`` link.
+"""
+
+from __future__ import annotations
+
+NUM_IREGS = 32
+NUM_FREGS = 32
+
+IREG_BASE = 0
+FREG_BASE = NUM_IREGS
+GSR = FREG_BASE + NUM_FREGS
+NUM_REGS = GSR + 1
+
+ZERO = 0      # r0: hardwired zero
+AT = 1        # r1: assembler temporary
+SP = 30       # r30: stack pointer
+LINK = 31     # r31: link register
+
+# GSR bit fields: low 3 bits = alignment offset, bits 3..6 = pack scale.
+GSR_ALIGN_MASK = 0x7
+GSR_SCALE_SHIFT = 3
+GSR_SCALE_MASK = 0xF
+
+
+def ireg(index: int) -> int:
+    """Unified register number of integer register ``r<index>``."""
+    if not 0 <= index < NUM_IREGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return IREG_BASE + index
+
+
+def freg(index: int) -> int:
+    """Unified register number of media register ``f<index>``."""
+    if not 0 <= index < NUM_FREGS:
+        raise ValueError(f"media register index out of range: {index}")
+    return FREG_BASE + index
+
+
+def is_ireg(reg: int) -> bool:
+    return IREG_BASE <= reg < IREG_BASE + NUM_IREGS
+
+
+def is_freg(reg: int) -> bool:
+    return FREG_BASE <= reg < FREG_BASE + NUM_FREGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name for disassembly."""
+    if is_ireg(reg):
+        return f"r{reg - IREG_BASE}"
+    if is_freg(reg):
+        return f"f{reg - FREG_BASE}"
+    if reg == GSR:
+        return "gsr"
+    return f"?{reg}"
+
+
+def gsr_align(gsr_value: int) -> int:
+    return gsr_value & GSR_ALIGN_MASK
+
+
+def gsr_scale(gsr_value: int) -> int:
+    return (gsr_value >> GSR_SCALE_SHIFT) & GSR_SCALE_MASK
+
+
+def pack_gsr(align: int = 0, scale: int = 0) -> int:
+    """Build a GSR value from an alignment offset and pack scale."""
+    return (align & GSR_ALIGN_MASK) | ((scale & GSR_SCALE_MASK) << GSR_SCALE_SHIFT)

@@ -1,0 +1,362 @@
+"""Semantics of the VIS-like media extension ("SVIS") packed operations.
+
+This module encodes the functional behaviour of every media instruction
+class in Table 4 of the paper:
+
+* packed arithmetic and logical operations,
+* subword rearrangement and realignment (pack / expand / merge / align),
+* partitioned compares and edge-mask generation,
+* memory-related helpers (partial-store masks; the loads/stores
+  themselves live in the functional machine),
+* special-purpose operations (``pdist``, ``array8``, GSR access).
+
+All functions are pure: 64-bit unsigned ints in, 64-bit unsigned ints
+(or small masks) out.  Lane 0 is the least-significant lane (see
+:mod:`repro.isa.bits`).  The same functions back both the functional
+simulator and the hypothesis property tests that compare them against
+numpy reference math.
+"""
+
+from __future__ import annotations
+
+from .bits import (
+    MASK8,
+    MASK16,
+    MASK32,
+    MASK64,
+    clamp,
+    join8,
+    join16,
+    join32,
+    s16,
+    s32,
+    s8,
+    split8,
+    split16,
+    split32,
+)
+
+# ---------------------------------------------------------------------------
+# Packed arithmetic (modular / wrap-around, like real VIS).
+# ---------------------------------------------------------------------------
+
+
+def fpadd16(a: int, b: int) -> int:
+    """Four partitioned 16-bit additions (wrap-around)."""
+    return join16([x + y for x, y in zip(split16(a), split16(b))])
+
+
+def fpsub16(a: int, b: int) -> int:
+    """Four partitioned 16-bit subtractions (wrap-around)."""
+    return join16([x - y for x, y in zip(split16(a), split16(b))])
+
+
+def fpadd32(a: int, b: int) -> int:
+    """Two partitioned 32-bit additions (wrap-around)."""
+    return join32([x + y for x, y in zip(split32(a), split32(b))])
+
+
+def fpsub32(a: int, b: int) -> int:
+    """Two partitioned 32-bit subtractions (wrap-around)."""
+    return join32([x - y for x, y in zip(split32(a), split32(b))])
+
+
+# ---------------------------------------------------------------------------
+# Packed multiplies.  As in real VIS there is no direct 16x16 multiply;
+# it is emulated with fmul8sux16 + fmul8ulx16 + fpadd16 (Section 2.2.2).
+# ---------------------------------------------------------------------------
+
+
+def fmul8x16(a: int, b: int) -> int:
+    """Multiply four unsigned bytes (low 32 bits of ``a``) by four signed
+    16-bit values in ``b``; each rounded product is scaled down by 256.
+
+    This is the workhorse for 8-bit pixel times 16-bit coefficient math
+    (blend, scaling, convolution).
+    """
+    bytes_a = [(a >> (8 * i)) & MASK8 for i in range(4)]
+    lanes_b = split16(b)
+    out = []
+    for x, y in zip(bytes_a, lanes_b):
+        product = x * s16(y)
+        out.append((product + 0x80) >> 8)
+    return join16(out)
+
+
+def fmul8x16au(a: int, b: int) -> int:
+    """Multiply four unsigned bytes of ``a`` by the *upper* 16 bits of the
+    low 32-bit word of ``b`` (a single scalar coefficient)."""
+    coeff = s16((b >> 16) & MASK16)
+    bytes_a = [(a >> (8 * i)) & MASK8 for i in range(4)]
+    return join16([((x * coeff) + 0x80) >> 8 for x in bytes_a])
+
+
+def fmul8x16al(a: int, b: int) -> int:
+    """Like :func:`fmul8x16au` but uses the *lower* 16 bits of ``b``."""
+    coeff = s16(b & MASK16)
+    bytes_a = [(a >> (8 * i)) & MASK8 for i in range(4)]
+    return join16([((x * coeff) + 0x80) >> 8 for x in bytes_a])
+
+
+def fmul8sux16(a: int, b: int) -> int:
+    """Partial product for the emulated 16x16 multiply: multiplies the
+    *signed upper byte* of each 16-bit lane of ``a`` by the corresponding
+    signed 16-bit lane of ``b`` (the byte keeps its weight of 256, so no
+    shift is applied)."""
+    out = []
+    for x, y in zip(split16(a), split16(b)):
+        out.append(s8(x >> 8) * s16(y))
+    return join16(out)
+
+
+def fmul8ulx16(a: int, b: int) -> int:
+    """Partial product for the emulated 16x16 multiply: multiplies the
+    *unsigned lower byte* of each 16-bit lane of ``a`` by the signed
+    16-bit lane of ``b`` and scales down by 256 (arithmetic shift)."""
+    out = []
+    for x, y in zip(split16(a), split16(b)):
+        out.append((x & MASK8) * s16(y) >> 8)
+    return join16(out)
+
+
+def mul16x16_scaled(a: int, b: int) -> int:
+    """Reference for the 3-instruction 16x16 idiom: per-lane
+    ``(s16(a) * s16(b)) >> 8`` modulo 2**16.
+
+    ``fpadd16(fmul8sux16(a, b), fmul8ulx16(a, b))`` equals this exactly
+    (the identity is exercised by the property tests).
+    """
+    out = []
+    for x, y in zip(split16(a), split16(b)):
+        out.append((s16(x) * s16(y)) >> 8)
+    return join16(out)
+
+
+# ---------------------------------------------------------------------------
+# Subword rearrangement and realignment.
+# ---------------------------------------------------------------------------
+
+
+def fpack16(a: int, scale: int) -> int:
+    """Pack four signed 16-bit lanes into four saturated unsigned bytes.
+
+    Each lane is left-shifted by the GSR scale factor, interpreted as a
+    fixed-point value with 7 fraction bits, and saturated into [0, 255].
+    Returns the bytes in the low 32 bits of the result.
+    """
+    out = 0
+    for i, lane in enumerate(split16(a)):
+        value = (s16(lane) << (scale & 0xF)) >> 7
+        out |= clamp(value, 0, 255) << (8 * i)
+    return out
+
+
+def fpack32(a: int, scale: int) -> int:
+    """Pack two signed 32-bit lanes into two saturated unsigned bytes
+    (low 16 bits of the result), using the same fixed-point convention
+    as :func:`fpack16` but with 15 fraction bits."""
+    out = 0
+    for i, lane in enumerate(split32(a)):
+        value = (s32(lane) << (scale & 0xF)) >> 15
+        out |= clamp(value, 0, 255) << (8 * i)
+    return out
+
+
+def fpackfix(a: int, scale: int) -> int:
+    """Pack two signed 32-bit lanes into two saturated signed 16-bit
+    lanes (low 32 bits of the result)."""
+    out = 0
+    for i, lane in enumerate(split32(a)):
+        value = (s32(lane) << (scale & 0xF)) >> 16
+        out |= (clamp(value, -32768, 32767) & MASK16) << (16 * i)
+    return out
+
+
+def fexpand(a: int) -> int:
+    """Expand four unsigned bytes (low 32 bits of ``a``) into four 16-bit
+    fixed-point lanes (each byte shifted left by 4)."""
+    return join16([((a >> (8 * i)) & MASK8) << 4 for i in range(4)])
+
+
+def fpmerge(a: int, b: int) -> int:
+    """Interleave the four low bytes of ``a`` and ``b``:
+    result bytes = a0 b0 a1 b1 a2 b2 a3 b3 (lane 0 first)."""
+    out = []
+    for i in range(4):
+        out.append((a >> (8 * i)) & MASK8)
+        out.append((b >> (8 * i)) & MASK8)
+    return join8(out)
+
+
+def faligndata(a: int, b: int, align: int) -> int:
+    """Extract 8 bytes starting at byte offset ``align`` (0..7) from the
+    16-byte concatenation of ``a`` (lower addresses) and ``b``."""
+    combined = (b << 64) | (a & MASK64)
+    return (combined >> (8 * (align & 7))) & MASK64
+
+
+def alignaddr_addr(address: int) -> int:
+    """The address produced by ``alignaddr``: the operand rounded down to
+    an 8-byte boundary.  The offset ``address & 7`` goes to the GSR."""
+    return address & ~7
+
+
+# ---------------------------------------------------------------------------
+# Partitioned compares and edge masks.
+# ---------------------------------------------------------------------------
+
+
+def _cmp16(a: int, b: int, op) -> int:
+    mask = 0
+    for i, (x, y) in enumerate(zip(split16(a), split16(b))):
+        if op(s16(x), s16(y)):
+            mask |= 1 << i
+    return mask
+
+
+def fcmpgt16(a: int, b: int) -> int:
+    """4-bit mask: bit i set when signed lane a_i > b_i."""
+    return _cmp16(a, b, lambda x, y: x > y)
+
+
+def fcmple16(a: int, b: int) -> int:
+    return _cmp16(a, b, lambda x, y: x <= y)
+
+
+def fcmpeq16(a: int, b: int) -> int:
+    return _cmp16(a, b, lambda x, y: x == y)
+
+
+def fcmpne16(a: int, b: int) -> int:
+    return _cmp16(a, b, lambda x, y: x != y)
+
+
+def fcmpgt32(a: int, b: int) -> int:
+    mask = 0
+    for i, (x, y) in enumerate(zip(split32(a), split32(b))):
+        if s32(x) > s32(y):
+            mask |= 1 << i
+    return mask
+
+
+def fcmpeq32(a: int, b: int) -> int:
+    mask = 0
+    for i, (x, y) in enumerate(zip(split32(a), split32(b))):
+        if s32(x) == s32(y):
+            mask |= 1 << i
+    return mask
+
+
+def _edge(addr1: int, addr2: int, granule: int) -> int:
+    """Generic edge-mask generation for ``edge8/16/32``.
+
+    Returns a byte-mask (bit k = byte offset k within the 8-byte word is
+    live) selecting the bytes of the aligned word containing ``addr1``
+    that fall inside [addr1, addr2].  This is the boundary mask used with
+    partial stores to avoid branch code at row edges (Section 2.2.2).
+    """
+    word = addr1 & ~7
+    start = addr1 & 7
+    # Round the start down to the element granule, as real edge ops do.
+    start -= start % granule
+    if addr2 < word:
+        return 0
+    end = min(addr2 - word, 7)
+    mask = 0
+    for k in range(start, end + 1):
+        mask |= 1 << k
+    return mask
+
+
+def edge8(addr1: int, addr2: int) -> int:
+    return _edge(addr1, addr2, 1)
+
+
+def edge16(addr1: int, addr2: int) -> int:
+    return _edge(addr1, addr2, 2)
+
+
+def edge32(addr1: int, addr2: int) -> int:
+    return _edge(addr1, addr2, 4)
+
+
+# ---------------------------------------------------------------------------
+# Logical operations on the media register file.
+# ---------------------------------------------------------------------------
+
+
+def fand(a: int, b: int) -> int:
+    return a & b & MASK64
+
+
+def for_(a: int, b: int) -> int:
+    return (a | b) & MASK64
+
+
+def fxor(a: int, b: int) -> int:
+    return (a ^ b) & MASK64
+
+
+def fandnot(a: int, b: int) -> int:
+    """b AND NOT a (clear the bits selected by ``a``)."""
+    return (~a & b) & MASK64
+
+
+def fnot(a: int) -> int:
+    return ~a & MASK64
+
+
+def fzero() -> int:
+    return 0
+
+
+def fone() -> int:
+    return MASK64
+
+
+# ---------------------------------------------------------------------------
+# Special-purpose operations.
+# ---------------------------------------------------------------------------
+
+
+def pdist(a: int, b: int, accumulator: int) -> int:
+    """Pixel-distance: accumulate the sum of absolute differences of the
+    eight unsigned bytes of ``a`` and ``b`` into ``accumulator``.
+
+    Replaces a ~48-instruction scalar SAD sequence in motion estimation
+    (Section 3.2.2).
+    """
+    total = accumulator
+    for x, y in zip(split8(a), split8(b)):
+        total += x - y if x >= y else y - x
+    return total & MASK64
+
+
+def array8(x: int, bits: int) -> int:
+    """Blocked-byte address conversion for 3D graphics data reuse.
+
+    Interleaves the low bits of the X/Y/Z fixed-point coordinates packed
+    in ``x`` into a blocked address.  Included for ISA completeness; the
+    paper notes none of the 12 benchmarks use it (Section 2.3.2).
+    """
+    z = (x >> 44) & 0x1FF
+    y = (x >> 22) & 0x1FF
+    xx = x & 0x1FF
+    lower = ((z & 0x3) << 4) | ((y & 0x3) << 2) | (xx & 0x3)
+    middle = ((z >> 2) & 0xF) << 8 | ((y >> 2) & 0xF) << 4 | ((xx >> 2) & 0xF)
+    size = bits & 0x3
+    upper_y = (y >> 6) & 0x7
+    upper_x = (xx >> 6) & (0x7 << size | 0x7)
+    upper = (upper_y << (3 + size)) | upper_x
+    return (upper << 20) | (middle << 6) | lower
+
+
+def partial_store_merge(old: int, new: int, byte_mask: int) -> int:
+    """Merge ``new`` into ``old`` under an 8-bit byte mask (bit k selects
+    byte offset k).  This is the data path of the ``pst`` instruction."""
+    out = old
+    for k in range(8):
+        if byte_mask & (1 << k):
+            shift = 8 * k
+            out = (out & ~(MASK8 << shift)) | (new & (MASK8 << shift))
+    return out & MASK64

@@ -1,0 +1,17 @@
+"""Reference (numpy) media implementations the benchmarks validate against."""
+
+from . import bitstream, colorspace, dct, huffman, images, jpeg, kernels, metrics, mpeg, ppm, zigzag
+
+__all__ = [
+    "bitstream",
+    "colorspace",
+    "dct",
+    "huffman",
+    "images",
+    "jpeg",
+    "kernels",
+    "metrics",
+    "mpeg",
+    "ppm",
+    "zigzag",
+]

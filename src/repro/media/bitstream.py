@@ -1,0 +1,96 @@
+"""MSB-first bit-level I/O used by the entropy-coding phases.
+
+The assembly encoders/decoders implement exactly this bit order and
+padding, so the byte streams are interchangeable between the Python
+reference codecs and the simulated benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class BitWriter:
+    """Accumulates bits MSB-first; the final partial byte is padded
+    with 1-bits (as JPEG does)."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._count = 0
+
+    def write(self, value: int, length: int) -> None:
+        if length < 0 or value < 0 or value >= (1 << length):
+            raise ValueError(f"bad bit write: value={value} length={length}")
+        self._accumulator = (self._accumulator << length) | value
+        self._count += length
+        while self._count >= 8:
+            self._count -= 8
+            self._bytes.append((self._accumulator >> self._count) & 0xFF)
+        self._accumulator &= (1 << self._count) - 1
+
+    @property
+    def bit_length(self) -> int:
+        return 8 * len(self._bytes) + self._count
+
+    def getvalue(self) -> bytes:
+        """Flush (padding with 1s) and return the byte stream."""
+        if self._count:
+            pad = 8 - self._count
+            out = bytes(self._bytes) + bytes(
+                [((self._accumulator << pad) | ((1 << pad) - 1)) & 0xFF]
+            )
+            return out
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte stream.  Reading past the end
+    yields 1-bits (the padding convention), so a well-formed stream
+    never misdecodes and a truncated one fails loudly downstream."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+        self._accumulator = 0
+        self._count = 0
+
+    def read(self, length: int) -> int:
+        while self._count < length:
+            byte = self._data[self._pos] if self._pos < len(self._data) else 0xFF
+            self._pos += 1
+            self._accumulator = (self._accumulator << 8) | byte
+            self._count += 8
+        self._count -= length
+        value = (self._accumulator >> self._count) & ((1 << length) - 1)
+        self._accumulator &= (1 << self._count) - 1
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    @property
+    def bits_consumed(self) -> int:
+        return 8 * self._pos - self._count
+
+
+def receive_extend(bits: int, size: int) -> int:
+    """JPEG's RECEIVE/EXTEND: decode ``size`` magnitude bits into a
+    signed value."""
+    if size == 0:
+        return 0
+    if bits < (1 << (size - 1)):
+        return bits - (1 << size) + 1
+    return bits
+
+
+def magnitude_category(value: int) -> int:
+    """JPEG size category: number of bits needed for ``|value|``."""
+    return abs(value).bit_length()
+
+
+def magnitude_bits(value: int, size: int) -> int:
+    """The extra bits encoding ``value`` in category ``size``."""
+    if value >= 0:
+        return value
+    return value + (1 << size) - 1

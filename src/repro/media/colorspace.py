@@ -1,0 +1,80 @@
+"""Integer RGB <-> YCbCr conversion and 4:2:0 chroma (de)cimation.
+
+Per-product rounding (``(x*c + 0x80) >> 8``) is used instead of a
+single rounded sum so that the VIS variant — three ``fmul8x16au``
+products accumulated with ``fpadd16`` — matches the scalar code
+bit-for-bit (at most +-1 from the ideal conversion, well inside the
+paper's "visually imperceptible" criterion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# 8.8 fixed-point ITU-601 coefficients.
+Y_COEF = (77, 150, 29)
+CB_COEF = (-43, -85, 128)
+CR_COEF = (128, -107, -21)
+
+# Inverse coefficients.  All chosen *even* so that
+# ``((x-128)*c + 0x80) >> 8  ==  ((x*c + 0x80) >> 8) - (128*c >> 8)``
+# holds exactly — the identity that lets the VIS ``fmul8x16au`` path
+# (which multiplies unsigned bytes) match the signed scalar math
+# bit-for-bit by folding the -128 bias into an additive constant.
+R_FROM_CR = 358
+G_FROM_CB = -88
+G_FROM_CR = -182
+B_FROM_CB = 454
+
+
+def _mul_round(x: np.ndarray, coeff: int) -> np.ndarray:
+    return (x * coeff + 0x80) >> 8
+
+
+def rgb_to_ycbcr(rgb: np.ndarray):
+    """``(h, w, 3)`` uint8 -> three ``(h, w)`` uint8 planes."""
+    r = rgb[:, :, 0].astype(np.int64)
+    g = rgb[:, :, 1].astype(np.int64)
+    b = rgb[:, :, 2].astype(np.int64)
+    y = _mul_round(r, Y_COEF[0]) + _mul_round(g, Y_COEF[1]) + _mul_round(b, Y_COEF[2])
+    cb = (
+        _mul_round(r, CB_COEF[0])
+        + _mul_round(g, CB_COEF[1])
+        + _mul_round(b, CB_COEF[2])
+        + 128
+    )
+    cr = (
+        _mul_round(r, CR_COEF[0])
+        + _mul_round(g, CR_COEF[1])
+        + _mul_round(b, CR_COEF[2])
+        + 128
+    )
+    clip = lambda p: np.clip(p, 0, 255).astype(np.uint8)
+    return clip(y), clip(cb), clip(cr)
+
+
+def ycbcr_to_rgb(y: np.ndarray, cb: np.ndarray, cr: np.ndarray) -> np.ndarray:
+    """Three ``(h, w)`` uint8 planes -> ``(h, w, 3)`` uint8."""
+    yy = y.astype(np.int64)
+    cbd = cb.astype(np.int64) - 128
+    crd = cr.astype(np.int64) - 128
+    r = yy + _mul_round(crd, R_FROM_CR)
+    g = yy + _mul_round(cbd, G_FROM_CB) + _mul_round(crd, G_FROM_CR)
+    b = yy + _mul_round(cbd, B_FROM_CB)
+    out = np.stack([r, g, b], axis=-1)
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def decimate420(plane: np.ndarray) -> np.ndarray:
+    """2x2 rounded average: ``(h, w)`` -> ``(h//2, w//2)``."""
+    h, w = plane.shape
+    if h % 2 or w % 2:
+        raise ValueError("4:2:0 decimation requires even dimensions")
+    p = plane.astype(np.int64)
+    total = p[0::2, 0::2] + p[0::2, 1::2] + p[1::2, 0::2] + p[1::2, 1::2]
+    return ((total + 2) >> 2).astype(np.uint8)
+
+
+def upsample420(plane: np.ndarray) -> np.ndarray:
+    """Pixel replication: ``(h, w)`` -> ``(2h, 2w)``."""
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)

@@ -1,0 +1,176 @@
+"""Integer 8x8 DCT/IDCT shared by the JPEG- and MPEG-style codecs.
+
+A fixed-point separable transform with 8-bit cosine constants and
+*floor* scaling (``>> 8`` after every multiply) — floor rather than
+round so that the packed VIS multiply idiom (``fmul8sux16`` +
+``fmul8ulx16``), which computes exactly ``(a*b) >> 8`` per 16-bit lane,
+matches the scalar code bit-for-bit.  Every intermediate provably fits
+in 16 bits, which is what makes the transform VIS-able at all (the
+packed data path has no wider accumulator — Section 3.2.3's
+"limited parallelism" discussion).
+
+Scaling convention: one forward pass scales by ~2x orthonormal, so the
+2-D forward transform is ~4x orthonormal; quantizers divide by ``4*Q``
+and the inverse transform folds the matching ``>> 2`` into each pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# round(cos(k*pi/16) * 256)
+C1, C2, C3, C4, C5, C6, C7 = 251, 237, 213, 181, 142, 98, 50
+
+
+def fdct1d(x: np.ndarray) -> np.ndarray:
+    """Forward 8-point DCT along the last axis (integer, floor shifts)."""
+    x = x.astype(np.int64)
+    x0, x1, x2, x3, x4, x5, x6, x7 = (x[..., k] for k in range(8))
+    s07, d07 = x0 + x7, x0 - x7
+    s16, d16 = x1 + x6, x1 - x6
+    s25, d25 = x2 + x5, x2 - x5
+    s34, d34 = x3 + x4, x3 - x4
+    t0, t3 = s07 + s34, s07 - s34
+    t1, t2 = s16 + s25, s16 - s25
+    out = np.empty_like(x)
+    # Every product is scaled down individually ("floor after each
+    # multiply") because that is what the packed VIS multiply computes;
+    # the scalar assembly mirrors it for bit-exactness.
+    out[..., 0] = ((t0 + t1) * C4) >> 8
+    out[..., 4] = ((t0 - t1) * C4) >> 8
+    out[..., 2] = ((t3 * C2) >> 8) + ((t2 * C6) >> 8)
+    out[..., 6] = ((t3 * C6) >> 8) - ((t2 * C2) >> 8)
+    out[..., 1] = (
+        ((d07 * C1) >> 8) + ((d16 * C3) >> 8)
+        + ((d25 * C5) >> 8) + ((d34 * C7) >> 8)
+    )
+    out[..., 3] = (
+        ((d07 * C3) >> 8) - ((d16 * C7) >> 8)
+        - ((d25 * C1) >> 8) - ((d34 * C5) >> 8)
+    )
+    out[..., 5] = (
+        ((d07 * C5) >> 8) - ((d16 * C1) >> 8)
+        + ((d25 * C7) >> 8) + ((d34 * C3) >> 8)
+    )
+    out[..., 7] = (
+        ((d07 * C7) >> 8) - ((d16 * C5) >> 8)
+        + ((d25 * C3) >> 8) - ((d34 * C1) >> 8)
+    )
+    return out
+
+
+def idct1d(y: np.ndarray) -> np.ndarray:
+    """Inverse 8-point DCT along the last axis, including the per-pass
+    ``>> 2`` normalization."""
+    y = y.astype(np.int64)
+    y0, y1, y2, y3, y4, y5, y6, y7 = (y[..., k] for k in range(8))
+    ta = ((y0 + y4) * C4) >> 8
+    tb = ((y0 - y4) * C4) >> 8
+    tc = ((y2 * C2) >> 8) + ((y6 * C6) >> 8)
+    td = ((y2 * C6) >> 8) - ((y6 * C2) >> 8)
+    e0, e3 = ta + tc, ta - tc
+    e1, e2 = tb + td, tb - td
+    o0 = (
+        ((y1 * C1) >> 8) + ((y3 * C3) >> 8)
+        + ((y5 * C5) >> 8) + ((y7 * C7) >> 8)
+    )
+    o1 = (
+        ((y1 * C3) >> 8) - ((y3 * C7) >> 8)
+        - ((y5 * C1) >> 8) - ((y7 * C5) >> 8)
+    )
+    o2 = (
+        ((y1 * C5) >> 8) - ((y3 * C1) >> 8)
+        + ((y5 * C7) >> 8) + ((y7 * C3) >> 8)
+    )
+    o3 = (
+        ((y1 * C7) >> 8) - ((y3 * C5) >> 8)
+        + ((y5 * C3) >> 8) - ((y7 * C1) >> 8)
+    )
+    out = np.empty_like(y)
+    out[..., 0] = (e0 + o0) >> 2
+    out[..., 7] = (e0 - o0) >> 2
+    out[..., 1] = (e1 + o1) >> 2
+    out[..., 6] = (e1 - o1) >> 2
+    out[..., 2] = (e2 + o2) >> 2
+    out[..., 5] = (e2 - o2) >> 2
+    out[..., 3] = (e3 + o3) >> 2
+    out[..., 4] = (e3 - o3) >> 2
+    return out
+
+
+def fdct2d(block: np.ndarray) -> np.ndarray:
+    """2-D forward transform of ``(..., 8, 8)`` level-shifted samples.
+
+    Columns first, then rows — the order of both assembly pipelines
+    (the packed VIS data path naturally transforms down the columns of
+    a 4-column lane group, so the scalar code and this reference adopt
+    the same order for bit-exact agreement)."""
+    cols = np.swapaxes(fdct1d(np.swapaxes(block, -1, -2)), -1, -2)
+    return fdct1d(cols)
+
+
+def idct2d(coefficients: np.ndarray) -> np.ndarray:
+    """2-D inverse transform (rows first, then columns — the inverse of
+    :func:`fdct2d`'s order); output is level-shifted samples (no +128,
+    no clamping — the codecs own the final reconstruction step)."""
+    rows = idct1d(coefficients)
+    return np.swapaxes(idct1d(np.swapaxes(rows, -1, -2)), -1, -2)
+
+
+def quantize(coefficients: np.ndarray, divisors: np.ndarray) -> np.ndarray:
+    """Symmetric rounded division: ``sign(c) * ((|c| + d/2) // d)``.
+
+    ``divisors`` is the 8x8 table of ``4*Q`` values (the factor 4
+    absorbs the transform's scaling)."""
+    c = coefficients.astype(np.int64)
+    d = divisors.astype(np.int64)
+    magnitude = (np.abs(c) + (d >> 1)) // d
+    return np.where(c < 0, -magnitude, magnitude)
+
+
+def dequantize(levels: np.ndarray, divisors: np.ndarray) -> np.ndarray:
+    return levels.astype(np.int64) * divisors.astype(np.int64)
+
+
+#: The standard JPEG Annex K luminance and chrominance quantizers.
+BASE_LUMA_QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.int64,
+)
+
+BASE_CHROMA_QUANT = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.int64,
+)
+
+
+def quality_scaled_table(base: np.ndarray, quality: int) -> np.ndarray:
+    """The standard IJG quality scaling of a base quantization table."""
+    if not 1 <= quality <= 100:
+        raise ValueError("quality must be in 1..100")
+    scale = 5000 // quality if quality < 50 else 200 - 2 * quality
+    table = (base * scale + 50) // 100
+    return np.clip(table, 1, 255).astype(np.int64)
+
+
+def divisors_for(base: np.ndarray, quality: int) -> np.ndarray:
+    """Quantization divisors matched to this transform's 4x scaling."""
+    return quality_scaled_table(base, quality) * 4

@@ -1,0 +1,176 @@
+"""Canonical Huffman coding for the JPEG/MPEG-style entropy phases.
+
+The codecs use fixed tables (as typical JPEG encoders use the Annex K
+defaults): the table *construction* happens once here, from a synthetic
+frequency model with realistic decay, and both the Python reference
+codecs and the simulated assembly programs consume the resulting
+canonical tables — the encoder as ``(code, length)`` arrays, the
+decoder as the classic JPEG ``mincode/maxcode/valptr`` tables.
+
+The variable-length, data-dependent structure of this phase is exactly
+what Section 3.2.3 identifies as inherently sequential and
+un-VIS-able.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .bitstream import BitReader, BitWriter
+
+MAX_CODE_LENGTH = 16
+
+
+def build_code_lengths(frequencies: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code lengths from symbol frequencies, limited to
+    :data:`MAX_CODE_LENGTH` bits with the standard JPEG ``adjust_bits``
+    procedure (moving over-deep leaves up the tree)."""
+    if not frequencies:
+        raise ValueError("no symbols")
+    if len(frequencies) == 1:
+        symbol = next(iter(frequencies))
+        return {symbol: 1}
+    heap: List[Tuple[int, int, Tuple[int, ...]]] = []
+    for tiebreak, (symbol, freq) in enumerate(sorted(frequencies.items())):
+        if freq <= 0:
+            raise ValueError(f"non-positive frequency for symbol {symbol}")
+        heap.append((freq, tiebreak, (symbol,)))
+    heapq.heapify(heap)
+    counter = len(heap)
+    depths: Dict[int, int] = {symbol: 0 for symbol in frequencies}
+    while len(heap) > 1:
+        f1, _, group1 = heapq.heappop(heap)
+        f2, _, group2 = heapq.heappop(heap)
+        for symbol in group1 + group2:
+            depths[symbol] += 1
+        counter += 1
+        heapq.heappush(heap, (f1 + f2, counter, group1 + group2))
+
+    max_depth = max(depths.values())
+    if max_depth <= MAX_CODE_LENGTH:
+        return depths
+
+    # JPEG K.3-style length limiting: operate on the per-length counts,
+    # then hand lengths back to symbols in frequency order.
+    bits = [0] * (max_depth + 1)
+    for depth in depths.values():
+        bits[depth] += 1
+    for length in range(max_depth, MAX_CODE_LENGTH, -1):
+        while bits[length] > 0:
+            shallower = length - 2
+            while bits[shallower] == 0:
+                shallower -= 1
+            bits[length] -= 2
+            bits[length - 1] += 1
+            bits[shallower + 1] += 2
+            bits[shallower] -= 1
+    by_frequency = sorted(
+        frequencies, key=lambda symbol: (-frequencies[symbol], symbol)
+    )
+    limited: Dict[int, int] = {}
+    index = 0
+    for length in range(1, MAX_CODE_LENGTH + 1):
+        for _ in range(bits[length]):
+            limited[by_frequency[index]] = length
+            index += 1
+    assert index == len(by_frequency)
+    return limited
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical Huffman code over integer symbols."""
+
+    #: symbol -> (code, length), canonical order
+    codes: Dict[int, Tuple[int, int]]
+    #: symbols sorted by (length, symbol) — the decoder's value table
+    values: Tuple[int, ...]
+    #: per length 1..16: smallest code, largest code (-1 = none),
+    #: index of the first value of that length
+    mincode: Tuple[int, ...]
+    maxcode: Tuple[int, ...]
+    valptr: Tuple[int, ...]
+
+    @classmethod
+    def from_frequencies(cls, frequencies: Dict[int, int]) -> "HuffmanTable":
+        lengths = build_code_lengths(frequencies)
+        ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+        codes: Dict[int, Tuple[int, int]] = {}
+        values: List[int] = []
+        mincode = [0] * (MAX_CODE_LENGTH + 1)
+        maxcode = [-1] * (MAX_CODE_LENGTH + 1)
+        valptr = [0] * (MAX_CODE_LENGTH + 1)
+        code = 0
+        previous_length = 0
+        for index, (symbol, length) in enumerate(ordered):
+            code <<= length - previous_length
+            if previous_length != length:
+                mincode[length] = code
+                valptr[length] = index
+            previous_length = length
+            codes[symbol] = (code, length)
+            maxcode[length] = code
+            values.append(symbol)
+            code += 1
+        return cls(
+            codes=codes,
+            values=tuple(values),
+            mincode=tuple(mincode),
+            maxcode=tuple(maxcode),
+            valptr=tuple(valptr),
+        )
+
+    def encode(self, writer: BitWriter, symbol: int) -> None:
+        code, length = self.codes[symbol]
+        writer.write(code, length)
+
+    def decode(self, reader: BitReader) -> int:
+        """The classic JPEG canonical decode loop: lengthen the code one
+        bit at a time until it falls inside a populated range."""
+        code = reader.read_bit()
+        length = 1
+        while code > self.maxcode[length] or self.maxcode[length] < 0:
+            length += 1
+            if length > MAX_CODE_LENGTH:
+                raise ValueError("corrupt Huffman stream")
+            code = (code << 1) | reader.read_bit()
+        return self.values[self.valptr[length] + (code - self.mincode[length])]
+
+    def max_length(self) -> int:
+        return max(length for _, length in self.codes.values())
+
+
+def _dc_frequencies() -> Dict[int, int]:
+    """Plausible DC size-category distribution (small diffs dominate)."""
+    return {size: max(1, int(12000 * 0.55 ** size)) for size in range(12)}
+
+
+def _ac_frequencies() -> Dict[int, int]:
+    """Plausible AC (run, size) distribution: EOB and short runs with
+    small magnitudes dominate, long runs and big magnitudes are rare."""
+    freqs: Dict[int, int] = {0x00: 60000}  # EOB
+    freqs[0xF0] = 400  # ZRL
+    for run in range(16):
+        for size in range(1, 11):
+            weight = 40000 * (0.6 ** run) * (0.45 ** (size - 1))
+            freqs[(run << 4) | size] = max(1, int(weight))
+    return freqs
+
+
+#: Fixed tables shared by the JPEG-style codecs (luma and chroma use
+#: the same tables; the paper's codecs likewise use default tables).
+DC_TABLE = HuffmanTable.from_frequencies(_dc_frequencies())
+AC_TABLE = HuffmanTable.from_frequencies(_ac_frequencies())
+
+
+def table_arrays(table: HuffmanTable, num_symbols: int) -> Tuple[List[int], List[int]]:
+    """Dense ``(code, length)`` arrays indexed by symbol, for the
+    assembly encoders' lookup buffers."""
+    codes = [0] * num_symbols
+    lengths = [0] * num_symbols
+    for symbol, (code, length) in table.codes.items():
+        codes[symbol] = code
+        lengths[symbol] = length
+    return codes, lengths

@@ -1,0 +1,101 @@
+"""Deterministic synthetic images and video.
+
+The paper uses 1024x640 3-band images from the Intel Media Benchmark
+(``sf16.ppm``, ``rose16.ppm``, ``winter16.ppm``) and the ``mei16v2``
+MPEG bit stream, none of which are redistributable.  These generators
+produce visually plausible stand-ins: smooth low-frequency structure
+(so DCT coding and cache-reuse behaviour are realistic) plus seeded
+noise (so the data is not degenerate), and translating content for
+video (so motion estimation finds real motion vectors).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def synthetic_image(
+    width: int,
+    height: int,
+    bands: int = 3,
+    seed: int = 1999,
+    noise: float = 6.0,
+) -> np.ndarray:
+    """A ``(height, width, bands)`` uint8 image with natural-image-like
+    spectral decay: gradients + a few 2-D cosines + mild noise."""
+    rng = np.random.default_rng(seed)
+    y = np.linspace(0.0, 1.0, height, dtype=np.float64)[:, None]
+    x = np.linspace(0.0, 1.0, width, dtype=np.float64)[None, :]
+    planes = []
+    for band in range(bands):
+        base = 96.0 + 48.0 * np.sin(2 * np.pi * (x * (band + 1) * 0.7 + 0.2 * band))
+        base = base + 40.0 * np.cos(2 * np.pi * y * (1.3 + 0.5 * band))
+        for harmonic in range(2, 5):
+            amp = 30.0 / harmonic
+            phase = rng.uniform(0, 2 * np.pi)
+            base = base + amp * np.sin(
+                2 * np.pi * (harmonic * x + (harmonic - 1) * y) + phase
+            )
+        base = base + rng.normal(0.0, noise, size=(height, width))
+        planes.append(base)
+    image = np.stack(planes, axis=-1)
+    return np.clip(np.rint(image), 0, 255).astype(np.uint8)
+
+
+def synthetic_alpha(width: int, height: int, seed: int = 7) -> np.ndarray:
+    """A single-band alpha matte with smooth spatial variation."""
+    matte = synthetic_image(width, height, bands=1, seed=seed, noise=3.0)
+    return matte[:, :, 0]
+
+
+def synthetic_gray(width: int, height: int, seed: int = 11) -> np.ndarray:
+    """A single-band (grayscale) image."""
+    return synthetic_image(width, height, bands=1, seed=seed)[:, :, 0]
+
+
+def synthetic_video(
+    width: int,
+    height: int,
+    frames: int,
+    seed: int = 42,
+    max_shift: int = 1,
+) -> List[np.ndarray]:
+    """A list of ``(height, width)`` uint8 luma frames with global
+    translation plus a small independently-moving block, so that
+    full-search motion estimation has genuine work to do."""
+    rng = np.random.default_rng(seed)
+    margin = max_shift * frames + 8
+    backdrop = synthetic_image(
+        width + 2 * margin, height + 2 * margin, bands=1, seed=seed
+    )[:, :, 0]
+    out = []
+    ox, oy = margin, margin
+    obj_w, obj_h = max(8, width // 6), max(8, height // 6)
+    obj = synthetic_image(obj_w, obj_h, bands=1, seed=seed + 1)[:, :, 0]
+    obj_x, obj_y = width // 4, height // 3
+    for f in range(frames):
+        frame = backdrop[oy : oy + height, ox : ox + width].copy()
+        fx = min(max(obj_x + f * 1, 0), width - obj_w)
+        fy = min(max(obj_y + f * 2, 0), height - obj_h)
+        frame[fy : fy + obj_h, fx : fx + obj_w] = obj
+        noise = rng.normal(0.0, 1.5, size=frame.shape)
+        frame = np.clip(frame.astype(np.float64) + noise, 0, 255)
+        out.append(np.rint(frame).astype(np.uint8))
+        ox += rng.integers(0, max_shift + 1)
+        oy += rng.integers(0, max_shift + 1)
+    return out
+
+
+def synthetic_video_yuv(
+    width: int,
+    height: int,
+    frames: int,
+    seed: int = 42,
+) -> List[tuple]:
+    """4:2:0 YUV frames: ``(Y, U, V)`` with chroma at half resolution."""
+    luma = synthetic_video(width, height, frames, seed=seed)
+    chroma_u = synthetic_video(width // 2, height // 2, frames, seed=seed + 100)
+    chroma_v = synthetic_video(width // 2, height // 2, frames, seed=seed + 200)
+    return [(luma[f], chroma_u[f], chroma_v[f]) for f in range(frames)]

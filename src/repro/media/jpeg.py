@@ -1,0 +1,319 @@
+"""JPEG-style image codec (reference implementation).
+
+Mirrors the phase structure of the IJG release 6a codecs the paper
+benchmarks (Section 2.1.2): color conversion, 4:2:0 chroma decimation,
+8x8 forward DCT, quantization, zigzag scanning and Huffman bitstream
+coding — in both a *non-progressive* form (one interleaved MCU scan,
+blocked pipeline, tiny working set) and a *progressive* form (a DC scan
+plus spectral-selection AC scans per component, each re-traversing the
+image-sized coefficient buffer — the multi-pass behaviour behind the
+paper's cache-size sensitivity result for cjpeg/djpeg).
+
+The bitstream container is repo-specific (``SJPG``), not
+standards-compliant: Huffman tables are fixed (see
+:mod:`repro.media.huffman`), there is no marker/stuffing layer.
+DESIGN.md substitution 4 documents this.
+
+Every phase output is exposed so the simulated assembly benchmarks can
+be validated phase-by-phase and bit-exactly end-to-end.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .bitstream import (
+    BitReader,
+    BitWriter,
+    magnitude_bits,
+    magnitude_category,
+    receive_extend,
+)
+from .colorspace import (
+    decimate420,
+    rgb_to_ycbcr,
+    upsample420,
+    ycbcr_to_rgb,
+)
+from .dct import (
+    BASE_CHROMA_QUANT,
+    BASE_LUMA_QUANT,
+    dequantize,
+    divisors_for,
+    fdct2d,
+    idct2d,
+    quantize,
+)
+from .huffman import AC_TABLE, DC_TABLE
+from .zigzag import ZIGZAG
+
+MAGIC = b"SJPG"
+
+#: Spectral-selection bands of the progressive mode (after the DC scan).
+PROGRESSIVE_BANDS: Tuple[Tuple[int, int], ...] = ((1, 5), (6, 20), (21, 63))
+
+#: Component ids.
+COMP_Y, COMP_CB, COMP_CR = 0, 1, 2
+COMP_INTERLEAVED = 255
+
+
+def plane_to_blocks(plane: np.ndarray) -> np.ndarray:
+    """``(h, w)`` -> ``(n_blocks, 8, 8)`` in raster block order."""
+    h, w = plane.shape
+    if h % 8 or w % 8:
+        raise ValueError("plane dimensions must be multiples of 8")
+    return (
+        plane.reshape(h // 8, 8, w // 8, 8).swapaxes(1, 2).reshape(-1, 8, 8)
+    )
+
+
+def blocks_to_plane(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+    return (
+        blocks.reshape(h // 8, w // 8, 8, 8).swapaxes(1, 2).reshape(h, w)
+    )
+
+
+def quantized_planes(
+    rgb: np.ndarray, quality: int
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Run the pixel phases: returns ``(planes, coefficients)`` where
+    planes are the post-conversion uint8 component planes and
+    coefficients the quantized DCT blocks per component."""
+    y, cb, cr = rgb_to_ycbcr(rgb)
+    cb = decimate420(cb)
+    cr = decimate420(cr)
+    luma_div = divisors_for(BASE_LUMA_QUANT, quality)
+    chroma_div = divisors_for(BASE_CHROMA_QUANT, quality)
+    planes = {"y": y, "cb": cb, "cr": cr}
+    coefficients = {}
+    for name, plane in planes.items():
+        divisors = luma_div if name == "y" else chroma_div
+        blocks = plane_to_blocks(plane).astype(np.int64) - 128
+        coefficients[name] = quantize(fdct2d(blocks), divisors).astype(np.int16)
+    return planes, coefficients
+
+
+# ---------------------------------------------------------------------------
+# Scan-level entropy coding.
+# ---------------------------------------------------------------------------
+
+
+def encode_block(
+    writer: BitWriter,
+    zz: np.ndarray,
+    ss: int,
+    se: int,
+    dc_pred: int,
+) -> int:
+    """Huffman-encode one zigzag-ordered block restricted to the
+    spectral band [ss, se]; returns the updated DC predictor."""
+    if ss == 0:
+        dc = int(zz[0])
+        diff = dc - dc_pred
+        size = magnitude_category(diff)
+        DC_TABLE.encode(writer, size)
+        if size:
+            writer.write(magnitude_bits(diff, size), size)
+        dc_pred = dc
+    run = 0
+    for k in range(max(ss, 1), se + 1):
+        value = int(zz[k])
+        if value == 0:
+            run += 1
+            continue
+        while run > 15:
+            AC_TABLE.encode(writer, 0xF0)  # ZRL
+            run -= 16
+        size = magnitude_category(value)
+        AC_TABLE.encode(writer, (run << 4) | size)
+        writer.write(magnitude_bits(value, size), size)
+        run = 0
+    if run > 0 and se >= max(ss, 1):
+        AC_TABLE.encode(writer, 0x00)  # EOB
+    return dc_pred
+
+
+def decode_block(
+    reader: BitReader,
+    zz: np.ndarray,
+    ss: int,
+    se: int,
+    dc_pred: int,
+) -> int:
+    """Inverse of :func:`encode_block`; fills ``zz`` in place."""
+    if ss == 0:
+        size = DC_TABLE.decode(reader)
+        diff = receive_extend(reader.read(size), size) if size else 0
+        dc_pred += diff
+        zz[0] = dc_pred
+    k = max(ss, 1)
+    while k <= se:
+        symbol = AC_TABLE.decode(reader)
+        if symbol == 0x00:  # EOB
+            break
+        if symbol == 0xF0:  # ZRL
+            k += 16
+            continue
+        run, size = symbol >> 4, symbol & 0xF
+        k += run
+        if k > se:
+            raise ValueError("AC coefficient index escaped the band")
+        zz[k] = receive_extend(reader.read(size), size)
+        k += 1
+    return dc_pred
+
+
+# ---------------------------------------------------------------------------
+# Whole-image codec.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EncodeResult:
+    data: bytes
+    planes: Dict[str, np.ndarray]
+    coefficients: Dict[str, np.ndarray]
+    scans: List[Tuple[int, int, int, bytes]] = field(default_factory=list)
+
+
+@dataclass
+class DecodeResult:
+    rgb: np.ndarray
+    planes: Dict[str, np.ndarray]
+    coefficients: Dict[str, np.ndarray]
+
+
+def _scan_list(progressive: bool) -> List[Tuple[int, int, int]]:
+    """(component, ss, se) triples in scan order."""
+    if not progressive:
+        return [(COMP_INTERLEAVED, 0, 63)]
+    scans: List[Tuple[int, int, int]] = [
+        (comp, 0, 0) for comp in (COMP_Y, COMP_CB, COMP_CR)
+    ]
+    for lo, hi in PROGRESSIVE_BANDS:
+        for comp in (COMP_Y, COMP_CB, COMP_CR):
+            scans.append((comp, lo, hi))
+    return scans
+
+
+#: public alias used by the assembly codecs (the scan schedule is part
+#: of the stream format).
+def scan_list(progressive: bool):
+    return _scan_list(progressive)
+
+
+_COMP_NAMES = {COMP_Y: "y", COMP_CB: "cb", COMP_CR: "cr"}
+
+
+def _mcu_block_sequence(width: int, height: int):
+    """Block indices visited by one interleaved (non-progressive) scan:
+    per 16x16 MCU, four Y blocks then one Cb and one Cr block."""
+    mcus_x, mcus_y = width // 16, height // 16
+    luma_stride = width // 8
+    chroma_stride = width // 16
+    for my in range(mcus_y):
+        for mx in range(mcus_x):
+            for by, bx in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                yield COMP_Y, (2 * my + by) * luma_stride + 2 * mx + bx
+            yield COMP_CB, my * chroma_stride + mx
+            yield COMP_CR, my * chroma_stride + mx
+    return
+
+
+def encode(rgb: np.ndarray, quality: int = 75, progressive: bool = False) -> EncodeResult:
+    height, width = rgb.shape[:2]
+    if width % 16 or height % 16:
+        raise ValueError("image dimensions must be multiples of 16")
+    planes, coefficients = quantized_planes(rgb, quality)
+    zigzagged = {
+        name: blocks.reshape(-1, 64)[:, ZIGZAG] for name, blocks in coefficients.items()
+    }
+
+    scans_payload: List[Tuple[int, int, int, bytes]] = []
+    for comp, ss, se in _scan_list(progressive):
+        writer = BitWriter()
+        if comp == COMP_INTERLEAVED:
+            preds = {COMP_Y: 0, COMP_CB: 0, COMP_CR: 0}
+            for block_comp, index in _mcu_block_sequence(width, height):
+                zz = zigzagged[_COMP_NAMES[block_comp]][index]
+                preds[block_comp] = encode_block(writer, zz, 0, 63, preds[block_comp])
+        else:
+            pred = 0
+            for zz in zigzagged[_COMP_NAMES[comp]]:
+                pred = encode_block(writer, zz, ss, se, pred)
+        scans_payload.append((comp, ss, se, writer.getvalue()))
+
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(
+        "<HHBBBB", width, height, quality, 1 if progressive else 0,
+        len(scans_payload), 0,
+    )
+    for comp, ss, se, payload in scans_payload:
+        out += struct.pack("<BBBBI", comp, ss, se, 0, len(payload))
+        out += payload
+    return EncodeResult(
+        data=bytes(out),
+        planes=planes,
+        coefficients=coefficients,
+        scans=scans_payload,
+    )
+
+
+def decode(data: bytes) -> DecodeResult:
+    if data[:4] != MAGIC:
+        raise ValueError("not an SJPG stream")
+    width, height, quality, progressive, n_scans, _ = struct.unpack(
+        "<HHBBBB", data[4:12]
+    )
+    offset = 12
+    shapes = {
+        "y": (height, width),
+        "cb": (height // 2, width // 2),
+        "cr": (height // 2, width // 2),
+    }
+    zigzagged = {
+        name: np.zeros((h // 8) * (w // 8) * 64, dtype=np.int64).reshape(-1, 64)
+        for name, (h, w) in shapes.items()
+    }
+
+    for _ in range(n_scans):
+        comp, ss, se, _pad, nbytes = struct.unpack(
+            "<BBBBI", data[offset : offset + 8]
+        )
+        offset += 8
+        reader = BitReader(data[offset : offset + nbytes])
+        offset += nbytes
+        if comp == COMP_INTERLEAVED:
+            preds = {COMP_Y: 0, COMP_CB: 0, COMP_CR: 0}
+            for block_comp, index in _mcu_block_sequence(width, height):
+                zz = zigzagged[_COMP_NAMES[block_comp]][index]
+                preds[block_comp] = decode_block(reader, zz, 0, 63, preds[block_comp])
+        else:
+            pred = 0
+            for zz in zigzagged[_COMP_NAMES[comp]]:
+                pred = decode_block(reader, zz, ss, se, pred)
+
+    luma_div = divisors_for(BASE_LUMA_QUANT, quality)
+    chroma_div = divisors_for(BASE_CHROMA_QUANT, quality)
+    planes: Dict[str, np.ndarray] = {}
+    coefficients: Dict[str, np.ndarray] = {}
+    for name, (h, w) in shapes.items():
+        divisors = luma_div if name == "y" else chroma_div
+        natural = np.zeros_like(zigzagged[name])
+        natural[:, ZIGZAG] = zigzagged[name]
+        blocks = natural.reshape(-1, 8, 8)
+        coefficients[name] = blocks.astype(np.int16)
+        samples = idct2d(dequantize(blocks, divisors)) + 128
+        planes[name] = np.clip(
+            blocks_to_plane(samples, h, w), 0, 255
+        ).astype(np.uint8)
+
+    rgb = ycbcr_to_rgb(
+        planes["y"], upsample420(planes["cb"]), upsample420(planes["cr"])
+    )
+    return DecodeResult(rgb=rgb, planes=planes, coefficients=coefficients)

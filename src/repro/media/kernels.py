@@ -1,0 +1,124 @@
+"""Reference (numpy) semantics of the six VSDK image-processing kernels.
+
+These are the ground truth the assembly benchmarks are validated
+against, bit-exactly, in both their scalar and VIS variants.  The
+arithmetic is therefore defined in terms of what the VIS data path
+computes (fixed-point multiplies that round and scale by 256, truncating
+saturating packs) and the scalar variants mirror the same math — the
+paper's methodology likewise required VIS-induced precision changes to
+be imperceptible (Section 2.3.2); we hold ourselves to exact equality
+instead.
+
+Kernel notes
+------------
+* ``addition``/``blend``/``scaling`` treat 3-band interleaved images as
+  flat byte streams (the per-byte math is band-independent).
+* ``conv3x3``/``thresh`` operate on one band, as the VSDK one-band
+  variants do (the paper's results include both one- and three-band
+  kernels; it reports the representative set).
+* ``scaling`` is a linear point transform ``a*x/256 + b`` with
+  saturation (brightness/contrast scaling), the VSDK meaning of image
+  scaling.
+* ``dotprod`` follows the VIS 16x16 emulated multiply: per-element
+  ``(a*b) >> 8`` accumulated in four 16-bit lanes; inputs are bounded
+  so no lane ever wraps, making the lane-sum equal to the natural
+  scalar dot product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def addition(src1: np.ndarray, src2: np.ndarray) -> np.ndarray:
+    """Rounded mean of two byte streams: ``(a + b + 1) >> 1``."""
+    a = src1.astype(np.int32)
+    b = src2.astype(np.int32)
+    return ((a + b + 1) >> 1).astype(np.uint8)
+
+
+def blend(src1: np.ndarray, src2: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+    """Alpha blend ``dst = alpha*src1 + (255-alpha)*src2`` in the VIS
+    fixed-point formulation:
+
+    * alpha is expanded to 16-bit fixed point (``alpha << 4``),
+    * each product uses the fmul8x16 rounding ``(x*a + 0x80) >> 8``,
+    * the sum is packed with truncation and saturation (``>> 4``).
+    """
+    alpha16 = alpha.astype(np.int64) << 4
+    inv16 = 4096 - alpha16
+    m1 = (src1.astype(np.int64) * alpha16 + 0x80) >> 8
+    m2 = (src2.astype(np.int64) * inv16 + 0x80) >> 8
+    out = (m1 + m2) >> 4
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def conv3x3(src: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    """General 3x3 convolution with 8.8 fixed-point taps and a
+    saturating sum of the nine rounded products (Table 1).
+
+    ``src`` is one band, ``(h, w)`` uint8; ``kernel`` is ``(3, 3)``
+    int16 taps scaled by 256.  Each tap product is rounded and scaled
+    as fmul8x16au does: ``(pixel*tap + 0x80) >> 8``.  Border pixels of
+    the output are left 0 (the VIS version uses edge masks to handle
+    them; the benchmarks compute the interior).
+    """
+    h, w = src.shape
+    out = np.zeros((h, w), dtype=np.uint8)
+    acc = np.zeros((h - 2, w - 2), dtype=np.int64)
+    s = src.astype(np.int64)
+    for ky in range(3):
+        for kx in range(3):
+            tap = int(kernel[ky, kx])
+            window = s[ky : ky + h - 2, kx : kx + w - 2]
+            acc += (window * tap + 0x80) >> 8
+    out[1 : h - 1, 1 : w - 1] = np.clip(acc, 0, 255).astype(np.uint8)
+    return out
+
+
+def dotprod(a: np.ndarray, b: np.ndarray) -> int:
+    """16x16 dot product with the VIS emulated multiply:
+    per element ``(a*b) >> 8`` (arithmetic shift), accumulated in four
+    16-bit lanes and then summed.
+
+    Raises if any lane accumulation would wrap 16 bits — the workload
+    generator picks input magnitudes so this never happens, which makes
+    the scalar single-accumulator formulation numerically identical.
+    """
+    products = (a.astype(np.int64) * b.astype(np.int64)) >> 8
+    lanes = [int(products[lane::4].sum()) for lane in range(4)]
+    for lane_sum in lanes:
+        if not -32768 <= lane_sum <= 32767:
+            raise ValueError("dotprod lane accumulator would wrap 16 bits")
+    return sum(lanes)
+
+
+def scaling(src: np.ndarray, scale: int, bias: int) -> np.ndarray:
+    """Linear point scaling ``clamp((x*scale + 0x80 >> 8) + bias)``
+    with an 8.8 fixed-point scale factor."""
+    x = src.astype(np.int64)
+    out = ((x * scale + 0x80) >> 8) + bias
+    return np.clip(out, 0, 255).astype(np.uint8)
+
+
+def thresh(src: np.ndarray, low: int, high: int, map_value: int) -> np.ndarray:
+    """Double-limit thresholding (Table 1): where ``low <= x <= high``
+    the output is ``map_value``, otherwise the source value."""
+    x = src.astype(np.int64)
+    inside = (x >= low) & (x <= high)
+    return np.where(inside, np.int64(map_value), x).astype(np.uint8)
+
+
+#: A sharpening kernel in 8.8 fixed point (sums to 256 -> unity gain).
+SHARPEN_KERNEL = np.array(
+    [[-32, -32, -32], [-32, 512, -32], [-32, -32, -32]], dtype=np.int16
+)
+
+#: Default linear-scaling parameters (contrast boost + small bias).
+SCALE_FACTOR = 288  # 1.125 in 8.8 fixed point
+SCALE_BIAS = 4
+
+#: Default double-limit threshold parameters.
+THRESH_LOW = 80
+THRESH_HIGH = 160
+THRESH_MAP = 255

@@ -1,0 +1,28 @@
+"""Image-quality metrics used by the examples and codec tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean squared error between two same-shape images."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = a.astype(np.float64) - b.astype(np.float64)
+    return float((diff ** 2).mean())
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 255.0) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical images)."""
+    error = mse(a, b)
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / error))
+
+
+def sad(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of absolute differences (the motion-estimation metric)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.abs(a.astype(np.int64) - b.astype(np.int64)).sum())

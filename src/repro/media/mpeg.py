@@ -1,0 +1,538 @@
+"""MPEG-2-style video codec (reference implementation).
+
+Mirrors the structure of the MPEG Software Simulation Group codec the
+paper benchmarks (Section 2.1.3): an I-B-B-P group of pictures, 16x16
+macroblocks with 4:2:0 chroma, full-search integer-pel motion
+estimation (the compute bottleneck of mpeg-enc), bidirectional
+averaging for B pictures, residual DCT/quantization with MPEG-style
+coefficient saturation, run-length + Huffman entropy coding, and
+decoder-side motion-compensated reconstruction.
+
+Simplifications versus a conforming MPEG-2 stream (DESIGN.md
+substitution 4): our own container format, JPEG-style VLC tables in
+place of the MPEG-2 code tables, no half-pel refinement, no
+rate control (fixed quality), B-macroblocks choose between
+bidirectional and intra modes only.  None of these change the phase
+structure or the compute/memory character the paper measures.
+
+Everything is bit-exact against the assembly benchmarks: encoders must
+produce this byte stream, decoders these frames.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .bitstream import (
+    BitReader,
+    BitWriter,
+    magnitude_bits,
+    magnitude_category,
+    receive_extend,
+)
+from .dct import BASE_LUMA_QUANT, divisors_for, fdct2d, idct2d, quantize
+from .jpeg import decode_block, encode_block
+from .zigzag import ZIGZAG
+
+MAGIC = b"SMPG"
+
+#: display-order frame types for one 4-frame GOP and the encode order.
+GOP_TYPES = ("I", "B", "B", "P")
+ENCODE_ORDER = (0, 3, 1, 2)
+FRAME_TYPE_CODE = {"I": 0, "P": 1, "B": 2}
+
+#: inter/intra macroblock decision threshold on the 16x16 luma SAD.
+INTRA_THRESHOLD = 3000
+
+#: MPEG-style mismatch-control saturation of dequantized coefficients;
+#: also guarantees the packed IDCT's 16-bit lanes cannot overflow.
+COEF_CLIP = 4000
+
+#: flat non-intra quantizer matrix (MPEG-2 default).
+FLAT_QUANT = np.full((8, 8), 16, dtype=np.int64)
+
+
+def intra_divisors(quality: int) -> np.ndarray:
+    return divisors_for(BASE_LUMA_QUANT, quality)
+
+def inter_divisors(quality: int) -> np.ndarray:
+    return divisors_for(FLAT_QUANT, quality)
+
+
+def dequantize_clipped(levels: np.ndarray, divisors: np.ndarray) -> np.ndarray:
+    out = levels.astype(np.int64) * divisors.astype(np.int64)
+    return np.clip(out, -COEF_CLIP, COEF_CLIP)
+
+
+def sad16(cur: np.ndarray, ref: np.ndarray) -> int:
+    return int(np.abs(cur.astype(np.int64) - ref.astype(np.int64)).sum())
+
+
+def full_search(
+    cur: np.ndarray,
+    ref: np.ndarray,
+    mb_y: int,
+    mb_x: int,
+    search_range: int,
+) -> Tuple[int, int, int]:
+    """Full-search motion estimation for the 16x16 block at
+    (mb_y, mb_x) (pixel coordinates).  Returns (dy, dx, sad) — the
+    first strict minimum in (dy, dx) raster order, candidates clamped
+    to the frame (the assembly versions iterate identically)."""
+    height, width = ref.shape
+    block = cur[mb_y : mb_y + 16, mb_x : mb_x + 16]
+    best = (0, 0, 1 << 40)
+    for dy in range(-search_range, search_range + 1):
+        y = mb_y + dy
+        if y < 0 or y + 16 > height:
+            continue
+        for dx in range(-search_range, search_range + 1):
+            x = mb_x + dx
+            if x < 0 or x + 16 > width:
+                continue
+            sad = sad16(block, ref[y : y + 16, x : x + 16])
+            if sad < best[2]:
+                best = (dy, dx, sad)
+    return best
+
+
+def _average(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return ((a.astype(np.int64) + b.astype(np.int64) + 1) >> 1).astype(np.uint8)
+
+
+def _chroma_mv(dy: int, dx: int) -> Tuple[int, int]:
+    return dy >> 1, dx >> 1
+
+
+@dataclass
+class _FramePlanes:
+    y: np.ndarray
+    cb: np.ndarray
+    cr: np.ndarray
+
+    def copy(self) -> "_FramePlanes":
+        return _FramePlanes(self.y.copy(), self.cb.copy(), self.cr.copy())
+
+
+def _code_motion_vector(writer: BitWriter, value: int) -> None:
+    """Size category + extra bits (the DC Huffman table carries the
+    category, exactly as the assembly does)."""
+    from .huffman import DC_TABLE
+
+    size = magnitude_category(value)
+    DC_TABLE.encode(writer, size)
+    if size:
+        writer.write(magnitude_bits(value, size), size)
+
+
+def _decode_motion_vector(reader: BitReader) -> int:
+    from .huffman import DC_TABLE
+
+    size = DC_TABLE.decode(reader)
+    return receive_extend(reader.read(size), size) if size else 0
+
+
+def _encode_intra_block(writer, samples, divisors, pred: int) -> int:
+    coef = quantize(fdct2d(samples.astype(np.int64) - 128), divisors)
+    zz = coef.reshape(64)[ZIGZAG]
+    return encode_block(writer, zz, 0, 63, pred)
+
+
+def _encode_residual_block(writer, residual, divisors) -> None:
+    coef = quantize(fdct2d(residual.astype(np.int64)), divisors)
+    zz = coef.reshape(64)[ZIGZAG]
+    encode_block(writer, zz, 0, 63, 0)
+
+
+def _decode_coef_block(reader, divisors) -> np.ndarray:
+    zz = np.zeros(64, dtype=np.int64)
+    decode_block(reader, zz, 0, 63, 0)
+    natural = np.zeros(64, dtype=np.int64)
+    natural[ZIGZAG] = zz
+    return dequantize_clipped(natural.reshape(8, 8), divisors)
+
+
+def _decode_intra_block(reader, divisors, pred: int) -> Tuple[np.ndarray, int]:
+    zz = np.zeros(64, dtype=np.int64)
+    pred = decode_block(reader, zz, 0, 63, pred)
+    natural = np.zeros(64, dtype=np.int64)
+    natural[ZIGZAG] = zz
+    samples = idct2d(dequantize_clipped(natural.reshape(8, 8), divisors)) + 128
+    return np.clip(samples, 0, 255).astype(np.uint8), pred
+
+
+def _reconstruct_residual_block(reader, divisors, pred_block) -> np.ndarray:
+    residual = idct2d(_decode_coef_block(reader, divisors))
+    return np.clip(pred_block.astype(np.int64) + residual, 0, 255).astype(np.uint8)
+
+
+def _luma_blocks(mb_y, mb_x):
+    for by, bx in ((0, 0), (0, 8), (8, 0), (8, 8)):
+        yield mb_y + by, mb_x + bx
+
+
+@dataclass
+class EncodeResult:
+    data: bytes
+    reconstructed: List[_FramePlanes] = field(default_factory=list)
+    frame_payloads: List[bytes] = field(default_factory=list)
+    mode_counts: Dict[str, int] = field(default_factory=dict)
+
+
+def encode(
+    frames: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    quality: int = 75,
+    search_range: int = 3,
+) -> EncodeResult:
+    """Encode one GOP (display order: I B B P ...).  ``frames`` is a
+    list of ``(Y, Cb, Cr)`` uint8 planes with 4:2:0 chroma."""
+    if len(frames) != len(GOP_TYPES):
+        raise ValueError(f"expected {len(GOP_TYPES)} frames")
+    height, width = frames[0][0].shape
+    if height % 16 or width % 16:
+        raise ValueError("frame dimensions must be multiples of 16")
+    intra_div = intra_divisors(quality)
+    inter_div = inter_divisors(quality)
+    inputs = [_FramePlanes(*f) for f in frames]
+    recon: Dict[int, _FramePlanes] = {}
+    payloads: Dict[int, bytes] = {}
+    mode_counts = {"intra": 0, "inter": 0, "bi": 0}
+
+    for display_index in ENCODE_ORDER:
+        ftype = GOP_TYPES[display_index]
+        cur = inputs[display_index]
+        writer = BitWriter()
+        if ftype == "I":
+            rec = _encode_intra_frame(writer, cur, intra_div, mode_counts)
+        elif ftype == "P":
+            rec = _encode_predicted_frame(
+                writer, cur, recon[0], intra_div, inter_div,
+                search_range, mode_counts,
+            )
+        else:
+            rec = _encode_bidirectional_frame(
+                writer, cur, recon[0], recon[3], intra_div, inter_div,
+                search_range, mode_counts,
+            )
+        payloads[display_index] = writer.getvalue()
+        if ftype in ("I", "P"):
+            recon[display_index] = rec
+
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(
+        "<HHBBBB", width, height, len(frames), quality, search_range, 0
+    )
+    ordered_payloads = []
+    for display_index in ENCODE_ORDER:
+        payload = payloads[display_index]
+        out += struct.pack(
+            "<BBHI",
+            FRAME_TYPE_CODE[GOP_TYPES[display_index]],
+            display_index,
+            0,
+            len(payload),
+        )
+        out += payload
+        ordered_payloads.append(payload)
+    reconstructed = [recon[0], recon[3]]
+    return EncodeResult(
+        data=bytes(out),
+        reconstructed=reconstructed,
+        frame_payloads=ordered_payloads,
+        mode_counts=mode_counts,
+    )
+
+
+def _encode_intra_frame(writer, cur, intra_div, mode_counts) -> _FramePlanes:
+    height, width = cur.y.shape
+    rec = _FramePlanes(
+        np.zeros_like(cur.y), np.zeros_like(cur.cb), np.zeros_like(cur.cr)
+    )
+    preds = {"y": 0, "cb": 0, "cr": 0}
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            mode_counts["intra"] += 1
+            for by, bx in _luma_blocks(mb_y, mb_x):
+                block = cur.y[by : by + 8, bx : bx + 8]
+                preds["y"] = _encode_intra_block(writer, block, intra_div, preds["y"])
+                rec.y[by : by + 8, bx : bx + 8] = _roundtrip_intra(
+                    block, intra_div
+                )
+            cy, cx = mb_y // 2, mb_x // 2
+            for name, plane, rplane in (
+                ("cb", cur.cb, rec.cb), ("cr", cur.cr, rec.cr)
+            ):
+                block = plane[cy : cy + 8, cx : cx + 8]
+                preds[name] = _encode_intra_block(writer, block, intra_div, preds[name])
+                rplane[cy : cy + 8, cx : cx + 8] = _roundtrip_intra(block, intra_div)
+    return rec
+
+
+def _roundtrip_intra(block, divisors) -> np.ndarray:
+    coef = quantize(fdct2d(block.astype(np.int64) - 128), divisors)
+    samples = idct2d(dequantize_clipped(coef, divisors)) + 128
+    return np.clip(samples, 0, 255).astype(np.uint8)
+
+
+def _roundtrip_residual(residual, divisors) -> np.ndarray:
+    coef = quantize(fdct2d(residual.astype(np.int64)), divisors)
+    return idct2d(dequantize_clipped(coef, divisors))
+
+
+def _encode_inter_macroblock(
+    writer, cur, pred: _FramePlanes, rec: Optional[_FramePlanes],
+    mb_y, mb_x, inter_div,
+) -> None:
+    """Code the residual blocks of one inter macroblock (and optionally
+    reconstruct into ``rec``)."""
+    for by, bx in _luma_blocks(mb_y, mb_x):
+        residual = (
+            cur.y[by : by + 8, bx : bx + 8].astype(np.int64)
+            - pred.y[by - mb_y : by - mb_y + 8, bx - mb_x : bx - mb_x + 8]
+        )
+        _encode_residual_block(writer, residual, inter_div)
+        if rec is not None:
+            rec.y[by : by + 8, bx : bx + 8] = np.clip(
+                pred.y[by - mb_y : by - mb_y + 8, bx - mb_x : bx - mb_x + 8]
+                + _roundtrip_residual(residual, inter_div),
+                0, 255,
+            ).astype(np.uint8)
+    cy, cx = mb_y // 2, mb_x // 2
+    for name in ("cb", "cr"):
+        cur_block = getattr(cur, name)[cy : cy + 8, cx : cx + 8].astype(np.int64)
+        pred_block = getattr(pred, name)
+        residual = cur_block - pred_block
+        _encode_residual_block(writer, residual, inter_div)
+        if rec is not None:
+            getattr(rec, name)[cy : cy + 8, cx : cx + 8] = np.clip(
+                pred_block + _roundtrip_residual(residual, inter_div), 0, 255
+            ).astype(np.uint8)
+
+
+def _encode_intra_macroblock(
+    writer, cur, rec: Optional[_FramePlanes], mb_y, mb_x, intra_div
+) -> None:
+    for by, bx in _luma_blocks(mb_y, mb_x):
+        block = cur.y[by : by + 8, bx : bx + 8]
+        _encode_intra_block(writer, block, intra_div, 0)
+        if rec is not None:
+            rec.y[by : by + 8, bx : bx + 8] = _roundtrip_intra(block, intra_div)
+    cy, cx = mb_y // 2, mb_x // 2
+    for name in ("cb", "cr"):
+        block = getattr(cur, name)[cy : cy + 8, cx : cx + 8]
+        _encode_intra_block(writer, block, intra_div, 0)
+        if rec is not None:
+            getattr(rec, name)[cy : cy + 8, cx : cx + 8] = _roundtrip_intra(
+                block, intra_div
+            )
+
+
+def _extract_pred(ref: _FramePlanes, mb_y, mb_x, dy, dx) -> _FramePlanes:
+    cdy, cdx = _chroma_mv(dy, dx)
+    cy, cx = mb_y // 2 + cdy, mb_x // 2 + cdx
+    return _FramePlanes(
+        ref.y[mb_y + dy : mb_y + dy + 16, mb_x + dx : mb_x + dx + 16],
+        ref.cb[cy : cy + 8, cx : cx + 8],
+        ref.cr[cy : cy + 8, cx : cx + 8],
+    )
+
+
+def _encode_predicted_frame(
+    writer, cur, ref, intra_div, inter_div, search_range, mode_counts
+) -> _FramePlanes:
+    height, width = cur.y.shape
+    rec = _FramePlanes(
+        np.zeros_like(cur.y), np.zeros_like(cur.cb), np.zeros_like(cur.cr)
+    )
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            dy, dx, sad = full_search(cur.y, ref.y, mb_y, mb_x, search_range)
+            if sad < INTRA_THRESHOLD:
+                mode_counts["inter"] += 1
+                writer.write(1, 1)
+                _code_motion_vector(writer, dy)
+                _code_motion_vector(writer, dx)
+                pred = _extract_pred(ref, mb_y, mb_x, dy, dx)
+                _encode_inter_macroblock(
+                    writer, cur, pred, rec, mb_y, mb_x, inter_div
+                )
+            else:
+                mode_counts["intra"] += 1
+                writer.write(0, 1)
+                _encode_intra_macroblock(writer, cur, rec, mb_y, mb_x, intra_div)
+    return rec
+
+
+def _encode_bidirectional_frame(
+    writer, cur, fwd_ref, bwd_ref, intra_div, inter_div, search_range,
+    mode_counts,
+) -> None:
+    height, width = cur.y.shape
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            fdy, fdx, _fsad = full_search(cur.y, fwd_ref.y, mb_y, mb_x, search_range)
+            bdy, bdx, _bsad = full_search(cur.y, bwd_ref.y, mb_y, mb_x, search_range)
+            fwd = _extract_pred(fwd_ref, mb_y, mb_x, fdy, fdx)
+            bwd = _extract_pred(bwd_ref, mb_y, mb_x, bdy, bdx)
+            pred = _FramePlanes(
+                _average(fwd.y, bwd.y),
+                _average(fwd.cb, bwd.cb),
+                _average(fwd.cr, bwd.cr),
+            )
+            bi_sad = sad16(cur.y[mb_y : mb_y + 16, mb_x : mb_x + 16], pred.y)
+            if bi_sad < INTRA_THRESHOLD:
+                mode_counts["bi"] += 1
+                writer.write(1, 1)
+                _code_motion_vector(writer, fdy)
+                _code_motion_vector(writer, fdx)
+                _code_motion_vector(writer, bdy)
+                _code_motion_vector(writer, bdx)
+                _encode_inter_macroblock(
+                    writer, cur, pred, None, mb_y, mb_x, inter_div
+                )
+            else:
+                mode_counts["intra"] += 1
+                writer.write(0, 1)
+                _encode_intra_macroblock(writer, cur, None, mb_y, mb_x, intra_div)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Decoder.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DecodeResult:
+    frames: List[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+    frame_types: List[str]
+
+
+def decode(data: bytes) -> DecodeResult:
+    if data[:4] != MAGIC:
+        raise ValueError("not an SMPG stream")
+    width, height, n_frames, quality, search_range, _ = struct.unpack(
+        "<HHBBBB", data[4:12]
+    )
+    intra_div = intra_divisors(quality)
+    inter_div = inter_divisors(quality)
+    offset = 12
+    display: Dict[int, _FramePlanes] = {}
+    refs: Dict[int, _FramePlanes] = {}
+    types: Dict[int, str] = {}
+    for _ in range(n_frames):
+        type_code, display_index, _pad, nbytes = struct.unpack(
+            "<BBHI", data[offset : offset + 8]
+        )
+        offset += 8
+        reader = BitReader(data[offset : offset + nbytes])
+        offset += nbytes
+        ftype = {0: "I", 1: "P", 2: "B"}[type_code]
+        types[display_index] = ftype
+        if ftype == "I":
+            frame = _decode_intra_frame(reader, width, height, intra_div)
+            refs[display_index] = frame
+        elif ftype == "P":
+            frame = _decode_predicted_frame(
+                reader, width, height, refs[0], intra_div, inter_div
+            )
+            refs[display_index] = frame
+        else:
+            frame = _decode_bidirectional_frame(
+                reader, width, height, refs[0], refs[3], intra_div, inter_div
+            )
+        display[display_index] = frame
+    ordered = [display[i] for i in sorted(display)]
+    return DecodeResult(
+        frames=[(f.y, f.cb, f.cr) for f in ordered],
+        frame_types=[types[i] for i in sorted(types)],
+    )
+
+
+def _empty_frame(width, height) -> _FramePlanes:
+    return _FramePlanes(
+        np.zeros((height, width), dtype=np.uint8),
+        np.zeros((height // 2, width // 2), dtype=np.uint8),
+        np.zeros((height // 2, width // 2), dtype=np.uint8),
+    )
+
+
+def _decode_intra_frame(reader, width, height, intra_div) -> _FramePlanes:
+    out = _empty_frame(width, height)
+    preds = {"y": 0, "cb": 0, "cr": 0}
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            for by, bx in _luma_blocks(mb_y, mb_x):
+                block, preds["y"] = _decode_intra_block(reader, intra_div, preds["y"])
+                out.y[by : by + 8, bx : bx + 8] = block
+            cy, cx = mb_y // 2, mb_x // 2
+            for name in ("cb", "cr"):
+                block, preds[name] = _decode_intra_block(reader, intra_div, preds[name])
+                getattr(out, name)[cy : cy + 8, cx : cx + 8] = block
+    return out
+
+
+def _decode_macroblock_intra(reader, out, mb_y, mb_x, intra_div) -> None:
+    for by, bx in _luma_blocks(mb_y, mb_x):
+        block, _ = _decode_intra_block(reader, intra_div, 0)
+        out.y[by : by + 8, bx : bx + 8] = block
+    cy, cx = mb_y // 2, mb_x // 2
+    for name in ("cb", "cr"):
+        block, _ = _decode_intra_block(reader, intra_div, 0)
+        getattr(out, name)[cy : cy + 8, cx : cx + 8] = block
+
+
+def _decode_macroblock_inter(reader, out, pred: _FramePlanes, mb_y, mb_x, inter_div):
+    for by, bx in _luma_blocks(mb_y, mb_x):
+        pred_block = pred.y[by - mb_y : by - mb_y + 8, bx - mb_x : bx - mb_x + 8]
+        out.y[by : by + 8, bx : bx + 8] = _reconstruct_residual_block(
+            reader, inter_div, pred_block
+        )
+    cy, cx = mb_y // 2, mb_x // 2
+    for name in ("cb", "cr"):
+        getattr(out, name)[cy : cy + 8, cx : cx + 8] = _reconstruct_residual_block(
+            reader, inter_div, getattr(pred, name)
+        )
+
+
+def _decode_predicted_frame(reader, width, height, ref, intra_div, inter_div):
+    out = _empty_frame(width, height)
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            if reader.read_bit():
+                dy = _decode_motion_vector(reader)
+                dx = _decode_motion_vector(reader)
+                pred = _extract_pred(ref, mb_y, mb_x, dy, dx)
+                _decode_macroblock_inter(reader, out, pred, mb_y, mb_x, inter_div)
+            else:
+                _decode_macroblock_intra(reader, out, mb_y, mb_x, intra_div)
+    return out
+
+
+def _decode_bidirectional_frame(
+    reader, width, height, fwd_ref, bwd_ref, intra_div, inter_div
+):
+    out = _empty_frame(width, height)
+    for mb_y in range(0, height, 16):
+        for mb_x in range(0, width, 16):
+            if reader.read_bit():
+                fdy = _decode_motion_vector(reader)
+                fdx = _decode_motion_vector(reader)
+                bdy = _decode_motion_vector(reader)
+                bdx = _decode_motion_vector(reader)
+                fwd = _extract_pred(fwd_ref, mb_y, mb_x, fdy, fdx)
+                bwd = _extract_pred(bwd_ref, mb_y, mb_x, bdy, bdx)
+                pred = _FramePlanes(
+                    _average(fwd.y, bwd.y),
+                    _average(fwd.cb, bwd.cb),
+                    _average(fwd.cr, bwd.cr),
+                )
+                _decode_macroblock_inter(reader, out, pred, mb_y, mb_x, inter_div)
+            else:
+                _decode_macroblock_intra(reader, out, mb_y, mb_x, intra_div)
+    return out

@@ -1,0 +1,73 @@
+"""Minimal PPM (P6) / PGM (P5) reader and writer.
+
+The paper's inputs are PPM images (``sf16.ppm`` etc.); this module lets
+users run the benchmarks on their own images and lets the examples save
+the synthetic inputs/outputs for inspection.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _read_token(stream: io.BufferedReader) -> bytes:
+    """Read one whitespace-delimited token, skipping ``#`` comments."""
+    token = b""
+    while True:
+        ch = stream.read(1)
+        if not ch:
+            raise ValueError("unexpected end of PNM header")
+        if ch == b"#":
+            while ch not in (b"\n", b""):
+                ch = stream.read(1)
+            continue
+        if ch.isspace():
+            if token:
+                return token
+            continue
+        token += ch
+
+
+def read_pnm(path: PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) or PGM (P5) file.
+
+    Returns ``(h, w, 3)`` uint8 for PPM and ``(h, w)`` uint8 for PGM.
+    """
+    with open(path, "rb") as f:
+        magic = _read_token(f)
+        if magic not in (b"P5", b"P6"):
+            raise ValueError(f"unsupported PNM magic {magic!r}")
+        width = int(_read_token(f))
+        height = int(_read_token(f))
+        maxval = int(_read_token(f))
+        if maxval != 255:
+            raise ValueError("only 8-bit PNM images are supported")
+        bands = 3 if magic == b"P6" else 1
+        data = f.read(width * height * bands)
+        if len(data) != width * height * bands:
+            raise ValueError("truncated PNM pixel data")
+    pixels = np.frombuffer(data, dtype=np.uint8)
+    if bands == 3:
+        return pixels.reshape(height, width, 3)
+    return pixels.reshape(height, width)
+
+
+def write_pnm(path: PathLike, image: np.ndarray) -> None:
+    """Write a uint8 image as binary PPM (3-band) or PGM (1-band)."""
+    if image.dtype != np.uint8:
+        raise ValueError("PNM writer requires uint8 data")
+    if image.ndim == 3 and image.shape[2] == 3:
+        magic, (height, width) = b"P6", image.shape[:2]
+    elif image.ndim == 2:
+        magic, (height, width) = b"P5", image.shape
+    else:
+        raise ValueError(f"unsupported image shape {image.shape}")
+    with open(path, "wb") as f:
+        f.write(magic + b"\n%d %d\n255\n" % (width, height))
+        f.write(image.tobytes())

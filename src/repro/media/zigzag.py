@@ -1,0 +1,54 @@
+"""Zigzag scan order for 8x8 coefficient blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _build_order() -> np.ndarray:
+    order = np.empty(64, dtype=np.int64)
+    row = col = 0
+    for i in range(64):
+        order[i] = row * 8 + col
+        if (row + col) % 2 == 0:  # moving up-right
+            if col == 7:
+                row += 1
+            elif row == 0:
+                col += 1
+            else:
+                row -= 1
+                col += 1
+        else:  # moving down-left
+            if row == 7:
+                col += 1
+            elif col == 0:
+                row += 1
+            else:
+                row += 1
+                col -= 1
+    return order
+
+
+#: flat index into a row-major 8x8 block, for scan positions 0..63
+ZIGZAG = _build_order()
+
+#: inverse permutation: natural index -> scan position
+ZIGZAG_INV = np.argsort(ZIGZAG)
+
+#: zigzag over the *transposed* block: used by the VIS DCT path, whose
+#: packed column pipeline leaves coefficients transposed in memory
+#: (the permutation table absorbs the missing transpose for free).
+ZIGZAG_T = np.array([(z % 8) * 8 + z // 8 for z in ZIGZAG], dtype=np.int64)
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten an ``(..., 8, 8)`` block into ``(..., 64)`` scan order."""
+    flat = block.reshape(*block.shape[:-2], 64)
+    return flat[..., ZIGZAG]
+
+
+def zigzag_unscan(scanned: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_scan`."""
+    out = np.empty_like(scanned)
+    out[..., ZIGZAG] = scanned
+    return out.reshape(*scanned.shape[:-1], 8, 8)

@@ -1,0 +1,28 @@
+"""Memory-hierarchy timing models (Table 3)."""
+
+from .config import DEFAULT_SCALE, MemoryConfig, PAPER_DEFAULT, SCALED_DEFAULT
+from .system import (
+    A_LOAD,
+    A_PREFETCH,
+    A_STORE,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_MEM,
+    MemoryStats,
+    MemorySystem,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "MemoryConfig",
+    "PAPER_DEFAULT",
+    "SCALED_DEFAULT",
+    "A_LOAD",
+    "A_PREFETCH",
+    "A_STORE",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_MEM",
+    "MemoryStats",
+    "MemorySystem",
+]

@@ -1,0 +1,85 @@
+"""Memory-system parameters (Table 3 of the paper).
+
+With a 1 GHz clock (Table 2) one cycle is one nanosecond, so the
+nanosecond figures of Table 3 are used directly as cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Two-level write-back hierarchy + interleaved main memory."""
+
+    line_size: int = 64
+
+    l1_size: int = 64 * 1024
+    l1_assoc: int = 2
+    l1_ports: int = 2
+    l1_hit_cycles: int = 2
+    l1_mshrs: int = 12
+
+    l2_size: int = 128 * 1024
+    l2_assoc: int = 4
+    l2_ports: int = 1
+    l2_hit_cycles: int = 20
+    l2_mshrs: int = 12
+
+    #: maximum requests combined into one outstanding MSHR entry
+    mshr_combine_max: int = 8
+
+    #: total latency of an L2 miss (L1-miss detection to data return)
+    mem_latency_cycles: int = 100
+    #: number of interleaved memory banks
+    mem_banks: int = 4
+    #: per-line bank occupancy (limits streaming bandwidth)
+    mem_bank_busy_cycles: int = 24
+
+    def __post_init__(self) -> None:
+        for level, size, assoc in (
+            ("L1", self.l1_size, self.l1_assoc),
+            ("L2", self.l2_size, self.l2_assoc),
+        ):
+            if size % (self.line_size * assoc) != 0:
+                raise ValueError(
+                    f"{level} size {size} not divisible by line*assoc"
+                )
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_size // (self.line_size * self.l1_assoc)
+
+    @property
+    def l2_sets(self) -> int:
+        return self.l2_size // (self.line_size * self.l2_assoc)
+
+    def with_l1_size(self, size: int) -> "MemoryConfig":
+        return replace(self, l1_size=size)
+
+    def with_l2_size(self, size: int) -> "MemoryConfig":
+        return replace(self, l2_size=size)
+
+    def scaled(self, factor: int) -> "MemoryConfig":
+        """Scale both cache capacities down by ``factor``.
+
+        Used together with proportionally scaled image sizes to keep the
+        paper's working-set:cache-capacity ratios while keeping Python
+        simulation time practical (DESIGN.md substitution 3).  Capacities
+        never drop below one set per way.
+        """
+        l1 = max(self.l1_size // factor, self.line_size * self.l1_assoc)
+        l2 = max(self.l2_size // factor, self.line_size * self.l2_assoc)
+        return replace(self, l1_size=l1, l2_size=l2)
+
+
+#: The paper's default memory system (Table 3).
+PAPER_DEFAULT = MemoryConfig()
+
+#: Scaling factor applied to cache capacities and image areas by the
+#: default experiment configuration.
+DEFAULT_SCALE = 32
+
+#: The scaled default used by the experiment harness.
+SCALED_DEFAULT = PAPER_DEFAULT.scaled(DEFAULT_SCALE)

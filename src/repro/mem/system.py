@@ -1,0 +1,341 @@
+"""Timing model of the two-level non-blocking cache hierarchy.
+
+Models, per Table 3 and Section 2.2.1:
+
+* set-associative write-back write-allocate L1 and L2 with LRU,
+* request ports (2 at L1, 1 pipelined port at L2),
+* 12 MSHRs per cache, combining up to 8 requests per line; a request
+  that cannot get an MSHR (or exceeds the combine limit) stalls, which
+  reproduces the store-backup contention effect of Section 3.1,
+* 4-way interleaved main memory with per-bank occupancy,
+* write-back traffic on dirty evictions,
+* non-binding software prefetches that fill the L1 (Section 2.2.1),
+  with useful/late accounting (Section 4.2).
+
+The caches are tag-only: data correctness is the functional machine's
+job.  ``access()`` returns the completion cycle and the satisfying
+level, which the CPU models feed into the paper's execution-time
+components (L1-hit stall vs. L1-miss stall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .config import MemoryConfig
+
+# Access kinds.
+A_LOAD = 0
+A_STORE = 1
+A_PREFETCH = 2
+
+# Satisfying levels.
+LEVEL_L1 = 0
+LEVEL_L2 = 1
+LEVEL_MEM = 2
+
+
+@dataclass
+class _MshrEntry:
+    line: int
+    ready: int
+    combines: int = 1
+    level: int = LEVEL_L2
+    from_prefetch: bool = False
+
+
+class _CacheLevel:
+    """Tags + LRU + dirty bits for one cache level."""
+
+    __slots__ = ("sets", "assoc", "nsets", "use_counter")
+
+    def __init__(self, nsets: int, assoc: int) -> None:
+        self.nsets = nsets
+        self.assoc = assoc
+        # per-set dict: line -> (last_use, dirty)
+        self.sets: List[Dict[int, List[int]]] = [dict() for _ in range(nsets)]
+        self.use_counter = 0
+
+    def lookup(self, line: int) -> bool:
+        entry = self.sets[line % self.nsets].get(line)
+        if entry is None:
+            return False
+        self.use_counter += 1
+        entry[0] = self.use_counter
+        return True
+
+    def set_dirty(self, line: int) -> None:
+        entry = self.sets[line % self.nsets].get(line)
+        if entry is not None:
+            entry[1] = 1
+
+    def install(self, line: int, dirty: bool = False) -> Optional[Tuple[int, bool]]:
+        """Insert ``line``; returns ``(victim_line, victim_dirty)`` if an
+        eviction happened, else ``None``."""
+        cache_set = self.sets[line % self.nsets]
+        self.use_counter += 1
+        if line in cache_set:
+            entry = cache_set[line]
+            entry[0] = self.use_counter
+            if dirty:
+                entry[1] = 1
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim_line = min(cache_set, key=lambda k: cache_set[k][0])
+            victim = (victim_line, bool(cache_set[victim_line][1]))
+            del cache_set[victim_line]
+        cache_set[line] = [self.use_counter, 1 if dirty else 0]
+        return victim
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[line % self.nsets]
+
+    def flush(self) -> None:
+        for cache_set in self.sets:
+            cache_set.clear()
+
+
+@dataclass
+class MemoryStats:
+    """Counters the experiments report (Sections 3.1, 4.1, 4.2)."""
+
+    loads: int = 0
+    stores: int = 0
+    prefetches: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    mshr_combined: int = 0
+    mshr_full_stalls: int = 0
+    combine_limit_stalls: int = 0
+    writebacks: int = 0
+    prefetch_useful: int = 0
+    prefetch_late: int = 0
+    prefetch_redundant: int = 0
+    load_miss_overlap: Dict[int, int] = field(default_factory=dict)
+    mshr_occupancy: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def l1_accesses(self) -> int:
+        return self.loads + self.stores + self.prefetches
+
+    @property
+    def l1_miss_rate(self) -> float:
+        accesses = self.l1_accesses
+        return self.l1_misses / accesses if accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        refs = self.l2_hits + self.l2_misses
+        return self.l2_misses / refs if refs else 0.0
+
+    @property
+    def max_load_miss_overlap(self) -> int:
+        return max(self.load_miss_overlap, default=0)
+
+
+class MemorySystem:
+    """Event-based timing model of the full hierarchy."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_size.bit_length() - 1
+        if (1 << self._line_shift) != config.line_size:
+            raise ValueError("line size must be a power of two")
+        self.l1 = _CacheLevel(config.l1_sets, config.l1_assoc)
+        self.l2 = _CacheLevel(config.l2_sets, config.l2_assoc)
+        self._l1_ports = [0] * config.l1_ports
+        self._l2_ports = [0] * config.l2_ports
+        self._banks = [0] * config.mem_banks
+        self._l1_mshrs: Dict[int, _MshrEntry] = {}
+        self._l2_mshrs: Dict[int, _MshrEntry] = {}
+        self._prefetched_lines: Dict[int, bool] = {}  # line -> consumed?
+        self.stats = MemoryStats()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _take_port(self, ports: List[int], cycle: int) -> int:
+        """Claim the earliest-free port at or after ``cycle``; each
+        request occupies its port for one cycle (pipelined)."""
+        best = 0
+        for i in range(1, len(ports)):
+            if ports[i] < ports[best]:
+                best = i
+        start = cycle if ports[best] <= cycle else ports[best]
+        ports[best] = start + 1
+        return start
+
+    def _prune(self, mshrs: Dict[int, _MshrEntry], cycle: int) -> None:
+        if not mshrs:
+            return
+        done = [line for line, entry in mshrs.items() if entry.ready <= cycle]
+        for line in done:
+            del mshrs[line]
+
+    # -- the main entry point -----------------------------------------------------
+
+    def access(self, kind: int, addr: int, cycle: int) -> Tuple[int, int]:
+        """Simulate one request; returns ``(completion_cycle, level)``.
+
+        ``cycle`` is when the CPU presents the request to the L1.
+        """
+        stats = self.stats
+        if kind == A_LOAD:
+            stats.loads += 1
+        elif kind == A_STORE:
+            stats.stores += 1
+        else:
+            stats.prefetches += 1
+
+        line = addr >> self._line_shift
+        start = self._take_port(self._l1_ports, cycle)
+        self._prune(self._l1_mshrs, start)
+
+        # A line whose fill is still in flight is *not* yet present,
+        # even though its tag is installed: such accesses combine into
+        # the outstanding MSHR (or stall at the combine limit).
+        pending = self._l1_mshrs.get(line)
+        if pending is not None:
+            if pending.from_prefetch and kind == A_LOAD:
+                stats.prefetch_late += 1
+                self._prefetched_lines.pop(line, None)
+                pending.from_prefetch = False
+            if kind == A_STORE:
+                self.l1.set_dirty(line)
+            if pending.combines < self.config.mshr_combine_max:
+                pending.combines += 1
+                stats.mshr_combined += 1
+                done = pending.ready
+                if done < start + self.config.l1_hit_cycles:
+                    done = start + self.config.l1_hit_cycles
+                return done, pending.level
+            # Combine limit reached: the request waits for the fill and
+            # then re-executes as a hit (Section 3.1's write backup).
+            stats.combine_limit_stalls += 1
+            return pending.ready + self.config.l1_hit_cycles, pending.level
+
+        if self.l1.lookup(line):
+            stats.l1_hits += 1
+            if kind == A_STORE:
+                self.l1.set_dirty(line)
+            elif kind == A_LOAD and self._prefetched_lines.pop(line, None) is False:
+                stats.prefetch_useful += 1
+            if kind == A_PREFETCH:
+                stats.prefetch_redundant += 1
+            return start + self.config.l1_hit_cycles, LEVEL_L1
+
+        # L1 miss path: allocate a fresh MSHR.
+        stats.l1_misses += 1
+
+        # Need a fresh L1 MSHR.
+        if len(self._l1_mshrs) >= self.config.l1_mshrs:
+            stats.mshr_full_stalls += 1
+            free_at = min(entry.ready for entry in self._l1_mshrs.values())
+            start = free_at if free_at > start else start
+            self._prune(self._l1_mshrs, start)
+
+        occupancy = len(self._l1_mshrs)
+        stats.mshr_occupancy[occupancy] = stats.mshr_occupancy.get(occupancy, 0) + 1
+        if kind == A_LOAD:
+            overlap = sum(
+                1 for entry in self._l1_mshrs.values() if not entry.from_prefetch
+            )
+            stats.load_miss_overlap[overlap] = (
+                stats.load_miss_overlap.get(overlap, 0) + 1
+            )
+
+        fill_ready, level = self._l2_access(kind, line, start)
+
+        self._l1_mshrs[line] = _MshrEntry(
+            line=line,
+            ready=fill_ready,
+            level=level,
+            from_prefetch=(kind == A_PREFETCH),
+        )
+        if kind == A_PREFETCH:
+            self._prefetched_lines[line] = False
+        victim = self.l1.install(line, dirty=(kind == A_STORE))
+        if victim is not None and victim[1]:
+            self._writeback(victim[0], fill_ready)
+        return fill_ready, level
+
+    # -- internals -------------------------------------------------------------------
+
+    def _l2_access(self, kind: int, line: int, l1_miss_cycle: int) -> Tuple[int, int]:
+        """L1-miss service: returns (fill-ready cycle at L1, level)."""
+        stats = self.stats
+        request = l1_miss_cycle + 1  # miss detection
+        start = self._take_port(self._l2_ports, request)
+        queueing = start - request
+        self._prune(self._l2_mshrs, start)
+
+        pending = self._l2_mshrs.get(line)
+        if pending is not None:
+            # in-flight L2 fill: combine or stall, as at the L1
+            if pending.combines < self.config.mshr_combine_max:
+                pending.combines += 1
+                ready = max(pending.ready, start + self.config.l2_hit_cycles)
+                return ready, LEVEL_MEM
+            return pending.ready + self.config.l2_hit_cycles, LEVEL_MEM
+
+        if self.l2.lookup(line):
+            stats.l2_hits += 1
+            return start + self.config.l2_hit_cycles, LEVEL_L2
+
+        stats.l2_misses += 1
+        if len(self._l2_mshrs) >= self.config.l2_mshrs:
+            free_at = min(entry.ready for entry in self._l2_mshrs.values())
+            start = free_at if free_at > start else start
+            self._prune(self._l2_mshrs, start)
+
+        bank = line % self.config.mem_banks
+        bank_start = max(start, self._banks[bank])
+        self._banks[bank] = bank_start + self.config.mem_bank_busy_cycles
+        bank_queueing = bank_start - start
+        # Total uncontended latency is mem_latency_cycles from the L1
+        # miss; contention at the L2 port and the bank adds on top.
+        ready = (
+            l1_miss_cycle
+            + self.config.mem_latency_cycles
+            + queueing
+            + bank_queueing
+        )
+        self._l2_mshrs[line] = _MshrEntry(line=line, ready=ready, level=LEVEL_MEM)
+        victim = self.l2.install(line, dirty=(kind == A_STORE))
+        if victim is not None and victim[1]:
+            self._writeback_to_memory(victim[0], ready)
+        return ready, LEVEL_MEM
+
+    def _writeback(self, line: int, cycle: int) -> None:
+        """Dirty eviction from L1 into the L2.
+
+        Writebacks drain through a write buffer during idle L2-port
+        cycles, so they are not charged against demand misses (charging
+        them makes a *larger* L1 look slower whenever its evictions
+        synchronize with its misses — a artifact real writeback buffers
+        exist to prevent)."""
+        self.stats.writebacks += 1
+        self.l2.install(line, dirty=True)
+
+    def _writeback_to_memory(self, line: int, cycle: int) -> None:
+        """Dirty eviction from L2: occupies a memory bank."""
+        self.stats.writebacks += 1
+        bank = line % self.config.mem_banks
+        start = max(cycle, self._banks[bank])
+        self._banks[bank] = start + self.config.mem_bank_busy_cycles
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Invalidate all cached state (used between experiment phases)."""
+        self.l1.flush()
+        self.l2.flush()
+        self._l1_mshrs.clear()
+        self._l2_mshrs.clear()
+        self._prefetched_lines.clear()

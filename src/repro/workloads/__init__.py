@@ -1,0 +1,30 @@
+"""The 12 image/video benchmarks of Table 1, as simulatable programs."""
+
+from .base import BuiltWorkload, ValidationError, Variant, Workload, expect_equal
+from .params import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    WorkloadScale,
+)
+from .suite import ALL_WORKLOADS, BY_NAME, KERNEL_NAMES, PREFETCH_NAMES, get, names
+
+__all__ = [
+    "BuiltWorkload",
+    "ValidationError",
+    "Variant",
+    "Workload",
+    "expect_equal",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "SMALL_SCALE",
+    "TINY_SCALE",
+    "WorkloadScale",
+    "ALL_WORKLOADS",
+    "BY_NAME",
+    "KERNEL_NAMES",
+    "PREFETCH_NAMES",
+    "get",
+    "names",
+]

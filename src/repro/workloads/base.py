@@ -1,0 +1,109 @@
+"""Workload abstraction: a benchmark = program variants + validation.
+
+Every benchmark of Table 1 is a :class:`Workload` that can build four
+program variants:
+
+* ``scalar``        — optimized scalar code (skewed streams, unrolled
+                      inner loops, per footnote 3 of the paper),
+* ``vis``           — the hand-VIS-ified version (Section 2.3.2),
+* ``vis+pf``        — VIS plus Mowry-style software prefetching
+                      (Section 2.3.3); this is Figure 3's "+PF" bar,
+* ``scalar+pf``     — scalar plus prefetching (used by ablations).
+
+``BuiltWorkload.validate`` re-checks the simulated machine's output
+against the numpy reference implementation, so every timing result in
+the experiments is backed by a functional-correctness check.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..asm.program import Program
+from ..sim.machine import Machine
+
+
+class Variant(enum.Enum):
+    SCALAR = "scalar"
+    VIS = "vis"
+    VIS_PREFETCH = "vis+pf"
+    SCALAR_PREFETCH = "scalar+pf"
+
+    @property
+    def uses_vis(self) -> bool:
+        return self in (Variant.VIS, Variant.VIS_PREFETCH)
+
+    @property
+    def uses_prefetch(self) -> bool:
+        return self in (Variant.VIS_PREFETCH, Variant.SCALAR_PREFETCH)
+
+
+class ValidationError(AssertionError):
+    """The simulated output does not match the reference output."""
+
+
+@dataclass
+class BuiltWorkload:
+    """A ready-to-simulate benchmark instance."""
+
+    name: str
+    variant: Variant
+    program: Program
+    #: raises ValidationError unless the machine's final memory state
+    #: matches the reference computation
+    validate: Callable[[Machine], None]
+    #: free-form details (input geometry, parameters) for reports
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def run_and_validate(self, max_instructions: int = 200_000_000) -> Machine:
+        """Functional run + validation (no timing); returns the machine."""
+        machine = Machine(self.program)
+        machine.run_functional(max_instructions=max_instructions)
+        self.validate(machine)
+        return machine
+
+
+class Workload:
+    """Base class for the 12 benchmarks (Table 1)."""
+
+    #: short identifier, e.g. ``"addition"``
+    name: str = ""
+    #: Table 1 grouping
+    group: str = ""
+    #: one-line description (mirrors Table 1)
+    description: str = ""
+
+    #: variants this workload supports (all four by default)
+    supported_variants: Tuple[Variant, ...] = (
+        Variant.SCALAR,
+        Variant.VIS,
+        Variant.VIS_PREFETCH,
+        Variant.SCALAR_PREFETCH,
+    )
+
+    def build(self, variant: Variant, scale) -> BuiltWorkload:
+        raise NotImplementedError
+
+    def supports(self, variant: Variant) -> bool:
+        return variant in self.supported_variants
+
+
+def expect_equal(actual, expected, what: str) -> None:
+    """Byte/array equality helper with a diagnostic message."""
+    import numpy as np
+
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    if actual.shape != expected.shape:
+        raise ValidationError(
+            f"{what}: shape {actual.shape} != expected {expected.shape}"
+        )
+    if not np.array_equal(actual, expected):
+        bad = np.nonzero(actual != expected)
+        first = tuple(int(axis[0]) for axis in bad)
+        raise ValidationError(
+            f"{what}: {len(bad[0])} mismatching elements; first at {first}: "
+            f"got {actual[first]}, expected {expected[first]}"
+        )

@@ -1,0 +1,15 @@
+"""The JPEG-style image source-coding benchmarks (Table 1)."""
+
+from .codec import (
+    CjpegNpWorkload,
+    CjpegWorkload,
+    DjpegNpWorkload,
+    DjpegWorkload,
+)
+
+__all__ = [
+    "CjpegNpWorkload",
+    "CjpegWorkload",
+    "DjpegNpWorkload",
+    "DjpegWorkload",
+]

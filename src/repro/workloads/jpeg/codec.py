@@ -1,0 +1,581 @@
+"""The four JPEG benchmarks of Table 1: cjpeg / djpeg (progressive)
+and cjpeg-np / djpeg-np (non-progressive).
+
+Structure mirrors the paper's characterization (Sections 2.1.2, 4.1):
+
+* the progressive codecs run whole-image phases — color conversion,
+  chroma decimation, all-blocks FDCT+quant, then one Huffman scan per
+  spectral band, each re-traversing the image-sized coefficient
+  buffer (the multi-pass working set behind their cache sensitivity);
+* the non-progressive codecs run a blocked pipeline — every 16x16 MCU
+  is converted, decimated, transformed and entropy-coded (or the
+  reverse) before the next MCU is touched, keeping the working set a
+  few hundred bytes (and the benchmarks cache-size-insensitive).
+
+Every variant's output is validated bit-exactly against
+:mod:`repro.media.jpeg`: encoders must produce the reference byte
+stream, decoders the reference RGB image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...asm.builder import ProgramBuilder, Reg
+from ...media import jpeg
+from ...media.dct import BASE_CHROMA_QUANT, BASE_LUMA_QUANT, divisors_for
+from ...media.images import synthetic_image
+from ..base import BuiltWorkload, Variant, Workload, expect_equal
+from .entropy import (
+    emit_decode_block,
+    emit_encode_block,
+    emit_entropy_subroutines,
+    emit_flush_encoder,
+    make_entropy_unit,
+)
+from .pixel import (
+    FORWARD_NAMES,
+    INVERSE_NAMES,
+    declare_pixel_constants,
+    emit_decimate_region,
+    emit_rgb_to_ycbcr_scalar,
+    emit_rgb_to_ycbcr_vis,
+    emit_upsample_plane,
+    emit_ycbcr_to_rgb_scalar,
+    emit_ycbcr_to_rgb_vis,
+    load_pixel_constants,
+    release_pixel_constants,
+)
+from .tables import declare_codec_tables, load_vis_constants
+from .transform import (
+    emit_dequant_idct_block_scalar,
+    emit_dequant_idct_block_vis,
+    emit_fdct_quant_block_scalar,
+    emit_fdct_quant_block_vis,
+)
+
+QUALITY = 75
+
+
+def _store_constant_bytes(b: ProgramBuilder, ptr: Reg, data: bytes, offset: int = 0):
+    with b.scratch(iregs=1) as t:
+        for i, byte in enumerate(data):
+            b.li(t, byte)
+            b.stb(t, ptr, offset + i)
+
+
+def _manual_loop(b: ProgramBuilder, count: int):
+    """Context manager: counted loop using only one register (the
+    bound is an immediate materialized into the assembler temp)."""
+    from contextlib import contextmanager
+
+    @contextmanager
+    def _loop():
+        ctr = b.ireg()
+        b.li(ctr, 0)
+        top = b.here("mloop")
+        yield ctr
+        b.add(ctr, ctr, 1)
+        b.blt(ctr, count, top, hint=True)
+        b.release(ctr)
+
+    return _loop()
+
+
+class _JpegWorkload(Workload):
+    group = "image source coding"
+    progressive = True
+    encoder = True
+
+    def build(self, variant: Variant, scale, **_options) -> BuiltWorkload:
+        width, height = scale.jpeg_width, scale.jpeg_height
+        rgb = synthetic_image(width, height, 3, seed=16)
+        enc = jpeg.encode(rgb, QUALITY, progressive=self.progressive)
+        use_vis = variant.uses_vis
+        b = ProgramBuilder(f"{self.name}-{variant.value}")
+
+        luma_div = divisors_for(BASE_LUMA_QUANT, QUALITY)
+        chroma_div = divisors_for(BASE_CHROMA_QUANT, QUALITY)
+        tables = declare_codec_tables(b, luma_div, chroma_div, use_vis)
+        declare_pixel_constants(b)
+        b.buffer("blk_scratch", 128)
+        b.buffer("blk_scratch2", 128)
+
+        if self.encoder:
+            self._emit_encoder(b, rgb, width, height, use_vis, tables,
+                               variant.uses_prefetch)
+            expected = np.frombuffer(enc.data, dtype=np.uint8)
+
+            def validate(machine) -> None:
+                got = machine.read_buffer_array("out_stream")[: len(enc.data)]
+                expect_equal(got, expected, f"{self.name} byte stream")
+        else:
+            dec = jpeg.decode(enc.data)
+            self._emit_decoder(b, enc.data, width, height, use_vis, tables,
+                               variant.uses_prefetch)
+            expected = dec.rgb.reshape(-1)
+
+            def validate(machine) -> None:
+                got = machine.read_buffer_array("rgb_out")
+                expect_equal(got, expected, f"{self.name} decoded image")
+
+        return BuiltWorkload(
+            name=self.name,
+            variant=variant,
+            program=b.build(),
+            validate=validate,
+            details={"image": f"{width}x{height}", "quality": QUALITY,
+                     "stream_bytes": len(enc.data)},
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-image (progressive) pipelines.
+    # ------------------------------------------------------------------
+
+    def _component_geometry(self, width, height):
+        return {
+            "y": (width, height, "luma_div"),
+            "cb": (width // 2, height // 2, "chroma_div"),
+            "cr": (width // 2, height // 2, "chroma_div"),
+        }
+
+    def _emit_encoder(self, b, rgb, width, height, use_vis, tables, prefetch):
+        ent = make_entropy_unit(b)
+        b.buffer("rgb_in", rgb.size, data=rgb.tobytes())
+        b.buffer("y_plane", width * height)
+        b.buffer("cb_full", width * height)
+        b.buffer("cr_full", width * height)
+        b.buffer("cb_plane", (width // 2) * (height // 2))
+        b.buffer("cr_plane", (width // 2) * (height // 2))
+        for comp, (cw, ch, _d) in self._component_geometry(width, height).items():
+            b.buffer(f"coef_{comp}", (cw // 8) * (ch // 8) * 128)
+        b.buffer("out_stream", max(4096, rgb.size) + 64)
+        b.buffer("out_len", 8)
+        emit_entropy_subroutines(b, ent, tables, encoder=True, decoder=False)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+
+        # --- pixel phases ------------------------------------------------
+        b.marker("color conversion")
+        with b.scratch(iregs=4) as (p_rgb, p_y, p_cb, p_cr):
+            b.la(p_rgb, "rgb_in")
+            b.la(p_y, "y_plane")
+            b.la(p_cb, "cb_full")
+            b.la(p_cr, "cr_full")
+            if use_vis:
+                state = load_pixel_constants(b, FORWARD_NAMES)
+                emit_rgb_to_ycbcr_vis(b, state, p_rgb, p_y, p_cb, p_cr,
+                                      width, height, width)
+                release_pixel_constants(b, state)
+            else:
+                emit_rgb_to_ycbcr_scalar(b, p_rgb, p_y, p_cb, p_cr,
+                                         width, height, width)
+        b.marker("chroma decimation")
+        with b.scratch(iregs=2) as (p_src, p_dst):
+            for full, half in (("cb_full", "cb_plane"), ("cr_full", "cr_plane")):
+                b.la(p_src, full)
+                b.la(p_dst, half)
+                emit_decimate_region(b, p_src, p_dst, width // 2, height // 2,
+                                     width, width // 2)
+
+        # --- transform phase ----------------------------------------------
+        b.marker("fdct + quantization")
+        consts = load_vis_constants(b, tables) if use_vis else None
+        fz = None
+        if use_vis:
+            fz = b.freg()
+            b.fzero(fz)
+        geometry = self._component_geometry(width, height)
+        with b.scratch(iregs=3) as (p_row, p_blk, p_coef):
+            for comp, (cw, ch, div) in geometry.items():
+                plane = "y_plane" if comp == "y" else f"{comp}_plane"
+                b.la(p_row, plane)
+                b.la(p_coef, f"coef_{comp}")
+                with _manual_loop(b, ch // 8):
+                    b.mov(p_blk, p_row)
+                    with _manual_loop(b, cw // 8):
+                        if prefetch:
+                            # next block row of the plane + the coef
+                            # buffer write stream (Section 2.3.3)
+                            b.pf(p_blk, 8 * cw)
+                            b.pf(p_coef, 256)
+                        if use_vis:
+                            emit_fdct_quant_block_vis(
+                                b, p_blk, cw, p_coef, div,
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_fdct_quant_block_scalar(
+                                b, p_blk, cw, p_coef, div, "blk_scratch")
+                        b.add(p_blk, p_blk, 8)
+                        b.add(p_coef, p_coef, 128)
+                    b.add(p_row, p_row, 8 * cw)
+        if use_vis:
+            b.release(*consts.values(), fz)
+
+        # --- entropy phase ---------------------------------------------------
+        b.marker("entropy coding")
+        header = jpeg.MAGIC + np.array(
+            [width, height], dtype="<u2"
+        ).tobytes() + bytes([QUALITY, 1 if self.progressive else 0,
+                             len(jpeg.scan_list(self.progressive)), 0])
+        with b.scratch(iregs=1) as p_out:
+            b.la(p_out, "out_stream")
+            _store_constant_bytes(b, p_out, header)
+        ent.reset_encoder(b, "out_stream", offset=12)
+        self._emit_scans_encode(b, ent, width, height, geometry, prefetch)
+        with b.scratch(iregs=2) as (p_out, t):
+            b.la(p_out, "out_stream")
+            b.sub(t, ent.stream, p_out)
+            b.la(p_out, "out_len")
+            b.stw(t, p_out)
+
+    def _emit_scans_encode(self, b, ent, width, height, geometry,
+                           prefetch=False):
+        comp_names = {jpeg.COMP_Y: "y", jpeg.COMP_CB: "cb", jpeg.COMP_CR: "cr"}
+        for comp, ss, se in jpeg.scan_list(True):
+            name = comp_names[comp]
+            cw, ch, _div = geometry[name]
+            nblocks = (cw // 8) * (ch // 8)
+            hp, pred, p_coef = b.iregs(3)
+            b.mov(hp, ent.stream)
+            _store_constant_bytes(b, hp, bytes([comp, ss, se, 0]))
+            b.add(ent.stream, ent.stream, 8)
+            b.li(ent.bitbuf, 0)
+            b.li(ent.bitcnt, 0)
+            b.li(pred, 0)
+            b.la(p_coef, f"coef_{name}")
+            with _manual_loop(b, nblocks):
+                if prefetch:
+                    b.pf(p_coef, 256)
+                emit_encode_block(b, ent, p_coef, ss, se, pred)
+                b.add(p_coef, p_coef, 128)
+            emit_flush_encoder(b, ent)
+            with b.scratch(iregs=1) as t:
+                b.sub(t, ent.stream, hp)
+                b.sub(t, t, 8)
+                b.stw(t, hp, 4)
+            b.release(hp, pred, p_coef)
+
+    def _emit_decoder(self, b, data, width, height, use_vis, tables, prefetch):
+        ent = make_entropy_unit(b)
+        b.buffer("in_stream", len(data) + 16, data=data)
+        for comp, (cw, ch, _d) in self._component_geometry(width, height).items():
+            b.buffer(f"coef_{comp}", (cw // 8) * (ch // 8) * 128)
+        b.buffer("y_plane", width * height)
+        b.buffer("cb_plane", (width // 2) * (height // 2))
+        b.buffer("cr_plane", (width // 2) * (height // 2))
+        b.buffer("cb_full", width * height)
+        b.buffer("cr_full", width * height)
+        b.buffer("rgb_out", width * height * 3)
+        emit_entropy_subroutines(b, ent, tables, encoder=False, decoder=True)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        geometry = self._component_geometry(width, height)
+        comp_names = {jpeg.COMP_Y: "y", jpeg.COMP_CB: "cb", jpeg.COMP_CR: "cr"}
+
+        b.marker("entropy decoding")
+        p_in = b.ireg()
+        b.la(p_in, "in_stream", offset=12)
+        for comp, ss, se in jpeg.scan_list(True):
+            name = comp_names[comp]
+            cw, ch, _div = geometry[name]
+            nblocks = (cw // 8) * (ch // 8)
+            slen, pred, p_coef = b.iregs(3)
+            b.ldw(slen, p_in, 4)
+            b.add(ent.stream, p_in, 8)
+            b.li(ent.bitbuf, 0)
+            b.li(ent.bitcnt, 0)
+            b.li(pred, 0)
+            b.la(p_coef, f"coef_{name}")
+            with _manual_loop(b, nblocks):
+                if prefetch:
+                    b.pf(p_coef, 256)
+                    b.pf(ent.stream, 128)
+                emit_decode_block(b, ent, p_coef, ss, se, pred)
+                b.add(p_coef, p_coef, 128)
+            b.add(p_in, p_in, 8)
+            b.add(p_in, p_in, slen)
+            b.release(slen, pred, p_coef)
+        b.release(p_in)
+
+        b.marker("dequantization + idct")
+        consts = load_vis_constants(b, tables) if use_vis else None
+        fz = None
+        if use_vis:
+            fz = b.freg()
+            b.fzero(fz)
+        with b.scratch(iregs=3) as (p_row, p_blk, p_coef):
+            for comp, (cw, ch, div) in geometry.items():
+                plane = "y_plane" if comp == "y" else f"{comp}_plane"
+                b.la(p_row, plane)
+                b.la(p_coef, f"coef_{comp}")
+                with _manual_loop(b, ch // 8):
+                    b.mov(p_blk, p_row)
+                    with _manual_loop(b, cw // 8):
+                        if prefetch:
+                            b.pf(p_coef, 256)
+                            b.pf(p_blk, 8 * cw)
+                        if use_vis:
+                            emit_dequant_idct_block_vis(
+                                b, p_coef, div, p_blk, cw,
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_dequant_idct_block_scalar(
+                                b, p_coef, div, p_blk, cw, "blk_scratch")
+                        b.add(p_blk, p_blk, 8)
+                        b.add(p_coef, p_coef, 128)
+                    b.add(p_row, p_row, 8 * cw)
+        if use_vis:
+            b.release(*consts.values())
+
+        b.marker("chroma upsampling")
+        with b.scratch(iregs=2) as (p_src, p_dst):
+            for half, full in (("cb_plane", "cb_full"), ("cr_plane", "cr_full")):
+                b.la(p_src, half)
+                b.la(p_dst, full)
+                emit_upsample_plane(b, p_src, p_dst, width // 2, height // 2,
+                                    width, use_vis, fz=fz)
+        if use_vis:
+            b.release(fz)
+
+        b.marker("color conversion")
+        with b.scratch(iregs=4) as (p_y, p_cb, p_cr, p_rgb):
+            b.la(p_y, "y_plane")
+            b.la(p_cb, "cb_full")
+            b.la(p_cr, "cr_full")
+            b.la(p_rgb, "rgb_out")
+            if use_vis:
+                state = load_pixel_constants(b, INVERSE_NAMES)
+                emit_ycbcr_to_rgb_vis(b, state, p_y, p_cb, p_cr, p_rgb,
+                                      width, height)
+                release_pixel_constants(b, state)
+            else:
+                emit_ycbcr_to_rgb_scalar(b, p_y, p_cb, p_cr, p_rgb,
+                                         width, height)
+
+
+class CjpegWorkload(_JpegWorkload):
+    name = "cjpeg"
+    description = "JPEG progressive encoding"
+    progressive = True
+    encoder = True
+
+
+class DjpegWorkload(_JpegWorkload):
+    name = "djpeg"
+    description = "JPEG progressive decoding"
+    progressive = True
+    encoder = False
+
+
+class _JpegNpWorkload(_JpegWorkload):
+    """Blocked (per-MCU) non-progressive pipeline."""
+
+    progressive = False
+
+    def _emit_encoder(self, b, rgb, width, height, use_vis, tables, prefetch):
+        ent = make_entropy_unit(b)
+        b.buffer("rgb_in", rgb.size, data=rgb.tobytes())
+        b.buffer("mcu_y", 256)
+        b.buffer("mcu_cbf", 256)
+        b.buffer("mcu_crf", 256)
+        b.buffer("mcu_cb", 64)
+        b.buffer("mcu_cr", 64)
+        b.buffer("mcu_coef", 768)
+        b.buffer("out_stream", max(4096, rgb.size) + 64)
+        b.buffer("out_len", 8)
+        emit_entropy_subroutines(b, ent, tables, encoder=True, decoder=False)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        consts = load_vis_constants(b, tables) if use_vis else None
+        fz = None
+        if use_vis:
+            fz = b.freg()
+            b.fzero(fz)
+
+        header = jpeg.MAGIC + np.array(
+            [width, height], dtype="<u2"
+        ).tobytes() + bytes([QUALITY, 0, 1, 0])
+        with b.scratch(iregs=1) as p_out:
+            b.la(p_out, "out_stream")
+            _store_constant_bytes(b, p_out, header)
+            _store_constant_bytes(
+                b, p_out, bytes([jpeg.COMP_INTERLEAVED, 0, 63, 0]), offset=12
+            )
+        ent.reset_encoder(b, "out_stream", offset=20)
+
+        b.marker("blocked MCU pipeline")
+        pred_y, pred_cb, pred_cr = b.iregs(3)
+        b.li(pred_y, 0)
+        b.li(pred_cb, 0)
+        b.li(pred_cr, 0)
+        p_rgb = b.ireg()
+        b.la(p_rgb, "rgb_in")
+        mcus_x, mcus_y = width // 16, height // 16
+        with _manual_loop(b, mcus_y):
+            with _manual_loop(b, mcus_x):
+                if prefetch:
+                    b.pf(p_rgb, 48)
+                    b.pf(p_rgb, 48 + 64)
+                # pixel phases for one MCU
+                with b.scratch(iregs=3) as (p_y, p_cb, p_cr):
+                    b.la(p_y, "mcu_y")
+                    b.la(p_cb, "mcu_cbf")
+                    b.la(p_cr, "mcu_crf")
+                    if use_vis:
+                        state = load_pixel_constants(b, FORWARD_NAMES)
+                        emit_rgb_to_ycbcr_vis(b, state, p_rgb, p_y, p_cb,
+                                              p_cr, 16, 16, width, 16)
+                        release_pixel_constants(b, state)
+                    else:
+                        emit_rgb_to_ycbcr_scalar(b, p_rgb, p_y, p_cb, p_cr,
+                                                 16, 16, width, 16)
+                with b.scratch(iregs=2) as (p_src, p_dst):
+                    for full, half in (("mcu_cbf", "mcu_cb"), ("mcu_crf", "mcu_cr")):
+                        b.la(p_src, full)
+                        b.la(p_dst, half)
+                        emit_decimate_region(b, p_src, p_dst, 8, 8, 16, 8)
+                # transform + entropy for the 4+1+1 blocks
+                with b.scratch(iregs=2) as (p_blk, p_coef):
+                    for by, bx in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                        b.la(p_blk, "mcu_y", offset=by * 128 + bx * 8)
+                        b.la(p_coef, "mcu_coef")
+                        if use_vis:
+                            emit_fdct_quant_block_vis(
+                                b, p_blk, 16, p_coef, "luma_div",
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_fdct_quant_block_scalar(
+                                b, p_blk, 16, p_coef, "luma_div", "blk_scratch")
+                        emit_encode_block(b, ent, p_coef, 0, 63, pred_y)
+                    for chroma, pred in (("mcu_cb", pred_cb), ("mcu_cr", pred_cr)):
+                        b.la(p_blk, chroma)
+                        b.la(p_coef, "mcu_coef")
+                        if use_vis:
+                            emit_fdct_quant_block_vis(
+                                b, p_blk, 8, p_coef, "chroma_div",
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_fdct_quant_block_scalar(
+                                b, p_blk, 8, p_coef, "chroma_div", "blk_scratch")
+                        emit_encode_block(b, ent, p_coef, 0, 63, pred)
+                b.add(p_rgb, p_rgb, 48)
+            b.add(p_rgb, p_rgb, 45 * width)
+        emit_flush_encoder(b, ent)
+        if use_vis:
+            b.release(*consts.values(), fz)
+        with b.scratch(iregs=2) as (p_out, t):
+            b.la(p_out, "out_stream")
+            b.sub(t, ent.stream, p_out)
+            b.sub(t, t, 20)
+            b.stw(t, p_out, 16)                # scan byte length
+            b.add(t, t, 20)
+            b.la(p_out, "out_len")
+            b.stw(t, p_out)
+
+    def _emit_decoder(self, b, data, width, height, use_vis, tables, prefetch):
+        ent = make_entropy_unit(b)
+        b.buffer("in_stream", len(data) + 16, data=data)
+        b.buffer("mcu_coef", 768)
+        b.buffer("mcu_y", 256)
+        b.buffer("mcu_cb", 64)
+        b.buffer("mcu_cr", 64)
+        b.buffer("mcu_cbf", 256)
+        b.buffer("mcu_crf", 256)
+        b.buffer("rgb_out", width * height * 3)
+        emit_entropy_subroutines(b, ent, tables, encoder=False, decoder=True)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        consts = load_vis_constants(b, tables) if use_vis else None
+        fz = None
+        if use_vis:
+            fz = b.freg()
+            b.fzero(fz)
+
+        b.marker("blocked MCU pipeline")
+        with b.scratch(iregs=1) as t:
+            b.la(t, "in_stream", offset=20)
+            ent.reset_decoder(b, t)
+        pred_y, pred_cb, pred_cr = b.iregs(3)
+        b.li(pred_y, 0)
+        b.li(pred_cb, 0)
+        b.li(pred_cr, 0)
+        p_rgb = b.ireg()
+        b.la(p_rgb, "rgb_out")
+        mcus_x, mcus_y = width // 16, height // 16
+        with _manual_loop(b, mcus_y):
+            with _manual_loop(b, mcus_x):
+                if prefetch:
+                    b.pf(ent.stream, 128)
+                with b.scratch(iregs=2) as (p_coef, p_blk):
+                    # decode + reconstruct 4 Y blocks and 2 chroma blocks
+                    for index, (by, bx) in enumerate(((0, 0), (0, 1), (1, 0), (1, 1))):
+                        b.la(p_coef, "mcu_coef")
+                        self._clear_block(b, p_coef)
+                        emit_decode_block(b, ent, p_coef, 0, 63, pred_y)
+                        b.la(p_blk, "mcu_y", offset=by * 128 + bx * 8)
+                        if use_vis:
+                            emit_dequant_idct_block_vis(
+                                b, p_coef, "luma_div", p_blk, 16,
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_dequant_idct_block_scalar(
+                                b, p_coef, "luma_div", p_blk, 16, "blk_scratch")
+                    for chroma, pred in (("mcu_cb", pred_cb), ("mcu_cr", pred_cr)):
+                        b.la(p_coef, "mcu_coef")
+                        self._clear_block(b, p_coef)
+                        emit_decode_block(b, ent, p_coef, 0, 63, pred)
+                        b.la(p_blk, chroma)
+                        if use_vis:
+                            emit_dequant_idct_block_vis(
+                                b, p_coef, "chroma_div", p_blk, 8,
+                                "blk_scratch", "blk_scratch2", consts, fz)
+                        else:
+                            emit_dequant_idct_block_scalar(
+                                b, p_coef, "chroma_div", p_blk, 8, "blk_scratch")
+                # upsample chroma into the 16x16 MCU temps
+                with b.scratch(iregs=2) as (p_src, p_dst):
+                    for half, full in (("mcu_cb", "mcu_cbf"), ("mcu_cr", "mcu_crf")):
+                        b.la(p_src, half)
+                        b.la(p_dst, full)
+                        emit_upsample_plane(b, p_src, p_dst, 8, 8, 16,
+                                            use_vis, fz=fz)
+                # inverse conversion into the output image region
+                with b.scratch(iregs=3) as (p_y, p_cb, p_cr):
+                    b.la(p_y, "mcu_y")
+                    b.la(p_cb, "mcu_cbf")
+                    b.la(p_cr, "mcu_crf")
+                    if use_vis:
+                        state = load_pixel_constants(b, INVERSE_NAMES)
+                        emit_ycbcr_to_rgb_vis(b, state, p_y, p_cb, p_cr,
+                                              p_rgb, 16, 16, 16, width,
+                                              reuse_plane_pointers=True)
+                        release_pixel_constants(b, state)
+                    else:
+                        emit_ycbcr_to_rgb_scalar(b, p_y, p_cb, p_cr, p_rgb,
+                                                 16, 16, 16, width,
+                                                 reuse_plane_pointers=True)
+                b.add(p_rgb, p_rgb, 48)
+            b.add(p_rgb, p_rgb, 45 * width)
+        if use_vis:
+            b.release(*consts.values(), fz)
+
+    @staticmethod
+    def _clear_block(b: ProgramBuilder, p_coef: Reg) -> None:
+        with b.scratch(iregs=1) as p:
+            b.mov(p, p_coef)
+            with _manual_loop(b, 16):
+                b.stx(Reg(0), p)
+                b.add(p, p, 8)
+
+
+class CjpegNpWorkload(_JpegNpWorkload):
+    name = "cjpeg-np"
+    description = "JPEG non-progressive encoding"
+    encoder = True
+
+
+class DjpegNpWorkload(_JpegNpWorkload):
+    name = "djpeg-np"
+    description = "JPEG non-progressive decoding"
+    encoder = False

@@ -1,0 +1,433 @@
+"""Entropy-coding assembly: bit I/O subroutines and per-block Huffman
+encode/decode emitters.
+
+This phase is shared verbatim between the scalar and VIS program
+variants: it is the inherently sequential, variable-length,
+data-dependent code that Section 3.2.3 identifies as un-VIS-able
+(bit-level stream manipulation, magnitude-category loops, canonical
+Huffman decoding).  The decoder uses an 8-bit lookahead LUT with a
+canonical bit-serial fallback — the jpeglib decode structure.
+
+Register convention: one :class:`EntropyUnit` reserves six integer
+registers (bit buffer, bit count, stream pointer, two argument/result
+registers and a subroutine scratch) plus the link register used by
+``call``.  All subroutines are leaves, so no link spilling is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...asm.builder import ProgramBuilder, R_ZERO, Reg
+from .tables import CodecTables, DecoderTables
+
+
+@dataclass
+class EntropyUnit:
+    """Reserved registers + subroutine labels for one codec program."""
+
+    bitbuf: Reg
+    bitcnt: Reg
+    stream: Reg
+    arg0: Reg
+    arg1: Reg
+    tmp: Reg
+    putbits: str = ""
+    size_cat: str = ""
+    getbits: str = ""
+    decode_dc: str = ""
+    decode_ac: str = ""
+
+    def reset_encoder(self, b: ProgramBuilder, out_buffer, offset: int = 0) -> None:
+        b.li(self.bitbuf, 0)
+        b.li(self.bitcnt, 0)
+        if isinstance(out_buffer, Reg):
+            b.mov(self.stream, out_buffer)
+        else:
+            b.la(self.stream, out_buffer, offset)
+
+    def reset_decoder(self, b: ProgramBuilder, in_pointer: Reg) -> None:
+        b.li(self.bitbuf, 0)
+        b.li(self.bitcnt, 0)
+        b.mov(self.stream, in_pointer)
+
+
+def make_entropy_unit(b: ProgramBuilder) -> EntropyUnit:
+    regs = b.iregs(6)
+    return EntropyUnit(*regs)
+
+
+# ---------------------------------------------------------------------------
+# Subroutines.
+# ---------------------------------------------------------------------------
+
+
+def emit_putbits_subroutine(b: ProgramBuilder, e: EntropyUnit) -> None:
+    """putbits(code=arg0, length=arg1): append MSB-first."""
+    e.putbits = b.here("putbits")
+    b.sll(e.bitbuf, e.bitbuf, e.arg1)
+    b.or_(e.bitbuf, e.bitbuf, e.arg0)
+    b.add(e.bitcnt, e.bitcnt, e.arg1)
+    flush = b.here("pb_flush")
+    done = b.label("pb_done")
+    b.blt(e.bitcnt, 8, done)
+    b.sub(e.bitcnt, e.bitcnt, 8)
+    b.srl(e.tmp, e.bitbuf, e.bitcnt)
+    b.stb(e.tmp, e.stream)
+    b.add(e.stream, e.stream, 1)
+    b.j(flush)
+    b.bind(done)
+    b.li(e.tmp, 1)
+    b.sll(e.tmp, e.tmp, e.bitcnt)
+    b.sub(e.tmp, e.tmp, 1)
+    b.and_(e.bitbuf, e.bitbuf, e.tmp)
+    b.ret()
+
+
+def emit_size_cat_subroutine(b: ProgramBuilder, e: EntropyUnit) -> None:
+    """size_cat(value=arg0) -> arg1 = magnitude category, arg0 = the
+    category's extra bits (JPEG EXTEND encoding).  The bit-length loop
+    and sign handling are the branchy scalar code the paper discusses."""
+    e.size_cat = b.here("size_cat")
+    positive = b.label("sc_pos")
+    loop_top = b.label("sc_loop")
+    loop_end = b.label("sc_done")
+    finish = b.label("sc_ret")
+    b.li(e.arg1, 0)
+    b.bge(e.arg0, R_ZERO, positive)
+    b.sub(e.tmp, R_ZERO, e.arg0)
+    b.j(loop_top)
+    b.bind(positive)
+    b.mov(e.tmp, e.arg0)
+    b.bind(loop_top)
+    b.beq(e.tmp, 0, loop_end)
+    b.srl(e.tmp, e.tmp, 1)
+    b.add(e.arg1, e.arg1, 1)
+    b.j(loop_top)
+    b.bind(loop_end)
+    b.bge(e.arg0, R_ZERO, finish)
+    b.li(e.tmp, 1)
+    b.sll(e.tmp, e.tmp, e.arg1)
+    b.sub(e.tmp, e.tmp, 1)
+    b.add(e.arg0, e.arg0, e.tmp)
+    b.bind(finish)
+    b.ret()
+
+
+def emit_getbits_subroutine(b: ProgramBuilder, e: EntropyUnit) -> None:
+    """getbits(n=arg1) -> arg0 (MSB-first), refilling byte-wise."""
+    e.getbits = b.here("getbits")
+    zero = b.label("gb_zero")
+    ready = b.label("gb_ready")
+    b.beq(e.arg1, 0, zero)
+    refill = b.here("gb_refill")
+    b.bge(e.bitcnt, e.arg1, ready)
+    b.ldb(e.tmp, e.stream)
+    b.add(e.stream, e.stream, 1)
+    b.sll(e.bitbuf, e.bitbuf, 8)
+    b.or_(e.bitbuf, e.bitbuf, e.tmp)
+    b.add(e.bitcnt, e.bitcnt, 8)
+    b.j(refill)
+    b.bind(ready)
+    b.sub(e.bitcnt, e.bitcnt, e.arg1)
+    b.srl(e.arg0, e.bitbuf, e.bitcnt)
+    b.li(e.tmp, 1)
+    b.sll(e.tmp, e.tmp, e.arg1)
+    b.sub(e.tmp, e.tmp, 1)
+    b.and_(e.arg0, e.arg0, e.tmp)
+    b.ret()
+    b.bind(zero)
+    b.li(e.arg0, 0)
+    b.ret()
+
+
+def emit_decode_subroutine(
+    b: ProgramBuilder, e: EntropyUnit, name: str, tables: DecoderTables,
+    code: Reg,
+) -> str:
+    """decode_<name>() -> arg0 = symbol.  Fast path: 8-bit lookahead
+    LUT; fallback: canonical bit-serial decode (codes > 8 bits).
+    ``code`` is a persistent scratch register shared by all decode
+    subroutines (they never nest)."""
+    label = b.here(f"decode_{name}")
+
+    peeked = b.label("dh_peeked")
+    refill = b.here("dh_refill")
+    b.bge(e.bitcnt, 8, peeked)
+    b.ldb(e.tmp, e.stream)
+    b.add(e.stream, e.stream, 1)
+    b.sll(e.bitbuf, e.bitbuf, 8)
+    b.or_(e.bitbuf, e.bitbuf, e.tmp)
+    b.add(e.bitcnt, e.bitcnt, 8)
+    b.j(refill)
+    b.bind(peeked)
+    b.sub(e.tmp, e.bitcnt, 8)
+    b.srl(code, e.bitbuf, e.tmp)
+    b.and_(code, code, 0xFF)               # the next 8 bits
+    b.la(e.tmp, tables.lut_length)
+    b.add(e.tmp, e.tmp, code)
+    b.ldb(e.arg1, e.tmp)                   # LUT code length (0 = miss)
+    b.sll(e.arg0, code, 1)
+    b.la(e.tmp, tables.lut_symbol)
+    b.add(e.tmp, e.tmp, e.arg0)
+    b.ldh(e.arg0, e.tmp)                   # LUT symbol
+    slow = b.label("dh_slow")
+    b.beq(e.arg1, 0, slow, hint=True)
+    b.sub(e.bitcnt, e.bitcnt, e.arg1)      # fast path: consume + return
+    b.ret()
+
+    # ---- canonical bit-serial fallback --------------------------------
+    b.bind(slow)
+    b.sub(e.bitcnt, e.bitcnt, 1)
+    b.srl(code, e.bitbuf, e.bitcnt)
+    b.and_(code, code, 1)
+    b.li(e.arg1, 1)                        # current code length
+    loop_top = b.here("dh_loop")
+    found = b.label("dh_found")
+    lengthen = b.label("dh_longer")
+    b.la(e.tmp, tables.maxcode)
+    b.sll(e.arg0, e.arg1, 2)
+    b.add(e.tmp, e.tmp, e.arg0)
+    b.ldws(e.arg0, e.tmp)                  # maxcode[length]
+    b.blt(e.arg0, 0, lengthen)
+    b.ble(code, e.arg0, found)
+    b.bind(lengthen)
+    have_bit = b.label("dh_have")
+    b.bne(e.bitcnt, 0, have_bit, hint=True)
+    b.ldb(e.tmp, e.stream)
+    b.add(e.stream, e.stream, 1)
+    b.sll(e.bitbuf, e.bitbuf, 8)
+    b.or_(e.bitbuf, e.bitbuf, e.tmp)
+    b.li(e.bitcnt, 8)
+    b.bind(have_bit)
+    b.sub(e.bitcnt, e.bitcnt, 1)
+    b.srl(e.tmp, e.bitbuf, e.bitcnt)
+    b.and_(e.tmp, e.tmp, 1)
+    b.sll(code, code, 1)
+    b.or_(code, code, e.tmp)
+    b.add(e.arg1, e.arg1, 1)
+    b.j(loop_top)
+    b.bind(found)
+    b.la(e.tmp, tables.mincode)
+    b.sll(e.arg0, e.arg1, 2)
+    b.add(e.tmp, e.tmp, e.arg0)
+    b.ldws(e.arg0, e.tmp)
+    b.sub(code, code, e.arg0)              # code - mincode[length]
+    b.la(e.tmp, tables.valptr)
+    b.sll(e.arg0, e.arg1, 1)
+    b.add(e.tmp, e.tmp, e.arg0)
+    b.ldh(e.arg0, e.tmp)
+    b.add(code, code, e.arg0)              # value index
+    b.la(e.tmp, tables.values)
+    b.sll(code, code, 1)
+    b.add(e.tmp, e.tmp, code)
+    b.ldh(e.arg0, e.tmp)
+    b.ret()
+    return label
+
+
+def emit_entropy_subroutines(
+    b: ProgramBuilder,
+    e: EntropyUnit,
+    tables: CodecTables,
+    encoder: bool,
+    decoder: bool,
+) -> None:
+    """Emit the subroutine block (skipped over at program entry)."""
+    skip = b.label("after_subroutines")
+    b.j(skip)
+    if encoder:
+        emit_putbits_subroutine(b, e)
+        emit_size_cat_subroutine(b, e)
+    if decoder:
+        emit_getbits_subroutine(b, e)
+        code = b.ireg()
+        e.decode_dc = emit_decode_subroutine(b, e, "dc", tables.dc, code)
+        e.decode_ac = emit_decode_subroutine(b, e, "ac", tables.ac, code)
+    b.bind(skip)
+
+
+# ---------------------------------------------------------------------------
+# Per-block emitters (inline code, called inside the codec's block loops).
+# ---------------------------------------------------------------------------
+
+
+def _emit_lookup_and_put(
+    b: ProgramBuilder, e: EntropyUnit, codes_buf: str, lens_buf: str, symbol: Reg
+) -> None:
+    """Look up (code, length) for ``symbol`` and call putbits."""
+    with b.scratch(iregs=1) as t:
+        b.la(t, codes_buf)
+        b.sll(e.arg0, symbol, 1)
+        b.add(t, t, e.arg0)
+        b.ldh(e.arg0, t)
+        b.la(t, lens_buf)
+        b.add(t, t, symbol)
+        b.ldb(e.arg1, t)
+    b.call(e.putbits)
+
+
+def emit_encode_block(
+    b: ProgramBuilder,
+    e: EntropyUnit,
+    coef_ptr: Reg,
+    ss: int,
+    se: int,
+    pred: Reg,
+) -> None:
+    """Huffman-encode the spectral band [ss, se] of the s16 coefficient
+    block at ``coef_ptr`` (coefficients in the program's block layout;
+    the zigzag offset table supplies scan order)."""
+    sv_bits, sv_size, k, run, v, t = b.iregs(6)
+
+    if ss == 0:
+        b.ldhs(v, coef_ptr, 0)             # scan position 0 is offset 0
+        b.sub(e.arg0, v, pred)
+        b.mov(pred, v)
+        b.call(e.size_cat)
+        b.mov(sv_bits, e.arg0)
+        b.mov(sv_size, e.arg1)
+        _emit_lookup_and_put(b, e, "dc_codes", "dc_lens", sv_size)
+        skip_bits = b.label("dc_nobits")
+        b.beq(sv_size, 0, skip_bits)
+        b.mov(e.arg0, sv_bits)
+        b.mov(e.arg1, sv_size)
+        b.call(e.putbits)
+        b.bind(skip_bits)
+
+    first_ac = max(ss, 1)
+    if se >= first_ac:
+        b.li(run, 0)
+        b.li(k, first_ac)
+        ac_top = b.here("ac_loop")
+        ac_next = b.label("ac_next")
+        nonzero = b.label("ac_nonzero")
+        # coefficient at scan position k
+        b.la(t, "zz_offsets")
+        b.sll(v, k, 1)
+        b.add(t, t, v)
+        b.ldh(t, t)
+        b.add(t, t, coef_ptr)
+        b.ldhs(v, t)
+        b.bne(v, 0, nonzero, hint=False)
+        b.add(run, run, 1)
+        b.j(ac_next)
+        b.bind(nonzero)
+        zrl_top = b.here("ac_zrl")
+        zrl_done = b.label("ac_zrl_done")
+        b.ble(run, 15, zrl_done, hint=True)
+        with b.scratch(iregs=1) as zsym:
+            b.li(zsym, 0xF0)
+            _emit_lookup_and_put(b, e, "ac_codes", "ac_lens", zsym)
+        b.sub(run, run, 16)
+        b.j(zrl_top)
+        b.bind(zrl_done)
+        b.mov(e.arg0, v)
+        b.call(e.size_cat)
+        b.mov(sv_bits, e.arg0)
+        b.mov(sv_size, e.arg1)
+        b.sll(t, run, 4)
+        b.or_(t, t, sv_size)               # (run, size) symbol
+        _emit_lookup_and_put(b, e, "ac_codes", "ac_lens", t)
+        b.mov(e.arg0, sv_bits)
+        b.mov(e.arg1, sv_size)
+        b.call(e.putbits)
+        b.li(run, 0)
+        b.bind(ac_next)
+        b.add(k, k, 1)
+        b.ble(k, se, ac_top, hint=True)
+        no_eob = b.label("ac_no_eob")
+        b.beq(run, 0, no_eob)
+        with b.scratch(iregs=1) as esym:
+            b.li(esym, 0x00)
+            _emit_lookup_and_put(b, e, "ac_codes", "ac_lens", esym)
+        b.bind(no_eob)
+
+    b.release(sv_bits, sv_size, k, run, v, t)
+
+
+def emit_flush_encoder(b: ProgramBuilder, e: EntropyUnit) -> None:
+    """Pad the final partial byte with 1-bits (BitWriter convention)."""
+    done = b.label("flush_done")
+    b.beq(e.bitcnt, 0, done)
+    with b.scratch(iregs=1) as t:
+        b.li(t, 8)
+        b.sub(t, t, e.bitcnt)
+        b.sll(e.bitbuf, e.bitbuf, t)
+        with b.scratch(iregs=1) as mask:
+            b.li(mask, 1)
+            b.sll(mask, mask, t)
+            b.sub(mask, mask, 1)
+            b.or_(e.bitbuf, e.bitbuf, mask)
+    b.stb(e.bitbuf, e.stream)
+    b.add(e.stream, e.stream, 1)
+    b.li(e.bitcnt, 0)
+    b.li(e.bitbuf, 0)
+    b.bind(done)
+
+
+def emit_receive_extend(b: ProgramBuilder, e: EntropyUnit, size: Reg) -> None:
+    """arg0 = EXTEND(getbits(size), size): call getbits then sign-map."""
+    b.mov(e.arg1, size)
+    b.call(e.getbits)
+    done = b.label("ext_done")
+    b.beq(size, 0, done)
+    with b.scratch(iregs=2) as (full, half):
+        b.li(full, 1)
+        b.sll(full, full, size)
+        b.srl(half, full, 1)
+        b.bge(e.arg0, half, done)
+        b.sub(e.arg0, e.arg0, full)
+        b.add(e.arg0, e.arg0, 1)
+    b.bind(done)
+
+
+def emit_decode_block(
+    b: ProgramBuilder,
+    e: EntropyUnit,
+    coef_ptr: Reg,
+    ss: int,
+    se: int,
+    pred: Reg,
+) -> None:
+    """Decode the spectral band [ss, se] into the coefficient block at
+    ``coef_ptr`` (which the caller zero-initialized)."""
+    k, sv_size, t = b.iregs(3)
+
+    if ss == 0:
+        b.call(e.decode_dc)
+        b.mov(sv_size, e.arg0)
+        emit_receive_extend(b, e, sv_size)
+        b.add(pred, pred, e.arg0)
+        b.sth(pred, coef_ptr, 0)
+
+    first_ac = max(ss, 1)
+    if se >= first_ac:
+        b.li(k, first_ac)
+        top = b.here("dec_ac_loop")
+        done = b.label("dec_ac_done")
+        not_zrl = b.label("dec_not_zrl")
+        b.bgt(k, se, done)
+        b.call(e.decode_ac)
+        b.beq(e.arg0, 0, done)             # EOB
+        b.bne(e.arg0, 0xF0, not_zrl, hint=True)
+        b.add(k, k, 16)
+        b.j(top)
+        b.bind(not_zrl)
+        b.srl(t, e.arg0, 4)
+        b.add(k, k, t)                     # skip the zero run
+        b.and_(sv_size, e.arg0, 0xF)
+        emit_receive_extend(b, e, sv_size)
+        # store at scan position k
+        b.sll(t, k, 1)
+        with b.scratch(iregs=1) as zt:
+            b.la(zt, "zz_offsets")
+            b.add(zt, zt, t)
+            b.ldh(t, zt)
+        b.add(t, t, coef_ptr)
+        b.sth(e.arg0, t)
+        b.add(k, k, 1)
+        b.j(top)
+        b.bind(done)
+
+    b.release(k, sv_size, t)

@@ -1,0 +1,480 @@
+"""Pixel-phase assembly: color conversion, chroma (de)cimation,
+upsampling — scalar and VIS variants, bit-exact against
+:mod:`repro.media.colorspace`.
+
+The VIS forward conversion deinterleaves the RGB stream through a
+small scratch buffer (the "byte reordering in the color conversion
+phase" overhead Section 3.2.3 attributes to JPEG's VIS version), then
+runs three packed multiply/accumulate pipelines.  Chroma decimation
+stays scalar in both variants: the 2x2 averaging has no contiguous
+SIMD shape, and the paper's methodology (criterion 3, Section 2.3.2)
+only converts loops whose benefit exceeds the rearrangement overhead.
+The inverse conversion exploits even-valued coefficients to fold the
+-128 chroma bias into additive constants (see
+:mod:`repro.media.colorspace`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ...asm.builder import ProgramBuilder, Reg
+from ...media.colorspace import (
+    B_FROM_CB,
+    CB_COEF,
+    CR_COEF,
+    G_FROM_CB,
+    G_FROM_CR,
+    R_FROM_CR,
+    Y_COEF,
+)
+from ..kernels.common import broadcast16, emit_saturate_byte, mul_coeff32
+
+
+@dataclass
+class PixelVisState:
+    """Media registers holding the conversion constants."""
+
+    regs: Dict[str, Reg]
+    fz: Reg
+
+
+#: au-format (coefficient in the upper 16 bits of the low word).
+_AU_CONSTANTS = {
+    "y_r": Y_COEF[0], "y_g": Y_COEF[1], "y_b": Y_COEF[2],
+    "cb_r": CB_COEF[0], "cb_g": CB_COEF[1], "cb_b": CB_COEF[2],
+    "cr_r": CR_COEF[0], "cr_g": CR_COEF[1], "cr_b": CR_COEF[2],
+    "r_cr": R_FROM_CR, "g_cb": G_FROM_CB, "g_cr": G_FROM_CR, "b_cb": B_FROM_CB,
+}
+
+#: broadcast16 constants (bias terms).
+_BIAS_CONSTANTS = {
+    "k128": 128,
+    "k256al": 256,
+    # folded -128 chroma biases: 128*|c| >> 8 (exact, coefficients even)
+    "r_bias": (128 * R_FROM_CR) >> 8,
+    "g_bias": (128 * (-G_FROM_CB) + 128 * (-G_FROM_CR)) >> 8,
+    "b_bias": (128 * B_FROM_CB) >> 8,
+}
+
+
+def declare_pixel_constants(builder: ProgramBuilder) -> None:
+    for name, value in _AU_CONSTANTS.items():
+        builder.buffer(f"px_{name}", 4, data=mul_coeff32(value))
+    for name, value in _BIAS_CONSTANTS.items():
+        builder.buffer(f"px_{name}", 8, data=broadcast16(value))
+    builder.buffer("px_gather", 16)
+
+
+#: constant subsets by conversion direction (keeps the media register
+#: file within budget when pixel and transform phases interleave).
+FORWARD_NAMES = (
+    "y_r", "y_g", "y_b", "cb_r", "cb_g", "cb_b", "cr_r", "cr_g", "cr_b",
+    "k128",
+)
+INVERSE_NAMES = (
+    "r_cr", "g_cb", "g_cr", "b_cb", "r_bias", "g_bias", "b_bias", "k256al",
+)
+
+
+def load_pixel_constants(
+    builder: ProgramBuilder, names=None
+) -> PixelVisState:
+    """Load the requested constants (default: all) into media registers."""
+    if names is None:
+        names = tuple(_AU_CONSTANTS) + tuple(_BIAS_CONSTANTS)
+    regs: Dict[str, Reg] = {}
+    with builder.scratch(iregs=1) as tmp:
+        for name in names:
+            reg = builder.freg()
+            builder.la(tmp, f"px_{name}")
+            if name in _AU_CONSTANTS:
+                builder.ldfw(reg, tmp)
+            else:
+                builder.ldf(reg, tmp)
+            regs[name] = reg
+    fz = builder.freg()
+    builder.fzero(fz)
+    return PixelVisState(regs=regs, fz=fz)
+
+
+def release_pixel_constants(builder: ProgramBuilder, state: PixelVisState) -> None:
+    builder.release(*state.regs.values(), state.fz)
+
+
+# ---------------------------------------------------------------------------
+# Forward conversion: interleaved RGB -> Y/Cb/Cr planes.
+# ---------------------------------------------------------------------------
+
+
+def _emit_mul_round_scalar(b, out: Reg, src: Reg, coeff: int) -> None:
+    """out = (src*coeff + 0x80) >> 8 (arithmetic shift)."""
+    b.mul(out, src, coeff)
+    b.add(out, out, 0x80)
+    b.sra(out, out, 8)
+
+
+def emit_rgb_to_ycbcr_scalar(
+    b: ProgramBuilder,
+    p_rgb: Reg,
+    p_y: Reg,
+    p_cb: Reg,
+    p_cr: Reg,
+    region_w: int,
+    region_h: int,
+    rgb_width: int,
+    plane_stride: int = None,
+) -> None:
+    """Convert a ``region_w x region_h`` window.  The RGB source has
+    ``rgb_width`` pixels per row (stride ``3*rgb_width``); the output
+    planes have ``plane_stride`` (default ``region_w``).  Pointer
+    registers are preserved."""
+    plane_stride = region_w if plane_stride is None else plane_stride
+    ps, py, pcb, pcr = b.iregs(4)
+    b.mov(ps, p_rgb)
+    b.mov(py, p_y)
+    b.mov(pcb, p_cb)
+    b.mov(pcr, p_cr)
+    r, g, bl, acc, t = b.iregs(5)
+    with b.loop(0, region_h):
+        with b.loop(0, region_w):
+            b.ldb(r, ps, 0)
+            b.ldb(g, ps, 1)
+            b.ldb(bl, ps, 2)
+            # Y
+            _emit_mul_round_scalar(b, acc, r, Y_COEF[0])
+            _emit_mul_round_scalar(b, t, g, Y_COEF[1])
+            b.add(acc, acc, t)
+            _emit_mul_round_scalar(b, t, bl, Y_COEF[2])
+            b.add(acc, acc, t)
+            emit_saturate_byte(b, acc)
+            b.stb(acc, py)
+            # Cb
+            _emit_mul_round_scalar(b, acc, r, CB_COEF[0])
+            _emit_mul_round_scalar(b, t, g, CB_COEF[1])
+            b.add(acc, acc, t)
+            _emit_mul_round_scalar(b, t, bl, CB_COEF[2])
+            b.add(acc, acc, t)
+            b.add(acc, acc, 128)
+            emit_saturate_byte(b, acc)
+            b.stb(acc, pcb)
+            # Cr
+            _emit_mul_round_scalar(b, acc, r, CR_COEF[0])
+            _emit_mul_round_scalar(b, t, g, CR_COEF[1])
+            b.add(acc, acc, t)
+            _emit_mul_round_scalar(b, t, bl, CR_COEF[2])
+            b.add(acc, acc, t)
+            b.add(acc, acc, 128)
+            emit_saturate_byte(b, acc)
+            b.stb(acc, pcr)
+            b.add(ps, ps, 3)
+            b.add(py, py, 1)
+            b.add(pcb, pcb, 1)
+            b.add(pcr, pcr, 1)
+        b.add(ps, ps, 3 * (rgb_width - region_w))
+        b.add(py, py, plane_stride - region_w)
+        b.add(pcb, pcb, plane_stride - region_w)
+        b.add(pcr, pcr, plane_stride - region_w)
+    b.release(ps, py, pcb, pcr, r, g, bl, acc, t)
+
+
+def emit_rgb_to_ycbcr_vis(
+    b: ProgramBuilder,
+    state: PixelVisState,
+    p_rgb: Reg,
+    p_y: Reg,
+    p_cb: Reg,
+    p_cr: Reg,
+    region_w: int,
+    region_h: int,
+    rgb_width: int,
+    plane_stride: int = None,
+) -> None:
+    """VIS forward conversion, 4 pixels per group.  Requires
+    ``region_w % 4 == 0`` and GSR scale 7."""
+    if region_w % 4:
+        raise ValueError("VIS color conversion needs width % 4 == 0")
+    plane_stride = region_w if plane_stride is None else plane_stride
+    k = state.regs
+    ps, py, pcb, pcr, pg, t = b.iregs(6)
+    b.mov(ps, p_rgb)
+    b.mov(py, p_y)
+    b.mov(pcb, p_cb)
+    b.mov(pcr, p_cr)
+    fr, fg, fb, acc, prod = b.fregs(5)
+    with b.loop(0, region_h):
+        with b.loop(0, region_w // 4):
+            # Deinterleave 4 RGB pixels through the gather buffer
+            # (subword-reordering overhead).
+            b.la(pg, "px_gather")
+            for j in range(4):
+                b.ldb(t, ps, 3 * j + 0)
+                b.stb(t, pg, j)
+                b.ldb(t, ps, 3 * j + 1)
+                b.stb(t, pg, 4 + j)
+                b.ldb(t, ps, 3 * j + 2)
+                b.stb(t, pg, 8 + j)
+            b.ldfw(fr, pg, 0)
+            b.ldfw(fg, pg, 4)
+            b.ldfw(fb, pg, 8)
+            for plane_ptr, coeffs, biased in (
+                (py, ("y_r", "y_g", "y_b"), False),
+                (pcb, ("cb_r", "cb_g", "cb_b"), True),
+                (pcr, ("cr_r", "cr_g", "cr_b"), True),
+            ):
+                b.fmul8x16au(acc, fr, k[coeffs[0]])
+                b.fmul8x16au(prod, fg, k[coeffs[1]])
+                b.fpadd16(acc, acc, prod)
+                b.fmul8x16au(prod, fb, k[coeffs[2]])
+                b.fpadd16(acc, acc, prod)
+                if biased:
+                    b.fpadd16(acc, acc, k["k128"])
+                b.fpack16(acc, acc)
+                b.stfw(acc, plane_ptr)
+            b.add(ps, ps, 12)
+            b.add(py, py, 4)
+            b.add(pcb, pcb, 4)
+            b.add(pcr, pcr, 4)
+        b.add(ps, ps, 3 * (rgb_width - region_w))
+        b.add(py, py, plane_stride - region_w)
+        b.add(pcb, pcb, plane_stride - region_w)
+        b.add(pcr, pcr, plane_stride - region_w)
+    b.release(ps, py, pcb, pcr, pg, t)
+    b.release(fr, fg, fb, acc, prod)
+
+
+# ---------------------------------------------------------------------------
+# Chroma decimation (scalar in both variants).
+# ---------------------------------------------------------------------------
+
+
+def emit_decimate_region(
+    b: ProgramBuilder,
+    p_src: Reg,
+    p_dst: Reg,
+    out_w: int,
+    out_h: int,
+    src_stride: int,
+    dst_stride: int,
+) -> None:
+    """2x2 rounded average over a ``2*out_w x 2*out_h`` source window."""
+    ps, pd, a, t = b.iregs(4)
+    b.mov(ps, p_src)
+    b.mov(pd, p_dst)
+    with b.loop(0, out_h):
+        with b.loop(0, out_w):
+            b.ldb(a, ps, 0)
+            b.ldb(t, ps, 1)
+            b.add(a, a, t)
+            b.ldb(t, ps, src_stride)
+            b.add(a, a, t)
+            b.ldb(t, ps, src_stride + 1)
+            b.add(a, a, t)
+            b.add(a, a, 2)
+            b.srl(a, a, 2)
+            b.stb(a, pd)
+            b.add(ps, ps, 2)
+            b.add(pd, pd, 1)
+        b.add(ps, ps, 2 * src_stride - 2 * out_w)
+        b.add(pd, pd, dst_stride - out_w)
+    b.release(ps, pd, a, t)
+
+
+# ---------------------------------------------------------------------------
+# Upsampling (pixel replication) and inverse conversion (decode side).
+# ---------------------------------------------------------------------------
+
+
+def emit_upsample_plane(
+    b: ProgramBuilder,
+    p_src: Reg,
+    p_dst: Reg,
+    src_w: int,
+    src_h: int,
+    dst_stride: int,
+    use_vis: bool,
+    fz: Reg = None,
+) -> None:
+    """Replicate each source pixel 2x2 into the destination plane."""
+    ps, pd, t = b.iregs(3)
+    b.mov(ps, p_src)
+    b.mov(pd, p_dst)
+    if use_vis:
+        if src_w % 8:
+            raise ValueError("VIS upsample needs width % 8 == 0")
+        fa, lo, hi = b.fregs(3)
+        with b.loop(0, src_h):
+            with b.loop(0, src_w // 8):
+                b.ldf(fa, ps)
+                b.fpmerge(lo, fa, fa)          # a0 a0 a1 a1 a2 a2 a3 a3
+                b.faligndata(hi, fa, fz)       # expose bytes 4..7
+                b.fpmerge(hi, hi, hi)
+                for offset, reg in ((0, lo), (8, hi)):
+                    b.stf(reg, pd, offset)
+                    b.stf(reg, pd, dst_stride + offset)
+                b.add(ps, ps, 8)
+                b.add(pd, pd, 16)
+            b.add(pd, pd, 2 * dst_stride - 2 * src_w)
+        b.release(fa, lo, hi)
+    else:
+        with b.loop(0, src_h):
+            with b.loop(0, src_w):
+                b.ldb(t, ps)
+                b.stb(t, pd, 0)
+                b.stb(t, pd, 1)
+                b.stb(t, pd, dst_stride)
+                b.stb(t, pd, dst_stride + 1)
+                b.add(ps, ps, 1)
+                b.add(pd, pd, 2)
+            b.add(pd, pd, 2 * dst_stride - 2 * src_w)
+    b.release(ps, pd, t)
+
+
+def emit_ycbcr_to_rgb_scalar(
+    b: ProgramBuilder,
+    p_y: Reg,
+    p_cb: Reg,
+    p_cr: Reg,
+    p_rgb: Reg,
+    region_w: int,
+    region_h: int,
+    plane_stride: int = None,
+    rgb_width: int = None,
+    reuse_plane_pointers: bool = False,
+) -> None:
+    """Inverse conversion of a region of full-resolution planes into an
+    interleaved RGB window (``rgb_width`` pixels per output row).
+
+    With ``reuse_plane_pointers`` the plane pointer registers are used
+    (and clobbered) directly — callers in register-tight loops pass
+    scratch pointers they re-materialize anyway."""
+    plane_stride = region_w if plane_stride is None else plane_stride
+    rgb_width = region_w if rgb_width is None else rgb_width
+    if reuse_plane_pointers:
+        py, pcb, pcr = p_y, p_cb, p_cr
+        pd = b.ireg()
+    else:
+        py, pcb, pcr, pd = b.iregs(4)
+        b.mov(py, p_y)
+        b.mov(pcb, p_cb)
+        b.mov(pcr, p_cr)
+    b.mov(pd, p_rgb)
+    yv, cbv, crv, acc, t = b.iregs(5)
+    with b.loop(0, region_h):
+      with b.loop(0, region_w):
+        b.ldb(yv, py)
+        b.ldb(cbv, pcb)
+        b.ldb(crv, pcr)
+        b.sub(cbv, cbv, 128)
+        b.sub(crv, crv, 128)
+        # R
+        _emit_mul_round_scalar(b, acc, crv, R_FROM_CR)
+        b.add(acc, acc, yv)
+        emit_saturate_byte(b, acc)
+        b.stb(acc, pd, 0)
+        # G
+        _emit_mul_round_scalar(b, acc, cbv, G_FROM_CB)
+        _emit_mul_round_scalar(b, t, crv, G_FROM_CR)
+        b.add(acc, acc, t)
+        b.add(acc, acc, yv)
+        emit_saturate_byte(b, acc)
+        b.stb(acc, pd, 1)
+        # B
+        _emit_mul_round_scalar(b, acc, cbv, B_FROM_CB)
+        b.add(acc, acc, yv)
+        emit_saturate_byte(b, acc)
+        b.stb(acc, pd, 2)
+        b.add(py, py, 1)
+        b.add(pcb, pcb, 1)
+        b.add(pcr, pcr, 1)
+        b.add(pd, pd, 3)
+      b.add(py, py, plane_stride - region_w)
+      b.add(pcb, pcb, plane_stride - region_w)
+      b.add(pcr, pcr, plane_stride - region_w)
+      b.add(pd, pd, 3 * (rgb_width - region_w))
+    if reuse_plane_pointers:
+        b.release(pd, yv, cbv, crv, acc, t)
+    else:
+        b.release(py, pcb, pcr, pd, yv, cbv, crv, acc, t)
+
+
+def emit_ycbcr_to_rgb_vis(
+    b: ProgramBuilder,
+    state: PixelVisState,
+    p_y: Reg,
+    p_cb: Reg,
+    p_cr: Reg,
+    p_rgb: Reg,
+    region_w: int,
+    region_h: int,
+    plane_stride: int = None,
+    rgb_width: int = None,
+    reuse_plane_pointers: bool = False,
+) -> None:
+    """VIS inverse conversion, 4 pixels per group, re-interleaving the
+    RGB output through the gather buffer.  Uses the folded -128 bias
+    identity (even coefficients)."""
+    if region_w % 4:
+        raise ValueError("VIS inverse conversion needs width % 4 == 0")
+    plane_stride = region_w if plane_stride is None else plane_stride
+    rgb_width = region_w if rgb_width is None else rgb_width
+    k = state.regs
+    if reuse_plane_pointers:
+        py, pcb, pcr = p_y, p_cb, p_cr
+        pd, pg, t = b.iregs(3)
+    else:
+        py, pcb, pcr, pd, pg, t = b.iregs(6)
+        b.mov(py, p_y)
+        b.mov(pcb, p_cb)
+        b.mov(pcr, p_cr)
+    b.mov(pd, p_rgb)
+    fy, fcb, fcr, acc, prod = b.fregs(5)
+    with b.loop(0, region_h):
+      with b.loop(0, region_w // 4):
+        b.ldfw(fy, py)
+        b.ldfw(fcb, pcb)
+        b.ldfw(fcr, pcr)
+        b.fmul8x16al(fy, fy, k["k256al"])      # Y as exact 16-bit lanes
+        b.la(pg, "px_gather")
+        # R = Y + ((cr*358 + 0x80) >> 8) - 179
+        b.fmul8x16au(acc, fcr, k["r_cr"])
+        b.fpadd16(acc, acc, fy)
+        b.fpsub16(acc, acc, k["r_bias"])
+        b.fpack16(acc, acc)
+        b.stfw(acc, pg, 0)
+        # G = Y + ((cb*-88 + 0x80) >> 8) + ((cr*-182 + 0x80) >> 8) + 135
+        b.fmul8x16au(acc, fcb, k["g_cb"])
+        b.fmul8x16au(prod, fcr, k["g_cr"])
+        b.fpadd16(acc, acc, prod)
+        b.fpadd16(acc, acc, fy)
+        b.fpadd16(acc, acc, k["g_bias"])
+        b.fpack16(acc, acc)
+        b.stfw(acc, pg, 4)
+        # B = Y + ((cb*454 + 0x80) >> 8) - 227
+        b.fmul8x16au(acc, fcb, k["b_cb"])
+        b.fpadd16(acc, acc, fy)
+        b.fpsub16(acc, acc, k["b_bias"])
+        b.fpack16(acc, acc)
+        b.stfw(acc, pg, 8)
+        # Re-interleave to RGB (reordering overhead again).
+        for j in range(4):
+            b.ldb(t, pg, j)
+            b.stb(t, pd, 3 * j + 0)
+            b.ldb(t, pg, 4 + j)
+            b.stb(t, pd, 3 * j + 1)
+            b.ldb(t, pg, 8 + j)
+            b.stb(t, pd, 3 * j + 2)
+        b.add(py, py, 4)
+        b.add(pcb, pcb, 4)
+        b.add(pcr, pcr, 4)
+        b.add(pd, pd, 12)
+      b.add(py, py, plane_stride - region_w)
+      b.add(pcb, pcb, plane_stride - region_w)
+      b.add(pcr, pcr, plane_stride - region_w)
+      b.add(pd, pd, 3 * (rgb_width - region_w))
+    if reuse_plane_pointers:
+        b.release(pd, pg, t)
+    else:
+        b.release(py, pcb, pcr, pd, pg, t)
+    b.release(fy, fcb, fcr, acc, prod)

@@ -1,0 +1,164 @@
+"""Constant tables shared by the JPEG/MPEG assembly codecs.
+
+Builds, as data buffers inside a program under construction:
+
+* zigzag scan tables as byte offsets into an s16 coefficient block
+  (the VIS pipeline uses the transposed order, absorbing the packed
+  DCT's missing transpose — see :mod:`repro.media.zigzag`),
+* quantization divisor tables (natural or transposed layout),
+* Huffman encoder arrays (dense code/length per symbol) and decoder
+  tables (8-bit lookahead LUT + canonical min/max/valptr fallback,
+  the jpeglib decode structure),
+* the packed 16-bit constants the VIS transform pipeline loads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ...asm.builder import ProgramBuilder, Reg
+from ...media.dct import C1, C2, C3, C4, C5, C6, C7
+from ...media.huffman import AC_TABLE, DC_TABLE, HuffmanTable, table_arrays
+from ...media.zigzag import ZIGZAG, ZIGZAG_T
+from ..kernels.common import broadcast16
+
+
+def _u16s(values) -> bytes:
+    return struct.pack(f"<{len(values)}H", *[v & 0xFFFF for v in values])
+
+
+def _s32s(values) -> bytes:
+    return struct.pack(f"<{len(values)}i", *values)
+
+
+def _u8s(values) -> bytes:
+    return bytes(v & 0xFF for v in values)
+
+
+@dataclass
+class DecoderTables:
+    """Buffer names of one Huffman table's decoder structures."""
+
+    lut_symbol: str
+    lut_length: str
+    mincode: str
+    maxcode: str
+    valptr: str
+    values: str
+
+
+def _build_lookahead(table: HuffmanTable):
+    """8-bit lookahead LUT: index = next 8 bits; value = (symbol, code
+    length) or length 0 when the code is longer than 8 bits."""
+    lut_symbol = [0] * 256
+    lut_length = [0] * 256
+    for symbol, (code, length) in table.codes.items():
+        if length > 8:
+            continue
+        prefix = code << (8 - length)
+        for suffix in range(1 << (8 - length)):
+            lut_symbol[prefix | suffix] = symbol
+            lut_length[prefix | suffix] = length
+    return lut_symbol, lut_length
+
+
+def declare_huffman_tables(
+    builder: ProgramBuilder, prefix: str, table: HuffmanTable, num_symbols: int
+) -> DecoderTables:
+    """Create this table's encoder and decoder buffers; returns the
+    decoder buffer names (encoder buffers are ``{prefix}_codes`` /
+    ``{prefix}_lens``)."""
+    codes, lengths = table_arrays(table, num_symbols)
+    builder.buffer(f"{prefix}_codes", 2 * num_symbols, data=_u16s(codes))
+    builder.buffer(f"{prefix}_lens", num_symbols, data=_u8s(lengths))
+    lut_symbol, lut_length = _build_lookahead(table)
+    builder.buffer(f"{prefix}_lut_sym", 512, data=_u16s(lut_symbol))
+    builder.buffer(f"{prefix}_lut_len", 256, data=_u8s(lut_length))
+    builder.buffer(f"{prefix}_mincode", 4 * 17, data=_s32s(list(table.mincode)))
+    builder.buffer(f"{prefix}_maxcode", 4 * 17, data=_s32s(list(table.maxcode)))
+    builder.buffer(f"{prefix}_valptr", 2 * 17, data=_u16s(list(table.valptr)))
+    builder.buffer(
+        f"{prefix}_values", 2 * len(table.values), data=_u16s(list(table.values))
+    )
+    return DecoderTables(
+        lut_symbol=f"{prefix}_lut_sym",
+        lut_length=f"{prefix}_lut_len",
+        mincode=f"{prefix}_mincode",
+        maxcode=f"{prefix}_maxcode",
+        valptr=f"{prefix}_valptr",
+        values=f"{prefix}_values",
+    )
+
+
+@dataclass
+class CodecTables:
+    """Names of every table buffer a codec program can reference."""
+
+    zigzag_offsets: str          # u16[64]: byte offsets in coefficient layout
+    luma_divisors: str           # s16[64], layout matching the DCT variant
+    chroma_divisors: str
+    dc: DecoderTables
+    ac: DecoderTables
+    vis_constants: Dict[str, str]
+
+
+#: Packed broadcast constants the VIS transform phases load once.
+VIS_CONSTANTS = {
+    "c1": C1, "c2": C2, "c3": C3, "c4": C4, "c5": C5, "c6": C6, "c7": C7,
+    "c64": 64, "c128": 128, "c256": 256,
+}
+
+
+def declare_codec_tables(
+    builder: ProgramBuilder,
+    luma_divisors: np.ndarray,
+    chroma_divisors: np.ndarray,
+    use_vis: bool,
+) -> CodecTables:
+    """Declare all shared tables for a JPEG/MPEG-style codec program.
+
+    ``use_vis`` selects the transposed coefficient layout produced by
+    the packed DCT pipeline (transposed zigzag and divisor tables).
+    """
+    order = ZIGZAG_T if use_vis else ZIGZAG
+    builder.buffer("zz_offsets", 128, data=_u16s([2 * int(z) for z in order]))
+    luma = luma_divisors.T if use_vis else luma_divisors
+    chroma = chroma_divisors.T if use_vis else chroma_divisors
+    builder.buffer(
+        "luma_div", 128, data=luma.astype("<i2").tobytes()
+    )
+    builder.buffer(
+        "chroma_div", 128, data=chroma.astype("<i2").tobytes()
+    )
+    dc = declare_huffman_tables(builder, "dc", DC_TABLE, 16)
+    ac = declare_huffman_tables(builder, "ac", AC_TABLE, 256)
+    vis_constants: Dict[str, str] = {}
+    if use_vis:
+        for name, value in VIS_CONSTANTS.items():
+            buf = f"k_{name}"
+            builder.buffer(buf, 8, data=broadcast16(value))
+            vis_constants[name] = buf
+    return CodecTables(
+        zigzag_offsets="zz_offsets",
+        luma_divisors="luma_div",
+        chroma_divisors="chroma_div",
+        dc=dc,
+        ac=ac,
+        vis_constants=vis_constants,
+    )
+
+
+def load_vis_constants(builder: ProgramBuilder, tables: CodecTables) -> Dict[str, Reg]:
+    """Load every packed constant into a dedicated media register."""
+    regs: Dict[str, Reg] = {}
+    with builder.scratch(iregs=1) as tmp:
+        for name, buf in tables.vis_constants.items():
+            reg = builder.freg()
+            builder.la(tmp, buf)
+            builder.ldf(reg, tmp)
+            regs[name] = reg
+    return regs

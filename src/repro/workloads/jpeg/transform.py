@@ -1,0 +1,577 @@
+"""Transform-phase assembly: 8x8 FDCT+quantize and dequantize+IDCT.
+
+Scalar and VIS block emitters that agree bit-exactly with
+:mod:`repro.media.dct`:
+
+* all DCT multiplies are ``(a*c) >> 8`` with floor semantics, which is
+  precisely what the VIS ``fmul8sux16``/``fmul8ulx16`` pair computes on
+  16-bit lanes;
+* the 2-D order is columns-then-rows forward, rows-then-columns
+  inverse;
+* the packed VIS pipeline processes 4-column lane groups and leaves its
+  results *transposed* — the zigzag/divisor tables in the program
+  absorb the transpose (see :mod:`repro.workloads.jpeg.tables`) — with
+  one scalar 8x8 transpose between the two packed passes (subword
+  rearrangement overhead, Section 3.2.3);
+* quantization is always scalar, using the non-pipelined integer
+  divider (the paper lists quantization among the phases VIS cannot
+  help).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...asm.builder import ProgramBuilder, R_ZERO, Reg
+from ...media.dct import C1, C2, C3, C4, C5, C6, C7
+from ..kernels.common import emit_saturate_byte
+
+#: Output register assignment of the 1-D butterflies: frequency -> slot.
+_FREQ_SLOTS = {0: 0, 4: 1, 2: 2, 6: 3, 1: 4, 3: 5, 5: 6, 7: 7}
+
+
+# ---------------------------------------------------------------------------
+# Scalar 1-D butterflies (13 integer registers: x[0..7] + t[0..4]).
+# ---------------------------------------------------------------------------
+
+
+def emit_fdct_1d_scalar(b: ProgramBuilder, x: List[Reg], t: List[Reg]) -> Dict[int, Reg]:
+    """Forward 8-point butterfly on registers; returns frequency->reg."""
+    # Stage 1: sums in x[0..3], differences in t[0..3].
+    for i in range(4):
+        b.sub(t[i], x[i], x[7 - i])
+        b.add(x[i], x[i], x[7 - i])
+    # Stage 2 into x[4..7]: t0', t3', t1', t2'.
+    b.add(x[4], x[0], x[3])
+    b.sub(x[5], x[0], x[3])
+    b.add(x[6], x[1], x[2])
+    b.sub(x[7], x[1], x[2])
+    # Even outputs.
+    b.add(x[0], x[4], x[6])
+    b.mul(x[0], x[0], C4)
+    b.sra(x[0], x[0], 8)                   # F0
+    b.sub(x[1], x[4], x[6])
+    b.mul(x[1], x[1], C4)
+    b.sra(x[1], x[1], 8)                   # F4
+    b.mul(x[2], x[5], C2)
+    b.sra(x[2], x[2], 8)
+    b.mul(x[3], x[7], C6)
+    b.sra(x[3], x[3], 8)
+    b.add(x[2], x[2], x[3])                # F2
+    b.mul(x[3], x[5], C6)
+    b.sra(x[3], x[3], 8)
+    b.mul(x[4], x[7], C2)
+    b.sra(x[4], x[4], 8)
+    b.sub(x[3], x[3], x[4])                # F6
+    # Odd outputs (direct form, 4 taps each; every product is scaled
+    # down individually, matching the packed data path exactly).
+    odd_taps = (
+        (C1, C3, C5, C7),
+        (C3, -C7, -C1, -C5),
+        (C5, -C1, C7, C3),
+        (C7, -C5, C3, -C1),
+    )
+    for slot, taps in zip((4, 5, 6, 7), odd_taps):
+        out = x[slot]
+        b.mul(out, t[0], taps[0])
+        b.sra(out, out, 8)
+        for j in range(1, 4):
+            b.mul(t[4], t[j], abs(taps[j]))
+            b.sra(t[4], t[4], 8)
+            if taps[j] >= 0:
+                b.add(out, out, t[4])
+            else:
+                b.sub(out, out, t[4])
+    return {freq: x[slot] for freq, slot in _FREQ_SLOTS.items()}
+
+
+def emit_idct_1d_scalar(b: ProgramBuilder, y: List[Reg], t: List[Reg]) -> List[Reg]:
+    """Inverse 8-point butterfly; ``y`` holds F0..F7 in natural order,
+    returns sample registers x0..x7 in natural order."""
+    # Even part -> t[0..3] = E0..E3.
+    b.add(t[0], y[0], y[4])
+    b.mul(t[0], t[0], C4)
+    b.sra(t[0], t[0], 8)                   # ta
+    b.sub(t[1], y[0], y[4])
+    b.mul(t[1], t[1], C4)
+    b.sra(t[1], t[1], 8)                   # tb
+    b.mul(t[2], y[2], C2)
+    b.sra(t[2], t[2], 8)
+    b.mul(t[4], y[6], C6)
+    b.sra(t[4], t[4], 8)
+    b.add(t[2], t[2], t[4])                # tc
+    b.mul(t[3], y[2], C6)
+    b.sra(t[3], t[3], 8)
+    b.mul(t[4], y[6], C2)
+    b.sra(t[4], t[4], 8)
+    b.sub(t[3], t[3], t[4])                # td
+    b.add(y[0], t[0], t[2])                # E0
+    b.sub(y[2], t[0], t[2])                # E3
+    b.add(y[4], t[1], t[3])                # E1
+    b.sub(y[6], t[1], t[3])                # E2
+    # Odd part: O0..O3 from y[1], y[3], y[5], y[7] into t[0..3].
+    odd_taps = (
+        (C1, C3, C5, C7),
+        (C3, -C7, -C1, -C5),
+        (C5, -C1, C7, C3),
+        (C7, -C5, C3, -C1),
+    )
+    odd_in = (y[1], y[3], y[5], y[7])
+    for k, taps in enumerate(odd_taps):
+        b.mul(t[k], odd_in[0], taps[0])
+        b.sra(t[k], t[k], 8)
+        for j in range(1, 4):
+            b.mul(t[4], odd_in[j], abs(taps[j]))
+            b.sra(t[4], t[4], 8)
+            if taps[j] >= 0:
+                b.add(t[k], t[k], t[4])
+            else:
+                b.sub(t[k], t[k], t[4])
+    # Recombine: x_k = (E_k + O_k) >> 2 ; x_{7-k} = (E_k - O_k) >> 2.
+    # E0=y[0], E1=y[4], E2=y[6], E3=y[2]; the odd-input registers
+    # y[1], y[3], y[5], y[7] are free to hold results, and each E
+    # register's difference is computed before its in-place sum.
+    b.sub(y[7], y[0], t[0])
+    b.sra(y[7], y[7], 2)                   # x7
+    b.add(y[0], y[0], t[0])
+    b.sra(y[0], y[0], 2)                   # x0
+    b.sub(y[1], y[4], t[1])
+    b.sra(y[1], y[1], 2)                   # x6
+    b.add(y[4], y[4], t[1])
+    b.sra(y[4], y[4], 2)                   # x1
+    b.sub(y[3], y[6], t[2])
+    b.sra(y[3], y[3], 2)                   # x5
+    b.add(y[6], y[6], t[2])
+    b.sra(y[6], y[6], 2)                   # x2
+    b.sub(y[5], y[2], t[3])
+    b.sra(y[5], y[5], 2)                   # x4
+    b.add(y[2], y[2], t[3])
+    b.sra(y[2], y[2], 2)                   # x3
+    return [y[0], y[4], y[6], y[2], y[5], y[3], y[1], y[7]]
+
+
+# ---------------------------------------------------------------------------
+# Packed (VIS) 1-D butterflies on 4-column lane groups.
+# ---------------------------------------------------------------------------
+
+
+def emit_pmul(b: ProgramBuilder, dst: Reg, a: Reg, const: Reg, tmp: Reg) -> None:
+    """Packed ``(a * c) >> 8`` per 16-bit lane: the emulated multiply.
+    Safe when ``dst`` aliases ``a`` (the low partial product is taken
+    first into ``tmp``)."""
+    b.fmul8ulx16(tmp, a, const)
+    b.fmul8sux16(dst, a, const)
+    b.fpadd16(dst, dst, tmp)
+
+
+def emit_fdct_1d_packed(
+    b: ProgramBuilder,
+    x: List[Reg],
+    t: List[Reg],
+    consts: Dict[str, Reg],
+    ptmp: Reg,
+) -> Dict[int, Reg]:
+    """Packed forward butterfly; same dataflow as the scalar version."""
+    for i in range(4):
+        b.fpsub16(t[i], x[i], x[7 - i])
+        b.fpadd16(x[i], x[i], x[7 - i])
+    b.fpadd16(x[4], x[0], x[3])
+    b.fpsub16(x[5], x[0], x[3])
+    b.fpadd16(x[6], x[1], x[2])
+    b.fpsub16(x[7], x[1], x[2])
+    b.fpadd16(x[0], x[4], x[6])
+    emit_pmul(b, x[0], x[0], consts["c4"], ptmp)
+    b.fpsub16(x[1], x[4], x[6])
+    emit_pmul(b, x[1], x[1], consts["c4"], ptmp)
+    emit_pmul(b, x[2], x[5], consts["c2"], ptmp)
+    emit_pmul(b, x[3], x[7], consts["c6"], ptmp)
+    b.fpadd16(x[2], x[2], x[3])
+    emit_pmul(b, x[3], x[5], consts["c6"], ptmp)
+    emit_pmul(b, x[4], x[7], consts["c2"], ptmp)
+    b.fpsub16(x[3], x[3], x[4])
+    odd_taps = (
+        ("c1", "c3", "c5", "c7"),
+        ("c3", "-c7", "-c1", "-c5"),
+        ("c5", "-c1", "c7", "c3"),
+        ("c7", "-c5", "c3", "-c1"),
+    )
+    for slot, taps in zip((4, 5, 6, 7), odd_taps):
+        out = x[slot]
+        emit_pmul(b, out, t[0], consts[taps[0]], ptmp)
+        for j in range(1, 4):
+            name = taps[j]
+            emit_pmul(b, t[4], t[j], consts[name.lstrip("-")], ptmp)
+            if name.startswith("-"):
+                b.fpsub16(out, out, t[4])
+            else:
+                b.fpadd16(out, out, t[4])
+    return {freq: x[slot] for freq, slot in _FREQ_SLOTS.items()}
+
+
+def emit_idct_1d_packed(
+    b: ProgramBuilder,
+    y: List[Reg],
+    t: List[Reg],
+    consts: Dict[str, Reg],
+    ptmp: Reg,
+) -> List[Reg]:
+    """Packed inverse butterfly; same dataflow as the scalar version.
+
+    Note the packed right-shift-by-2 is realized with a multiply by 64
+    (``(v * 64) >> 8 == v >> 2`` exactly, floor semantics)."""
+    b.fpadd16(t[0], y[0], y[4])
+    emit_pmul(b, t[0], t[0], consts["c4"], ptmp)
+    b.fpsub16(t[1], y[0], y[4])
+    emit_pmul(b, t[1], t[1], consts["c4"], ptmp)
+    emit_pmul(b, t[2], y[2], consts["c2"], ptmp)
+    emit_pmul(b, t[4], y[6], consts["c6"], ptmp)
+    b.fpadd16(t[2], t[2], t[4])
+    emit_pmul(b, t[3], y[2], consts["c6"], ptmp)
+    emit_pmul(b, t[4], y[6], consts["c2"], ptmp)
+    b.fpsub16(t[3], t[3], t[4])
+    b.fpadd16(y[0], t[0], t[2])            # E0
+    b.fpsub16(y[2], t[0], t[2])            # E3
+    b.fpadd16(y[4], t[1], t[3])            # E1
+    b.fpsub16(y[6], t[1], t[3])            # E2
+    odd_taps = (
+        ("c1", "c3", "c5", "c7"),
+        ("c3", "-c7", "-c1", "-c5"),
+        ("c5", "-c1", "c7", "c3"),
+        ("c7", "-c5", "c3", "-c1"),
+    )
+    odd_in = (y[1], y[3], y[5], y[7])
+    for k, taps in enumerate(odd_taps):
+        emit_pmul(b, t[k], odd_in[0], consts[taps[0]], ptmp)
+        for j in range(1, 4):
+            name = taps[j]
+            emit_pmul(b, t[4], odd_in[j], consts[name.lstrip("-")], ptmp)
+            if name.startswith("-"):
+                b.fpsub16(t[k], t[k], t[4])
+            else:
+                b.fpadd16(t[k], t[k], t[4])
+    # Recombine exactly as the scalar version, with the packed >>2
+    # realized as a multiply by 64 (``(v*64) >> 8 == v >> 2``, floor).
+    c64 = consts["c64"]
+    b.fpsub16(y[7], y[0], t[0])
+    emit_pmul(b, y[7], y[7], c64, ptmp)    # x7
+    b.fpadd16(y[0], y[0], t[0])
+    emit_pmul(b, y[0], y[0], c64, ptmp)    # x0
+    b.fpsub16(y[1], y[4], t[1])
+    emit_pmul(b, y[1], y[1], c64, ptmp)    # x6
+    b.fpadd16(y[4], y[4], t[1])
+    emit_pmul(b, y[4], y[4], c64, ptmp)    # x1
+    b.fpsub16(y[3], y[6], t[2])
+    emit_pmul(b, y[3], y[3], c64, ptmp)    # x5
+    b.fpadd16(y[6], y[6], t[2])
+    emit_pmul(b, y[6], y[6], c64, ptmp)    # x2
+    b.fpsub16(y[5], y[2], t[3])
+    emit_pmul(b, y[5], y[5], c64, ptmp)    # x4
+    b.fpadd16(y[2], y[2], t[3])
+    emit_pmul(b, y[2], y[2], c64, ptmp)    # x3
+    return [y[0], y[4], y[6], y[2], y[5], y[3], y[1], y[7]]
+
+
+# ---------------------------------------------------------------------------
+# Quantization (always scalar; uses the non-pipelined divider).
+# ---------------------------------------------------------------------------
+
+
+def emit_quant_value(
+    b: ProgramBuilder, v: Reg, p_div: Reg, off: int, p_out: Reg, t1: Reg, t2: Reg
+) -> None:
+    """q = sign(v) * ((|v| + d/2) // d); store s16 at ``p_out+off``."""
+    b.ldhs(t1, p_div, off)
+    b.srl(t2, t1, 1)
+    negative = b.label("q_neg")
+    done = b.label("q_done")
+    b.blt(v, R_ZERO, negative, hint=False)
+    b.add(v, v, t2)
+    b.div(v, v, t1)
+    b.j(done)
+    b.bind(negative)
+    b.sub(v, R_ZERO, v)
+    b.add(v, v, t2)
+    b.div(v, v, t1)
+    b.sub(v, R_ZERO, v)
+    b.bind(done)
+    b.sth(v, p_out, off)
+
+
+def emit_dequant_value(
+    b: ProgramBuilder, v: Reg, p_div: Reg, off: int, t1: Reg, clip: int = 0
+) -> None:
+    """v = v * d, optionally saturated to +-clip (the MPEG-2-style
+    mismatch-control saturation that also keeps the packed IDCT lanes
+    in range)."""
+    b.ldhs(t1, p_div, off)
+    b.mul(v, v, t1)
+    if clip:
+        lo = b.label("dq_lo")
+        done = b.label("dq_done")
+        b.blt(v, -clip, lo, hint=False)
+        b.ble(v, clip, done, hint=True)
+        b.li(v, clip)
+        b.j(done)
+        b.bind(lo)
+        b.li(v, -clip)
+        b.bind(done)
+
+
+# ---------------------------------------------------------------------------
+# Scalar transpose (the VIS pipeline's inter-pass rearrangement).
+# ---------------------------------------------------------------------------
+
+
+def emit_transpose_8x8_s16(b: ProgramBuilder, p_src: Reg, p_dst: Reg) -> None:
+    """Transpose an 8x8 s16 block through memory with static offsets.
+
+    This is the subword-rearrangement overhead the packed DCT pays
+    between its two 4-column passes."""
+    with b.scratch(iregs=1) as t:
+        for i in range(8):
+            for j in range(8):
+                b.ldhs(t, p_src, 2 * (8 * i + j))
+                b.sth(t, p_dst, 2 * (8 * j + i))
+
+
+# ---------------------------------------------------------------------------
+# Scalar block pipelines.
+# ---------------------------------------------------------------------------
+
+
+def emit_fdct_quant_block_scalar(
+    b: ProgramBuilder,
+    p_plane: Reg,
+    stride: int,
+    p_coef: Reg,
+    divisors: str,
+    scratch: str,
+    input_s16: bool = False,
+) -> None:
+    """One 8x8 block: plane bytes -> quantized s16 coefficients
+    (natural layout).  Column pass, then row pass + quantization.
+
+    With ``input_s16`` the source is a signed 16-bit block (a motion
+    residual; ``stride`` is then the byte stride of its rows) and no
+    level shift is applied.
+
+    Fully unrolled (footnote-3 style) with static offsets: uses exactly
+    13 scratch integer registers (the butterfly's 8+5); table base
+    addresses are re-materialized into butterfly temporaries."""
+    x = b.iregs(8)
+    t = b.iregs(5)
+
+    # Pass 1: transform each column; write s16 to the scratch block.
+    for c in range(8):
+        for i in range(8):
+            if input_s16:
+                b.ldhs(x[i], p_plane, i * stride + 2 * c)
+            else:
+                b.ldb(x[i], p_plane, i * stride + c)
+                b.sub(x[i], x[i], 128)
+        outs = emit_fdct_1d_scalar(b, x, t)
+        b.la(t[0], scratch)
+        for freq, reg in outs.items():
+            b.sth(reg, t[0], 16 * freq + 2 * c)
+
+    # Pass 2: transform each row; quantize and store.
+    for r in range(8):
+        b.la(t[0], scratch)
+        for i in range(8):
+            b.ldhs(x[i], t[0], 16 * r + 2 * i)
+        outs = emit_fdct_1d_scalar(b, x, t)
+        b.la(t[2], divisors)
+        for freq, reg in outs.items():
+            emit_quant_value(b, reg, t[2], 16 * r + 2 * freq, p_coef, t[0], t[1])
+
+    b.release(*x, *t)
+
+
+def emit_dequant_idct_block_scalar(
+    b: ProgramBuilder,
+    p_coef: Reg,
+    divisors: str,
+    p_plane: Reg,
+    stride: int,
+    scratch: str,
+    clip: int = 0,
+    p_pred: Reg = None,
+    pred_stride: int = 0,
+) -> None:
+    """One 8x8 block: s16 coefficients -> plane bytes.
+
+    Without ``p_pred``: intra reconstruction ``sat(sample + 128)``.
+    With ``p_pred``: inter reconstruction ``sat(pred + residual)``.
+    Fully unrolled; 13 scratch integer registers."""
+    x = b.iregs(8)
+    t = b.iregs(5)
+
+    # Pass 1: dequantize + transform each row.
+    for r in range(8):
+        b.la(t[0], divisors)
+        for i in range(8):
+            b.ldhs(x[i], p_coef, 16 * r + 2 * i)
+            emit_dequant_value(b, x[i], t[0], 16 * r + 2 * i, t[1], clip=clip)
+        outs = emit_idct_1d_scalar(b, x, t)
+        b.la(t[0], scratch)
+        for k, reg in enumerate(outs):
+            b.sth(reg, t[0], 16 * r + 2 * k)
+
+    # Pass 2: transform each column; reconstruct bytes.
+    for c in range(8):
+        b.la(t[0], scratch)
+        for i in range(8):
+            b.ldhs(x[i], t[0], 16 * i + 2 * c)
+        outs = emit_idct_1d_scalar(b, x, t)
+        for k, reg in enumerate(outs):
+            if p_pred is None:
+                b.add(reg, reg, 128)
+            else:
+                b.ldb(t[0], p_pred, k * pred_stride + c)
+                b.add(reg, reg, t[0])
+            emit_saturate_byte(b, reg)
+            b.stb(reg, p_plane, k * stride + c)
+
+    b.release(*x, *t)
+
+
+# ---------------------------------------------------------------------------
+# Packed (VIS) block pipelines.
+# ---------------------------------------------------------------------------
+
+
+def emit_fdct_quant_block_vis(
+    b: ProgramBuilder,
+    p_plane: Reg,
+    stride: int,
+    p_coef: Reg,
+    divisors: str,
+    scratch: str,
+    scratch2: str,
+    consts: Dict[str, Reg],
+    fz: Reg,
+    input_s16: bool = False,
+) -> None:
+    """One 8x8 block via the packed pipeline.  Output coefficients are
+    *transposed*; the caller's zigzag/divisor tables absorb this.
+
+    With ``input_s16`` the source is a signed 16-bit residual block
+    (loaded directly as packed lanes, no unpack / level shift).
+
+    Requires GSR.align == 4 (for the high-lane extraction).
+    """
+    x = b.fregs(8)
+    t = b.fregs(5)
+    ptmp, raw = b.fregs(2)
+    with b.scratch(iregs=2) as (ps, ps2):
+        # Pass 1: packed column transform, two 4-column lane groups.
+        b.la(ps, scratch)
+        for group in (0, 1):
+            for i in range(8):
+                if input_s16:
+                    b.ldf(x[i], p_plane, i * stride + 8 * group)
+                    continue
+                b.ldf(raw, p_plane, i * stride)
+                if group == 0:
+                    b.fmul8x16al(x[i], raw, consts["c256"])
+                else:
+                    b.faligndata(x[i], raw, fz)
+                    b.fmul8x16al(x[i], x[i], consts["c256"])
+                b.fpsub16(x[i], x[i], consts["c128"])
+            outs = emit_fdct_1d_packed(b, x, t, consts, ptmp)
+            for freq, reg in outs.items():
+                b.stf(reg, ps, 16 * freq + 8 * group)
+
+        # Subword rearrangement between the passes.
+        b.la(ps2, scratch2)
+        emit_transpose_8x8_s16(b, ps, ps2)
+
+        # Pass 2: packed transform of the transposed data.
+        for group in (0, 1):
+            for i in range(8):
+                b.ldf(x[i], ps2, 16 * i + 8 * group)
+            outs = emit_fdct_1d_packed(b, x, t, consts, ptmp)
+            for freq, reg in outs.items():
+                b.stf(reg, ps, 16 * freq + 8 * group)
+
+    b.release(*x, *t, ptmp, raw)
+
+    # Scalar quantization of the 64 (transposed-layout) coefficients.
+    with b.scratch(iregs=5) as (pq, pd, po, v, tq):
+        b.la(pq, scratch)
+        b.la(pd, divisors)
+        b.mov(po, p_coef)
+        with b.scratch(iregs=1) as t2:
+            with b.loop(0, 64):
+                b.ldhs(v, pq)
+                emit_quant_value(b, v, pd, 0, po, tq, t2)
+                b.add(pq, pq, 2)
+                b.add(pd, pd, 2)
+                b.add(po, po, 2)
+
+
+def emit_dequant_idct_block_vis(
+    b: ProgramBuilder,
+    p_coef: Reg,
+    divisors: str,
+    p_plane: Reg,
+    stride: int,
+    scratch: str,
+    scratch2: str,
+    consts: Dict[str, Reg],
+    fz: Reg,
+    clip: int = 0,
+    p_pred: Reg = None,
+    pred_stride: int = 0,
+) -> None:
+    """One 8x8 block: transposed-layout s16 coefficients -> plane bytes
+    via the packed inverse pipeline (output orientation is natural)."""
+    x = b.fregs(8)
+    t = b.fregs(5)
+    ptmp, raw = b.fregs(2)
+    # Scalar dequantization into the scratch block.
+    with b.scratch(iregs=5) as (pq, pd, po, v, tq):
+        b.mov(pq, p_coef)
+        b.la(pd, divisors)
+        b.la(po, scratch)
+        with b.loop(0, 64):
+            b.ldhs(v, pq)
+            emit_dequant_value(b, v, pd, 0, tq, clip=clip)
+            b.sth(v, po)
+            b.add(pq, pq, 2)
+            b.add(pd, pd, 2)
+            b.add(po, po, 2)
+
+    with b.scratch(iregs=2) as (ps, ps2):
+        b.la(ps, scratch)
+        b.la(ps2, scratch2)
+        # Pass 1 (row transform of the natural block, since the data is
+        # transposed): results back into scratch2 via the same layout.
+        for group in (0, 1):
+            for i in range(8):
+                b.ldf(x[i], ps, 16 * i + 8 * group)
+            outs = emit_idct_1d_packed(b, x, t, consts, ptmp)
+            for k, reg in enumerate(outs):
+                b.stf(reg, ps2, 16 * k + 8 * group)
+        # Rearrange, then the column transform.
+        emit_transpose_8x8_s16(b, ps2, ps)
+        pp = None
+        if p_pred is not None:
+            pp = b.ireg()
+            b.mov(pp, p_pred)
+        for group in (0, 1):
+            for i in range(8):
+                b.ldf(x[i], ps, 16 * i + 8 * group)
+            outs = emit_idct_1d_packed(b, x, t, consts, ptmp)
+            for k, reg in enumerate(outs):
+                if p_pred is None:
+                    b.fpadd16(reg, reg, consts["c128"])
+                else:
+                    b.ldfw(raw, pp, k * pred_stride + 4 * group)
+                    b.fmul8x16al(t[4], raw, consts["c256"])
+                    b.fpadd16(reg, reg, t[4])
+                b.fpack16(reg, reg)
+                b.stfw(reg, p_plane, k * stride + 4 * group)
+        if pp is not None:
+            b.release(pp)
+    b.release(*x, *t, ptmp, raw)

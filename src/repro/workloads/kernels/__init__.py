@@ -1,0 +1,17 @@
+"""The six VSDK-style image-processing kernel benchmarks (Table 1)."""
+
+from .addition import AdditionWorkload
+from .blend import BlendWorkload
+from .conv import ConvWorkload
+from .dotprod import DotprodWorkload
+from .scaling import ScalingWorkload
+from .thresh import ThreshWorkload
+
+__all__ = [
+    "AdditionWorkload",
+    "BlendWorkload",
+    "ConvWorkload",
+    "DotprodWorkload",
+    "ScalingWorkload",
+    "ThreshWorkload",
+]

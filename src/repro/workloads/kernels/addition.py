@@ -1,0 +1,119 @@
+"""``addition``: mean of two images, byte-wise (Table 1).
+
+Reference math: ``dst = (src1 + src2 + 1) >> 1``.
+
+The VIS variant expands each 8-byte group to 16 bits, adds the packed
+groups plus a rounding constant, and re-packs with GSR scale 2 (so that
+``((a+b)<<4 + 16) << 2 >> 7 == (a+b+1) >> 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...asm.builder import ProgramBuilder
+from ...media.images import synthetic_image
+from ...media.kernels import addition as reference
+from ..base import BuiltWorkload, Variant, Workload, expect_equal
+from .common import (
+    broadcast16,
+    declare_streams,
+    emit_expand_8,
+    flat_bytes,
+    pointer_loop,
+    setup_vis_unpack,
+)
+
+
+class AdditionWorkload(Workload):
+    name = "addition"
+    group = "image processing"
+    description = "Addition of two images using the mean of the pixel values"
+
+    def build(self, variant: Variant, scale, skew: bool = True, unroll: int = 2):
+        src1 = synthetic_image(scale.kernel_width, scale.kernel_height, scale.bands, seed=16)
+        src2 = synthetic_image(scale.kernel_width, scale.kernel_height, scale.bands, seed=17)
+        expected = reference(src1.reshape(-1), src2.reshape(-1))
+        total = src1.size
+
+        builder = ProgramBuilder(f"{self.name}-{variant.value}")
+        declare_streams(
+            builder,
+            [
+                ("src1", total, flat_bytes(src1)),
+                ("src2", total, flat_bytes(src2)),
+                ("dst", total, None),
+            ],
+            skew=skew,
+        )
+        if variant.uses_vis:
+            self._emit_vis(builder, total, variant.uses_prefetch, scale.pf_distance)
+        else:
+            self._emit_scalar(builder, total, variant.uses_prefetch, unroll, scale.pf_distance)
+        program = builder.build()
+
+        def validate(machine) -> None:
+            expect_equal(
+                machine.read_buffer_array("dst"), expected, "addition output"
+            )
+
+        return BuiltWorkload(
+            name=self.name,
+            variant=variant,
+            program=program,
+            validate=validate,
+            details={"bytes": total, "image": f"{scale.kernel_width}x{scale.kernel_height}x{scale.bands}"},
+        )
+
+    # -- scalar ---------------------------------------------------------------
+
+    def _emit_scalar(self, b: ProgramBuilder, total: int, prefetch: bool, unroll: int, pf_distance: int = 128):
+        p1, p2, pd = b.iregs(3)
+        b.la(p1, "src1")
+        b.la(p2, "src2")
+        b.la(pd, "dst")
+
+        def body() -> None:
+            for u in range(unroll):
+                with b.scratch(iregs=2) as (t1, t2):
+                    b.ldb(t1, p1, u)
+                    b.ldb(t2, p2, u)
+                    b.add(t1, t1, t2)
+                    b.add(t1, t1, 1)
+                    b.srl(t1, t1, 1)
+                    b.stb(t1, pd, u)
+
+        pointer_loop(b, total, unroll, [p1, p2, pd], body,
+            prefetch=prefetch, pf_distance=pf_distance)
+
+    # -- VIS -------------------------------------------------------------------
+
+    def _emit_vis(self, b: ProgramBuilder, total: int, prefetch: bool, pf_distance: int = 128):
+        rounder = b.buffer("round16", 8, data=broadcast16(16))
+        p1, p2, pd = b.iregs(3)
+        b.la(p1, "src1")
+        b.la(p2, "src2")
+        b.la(pd, "dst")
+        zero = setup_vis_unpack(b, scale=2)
+        f_round = b.freg()
+        with b.scratch(iregs=1) as tmp:
+            b.la(tmp, rounder)
+            b.ldf(f_round, tmp)
+
+        fa, fb, alo, ahi, blo, bhi = b.fregs(6)
+
+        def body() -> None:
+            b.ldf(fa, p1)
+            b.ldf(fb, p2)
+            emit_expand_8(b, fa, zero, alo, ahi)
+            emit_expand_8(b, fb, zero, blo, bhi)
+            b.fpadd16(alo, alo, blo)
+            b.fpadd16(ahi, ahi, bhi)
+            b.fpadd16(alo, alo, f_round)
+            b.fpadd16(ahi, ahi, f_round)
+            b.fpack16(alo, alo)
+            b.fpack16(ahi, ahi)
+            b.stfw(alo, pd, 0)
+            b.stfw(ahi, pd, 4)
+
+        pointer_loop(b, total, 8, [p1, p2, pd], body, prefetch=prefetch, pf_distance=pf_distance)

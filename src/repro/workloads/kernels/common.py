@@ -1,0 +1,155 @@
+"""Shared emission helpers for the VSDK-style kernel benchmarks.
+
+The helpers encode the paper's optimization methodology:
+
+* footnote 3 — concurrent streams get skewed starting addresses and the
+  inner loops are unrolled (both controllable for the ablation study);
+* Section 2.3.3 — prefetch variants are strip-mined into cache-line
+  tiles with one non-binding prefetch per stream per line, following
+  Mowry's compiler algorithm (steady-state loop; prefetches that run
+  past the end of a stream are dropped by the hardware);
+* Section 2.3.2 — VIS variants process 8-byte packed groups, using
+  ``fexpand``/``faligndata`` for subword rearrangement and the GSR for
+  alignment and pack scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...asm.builder import ProgramBuilder, Reg
+
+#: Cache line size assumed by the prefetch strip-mining (Table 3).
+LINE = 64
+
+#: Default prefetch look-ahead in bytes (overridden per workload scale;
+#: see WorkloadScale.pf_distance).
+PF_DISTANCE = 2 * LINE
+
+
+def flat_bytes(image: np.ndarray) -> bytes:
+    """Row-major bytes of an image array."""
+    return np.ascontiguousarray(image).tobytes()
+
+
+def declare_streams(
+    builder: ProgramBuilder,
+    streams: Sequence[tuple],
+    skew: bool = True,
+) -> dict:
+    """Declare input/output buffers with skewed starting addresses.
+
+    ``streams`` is a sequence of ``(name, size, data_or_None)``.  With
+    ``skew`` enabled each stream starts one cache line further into its
+    alignment window than the previous one, de-conflicting the L1 sets
+    the concurrent accesses map to (paper footnote 3).
+    """
+    out = {}
+    for index, (name, size, data) in enumerate(streams):
+        out[name] = builder.buffer(
+            name,
+            size,
+            align=4096,
+            data=data,
+            skew=(index * LINE) if skew else 0,
+        )
+    return out
+
+
+def pointer_loop(
+    builder: ProgramBuilder,
+    total: int,
+    step: int,
+    pointers: Sequence[Reg],
+    body: Callable[[], None],
+    prefetch: bool = False,
+    prefetch_pointers: Sequence[Reg] = (),
+    advance: bool = True,
+    pf_distance: int = PF_DISTANCE,
+) -> None:
+    """The canonical streaming loop shared by the byte kernels.
+
+    Calls ``body()`` once per iteration to process ``step`` bytes at the
+    current pointers, then advances every pointer by ``step``.  With
+    ``prefetch`` enabled the loop is strip-mined into cache-line tiles:
+    each tile issues one prefetch per stream ``PF_DISTANCE`` bytes ahead
+    before running ``LINE // step`` unrolled bodies.
+    """
+    if total % step != 0:
+        raise ValueError(f"total {total} not a multiple of step {step}")
+
+    def advance_pointers() -> None:
+        if advance:
+            for ptr in pointers:
+                builder.add(ptr, ptr, step)
+
+    if not prefetch:
+        with builder.loop(0, total, step=step):
+            body()
+            advance_pointers()
+        return
+
+    if LINE % step != 0:
+        raise ValueError("prefetch tiling requires step dividing a line")
+    per_tile = LINE // step
+    targets = prefetch_pointers or pointers
+    with builder.loop(0, total, step=LINE):
+        for ptr in targets:
+            builder.pf(ptr, pf_distance)
+        for _ in range(per_tile):
+            body()
+            advance_pointers()
+
+
+def emit_saturate_byte(builder: ProgramBuilder, value: Reg) -> None:
+    """Scalar saturation to [0, 255] with explicit (data-dependent,
+    hard-to-predict) branches — the code VIS's pack instructions
+    eliminate (Section 3.2.2)."""
+    done = builder.label("sat_done")
+    not_low = builder.label("sat_not_low")
+    builder.bge(value, 0, not_low, hint=True)
+    builder.li(value, 0)
+    builder.j(done)
+    builder.bind(not_low)
+    builder.ble(value, 255, done, hint=True)
+    builder.li(value, 255)
+    builder.bind(done)
+
+
+def setup_vis_unpack(builder: ProgramBuilder, scale: int) -> Reg:
+    """Prepare the GSR for the 8-byte unpack idiom and return a zeroed
+    media register used as the shift-in operand of ``faligndata``.
+
+    GSR.align = 4 lets ``faligndata(src, zero)`` expose the high four
+    bytes of ``src`` in the low half; GSR.scale drives ``fpack16``.
+    """
+    builder.set_gsr(align=4, scale=scale)
+    zero = builder.freg()
+    builder.fzero(zero)
+    return zero
+
+
+def emit_expand_8(builder: ProgramBuilder, src: Reg, zero: Reg, lo: Reg, hi: Reg):
+    """Expand 8 packed bytes in ``src`` into two 4-lane 16-bit groups.
+
+    Requires :func:`setup_vis_unpack` (GSR.align == 4).
+    """
+    builder.fexpand(lo, src)
+    builder.faligndata(hi, src, zero)
+    builder.fexpand(hi, hi)
+
+
+def broadcast16(value: int) -> bytes:
+    """Little-endian bytes of a 64-bit constant with ``value`` (s16)
+    replicated in all four lanes — loaded via ``ldf`` as a VIS operand."""
+    lane = value & 0xFFFF
+    word = lane | (lane << 16) | (lane << 32) | (lane << 48)
+    return word.to_bytes(8, "little")
+
+
+def mul_coeff32(value: int) -> bytes:
+    """4-byte constant holding ``value`` in the upper 16 bits of the low
+    32-bit word — the operand layout ``fmul8x16au`` consumes."""
+    return ((value & 0xFFFF) << 16).to_bytes(4, "little")

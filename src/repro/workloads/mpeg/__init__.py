@@ -1,0 +1,5 @@
+"""The MPEG-2-style video benchmarks (Table 1)."""
+
+from .codec import MpegDecWorkload, MpegEncWorkload
+
+__all__ = ["MpegDecWorkload", "MpegEncWorkload"]

@@ -1,0 +1,801 @@
+"""The two video benchmarks of Table 1: mpeg-enc and mpeg-dec.
+
+One I-B-B-P group of pictures (display order), coded in the MPEG order
+I, P, B, B.  Motion estimation dominates mpeg-enc (Section 2.1.3); its
+scalar form carries the early-termination branch population behind the
+27% misprediction rate, its VIS form replaces the SAD inner loops with
+``pdist`` (Section 3.2.2).  All outputs are validated bit-exactly
+against :mod:`repro.media.mpeg`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...asm.builder import ProgramBuilder, Reg
+from ...media import mpeg
+from ...media.images import synthetic_video_yuv
+from ..base import BuiltWorkload, Variant, Workload, expect_equal
+from ..kernels.common import broadcast16
+from ..jpeg.codec import QUALITY, _manual_loop, _store_constant_bytes
+from ..jpeg.entropy import (
+    emit_decode_block,
+    emit_encode_block,
+    emit_entropy_subroutines,
+    emit_flush_encoder,
+    emit_receive_extend,
+    make_entropy_unit,
+)
+from ..jpeg.tables import declare_codec_tables, load_vis_constants
+from ..jpeg.transform import (
+    emit_dequant_idct_block_scalar,
+    emit_dequant_idct_block_vis,
+    emit_fdct_quant_block_scalar,
+    emit_fdct_quant_block_vis,
+)
+from .motion import (
+    emit_average_block,
+    emit_copy_block,
+    emit_full_search,
+    emit_sad_16x16_scalar,
+    emit_sad_16x16_vis,
+    emit_residual_8x8,
+)
+
+#: luma sub-block offsets within a macroblock.
+LUMA_BLOCKS = ((0, 0), (0, 8), (8, 0), (8, 8))
+
+
+@dataclass(frozen=True)
+class _Geometry:
+    width: int
+    height: int
+    search_range: int
+
+    @property
+    def luma(self) -> int:
+        return self.width * self.height
+
+    @property
+    def chroma(self) -> int:
+        return (self.width // 2) * (self.height // 2)
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.luma + 2 * self.chroma
+
+    @property
+    def cw(self) -> int:
+        return self.width // 2
+
+
+class _MpegWorkload(Workload):
+    group = "video source coding"
+
+    #: table aliases: declare_codec_tables stores the intra matrix in
+    #: the "luma_div" slot and the flat inter matrix in "chroma_div".
+    INTRA_DIV = "luma_div"
+    INTER_DIV = "chroma_div"
+
+    def _inputs(self, scale):
+        geom = _Geometry(scale.video_width, scale.video_height, scale.search_range)
+        frames = synthetic_video_yuv(
+            geom.width, geom.height, scale.video_frames, seed=42
+        )
+        enc = mpeg.encode(frames, QUALITY, search_range=geom.search_range)
+        return geom, frames, enc
+
+    def _declare_common(self, b: ProgramBuilder, use_vis: bool):
+        tables = declare_codec_tables(
+            b, mpeg.intra_divisors(QUALITY), mpeg.inter_divisors(QUALITY), use_vis
+        )
+        b.buffer("blk_scratch", 128)
+        b.buffer("blk_scratch2", 128)
+        b.buffer("blk_coef", 128)
+        b.buffer("res_blk", 128)
+        # +16 bytes of slack: the packed SAD/copy read an extra
+        # realignment word past the last row.
+        b.buffer("pred_y", 256 + 16)
+        b.buffer("pred_y2", 256 + 16)
+        b.buffer("pred_cb", 64 + 16)
+        b.buffer("pred_cb2", 64 + 16)
+        b.buffer("pred_cr", 64 + 16)
+        b.buffer("pred_cr2", 64 + 16)
+        b.buffer("mv_spill", 8)
+        # I-frame cross-MB DC predictors live in memory (register
+        # pressure: the block pipelines need the whole integer file)
+        b.buffer("dc_preds", 24)
+        # spilled frame-header / input-stream cursors (same reason)
+        b.buffer("ptr_spill", 16)
+        if use_vis:
+            b.buffer("k_round16", 8, data=broadcast16(16))
+        return tables
+
+    def _load_vis(self, b, tables):
+        consts = load_vis_constants(b, tables)
+        with b.scratch(iregs=1) as t:
+            rnd = b.freg()
+            b.la(t, "k_round16")
+            b.ldf(rnd, t)
+            consts["round16"] = rnd
+        fz = b.freg()
+        b.fzero(fz)
+        return consts, fz
+
+    # -- address helpers ----------------------------------------------------
+
+    @staticmethod
+    def _plane_ptr(b, dest: Reg, buffer: str, base_offset: int,
+                   y: Reg, x: Reg, stride: int) -> None:
+        """dest = &buffer[base_offset + y*stride + x]."""
+        b.mul(dest, y, stride)
+        b.add(dest, dest, x)
+        with b.scratch(iregs=1) as t:
+            b.la(t, buffer, offset=base_offset)
+            b.add(dest, dest, t)
+
+    @staticmethod
+    def _offset_ptr(b, dest: Reg, buffer: str, base_offset: int, coff: Reg):
+        """dest = &buffer[base_offset] + coff."""
+        with b.scratch(iregs=1) as t:
+            b.la(t, buffer, offset=base_offset)
+            b.add(dest, coff, t)
+
+    @staticmethod
+    def _chroma_offset(b, coff: Reg, y: Reg, x: Reg, cw: int) -> None:
+        """coff = (y>>1)*cw + (x>>1) — one register instead of two."""
+        b.srl(coff, y, 1)
+        b.mul(coff, coff, cw)
+        with b.scratch(iregs=1) as t:
+            b.srl(t, x, 1)
+            b.add(coff, coff, t)
+
+    def _frame_offsets(self, geom: _Geometry, index_in_buffer: int):
+        """(y, cb, cr) byte offsets of one frame inside a frame buffer."""
+        base = index_in_buffer * geom.frame_bytes
+        return base, base + geom.luma, base + geom.luma + geom.chroma
+
+    @staticmethod
+    def _emit_clear_dc_preds(b):
+        with b.scratch(iregs=1) as t:
+            b.la(t, "dc_preds")
+            for slot in range(3):
+                b.stx(Reg(0), t, 8 * slot)
+
+    @staticmethod
+    def _load_pred(b, slot: int, chained: bool) -> Reg:
+        pred = b.ireg()
+        if chained:
+            with b.scratch(iregs=1) as t:
+                b.la(t, "dc_preds")
+                b.ldx(pred, t, 8 * slot)
+        else:
+            b.li(pred, 0)
+        return pred
+
+    @staticmethod
+    def _store_pred(b, pred: Reg, slot: int, chained: bool) -> None:
+        if chained:
+            with b.scratch(iregs=1) as t:
+                b.la(t, "dc_preds")
+                b.stx(pred, t, 8 * slot)
+        b.release(pred)
+
+    # -- block-level helpers -------------------------------------------------
+
+    def _emit_intra_block_encode(self, b, ent, p_blk, stride, pred, use_vis,
+                                 consts, fz):
+        with b.scratch(iregs=1) as p_coef:
+            b.la(p_coef, "blk_coef")
+            if use_vis:
+                emit_fdct_quant_block_vis(
+                    b, p_blk, stride, p_coef, self.INTRA_DIV,
+                    "blk_scratch", "blk_scratch2", consts, fz)
+            else:
+                emit_fdct_quant_block_scalar(
+                    b, p_blk, stride, p_coef, self.INTRA_DIV, "blk_scratch")
+            emit_encode_block(b, ent, p_coef, 0, 63, pred)
+
+    def _emit_intra_block_recon(self, b, p_out, stride, use_vis, consts, fz):
+        with b.scratch(iregs=1) as p_coef:
+            b.la(p_coef, "blk_coef")
+            if use_vis:
+                emit_dequant_idct_block_vis(
+                    b, p_coef, self.INTRA_DIV, p_out, stride,
+                    "blk_scratch", "blk_scratch2", consts, fz,
+                    clip=mpeg.COEF_CLIP)
+            else:
+                emit_dequant_idct_block_scalar(
+                    b, p_coef, self.INTRA_DIV, p_out, stride,
+                    "blk_scratch", clip=mpeg.COEF_CLIP)
+
+    def _emit_inter_block_encode(self, b, ent, p_cur, cur_stride, p_pred,
+                                 pred_stride, use_vis, consts, fz):
+        emit_residual_8x8(b, p_cur, cur_stride, p_pred, pred_stride,
+                          "res_blk", use_vis, consts=consts, fz=fz)
+        with b.scratch(iregs=2) as (p_res, p_coef):
+            b.la(p_res, "res_blk")
+            b.la(p_coef, "blk_coef")
+            if use_vis:
+                emit_fdct_quant_block_vis(
+                    b, p_res, 16, p_coef, self.INTER_DIV,
+                    "blk_scratch", "blk_scratch2", consts, fz, input_s16=True)
+            else:
+                emit_fdct_quant_block_scalar(
+                    b, p_res, 16, p_coef, self.INTER_DIV,
+                    "blk_scratch", input_s16=True)
+            with b.scratch(iregs=1) as zero_pred:
+                b.li(zero_pred, 0)
+                emit_encode_block(b, ent, p_coef, 0, 63, zero_pred)
+
+    def _emit_inter_block_recon(self, b, p_out, stride, p_pred, pred_stride,
+                                use_vis, consts, fz):
+        with b.scratch(iregs=1) as p_coef:
+            b.la(p_coef, "blk_coef")
+            if use_vis:
+                emit_dequant_idct_block_vis(
+                    b, p_coef, self.INTER_DIV, p_out, stride,
+                    "blk_scratch", "blk_scratch2", consts, fz,
+                    clip=mpeg.COEF_CLIP, p_pred=p_pred,
+                    pred_stride=pred_stride)
+            else:
+                emit_dequant_idct_block_scalar(
+                    b, p_coef, self.INTER_DIV, p_out, stride,
+                    "blk_scratch", clip=mpeg.COEF_CLIP, p_pred=p_pred,
+                    pred_stride=pred_stride)
+
+    def _emit_build_pred(self, b, geom: _Geometry, ref_buffer: str,
+                         ref_base: int, y, x, dy, dx, use_vis, suffix=""):
+        """Copy the motion-compensated 16x16 luma + two 8x8 chroma
+        windows from a reference frame into the pred buffers."""
+        width = geom.width
+        y_off, cb_off, cr_off = (
+            ref_base, ref_base + geom.luma, ref_base + geom.luma + geom.chroma
+        )
+        with b.scratch(iregs=3) as (pr, ty, tx):
+            b.add(ty, y, dy)
+            b.add(tx, x, dx)
+            self._plane_ptr(b, pr, ref_buffer, y_off, ty, tx, width)
+            with b.scratch(iregs=1) as pd:
+                b.la(pd, "pred_y" + suffix)
+                emit_copy_block(b, pr, width, pd, 16, 16, 16, use_vis)
+            # chroma coordinates: (y>>1 + dy>>1, x>>1 + dx>>1)
+            b.sra(ty, dy, 1)
+            b.sra(tx, dx, 1)
+            with b.scratch(iregs=1) as half:
+                b.srl(half, y, 1)
+                b.add(ty, ty, half)
+                b.srl(half, x, 1)
+                b.add(tx, tx, half)
+            for off, name in ((cb_off, "pred_cb"), (cr_off, "pred_cr")):
+                self._plane_ptr(b, pr, ref_buffer, off, ty, tx, geom.cw)
+                with b.scratch(iregs=1) as pd:
+                    b.la(pd, name + suffix)
+                    emit_copy_block(b, pr, geom.cw, pd, 8, 8, 8, use_vis)
+
+    def _emit_average_preds(self, b, use_vis, consts, fz):
+        """pred = average(pred, pred2) for luma + both chroma."""
+        if use_vis:
+            b.set_gsr(align=4, scale=2)
+        with b.scratch(iregs=3) as (pa, pb, pd):
+            for name, wdt, rows in (
+                ("pred_y", 16, 16), ("pred_cb", 8, 8), ("pred_cr", 8, 8)
+            ):
+                b.la(pa, name)
+                b.la(pb, name + "2")
+                b.la(pd, name)
+                emit_average_block(b, pa, pb, pd, wdt, wdt, rows, use_vis,
+                                   consts=consts, fz=fz)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+
+    def _emit_code_mv(self, b, ent, value: Reg):
+        """Size category via the DC table + extra bits."""
+        b.mov(ent.arg0, value)
+        b.call(ent.size_cat)
+        with b.scratch(iregs=2) as (sv_bits, sv_size):
+            b.mov(sv_bits, ent.arg0)
+            b.mov(sv_size, ent.arg1)
+            with b.scratch(iregs=1) as t:
+                b.la(t, "dc_codes")
+                b.sll(ent.arg0, sv_size, 1)
+                b.add(t, t, ent.arg0)
+                b.ldh(ent.arg0, t)
+                b.la(t, "dc_lens")
+                b.add(t, t, sv_size)
+                b.ldb(ent.arg1, t)
+            b.call(ent.putbits)
+            skip = b.label("mv_nobits")
+            b.beq(sv_size, 0, skip)
+            b.mov(ent.arg0, sv_bits)
+            b.mov(ent.arg1, sv_size)
+            b.call(ent.putbits)
+            b.bind(skip)
+
+    def _emit_putbit(self, b, ent, bit: int):
+        b.li(ent.arg0, bit)
+        b.li(ent.arg1, 1)
+        b.call(ent.putbits)
+
+
+class MpegEncWorkload(_MpegWorkload):
+    name = "mpeg-enc"
+    description = "MPEG2 encoding of 4 frames (I-B-B-P) of a synthetic stream"
+
+    def build(self, variant: Variant, scale, **_options) -> BuiltWorkload:
+        geom, frames, enc = self._inputs(scale)
+        use_vis = variant.uses_vis
+        prefetch = variant.uses_prefetch
+        b = ProgramBuilder(f"{self.name}-{variant.value}")
+        tables = self._declare_common(b, use_vis)
+
+        frames_blob = b"".join(
+            f[0].tobytes() + f[1].tobytes() + f[2].tobytes() for f in frames
+        )
+        b.buffer("frames_in", len(frames_blob), data=frames_blob)
+        b.buffer("ref_a", geom.frame_bytes + 16)   # reconstructed I
+        b.buffer("ref_b", geom.frame_bytes + 16)   # reconstructed P
+        b.buffer("out_stream", max(8192, 2 * geom.frame_bytes))
+        b.buffer("out_len", 8)
+
+        ent = make_entropy_unit(b)
+        emit_entropy_subroutines(b, ent, tables, encoder=True, decoder=False)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        consts, fz = self._load_vis(b, tables) if use_vis else (None, None)
+
+        header = mpeg.MAGIC + np.array(
+            [geom.width, geom.height], dtype="<u2"
+        ).tobytes() + bytes([len(frames), QUALITY, geom.search_range, 0])
+        with b.scratch(iregs=1) as p_out:
+            b.la(p_out, "out_stream")
+            _store_constant_bytes(b, p_out, header)
+        with b.scratch(iregs=1) as t:
+            b.la(t, "out_stream", offset=12)
+            b.mov(ent.stream, t)
+
+        for display_index in mpeg.ENCODE_ORDER:
+            ftype = mpeg.GOP_TYPES[display_index]
+            b.marker(f"{ftype} frame (display {display_index})")
+            # frame header; its position is spilled across the frame
+            with b.scratch(iregs=2) as (p_hdr, t):
+                b.mov(p_hdr, ent.stream)
+                _store_constant_bytes(
+                    b, p_hdr,
+                    bytes([mpeg.FRAME_TYPE_CODE[ftype], display_index, 0, 0]),
+                )
+                b.la(t, "ptr_spill")
+                b.stx(p_hdr, t)
+            b.add(ent.stream, ent.stream, 8)
+            b.li(ent.bitbuf, 0)
+            b.li(ent.bitcnt, 0)
+            self._emit_frame_encode(
+                b, ent, geom, ftype, display_index, use_vis, consts, fz,
+                prefetch,
+            )
+            emit_flush_encoder(b, ent)
+            with b.scratch(iregs=2) as (p_hdr, t):
+                b.la(t, "ptr_spill")
+                b.ldx(p_hdr, t)
+                b.sub(t, ent.stream, p_hdr)
+                b.sub(t, t, 8)
+                b.stw(t, p_hdr, 4)
+        with b.scratch(iregs=2) as (p_out, t):
+            b.la(p_out, "out_stream")
+            b.sub(t, ent.stream, p_out)
+            b.la(p_out, "out_len")
+            b.stw(t, p_out)
+
+        expected = np.frombuffer(enc.data, dtype=np.uint8)
+
+        def validate(machine) -> None:
+            got = machine.read_buffer_array("out_stream")[: len(enc.data)]
+            expect_equal(got, expected, "mpeg-enc byte stream")
+
+        return BuiltWorkload(
+            name=self.name,
+            variant=variant,
+            program=b.build(),
+            validate=validate,
+            details={
+                "video": f"{geom.width}x{geom.height}x{len(frames)}",
+                "search": geom.search_range,
+                "stream_bytes": len(enc.data),
+            },
+        )
+
+    # -- frame/macroblock emission ------------------------------------------------
+
+    def _emit_frame_encode(self, b, ent, geom, ftype, display_index,
+                           use_vis, consts, fz, prefetch):
+        cur_y, cur_cb, cur_cr = self._frame_offsets(geom, display_index)
+        mbs_x, mbs_y = geom.width // 16, geom.height // 16
+        if ftype == "I":
+            self._emit_clear_dc_preds(b)
+        rec_buf = {"I": "ref_a", "P": "ref_b", "B": None}[ftype]
+
+        with _manual_loop(b, mbs_y) as my:
+            with _manual_loop(b, mbs_x) as mx:
+                y, x = b.iregs(2)
+                b.sll(y, my, 4)
+                b.sll(x, mx, 4)
+                if prefetch:
+                    # next macroblock's luma rows (streaming input)
+                    with b.scratch(iregs=1) as t:
+                        self._plane_ptr(b, t, "frames_in", cur_y, y, x,
+                                        geom.width)
+                        b.pf(t, 16)
+                        b.pf(t, 16 + geom.width)
+                if ftype == "I":
+                    self._emit_intra_mb(b, ent, geom, (cur_y, cur_cb, cur_cr),
+                                        rec_buf, y, x, use_vis, consts, fz,
+                                        chained_preds=True)
+                elif ftype == "P":
+                    self._emit_p_mb(b, ent, geom, (cur_y, cur_cb, cur_cr),
+                                    rec_buf, y, x, use_vis, consts, fz)
+                else:
+                    self._emit_b_mb(b, ent, geom, (cur_y, cur_cb, cur_cr),
+                                    y, x, use_vis, consts, fz)
+                b.release(y, x)
+
+    def _emit_intra_mb(self, b, ent, geom, cur_offsets, rec_buf, y, x,
+                       use_vis, consts, fz, chained_preds=False):
+        """Six intra blocks; with ``chained_preds`` the I-frame
+        cross-MB DC predictor chain (spilled in ``dc_preds``), else
+        per-block zero predictors (the intra-MB convention inside P/B
+        frames)."""
+        cur_y, cur_cb, cur_cr = cur_offsets
+        width, cw = geom.width, geom.cw
+        with b.scratch(iregs=1) as p_blk:
+            for by, bx in LUMA_BLOCKS:
+                self._plane_ptr(b, p_blk, "frames_in", cur_y, y, x, width)
+                b.add(p_blk, p_blk, by * width + bx)
+                pred = self._load_pred(b, 0, chained_preds)
+                self._emit_intra_block_encode(
+                    b, ent, p_blk, width, pred, use_vis, consts, fz)
+                self._store_pred(b, pred, 0, chained_preds)
+                if rec_buf:
+                    self._plane_ptr(b, p_blk, rec_buf, 0, y, x, width)
+                    b.add(p_blk, p_blk, by * width + bx)
+                    self._emit_intra_block_recon(
+                        b, p_blk, width, use_vis, consts, fz)
+            rec_offsets = (geom.luma, geom.luma + geom.chroma)
+            with b.scratch(iregs=1) as coff:
+                self._chroma_offset(b, coff, y, x, cw)
+                for comp, base in enumerate((cur_cb, cur_cr)):
+                    self._offset_ptr(b, p_blk, "frames_in", base, coff)
+                    pred = self._load_pred(b, 1 + comp, chained_preds)
+                    self._emit_intra_block_encode(
+                        b, ent, p_blk, cw, pred, use_vis, consts, fz)
+                    self._store_pred(b, pred, 1 + comp, chained_preds)
+                    if rec_buf:
+                        self._offset_ptr(b, p_blk, rec_buf,
+                                         rec_offsets[comp], coff)
+                        self._emit_intra_block_recon(
+                            b, p_blk, cw, use_vis, consts, fz)
+
+    def _emit_inter_blocks(self, b, ent, geom, cur_offsets, rec_buf, y, x,
+                           use_vis, consts, fz):
+        """Residual-code the six blocks against the pred buffers;
+        reconstruct into ``rec_buf`` when given (P frames)."""
+        cur_y, cur_cb, cur_cr = cur_offsets
+        width, cw = geom.width, geom.cw
+        with b.scratch(iregs=2) as (p_cur, p_pred):
+            p_rec = p_cur  # reused: p_cur is dead once the residual is coded
+            for by, bx in LUMA_BLOCKS:
+                self._plane_ptr(b, p_cur, "frames_in", cur_y, y, x, width)
+                b.add(p_cur, p_cur, by * width + bx)
+                b.la(p_pred, "pred_y", offset=by * 16 + bx)
+                self._emit_inter_block_encode(
+                    b, ent, p_cur, width, p_pred, 16, use_vis, consts, fz)
+                if rec_buf:
+                    self._plane_ptr(b, p_rec, rec_buf, 0, y, x, width)
+                    b.add(p_rec, p_rec, by * width + bx)
+                    self._emit_inter_block_recon(
+                        b, p_rec, width, p_pred, 16, use_vis, consts, fz)
+            rec_offsets = (geom.luma, geom.luma + geom.chroma)
+            with b.scratch(iregs=1) as coff:
+                self._chroma_offset(b, coff, y, x, cw)
+                for comp, (base, pname) in enumerate(
+                    ((cur_cb, "pred_cb"), (cur_cr, "pred_cr"))
+                ):
+                    self._offset_ptr(b, p_cur, "frames_in", base, coff)
+                    b.la(p_pred, pname)
+                    self._emit_inter_block_encode(
+                        b, ent, p_cur, cw, p_pred, 8, use_vis, consts, fz)
+                    if rec_buf:
+                        self._offset_ptr(b, p_rec, rec_buf,
+                                         rec_offsets[comp], coff)
+                        self._emit_inter_block_recon(
+                            b, p_rec, cw, p_pred, 8, use_vis, consts, fz)
+
+    def _emit_p_mb(self, b, ent, geom, cur_offsets, rec_buf, y, x,
+                   use_vis, consts, fz):
+        cur_y = cur_offsets[0]
+        best_sad, best_dy, best_dx = b.iregs(3)
+        with b.scratch(iregs=2) as (p_cur, p_ref):
+            self._plane_ptr(b, p_cur, "frames_in", cur_y, y, x, geom.width)
+            b.la(p_ref, "ref_a")
+            emit_full_search(
+                b, p_cur, p_ref, y, x, geom.width, geom.height,
+                geom.search_range, best_sad, best_dy, best_dx, use_vis)
+        intra_path = b.label("p_intra")
+        join = b.label("p_join")
+        b.bge(best_sad, mpeg.INTRA_THRESHOLD, intra_path, hint=False)
+        # ---- inter macroblock
+        self._emit_putbit(b, ent, 1)
+        self._emit_code_mv(b, ent, best_dy)
+        self._emit_code_mv(b, ent, best_dx)
+        self._emit_build_pred(b, geom, "ref_a", 0, y, x, best_dy, best_dx,
+                              use_vis)
+        b.release(best_sad, best_dy, best_dx)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        self._emit_inter_blocks(b, ent, geom, cur_offsets, rec_buf, y, x,
+                                use_vis, consts, fz)
+        b.j(join)
+        # ---- intra macroblock
+        b.bind(intra_path)
+        self._emit_putbit(b, ent, 0)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        self._emit_intra_mb(b, ent, geom, cur_offsets, rec_buf, y, x,
+                            use_vis, consts, fz, chained_preds=False)
+        b.bind(join)
+
+    def _emit_b_mb(self, b, ent, geom, cur_offsets, y, x, use_vis, consts, fz):
+        cur_y = cur_offsets[0]
+        fdy, fdx, bdy, bdx = b.iregs(4)
+        with b.scratch(iregs=3) as (p_cur, p_ref, sad):
+            self._plane_ptr(b, p_cur, "frames_in", cur_y, y, x, geom.width)
+            b.la(p_ref, "ref_a")
+            emit_full_search(
+                b, p_cur, p_ref, y, x, geom.width, geom.height,
+                geom.search_range, sad, fdy, fdx, use_vis)
+            b.la(p_ref, "ref_b")
+            emit_full_search(
+                b, p_cur, p_ref, y, x, geom.width, geom.height,
+                geom.search_range, sad, bdy, bdx, use_vis)
+        self._emit_build_pred(b, geom, "ref_a", 0, y, x, fdy, fdx, use_vis)
+        self._emit_build_pred(b, geom, "ref_b", 0, y, x, bdy, bdx, use_vis,
+                              suffix="2")
+        self._emit_average_preds(b, use_vis, consts, fz)
+        bi_sad = b.ireg()
+        with b.scratch(iregs=2) as (p_cur, p_pred):
+            self._plane_ptr(b, p_cur, "frames_in", cur_y, y, x, geom.width)
+            b.la(p_pred, "pred_y")
+            if use_vis:
+                emit_sad_16x16_vis(b, p_cur, geom.width, p_pred, 16, bi_sad,
+                                   "mv_spill")
+            else:
+                emit_sad_16x16_scalar(b, p_cur, geom.width, p_pred, 16, bi_sad)
+        intra_path = b.label("b_intra")
+        join = b.label("b_join")
+        b.bge(bi_sad, mpeg.INTRA_THRESHOLD, intra_path, hint=False)
+        b.release(bi_sad)
+        self._emit_putbit(b, ent, 1)
+        self._emit_code_mv(b, ent, fdy)
+        self._emit_code_mv(b, ent, fdx)
+        self._emit_code_mv(b, ent, bdy)
+        self._emit_code_mv(b, ent, bdx)
+        b.release(fdy, fdx, bdy, bdx)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        self._emit_inter_blocks(b, ent, geom, cur_offsets, None, y, x,
+                                use_vis, consts, fz)
+        b.j(join)
+        b.bind(intra_path)
+        self._emit_putbit(b, ent, 0)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        self._emit_intra_mb(b, ent, geom, cur_offsets, None, y, x,
+                            use_vis, consts, fz, chained_preds=False)
+        b.bind(join)
+
+
+class MpegDecWorkload(_MpegWorkload):
+    name = "mpeg-dec"
+    description = "MPEG2 decoding into separate YUV components"
+
+    def build(self, variant: Variant, scale, **_options) -> BuiltWorkload:
+        geom, frames, enc = self._inputs(scale)
+        dec = mpeg.decode(enc.data)
+        use_vis = variant.uses_vis
+        prefetch = variant.uses_prefetch
+        b = ProgramBuilder(f"{self.name}-{variant.value}")
+        tables = self._declare_common(b, use_vis)
+
+        b.buffer("in_stream", len(enc.data) + 16, data=enc.data)
+        n_frames = len(frames)
+        b.buffer("yuv_out", n_frames * geom.frame_bytes + 16)
+
+        ent = make_entropy_unit(b)
+        emit_entropy_subroutines(b, ent, tables, encoder=False, decoder=True)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+        consts, fz = self._load_vis(b, tables) if use_vis else (None, None)
+
+        with b.scratch(iregs=2) as (p_in, t):
+            b.la(p_in, "in_stream", offset=12)
+            b.la(t, "ptr_spill")
+            b.stx(p_in, t)
+        for display_index in mpeg.ENCODE_ORDER:
+            ftype = mpeg.GOP_TYPES[display_index]
+            b.marker(f"{ftype} frame (display {display_index})")
+            with b.scratch(iregs=2) as (p_in, t):
+                b.la(t, "ptr_spill")
+                b.ldx(p_in, t)
+                b.add(p_in, p_in, 8)
+                ent.reset_decoder(b, p_in)
+            self._emit_frame_decode(
+                b, ent, geom, ftype, display_index, use_vis, consts, fz,
+                prefetch,
+            )
+            with b.scratch(iregs=2) as (p_in, t):
+                b.la(t, "ptr_spill")
+                b.ldx(p_in, t)
+                with b.scratch(iregs=1) as flen:
+                    b.ldw(flen, p_in, 4)
+                    b.add(p_in, p_in, 8)
+                    b.add(p_in, p_in, flen)
+                b.stx(p_in, t)
+
+        expected = np.concatenate(
+            [np.concatenate([p.reshape(-1) for p in f]) for f in dec.frames]
+        )
+
+        def validate(machine) -> None:
+            got = machine.read_buffer_array("yuv_out")[
+                : n_frames * geom.frame_bytes
+            ]
+            expect_equal(got, expected, "mpeg-dec YUV output")
+
+        return BuiltWorkload(
+            name=self.name,
+            variant=variant,
+            program=b.build(),
+            validate=validate,
+            details={
+                "video": f"{geom.width}x{geom.height}x{n_frames}",
+                "stream_bytes": len(enc.data),
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _clear_coef(self, b):
+        with b.scratch(iregs=1) as p:
+            b.la(p, "blk_coef")
+            for i in range(16):
+                b.stx(Reg(0), p, 8 * i)
+
+    def _emit_decode_mv(self, b, ent, value: Reg):
+        b.call(ent.decode_dc)
+        with b.scratch(iregs=1) as size:
+            b.mov(size, ent.arg0)
+            emit_receive_extend(b, ent, size)
+        b.mov(value, ent.arg0)
+
+    def _emit_frame_decode(self, b, ent, geom, ftype, display_index,
+                           use_vis, consts, fz, prefetch):
+        out_y, out_cb, out_cr = self._frame_offsets(geom, display_index)
+        mbs_x, mbs_y = geom.width // 16, geom.height // 16
+        if ftype == "I":
+            self._emit_clear_dc_preds(b)
+        # references live inside yuv_out (display slots 0 and 3)
+        fwd_base = self._frame_offsets(geom, 0)[0]
+        bwd_base = self._frame_offsets(geom, 3)[0]
+
+        with _manual_loop(b, mbs_y) as my:
+            with _manual_loop(b, mbs_x) as mx:
+                y, x = b.iregs(2)
+                b.sll(y, my, 4)
+                b.sll(x, mx, 4)
+                if prefetch:
+                    b.pf(ent.stream, 128)
+                if ftype == "I":
+                    self._emit_decode_intra_mb(
+                        b, ent, geom, (out_y, out_cb, out_cr), y, x,
+                        use_vis, consts, fz, chained_preds=True)
+                else:
+                    mode_done = b.label("dec_mode_done")
+                    intra_path = b.label("dec_intra")
+                    b.li(ent.arg1, 1)
+                    b.call(ent.getbits)
+                    b.beq(ent.arg0, 0, intra_path, hint=False)
+                    if ftype == "P":
+                        dy, dx = b.iregs(2)
+                        self._emit_decode_mv(b, ent, dy)
+                        self._emit_decode_mv(b, ent, dx)
+                        self._emit_build_pred(
+                            b, geom, "yuv_out", fwd_base, y, x, dy, dx,
+                            use_vis)
+                        b.release(dy, dx)
+                    else:
+                        mvs = b.iregs(4)
+                        for mv in mvs:
+                            self._emit_decode_mv(b, ent, mv)
+                        self._emit_build_pred(
+                            b, geom, "yuv_out", fwd_base, y, x, mvs[0],
+                            mvs[1], use_vis)
+                        self._emit_build_pred(
+                            b, geom, "yuv_out", bwd_base, y, x, mvs[2],
+                            mvs[3], use_vis, suffix="2")
+                        b.release(*mvs)
+                        self._emit_average_preds(b, use_vis, consts, fz)
+                    if use_vis:
+                        b.set_gsr(align=4, scale=7)
+                    self._emit_decode_inter_mb(
+                        b, ent, geom, (out_y, out_cb, out_cr), y, x,
+                        use_vis, consts, fz)
+                    b.j(mode_done)
+                    b.bind(intra_path)
+                    if use_vis:
+                        b.set_gsr(align=4, scale=7)
+                    self._emit_decode_intra_mb(
+                        b, ent, geom, (out_y, out_cb, out_cr), y, x,
+                        use_vis, consts, fz, chained_preds=False)
+                    b.bind(mode_done)
+                b.release(y, x)
+
+    def _emit_decode_intra_mb(self, b, ent, geom, out_offsets, y, x,
+                              use_vis, consts, fz, chained_preds=False):
+        out_y, out_cb, out_cr = out_offsets
+        width, cw = geom.width, geom.cw
+        with b.scratch(iregs=1) as p_out:
+            for by, bx in LUMA_BLOCKS:
+                self._clear_coef(b)
+                with b.scratch(iregs=1) as p_coef:
+                    b.la(p_coef, "blk_coef")
+                    pred = self._load_pred(b, 0, chained_preds)
+                    emit_decode_block(b, ent, p_coef, 0, 63, pred)
+                    self._store_pred(b, pred, 0, chained_preds)
+                self._plane_ptr(b, p_out, "yuv_out", out_y, y, x, width)
+                b.add(p_out, p_out, by * width + bx)
+                self._emit_intra_block_recon(b, p_out, width, use_vis,
+                                             consts, fz)
+            with b.scratch(iregs=1) as coff:
+                self._chroma_offset(b, coff, y, x, cw)
+                for comp, base in enumerate((out_cb, out_cr)):
+                    self._clear_coef(b)
+                    with b.scratch(iregs=1) as p_coef:
+                        b.la(p_coef, "blk_coef")
+                        pred = self._load_pred(b, 1 + comp, chained_preds)
+                        emit_decode_block(b, ent, p_coef, 0, 63, pred)
+                        self._store_pred(b, pred, 1 + comp, chained_preds)
+                    self._offset_ptr(b, p_out, "yuv_out", base, coff)
+                    self._emit_intra_block_recon(b, p_out, cw, use_vis,
+                                                 consts, fz)
+
+    def _emit_decode_inter_mb(self, b, ent, geom, out_offsets, y, x,
+                              use_vis, consts, fz):
+        out_y, out_cb, out_cr = out_offsets
+        width, cw = geom.width, geom.cw
+        with b.scratch(iregs=2) as (p_out, p_pred):
+            for by, bx in LUMA_BLOCKS:
+                self._clear_coef(b)
+                with b.scratch(iregs=2) as (p_coef, zero_pred):
+                    b.la(p_coef, "blk_coef")
+                    b.li(zero_pred, 0)
+                    emit_decode_block(b, ent, p_coef, 0, 63, zero_pred)
+                self._plane_ptr(b, p_out, "yuv_out", out_y, y, x, width)
+                b.add(p_out, p_out, by * width + bx)
+                b.la(p_pred, "pred_y", offset=by * 16 + bx)
+                self._emit_inter_block_recon(
+                    b, p_out, width, p_pred, 16, use_vis, consts, fz)
+            with b.scratch(iregs=1) as coff:
+                self._chroma_offset(b, coff, y, x, cw)
+                for comp, (base, pname) in enumerate(
+                    ((out_cb, "pred_cb"), (out_cr, "pred_cr"))
+                ):
+                    self._clear_coef(b)
+                    with b.scratch(iregs=2) as (p_coef, zero_pred):
+                        b.la(p_coef, "blk_coef")
+                        b.li(zero_pred, 0)
+                        emit_decode_block(b, ent, p_coef, 0, 63, zero_pred)
+                    self._offset_ptr(b, p_out, "yuv_out", base, coff)
+                    b.la(p_pred, pname)
+                    self._emit_inter_block_recon(
+                        b, p_out, cw, p_pred, 8, use_vis, consts, fz)

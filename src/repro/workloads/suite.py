@@ -1,0 +1,54 @@
+"""The benchmark registry: Table 1 of the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .base import Variant, Workload
+from .jpeg import CjpegNpWorkload, CjpegWorkload, DjpegNpWorkload, DjpegWorkload
+from .kernels import (
+    AdditionWorkload,
+    BlendWorkload,
+    ConvWorkload,
+    DotprodWorkload,
+    ScalingWorkload,
+    ThreshWorkload,
+)
+from .mpeg import MpegDecWorkload, MpegEncWorkload
+
+#: paper order: image processing, image source coding, video source coding.
+ALL_WORKLOADS: List[Workload] = [
+    AdditionWorkload(),
+    BlendWorkload(),
+    ConvWorkload(),
+    DotprodWorkload(),
+    ScalingWorkload(),
+    ThreshWorkload(),
+    CjpegWorkload(),
+    DjpegWorkload(),
+    CjpegNpWorkload(),
+    DjpegNpWorkload(),
+    MpegEncWorkload(),
+    MpegDecWorkload(),
+]
+
+BY_NAME: Dict[str, Workload] = {w.name: w for w in ALL_WORKLOADS}
+
+#: the six VSDK kernels (Section 2.1.1)
+KERNEL_NAMES = ("addition", "blend", "conv", "dotprod", "scaling", "thresh")
+
+#: benchmarks Figure 3 reports (>= ~5% memory stall time with VIS)
+PREFETCH_NAMES = KERNEL_NAMES + ("cjpeg", "djpeg", "mpeg-dec")
+
+
+def get(name: str) -> Workload:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(BY_NAME)}"
+        ) from None
+
+
+def names() -> Iterable[str]:
+    return [w.name for w in ALL_WORKLOADS]

@@ -1,0 +1,57 @@
+"""Unit + property tests for the fixed-width integer helpers."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.isa import bits
+
+u64s = st.integers(min_value=0, max_value=bits.MASK64)
+s64s = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+def test_masks():
+    assert bits.MASK8 == 0xFF
+    assert bits.MASK16 == 0xFFFF
+    assert bits.MASK32 == 0xFFFFFFFF
+    assert bits.MASK64 == (1 << 64) - 1
+
+
+@given(s64s)
+def test_s64_u64_roundtrip(value):
+    assert bits.s64(bits.u64(value)) == value
+
+
+def test_sign_extension_boundaries():
+    assert bits.s8(0x7F) == 127
+    assert bits.s8(0x80) == -128
+    assert bits.s16(0x7FFF) == 32767
+    assert bits.s16(0x8000) == -32768
+    assert bits.s32(0x80000000) == -(1 << 31)
+    assert bits.s64(1 << 63) == -(1 << 63)
+
+
+@given(u64s)
+def test_split_join16_roundtrip(value):
+    assert bits.join16(bits.split16(value)) == value
+
+
+@given(u64s)
+def test_split_join32_roundtrip(value):
+    assert bits.join32(bits.split32(value)) == value
+
+
+@given(u64s)
+def test_split_join8_roundtrip(value):
+    assert bits.join8(bits.split8(value)) == value
+
+
+@given(u64s)
+def test_lane_zero_is_least_significant(value):
+    assert bits.split16(value)[0] == value & 0xFFFF
+    assert bits.split8(value)[0] == value & 0xFF
+
+
+def test_clamp():
+    assert bits.clamp(-5, 0, 255) == 0
+    assert bits.clamp(300, 0, 255) == 255
+    assert bits.clamp(128, 0, 255) == 128

@@ -1,0 +1,168 @@
+"""Assembler / ProgramBuilder tests."""
+
+import pytest
+
+from repro.asm import DATA_BASE, ProgramBuilder, R_AT, R_ZERO, RegisterPressureError
+from repro.isa import AT, ZERO
+from repro.sim import Machine
+
+
+def test_buffer_layout_alignment_and_skew():
+    b = ProgramBuilder()
+    one = b.buffer("one", 100, align=64)
+    two = b.buffer("two", 8, align=64, skew=48)
+    program = b.build()
+    assert one.address >= DATA_BASE
+    assert one.address % 64 == 0
+    assert two.address % 64 == 48
+    assert two.address >= one.address + one.size
+    assert program.memory_size % 0x1000 == 0
+
+
+def test_duplicate_buffer_rejected():
+    b = ProgramBuilder()
+    b.buffer("x", 8)
+    with pytest.raises(ValueError, match="duplicate"):
+        b.buffer("x", 8)
+
+
+def test_oversized_initializer_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError, match="initializer"):
+        b.buffer("x", 4, data=b"12345")
+
+
+def test_register_pools_exhaust_and_release():
+    b = ProgramBuilder()
+    regs = [b.ireg() for _ in range(28)]
+    with pytest.raises(RegisterPressureError):
+        b.ireg()
+    b.release(regs[0])
+    assert b.ireg() == regs[0]
+    assert len(b.fregs(32)) == 32
+    with pytest.raises(RegisterPressureError):
+        b.freg()
+
+
+def test_reserved_registers_cannot_be_released():
+    b = ProgramBuilder()
+    with pytest.raises(ValueError):
+        b.release(R_ZERO)
+    with pytest.raises(ValueError):
+        b.release(R_AT)
+
+
+def test_r0_is_not_writable():
+    b = ProgramBuilder()
+    r = b.ireg()
+    with pytest.raises(ValueError, match="read-only"):
+        b.add(R_ZERO, r, 1)
+
+
+def test_immediate_vs_register_operands():
+    b = ProgramBuilder()
+    rd, ra = b.iregs(2)
+    b.add(rd, ra, 5)          # immediate form
+    b.add(rd, ra, rd)         # register form
+    with pytest.raises(TypeError):
+        b.add(5, ra, rd)      # plain int is not a destination
+
+
+def test_branch_immediate_materializes_assembler_temp():
+    b = ProgramBuilder()
+    r = b.ireg()
+    label = b.label()
+    b.li(r, 3)
+    b.blt(r, 7, label)        # 7 != 0 -> li AT, 7 inserted
+    b.bind(label)
+    program = b.build()
+    ops = [i.op for i in program.instructions]
+    assert ops == ["li", "li", "blt", "halt"]
+    assert program.instructions[1].dst == AT
+
+
+def test_branch_against_zero_uses_r0():
+    b = ProgramBuilder()
+    r = b.ireg()
+    label = b.label()
+    b.li(r, 3)
+    b.beq(r, 0, label)
+    b.bind(label)
+    program = b.build()
+    assert program.instructions[1].srcs[1] == ZERO
+
+
+def test_undefined_label_raises_at_build():
+    b = ProgramBuilder()
+    r = b.ireg()
+    b.li(r, 0)
+    b.beq(r, 0, "nowhere_7")
+    with pytest.raises(ValueError, match="undefined label"):
+        b.build()
+
+
+def test_double_bind_rejected():
+    b = ProgramBuilder()
+    label = b.here()
+    with pytest.raises(ValueError, match="bound twice"):
+        b.bind(label)
+
+
+def test_static_hint_backward_taken_forward_not():
+    b = ProgramBuilder()
+    r = b.ireg()
+    top = b.here()
+    fwd = b.label()
+    b.beq(r, 0, fwd)          # forward -> hint not-taken
+    b.bne(r, 0, top)          # backward -> hint taken
+    b.bind(fwd)
+    program = b.build()
+    assert program.instructions[0].hint_taken is False
+    assert program.instructions[1].hint_taken is True
+
+
+def test_build_twice_rejected():
+    b = ProgramBuilder()
+    b.nop()
+    b.build()
+    with pytest.raises(RuntimeError):
+        b.build()
+    with pytest.raises(RuntimeError):
+        b.nop()
+
+
+def test_loop_counts_iterations():
+    b = ProgramBuilder()
+    out = b.buffer("out", 8)
+    total = b.ireg()
+    b.li(total, 0)
+    with b.loop(0, 10, step=2):
+        b.add(total, total, 1)
+    with b.scratch(iregs=1) as p:
+        b.la(p, out)
+        b.stx(total, p)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert int.from_bytes(machine.read_buffer("out"), "little") == 5
+
+
+def test_scratch_scope_returns_registers():
+    b = ProgramBuilder()
+    before = len(b._free_iregs)
+    with b.scratch(iregs=3):
+        assert len(b._free_iregs) == before - 3
+    assert len(b._free_iregs) == before
+
+
+def test_disassembly_mentions_labels_and_buffers():
+    b = ProgramBuilder("demo")
+    b.buffer("data", 16)
+    b.marker("phase one")
+    r = b.ireg()
+    b.la(r, "data")
+    b.comment("load base")
+    b.ldb(r, r)
+    text = b.build().disassemble()
+    assert "buffer data" in text
+    assert "phase one" in text
+    assert "load base" in text

@@ -1,0 +1,44 @@
+"""CLI smoke tests (tiny scale, subset benchmarks)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_params_listing(capsys):
+    assert main(["params"]) == 0
+    out = capsys.readouterr().out
+    assert "issue_width" in out and "l2_size" in out
+
+
+def test_figure2_subset(tmp_path, capsys):
+    code = main([
+        "figure2", "--scale", "tiny", "--benchmarks", "addition",
+        "--out", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "addition" in out and "VIS" in out
+    assert (tmp_path / "figure2_tiny.csv").exists()
+
+
+def test_branch_stats_subset(tmp_path, capsys):
+    code = main([
+        "branch-stats", "--scale", "tiny", "--benchmarks", "thresh",
+        "--out", str(tmp_path), "--no-validate",
+    ])
+    assert code == 0
+    assert "thresh" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-experiment"])
+
+
+def test_unknown_benchmark_raises(tmp_path):
+    with pytest.raises(KeyError):
+        main([
+            "figure2", "--scale", "tiny", "--benchmarks", "bogus",
+            "--out", str(tmp_path),
+        ])

@@ -1,0 +1,362 @@
+"""Unit tests for the codec assembly emitters, phase by phase.
+
+Each test builds a minimal program around one emitter and compares the
+simulated result with the corresponding numpy reference — the same
+bit-exactness contract the full benchmarks rely on, localized so a
+regression points at the guilty phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asm import ProgramBuilder
+from repro.media.bitstream import BitWriter
+from repro.media.colorspace import decimate420, rgb_to_ycbcr, upsample420, ycbcr_to_rgb
+from repro.media.dct import (
+    BASE_LUMA_QUANT,
+    dequantize,
+    divisors_for,
+    fdct2d,
+    idct2d,
+    quantize,
+)
+from repro.media.images import synthetic_image
+from repro.media.jpeg import encode_block
+from repro.media.zigzag import ZIGZAG
+from repro.media import mpeg
+from repro.sim import Machine
+from repro.workloads.jpeg.entropy import (
+    emit_decode_block,
+    emit_encode_block,
+    emit_entropy_subroutines,
+    emit_flush_encoder,
+    make_entropy_unit,
+)
+from repro.workloads.jpeg.pixel import (
+    FORWARD_NAMES,
+    INVERSE_NAMES,
+    declare_pixel_constants,
+    emit_decimate_region,
+    emit_rgb_to_ycbcr_scalar,
+    emit_rgb_to_ycbcr_vis,
+    emit_upsample_plane,
+    emit_ycbcr_to_rgb_scalar,
+    emit_ycbcr_to_rgb_vis,
+    load_pixel_constants,
+)
+from repro.workloads.jpeg.tables import declare_codec_tables, load_vis_constants
+from repro.workloads.jpeg.transform import (
+    emit_dequant_idct_block_scalar,
+    emit_dequant_idct_block_vis,
+    emit_fdct_quant_block_scalar,
+    emit_fdct_quant_block_vis,
+)
+from repro.workloads.mpeg.motion import (
+    emit_copy_block,
+    emit_full_search,
+    emit_sad_16x16_scalar,
+    emit_sad_16x16_vis,
+)
+
+DIV = divisors_for(BASE_LUMA_QUANT, 75)
+RGB = synthetic_image(16, 16, 3, seed=16)
+Y_PLANE, CB_PLANE, CR_PLANE = rgb_to_ycbcr(RGB)
+
+
+def new_builder(use_vis):
+    b = ProgramBuilder("emitter-test")
+    declare_codec_tables(b, DIV, DIV, use_vis)
+    declare_pixel_constants(b)
+    b.buffer("scr", 128)
+    b.buffer("scr2", 128)
+    return b
+
+
+def run(b):
+    machine = Machine(b.build())
+    machine.run_functional()
+    return machine
+
+
+class TestTransformEmitters:
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_fdct_quant_block(self, use_vis):
+        block = Y_PLANE[:8, :8]
+        expected = quantize(fdct2d(block.astype(np.int64) - 128), DIV)
+        b = new_builder(use_vis)
+        b.buffer("plane", 64, data=block.tobytes())
+        b.buffer("coef", 128)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+            consts = load_vis_constants(b, b_tables(b))
+            fz = b.freg()
+            b.fzero(fz)
+        p_plane, p_coef = b.iregs(2)
+        b.la(p_plane, "plane")
+        b.la(p_coef, "coef")
+        if use_vis:
+            emit_fdct_quant_block_vis(
+                b, p_plane, 8, p_coef, "luma_div", "scr", "scr2", consts, fz)
+        else:
+            emit_fdct_quant_block_scalar(
+                b, p_plane, 8, p_coef, "luma_div", "scr")
+        machine = run(b)
+        got = machine.read_buffer_array("coef", dtype="<i2").reshape(8, 8)
+        if use_vis:
+            got = got.T  # the packed pipeline leaves coefficients transposed
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_dequant_idct_block(self, use_vis):
+        block = Y_PLANE[:8, :8]
+        levels = quantize(fdct2d(block.astype(np.int64) - 128), DIV)
+        expected = np.clip(idct2d(dequantize(levels, DIV)) + 128, 0, 255)
+        stored = levels.T if use_vis else levels
+        b = new_builder(use_vis)
+        b.buffer("coef", 128, data=stored.astype("<i2").tobytes())
+        b.buffer("plane", 64)
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+            consts = load_vis_constants(b, b_tables(b))
+            fz = b.freg()
+            b.fzero(fz)
+        p_coef, p_plane = b.iregs(2)
+        b.la(p_coef, "coef")
+        b.la(p_plane, "plane")
+        if use_vis:
+            emit_dequant_idct_block_vis(
+                b, p_coef, "luma_div", p_plane, 8, "scr", "scr2", consts, fz)
+        else:
+            emit_dequant_idct_block_scalar(
+                b, p_coef, "luma_div", p_plane, 8, "scr")
+        machine = run(b)
+        got = machine.read_buffer_array("plane").reshape(8, 8)
+        assert np.array_equal(got, expected.astype(np.uint8))
+
+
+def b_tables(b):
+    """The tables were already declared by new_builder; reconstruct the
+    handle (names are fixed)."""
+    from repro.workloads.jpeg.tables import CodecTables, DecoderTables, VIS_CONSTANTS
+
+    dc = DecoderTables("dc_lut_sym", "dc_lut_len", "dc_mincode",
+                       "dc_maxcode", "dc_valptr", "dc_values")
+    ac = DecoderTables("ac_lut_sym", "ac_lut_len", "ac_mincode",
+                       "ac_maxcode", "ac_valptr", "ac_values")
+    return CodecTables(
+        zigzag_offsets="zz_offsets",
+        luma_divisors="luma_div",
+        chroma_divisors="chroma_div",
+        dc=dc, ac=ac,
+        vis_constants={k: f"k_{k}" for k in VIS_CONSTANTS},
+    )
+
+
+class TestPixelEmitters:
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_forward_color_conversion(self, use_vis):
+        b = new_builder(use_vis)
+        b.buffer("rgb", RGB.size, data=RGB.tobytes())
+        for name in ("py", "pcb", "pcr"):
+            b.buffer(name, 256)
+        regs = b.iregs(4)
+        b.la(regs[0], "rgb")
+        b.la(regs[1], "py")
+        b.la(regs[2], "pcb")
+        b.la(regs[3], "pcr")
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+            state = load_pixel_constants(b, FORWARD_NAMES)
+            emit_rgb_to_ycbcr_vis(b, state, *regs, 16, 16, 16)
+        else:
+            emit_rgb_to_ycbcr_scalar(b, *regs, 16, 16, 16)
+        machine = run(b)
+        assert np.array_equal(
+            machine.read_buffer_array("py").reshape(16, 16), Y_PLANE)
+        assert np.array_equal(
+            machine.read_buffer_array("pcb").reshape(16, 16), CB_PLANE)
+        assert np.array_equal(
+            machine.read_buffer_array("pcr").reshape(16, 16), CR_PLANE)
+
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_inverse_color_conversion(self, use_vis):
+        expected = ycbcr_to_rgb(Y_PLANE, CB_PLANE, CR_PLANE)
+        b = new_builder(use_vis)
+        b.buffer("py", 256, data=Y_PLANE.tobytes())
+        b.buffer("pcb", 256, data=CB_PLANE.tobytes())
+        b.buffer("pcr", 256, data=CR_PLANE.tobytes())
+        b.buffer("rgb", 768)
+        regs = b.iregs(4)
+        b.la(regs[0], "py")
+        b.la(regs[1], "pcb")
+        b.la(regs[2], "pcr")
+        b.la(regs[3], "rgb")
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+            state = load_pixel_constants(b, INVERSE_NAMES)
+            emit_ycbcr_to_rgb_vis(b, state, *regs, 16, 16)
+        else:
+            emit_ycbcr_to_rgb_scalar(b, *regs, 16, 16)
+        machine = run(b)
+        got = machine.read_buffer_array("rgb").reshape(16, 16, 3)
+        assert np.array_equal(got, expected)
+
+    def test_decimation(self):
+        expected = decimate420(CB_PLANE)
+        b = new_builder(False)
+        b.buffer("src", 256, data=CB_PLANE.tobytes())
+        b.buffer("dst", 64)
+        ps, pd = b.iregs(2)
+        b.la(ps, "src")
+        b.la(pd, "dst")
+        emit_decimate_region(b, ps, pd, 8, 8, 16, 8)
+        machine = run(b)
+        assert np.array_equal(
+            machine.read_buffer_array("dst").reshape(8, 8), expected)
+
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_upsample(self, use_vis):
+        small = decimate420(CB_PLANE)
+        expected = upsample420(small)
+        b = new_builder(use_vis)
+        b.buffer("src", 64, data=small.tobytes())
+        b.buffer("dst", 256)
+        ps, pd = b.iregs(2)
+        b.la(ps, "src")
+        b.la(pd, "dst")
+        fz = None
+        if use_vis:
+            b.set_gsr(align=4, scale=7)
+            fz = b.freg()
+            b.fzero(fz)
+        emit_upsample_plane(b, ps, pd, 8, 8, 16, use_vis, fz=fz)
+        machine = run(b)
+        assert np.array_equal(
+            machine.read_buffer_array("dst").reshape(16, 16), expected)
+
+
+class TestEntropyEmitters:
+    def test_encode_block_matches_reference(self):
+        rng = np.random.default_rng(5)
+        zz = np.zeros(64, np.int64)
+        zz[:10] = rng.integers(-50, 50, 10)
+        zz[30] = 700
+        natural = np.zeros(64, "<i2")
+        natural[ZIGZAG] = zz
+        writer = BitWriter()
+        encode_block(writer, zz, 0, 63, 0)
+        expected = writer.getvalue()
+
+        b = new_builder(False)
+        b.buffer("coef", 128, data=natural.tobytes())
+        b.buffer("out", 512)
+        ent = make_entropy_unit(b)
+        emit_entropy_subroutines(b, ent, b_tables(b), encoder=True, decoder=False)
+        ent.reset_encoder(b, "out")
+        pred, p_coef = b.iregs(2)
+        b.li(pred, 0)
+        b.la(p_coef, "coef")
+        emit_encode_block(b, ent, p_coef, 0, 63, pred)
+        emit_flush_encoder(b, ent)
+        machine = run(b)
+        assert machine.read_buffer("out")[: len(expected)] == expected
+
+    def test_decode_block_roundtrip(self):
+        rng = np.random.default_rng(6)
+        zz = np.zeros(64, np.int64)
+        zz[:8] = rng.integers(-30, 30, 8)
+        writer = BitWriter()
+        encode_block(writer, zz, 0, 63, 0)
+        data = writer.getvalue()
+
+        b = new_builder(False)
+        b.buffer("in", len(data) + 8, data=data)
+        b.buffer("coef", 128)
+        ent = make_entropy_unit(b)
+        emit_entropy_subroutines(b, ent, b_tables(b), encoder=False, decoder=True)
+        pred, p_coef = b.iregs(2)
+        with b.scratch(iregs=1) as t:
+            b.la(t, "in")
+            ent.reset_decoder(b, t)
+        b.li(pred, 0)
+        b.la(p_coef, "coef")
+        emit_decode_block(b, ent, p_coef, 0, 63, pred)
+        machine = run(b)
+        got = machine.read_buffer_array("coef", dtype="<i2").astype(np.int64)
+        natural = np.zeros(64, np.int64)
+        natural[ZIGZAG] = zz
+        assert np.array_equal(got, natural)
+
+
+class TestMotionEmitters:
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_sad_16x16(self, use_vis):
+        rng = np.random.default_rng(7)
+        cur = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        ref = rng.integers(0, 256, (16, 24)).astype(np.uint8)
+        expected = mpeg.sad16(cur, ref[:, 3:19])
+
+        b = ProgramBuilder("sad")
+        b.buffer("cur", 256, data=cur.tobytes())
+        b.buffer("ref", 16 * 24 + 16, data=ref.tobytes())
+        b.buffer("out", 8)
+        b.buffer("mv_spill", 8)
+        pc, pr, sad = b.iregs(3)
+        b.la(pc, "cur")
+        b.la(pr, "ref", offset=3)
+        if use_vis:
+            emit_sad_16x16_vis(b, pc, 16, pr, 24, sad, "mv_spill")
+        else:
+            emit_sad_16x16_scalar(b, pc, 16, pr, 24, sad)
+        with b.scratch(iregs=1) as p:
+            b.la(p, "out")
+            b.stx(sad, p)
+        machine = run(b)
+        got = int.from_bytes(machine.read_buffer("out"), "little")
+        assert got == expected
+
+    @pytest.mark.parametrize("use_vis", [False, True])
+    def test_full_search_matches_reference(self, use_vis):
+        from repro.media.images import synthetic_video
+
+        frames = synthetic_video(48, 32, 2, seed=12)
+        cur, ref = frames[1], frames[0]
+        expected = mpeg.full_search(cur, ref, 16, 16, 2)
+
+        b = ProgramBuilder("search")
+        b.buffer("cur", cur.size, data=cur.tobytes())
+        b.buffer("ref", ref.size + 16, data=ref.tobytes())
+        b.buffer("mv_spill", 8)
+        b.buffer("out", 24)
+        p_cur, p_ref, y, x = b.iregs(4)
+        best_sad, best_dy, best_dx = b.iregs(3)
+        b.la(p_cur, "cur", offset=16 * 48 + 16)
+        b.la(p_ref, "ref")
+        b.li(y, 16)
+        b.li(x, 16)
+        emit_full_search(b, p_cur, p_ref, y, x, 48, 32, 2,
+                         best_sad, best_dy, best_dx, use_vis)
+        with b.scratch(iregs=1) as p:
+            b.la(p, "out")
+            b.stx(best_dy, p, 0)
+            b.stx(best_dx, p, 8)
+            b.stx(best_sad, p, 16)
+        machine = run(b)
+        got = machine.read_buffer_array("out", dtype="<i8")
+        assert (got[0], got[1], got[2]) == expected
+
+    def test_copy_block_unaligned(self):
+        rng = np.random.default_rng(8)
+        src = rng.integers(0, 256, 24 * 16 + 16).astype(np.uint8)
+        b = ProgramBuilder("copy")
+        b.buffer("src", src.size, data=src.tobytes())
+        b.buffer("dst", 16 * 16 + 16)
+        ps, pd = b.iregs(2)
+        b.la(ps, "src", offset=5)   # deliberately misaligned
+        b.la(pd, "dst")
+        emit_copy_block(b, ps, 24, pd, 16, 16, 16, use_vis=True)
+        machine = run(b)
+        got = machine.read_buffer_array("dst")[:256].reshape(16, 16)
+        expected = src[5 : 5 + 24 * 16].reshape(-1)[: 24 * 16].reshape(16, 24)[:, :16]
+        expected = np.stack([src[5 + r * 24 : 5 + r * 24 + 16] for r in range(16)])
+        assert np.array_equal(got, expected)

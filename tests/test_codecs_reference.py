@@ -1,0 +1,125 @@
+"""Reference JPEG/MPEG codec tests (the substrate itself)."""
+
+import numpy as np
+import pytest
+
+from repro.media import jpeg, mpeg
+from repro.media.images import synthetic_image, synthetic_video_yuv
+
+
+class TestJpegReference:
+    @pytest.fixture(scope="class")
+    def image(self):
+        return synthetic_image(48, 32, 3, seed=11)
+
+    @pytest.mark.parametrize("progressive", [False, True])
+    def test_coefficients_roundtrip_exactly(self, image, progressive):
+        enc = jpeg.encode(image, quality=75, progressive=progressive)
+        dec = jpeg.decode(enc.data)
+        for name in ("y", "cb", "cr"):
+            assert np.array_equal(enc.coefficients[name], dec.coefficients[name])
+
+    def test_progressive_and_baseline_decode_identically(self, image):
+        baseline = jpeg.decode(jpeg.encode(image, progressive=False).data)
+        progressive = jpeg.decode(jpeg.encode(image, progressive=True).data)
+        assert np.array_equal(baseline.rgb, progressive.rgb)
+
+    def test_reconstruction_quality(self, image):
+        dec = jpeg.decode(jpeg.encode(image, quality=75).data)
+        err = dec.rgb.astype(int) - image.astype(int)
+        assert np.sqrt((err ** 2).mean()) < 15
+
+    def test_higher_quality_is_larger_and_closer(self, image):
+        lo = jpeg.encode(image, quality=30)
+        hi = jpeg.encode(image, quality=95)
+        assert len(hi.data) > len(lo.data)
+        err_lo = jpeg.decode(lo.data).rgb.astype(int) - image.astype(int)
+        err_hi = jpeg.decode(hi.data).rgb.astype(int) - image.astype(int)
+        assert (err_hi ** 2).mean() < (err_lo ** 2).mean()
+
+    def test_progressive_has_more_scans(self, image):
+        assert len(jpeg.encode(image, progressive=True).scans) == 12
+        assert len(jpeg.encode(image, progressive=False).scans) == 1
+
+    def test_compression_happens(self, image):
+        enc = jpeg.encode(image, quality=75)
+        assert len(enc.data) < image.size / 4
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            jpeg.encode(np.zeros((20, 20, 3), dtype=np.uint8))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg.decode(b"XXXX" + bytes(20))
+
+    def test_plane_block_roundtrip(self):
+        plane = synthetic_image(16, 16, 1, seed=1)[:, :, 0]
+        blocks = jpeg.plane_to_blocks(plane)
+        assert blocks.shape == (4, 8, 8)
+        assert np.array_equal(jpeg.blocks_to_plane(blocks, 16, 16), plane)
+
+
+class TestMpegReference:
+    @pytest.fixture(scope="class")
+    def frames(self):
+        return synthetic_video_yuv(48, 32, 4, seed=42)
+
+    @pytest.fixture(scope="class")
+    def coded(self, frames):
+        return mpeg.encode(frames, quality=75, search_range=2)
+
+    def test_decoder_matches_encoder_reconstruction(self, frames, coded):
+        dec = mpeg.decode(coded.data)
+        assert np.array_equal(dec.frames[0][0], coded.reconstructed[0].y)
+        assert np.array_equal(dec.frames[0][1], coded.reconstructed[0].cb)
+        assert np.array_equal(dec.frames[3][0], coded.reconstructed[1].y)
+
+    def test_frame_types(self, coded):
+        dec = mpeg.decode(coded.data)
+        assert dec.frame_types == ["I", "B", "B", "P"]
+
+    def test_all_frames_reasonable_quality(self, frames, coded):
+        dec = mpeg.decode(coded.data)
+        for i, (y, _u, _v) in enumerate(dec.frames):
+            err = y.astype(int) - frames[i][0].astype(int)
+            assert np.sqrt((err ** 2).mean()) < 15, f"frame {i}"
+
+    def test_inter_coding_used(self, coded):
+        assert coded.mode_counts["inter"] + coded.mode_counts["bi"] > 0
+
+    def test_full_search_matches_bruteforce(self, frames):
+        cur, ref = frames[1][0], frames[0][0]
+        for mb_y, mb_x in ((0, 0), (16, 16)):
+            dy, dx, sad = mpeg.full_search(cur, ref, mb_y, mb_x, 2)
+            best = (1 << 40, None)
+            block = cur[mb_y : mb_y + 16, mb_x : mb_x + 16]
+            for cdy in range(-2, 3):
+                for cdx in range(-2, 3):
+                    y, x = mb_y + cdy, mb_x + cdx
+                    if y < 0 or x < 0 or y + 16 > ref.shape[0] or x + 16 > ref.shape[1]:
+                        continue
+                    s = mpeg.sad16(block, ref[y : y + 16, x : x + 16])
+                    if s < best[0]:
+                        best = (s, (cdy, cdx))
+            assert sad == best[0]
+            assert (dy, dx) == best[1]
+
+    def test_search_at_zero_displacement_for_identical_frames(self, frames):
+        frame = frames[0][0]
+        dy, dx, sad = mpeg.full_search(frame, frame, 16, 16, 2)
+        assert (dy, dx, sad) == (0, 0, 0)
+
+    def test_coefficient_clipping_bounds_packed_lanes(self):
+        levels = np.full((8, 8), 1000, dtype=np.int64)
+        divisors = np.full((8, 8), 64, dtype=np.int64)
+        out = mpeg.dequantize_clipped(levels, divisors)
+        assert out.max() <= mpeg.COEF_CLIP
+
+    def test_wrong_frame_count_rejected(self, frames):
+        with pytest.raises(ValueError):
+            mpeg.encode(frames[:2])
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            mpeg.decode(b"ZZZZ" + bytes(20))

@@ -1,0 +1,67 @@
+"""ISA-registry invariants: Table 2 latencies and Table 4 coverage."""
+
+from repro.isa import OPCODES, Category, OpClass, VisGroup, spec, vis_opcodes
+from repro.isa.instruction import Instruction
+
+
+def test_table2_functional_unit_latencies():
+    assert spec("add").latency == 1
+    assert spec("mul").latency == 7
+    assert spec("div").latency == 12 and not spec("div").pipelined
+    assert spec("fadd").latency == 4
+    assert spec("fdivd").latency == 12 and not spec("fdivd").pipelined
+    # default VIS 1; VIS multiply / pdist 3
+    assert spec("fpadd16").latency == 1
+    assert spec("fmul8x16").latency == 3
+    assert spec("pdist").latency == 3
+
+
+def test_table4_groups_all_present():
+    groups = {
+        OPCODES[name].vis_group for name in vis_opcodes()
+    }
+    assert groups == set(VisGroup)
+
+
+def test_table4_memory_ops_include_partial_and_short():
+    memory_vis = [
+        name for name in vis_opcodes()
+        if OPCODES[name].vis_group is VisGroup.MEMORY
+    ]
+    assert "pst" in memory_vis
+    assert "ldfb" in memory_vis and "stfh" in memory_vis
+
+
+def test_vis_ops_split_between_adder_and_multiplier():
+    adder = [n for n, op in OPCODES.items() if op.opclass is OpClass.VIS_ADD]
+    multiplier = [n for n, op in OPCODES.items() if op.opclass is OpClass.VIS_MUL]
+    assert "fpadd16" in adder and "faligndata" in adder and "edge8" in adder
+    assert set(multiplier) == {
+        "fmul8x16", "fmul8x16au", "fmul8x16al",
+        "fmul8sux16", "fmul8ulx16", "pdist",
+    }
+
+
+def test_figure2_categories_partition_opcodes():
+    for name, op in OPCODES.items():
+        assert op.category in Category
+        if op.is_memory:
+            assert op.category is Category.MEMORY
+        if op.is_control:
+            assert op.category is Category.BRANCH
+        if op.is_vis:
+            assert op.category is Category.VIS
+
+
+def test_unknown_opcode_rejected():
+    import pytest
+
+    with pytest.raises(KeyError, match="unknown opcode"):
+        spec("frobnicate")
+
+
+def test_disassembly_renders_operands():
+    text = Instruction(op="add", dst=3, srcs=(4, 5)).disassemble(7)
+    assert "add" in text and "r3" in text and "r4" in text and "7" in text
+    branch = Instruction(op="beq", srcs=(1, 0), target=12).disassemble()
+    assert "@12" in text or "@12" in branch

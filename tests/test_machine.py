@@ -1,0 +1,225 @@
+"""Functional-machine tests: instruction semantics end to end."""
+
+import pytest
+
+from repro.asm import ProgramBuilder
+from repro.sim import Machine, SimulationError
+
+
+def run_fragment(emit, buffers=(("out", 64),), max_instructions=1_000_000):
+    """Build a tiny program with ``emit(builder)`` and run it."""
+    b = ProgramBuilder("fragment")
+    for name, size, *rest in buffers:
+        b.buffer(name, size, data=rest[0] if rest else None)
+    emit(b)
+    machine = Machine(b.build())
+    machine.run_functional(max_instructions=max_instructions)
+    return machine
+
+
+def out_value(machine, signed=False):
+    return int.from_bytes(machine.read_buffer("out")[:8], "little", signed=signed)
+
+
+def store_result(b, reg):
+    with b.scratch(iregs=1) as p:
+        b.la(p, "out")
+        b.stx(reg, p)
+
+
+@pytest.mark.parametrize(
+    "op,a,c,expected",
+    [
+        ("add", 7, 5, 12),
+        ("sub", 7, 9, -2),
+        ("mul", -3, 7, -21),
+        ("div", -7, 2, -3),       # C-style truncation toward zero
+        ("div", 7, -2, -3),
+        ("rem", -7, 2, -1),
+        ("and_", 0b1100, 0b1010, 0b1000),
+        ("or_", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("andn", 0b1100, 0b1010, 0b0100),
+        ("sll", 3, 4, 48),
+        ("srl", 256, 4, 16),
+        ("sra", -256, 4, -16),
+        ("slt", -1, 0, 1),
+        ("sltu", -1, 0, 0),       # unsigned: 2**64-1 < 0 is false
+        ("seq", 5, 5, 1),
+    ],
+)
+def test_integer_alu(op, a, c, expected):
+    def emit(b):
+        ra, rd = b.iregs(2)
+        b.li(ra, a)
+        getattr(b, op)(rd, ra, c)
+        store_result(b, rd)
+
+    assert out_value(run_fragment(emit), signed=True) == expected
+
+
+def test_division_by_zero_raises():
+    def emit(b):
+        r = b.ireg()
+        b.li(r, 1)
+        b.div(r, r, 0)
+
+    with pytest.raises(SimulationError, match="division by zero"):
+        run_fragment(emit)
+
+
+@pytest.mark.parametrize(
+    "load,store,value,expected",
+    [
+        ("ldb", "stb", 0xF0, 0xF0),
+        ("ldbs", "stb", 0xF0, -16),
+        ("ldh", "sth", 0x8000, 0x8000),
+        ("ldhs", "sth", 0x8000, -32768),
+        ("ldw", "stw", 0x80000000, 0x80000000),
+        ("ldws", "stw", 0x80000000, -(1 << 31)),
+        ("ldx", "stx", (1 << 63) | 5, (1 << 63) | 5),
+    ],
+)
+def test_load_store_sizes_and_sign(load, store, value, expected):
+    def emit(b):
+        r, p = b.iregs(2)
+        b.la(p, "out")
+        b.li(r, value)
+        getattr(b, store)(r, p, 16)
+        getattr(b, load)(r, p, 16)
+        store_result(b, r)
+
+    got = out_value(run_fragment(emit), signed=expected < 0)
+    assert got == expected
+
+
+def test_memory_bounds_checked():
+    def emit(b):
+        r, p = b.iregs(2)
+        b.li(p, 1 << 40)
+        b.ldb(r, p)
+
+    with pytest.raises(SimulationError, match="out of range"):
+        run_fragment(emit)
+
+
+def test_prefetch_out_of_range_is_dropped():
+    def emit(b):
+        p = b.ireg()
+        b.li(p, 1 << 40)
+        b.pf(p)          # must not fault
+
+    run_fragment(emit)
+
+
+def test_runaway_guard():
+    def emit(b):
+        top = b.here()
+        b.j(top)
+
+    with pytest.raises(SimulationError, match="exceeded"):
+        run_fragment(emit, max_instructions=10_000)
+
+
+def test_branch_taken_and_not_taken():
+    b = ProgramBuilder()
+    b.buffer("out", 64)
+    r, total = b.iregs(2)
+    end = b.label()
+    b.li(total, 0)
+    b.li(r, 1)
+    skip = b.label()
+    b.beq(r, 0, skip)
+    b.add(total, total, 1)
+    b.bind(skip)
+    b.bne(r, 0, end)
+    b.add(total, total, 100)
+    b.bind(end)
+    store_result(b, total)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert out_value(machine) == 1
+
+
+def test_call_ret_and_nesting_via_trace():
+    b = ProgramBuilder()
+    b.buffer("out", 64)
+    acc = b.ireg()
+    sub = b.label("sub")
+    main = b.label("main")
+    b.j(main)
+    b.bind(sub)
+    b.add(acc, acc, 10)
+    b.ret()
+    b.bind(main)
+    b.li(acc, 1)
+    b.call(sub)
+    b.call(sub)
+    store_result(b, acc)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert out_value(machine) == 21
+
+
+def test_trace_events_shape():
+    b = ProgramBuilder()
+    src = b.buffer("src", 8, data=bytes(8))
+    r, p = b.iregs(2)
+    b.la(p, src)
+    b.ldb(r, p, 3)
+    program = b.build()
+    machine = Machine(program)
+    trace = machine.run_to_completion()
+    # one event per retired instruction, halt excluded
+    assert len(trace) == len(program.instructions) - 1
+    load_event = trace[-1]
+    assert load_event[1] == program.buffers["src"].address + 3
+
+
+def test_reset_restores_initial_data():
+    b = ProgramBuilder()
+    b.buffer("src", 8, data=b"\x05" + bytes(7))
+    r, p = b.iregs(2)
+    b.la(p, "src")
+    b.ldb(r, p)
+    b.add(r, r, 1)
+    b.stb(r, p)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert machine.read_buffer("src")[0] == 6
+    machine.reset()
+    assert machine.read_buffer("src")[0] == 5
+    machine.run_functional()
+    assert machine.read_buffer("src")[0] == 6
+
+
+def test_gsr_fields_and_alignaddr():
+    b = ProgramBuilder()
+    b.buffer("out", 64)
+    r, a = b.iregs(2)
+    b.li(a, 0x1234 + 5)
+    b.alignaddr(r, a, 0)
+    store_result(b, r)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert out_value(machine) == (0x1234 + 5) & ~7
+    from repro.isa.registers import GSR
+    assert machine.regs[GSR] & 7 == (0x1234 + 5) & 7
+
+
+def test_float_ops_roundtrip():
+    b = ProgramBuilder()
+    b.buffer("out", 64)
+    ra = b.ireg()
+    fa, fb = b.fregs(2)
+    b.li(ra, 7)
+    b.fitod(fa, ra)
+    b.fitod(fb, ra)
+    b.fmuld(fa, fa, fb)     # 49.0
+    b.fadd(fa, fa, fb)      # 56.0
+    b.fdivd(fa, fa, fb)     # 8.0
+    b.fdtoi(ra, fa)
+    store_result(b, ra)
+    machine = Machine(b.build())
+    machine.run_functional()
+    assert out_value(machine) == 8

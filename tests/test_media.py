@@ -1,0 +1,298 @@
+"""Tests for the numpy reference media substrate."""
+
+import numpy as np
+import pytest
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.media import bitstream, colorspace, dct, huffman, images, kernels, zigzag
+from repro.media.ppm import read_pnm, write_pnm
+
+
+class TestImages:
+    def test_synthetic_image_deterministic(self):
+        a = images.synthetic_image(32, 16, 3, seed=5)
+        b = images.synthetic_image(32, 16, 3, seed=5)
+        assert np.array_equal(a, b)
+        assert a.shape == (16, 32, 3)
+        assert a.dtype == np.uint8
+
+    def test_different_seeds_differ(self):
+        a = images.synthetic_image(32, 16, seed=1)
+        b = images.synthetic_image(32, 16, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_video_has_motion(self):
+        frames = images.synthetic_video(48, 32, 4, seed=9)
+        assert len(frames) == 4
+        assert any(
+            not np.array_equal(frames[i], frames[i + 1]) for i in range(3)
+        )
+
+    def test_video_yuv_chroma_half_resolution(self):
+        frames = images.synthetic_video_yuv(48, 32, 2)
+        y, u, v = frames[0]
+        assert y.shape == (32, 48)
+        assert u.shape == v.shape == (16, 24)
+
+
+class TestKernelReferences:
+    def test_addition_rounds(self):
+        a = np.array([0, 255, 10], dtype=np.uint8)
+        b = np.array([1, 255, 11], dtype=np.uint8)
+        assert list(kernels.addition(a, b)) == [1, 255, 11]
+
+    def test_thresh_window(self):
+        x = np.array([0, 80, 120, 160, 161], dtype=np.uint8)
+        out = kernels.thresh(x, 80, 160, 255)
+        assert list(out) == [0, 255, 255, 255, 161]
+
+    def test_scaling_saturates(self):
+        x = np.array([0, 128, 255], dtype=np.uint8)
+        out = kernels.scaling(x, 512, 10)  # gain 2.0 + 10
+        assert list(out) == [10, 255, 255]
+
+    def test_conv3x3_unity_kernel_is_identity_in_interior(self):
+        image = images.synthetic_gray(16, 16, seed=3)
+        identity = np.zeros((3, 3), dtype=np.int16)
+        identity[1, 1] = 256
+        out = kernels.conv3x3(image, identity)
+        assert np.array_equal(out[1:-1, 1:-1], image[1:-1, 1:-1])
+        assert (out[0] == 0).all()
+
+    def test_dotprod_rejects_wrapping_lanes(self):
+        big = np.full(4096, 3000, dtype=np.int16)
+        with pytest.raises(ValueError, match="wrap"):
+            kernels.dotprod(big, big)
+
+    def test_blend_alpha_extremes(self):
+        src1 = np.array([200], dtype=np.uint8)
+        src2 = np.array([10], dtype=np.uint8)
+        full = kernels.blend(src1, src2, np.array([255], dtype=np.uint8))
+        none = kernels.blend(src1, src2, np.array([0], dtype=np.uint8))
+        assert abs(int(full[0]) - 200) <= 1
+        assert abs(int(none[0]) - 10) <= 1
+
+
+class TestDct:
+    def test_forward_matches_orthonormal_shape(self):
+        from scipy.fft import dctn
+
+        rng = np.random.default_rng(1)
+        block = rng.integers(-128, 128, size=(8, 8)).astype(np.int64)
+        ours = dct.fdct2d(block)
+        reference = dctn(block.astype(float), norm="ortho")
+        mask = np.abs(reference) > 64
+        ratio = ours[mask] / reference[mask]
+        assert abs(ratio.mean() - 4.0) < 0.1
+
+    def test_roundtrip_error_small(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 256, size=(32, 8, 8)).astype(np.int64)
+        recon = dct.idct2d(dct.fdct2d(blocks - 128)) + 128
+        err = np.abs(recon - blocks)
+        assert err.max() <= 6
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_all_intermediates_fit_16_bits(self, seed):
+        """The packed pipeline's soundness condition: byte-input blocks
+        never overflow a 16-bit lane anywhere in the forward transform."""
+        rng = np.random.default_rng(seed)
+        block = rng.integers(-128, 128, size=(8, 8)).astype(np.int64)
+        out = dct.fdct2d(block)
+        assert out.max() <= 32767 and out.min() >= -32768
+        pass1 = dct.fdct1d(np.swapaxes(block, -1, -2))
+        assert np.abs(pass1).max() <= 32767
+
+    def test_quantize_symmetric(self):
+        div = np.full((8, 8), 40, dtype=np.int64)
+        values = np.zeros((8, 8), dtype=np.int64)
+        values[0, 0], values[0, 1] = 100, -100
+        q = dct.quantize(values, div)
+        assert q[0, 0] == 3 and q[0, 1] == -3
+
+    def test_quality_scaling_monotone(self):
+        low = dct.divisors_for(dct.BASE_LUMA_QUANT, 25)
+        high = dct.divisors_for(dct.BASE_LUMA_QUANT, 90)
+        assert (low >= high).all()
+
+
+class TestZigzag:
+    def test_permutation(self):
+        assert sorted(zigzag.ZIGZAG) == list(range(64))
+        assert zigzag.ZIGZAG[0] == 0
+        assert zigzag.ZIGZAG[1] == 1   # right first
+        assert zigzag.ZIGZAG[2] == 8   # then down
+
+    def test_transposed_order_consistency(self):
+        block = np.arange(64).reshape(8, 8)
+        natural = block.reshape(64)[zigzag.ZIGZAG]
+        transposed = block.T.reshape(64)[zigzag.ZIGZAG_T]
+        assert np.array_equal(natural, transposed)
+
+    def test_scan_unscan_roundtrip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-100, 100, size=(5, 8, 8))
+        assert np.array_equal(
+            zigzag.zigzag_unscan(zigzag.zigzag_scan(blocks)), blocks
+        )
+
+
+class TestBitstream:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(1, 16)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_writer_reader_roundtrip(self, pairs):
+        writer = bitstream.BitWriter()
+        for value, length in pairs:
+            writer.write(value & ((1 << length) - 1), length)
+        reader = bitstream.BitReader(writer.getvalue())
+        for value, length in pairs:
+            assert reader.read(length) == value & ((1 << length) - 1)
+
+    def test_padding_is_ones(self):
+        writer = bitstream.BitWriter()
+        writer.write(0, 1)
+        assert writer.getvalue() == b"\x7f"
+
+    @given(st.integers(-2000, 2000))
+    def test_extend_roundtrip(self, value):
+        size = bitstream.magnitude_category(value)
+        if value == 0:
+            assert size == 0
+        else:
+            bits = bitstream.magnitude_bits(value, size)
+            assert bitstream.receive_extend(bits, size) == value
+
+    def test_bad_write_rejected(self):
+        writer = bitstream.BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+
+class TestHuffman:
+    def test_tables_are_prefix_free(self):
+        for table in (huffman.DC_TABLE, huffman.AC_TABLE):
+            codes = sorted(
+                (length, code) for code, length in table.codes.values()
+            )
+            as_strings = [
+                format(code, f"0{length}b") for length, code in codes
+            ]
+            for i, a in enumerate(as_strings):
+                for b in as_strings[i + 1 :]:
+                    assert not b.startswith(a)
+
+    def test_length_limit_respected(self):
+        assert huffman.AC_TABLE.max_length() <= huffman.MAX_CODE_LENGTH
+
+    @given(st.lists(st.integers(0, 11), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_encode_decode_roundtrip(self, symbols):
+        writer = bitstream.BitWriter()
+        for s in symbols:
+            huffman.DC_TABLE.encode(writer, s)
+        reader = bitstream.BitReader(writer.getvalue())
+        assert [huffman.DC_TABLE.decode(reader) for _ in symbols] == symbols
+
+    def test_frequent_symbols_get_short_codes(self):
+        table = huffman.HuffmanTable.from_frequencies({1: 1000, 2: 10, 3: 1})
+        assert table.codes[1][1] <= table.codes[3][1]
+
+    def test_table_arrays_dense(self):
+        codes, lengths = huffman.table_arrays(huffman.DC_TABLE, 16)
+        assert len(codes) == len(lengths) == 16
+        for symbol, (code, length) in huffman.DC_TABLE.codes.items():
+            assert codes[symbol] == code and lengths[symbol] == length
+
+
+class TestColorspace:
+    def test_roundtrip_close(self):
+        rgb = images.synthetic_image(32, 16, 3, seed=4)
+        y, cb, cr = colorspace.rgb_to_ycbcr(rgb)
+        back = colorspace.ycbcr_to_rgb(y, cb, cr)
+        assert np.abs(back.astype(int) - rgb.astype(int)).max() <= 4
+
+    def test_gray_maps_to_neutral_chroma(self):
+        gray = np.full((8, 8, 3), 128, dtype=np.uint8)
+        y, cb, cr = colorspace.rgb_to_ycbcr(gray)
+        assert np.all(np.abs(cb.astype(int) - 128) <= 1)
+        assert np.all(np.abs(cr.astype(int) - 128) <= 1)
+
+    def test_inverse_coefficients_are_even(self):
+        # required for bit-exact VIS bias folding (see module docstring)
+        for coeff in (
+            colorspace.R_FROM_CR,
+            colorspace.G_FROM_CB,
+            colorspace.G_FROM_CR,
+            colorspace.B_FROM_CB,
+        ):
+            assert coeff % 2 == 0
+
+    def test_decimate_upsample(self):
+        plane = images.synthetic_gray(16, 8, seed=6)
+        small = colorspace.decimate420(plane)
+        assert small.shape == (4, 8)
+        big = colorspace.upsample420(small)
+        assert big.shape == plane.shape
+        assert np.array_equal(big[::2, ::2], small)
+
+    def test_decimate_requires_even_dims(self):
+        with pytest.raises(ValueError):
+            colorspace.decimate420(np.zeros((3, 4), dtype=np.uint8))
+
+
+class TestPpm:
+    def test_ppm_roundtrip(self, tmp_path):
+        image = images.synthetic_image(20, 10, 3, seed=8)
+        path = tmp_path / "x.ppm"
+        write_pnm(path, image)
+        assert np.array_equal(read_pnm(path), image)
+
+    def test_pgm_roundtrip(self, tmp_path):
+        image = images.synthetic_gray(20, 10, seed=8)
+        path = tmp_path / "x.pgm"
+        write_pnm(path, image)
+        assert np.array_equal(read_pnm(path), image)
+
+    def test_comments_in_header(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# a comment\n2 2\n255\n\x00\x01\x02\x03")
+        assert read_pnm(path).shape == (2, 2)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0")
+        with pytest.raises(ValueError):
+            read_pnm(path)
+
+
+class TestMetrics:
+    def test_psnr_identical_is_infinite(self):
+        from repro.media.metrics import psnr
+
+        a = images.synthetic_gray(8, 8)
+        assert psnr(a, a) == float("inf")
+
+    def test_psnr_decreases_with_noise(self):
+        from repro.media.metrics import psnr
+
+        a = images.synthetic_gray(32, 32).astype(np.int64)
+        small = np.clip(a + 1, 0, 255)
+        big = np.clip(a + 16, 0, 255)
+        assert psnr(a, small) > psnr(a, big) > 0
+
+    def test_sad_matches_mpeg_reference(self):
+        from repro.media import mpeg
+        from repro.media.metrics import sad
+
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        y = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        assert sad(x, y) == mpeg.sad16(x, y)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.media.metrics import mse
+
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,163 @@
+"""Memory-hierarchy timing-model tests (Table 3 behaviours)."""
+
+import pytest
+
+from repro.mem import (
+    A_LOAD,
+    A_PREFETCH,
+    A_STORE,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_MEM,
+    MemoryConfig,
+    MemorySystem,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        l1_size=512, l1_assoc=2, l2_size=2048, l2_assoc=4,
+        l1_mshrs=4, l2_mshrs=4, mshr_combine_max=2,
+    )
+    defaults.update(overrides)
+    return MemoryConfig(**defaults)
+
+
+def test_config_validates_geometry():
+    with pytest.raises(ValueError):
+        MemoryConfig(l1_size=100)
+
+
+def test_sets_computed():
+    cfg = MemoryConfig()
+    assert cfg.l1_sets == 64 * 1024 // (64 * 2)
+    assert cfg.l2_sets == 128 * 1024 // (64 * 4)
+
+
+def test_scaled_preserves_line_and_floors():
+    cfg = MemoryConfig().scaled(64)
+    assert cfg.l1_size == 1024
+    assert cfg.l2_size == 2048
+    tiny = MemoryConfig().scaled(1 << 20)
+    assert tiny.l1_size == 64 * 2  # one set per way floor
+
+
+def test_cold_miss_then_hit_latencies():
+    mem = MemorySystem(tiny_config())
+    done, level = mem.access(A_LOAD, 0x1000, 0)
+    assert level == LEVEL_MEM
+    assert done >= mem.config.mem_latency_cycles
+    done2, level2 = mem.access(A_LOAD, 0x1008, done)
+    assert level2 == LEVEL_L1
+    assert done2 == done + mem.config.l1_hit_cycles
+    assert mem.stats.l1_hits == 1
+    assert mem.stats.l1_misses == 1
+
+
+def test_l2_hit_after_l1_eviction():
+    cfg = tiny_config()  # L1: 512B 2-way = 4 sets; same set every 256B
+    mem = MemorySystem(cfg)
+    t = 0
+    # Fill one L1 set beyond its associativity; all lines land in L2.
+    for i in range(3):
+        t, _ = mem.access(A_LOAD, 0x1000 + i * 256, t)
+    # The evicted first line now hits in L2, not memory.
+    done, level = mem.access(A_LOAD, 0x1000, t)
+    assert level == LEVEL_L2
+
+
+def test_lru_keeps_recently_used_line():
+    cfg = tiny_config()
+    mem = MemorySystem(cfg)
+    t = 0
+    t, _ = mem.access(A_LOAD, 0x0000, t)      # way 1
+    t, _ = mem.access(A_LOAD, 0x0100, t)      # way 2 (same set)
+    t, _ = mem.access(A_LOAD, 0x0000, t)      # touch first -> MRU
+    t, _ = mem.access(A_LOAD, 0x0200, t)      # evicts 0x0100
+    _, level = mem.access(A_LOAD, 0x0000, t + 200)
+    assert level == LEVEL_L1
+
+
+def test_mshr_combining_and_limit():
+    cfg = tiny_config()
+    mem = MemorySystem(cfg)
+    done0, _ = mem.access(A_LOAD, 0x3000, 0)
+    done1, lvl1 = mem.access(A_LOAD, 0x3008, 1)   # combines (1 of max 2)
+    assert mem.stats.mshr_combined == 1
+    assert done1 <= done0 + cfg.l1_hit_cycles
+    # second combine hits the per-MSHR limit -> waits for the fill
+    done2, _ = mem.access(A_LOAD, 0x3010, 2)
+    assert mem.stats.combine_limit_stalls == 1
+    assert done2 >= done0
+
+
+def test_mshr_full_stalls_new_misses():
+    cfg = tiny_config(l1_mshrs=2)
+    mem = MemorySystem(cfg)
+    mem.access(A_STORE, 0x0000, 0)
+    mem.access(A_STORE, 0x1000, 0)
+    done, _ = mem.access(A_LOAD, 0x2000, 0)   # no MSHR free
+    assert mem.stats.mshr_full_stalls == 1
+    assert done > mem.config.mem_latency_cycles
+
+
+def test_store_marks_dirty_and_writeback_counted():
+    cfg = tiny_config()
+    mem = MemorySystem(cfg)
+    t, _ = mem.access(A_STORE, 0x0000, 0)
+    # evict the dirty line (same L1 set) twice over
+    t, _ = mem.access(A_LOAD, 0x0100, t)
+    t, _ = mem.access(A_LOAD, 0x0200, t)
+    t, _ = mem.access(A_LOAD, 0x0300, t)
+    assert mem.stats.writebacks >= 1
+
+
+def test_prefetch_then_load_is_useful():
+    mem = MemorySystem(tiny_config())
+    done, _ = mem.access(A_PREFETCH, 0x4000, 0)
+    mem.access(A_LOAD, 0x4000, done + 10)
+    assert mem.stats.prefetch_useful == 1
+    assert mem.stats.prefetch_late == 0
+
+
+def test_prefetch_too_late_counted():
+    mem = MemorySystem(tiny_config())
+    mem.access(A_PREFETCH, 0x4000, 0)
+    mem.access(A_LOAD, 0x4000, 1)   # arrives while the fill is in flight
+    assert mem.stats.prefetch_late == 1
+
+
+def test_redundant_prefetch_counted():
+    mem = MemorySystem(tiny_config())
+    done, _ = mem.access(A_LOAD, 0x4000, 0)
+    mem.access(A_PREFETCH, 0x4000, done + 5)
+    assert mem.stats.prefetch_redundant == 1
+
+
+def test_port_contention_serializes_same_cycle_accesses():
+    cfg = tiny_config()
+    mem = MemorySystem(cfg)
+    # warm two lines
+    t, _ = mem.access(A_LOAD, 0x0000, 0)
+    t2, _ = mem.access(A_LOAD, 0x0040, t)
+    base = max(t, t2) + 10
+    done = [mem.access(A_LOAD, 0x0000, base)[0] for _ in range(3)]
+    # 2 ports -> the third same-cycle hit completes one cycle later
+    assert done[0] == done[1]
+    assert done[2] == done[0] + 1
+
+
+def test_load_miss_overlap_histogram():
+    mem = MemorySystem(tiny_config(l1_mshrs=8, mshr_combine_max=8))
+    for i in range(4):
+        mem.access(A_LOAD, 0x8000 + i * 4096, 0)
+    assert mem.stats.max_load_miss_overlap == 3
+    assert sum(mem.stats.load_miss_overlap.values()) == 4
+
+
+def test_flush_clears_state():
+    mem = MemorySystem(tiny_config())
+    t, _ = mem.access(A_LOAD, 0x0000, 0)
+    mem.flush()
+    _, level = mem.access(A_LOAD, 0x0000, t + 500)
+    assert level == LEVEL_MEM

@@ -1,0 +1,222 @@
+"""Timing-model tests: stall attribution, ILP ordering invariants."""
+
+import pytest
+
+from repro.asm import ProgramBuilder
+from repro.cpu import (
+    AgreePredictor,
+    ProcessorConfig,
+    RetireUnit,
+    ReturnAddressStack,
+    SC_FU,
+    SC_L1MISS,
+)
+from repro.experiments.runner import simulate_program
+from repro.mem import MemoryConfig
+
+
+def make_stream_program(n=4096):
+    b = ProgramBuilder("stream")
+    b.buffer("src", n, data=bytes(i & 0xFF for i in range(n)))
+    b.buffer("dst", n)
+    ps, pd = b.iregs(2)
+    b.la(ps, "src")
+    b.la(pd, "dst")
+    with b.loop(0, n):
+        with b.scratch(iregs=1) as t:
+            b.ldb(t, ps)
+            b.add(t, t, 1)
+            b.stb(t, pd)
+        b.add(ps, ps, 1)
+        b.add(pd, pd, 1)
+    return b.build()
+
+
+def make_dependent_chain_program(length=2000):
+    """A serial add chain: no ILP at all."""
+    b = ProgramBuilder("chain")
+    b.buffer("out", 8)
+    acc = b.ireg()
+    b.li(acc, 0)
+    with b.loop(0, length):
+        b.add(acc, acc, 1)
+        b.add(acc, acc, 2)
+        b.add(acc, acc, 3)
+    with b.scratch(iregs=1) as p:
+        b.la(p, "out")
+        b.stx(acc, p)
+    return b.build()
+
+
+def make_independent_program(length=2000):
+    """Four independent accumulators: width-limited, not dependence-limited."""
+    b = ProgramBuilder("independent")
+    b.buffer("out", 8)
+    accs = b.iregs(4)
+    for a in accs:
+        b.li(a, 0)
+    with b.loop(0, length):
+        for a in accs:
+            b.add(a, a, 1)
+    with b.scratch(iregs=1) as p:
+        b.la(p, "out")
+        b.stx(accs[0], p)
+    return b.build()
+
+
+MEM = MemoryConfig().scaled(64)
+
+
+def run(program, config):
+    stats, _ = simulate_program(program, config, MEM)
+    return stats
+
+
+class TestOrderingInvariants:
+    def test_wider_issue_is_not_slower(self):
+        program = make_independent_program()
+        one = run(program, ProcessorConfig.inorder_1way())
+        four = run(program, ProcessorConfig.inorder_4way())
+        assert four.cycles < one.cycles
+
+    def test_out_of_order_is_not_slower_than_in_order(self):
+        program = make_stream_program()
+        io = run(program, ProcessorConfig.inorder_4way())
+        ooo = run(program, ProcessorConfig.ooo_4way())
+        assert ooo.cycles <= io.cycles
+
+    def test_dependent_chain_limits_ilp(self):
+        # the serial 3-add chain caps OoO at ~3 cycles/iteration,
+        # while independent work reaches the 2-ALU throughput bound
+        chain = run(make_dependent_chain_program(), ProcessorConfig.ooo_4way())
+        chain_1w = run(make_dependent_chain_program(), ProcessorConfig.inorder_1way())
+        independent = run(make_independent_program(), ProcessorConfig.ooo_4way())
+        independent_1w = run(make_independent_program(), ProcessorConfig.inorder_1way())
+        chain_speedup = chain_1w.cycles / chain.cycles
+        independent_speedup = independent_1w.cycles / independent.cycles
+        assert chain_speedup < independent_speedup
+        assert chain.cycles >= 3 * 2000  # the dependence chain is a floor
+
+    def test_independent_work_exploits_width(self):
+        program = make_independent_program()
+        one = run(program, ProcessorConfig.inorder_1way())
+        ooo = run(program, ProcessorConfig.ooo_4way())
+        # 6 integer ops/iteration on 2 ALUs vs 1: ~2x
+        assert one.cycles / ooo.cycles > 1.9
+
+
+class TestComponents:
+    def test_components_partition_cycles(self):
+        for config in (ProcessorConfig.inorder_4way(), ProcessorConfig.ooo_4way()):
+            stats = run(make_stream_program(), config)
+            stats.check_consistency()
+            total = sum(stats.components().values())
+            assert abs(total - stats.cycles) <= 1.0
+
+    def test_streaming_kernel_has_memory_stall(self):
+        stats = run(make_stream_program(), ProcessorConfig.ooo_4way())
+        assert stats.l1_miss_stall > 0
+        assert stats.memory is not None
+        assert stats.memory.l1_misses > 0
+
+    def test_instruction_counts_match_trace(self):
+        program = make_stream_program(512)
+        stats = run(program, ProcessorConfig.ooo_4way())
+        assert stats.instructions == sum(stats.category_counts.values())
+
+
+class TestRetireUnit:
+    def test_back_to_back_full_throughput(self):
+        unit = RetireUnit(width=4)
+        for i in range(16):
+            unit.retire(0, SC_FU)
+        assert unit.total_cycles == 4
+        assert unit.busy_cycles == 4.0
+        assert sum(unit.stalls) == 0
+
+    def test_gap_attributed_to_stalling_class(self):
+        unit = RetireUnit(width=4)
+        unit.retire(0, SC_FU)
+        unit.retire(10, SC_L1MISS)
+        assert unit.stalls[SC_L1MISS] == pytest.approx(3 / 4 + 9)
+        assert unit.stalls[SC_FU] == 0
+
+    def test_accounting_is_complete(self):
+        import random
+
+        rng = random.Random(7)
+        unit = RetireUnit(width=4)
+        cycle = 0
+        for _ in range(500):
+            cycle += rng.choice([0, 0, 0, 1, 3, 12])
+            unit.retire(cycle, rng.randrange(4))
+        total = unit.busy_cycles + sum(unit.stalls)
+        assert abs(total - unit.total_cycles) <= 1.0
+
+
+class TestBranchPredictor:
+    def test_agree_predictor_learns_bias_violations(self):
+        predictor = AgreePredictor(size=16)
+        # branch hinted taken but always not-taken: after warmup the
+        # agree counter flips and predictions become correct
+        miss = [predictor.predict_and_update(5, True, False) for _ in range(10)]
+        assert miss[0] is True
+        assert miss[-1] is False
+
+    def test_agreeing_branch_never_mispredicts(self):
+        predictor = AgreePredictor(size=16)
+        for _ in range(50):
+            assert not predictor.predict_and_update(3, True, True)
+        assert predictor.mispredict_rate == 0.0
+
+    def test_power_of_two_size_required(self):
+        with pytest.raises(ValueError):
+            AgreePredictor(size=100)
+
+    def test_ras_matches_calls(self):
+        ras = ReturnAddressStack(size=2)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop(20) is False
+        assert ras.pop(10) is False
+        assert ras.pop(99) is True          # underflow
+
+    def test_ras_overflow_wraps(self):
+        ras = ReturnAddressStack(size=2)
+        for target in (1, 2, 3):
+            ras.push(target)
+        assert ras.overflowed == 1
+        assert ras.pop(3) is False
+        assert ras.pop(2) is False
+        assert ras.pop(1) is True           # lost to the overflow
+
+
+class TestMispredictPenalty:
+    def test_unpredictable_branches_cost_cycles(self):
+        def build(pattern):
+            b = ProgramBuilder()
+            data = bytes(pattern)
+            b.buffer("data", len(data), data=data)
+            p, t, acc = b.iregs(3)
+            b.la(p, "data")
+            b.li(acc, 0)
+            with b.loop(0, len(data)):
+                skip = b.label()
+                b.ldb(t, p)
+                b.beq(t, 0, skip, hint=False)
+                b.add(acc, acc, 1)
+                b.bind(skip)
+                b.add(p, p, 1)
+            return b.build()
+
+        import random
+
+        rng = random.Random(3)
+        predictable = build([1] * 2000)
+        random_pattern = build([rng.randrange(2) for _ in range(2000)])
+        cfg = ProcessorConfig.ooo_4way()
+        fast = run(predictable, cfg)
+        slow = run(random_pattern, cfg)
+        assert slow.mispredict_rate > 0.2
+        assert fast.mispredict_rate < 0.02
+        assert slow.cycles > fast.cycles

@@ -1,0 +1,127 @@
+"""Cross-cutting property tests (hypothesis) on the simulator core."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cpu.stats import RetireUnit
+from repro.mem import A_LOAD, A_PREFETCH, A_STORE, MemoryConfig, MemorySystem
+
+
+class TestRetireUnitProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 3)),
+            min_size=1, max_size=300,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_always_partitions_time(self, gaps, width):
+        """busy + stalls == total cycles (within the final-cycle slack)
+        for ANY retirement schedule — the Section 2.3.4 convention is a
+        complete partition of execution time."""
+        unit = RetireUnit(width)
+        cycle = 0
+        for gap, cls in gaps:
+            cycle += gap
+            unit.retire(cycle, cls)
+        total = unit.busy_cycles + sum(unit.stalls)
+        assert abs(total - unit.total_cycles) <= 1.0
+
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=200),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_retire_cycles_monotone(self, gaps, width):
+        unit = RetireUnit(width)
+        cycle = 0
+        last = -1
+        for gap in gaps:
+            cycle += gap
+            retired_at = unit.retire(cycle, 0)
+            assert retired_at >= last
+            assert retired_at >= cycle
+            last = retired_at
+
+
+ACCESS_KINDS = st.sampled_from([A_LOAD, A_STORE, A_PREFETCH])
+
+
+class TestMemorySystemProperties:
+    @given(
+        st.lists(
+            st.tuples(ACCESS_KINDS, st.integers(0, 1 << 14), st.integers(0, 3)),
+            min_size=1, max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_completions_never_precede_requests(self, accesses):
+        mem = MemorySystem(MemoryConfig().scaled(64))
+        cycle = 0
+        for kind, addr, advance in accesses:
+            cycle += advance
+            done, level = mem.access(kind, addr, cycle)
+            assert done >= cycle + 1
+            assert level in (0, 1, 2)
+
+    @given(
+        st.lists(
+            st.tuples(ACCESS_KINDS, st.integers(0, 1 << 14), st.integers(0, 3)),
+            min_size=1, max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stats_are_consistent(self, accesses):
+        mem = MemorySystem(MemoryConfig().scaled(64))
+        cycle = 0
+        for kind, addr, advance in accesses:
+            cycle += advance
+            mem.access(kind, addr, cycle)
+        stats = mem.stats
+        assert stats.l1_accesses == len(accesses)
+        # a combined access is neither a hit nor a line miss
+        assert (
+            stats.l1_hits + stats.l1_misses + stats.mshr_combined
+            + stats.combine_limit_stalls
+            == stats.l1_accesses
+        )
+        assert stats.l2_hits + stats.l2_misses <= stats.l1_misses
+        assert 0.0 <= stats.l1_miss_rate <= 1.0
+
+    @given(st.integers(0, 1 << 16), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_second_access_to_quiet_line_is_a_hit(self, addr, start):
+        mem = MemorySystem(MemoryConfig().scaled(64))
+        done, _ = mem.access(A_LOAD, addr, start)
+        _done2, level = mem.access(A_LOAD, addr, done + 1)
+        assert level == 0  # LEVEL_L1
+
+
+class TestMachineDeterminism:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_identical_runs_produce_identical_traces(self, seed):
+        import numpy as np
+
+        from repro.asm import ProgramBuilder
+        from repro.sim import Machine
+
+        rng = np.random.default_rng(seed)
+        data = bytes(rng.integers(0, 256, 64, dtype=np.uint8))
+        b = ProgramBuilder()
+        b.buffer("src", 64, data=data)
+        acc, p = b.iregs(2)
+        b.la(p, "src")
+        b.li(acc, 0)
+        with b.loop(0, 64):
+            with b.scratch(iregs=1) as t:
+                skip = b.label()
+                b.ldb(t, p)
+                b.blt(t, 128, skip, hint=False)
+                b.add(acc, acc, 1)
+                b.bind(skip)
+            b.add(p, p, 1)
+        program = b.build()
+        m1, m2 = Machine(program), Machine(program)
+        assert m1.run_to_completion() == m2.run_to_completion()

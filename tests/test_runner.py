@@ -1,0 +1,52 @@
+"""RunCache / simulate_program glue tests."""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.runner import RunCache, simulate_program
+from repro.workloads import TINY_SCALE, Variant
+from repro.workloads.suite import get
+
+
+def test_run_cache_reuses_builds():
+    cache = RunCache(scale=TINY_SCALE)
+    first = cache.built("addition", Variant.VIS)
+    second = cache.built("addition", Variant.VIS)
+    assert first is second
+    other = cache.built("addition", Variant.SCALAR)
+    assert other is not first
+
+
+def test_run_cache_validates_once_then_runs_fast():
+    cache = RunCache(scale=TINY_SCALE)
+    config = ProcessorConfig.ooo_4way()
+    mem = TINY_SCALE.memory_config()
+    stats = cache.run("scaling", Variant.VIS, config, mem)
+    assert cache._validated[("scaling", Variant.VIS)]
+    again = cache.run("scaling", Variant.VIS, config, mem)
+    assert again.cycles == stats.cycles
+
+
+def test_simulate_program_resets_machine_between_runs():
+    built = get("addition").build(Variant.SCALAR, TINY_SCALE)
+    config = ProcessorConfig.inorder_1way()
+    mem = TINY_SCALE.memory_config()
+    stats1, machine = simulate_program(built.program, config, mem)
+    stats2, _ = simulate_program(built.program, config, mem, machine=machine)
+    assert stats1.cycles == stats2.cycles
+    built.validate(machine)
+
+
+def test_stats_carry_benchmark_and_config_names():
+    cache = RunCache(scale=TINY_SCALE)
+    config = ProcessorConfig.inorder_4way()
+    stats = cache.run("thresh", Variant.SCALAR, config, TINY_SCALE.memory_config())
+    assert "thresh" in stats.benchmark
+    assert stats.config_name == "in-order 4-way"
+
+
+def test_validation_can_be_disabled():
+    cache = RunCache(scale=TINY_SCALE, validate=False)
+    config = ProcessorConfig.ooo_4way()
+    cache.run("addition", Variant.SCALAR, config, TINY_SCALE.memory_config())
+    assert not cache._validated

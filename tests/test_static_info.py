@@ -1,0 +1,86 @@
+"""StaticProgramInfo: the metadata contract between machine and CPU."""
+
+from repro.asm import ProgramBuilder
+from repro.sim import (
+    CAT_BRANCH,
+    CAT_FU,
+    CAT_MEMORY,
+    CAT_VIS,
+    FU_ADDR,
+    FU_INT,
+    FU_VADD,
+    FU_VMUL,
+    K_BRANCH,
+    K_LOAD,
+    K_PREFETCH,
+    K_SIMPLE,
+    K_STORE,
+    K_UNCOND,
+    StaticProgramInfo,
+)
+
+
+def build_sample():
+    b = ProgramBuilder()
+    b.buffer("buf", 64)
+    r, r2 = b.iregs(2)
+    f1, f2 = b.fregs(2)
+    label = b.label()
+    b.la(r, "buf")
+    b.ldb(r2, r)                 # load
+    b.add(r2, r2, 1)             # simple / int
+    b.stb(r2, r)                 # store
+    b.pf(r, 64)                  # prefetch
+    b.ldf(f1, r)                 # load into media reg
+    b.fpadd16(f2, f1, f1)        # VIS adder
+    b.fmul8x16(f2, f1, f1)       # VIS multiplier
+    b.beq(r2, 0, label)          # conditional branch
+    b.bind(label)
+    b.call(label)                # never returns here in test; static only
+    return b.build()
+
+
+def test_kinds_and_units():
+    program = build_sample()
+    info = StaticProgramInfo(program)
+    ops = {instr.op: i for i, instr in enumerate(program.instructions)}
+    assert info.kind[ops["ldb"]] == K_LOAD
+    assert info.kind[ops["stb"]] == K_STORE
+    assert info.kind[ops["pf"]] == K_PREFETCH
+    assert info.kind[ops["beq"]] == K_BRANCH
+    assert info.kind[ops["call"]] == K_UNCOND
+    assert info.kind[ops["add"]] == K_SIMPLE
+    assert info.fu[ops["add"]] == FU_INT
+    assert info.fu[ops["ldb"]] == FU_ADDR
+    assert info.fu[ops["fpadd16"]] == FU_VADD
+    assert info.fu[ops["fmul8x16"]] == FU_VMUL
+    assert info.is_call[ops["call"]]
+
+
+def test_categories_match_figure2():
+    program = build_sample()
+    info = StaticProgramInfo(program)
+    ops = {instr.op: i for i, instr in enumerate(program.instructions)}
+    assert info.category[ops["add"]] == CAT_FU
+    assert info.category[ops["ldb"]] == CAT_MEMORY
+    assert info.category[ops["pf"]] == CAT_MEMORY
+    assert info.category[ops["beq"]] == CAT_BRANCH
+    assert info.category[ops["fpadd16"]] == CAT_VIS
+
+
+def test_access_sizes():
+    program = build_sample()
+    info = StaticProgramInfo(program)
+    ops = {instr.op: i for i, instr in enumerate(program.instructions)}
+    assert info.size[ops["ldb"]] == 1
+    assert info.size[ops["ldf"]] == 8
+    assert info.size[ops["pf"]] == 64
+    assert info.size[ops["add"]] == 0
+
+
+def test_latencies_flattened():
+    program = build_sample()
+    info = StaticProgramInfo(program)
+    ops = {instr.op: i for i, instr in enumerate(program.instructions)}
+    assert info.latency[ops["fmul8x16"]] == 3
+    assert info.latency[ops["fpadd16"]] == 1

@@ -1,0 +1,151 @@
+"""Property tests: VIS packed semantics against numpy reference math.
+
+These are the contract that makes the benchmark validation meaningful:
+every packed operation must equal the element-wise scalar formulation.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.isa import vis
+from repro.isa.bits import MASK64, join16, s16, split8, split16
+
+u64s = st.integers(min_value=0, max_value=MASK64)
+lanes16 = st.lists(
+    st.integers(min_value=-32768, max_value=32767), min_size=4, max_size=4
+)
+
+
+def as_lanes(value):
+    return np.array([s16(v) for v in split16(value)], dtype=np.int64)
+
+
+@given(u64s, u64s)
+def test_fpadd16_is_lanewise_wraparound(a, b):
+    got = as_lanes(vis.fpadd16(a, b))
+    want = (as_lanes(a) + as_lanes(b)).astype(np.int16).astype(np.int64)
+    assert np.array_equal(got, want)
+
+
+@given(u64s, u64s)
+def test_fpsub16_is_lanewise_wraparound(a, b):
+    got = as_lanes(vis.fpsub16(a, b))
+    want = (as_lanes(a) - as_lanes(b)).astype(np.int16).astype(np.int64)
+    assert np.array_equal(got, want)
+
+
+@given(u64s, u64s)
+def test_fpadd32_wraparound(a, b):
+    got = vis.fpadd32(a, b)
+    for lane in range(2):
+        x = (a >> (32 * lane)) & 0xFFFFFFFF
+        y = (b >> (32 * lane)) & 0xFFFFFFFF
+        assert (got >> (32 * lane)) & 0xFFFFFFFF == (x + y) & 0xFFFFFFFF
+
+
+@given(lanes16, lanes16)
+def test_emulated_16x16_multiply_identity(xs, ys):
+    """fmul8sux16 + fmul8ulx16 + fpadd16 == (x*y) >> 8 per lane,
+    exactly — the identity the DCT and dotprod kernels rely on."""
+    a = join16([x & 0xFFFF for x in xs])
+    b = join16([y & 0xFFFF for y in ys])
+    got = vis.fpadd16(vis.fmul8sux16(a, b), vis.fmul8ulx16(a, b))
+    want = join16([((x * y) >> 8) & 0xFFFF for x, y in zip(xs, ys)])
+    assert got == want
+    assert got == vis.mul16x16_scaled(a, b)
+
+
+@given(
+    st.lists(st.integers(0, 255), min_size=4, max_size=4),
+    st.integers(min_value=-32768, max_value=32767),
+)
+def test_fmul8x16au_rounds_each_product(pixels, coeff):
+    a = sum(p << (8 * i) for i, p in enumerate(pixels))
+    b = (coeff & 0xFFFF) << 16
+    got = as_lanes(vis.fmul8x16au(a, b))
+    want = np.array(
+        [np.int16((p * coeff + 0x80) >> 8) for p in pixels], dtype=np.int64
+    )
+    assert np.array_equal(got, want)
+
+
+@given(lanes16, st.integers(0, 7))
+def test_fpack16_saturates(xs, scale):
+    a = join16([x & 0xFFFF for x in xs])
+    got = vis.fpack16(a, scale)
+    for i, x in enumerate(xs):
+        want = max(0, min(255, (x << scale) >> 7))
+        assert (got >> (8 * i)) & 0xFF == want
+
+
+@given(u64s)
+def test_fexpand_scales_by_16(a):
+    got = split16(vis.fexpand(a))
+    for i in range(4):
+        assert got[i] == ((a >> (8 * i)) & 0xFF) << 4
+
+
+@given(u64s, u64s, st.integers(0, 7))
+def test_faligndata_extracts_window(a, b, align):
+    combined = split8(a) + split8(b)
+    got = split8(vis.faligndata(a, b, align))
+    assert got == combined[align : align + 8]
+
+
+@given(u64s, u64s)
+def test_fpmerge_interleaves(a, b):
+    got = split8(vis.fpmerge(a, b))
+    a_bytes, b_bytes = split8(a)[:4], split8(b)[:4]
+    want = [v for pair in zip(a_bytes, b_bytes) for v in pair]
+    assert got == want
+
+
+@given(u64s, u64s)
+def test_fcmpgt16_mask(a, b):
+    mask = vis.fcmpgt16(a, b)
+    for i, (x, y) in enumerate(zip(split16(a), split16(b))):
+        assert bool(mask & (1 << i)) == (s16(x) > s16(y))
+
+
+@given(u64s, u64s)
+def test_fcmple16_complements_gt(a, b):
+    assert vis.fcmple16(a, b) == (~vis.fcmpgt16(a, b)) & 0xF
+
+
+@given(u64s, u64s, st.integers(0, 1 << 40))
+def test_pdist_accumulates_absolute_differences(a, b, acc):
+    got = vis.pdist(a, b, acc)
+    want = (acc + sum(abs(x - y) for x, y in zip(split8(a), split8(b)))) & MASK64
+    assert got == want
+
+
+def test_edge8_within_word():
+    # start offset 5, end offset 6 -> bytes 5 and 6
+    assert vis.edge8(0x1005, 0x1006) == 0b01100000
+    # full word
+    assert vis.edge8(0x1000, 0x100F) == 0xFF
+    # end before start's word
+    assert vis.edge8(0x1008, 0x1000) == 0
+
+
+def test_edge16_rounds_to_granule():
+    assert vis.edge16(0x1001, 0x1007) == 0b11111111
+    assert vis.edge16(0x1002, 0x1005) == 0b00111100
+
+
+@given(u64s, u64s, st.integers(0, 255))
+def test_partial_store_merge(old, new, mask):
+    got = split8(vis.partial_store_merge(old, new, mask))
+    for k in range(8):
+        want = split8(new)[k] if mask & (1 << k) else split8(old)[k]
+        assert got[k] == want
+
+
+@given(u64s, u64s)
+def test_logicals(a, b):
+    assert vis.fand(a, b) == a & b
+    assert vis.for_(a, b) == a | b
+    assert vis.fxor(a, b) == a ^ b
+    assert vis.fandnot(a, b) == ~a & b & MASK64
+    assert vis.fnot(a) == ~a & MASK64
