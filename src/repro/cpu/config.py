@@ -9,7 +9,9 @@ paper scales the number of functional units to one of each type
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
 
 from ..sim.static_info import FU_ADDR, FU_FP, FU_INT, FU_VADD, FU_VMUL, NUM_FU_TYPES
 
@@ -45,6 +47,25 @@ class ProcessorConfig:
         counts[FU_VADD] = self.vis_add_units
         counts[FU_VMUL] = self.vis_mul_units
         return counts
+
+    def to_dict(self) -> Dict:
+        """All fields, JSON-safe, suitable for round-tripping."""
+        return asdict(self)
+
+    def content_key(self) -> str:
+        """Canonical JSON of every timing-relevant field.
+
+        Used by the persistent simulation-result cache: two configs with
+        the same content key are guaranteed to produce identical timing.
+        The ``name`` label is deliberately *included* because experiment
+        tables key rows on it; renaming a config must not alias another
+        cache entry's row labels.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ProcessorConfig":
+        return cls(**data)
 
     # -- the three architecture variants of Figure 1 -----------------------
 

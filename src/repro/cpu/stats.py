@@ -134,6 +134,37 @@ class ExecutionStats:
     def speedup_over(self, other: "ExecutionStats") -> float:
         return other.cycles / self.cycles if self.cycles else float("inf")
 
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict for the persistent simulation-result cache."""
+        return {
+            "benchmark": self.benchmark,
+            "config_name": self.config_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "busy": self.busy,
+            "fu_stall": self.fu_stall,
+            "branch_stall": self.branch_stall,
+            "l1_hit_stall": self.l1_hit_stall,
+            "l1_miss_stall": self.l1_miss_stall,
+            "category_counts": dict(self.category_counts),
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "memory": self.memory.to_dict() if self.memory else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExecutionStats":
+        from ..mem.system import MemoryStats
+
+        data = dict(data)
+        memory = data.pop("memory", None)
+        return cls(
+            memory=MemoryStats.from_dict(memory) if memory else None,
+            **data,
+        )
+
     def check_consistency(self, tolerance: float = 1e-6) -> None:
         """The components must add up to the cycle count (paper's
         attribution is a complete partition of execution time)."""

@@ -2,6 +2,7 @@
 
 from .figures import (
     ARCH_CONFIGS,
+    BASELINE_CONFIG,
     ablation,
     branch_stats,
     cache_sweep,
@@ -10,10 +11,12 @@ from .figures import (
     figure3,
     mshr_study,
 )
+from .parallel import DiskCache, ParallelRunner, SimPoint
 from .runner import RunCache, simulate_program
 
 __all__ = [
     "ARCH_CONFIGS",
+    "BASELINE_CONFIG",
     "ablation",
     "branch_stats",
     "cache_sweep",
@@ -21,6 +24,9 @@ __all__ = [
     "figure2",
     "figure3",
     "mshr_study",
+    "DiskCache",
+    "ParallelRunner",
+    "SimPoint",
     "RunCache",
     "simulate_program",
 ]

@@ -5,12 +5,20 @@ Examples::
     python -m repro.experiments.cli figure1
     python -m repro.experiments.cli figure3 --scale small
     python -m repro.experiments.cli l2-sweep --benchmarks cjpeg djpeg
-    python -m repro.experiments.cli all --out results/
+    python -m repro.experiments.cli all --out results/ --jobs 8
+
+Simulation points fan out over ``--jobs`` worker processes and are
+memoised in a persistent on-disk cache (``<out>/.simcache/`` unless
+``--cache-dir`` overrides it), so re-runs only simulate points whose
+configuration actually changed.  ``--jobs 1`` and ``--jobs N`` produce
+byte-identical tables and CSVs.  ``--no-cache`` bypasses the disk
+cache entirely (reads *and* writes).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -20,26 +28,26 @@ from ..mem.config import MemoryConfig
 from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
 from ..workloads.suite import names
 from . import figures
+from .parallel import DEFAULT_CACHE_DIRNAME, DiskCache, ParallelRunner, print_progress
 from .report import format_table, write_csv
-from .runner import RunCache
 
 SCALES = {"default": DEFAULT_SCALE, "small": SMALL_SCALE, "tiny": TINY_SCALE}
 
 EXPERIMENTS = {
     "figure1": ("E1: normalized execution time (Figure 1)",
-                lambda cache, bm: figures.figure1(cache, bm)),
+                lambda runner, bm: figures.figure1(runner, bm)),
     "figure2": ("E2: dynamic instruction mix (Figure 2)",
-                lambda cache, bm: figures.figure2(cache, bm)),
+                lambda runner, bm: figures.figure2(runner, bm)),
     "figure3": ("E3: software prefetching (Figure 3)",
-                lambda cache, bm: figures.figure3(cache, bm)),
+                lambda runner, bm: figures.figure3(runner, bm)),
     "l2-sweep": ("E4: L2 cache-size sweep (Section 4.1)",
-                 lambda cache, bm: figures.cache_sweep(cache, "l2", bm)),
+                 lambda runner, bm: figures.cache_sweep(runner, "l2", bm)),
     "l1-sweep": ("E5: L1 cache-size sweep (Section 4.1)",
-                 lambda cache, bm: figures.cache_sweep(cache, "l1", bm)),
+                 lambda runner, bm: figures.cache_sweep(runner, "l1", bm)),
     "branch-stats": ("E7: branch misprediction rates (Section 3.2.2)",
-                     lambda cache, bm: figures.branch_stats(cache, bm)),
+                     lambda runner, bm: figures.branch_stats(runner, bm)),
     "mshr": ("E8: MSHR occupancy / load-miss overlap (Section 3.1)",
-             lambda cache, bm: figures.mshr_study(cache, bm)),
+             lambda runner, bm: figures.mshr_study(runner, bm)),
 }
 
 
@@ -77,6 +85,25 @@ def main(argv=None) -> int:
         "--no-validate", action="store_true",
         help="skip functional output validation (faster re-runs)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for simulation points "
+             "(default: os.cpu_count(); 1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent simulation-result cache "
+             "(neither read nor write records)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=f"persistent cache location "
+             f"(default: <out>/{DEFAULT_CACHE_DIRNAME})",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-point progress lines on stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "params":
@@ -84,7 +111,18 @@ def main(argv=None) -> int:
         return 0
 
     scale = SCALES[args.scale]
-    cache = RunCache(scale=scale, validate=not args.no_validate)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME)
+        cache = DiskCache(cache_dir)
+    runner = ParallelRunner(
+        scale=scale,
+        jobs=jobs,
+        cache=cache,
+        validate=not args.no_validate,
+        progress=None if args.quiet else print_progress(),
+    )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.experiment == "ablation":
@@ -97,7 +135,7 @@ def main(argv=None) -> int:
             headers, rows, _ = figures.ablation(None, scale)
         else:
             title, fn = EXPERIMENTS[key]
-            headers, rows, _ = fn(cache, benchmarks)
+            headers, rows, _ = fn(runner, benchmarks)
         print()
         print(format_table(headers, rows, title=f"{title} [scale={args.scale}]"))
         csv_path = write_csv(
@@ -105,6 +143,14 @@ def main(argv=None) -> int:
             headers, rows,
         )
         print(f"[{time.time() - start:6.1f}s] wrote {csv_path}")
+
+    if runner.simulated or runner.cache_hits:
+        print(
+            f"\npoints: {runner.simulated} simulated, "
+            f"{runner.cache_hits} from cache"
+            + ("" if cache is not None else " (persistent cache disabled)"),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -3,6 +3,15 @@
 Each driver returns ``(headers, rows, text)`` so the CLI can print the
 table and write a CSV, and the pytest benchmarks can assert on the
 numbers.  See DESIGN.md's per-experiment index (E1..E10).
+
+Drivers are written in two phases so the grid can run on any point
+runner: first *enumerate* every simulation point of the figure as a
+:class:`~repro.experiments.parallel.SimPoint`, then hand the whole
+grid to ``runner.run_points()`` — either the in-process serial
+:class:`~repro.experiments.runner.RunCache` or the multi-process,
+disk-cached :class:`~repro.experiments.parallel.ParallelRunner` — and
+assemble rows from the returned stats, which align 1:1 with the
+enumerated points regardless of completion order.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ from ..mem.config import MemoryConfig
 from ..workloads.base import Variant
 from ..workloads.params import WorkloadScale
 from ..workloads.suite import KERNEL_NAMES, PREFETCH_NAMES, names
-from .runner import RunCache
+from .parallel import SimPoint
 
 #: Figure 1's three architecture variants, in paper order.
 ARCH_CONFIGS = (
@@ -23,96 +32,126 @@ ARCH_CONFIGS = (
     ProcessorConfig.ooo_4way(),
 )
 
+#: Figure 1's normalization baseline (Section 3: times are "normalized
+#: to the base machine"): the single-issue in-order scalar run.
+BASELINE_CONFIG = ARCH_CONFIGS[0]
+
 
 def figure1(
-    cache: RunCache,
+    runner,
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E1 — normalized execution time, six bars per benchmark with the
     Busy / FU-stall / L1-hit / L1-miss breakdown."""
-    mem = cache.scale.memory_config()
+    scale = runner.scale
+    mem = scale.memory_config()
     headers = [
         "benchmark", "variant", "config", "norm time",
         "busy", "fu stall", "l1 hit", "l1 miss", "cycles",
     ]
+    grid = [
+        (name, variant, config)
+        for name in (benchmarks or names())
+        for variant in (Variant.SCALAR, Variant.VIS)
+        for config in ARCH_CONFIGS
+    ]
+    stats_list = runner.run_points(
+        [SimPoint(n, v, c, mem, scale) for n, v, c in grid]
+    )
+    raw: Dict = {
+        (n, v, c.name): stats for (n, v, c), stats in zip(grid, stats_list)
+    }
     rows: List[List] = []
-    raw: Dict = {}
-    for name in benchmarks or names():
-        base_cycles = None
-        for variant in (Variant.SCALAR, Variant.VIS):
-            for config in ARCH_CONFIGS:
-                stats = cache.run(name, variant, config, mem)
-                if base_cycles is None:
-                    base_cycles = stats.cycles
-                comp = stats.components_normalized(base_cycles)
-                rows.append([
-                    name,
-                    "VIS" if variant is Variant.VIS else "base",
-                    config.name,
-                    f"{100 * stats.cycles / base_cycles:.1f}",
-                    f"{comp['Busy']:.1f}",
-                    f"{comp['FU stall']:.1f}",
-                    f"{comp['L1 hit']:.1f}",
-                    f"{comp['L1 miss']:.1f}",
-                    stats.cycles,
-                ])
-                raw[(name, variant, config.name)] = stats
+    for name, variant, config in grid:
+        # Normalize against the explicit base machine (scalar on the
+        # 1-way in-order config), not whichever point completed first —
+        # out-of-order completion in parallel mode must not change the
+        # normalized columns.
+        base_cycles = raw[(name, Variant.SCALAR, BASELINE_CONFIG.name)].cycles
+        stats = raw[(name, variant, config.name)]
+        comp = stats.components_normalized(base_cycles)
+        rows.append([
+            name,
+            "VIS" if variant is Variant.VIS else "base",
+            config.name,
+            f"{100 * stats.cycles / base_cycles:.1f}",
+            f"{comp['Busy']:.1f}",
+            f"{comp['FU stall']:.1f}",
+            f"{comp['L1 hit']:.1f}",
+            f"{comp['L1 miss']:.1f}",
+            stats.cycles,
+        ])
     return headers, rows, raw
 
 
 def figure2(
-    cache: RunCache,
+    runner,
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E2 — dynamic retired-instruction mix (FU / Branch / Memory /
     VIS), base vs. VIS on the 4-way out-of-order processor."""
-    mem = cache.scale.memory_config()
+    scale = runner.scale
+    mem = scale.memory_config()
     config = ProcessorConfig.ooo_4way()
     headers = [
         "benchmark", "variant", "total %", "FU", "Branch", "Memory", "VIS",
         "instructions",
     ]
+    grid = [
+        (name, variant)
+        for name in (benchmarks or names())
+        for variant in (Variant.SCALAR, Variant.VIS)
+    ]
+    stats_list = runner.run_points(
+        [SimPoint(n, v, config, mem, scale) for n, v in grid]
+    )
+    raw: Dict = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
-    raw: Dict = {}
-    for name in benchmarks or names():
-        base_total = None
-        for variant in (Variant.SCALAR, Variant.VIS):
-            stats = cache.run(name, variant, config, mem)
-            counts = stats.category_counts
-            total = stats.instructions
-            if base_total is None:
-                base_total = total
-            rows.append([
-                name,
-                "VIS" if variant is Variant.VIS else "base",
-                f"{100 * total / base_total:.1f}",
-                counts["FU"],
-                counts["Branch"],
-                counts["Memory"],
-                counts["VIS"],
-                total,
-            ])
-            raw[(name, variant)] = stats
+    for name, variant in grid:
+        stats = raw[(name, variant)]
+        base_total = raw[(name, Variant.SCALAR)].instructions
+        counts = stats.category_counts
+        rows.append([
+            name,
+            "VIS" if variant is Variant.VIS else "base",
+            f"{100 * stats.instructions / base_total:.1f}",
+            counts["FU"],
+            counts["Branch"],
+            counts["Memory"],
+            counts["VIS"],
+            stats.instructions,
+        ])
     return headers, rows, raw
 
 
 def figure3(
-    cache: RunCache,
+    runner,
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E3 — software prefetching: VIS vs VIS+PF on the 4-way
     out-of-order processor (the 9 benchmarks with memory stall time)."""
-    mem = cache.scale.memory_config()
+    scale = runner.scale
+    mem = scale.memory_config()
     config = ProcessorConfig.ooo_4way()
     headers = [
         "benchmark", "variant", "norm time", "busy", "fu stall",
         "l1 hit", "l1 miss", "pf issued", "pf late",
     ]
+    bench_names = tuple(benchmarks or PREFETCH_NAMES)
+    grid = [
+        (name, variant)
+        for name in bench_names
+        for variant in (Variant.VIS, Variant.VIS_PREFETCH)
+    ]
+    stats_list = runner.run_points(
+        [SimPoint(n, v, config, mem, scale) for n, v in grid]
+    )
+    by_key = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
     raw: Dict = {}
-    for name in benchmarks or PREFETCH_NAMES:
-        base = cache.run(name, Variant.VIS, config, mem)
-        pf = cache.run(name, Variant.VIS_PREFETCH, config, mem)
+    for name in bench_names:
+        base = by_key[(name, Variant.VIS)]
+        pf = by_key[(name, Variant.VIS_PREFETCH)]
         for label, stats in (("VIS", base), ("+PF", pf)):
             comp = stats.components_normalized(base.cycles)
             rows.append([
@@ -130,15 +169,16 @@ def figure3(
 
 
 def cache_sweep(
-    cache: RunCache,
+    runner,
     level: str = "l2",
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E4/E5 — L2 (or L1) capacity sweep on the VIS + out-of-order
     system.  Capacities are the scaled equivalents of the paper's
     128K..2M (L2) and 1K..64K (L1) ranges."""
+    scale = runner.scale
     config = ProcessorConfig.ooo_4way()
-    base_mem = cache.scale.memory_config()
+    base_mem = scale.memory_config()
     if level == "l2":
         sizes = [base_mem.l2_size * (1 << k) for k in range(5)]
         make = base_mem.with_l2_size
@@ -154,14 +194,15 @@ def cache_sweep(
     headers = ["benchmark"] + [
         f"{size}B (~{paper // 1024}K)" for size, paper in zip(sizes, paper_sizes)
     ] + ["speedup largest/smallest"]
+    bench_names = tuple(benchmarks or names())
+    grid = [(name, size) for name in bench_names for size in sizes]
+    stats_list = runner.run_points(
+        [SimPoint(n, Variant.VIS, config, make(s), scale) for n, s in grid]
+    )
+    raw: Dict = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
-    raw: Dict = {}
-    for name in benchmarks or names():
-        cycles = []
-        for size in sizes:
-            stats = cache.run(name, Variant.VIS, config, make(size))
-            cycles.append(stats.cycles)
-            raw[(name, size)] = stats
+    for name in bench_names:
+        cycles = [raw[(name, size)].cycles for size in sizes]
         rows.append(
             [name]
             + [f"{100 * c / cycles[0]:.1f}" for c in cycles]
@@ -171,20 +212,31 @@ def cache_sweep(
 
 
 def branch_stats(
-    cache: RunCache,
+    runner,
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E7 — branch misprediction rates, base vs VIS (Section 3.2.2:
     conv 10%->0%, thresh 6%->0%, mpeg-enc 27%->10%)."""
-    mem = cache.scale.memory_config()
+    scale = runner.scale
+    mem = scale.memory_config()
     config = ProcessorConfig.ooo_4way()
     headers = ["benchmark", "base mispredict", "VIS mispredict",
                "base branches", "VIS branches"]
+    bench_names = tuple(benchmarks or names())
+    grid = [
+        (name, variant)
+        for name in bench_names
+        for variant in (Variant.SCALAR, Variant.VIS)
+    ]
+    stats_list = runner.run_points(
+        [SimPoint(n, v, config, mem, scale) for n, v in grid]
+    )
+    by_key = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
     raw: Dict = {}
-    for name in benchmarks or names():
-        base = cache.run(name, Variant.SCALAR, config, mem)
-        vis = cache.run(name, Variant.VIS, config, mem)
+    for name in bench_names:
+        base = by_key[(name, Variant.SCALAR)]
+        vis = by_key[(name, Variant.VIS)]
         rows.append([
             name,
             f"{base.mispredict_rate:.1%}",
@@ -197,34 +249,41 @@ def branch_stats(
 
 
 def mshr_study(
-    cache: RunCache,
+    runner,
     benchmarks: Tuple[str, ...] = None,
 ) -> Tuple[List[str], List[List], Dict]:
     """E8 — load-miss overlap and MSHR contention (Section 3.1: 2-3
     overlapped misses typical; write backup causes contention)."""
-    mem = cache.scale.memory_config()
+    scale = runner.scale
+    mem = scale.memory_config()
     config = ProcessorConfig.ooo_4way()
     headers = [
         "benchmark", "variant", "max overlap", "mean overlap",
         "mshr-full stalls", "combine-limit stalls", "l1 miss rate",
     ]
+    grid = [
+        (name, variant)
+        for name in (benchmarks or names())
+        for variant in (Variant.SCALAR, Variant.VIS, Variant.VIS_PREFETCH)
+    ]
+    stats_list = runner.run_points(
+        [SimPoint(n, v, config, mem, scale) for n, v in grid]
+    )
+    raw: Dict = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
-    raw: Dict = {}
-    for name in benchmarks or names():
-        for variant in (Variant.SCALAR, Variant.VIS, Variant.VIS_PREFETCH):
-            stats = cache.run(name, variant, config, mem)
-            overlap = stats.memory.load_miss_overlap
-            total = sum(overlap.values()) or 1
-            mean = sum(k * v for k, v in overlap.items()) / total
-            rows.append([
-                name, variant.value,
-                stats.memory.max_load_miss_overlap,
-                f"{mean:.2f}",
-                stats.memory.mshr_full_stalls,
-                stats.memory.combine_limit_stalls,
-                f"{stats.memory.l1_miss_rate:.3f}",
-            ])
-            raw[(name, variant)] = stats
+    for name, variant in grid:
+        stats = raw[(name, variant)]
+        overlap = stats.memory.load_miss_overlap
+        total = sum(overlap.values()) or 1
+        mean = sum(k * v for k, v in overlap.items()) / total
+        rows.append([
+            name, variant.value,
+            stats.memory.max_load_miss_overlap,
+            f"{mean:.2f}",
+            stats.memory.mshr_full_stalls,
+            stats.memory.combine_limit_stalls,
+            f"{stats.memory.l1_miss_rate:.3f}",
+        ])
     return headers, rows, raw
 
 
@@ -233,7 +292,11 @@ def ablation(
     scale: WorkloadScale,
 ) -> Tuple[List[str], List[List], Dict]:
     """E10 — footnote 3: effect of stream skewing + unrolling on the
-    scalar kernels (paper: 1.2x-6.7x from these source tweaks)."""
+    scalar kernels (paper: 1.2x-6.7x from these source tweaks).
+
+    Runs outside the point grid: the skew/unroll build knobs are not
+    part of :class:`SimPoint`, so these runs are never disk-cached.
+    """
     from ..workloads.suite import get
 
     mem = scale.memory_config()

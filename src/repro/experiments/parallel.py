@@ -1,0 +1,414 @@
+"""Parallel experiment runner + persistent on-disk simulation cache.
+
+The figure drivers (:mod:`repro.experiments.figures`) describe their
+work as a grid of independent *simulation points* — (benchmark,
+variant, processor config, memory config, workload scale) tuples whose
+timing results are pure functions of those inputs.  This module
+exploits that purity twice:
+
+* :class:`ParallelRunner` fans the points of a grid out over a
+  ``ProcessPoolExecutor`` (``--jobs`` on the CLI, default
+  ``os.cpu_count()``) and merges the resulting
+  :class:`~repro.cpu.stats.ExecutionStats` back **in enumeration
+  order**, so serial and parallel runs produce byte-identical tables
+  and CSVs regardless of completion order.
+
+* :class:`DiskCache` persists each point's stats as a JSON record under
+  ``results/.simcache/`` keyed by a content hash of every
+  timing-relevant input (processor + memory configs, workload scale,
+  benchmark, variant, and the workload registry version).  Repeated
+  CLI runs, the pytest-benchmark harness, and the golden-figure
+  regression tests all skip already-simulated points.  Writes are
+  atomic (temp file + ``os.replace``), loads are corruption-tolerant
+  (a truncated or garbled record is treated as a miss and rewritten),
+  and a version stamp invalidates the whole cache when the record
+  format or the workload registry changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cpu.config import ProcessorConfig
+from ..cpu.stats import ExecutionStats
+from ..mem.config import MemoryConfig
+from ..workloads.base import Variant
+from ..workloads.params import DEFAULT_SCALE, WorkloadScale
+from ..workloads.suite import REGISTRY_VERSION
+from .runner import RunCache
+
+#: Bump when the on-disk record layout changes; combined with
+#: :data:`repro.workloads.suite.REGISTRY_VERSION` into the cache stamp.
+CACHE_FORMAT_VERSION = 1
+
+#: Default location of the persistent cache, relative to the CLI's
+#: output directory.
+DEFAULT_CACHE_DIRNAME = ".simcache"
+
+
+# ---------------------------------------------------------------------------
+# Simulation points
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One independent cell of an experiment grid.
+
+    Pure and picklable: everything the timing result depends on is a
+    field, so a point can be shipped to a worker process or hashed into
+    a persistent cache key.
+    """
+
+    benchmark: str
+    variant: Variant
+    cpu: ProcessorConfig
+    mem: MemoryConfig
+    scale: WorkloadScale
+
+    def describe(self) -> Dict:
+        """The full JSON-safe description hashed into the cache key."""
+        return {
+            "benchmark": self.benchmark,
+            "variant": self.variant.value,
+            "cpu": self.cpu.to_dict(),
+            "mem": self.mem.to_dict(),
+            "scale": self.scale.to_dict(),
+            "registry_version": REGISTRY_VERSION,
+        }
+
+    def content_key(self) -> str:
+        """Stable hex digest of :meth:`describe`; the cache filename."""
+        blob = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Human-readable progress label."""
+        return f"{self.benchmark}[{self.variant.value}]@{self.cpu.name}"
+
+
+# ---------------------------------------------------------------------------
+# Persistent on-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class DiskCache:
+    """JSON-record store for simulated :class:`ExecutionStats`.
+
+    Layout::
+
+        <root>/CACHE_VERSION     # "<format>.<registry>" stamp
+        <root>/<sha256>.json     # one record per simulation point
+
+    Records carry the point description alongside the stats so the
+    cache is self-describing (``jq .point`` shows what produced a
+    record).  Any unreadable record — truncated write, garbled JSON,
+    stale schema — is treated as a miss and overwritten on the next
+    store; the cache never raises on load.
+    """
+
+    STAMP_NAME = "CACHE_VERSION"
+
+    def __init__(self, root, registry_version: int = REGISTRY_VERSION) -> None:
+        self.root = Path(root)
+        self.version = f"{CACHE_FORMAT_VERSION}.{registry_version}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._ensure_stamp()
+
+    # -- invalidation stamp -------------------------------------------------
+
+    def _ensure_stamp(self) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        stamp = self.root / self.STAMP_NAME
+        try:
+            current = stamp.read_text().strip()
+        except OSError:
+            current = None
+        if current != self.version:
+            if current is not None:
+                self.clear()
+            self._atomic_write(stamp, self.version)
+
+    def clear(self) -> int:
+        """Drop every record (keeps the directory); returns the count."""
+        dropped = 0
+        for record in self.root.glob("*.json"):
+            try:
+                record.unlink()
+                dropped += 1
+            except OSError:
+                pass
+        return dropped
+
+    # -- records ------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[ExecutionStats]:
+        """Return the cached stats for ``key``, or ``None`` on any
+        miss — including corrupted, truncated, or mismatched records."""
+        try:
+            with open(self.path_for(key), "r") as f:
+                record = json.load(f)
+            if record.get("key") != key or record.get("version") != self.version:
+                raise ValueError("stale or mismatched record")
+            stats = ExecutionStats.from_dict(record["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def store(
+        self,
+        key: str,
+        stats: ExecutionStats,
+        point: Optional[SimPoint] = None,
+        elapsed: Optional[float] = None,
+    ) -> Path:
+        """Atomically persist one record (write temp + ``os.replace``),
+        so a crash mid-write can never leave a half-record behind."""
+        record = {
+            "version": self.version,
+            "key": key,
+            "point": point.describe() if point is not None else None,
+            "elapsed_s": elapsed,
+            "stats": stats.to_dict(),
+        }
+        path = self.path_for(key)
+        self._atomic_write(path, json.dumps(record, sort_keys=True))
+        self.stores += 1
+        return path
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process build/validation caches, keyed by scale content
+#: key so a worker reuses expensive codec program construction across
+#: the points it is handed.
+_WORKER_CACHES: Dict[str, RunCache] = {}
+
+
+def _simulate_point(
+    point: SimPoint, validate: bool
+) -> Tuple[ExecutionStats, float]:
+    """Top-level (picklable) worker entry: simulate one point."""
+    cache_key = point.scale.content_key()
+    cache = _WORKER_CACHES.get(cache_key)
+    if cache is None or cache.validate != validate:
+        cache = RunCache(scale=point.scale, validate=validate)
+        _WORKER_CACHES[cache_key] = cache
+    start = time.perf_counter()
+    stats = cache.run(point.benchmark, point.variant, point.cpu, point.mem)
+    return stats, time.perf_counter() - start
+
+
+#: Progress callback signature: (k, n, point, elapsed_s, cached).
+ProgressFn = Callable[[int, int, SimPoint, float, bool], None]
+
+
+def print_progress(stream=None) -> ProgressFn:
+    """The CLI's reporter: ``[k/n] label ... 1.24s`` or ``(cached)``."""
+    import sys
+
+    out = stream or sys.stderr
+
+    def report(k: int, n: int, point: SimPoint, elapsed: float, cached: bool):
+        suffix = "(cached)" if cached else f"{elapsed:.2f}s"
+        print(f"[{k}/{n}] {point.label()} ... {suffix}", file=out, flush=True)
+
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParallelRunner:
+    """Run simulation-point grids, in parallel, through the disk cache.
+
+    Implements the same point-running protocol as
+    :class:`~repro.experiments.runner.RunCache` (``.scale`` +
+    ``.run_points()``), so every figure driver accepts either.
+
+    * ``jobs <= 1`` runs in-process through a private :class:`RunCache`
+      (shared workload builds, functional validation) — identical to
+      the legacy serial path.
+    * ``jobs > 1`` fans un-cached points out over a process pool and
+      merges results back in enumeration order, so output is
+      byte-identical to the serial path.
+    """
+
+    scale: WorkloadScale = DEFAULT_SCALE
+    jobs: int = 1
+    cache: Optional[DiskCache] = None
+    validate: bool = True
+    progress: Optional[ProgressFn] = None
+    #: points simulated (cache misses) across the runner's lifetime
+    simulated: int = 0
+    #: points served from the persistent cache
+    cache_hits: int = 0
+    _local: Optional[RunCache] = field(default=None, repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        scale: WorkloadScale = DEFAULT_SCALE,
+        jobs: Optional[int] = None,
+        cache_dir=None,
+        validate: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ) -> "ParallelRunner":
+        """Convenience constructor mirroring the CLI flags."""
+        return cls(
+            scale=scale,
+            jobs=jobs if jobs is not None else (os.cpu_count() or 1),
+            cache=DiskCache(cache_dir) if cache_dir is not None else None,
+            validate=validate,
+            progress=progress,
+        )
+
+    # -- protocol -----------------------------------------------------------
+
+    def run(
+        self,
+        name: str,
+        variant: Variant,
+        cpu_config: ProcessorConfig,
+        mem_config: MemoryConfig,
+    ) -> ExecutionStats:
+        """Single-point convenience (RunCache-compatible)."""
+        point = SimPoint(name, variant, cpu_config, mem_config, self.scale)
+        return self.run_points([point])[0]
+
+    def run_points(self, points: Sequence[SimPoint]) -> List[ExecutionStats]:
+        """Resolve every point; results align 1:1 with ``points``."""
+        points = list(points)
+        n = len(points)
+        results: List[Optional[ExecutionStats]] = [None] * n
+        reported = 0
+
+        # Phase 1: persistent-cache lookups, in enumeration order.
+        keys = [p.content_key() for p in points]
+        todo: Dict[str, List[int]] = {}  # key -> indices needing it
+        for i, (point, key) in enumerate(zip(points, keys)):
+            if key in todo:  # duplicate within this grid
+                todo[key].append(i)
+                continue
+            stats = self.cache.load(key) if self.cache is not None else None
+            if stats is not None:
+                results[i] = stats
+                self.cache_hits += 1
+                reported += 1
+                self._report(reported, n, point, 0.0, cached=True)
+            else:
+                todo[key] = [i]
+
+        # Phase 2: simulate the misses (one run per unique key).
+        if todo:
+            reported = self._simulate(points, keys, todo, results, reported, n)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- internals ----------------------------------------------------------
+
+    def _report(
+        self, k: int, n: int, point: SimPoint, elapsed: float, cached: bool
+    ) -> None:
+        if self.progress is not None:
+            self.progress(k, n, point, elapsed, cached)
+
+    def _finish(
+        self,
+        key: str,
+        indices: List[int],
+        stats: ExecutionStats,
+        elapsed: float,
+        points: List[SimPoint],
+        results: List[Optional[ExecutionStats]],
+    ) -> None:
+        for idx in indices:
+            results[idx] = stats
+        self.simulated += 1
+        if self.cache is not None:
+            self.cache.store(key, stats, point=points[indices[0]], elapsed=elapsed)
+
+    def _simulate(
+        self,
+        points: List[SimPoint],
+        keys: List[str],
+        todo: Dict[str, List[int]],
+        results: List[Optional[ExecutionStats]],
+        reported: int,
+        n: int,
+    ) -> int:
+        ordered = list(todo.items())  # enumeration order (dict is ordered)
+        if self.jobs <= 1 or len(ordered) == 1:
+            if self._local is None or self._local.scale != self.scale:
+                self._local = RunCache(scale=self.scale, validate=self.validate)
+            for key, indices in ordered:
+                point = points[indices[0]]
+                start = time.perf_counter()
+                stats = self._local.run(
+                    point.benchmark, point.variant, point.cpu, point.mem
+                )
+                elapsed = time.perf_counter() - start
+                self._finish(key, indices, stats, elapsed, points, results)
+                reported += 1
+                self._report(reported, n, point, elapsed, cached=False)
+            return reported
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(_simulate_point, points[indices[0]], self.validate):
+                    (key, indices)
+                for key, indices in ordered
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key, indices = futures[future]
+                    stats, elapsed = future.result()
+                    self._finish(key, indices, stats, elapsed, points, results)
+                    reported += 1
+                    self._report(
+                        reported, n, points[indices[0]], elapsed, cached=False
+                    )
+        return reported

@@ -69,3 +69,13 @@ class RunCache:
             built.validate(machine)
             self._validated[key] = True
         return stats
+
+    def run_points(self, points) -> list:
+        """Serial point-running protocol (see
+        :class:`repro.experiments.parallel.ParallelRunner` for the
+        parallel, disk-cached implementation): resolve a sequence of
+        :class:`~repro.experiments.parallel.SimPoint` in enumeration
+        order."""
+        return [
+            self.run(p.benchmark, p.variant, p.cpu, p.mem) for p in points
+        ]

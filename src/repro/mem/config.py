@@ -6,7 +6,9 @@ nanosecond figures of Table 3 are used directly as cycle counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -54,6 +56,19 @@ class MemoryConfig:
     @property
     def l2_sets(self) -> int:
         return self.l2_size // (self.line_size * self.l2_assoc)
+
+    def to_dict(self) -> Dict:
+        """All fields, JSON-safe, suitable for round-tripping."""
+        return asdict(self)
+
+    def content_key(self) -> str:
+        """Canonical JSON of every timing-relevant field (see
+        :meth:`repro.cpu.config.ProcessorConfig.content_key`)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MemoryConfig":
+        return cls(**data)
 
     def with_l1_size(self, size: int) -> "MemoryConfig":
         return replace(self, l1_size=size)

@@ -20,7 +20,7 @@ components (L1-hit stall vs. L1-miss stall).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .config import MemoryConfig
@@ -135,6 +135,21 @@ class MemoryStats:
     @property
     def max_load_miss_overlap(self) -> int:
         return max(self.load_miss_overlap, default=0)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict (histogram keys become strings in JSON;
+        :meth:`from_dict` restores them to ints)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "MemoryStats":
+        data = dict(data)
+        for histogram in ("load_miss_overlap", "mshr_occupancy"):
+            if histogram in data:
+                data[histogram] = {
+                    int(k): v for k, v in data[histogram].items()
+                }
+        return cls(**data)
 
 
 class MemorySystem:

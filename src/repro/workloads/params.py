@@ -14,7 +14,9 @@ would require a 4M cache").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict
 
 from ..mem.config import MemoryConfig, PAPER_DEFAULT
 
@@ -48,6 +50,23 @@ class WorkloadScale:
     def memory_config(self, base: MemoryConfig = PAPER_DEFAULT) -> MemoryConfig:
         """The cache configuration matched to this workload scale."""
         return base.scaled(self.factor)
+
+    def to_dict(self) -> Dict:
+        """All fields, JSON-safe, suitable for round-tripping."""
+        return asdict(self)
+
+    def content_key(self) -> str:
+        """Canonical JSON of every field that shapes generated programs.
+
+        Every geometry knob feeds code generation (loop trip counts,
+        unrolled tails, prefetch distances), so all fields participate.
+        Used by the persistent simulation-result cache.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "WorkloadScale":
+        return cls(**data)
 
 
 #: Default experiment scale: area and caches / 64 relative to the paper

@@ -16,6 +16,13 @@ from .kernels import (
 )
 from .mpeg import MpegDecWorkload, MpegEncWorkload
 
+#: Version stamp for the persistent simulation-result cache
+#: (``repro.experiments.parallel``).  Bump whenever benchmark code
+#: generation changes in a way that alters emitted programs — cached
+#: :class:`~repro.cpu.stats.ExecutionStats` keyed under an older
+#: version are invalidated wholesale.
+REGISTRY_VERSION = 1
+
 #: paper order: image processing, image source coding, video source coding.
 ALL_WORKLOADS: List[Workload] = [
     AdditionWorkload(),

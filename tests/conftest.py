@@ -1,0 +1,11 @@
+"""Shared pytest configuration for the unit/integration suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.csv from the current timing models "
+             "instead of comparing against them (then commit the diff)",
+    )

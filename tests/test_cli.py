@@ -31,6 +31,20 @@ def test_branch_stats_subset(tmp_path, capsys):
     assert "thresh" in capsys.readouterr().out
 
 
+def test_parallel_jobs_match_serial(tmp_path, capsys):
+    """--jobs 2 fans out over real worker processes and must write the
+    same CSV bytes as --jobs 1."""
+    common = [
+        "figure2", "--scale", "tiny", "--benchmarks", "addition", "thresh",
+        "--no-cache", "--quiet",
+    ]
+    assert main(common + ["--out", str(tmp_path / "serial"), "--jobs", "1"]) == 0
+    assert main(common + ["--out", str(tmp_path / "par"), "--jobs", "2"]) == 0
+    serial = (tmp_path / "serial" / "figure2_tiny.csv").read_bytes()
+    parallel = (tmp_path / "par" / "figure2_tiny.csv").read_bytes()
+    assert serial == parallel
+
+
 def test_unknown_experiment_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-experiment"])

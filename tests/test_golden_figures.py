@@ -1,0 +1,92 @@
+"""Golden-figure regression suite.
+
+Regenerates Figure 1, Figure 2, Figure 3 and both cache sweeps over
+the **full** benchmark grid at the tiny scale and compares every table
+row-for-row against the committed fixtures in ``tests/golden/``.  The
+timing models are deterministic, so any diff here means a refactor
+changed the paper's reproduced numbers — deliberately or not.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_figures.py --regen-golden
+    git diff tests/golden/        # inspect what moved, then commit
+
+The whole module shares one disk-cached runner, so points shared
+between figures (e.g. every figure2 point is also a figure1 point) are
+simulated exactly once.
+"""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.parallel import DiskCache, ParallelRunner
+from repro.experiments.report import write_csv
+from repro.workloads.params import TINY_SCALE
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: name -> driver over the full default benchmark set.
+GOLDEN_FIGURES = {
+    "figure1": lambda runner: figures.figure1(runner),
+    "figure2": lambda runner: figures.figure2(runner),
+    "figure3": lambda runner: figures.figure3(runner),
+    "l2_sweep": lambda runner: figures.cache_sweep(runner, "l2"),
+    "l1_sweep": lambda runner: figures.cache_sweep(runner, "l1"),
+}
+
+#: figure1 first so the shared cache pre-pays figure2's entire grid.
+ORDER = ("figure1", "figure2", "figure3", "l2_sweep", "l1_sweep")
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    cache = DiskCache(tmp_path_factory.mktemp("simcache"))
+    return ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}_tiny.csv"
+
+
+def _read_golden(path: Path):
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        rows = list(reader)
+    return rows[0], rows[1:]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ORDER)
+def test_golden_figure(name, runner, request):
+    headers, rows, _raw = GOLDEN_FIGURES[name](runner)
+    produced = [[str(cell) for cell in row] for row in rows]
+    path = _golden_path(name)
+
+    if request.config.getoption("--regen-golden"):
+        write_csv(path, headers, produced)
+        pytest.skip(f"regenerated {path}")
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest tests/test_golden_figures.py --regen-golden"
+    )
+    golden_headers, golden_rows = _read_golden(path)
+    assert list(headers) == golden_headers, f"{name}: header drift"
+    assert len(produced) == len(golden_rows), (
+        f"{name}: row count {len(produced)} != golden {len(golden_rows)}"
+    )
+    for i, (got, want) in enumerate(zip(produced, golden_rows)):
+        assert got == want, (
+            f"{name} row {i} drifted:\n  got  {got}\n  want {want}"
+        )
+
+
+@pytest.mark.slow
+def test_all_goldens_committed():
+    """Every figure in the suite has a committed fixture (catches a
+    --regen-golden run that was never followed by a commit)."""
+    missing = [n for n in GOLDEN_FIGURES if not _golden_path(n).exists()]
+    assert not missing, f"missing golden fixtures: {missing}"

@@ -1,0 +1,117 @@
+"""Serial/parallel equivalence of the experiment runner.
+
+The tentpole guarantee: ``ParallelRunner(jobs=1)``, ``jobs=4`` (real
+process fan-out) and the legacy in-process ``RunCache`` path all
+produce *identical* stats, table rows and headers for the same grid,
+and repeated runs are deterministic.
+"""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments import figures
+from repro.experiments.parallel import ParallelRunner, SimPoint
+from repro.experiments.runner import RunCache
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+
+SUBSET = ("addition", "thresh")
+CONFIGS = (ProcessorConfig.inorder_1way(), ProcessorConfig.ooo_4way())
+
+
+def _sample_grid():
+    """A sampled sub-grid: 2 benchmarks x 2 variants x 2 configs."""
+    mem = TINY_SCALE.memory_config()
+    return [
+        SimPoint(name, variant, config, mem, TINY_SCALE)
+        for name in SUBSET
+        for variant in (Variant.SCALAR, Variant.VIS)
+        for config in CONFIGS
+    ]
+
+
+def _fingerprint(stats_list):
+    return [s.to_dict() for s in stats_list]
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_stats(self):
+        """Legacy serial path: the in-process RunCache."""
+        return RunCache(scale=TINY_SCALE).run_points(_sample_grid())
+
+    def test_jobs1_matches_legacy_serial(self, serial_stats):
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+        got = runner.run_points(_sample_grid())
+        assert _fingerprint(got) == _fingerprint(serial_stats)
+
+    def test_jobs4_matches_legacy_serial(self, serial_stats):
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=4)
+        got = runner.run_points(_sample_grid())
+        assert _fingerprint(got) == _fingerprint(serial_stats)
+
+    def test_repeated_runs_deterministic(self):
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=4)
+        first = runner.run_points(_sample_grid())
+        second = runner.run_points(_sample_grid())
+        assert _fingerprint(first) == _fingerprint(second)
+
+    def test_results_align_with_enumeration_order(self, serial_stats):
+        """Merging is positional: stats[i] answers points[i]."""
+        points = _sample_grid()
+        for point, stats in zip(points, serial_stats):
+            assert stats.benchmark == f"{point.benchmark}[{point.variant.value}]"
+            assert stats.config_name == point.cpu.name
+
+
+class TestDriverEquivalence:
+    """Whole-driver check: figure tables are byte-identical across
+    runner implementations."""
+
+    def test_figure1_rows_identical(self):
+        serial = figures.figure1(RunCache(scale=TINY_SCALE), benchmarks=SUBSET)
+        parallel = figures.figure1(
+            ParallelRunner(scale=TINY_SCALE, jobs=4), benchmarks=SUBSET
+        )
+        assert serial[0] == parallel[0]  # headers
+        assert serial[1] == parallel[1]  # rows
+
+    def test_figure1_baseline_is_explicit(self):
+        """The normalization baseline is the 1-way in-order scalar run
+        by construction, not an artifact of completion order: the
+        baseline row reads exactly 100.0."""
+        _h, rows, raw = figures.figure1(
+            ParallelRunner(scale=TINY_SCALE, jobs=1), benchmarks=("thresh",)
+        )
+        baseline_rows = [
+            r for r in rows if r[1] == "base" and r[2] == "in-order 1-way"
+        ]
+        assert baseline_rows and all(r[3] == "100.0" for r in baseline_rows)
+        base = raw[("thresh", Variant.SCALAR, "in-order 1-way")]
+        for (name, variant, config_name), stats in raw.items():
+            expected = f"{100 * stats.cycles / base.cycles:.1f}"
+            row = next(
+                r for r in rows
+                if r[0] == name and r[2] == config_name
+                and r[1] == ("VIS" if variant is Variant.VIS else "base")
+            )
+            assert row[3] == expected
+
+
+class TestSimPoint:
+    def test_points_are_picklable(self):
+        import pickle
+
+        point = _sample_grid()[0]
+        assert pickle.loads(pickle.dumps(point)) == point
+
+    def test_duplicate_points_simulated_once(self):
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+        point = _sample_grid()[0]
+        results = runner.run_points([point, point, point])
+        assert runner.simulated == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_label(self):
+        point = _sample_grid()[0]
+        assert point.label() == "addition[scalar]@in-order 1-way"

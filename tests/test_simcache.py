@@ -1,0 +1,231 @@
+"""Persistent simulation-result cache correctness.
+
+What must hold (ISSUE satellite): content-key changes on *any* config
+field miss; corrupted/truncated records are ignored and rewritten, not
+fatal; disabling the cache bypasses reads and writes; the version
+stamp invalidates wholesale.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.mem.config import MemoryConfig
+from repro.experiments.parallel import (
+    CACHE_FORMAT_VERSION,
+    DiskCache,
+    ParallelRunner,
+    SimPoint,
+)
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import REGISTRY_VERSION
+
+
+def _point(**overrides):
+    fields = dict(
+        benchmark="addition",
+        variant=Variant.SCALAR,
+        cpu=ProcessorConfig.ooo_4way(),
+        mem=TINY_SCALE.memory_config(),
+        scale=TINY_SCALE,
+    )
+    fields.update(overrides)
+    return SimPoint(**fields)
+
+
+@pytest.fixture(scope="module")
+def baseline_stats():
+    """One real simulated point (module-cached: simulate once)."""
+    runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+    return runner.run_points([_point()])[0]
+
+
+class TestContentKey:
+    def test_stable_across_instances(self):
+        assert _point().content_key() == _point().content_key()
+
+    def test_benchmark_and_variant_change_key(self):
+        base = _point().content_key()
+        assert _point(benchmark="thresh").content_key() != base
+        assert _point(variant=Variant.VIS).content_key() != base
+
+    @pytest.mark.parametrize(
+        "field", [f.name for f in dataclasses.fields(ProcessorConfig)]
+    )
+    def test_every_processor_field_changes_key(self, field):
+        cpu = ProcessorConfig.ooo_4way()
+        value = getattr(cpu, field)
+        bumped = "x" + value if isinstance(value, str) else value + 1
+        if isinstance(value, bool):
+            bumped = not value
+        changed = dataclasses.replace(cpu, **{field: bumped})
+        assert _point(cpu=changed).content_key() != _point().content_key()
+
+    @pytest.mark.parametrize(
+        "field",
+        ["line_size", "l1_size", "l1_assoc", "l1_hit_cycles", "l2_size",
+         "l2_mshrs", "mem_latency_cycles", "mem_banks"],
+    )
+    def test_memory_fields_change_key(self, field):
+        # paper-default geometry: roomy enough that doubling any of the
+        # size/assoc knobs keeps the config valid
+        mem = MemoryConfig()
+        doubled = field in ("line_size", "l1_size", "l1_assoc", "l2_size")
+        value = getattr(mem, field) * 2 if doubled else getattr(mem, field) + 1
+        changed = dataclasses.replace(mem, **{field: value})
+        assert _point(mem=changed).content_key() != \
+            _point(mem=mem).content_key()
+
+    @pytest.mark.parametrize(
+        "field", ["factor", "kernel_width", "dotprod_length", "pf_distance"]
+    )
+    def test_scale_fields_change_key(self, field):
+        scale = dataclasses.replace(
+            TINY_SCALE, **{field: getattr(TINY_SCALE, field) + 16}
+        )
+        assert _point(scale=scale).content_key() != _point().content_key()
+
+    def test_registry_version_in_key_material(self):
+        assert _point().describe()["registry_version"] == REGISTRY_VERSION
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        assert cache.load(key) is None
+        cache.store(key, baseline_stats, point=_point(), elapsed=0.5)
+        loaded = cache.load(key)
+        assert loaded == baseline_stats
+        assert loaded.memory.load_miss_overlap == \
+            baseline_stats.memory.load_miss_overlap  # int keys restored
+
+    def test_atomic_store_leaves_no_temp_files(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        cache.store(_point().content_key(), baseline_stats)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_corrupted_record_ignored_and_rewritten(
+        self, tmp_path, baseline_stats
+    ):
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        cache.store(key, baseline_stats)
+        cache.path_for(key).write_text("{this is not json")
+        assert cache.load(key) is None  # not an exception
+        cache.store(key, baseline_stats)
+        assert cache.load(key) == baseline_stats
+
+    def test_truncated_record_ignored(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        path = cache.store(key, baseline_stats)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(key) is None
+
+    def test_wrong_key_record_ignored(self, tmp_path, baseline_stats):
+        """A record whose embedded key mismatches its filename (e.g. a
+        manually copied file) is treated as a miss."""
+        cache = DiskCache(tmp_path)
+        other = _point(benchmark="thresh").content_key()
+        cache.store(other, baseline_stats)
+        key = _point().content_key()
+        cache.path_for(other).rename(cache.path_for(key))
+        assert cache.load(key) is None
+
+    def test_version_stamp_invalidates_wholesale(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        cache.store(key, baseline_stats)
+        assert len(cache) == 1
+        # a registry bump (new benchmark codegen) drops every record
+        newer = DiskCache(tmp_path, registry_version=REGISTRY_VERSION + 1)
+        assert len(newer) == 0
+        assert newer.load(key) is None
+        stamp = (tmp_path / DiskCache.STAMP_NAME).read_text().strip()
+        assert stamp == f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION + 1}"
+
+    def test_record_is_self_describing(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        point = _point()
+        path = cache.store(point.content_key(), baseline_stats, point=point)
+        record = json.loads(path.read_text())
+        assert record["point"]["benchmark"] == "addition"
+        assert record["point"]["scale"] == TINY_SCALE.to_dict()
+
+
+class TestRunnerCacheBehaviour:
+    def test_warm_cache_skips_simulation(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cold = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        first = cold.run_points([_point()])
+        assert (cold.simulated, cold.cache_hits) == (1, 0)
+        warm = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        second = warm.run_points([_point()])
+        assert (warm.simulated, warm.cache_hits) == (0, 1)
+        assert first[0] == second[0]
+
+    def test_cached_stats_are_actually_read(self, tmp_path, baseline_stats):
+        """Prove hits come from disk: poison the record, observe the
+        poisoned value served."""
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        poisoned = dataclasses.replace(baseline_stats, cycles=123456789)
+        cache.store(key, poisoned)
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        assert runner.run_points([_point()])[0].cycles == 123456789
+
+    def test_no_cache_bypasses_reads_and_writes(self, tmp_path, baseline_stats):
+        cache = DiskCache(tmp_path)
+        poisoned = dataclasses.replace(baseline_stats, cycles=123456789)
+        cache.store(_point().content_key(), poisoned)
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=None)
+        stats = runner.run_points([_point()])[0]
+        assert stats.cycles != 123456789      # read bypassed
+        assert stats == baseline_stats
+        record = json.loads(cache.path_for(_point().content_key()).read_text())
+        assert record["stats"]["cycles"] == 123456789  # write bypassed
+
+    def test_config_change_misses(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        runner.run_points([_point()])
+        changed = dataclasses.replace(
+            ProcessorConfig.ooo_4way(), window_size=32
+        )
+        runner.run_points([_point(cpu=changed)])
+        assert runner.simulated == 2  # second point was not served stale
+
+
+class TestCliIntegration:
+    def test_no_cache_flag_creates_nothing(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        cache_dir = tmp_path / "simcache"
+        code = main([
+            "figure2", "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(tmp_path / "out"), "--no-cache",
+            "--cache-dir", str(cache_dir), "--jobs", "1", "--quiet",
+        ])
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_cache_dir_flag_populates(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        cache_dir = tmp_path / "simcache"
+        args = [
+            "figure2", "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(tmp_path / "out"), "--cache-dir", str(cache_dir),
+            "--jobs", "1", "--quiet",
+        ]
+        assert main(args) == 0
+        records = list(cache_dir.glob("*.json"))
+        assert len(records) == 2  # addition x {scalar, vis} @ ooo-4way
+        first = (tmp_path / "out" / "figure2_tiny.csv").read_text()
+        # warm rerun: identical CSV from a fully cached grid
+        assert main(args) == 0
+        assert (tmp_path / "out" / "figure2_tiny.csv").read_text() == first
