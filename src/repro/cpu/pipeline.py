@@ -55,10 +55,15 @@ class _BaseModel:
         info: StaticProgramInfo,
         config: ProcessorConfig,
         memory: MemorySystem,
+        tracer=None,
     ) -> None:
         self.info = info
         self.config = config
         self.memory = memory
+        #: optional :class:`repro.trace.Tracer`; when ``None`` (the
+        #: default) the models pay a single local ``is not None`` test
+        #: per instruction — nothing else.
+        self.tracer = tracer
         self.predictor = AgreePredictor(config.predictor_size)
         self.ras = ReturnAddressStack(config.ras_size)
         self.retire = RetireUnit(config.issue_width)
@@ -122,6 +127,7 @@ class InOrderModel(_BaseModel):
         memq_size = config.mem_queue_size
         memq = [0] * memq_size
         mem_index = 0
+        tracer = self.tracer
 
         fetch_ready = 0
         redirect_until = -1
@@ -227,6 +233,10 @@ class InOrderModel(_BaseModel):
 
                 retire_at = complete if k != K_STORE else issue + 1
                 retire.retire(retire_at, cls)
+                if tracer is not None:
+                    tracer.instr(
+                        sidx, earliest, issue, complete, retire_at, cls, aux
+                    )
 
         return self._finish(benchmark)
 
@@ -264,6 +274,7 @@ class OutOfOrderModel(_BaseModel):
         memq_size = config.mem_queue_size
         memq = [0] * memq_size
         mem_index = 0
+        tracer = self.tracer
         retire_ring = [0] * window
         index = 0
         branch_ring = [0] * config.max_speculated_branches
@@ -391,6 +402,10 @@ class OutOfOrderModel(_BaseModel):
                 retire_at = issue + 1 if k == K_STORE else complete
                 retire_ring[index % window] = retire.retire(retire_at, cls)
                 index += 1
+                if tracer is not None:
+                    tracer.instr(
+                        sidx, dispatch, issue, complete, retire_at, cls, aux
+                    )
 
         return self._finish(benchmark)
 
@@ -399,8 +414,9 @@ def make_model(
     info: StaticProgramInfo,
     config: ProcessorConfig,
     memory: MemorySystem,
+    tracer=None,
 ):
     """Instantiate the right pipeline for ``config``."""
     if config.out_of_order:
-        return OutOfOrderModel(info, config, memory)
-    return InOrderModel(info, config, memory)
+        return OutOfOrderModel(info, config, memory, tracer=tracer)
+    return InOrderModel(info, config, memory, tracer=tracer)

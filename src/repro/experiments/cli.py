@@ -7,12 +7,24 @@ Examples::
     python -m repro.experiments.cli l2-sweep --benchmarks cjpeg djpeg
     python -m repro.experiments.cli all --out results/ --jobs 8
 
+    # audited run: every simulated point's stall/instruction
+    # decomposition is re-derived from the event stream and must match
+    python -m repro.experiments.cli all --scale tiny --audit --no-cache
+
+    # record a per-cycle JSONL trace, then render the stall report
+    python -m repro.experiments.cli trace --scale tiny \\
+        --benchmarks addition --variant vis --trace-out addition.jsonl
+    python -m repro.experiments.cli trace --trace-in addition.jsonl
+
 Simulation points fan out over ``--jobs`` worker processes and are
 memoised in a persistent on-disk cache (``<out>/.simcache/`` unless
 ``--cache-dir`` overrides it), so re-runs only simulate points whose
 configuration actually changed.  ``--jobs 1`` and ``--jobs N`` produce
 byte-identical tables and CSVs.  ``--no-cache`` bypasses the disk
 cache entirely (reads *and* writes).
+
+Exit codes: 0 success, 2 argument errors, 3 attribution-audit
+divergence (``--audit``).
 """
 
 from __future__ import annotations
@@ -25,6 +37,8 @@ from pathlib import Path
 
 from ..cpu.config import ProcessorConfig
 from ..mem.config import MemoryConfig
+from ..trace import AuditError, JsonlSink, Tracer
+from ..workloads.base import Variant
 from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
 from ..workloads.suite import names
 from . import figures
@@ -32,6 +46,16 @@ from .parallel import DEFAULT_CACHE_DIRNAME, DiskCache, ParallelRunner, print_pr
 from .report import format_table, write_csv
 
 SCALES = {"default": DEFAULT_SCALE, "small": SMALL_SCALE, "tiny": TINY_SCALE}
+
+#: --config choices for the ``trace`` subcommand.
+TRACE_CONFIGS = {
+    "inorder-1way": ProcessorConfig.inorder_1way,
+    "inorder-4way": ProcessorConfig.inorder_4way,
+    "ooo-4way": ProcessorConfig.ooo_4way,
+}
+
+#: exit code for an attribution-audit divergence
+EXIT_AUDIT_DIVERGENCE = 3
 
 EXPERIMENTS = {
     "figure1": ("E1: normalized execution time (Figure 1)",
@@ -70,7 +94,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all"],
+        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace"],
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="default",
@@ -104,6 +128,43 @@ def main(argv=None) -> int:
         "--quiet", action="store_true",
         help="suppress per-point progress lines on stderr",
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="re-derive every simulated point's stall/instruction "
+             "decomposition from the per-cycle event stream and fail "
+             f"(exit {EXIT_AUDIT_DIVERGENCE}) on any divergence",
+    )
+    trace_group = parser.add_argument_group(
+        "trace subcommand",
+        "record a per-cycle JSONL trace of one benchmark and/or render "
+        "the timeline + top-stall-sites report from an existing trace",
+    )
+    trace_group.add_argument(
+        "--variant", choices=[v.value for v in Variant], default="vis",
+        help="program variant to trace (default: vis)",
+    )
+    trace_group.add_argument(
+        "--config", choices=sorted(TRACE_CONFIGS), default="ooo-4way",
+        help="processor configuration to trace (default: ooo-4way)",
+    )
+    trace_group.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="JSONL trace output path "
+             "(default: <out>/trace_<benchmark>_<variant>.jsonl)",
+    )
+    trace_group.add_argument(
+        "--trace-in", default=None, metavar="PATH",
+        help="render the report from this existing JSONL trace "
+             "instead of simulating",
+    )
+    trace_group.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="stall sites to show in the trace report (default: 10)",
+    )
+    trace_group.add_argument(
+        "--timeline", type=int, default=24, metavar="N",
+        help="instructions in the trace-report timeline (default: 24)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "params":
@@ -111,6 +172,13 @@ def main(argv=None) -> int:
         return 0
 
     scale = SCALES[args.scale]
+    if args.experiment == "trace":
+        try:
+            return _run_trace(args, scale, parser)
+        except AuditError as exc:
+            print(f"AUDIT FAILURE: {exc}", file=sys.stderr)
+            return EXIT_AUDIT_DIVERGENCE
+
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = None
     if not args.no_cache:
@@ -121,6 +189,7 @@ def main(argv=None) -> int:
         jobs=jobs,
         cache=cache,
         validate=not args.no_validate,
+        audit=args.audit,
         progress=None if args.quiet else print_progress(),
     )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
@@ -128,21 +197,25 @@ def main(argv=None) -> int:
     if args.experiment == "ablation":
         todo = ["ablation"]
 
-    for key in todo:
-        start = time.time()
-        if key == "ablation":
-            title = "E10: footnote-3 source-tuning ablation"
-            headers, rows, _ = figures.ablation(None, scale)
-        else:
-            title, fn = EXPERIMENTS[key]
-            headers, rows, _ = fn(runner, benchmarks)
-        print()
-        print(format_table(headers, rows, title=f"{title} [scale={args.scale}]"))
-        csv_path = write_csv(
-            Path(args.out) / f"{key.replace('-', '_')}_{args.scale}.csv",
-            headers, rows,
-        )
-        print(f"[{time.time() - start:6.1f}s] wrote {csv_path}")
+    try:
+        for key in todo:
+            start = time.time()
+            if key == "ablation":
+                title = "E10: footnote-3 source-tuning ablation"
+                headers, rows, _ = figures.ablation(None, scale)
+            else:
+                title, fn = EXPERIMENTS[key]
+                headers, rows, _ = fn(runner, benchmarks)
+            print()
+            print(format_table(headers, rows, title=f"{title} [scale={args.scale}]"))
+            csv_path = write_csv(
+                Path(args.out) / f"{key.replace('-', '_')}_{args.scale}.csv",
+                headers, rows,
+            )
+            print(f"[{time.time() - start:6.1f}s] wrote {csv_path}")
+    except AuditError as exc:
+        print(f"AUDIT FAILURE: {exc}", file=sys.stderr)
+        return EXIT_AUDIT_DIVERGENCE
 
     if runner.simulated or runner.cache_hits:
         print(
@@ -151,6 +224,67 @@ def main(argv=None) -> int:
             + ("" if cache is not None else " (persistent cache disabled)"),
             file=sys.stderr,
         )
+    if args.audit:
+        print(
+            f"audit: {runner.simulated} simulated point(s) audited, "
+            f"zero divergences"
+            + (
+                f" ({runner.cache_hits} cached point(s) skipped; "
+                f"use --no-cache to re-audit)"
+                if runner.cache_hits else ""
+            ),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _run_trace(args, scale, parser) -> int:
+    """The ``trace`` subcommand: record and/or report."""
+    from ..trace.report import render_report
+
+    trace_path = args.trace_in
+    if trace_path is None:
+        # Record mode: simulate one benchmark with a JSONL sink attached.
+        from ..sim.static_info import StaticProgramInfo
+        from ..workloads.suite import get
+        from .runner import audited_simulate
+
+        if not args.benchmarks:
+            parser.error(
+                "trace needs either --trace-in <file> to analyze or "
+                "--benchmarks <name> to record"
+            )
+        benchmark = args.benchmarks[0]
+        variant = Variant(args.variant)
+        cpu = TRACE_CONFIGS[args.config]()
+        mem = scale.memory_config()
+        built = get(benchmark).build(variant, scale)
+        info = StaticProgramInfo(built.program)
+        trace_path = args.trace_out or (
+            Path(args.out)
+            / f"trace_{benchmark}_{args.variant.replace('+', '_')}.jsonl"
+        )
+        sink = JsonlSink(trace_path, header={
+            "benchmark": benchmark,
+            "variant": args.variant,
+            "config": cpu.name,
+            "scale": scale.to_dict(),
+            "width": cpu.issue_width,
+            "ops": list(info.op_name),
+        })
+        tracer = Tracer(info, cpu.issue_width, sinks=[sink])
+        stats, report, _machine = audited_simulate(
+            built.program, cpu, mem,
+            benchmark=f"{benchmark}[{args.variant}]",
+            tracer=tracer,
+        )
+        print(report.summary(), file=sys.stderr)
+        print(
+            f"wrote {sink.events_written} events to {trace_path}",
+            file=sys.stderr,
+        )
+
+    print(render_report(trace_path, top=args.top, timeline=args.timeline))
     return 0
 
 

@@ -223,13 +223,13 @@ _WORKER_CACHES: Dict[str, RunCache] = {}
 
 
 def _simulate_point(
-    point: SimPoint, validate: bool
+    point: SimPoint, validate: bool, audit: bool = False
 ) -> Tuple[ExecutionStats, float]:
     """Top-level (picklable) worker entry: simulate one point."""
     cache_key = point.scale.content_key()
     cache = _WORKER_CACHES.get(cache_key)
-    if cache is None or cache.validate != validate:
-        cache = RunCache(scale=point.scale, validate=validate)
+    if cache is None or cache.validate != validate or cache.audit != audit:
+        cache = RunCache(scale=point.scale, validate=validate, audit=audit)
         _WORKER_CACHES[cache_key] = cache
     start = time.perf_counter()
     stats = cache.run(point.benchmark, point.variant, point.cpu, point.mem)
@@ -278,6 +278,11 @@ class ParallelRunner:
     jobs: int = 1
     cache: Optional[DiskCache] = None
     validate: bool = True
+    #: audit every *simulated* point against the event-stream
+    #: recomputation (``--audit``); points served from the persistent
+    #: cache were audited when they were first simulated with auditing
+    #: on — combine with ``--no-cache`` to force a full re-audit.
+    audit: bool = False
     progress: Optional[ProgressFn] = None
     #: points simulated (cache misses) across the runner's lifetime
     simulated: int = 0
@@ -293,6 +298,7 @@ class ParallelRunner:
         cache_dir=None,
         validate: bool = True,
         progress: Optional[ProgressFn] = None,
+        audit: bool = False,
     ) -> "ParallelRunner":
         """Convenience constructor mirroring the CLI flags."""
         return cls(
@@ -301,6 +307,7 @@ class ParallelRunner:
             cache=DiskCache(cache_dir) if cache_dir is not None else None,
             validate=validate,
             progress=progress,
+            audit=audit,
         )
 
     # -- protocol -----------------------------------------------------------
@@ -380,8 +387,14 @@ class ParallelRunner:
     ) -> int:
         ordered = list(todo.items())  # enumeration order (dict is ordered)
         if self.jobs <= 1 or len(ordered) == 1:
-            if self._local is None or self._local.scale != self.scale:
-                self._local = RunCache(scale=self.scale, validate=self.validate)
+            if (
+                self._local is None
+                or self._local.scale != self.scale
+                or self._local.audit != self.audit
+            ):
+                self._local = RunCache(
+                    scale=self.scale, validate=self.validate, audit=self.audit
+                )
             for key, indices in ordered:
                 point = points[indices[0]]
                 start = time.perf_counter()
@@ -396,8 +409,10 @@ class ParallelRunner:
 
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
-                pool.submit(_simulate_point, points[indices[0]], self.validate):
-                    (key, indices)
+                pool.submit(
+                    _simulate_point, points[indices[0]], self.validate,
+                    self.audit,
+                ): (key, indices)
                 for key, indices in ordered
             }
             pending = set(futures)

@@ -1,5 +1,11 @@
 """Glue: build a benchmark, run it functionally, feed the trace to a
-timing model, validate the output, return :class:`ExecutionStats`."""
+timing model, validate the output, return :class:`ExecutionStats`.
+
+With ``audit=True`` (or an explicit :class:`~repro.trace.Tracer`)
+every run also streams per-cycle events through the tracing layer and
+:func:`repro.trace.audit.audit_run` proves the stall/instruction
+decompositions conserve exactly — any divergence raises
+:class:`~repro.trace.AuditError`."""
 
 from __future__ import annotations
 
@@ -13,6 +19,7 @@ from ..mem.config import MemoryConfig
 from ..mem.system import MemorySystem
 from ..sim.machine import Machine
 from ..sim.static_info import StaticProgramInfo
+from ..trace import AuditReport, Tracer, audit_run
 from ..workloads.base import BuiltWorkload, Variant
 from ..workloads.params import DEFAULT_SCALE, WorkloadScale
 from ..workloads.suite import get
@@ -24,16 +31,66 @@ def simulate_program(
     mem_config: MemoryConfig,
     benchmark: str = "",
     machine: Optional[Machine] = None,
+    tracer: Optional[Tracer] = None,
+    audit: bool = False,
 ) -> Tuple[ExecutionStats, Machine]:
-    """Run one program through the functional machine + timing model."""
+    """Run one program through the functional machine + timing model.
+
+    ``tracer`` attaches an existing :class:`~repro.trace.Tracer` (with
+    whatever sinks it carries); ``audit=True`` builds one on the fly if
+    needed and raises :class:`~repro.trace.AuditError` on any
+    attribution divergence.  With neither, the timing hot paths run
+    exactly as before — tracing is strictly pay-for-use.
+    """
+    stats, machine, _report = _simulate(
+        program, cpu_config, mem_config, benchmark, machine, tracer, audit
+    )
+    return stats, machine
+
+
+def audited_simulate(
+    program,
+    cpu_config: ProcessorConfig,
+    mem_config: MemoryConfig,
+    benchmark: str = "",
+    machine: Optional[Machine] = None,
+    tracer: Optional[Tracer] = None,
+) -> Tuple[ExecutionStats, AuditReport, Machine]:
+    """Like :func:`simulate_program` with ``audit=True``, but also
+    returns the :class:`~repro.trace.AuditReport` (already verified)."""
+    stats, machine, report = _simulate(
+        program, cpu_config, mem_config, benchmark, machine, tracer, True
+    )
+    assert report is not None
+    return stats, report, machine
+
+
+def _simulate(
+    program,
+    cpu_config: ProcessorConfig,
+    mem_config: MemoryConfig,
+    benchmark: str,
+    machine: Optional[Machine],
+    tracer: Optional[Tracer],
+    audit: bool,
+) -> Tuple[ExecutionStats, Machine, Optional[AuditReport]]:
     machine = machine or Machine(program)
     machine.reset()
     info = StaticProgramInfo(program)
-    memory = MemorySystem(mem_config)
-    model = make_model(info, cpu_config, memory)
-    stats = model.simulate(machine.run(), benchmark or program.name)
+    if tracer is None and audit:
+        tracer = Tracer(info, cpu_config.issue_width)
+    memory = MemorySystem(mem_config, tracer=tracer)
+    model = make_model(info, cpu_config, memory, tracer=tracer)
+    stats = model.simulate(
+        machine.run(observer=tracer), benchmark or program.name
+    )
     stats.check_consistency()
-    return stats, machine
+    report = None
+    if tracer is not None:
+        tracer.close()
+        if audit:
+            report = audit_run(stats, tracer).raise_if_failed()
+    return stats, machine, report
 
 
 @dataclass
@@ -43,6 +100,10 @@ class RunCache:
 
     scale: WorkloadScale = DEFAULT_SCALE
     validate: bool = True
+    #: when True every run is audited against the event-stream
+    #: recomputation (raises :class:`~repro.trace.AuditError` on any
+    #: attribution divergence)
+    audit: bool = False
     _built: Dict[Tuple[str, Variant], BuiltWorkload] = field(default_factory=dict)
     _validated: Dict[Tuple[str, Variant], bool] = field(default_factory=dict)
 
@@ -63,6 +124,7 @@ class RunCache:
         stats, machine = simulate_program(
             built.program, cpu_config, mem_config,
             benchmark=f"{name}[{variant.value}]",
+            audit=self.audit,
         )
         key = (name, variant)
         if self.validate and not self._validated.get(key):

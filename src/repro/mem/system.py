@@ -155,7 +155,7 @@ class MemoryStats:
 class MemorySystem:
     """Event-based timing model of the full hierarchy."""
 
-    def __init__(self, config: MemoryConfig) -> None:
+    def __init__(self, config: MemoryConfig, tracer=None) -> None:
         self.config = config
         self._line_shift = config.line_size.bit_length() - 1
         if (1 << self._line_shift) != config.line_size:
@@ -169,6 +169,12 @@ class MemorySystem:
         self._l2_mshrs: Dict[int, _MshrEntry] = {}
         self._prefetched_lines: Dict[int, bool] = {}  # line -> consumed?
         self.stats = MemoryStats()
+        #: optional :class:`repro.trace.Tracer`.  When set, ``access``
+        #: is shadowed by the traced wrapper on this *instance*, so the
+        #: untraced hot path pays nothing — not even a None test.
+        self._tracer = tracer
+        if tracer is not None:
+            self.access = self._traced_access  # type: ignore[method-assign]
 
     # -- helpers ---------------------------------------------------------------
 
@@ -279,6 +285,13 @@ class MemorySystem:
         if victim is not None and victim[1]:
             self._writeback(victim[0], fill_ready)
         return fill_ready, level
+
+    def _traced_access(self, kind: int, addr: int, cycle: int) -> Tuple[int, int]:
+        """``access`` plus one EV_MEM trace event per request (installed
+        as the instance's ``access`` when a tracer is attached)."""
+        done, level = MemorySystem.access(self, kind, addr, cycle)
+        self._tracer.mem(kind, addr, cycle, done, level)
+        return done, level
 
     # -- internals -------------------------------------------------------------------
 

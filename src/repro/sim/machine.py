@@ -84,11 +84,20 @@ class Machine:
         self,
         max_instructions: int = 200_000_000,
         chunk_size: int = 1 << 16,
+        observer=None,
     ) -> Iterator[List[Event]]:
         """Execute from the entry point, yielding trace chunks.
 
         Each yielded list is reused storage: consume (or copy) it before
         advancing the generator.
+
+        ``observer`` (optional, e.g. a :class:`repro.trace.Tracer`) is
+        notified once per yielded chunk via
+        ``observer.on_functional_chunk(len(chunk))`` — the audit layer
+        uses this to prove the timing models retire exactly the
+        instructions the functional machine executed.  The check is
+        per-chunk, not per-instruction, so it costs nothing in the
+        interpreter loop.
         """
         events = self._events
         events.clear()
@@ -100,6 +109,8 @@ class Machine:
                 pc = code[pc]()
                 executed += 1
                 if len(events) >= chunk_size:
+                    if observer is not None:
+                        observer.on_functional_chunk(len(events))
                     yield events
                     events.clear()
                 if executed > max_instructions:
@@ -114,6 +125,8 @@ class Machine:
         # The final halt is not traced.
         self.instruction_count += executed - 1
         if events:
+            if observer is not None:
+                observer.on_functional_chunk(len(events))
             yield events
             events.clear()
 

@@ -1,0 +1,86 @@
+"""``repro.trace`` — cycle-attribution tracing and stall accounting.
+
+A zero-overhead-when-disabled observability layer threaded through the
+CPU pipelines (:mod:`repro.cpu.pipeline`), the functional machine
+(:mod:`repro.sim.machine`) and the memory hierarchy
+(:mod:`repro.mem.system`):
+
+* :class:`Tracer` expands each retired instruction into structured
+  per-cycle events (fetch / issue / stall-begin / stall-end / retire,
+  with stall-cause attribution) plus one event per memory access;
+* pluggable sinks consume the stream — :class:`RingBufferSink` for
+  tests, :class:`JsonlSink` for offline analysis, and
+  :class:`StreamingAggregator`, which independently recomputes the
+  run's :class:`~repro.cpu.stats.ExecutionStats` decomposition;
+* :func:`audit_run` proves, per run, that the components sum exactly
+  to the totals (cycle + instruction + memory conservation) and that
+  the model counters match the event-stream recomputation.
+
+The offline report renderer lives in :mod:`repro.trace.report`
+(imported lazily to keep package init cycle-free).
+
+Usage::
+
+    from repro.trace import Tracer, RingBufferSink, audit_run
+    from repro.experiments.runner import simulate_program
+
+    stats, _ = simulate_program(program, cpu, mem, audit=True)  # raises
+                                                                # on any
+                                                                # divergence
+"""
+
+from .aggregate import StreamingAggregator
+from .audit import (
+    AUDIT_SUMMARY_HEADERS,
+    AuditError,
+    AuditReport,
+    Divergence,
+    audit_run,
+    audit_summary_row,
+)
+from .events import (
+    CAUSE_NAMES,
+    EV_FETCH,
+    EV_ISSUE,
+    EV_MEM,
+    EV_RETIRE,
+    EV_STALL_BEGIN,
+    EV_STALL_END,
+    EVENT_NAMES,
+    TraceEvent,
+)
+from .sinks import (
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TRACE_FORMAT_VERSION,
+    TraceSink,
+    read_jsonl,
+)
+from .tracer import Tracer
+
+__all__ = [
+    "StreamingAggregator",
+    "AUDIT_SUMMARY_HEADERS",
+    "AuditError",
+    "AuditReport",
+    "Divergence",
+    "audit_run",
+    "audit_summary_row",
+    "CAUSE_NAMES",
+    "EV_FETCH",
+    "EV_ISSUE",
+    "EV_MEM",
+    "EV_RETIRE",
+    "EV_STALL_BEGIN",
+    "EV_STALL_END",
+    "EVENT_NAMES",
+    "TraceEvent",
+    "JsonlSink",
+    "NullSink",
+    "RingBufferSink",
+    "TRACE_FORMAT_VERSION",
+    "TraceSink",
+    "read_jsonl",
+    "Tracer",
+]

@@ -1,0 +1,91 @@
+"""Streaming aggregator: recompute ExecutionStats from the event stream.
+
+:class:`StreamingAggregator` is a :class:`~repro.trace.sinks.TraceSink`
+that consumes the expanded event stream and *independently* rebuilds
+the run's headline accounting — retired instructions, total cycles,
+busy time, the four stall components, and the Figure 2 category mix —
+purely from ``EV_RETIRE`` / ``EV_STALL_END`` / ``EV_MEM`` events.
+
+It never looks at :class:`~repro.cpu.stats.RetireUnit` or the models'
+counters, so comparing its numbers against the normal
+:class:`~repro.cpu.stats.ExecutionStats` (see
+:mod:`repro.trace.audit`) catches attribution bugs in either path:
+a double-counted stall, a dropped retire, a mislabeled category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cpu.stats import NUM_STALL_CLASSES
+from ..sim.static_info import CATEGORY_NAMES
+from .events import EV_MEM, EV_RETIRE, EV_STALL_END, TraceEvent
+from .sinks import TraceSink
+
+
+class StreamingAggregator(TraceSink):
+    """Second-opinion accounting, summed straight off the trace."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self.retired = 0
+        self.last_retire_cycle = -1
+        self.stalls: List[float] = [0.0] * NUM_STALL_CLASSES
+        self.category_counts: List[int] = [0] * len(CATEGORY_NAMES)
+        self.mem_accesses = 0
+        self.mem_by_level: Dict[int, int] = {}
+        self.events_seen = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        kind = event.kind
+        if kind == EV_RETIRE:
+            self.retired += 1
+            self.category_counts[int(event.value)] += 1
+            if event.cycle > self.last_retire_cycle:
+                self.last_retire_cycle = event.cycle
+        elif kind == EV_STALL_END:
+            self.stalls[event.cause] += event.value
+        elif kind == EV_MEM:
+            self.mem_accesses += 1
+            self.mem_by_level[event.seq] = self.mem_by_level.get(event.seq, 0) + 1
+
+    # -- derived accounting (the Section 2.3.4 partition) -------------------
+
+    @property
+    def cycles(self) -> int:
+        return self.last_retire_cycle + 1 if self.retired else 0
+
+    @property
+    def busy(self) -> float:
+        return self.retired / self.width
+
+    @property
+    def stall_total(self) -> float:
+        return sum(self.stalls)
+
+    @property
+    def drain(self) -> float:
+        """Unused retire slots of the final cycle — the only part of
+        execution time that is neither busy nor attributed stall.  Must
+        always lie in ``[0, 1)`` cycles."""
+        return self.cycles - self.busy - self.stall_total
+
+    def category_dict(self) -> Dict[str, int]:
+        return {
+            CATEGORY_NAMES[i]: self.category_counts[i]
+            for i in range(len(CATEGORY_NAMES))
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe snapshot (used by reports and test assertions)."""
+        return {
+            "retired": self.retired,
+            "cycles": self.cycles,
+            "busy": self.busy,
+            "stalls": list(self.stalls),
+            "drain": self.drain,
+            "categories": self.category_dict(),
+            "mem_accesses": self.mem_accesses,
+            "events_seen": self.events_seen,
+        }

@@ -1,0 +1,201 @@
+"""Attribution audit: prove the per-run decompositions are exact.
+
+Every headline figure of the paper is a decomposition — Figure 1
+splits execution time into Busy / FU-stall / L1-hit / L1-miss, and
+Figure 2 splits retired instructions into FU / Branch / Memory / VIS.
+A silent attribution bug (double-counted stall, dropped cycle,
+mislabeled category) would corrupt every figure while all tests that
+only look at totals kept passing.
+
+:func:`audit_run` cross-checks the model-side
+:class:`~repro.cpu.stats.ExecutionStats` (produced by
+:class:`~repro.cpu.stats.RetireUnit`) against the
+:class:`~repro.trace.aggregate.StreamingAggregator`'s independent
+recomputation from the event stream, and enforces the conservation
+laws:
+
+* **cycle conservation** — ``busy + FU + branch + L1-hit + L1-miss +
+  drain == total cycles`` exactly, with the final-cycle ``drain``
+  remainder in ``[0, 1)``;
+* **instruction conservation** — ``FU + Branch + Memory + VIS ==
+  retired == functionally executed``;
+* **memory conservation** — hierarchy accesses seen by the tracer
+  equal the memory system's own ``loads + stores + prefetches``.
+
+All comparisons are exact (integer, or bitwise-identical float sums):
+both paths add the same width-denominator fractions in the same
+order, so any inequality is a real divergence, not round-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..cpu.stats import (
+    ExecutionStats,
+    SC_BRANCH,
+    SC_FU,
+    SC_L1HIT,
+    SC_L1MISS,
+)
+from ..sim.static_info import CATEGORY_NAMES
+from .tracer import Tracer
+
+
+class AuditError(AssertionError):
+    """The model counters and the event-stream recomputation diverge."""
+
+
+@dataclass
+class Divergence:
+    """One mismatching quantity."""
+
+    what: str
+    model: float
+    audit: float
+
+    def __str__(self) -> str:
+        return f"{self.what}: model={self.model!r} audit={self.audit!r}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audited run."""
+
+    benchmark: str
+    config_name: str
+    cycles: int = 0
+    instructions: int = 0
+    drain: float = 0.0
+    events_seen: int = 0
+    functional_instructions: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def raise_if_failed(self) -> "AuditReport":
+        if self.divergences:
+            lines = "\n  ".join(str(d) for d in self.divergences)
+            raise AuditError(
+                f"attribution audit failed for {self.benchmark} on "
+                f"{self.config_name} ({len(self.divergences)} "
+                f"divergence(s)):\n  {lines}"
+            )
+        return self
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.divergences)} DIVERGENCES"
+        return (
+            f"audit[{self.benchmark} @ {self.config_name}]: {status} — "
+            f"{self.instructions} instrs, {self.cycles} cycles, "
+            f"drain {self.drain:.4f}, {self.events_seen} events"
+        )
+
+
+def audit_run(stats: ExecutionStats, tracer: Tracer) -> AuditReport:
+    """Cross-check one run; returns the report (does not raise)."""
+    agg = tracer.aggregator
+    if agg is None:
+        raise ValueError(
+            "audit_run needs a Tracer built with aggregate=True"
+        )
+    report = AuditReport(
+        benchmark=stats.benchmark,
+        config_name=stats.config_name,
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        drain=agg.drain,
+        events_seen=agg.events_seen,
+        functional_instructions=tracer.functional_instructions,
+    )
+    diverge = report.divergences.append
+
+    def check(what: str, model, audit) -> None:
+        if model != audit:
+            diverge(Divergence(what, model, audit))
+
+    # -- model vs. event-stream recomputation -------------------------------
+    check("retired instructions", stats.instructions, agg.retired)
+    check("total cycles", stats.cycles, agg.cycles)
+    check("busy cycles", stats.busy, agg.busy)
+    check("FU stall", stats.fu_stall, agg.stalls[SC_FU])
+    check("branch stall", stats.branch_stall, agg.stalls[SC_BRANCH])
+    check("L1-hit stall", stats.l1_hit_stall, agg.stalls[SC_L1HIT])
+    check("L1-miss stall", stats.l1_miss_stall, agg.stalls[SC_L1MISS])
+    agg_categories = agg.category_dict()
+    for name in CATEGORY_NAMES:
+        check(
+            f"category[{name}]",
+            stats.category_counts.get(name, 0),
+            agg_categories[name],
+        )
+
+    # -- cycle conservation --------------------------------------------------
+    model_drain = stats.cycles - (
+        stats.busy
+        + stats.fu_stall
+        + stats.branch_stall
+        + stats.l1_hit_stall
+        + stats.l1_miss_stall
+    )
+    if stats.instructions and not (0.0 <= model_drain < 1.0):
+        diverge(
+            Divergence(
+                "cycle conservation (drain outside [0,1))",
+                model_drain,
+                agg.drain,
+            )
+        )
+    check("final-cycle drain", model_drain, agg.drain)
+
+    # -- instruction conservation --------------------------------------------
+    check(
+        "category sum == retired",
+        sum(stats.category_counts.values()),
+        stats.instructions,
+    )
+    if tracer.functional_instructions:
+        check(
+            "functional == retired",
+            tracer.functional_instructions,
+            stats.instructions,
+        )
+
+    # -- memory conservation -------------------------------------------------
+    if stats.memory is not None and agg.mem_accesses:
+        check(
+            "memory accesses",
+            stats.memory.l1_accesses,
+            agg.mem_accesses,
+        )
+    return report
+
+
+AUDIT_SUMMARY_HEADERS = [
+    "benchmark", "variant", "config", "cycles", "instructions",
+    "busy", "fu stall", "branch stall", "l1 hit", "l1 miss",
+    "drain", "events",
+]
+
+
+def audit_summary_row(
+    stats: ExecutionStats, report: AuditReport, variant: str
+) -> List:
+    """One row of the audit-summary table (golden-fixture stable)."""
+    return [
+        stats.benchmark.split("[")[0],
+        variant,
+        stats.config_name,
+        stats.cycles,
+        stats.instructions,
+        f"{stats.busy:.4f}",
+        f"{stats.fu_stall:.4f}",
+        f"{stats.branch_stall:.4f}",
+        f"{stats.l1_hit_stall:.4f}",
+        f"{stats.l1_miss_stall:.4f}",
+        f"{report.drain:.4f}",
+        report.events_seen,
+    ]

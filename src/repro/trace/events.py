@@ -1,0 +1,84 @@
+"""Structured per-cycle trace events.
+
+One :class:`TraceEvent` is emitted per pipeline milestone of every
+retired instruction (plus one per memory-hierarchy access), so a trace
+is a complete, replayable record of where every cycle of a run went.
+Events are plain named tuples — cheap to create in the hot loop, cheap
+to serialize, and directly comparable in tests.
+
+Field conventions by event kind:
+
+=================  =====================  ======  ==========  ==============  =================
+kind               cycle                  seq     sidx        cause           value
+=================  =====================  ======  ==========  ==============  =================
+``EV_FETCH``       fetch/dispatch cycle   instr#  static idx  category        aux (addr/taken)
+``EV_ISSUE``       issue cycle            instr#  static idx  stall class     completion cycle
+``EV_STALL_BEGIN`` first stalled cycle    instr#  static idx  stall class     0
+``EV_STALL_END``   retire cycle           instr#  static idx  stall class     charged gap (cyc)
+``EV_RETIRE``      retire cycle           instr#  static idx  stall class     category
+``EV_MEM``         request cycle          level   byte addr   access kind     completion cycle
+=================  =====================  ======  ==========  ==============  =================
+
+``seq`` is the dynamic (program-order) instruction number; for
+``EV_MEM`` it instead carries the satisfying level
+(:data:`~repro.mem.system.LEVEL_L1` /
+:data:`~repro.mem.system.LEVEL_L2` /
+:data:`~repro.mem.system.LEVEL_MEM`).  Stall-cause codes are the
+:mod:`repro.cpu.stats` stall classes (``SC_FU``, ``SC_BRANCH``,
+``SC_L1HIT``, ``SC_L1MISS``); categories are the Figure 2 codes from
+:mod:`repro.sim.static_info`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+# Event kinds.
+EV_FETCH = 0
+EV_ISSUE = 1
+EV_STALL_BEGIN = 2
+EV_STALL_END = 3
+EV_RETIRE = 4
+EV_MEM = 5
+
+EVENT_NAMES = ("fetch", "issue", "stall-begin", "stall-end", "retire", "mem")
+
+#: Human-readable stall-cause names, indexed by the SC_* codes
+#: (mirrors :data:`repro.cpu.stats.STALL_NAMES` but phrased as causes).
+CAUSE_NAMES = ("FU busy", "branch", "L1 hit", "L1 miss")
+
+#: Access-kind names for EV_MEM events (A_LOAD / A_STORE / A_PREFETCH).
+MEM_KIND_NAMES = ("load", "store", "prefetch")
+
+#: Satisfying-level names for EV_MEM events.
+LEVEL_NAMES = ("L1", "L2", "mem")
+
+
+class TraceEvent(NamedTuple):
+    """One trace record; see the module docstring for the per-kind
+    meaning of every field."""
+
+    kind: int
+    cycle: int
+    seq: int
+    sidx: int
+    cause: int
+    value: Union[int, float]
+
+    @property
+    def kind_name(self) -> str:
+        return EVENT_NAMES[self.kind]
+
+    def describe(self) -> str:
+        """One-line human rendering (debugging / test failure output)."""
+        if self.kind == EV_MEM:
+            return (
+                f"@{self.cycle:>6} mem {MEM_KIND_NAMES[self.cause]} "
+                f"0x{self.sidx:x} -> {LEVEL_NAMES[self.seq]} "
+                f"done @{self.value}"
+            )
+        return (
+            f"@{self.cycle:>6} {self.kind_name:<11} #{self.seq} "
+            f"i{self.sidx} cause={CAUSE_NAMES[self.cause]} "
+            f"value={self.value}"
+        )

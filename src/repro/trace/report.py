@@ -1,0 +1,227 @@
+"""Offline trace analysis: the ``trace`` CLI subcommand's report.
+
+Consumes a JSONL trace written by
+:class:`~repro.trace.sinks.JsonlSink` and renders:
+
+* a run summary (instructions, cycles, event counts, memory levels),
+* a pipeline timeline of the first N instructions (fetch → issue →
+  complete → retire, with the charged stall cause), and
+* the top-K stall sites: static instructions ranked by total stall
+  cycles charged to them, broken down by cause — every future perf PR
+  can aim straight at this table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .events import (
+    CAUSE_NAMES,
+    EV_FETCH,
+    EV_ISSUE,
+    EV_MEM,
+    EV_RETIRE,
+    EV_STALL_END,
+    LEVEL_NAMES,
+    MEM_KIND_NAMES,
+    TraceEvent,
+)
+from .sinks import read_jsonl
+
+
+class _SiteStats:
+    __slots__ = ("stall", "by_cause", "retires")
+
+    def __init__(self) -> None:
+        self.stall = 0.0
+        self.by_cause = [0.0, 0.0, 0.0, 0.0]
+        self.retires = 0
+
+
+class _TimelineRow:
+    __slots__ = ("seq", "sidx", "fetch", "issue", "complete", "retire",
+                 "cause", "gap")
+
+    def __init__(self, seq: int, sidx: int) -> None:
+        self.seq = seq
+        self.sidx = sidx
+        self.fetch: Optional[int] = None
+        self.issue: Optional[int] = None
+        self.complete: Optional[int] = None
+        self.retire: Optional[int] = None
+        self.cause: Optional[int] = None
+        self.gap = 0.0
+
+
+def analyze(header: Dict, events) -> Dict:
+    """Single pass over the event stream -> analysis dict."""
+    sites: Dict[int, _SiteStats] = defaultdict(_SiteStats)
+    timeline: Dict[int, _TimelineRow] = {}
+    timeline_limit = int(header.get("timeline_limit", 64))
+    retired = 0
+    last_retire = -1
+    total_stall = [0.0, 0.0, 0.0, 0.0]
+    mem_by_level: Dict[int, int] = defaultdict(int)
+    mem_by_kind: Dict[int, int] = defaultdict(int)
+    n_events = 0
+
+    for ev in events:
+        n_events += 1
+        kind = ev.kind
+        if kind == EV_MEM:
+            mem_by_level[ev.seq] += 1
+            mem_by_kind[ev.cause] += 1
+            continue
+        seq = ev.seq
+        row = None
+        if seq < timeline_limit:
+            row = timeline.get(seq)
+            if row is None:
+                row = timeline[seq] = _TimelineRow(seq, ev.sidx)
+        if kind == EV_RETIRE:
+            retired += 1
+            if ev.cycle > last_retire:
+                last_retire = ev.cycle
+            sites[ev.sidx].retires += 1
+            if row is not None:
+                row.retire = ev.cycle
+        elif kind == EV_STALL_END:
+            gap = ev.value
+            site = sites[ev.sidx]
+            site.stall += gap
+            site.by_cause[ev.cause] += gap
+            total_stall[ev.cause] += gap
+            if row is not None:
+                row.cause = ev.cause
+                row.gap = gap
+        elif kind == EV_ISSUE:
+            if row is not None:
+                row.issue = ev.cycle
+                row.complete = ev.value
+        elif kind == EV_FETCH:
+            if row is not None:
+                row.fetch = ev.cycle
+
+    return {
+        "header": header,
+        "retired": retired,
+        "cycles": last_retire + 1 if retired else 0,
+        "total_stall": total_stall,
+        "sites": sites,
+        "timeline": [timeline[k] for k in sorted(timeline)],
+        "mem_by_level": dict(mem_by_level),
+        "mem_by_kind": dict(mem_by_kind),
+        "events": n_events,
+    }
+
+
+def top_stall_sites(
+    analysis: Dict, top: int = 10
+) -> Tuple[List[str], List[List]]:
+    """Rank static instructions by total charged stall cycles."""
+    ops = analysis["header"].get("ops", [])
+
+    def op_name(sidx: int) -> str:
+        return ops[sidx] if 0 <= sidx < len(ops) else f"i{sidx}"
+
+    headers = ["site", "op", "retires", "stall cycles"] + list(CAUSE_NAMES)
+    ranked = sorted(
+        analysis["sites"].items(), key=lambda kv: -kv[1].stall
+    )[:top]
+    rows = [
+        [
+            f"i{sidx}",
+            op_name(sidx),
+            site.retires,
+            f"{site.stall:.1f}",
+        ]
+        + [f"{site.by_cause[c]:.1f}" for c in range(4)]
+        for sidx, site in ranked
+        if site.stall > 0.0
+    ]
+    return headers, rows
+
+
+def timeline_rows(
+    analysis: Dict, limit: int = 24
+) -> Tuple[List[str], List[List]]:
+    """First ``limit`` instructions as a pipeline timeline table."""
+    ops = analysis["header"].get("ops", [])
+
+    def op_name(sidx: int) -> str:
+        return ops[sidx] if 0 <= sidx < len(ops) else f"i{sidx}"
+
+    headers = ["#", "op", "fetch", "issue", "complete", "retire", "stall"]
+    rows = []
+    for row in analysis["timeline"][:limit]:
+        stall = (
+            f"{CAUSE_NAMES[row.cause]} +{row.gap:.2f}"
+            if row.cause is not None and row.gap
+            else ""
+        )
+        rows.append([
+            row.seq,
+            op_name(row.sidx),
+            row.fetch if row.fetch is not None else "",
+            row.issue if row.issue is not None else "",
+            row.complete if row.complete is not None else "",
+            row.retire if row.retire is not None else "",
+            stall,
+        ])
+    return headers, rows
+
+
+def render_report(path, top: int = 10, timeline: int = 24) -> str:
+    """Full plain-text report for one JSONL trace file."""
+    # Imported lazily: repro.experiments imports repro.trace at package
+    # init, so the reverse edge must not run at import time.
+    from ..experiments.report import format_table
+
+    header, events = read_jsonl(path)
+    analysis = analyze(header, events)
+
+    lines: List[str] = []
+    bench = header.get("benchmark", "?")
+    config = header.get("config", "?")
+    lines.append(f"trace report — {bench} on {config}")
+    lines.append("=" * len(lines[0]))
+    lines.append(
+        f"instructions retired : {analysis['retired']}"
+    )
+    lines.append(f"total cycles         : {analysis['cycles']}")
+    total_stall = analysis["total_stall"]
+    for cause, name in enumerate(CAUSE_NAMES):
+        lines.append(
+            f"stall[{name:<8}]      : {total_stall[cause]:.1f} cycles"
+        )
+    mem_kinds = ", ".join(
+        f"{MEM_KIND_NAMES[k]}={v}"
+        for k, v in sorted(analysis["mem_by_kind"].items())
+    )
+    mem_levels = ", ".join(
+        f"{LEVEL_NAMES[k]}={v}"
+        for k, v in sorted(analysis["mem_by_level"].items())
+    )
+    if mem_kinds:
+        lines.append(f"memory accesses      : {mem_kinds}")
+        lines.append(f"satisfied at         : {mem_levels}")
+    lines.append(f"trace events         : {analysis['events']}")
+    lines.append("")
+
+    t_headers, t_rows = timeline_rows(analysis, limit=timeline)
+    if t_rows:
+        lines.append(format_table(
+            t_headers, t_rows,
+            title=f"pipeline timeline (first {len(t_rows)} instructions)",
+        ))
+        lines.append("")
+
+    s_headers, s_rows = top_stall_sites(analysis, top=top)
+    if s_rows:
+        lines.append(format_table(
+            s_headers, s_rows, title=f"top {len(s_rows)} stall sites",
+        ))
+    else:
+        lines.append("no stall cycles charged — fully busy pipeline")
+    return "\n".join(lines)

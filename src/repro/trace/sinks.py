@@ -1,0 +1,130 @@
+"""Pluggable trace sinks.
+
+A sink is anything with ``emit(event)`` and ``close()``.  The
+:class:`~repro.trace.tracer.Tracer` fans every expanded
+:class:`~repro.trace.events.TraceEvent` out to all attached sinks:
+
+* :class:`RingBufferSink` — bounded in-memory tail, for tests and
+  interactive inspection;
+* :class:`JsonlSink` — streaming JSONL file for offline analysis and
+  the ``trace`` CLI report;
+* :class:`~repro.trace.aggregate.StreamingAggregator` — independent
+  recomputation of the run's :class:`~repro.cpu.stats.ExecutionStats`
+  (lives in its own module).
+
+JSONL format (one JSON document per line)::
+
+    {"type": "header", "version": 1, "benchmark": ..., "config": ...,
+     "width": ..., "ops": ["add", "ldb", ...]}
+    [kind, cycle, seq, sidx, cause, value]
+    [kind, cycle, seq, sidx, cause, value]
+    ...
+
+The header carries the static-program op names so reports can resolve
+``sidx`` back to opcodes without the original program.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .events import TraceEvent
+
+#: Bump when the JSONL layout changes.
+TRACE_FORMAT_VERSION = 1
+
+
+class TraceSink:
+    """Base class: the sink protocol (emit every event, then close)."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; default is a no-op."""
+
+
+class NullSink(TraceSink):
+    """Swallows everything (benchmarking the tracing overhead itself)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the last ``capacity`` events plus total per-kind counts."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self.counts: Dict[int, int] = {}
+        self.total = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+        self.total += 1
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._ring)
+
+    def of_kind(self, kind: int) -> List[TraceEvent]:
+        return [ev for ev in self._ring if ev.kind == kind]
+
+
+class JsonlSink(TraceSink):
+    """Streams events to a JSONL file, header first."""
+
+    def __init__(self, path, header: Optional[Dict] = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "w")
+        self.events_written = 0
+        head = {"type": "header", "version": TRACE_FORMAT_VERSION}
+        head.update(header or {})
+        self._file.write(json.dumps(head) + "\n")
+
+    def emit(self, event: TraceEvent) -> None:
+        self._file.write(
+            json.dumps(list(event), separators=(",", ":")) + "\n"
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_jsonl(path) -> Tuple[Dict, Iterator[TraceEvent]]:
+    """Load a JSONL trace: returns ``(header, event_iterator)``.
+
+    The iterator is lazy (traces can be large); corrupted trailing
+    lines — e.g. a run killed mid-write — are skipped rather than
+    raised, so partial traces remain analyzable.
+    """
+    f = open(path, "r")
+    first = f.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        f.close()
+        raise ValueError(f"{path}: not a JSONL trace (bad header line)")
+    if not isinstance(header, dict) or header.get("type") != "header":
+        f.close()
+        raise ValueError(f"{path}: missing trace header")
+
+    def events() -> Iterator[TraceEvent]:
+        with f:
+            for line in f:
+                try:
+                    raw = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated tail
+                if isinstance(raw, list) and len(raw) == 6:
+                    yield TraceEvent(*raw)
+
+    return header, events()

@@ -1,0 +1,150 @@
+"""The Tracer: expands pipeline milestones into per-cycle events.
+
+The CPU models call :meth:`Tracer.instr` once per retired instruction
+(program order) with the cycle of every pipeline milestone; the memory
+system calls :meth:`Tracer.mem` once per hierarchy access; the
+functional machine reports executed-instruction counts through
+:meth:`Tracer.on_functional_chunk`.  The tracer expands each
+instruction into FETCH / ISSUE / STALL-BEGIN / STALL-END / RETIRE
+events and fans them out to every attached sink.
+
+Crucially the tracer carries its *own* replica of the paper's
+Section 2.3.4 retirement convention (width-limited in-order retire,
+stall charged to the first instruction that could not retire) — it
+never reads :class:`~repro.cpu.stats.RetireUnit` state.  The audit
+layer (:mod:`repro.trace.audit`) exploits this redundancy: the two
+implementations must agree exactly, cycle for cycle, or the run fails.
+
+Zero-overhead-when-disabled contract: nothing in this module is on any
+hot path unless a ``Tracer`` is attached; the models pay one local
+``is not None`` test per instruction when tracing is off.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .aggregate import StreamingAggregator
+from .events import (
+    EV_FETCH,
+    EV_ISSUE,
+    EV_MEM,
+    EV_RETIRE,
+    EV_STALL_BEGIN,
+    EV_STALL_END,
+    TraceEvent,
+)
+from .sinks import TraceSink
+
+
+class Tracer:
+    """Per-run event expansion + fan-out to sinks."""
+
+    def __init__(
+        self,
+        info,
+        width: int,
+        sinks: Iterable[TraceSink] = (),
+        aggregate: bool = True,
+    ) -> None:
+        self.info = info
+        self.width = width
+        self.sinks = list(sinks)
+        self.aggregator: Optional[StreamingAggregator] = None
+        if aggregate:
+            self.aggregator = StreamingAggregator(width)
+            self.sinks.append(self.aggregator)
+        self._category = info.category
+        # Replica retirement state (independent of RetireUnit).
+        self._seq = 0
+        self._cycle = 0
+        self._slots = 0
+        #: instructions executed by the functional machine (observer)
+        self.functional_instructions = 0
+        self._closed = False
+
+    # -- model-facing hooks --------------------------------------------------
+
+    def instr(
+        self,
+        sidx: int,
+        fetch: int,
+        issue: int,
+        complete: int,
+        retire_request: int,
+        cause: int,
+        aux: int = 0,
+    ) -> None:
+        """Record one retired instruction (called in program order).
+
+        ``retire_request`` is the earliest cycle the instruction could
+        retire (stores retire at issue+1, everything else at
+        completion); the tracer computes the actual retire cycle and
+        any charged stall from its own replica state.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        width = self.width
+        cycle = self._cycle
+        slots = self._slots
+
+        if retire_request <= cycle:
+            gap = 0.0
+            if slots < width:
+                self._slots = slots + 1
+                retire_cycle = cycle
+            else:
+                retire_cycle = cycle + 1
+                self._cycle = retire_cycle
+                self._slots = 1
+        else:
+            gap = (width - slots) / width + (retire_request - cycle - 1)
+            retire_cycle = retire_request
+            self._cycle = retire_cycle
+            self._slots = 1
+
+        category = self._category[sidx]
+        events = [
+            TraceEvent(EV_FETCH, fetch, seq, sidx, category, aux),
+            TraceEvent(EV_ISSUE, issue, seq, sidx, cause, complete),
+        ]
+        if gap > 0.0:
+            events.append(TraceEvent(EV_STALL_BEGIN, cycle, seq, sidx, cause, 0))
+            events.append(
+                TraceEvent(EV_STALL_END, retire_cycle, seq, sidx, cause, gap)
+            )
+        events.append(
+            TraceEvent(EV_RETIRE, retire_cycle, seq, sidx, cause, category)
+        )
+        for sink in self.sinks:
+            emit = sink.emit
+            for ev in events:
+                emit(ev)
+
+    def mem(self, kind: int, addr: int, cycle: int, done: int, level: int) -> None:
+        """Record one memory-hierarchy access (from MemorySystem)."""
+        ev = TraceEvent(EV_MEM, cycle, level, addr, kind, done)
+        for sink in self.sinks:
+            sink.emit(ev)
+
+    def on_functional_chunk(self, count: int) -> None:
+        """Machine observer hook: ``count`` instructions executed."""
+        self.functional_instructions += count
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def retired(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for sink in self.sinks:
+                sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,5 +1,9 @@
 """Shared pytest configuration for the unit/integration suite."""
 
+import os
+
+import pytest
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -9,3 +13,49 @@ def pytest_addoption(parser):
         help="rewrite tests/golden/*.csv from the current timing models "
              "instead of comparing against them (then commit the diff)",
     )
+
+
+def pytest_configure(config):
+    """``--regen-golden`` must run serially.
+
+    Under pytest-xdist every worker would regenerate (and skip) the
+    same fixture files concurrently, racing on the writes and hiding
+    the per-fixture change report — refuse up front instead of
+    corrupting the goldens.
+    """
+    if not config.getoption("--regen-golden"):
+        return
+    in_xdist_worker = (
+        hasattr(config, "workerinput")
+        or os.environ.get("PYTEST_XDIST_WORKER")
+    )
+    numprocesses = getattr(config.option, "numprocesses", None)
+    if in_xdist_worker or numprocesses not in (None, 0):
+        raise pytest.UsageError(
+            "--regen-golden refuses to run under xdist (-n/--numprocesses): "
+            "parallel workers would race on the fixture files. "
+            "Re-run serially, e.g. "
+            "`pytest tests/test_golden_figures.py --regen-golden`."
+        )
+    config._regenerated_goldens = []
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    log = getattr(config, "_regenerated_goldens", None)
+    if not log:
+        return
+    tr = terminalreporter
+    changed = [entry for entry in log if entry[1]]
+    tr.section("regenerated golden fixtures")
+    for path, was_changed, reason in log:
+        tr.write_line(
+            f"  {'CHANGED  ' if was_changed else 'unchanged'} {path}"
+            + (f" ({reason})" if reason else "")
+        )
+    if changed:
+        tr.write_line(
+            f"{len(changed)} fixture(s) changed — inspect with "
+            f"`git diff tests/golden/` and commit deliberately."
+        )
+    else:
+        tr.write_line("all fixtures byte-identical to the committed versions.")

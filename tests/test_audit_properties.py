@@ -1,0 +1,185 @@
+"""Property-based (hypothesis) invariant tests for the audit layer.
+
+For *randomized* tiny programs — random op mixes (ALU / loads /
+stores / VIS / forward branches), random loop trip counts, random
+data — the Section 2.3.4 accounting must always be a complete
+partition:
+
+* cycle conservation: ``busy + FU + branch + L1-hit + L1-miss +
+  drain == total cycles`` with the final-cycle drain in ``[0, 1)``;
+* instruction conservation: the Figure 2 categories sum to the
+  retired count, which equals the functionally executed count;
+* the event-stream recomputation (:mod:`repro.trace`) agrees with the
+  model counters *exactly*, on both processor models, with and
+  without VIS ops in the mix.
+
+These are the invariants every figure in the paper rests on; hypothesis
+hunts for the program shape that breaks them.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.asm import ProgramBuilder
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.stats import NUM_STALL_CLASSES
+from repro.mem import MemoryConfig
+from repro.sim.static_info import CATEGORY_NAMES
+from repro.trace import EV_RETIRE, EV_STALL_END, RingBufferSink, Tracer, audit_run
+from repro.experiments.runner import audited_simulate, simulate_program
+from repro.sim.static_info import StaticProgramInfo
+
+# -- random-program generator -----------------------------------------------
+
+BUF = 256        #: data buffer size (bytes)
+STRIDE = 8       #: pointer advance per loop iteration
+MAX_OFF = 7      #: max load/store offset inside the stride window
+
+ALU_OPS = ("add", "sub", "mul", "and_", "or_", "xor", "sll", "srl")
+VIS_OPS = ("fpadd16", "fpsub32", "fand", "fxor", "fmul8x16", "pdist")
+
+#: one straight-line body element
+_op = st.one_of(
+    st.tuples(st.just("alu"), st.sampled_from(ALU_OPS), st.integers(1, 63)),
+    st.tuples(st.just("load"), st.sampled_from(("ldb", "ldw", "ldx")),
+              st.integers(0, MAX_OFF)),
+    st.tuples(st.just("store"), st.sampled_from(("stb", "stw")),
+              st.integers(0, MAX_OFF)),
+    st.tuples(st.just("vis"), st.sampled_from(VIS_OPS), st.integers(0, MAX_OFF)),
+    st.tuples(st.just("branch"), st.integers(0, 255), st.booleans()),
+)
+
+program_shapes = st.tuples(
+    st.lists(_op, min_size=1, max_size=12),   # loop body
+    st.integers(1, (BUF - MAX_OFF - 8) // STRIDE),  # trip count
+    st.integers(0, 2**31),                    # data seed
+)
+
+
+def build_random_program(body, iters, seed):
+    """Deterministically materialize one random shape as a Program."""
+    rng = np.random.default_rng(seed)
+    data = bytes(rng.integers(0, 256, BUF, dtype=np.uint8))
+    b = ProgramBuilder("randprog")
+    b.buffer("src", BUF, data=data)
+    acc, p, t = b.iregs(3)
+    fa, fb = b.fregs(2)
+    b.la(p, "src")
+    b.li(acc, 0)
+    b.ldf(fa, p)        # seed the FP/VIS registers
+    b.ldf(fb, p)
+    with b.loop(0, iters):
+        for spec in body:
+            kind = spec[0]
+            if kind == "alu":
+                getattr(b, spec[1])(acc, acc, spec[2])
+            elif kind == "load":
+                getattr(b, spec[1])(t, p, spec[2])
+                b.add(acc, acc, t)
+            elif kind == "store":
+                getattr(b, spec[1])(acc, p, spec[2])
+            elif kind == "vis":
+                op, off = spec[1], spec[2]
+                if op == "pdist":
+                    b.pdist(fa, fa, fb)
+                else:
+                    getattr(b, op)(fa, fa, fb)
+            else:  # forward branch over one instruction
+                _, threshold, hint = spec
+                skip = b.label()
+                b.blt(acc, threshold, skip, hint=hint)
+                b.add(acc, acc, 1)
+                b.bind(skip)
+        b.add(p, p, STRIDE)
+    return b.build()
+
+
+CONFIGS = (ProcessorConfig.inorder_1way, ProcessorConfig.ooo_4way)
+
+#: tiny memory so random programs actually produce L1/L2 misses
+def _mem():
+    return MemoryConfig().scaled(64)
+
+
+class TestRandomProgramConservation:
+    @given(program_shapes, st.sampled_from(CONFIGS))
+    @settings(max_examples=40, deadline=None)
+    def test_audit_passes_and_time_partitions(self, shape, make_config):
+        """audited_simulate finds zero divergences on any random
+        program, and the stall components + drain partition the cycle
+        count exactly, on both processor models."""
+        program = build_random_program(*shape)
+        stats, report, _m = audited_simulate(
+            program, make_config(), _mem(), benchmark="randprog"
+        )
+        assert report.ok, report.summary()
+        drain = stats.cycles - (
+            stats.busy + stats.fu_stall + stats.branch_stall
+            + stats.l1_hit_stall + stats.l1_miss_stall
+        )
+        assert 0.0 <= drain < 1.0
+        assert drain == report.drain
+
+    @given(program_shapes, st.sampled_from(CONFIGS))
+    @settings(max_examples=40, deadline=None)
+    def test_categories_partition_retired_count(self, shape, make_config):
+        """Figure 2 categories sum to the retired count, which equals
+        the functional machine's executed count; VIS ops land in the
+        VIS category iff the program contains any."""
+        program = build_random_program(*shape)
+        stats, report, _m = audited_simulate(
+            program, make_config(), _mem(), benchmark="randprog"
+        )
+        assert sum(stats.category_counts.values()) == stats.instructions
+        assert report.functional_instructions == stats.instructions
+        has_vis = any(spec[0] == "vis" for spec in shape[0])
+        if has_vis:
+            assert stats.category_counts.get("VIS", 0) > 0
+
+    @given(program_shapes)
+    @settings(max_examples=25, deadline=None)
+    def test_event_stream_mirrors_stats(self, shape):
+        """A ring-buffer sink sees exactly one RETIRE per retired
+        instruction and the STALL_END gaps sum to the model's stalls."""
+        program = build_random_program(*shape)
+        cpu = ProcessorConfig.ooo_4way()
+        ring = RingBufferSink(capacity=16)
+        tracer = Tracer(
+            StaticProgramInfo(program), cpu.issue_width, sinks=[ring]
+        )
+        stats, _m = simulate_program(
+            program, cpu, _mem(), benchmark="randprog", tracer=tracer
+        )
+        assert ring.counts.get(EV_RETIRE, 0) == stats.instructions
+        # ring keeps only the tail, never more than capacity
+        assert len(ring.events) <= ring.capacity
+        agg = tracer.aggregator
+        model_stalls = [
+            stats.fu_stall, stats.branch_stall,
+            stats.l1_hit_stall, stats.l1_miss_stall,
+        ]
+        assert len(agg.stalls) == NUM_STALL_CLASSES
+        assert agg.stalls == model_stalls
+        report = audit_run(stats, tracer)
+        assert report.ok, report.summary()
+
+    @given(program_shapes, st.sampled_from(CONFIGS))
+    @settings(max_examples=15, deadline=None)
+    def test_tracing_never_changes_the_numbers(self, shape, make_config):
+        """Attaching the tracer is observationally pure: every
+        ExecutionStats field is identical with and without it."""
+        program = build_random_program(*shape)
+        plain, _ = simulate_program(
+            program, make_config(), _mem(), benchmark="randprog"
+        )
+        traced, _rep, _m = audited_simulate(
+            program, make_config(), _mem(), benchmark="randprog"
+        )
+        assert plain.to_dict() == traced.to_dict()
+
+
+class TestCategoryNamesStable:
+    def test_category_names_cover_figure2(self):
+        assert CATEGORY_NAMES == ("FU", "Branch", "Memory", "VIS")

@@ -1,8 +1,11 @@
 """CLI smoke tests (tiny scale, subset benchmarks)."""
 
+import json
+
 import pytest
 
-from repro.experiments.cli import main
+from repro.experiments.cli import EXIT_AUDIT_DIVERGENCE, main
+from repro.trace import AuditError
 
 
 def test_params_listing(capsys):
@@ -43,6 +46,134 @@ def test_parallel_jobs_match_serial(tmp_path, capsys):
     serial = (tmp_path / "serial" / "figure2_tiny.csv").read_bytes()
     parallel = (tmp_path / "par" / "figure2_tiny.csv").read_bytes()
     assert serial == parallel
+
+
+class TestFlagPlumbing:
+    """--jobs / --no-cache / --cache-dir / --quiet and the stderr
+    points summary (PR 1 flags, locked down here)."""
+
+    COMMON = ["figure2", "--scale", "tiny", "--benchmarks", "addition"]
+
+    def test_points_summary_cold_then_warm(self, tmp_path, capsys):
+        """Cold run simulates every point; a warm re-run with the same
+        --cache-dir serves all of them from cache."""
+        argv = self.COMMON + [
+            "--out", str(tmp_path), "--cache-dir", str(tmp_path / "cc"),
+            "--jobs", "1", "--quiet",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "points: 2 simulated, 0 from cache" in err
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "points: 0 simulated, 2 from cache" in err
+
+    def test_no_cache_notes_disabled(self, tmp_path, capsys):
+        argv = self.COMMON + [
+            "--out", str(tmp_path), "--no-cache", "--jobs", "1", "--quiet",
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "points: 2 simulated, 0 from cache (persistent cache disabled)" in err
+
+    def test_quiet_suppresses_progress(self, tmp_path, capsys):
+        argv = self.COMMON + [
+            "--out", str(tmp_path), "--no-cache", "--jobs", "1",
+        ]
+        assert main(argv + ["--quiet"]) == 0
+        quiet_err = capsys.readouterr().err
+        assert main(argv) == 0
+        loud_err = capsys.readouterr().err
+        # progress lines mention the benchmark; the quiet run only
+        # carries the final points summary
+        assert "addition" in loud_err
+        assert "addition" not in quiet_err
+
+    def test_jobs_flag_rejects_garbage(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(self.COMMON + ["--out", str(tmp_path), "--jobs", "two"])
+        assert exc.value.code == 2
+
+
+class TestAuditFlag:
+    def test_audit_reports_zero_divergences(self, tmp_path, capsys):
+        code = main([
+            "figure2", "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(tmp_path), "--no-cache", "--jobs", "1",
+            "--quiet", "--audit",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "audit: 2 simulated point(s) audited, zero divergences" in err
+
+    def test_audit_notes_cached_points_skipped(self, tmp_path, capsys):
+        common = [
+            "figure2", "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(tmp_path), "--cache-dir", str(tmp_path / "cc"),
+            "--jobs", "1", "--quiet", "--audit",
+        ]
+        assert main(common) == 0
+        capsys.readouterr()
+        assert main(common) == 0
+        err = capsys.readouterr().err
+        assert "2 cached point(s) skipped" in err
+        assert "--no-cache to re-audit" in err
+
+    def test_divergence_exits_3(self, tmp_path, capsys, monkeypatch):
+        """A forced attribution divergence turns into exit code 3 and
+        an AUDIT FAILURE line on stderr."""
+        import repro.experiments.runner as runner_mod
+
+        def broken_audit(stats, tracer):
+            raise AuditError("injected divergence for the exit-code test")
+
+        monkeypatch.setattr(runner_mod, "audit_run", broken_audit)
+        code = main([
+            "figure2", "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(tmp_path), "--no-cache", "--jobs", "1",
+            "--quiet", "--audit",
+        ])
+        assert code == EXIT_AUDIT_DIVERGENCE == 3
+        assert "AUDIT FAILURE: injected divergence" in capsys.readouterr().err
+
+
+class TestTraceSubcommand:
+    def test_record_then_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "addition_vis.jsonl"
+        code = main([
+            "trace", "--scale", "tiny", "--benchmarks", "addition",
+            "--variant", "vis", "--trace-out", str(trace_path),
+            "--out", str(tmp_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "audit[addition[vis]" in captured.err
+        assert "events to" in captured.err
+        assert "pipeline timeline" in captured.out
+        assert "stall sites" in captured.out
+        # the JSONL is well-formed: header line + event arrays
+        lines = trace_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["benchmark"] == "addition"
+        assert all(len(json.loads(l)) == 6 for l in lines[1:])
+
+        # report-only mode re-renders from the file without simulating
+        capsys.readouterr()
+        assert main(["trace", "--trace-in", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stall sites" in out
+
+    def test_trace_without_input_or_benchmark_errors(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "--out", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_trace_rejects_non_trace_file(self, tmp_path):
+        bogus = tmp_path / "not_a_trace.jsonl"
+        bogus.write_text("this is not json\n")
+        with pytest.raises(ValueError):
+            main(["trace", "--trace-in", str(bogus)])
 
 
 def test_unknown_experiment_rejected():

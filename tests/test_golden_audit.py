@@ -1,0 +1,68 @@
+"""Golden audit-summary regression fixture.
+
+Runs the full 12-benchmark grid (scalar + VIS on the 4-way OoO
+processor, tiny scale) through :func:`audited_simulate` and pins the
+complete per-run decomposition — cycles, instructions, the four stall
+components, the final-cycle drain, and the trace event count — as a
+committed CSV.  Unlike the figure goldens (which pin the *reported*
+tables), this fixture pins the raw audited accounting, so it catches a
+drifting decomposition even when the derived figures happen to agree.
+
+Regenerate deliberately with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_audit.py --regen-golden
+"""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.runner import audited_simulate
+from repro.trace import AUDIT_SUMMARY_HEADERS, audit_summary_row
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import get, names
+
+from tests.test_golden_figures import _read_golden, _golden_path, regen_golden
+
+VARIANTS = (Variant.SCALAR, Variant.VIS)
+
+
+def _audit_summary_table():
+    """(headers, rows) over the full grid, enumeration-order stable."""
+    cpu = ProcessorConfig.ooo_4way()
+    mem = TINY_SCALE.memory_config()
+    rows = []
+    for name in names():
+        for variant in VARIANTS:
+            built = get(name).build(variant, TINY_SCALE)
+            stats, report, _machine = audited_simulate(
+                built.program, cpu, mem,
+                benchmark=f"{name}[{variant.value}]",
+            )
+            assert report.ok, report.summary()
+            rows.append([
+                str(cell)
+                for cell in audit_summary_row(stats, report, variant.value)
+            ])
+    return list(AUDIT_SUMMARY_HEADERS), rows
+
+
+@pytest.mark.slow
+def test_golden_audit_summary(request):
+    headers, produced = _audit_summary_table()
+    path = _golden_path("audit_summary")
+
+    if request.config.getoption("--regen-golden"):
+        regen_golden(request.config, path, headers, produced)
+
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest tests/test_golden_audit.py --regen-golden"
+    )
+    golden_headers, golden_rows = _read_golden(path)
+    assert headers == golden_headers, "audit summary: header drift"
+    assert len(produced) == len(golden_rows)
+    for i, (got, want) in enumerate(zip(produced, golden_rows)):
+        assert got == want, (
+            f"audit summary row {i} drifted:\n  got  {got}\n  want {want}"
+        )

@@ -58,6 +58,32 @@ def _read_golden(path: Path):
     return rows[0], rows[1:]
 
 
+def regen_golden(config, path: Path, headers, rows) -> None:
+    """Rewrite one fixture, record whether it actually changed (for
+    the end-of-run summary printed by conftest), and skip the test.
+
+    ``--regen-golden`` is refused under xdist by ``pytest_configure``
+    in ``conftest.py`` — by the time this runs we are guaranteed to be
+    the only writer.
+    """
+    old = path.read_bytes() if path.exists() else None
+    write_csv(path, headers, rows)
+    new = path.read_bytes()
+    if old is None:
+        changed, reason = True, "new fixture"
+    elif old != new:
+        changed, reason = True, "contents differ"
+    else:
+        changed, reason = False, ""
+    log = getattr(config, "_regenerated_goldens", None)
+    if log is not None:
+        log.append((str(path), changed, reason))
+    pytest.skip(
+        f"regenerated {path.name}"
+        + (f" ({reason})" if changed else " (unchanged)")
+    )
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", ORDER)
 def test_golden_figure(name, runner, request):
@@ -66,8 +92,7 @@ def test_golden_figure(name, runner, request):
     path = _golden_path(name)
 
     if request.config.getoption("--regen-golden"):
-        write_csv(path, headers, produced)
-        pytest.skip(f"regenerated {path}")
+        regen_golden(request.config, path, headers, produced)
 
     assert path.exists(), (
         f"missing golden fixture {path}; generate it with "
@@ -82,6 +107,48 @@ def test_golden_figure(name, runner, request):
         assert got == want, (
             f"{name} row {i} drifted:\n  got  {got}\n  want {want}"
         )
+
+
+class TestRegenGoldenGuard:
+    """--regen-golden must refuse to run under xdist (racing workers
+    would clobber the fixtures and hide the change report)."""
+
+    @staticmethod
+    def _config(numprocesses=None):
+        class Option:
+            pass
+
+        class Config:
+            option = Option()
+
+            @staticmethod
+            def getoption(name):
+                return name == "--regen-golden"
+
+        Config.option.numprocesses = numprocesses
+        return Config()
+
+    def test_refuses_with_numprocesses(self, monkeypatch):
+        from tests.conftest import pytest_configure
+
+        monkeypatch.delenv("PYTEST_XDIST_WORKER", raising=False)
+        with pytest.raises(pytest.UsageError, match="xdist"):
+            pytest_configure(self._config(numprocesses=4))
+
+    def test_refuses_inside_worker(self, monkeypatch):
+        from tests.conftest import pytest_configure
+
+        monkeypatch.setenv("PYTEST_XDIST_WORKER", "gw1")
+        with pytest.raises(pytest.UsageError, match="xdist"):
+            pytest_configure(self._config())
+
+    def test_allows_serial_run(self, monkeypatch):
+        from tests.conftest import pytest_configure
+
+        monkeypatch.delenv("PYTEST_XDIST_WORKER", raising=False)
+        config = self._config()
+        pytest_configure(config)  # no raise
+        assert config._regenerated_goldens == []
 
 
 @pytest.mark.slow

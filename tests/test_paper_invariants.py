@@ -1,0 +1,99 @@
+"""Differential paper-invariant tests (tiny scale, full benchmark set).
+
+Pins the *directional* claims of the paper as inequalities over real
+simulation runs, so a timing-model refactor that silently inverts a
+headline conclusion fails loudly:
+
+* the 4-way out-of-order processor is never slower than the 1-way
+  in-order baseline, on any benchmark, scalar or VIS (Section 3);
+* VIS variants always retire fewer instructions than their scalar
+  counterparts (Section 5, Figure 2);
+* software prefetching never *increases* the L1-miss stall time on the
+  nine Figure 3 benchmarks (Section 4.2) — asserted with the paper's
+  full-size caches (prefetching into the scaled-down tiny caches
+  pollutes them, which is physically sensible but not the paper's
+  configuration);
+* every run in the grid passes the attribution audit with zero
+  divergences.
+
+Everything here is ``slow``: it simulates the full 12-benchmark grid.
+"""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.runner import RunCache
+from repro.mem.config import MemoryConfig
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import PREFETCH_NAMES, names
+
+ALL_BENCHMARKS = tuple(names())
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def cache():
+    """One audited RunCache for the whole module: every simulated
+    point is cross-checked against the event-stream recomputation."""
+    return RunCache(scale=TINY_SCALE, validate=False, audit=True)
+
+
+@pytest.fixture(scope="module")
+def tiny_mem():
+    return TINY_SCALE.memory_config()
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+@pytest.mark.parametrize("variant", [Variant.SCALAR, Variant.VIS])
+def test_ooo_never_slower_than_inorder(cache, tiny_mem, name, variant):
+    """ILP is never harmful: the 4-way OoO config beats (or ties) the
+    1-way in-order baseline on every benchmark and variant."""
+    inorder = cache.run(
+        name, variant, ProcessorConfig.inorder_1way(), tiny_mem
+    )
+    ooo = cache.run(name, variant, ProcessorConfig.ooo_4way(), tiny_mem)
+    assert ooo.cycles <= inorder.cycles, (
+        f"{name}[{variant.value}]: ooo_4way took {ooo.cycles} cycles "
+        f"vs inorder_1way {inorder.cycles}"
+    )
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_vis_retires_fewer_instructions(cache, tiny_mem, name):
+    """SIMD packing always shrinks the dynamic instruction count
+    (Figure 2's defining property)."""
+    scalar = cache.run(
+        name, Variant.SCALAR, ProcessorConfig.ooo_4way(), tiny_mem
+    )
+    vis = cache.run(name, Variant.VIS, ProcessorConfig.ooo_4way(), tiny_mem)
+    assert vis.instructions <= scalar.instructions, (
+        f"{name}: VIS retired {vis.instructions} > scalar "
+        f"{scalar.instructions}"
+    )
+    assert vis.category_counts["VIS"] > 0
+    assert scalar.category_counts.get("VIS", 0) == 0
+
+
+@pytest.mark.parametrize("name", PREFETCH_NAMES)
+def test_prefetch_never_increases_miss_stall(cache, name):
+    """With the paper's full-size caches, adding software prefetch
+    never increases L1-miss stall time on any Figure 3 benchmark."""
+    mem = MemoryConfig()  # full-size caches — see module docstring
+    vis = cache.run(name, Variant.VIS, ProcessorConfig.ooo_4way(), mem)
+    pf = cache.run(
+        name, Variant.VIS_PREFETCH, ProcessorConfig.ooo_4way(), mem
+    )
+    assert pf.l1_miss_stall <= vis.l1_miss_stall, (
+        f"{name}: prefetch raised L1-miss stall "
+        f"{vis.l1_miss_stall} -> {pf.l1_miss_stall}"
+    )
+    assert vis.memory.prefetches == 0
+    assert pf.memory.prefetches > 0
+    # prefetch classification conserves
+    m = pf.memory
+    assert (
+        m.prefetch_useful + m.prefetch_late + m.prefetch_redundant
+        <= m.prefetches
+    )

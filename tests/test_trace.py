@@ -1,0 +1,337 @@
+"""Unit tests for the repro.trace subsystem: events, sinks, the
+streaming aggregator, the tracer's replica retirement convention, the
+audit cross-check, and the offline JSONL report."""
+
+import pytest
+
+from repro.cpu.stats import (
+    ExecutionStats,
+    RetireUnit,
+    SC_BRANCH,
+    SC_FU,
+    SC_L1HIT,
+    SC_L1MISS,
+)
+from repro.trace import (
+    AuditError,
+    EV_FETCH,
+    EV_ISSUE,
+    EV_MEM,
+    EV_RETIRE,
+    EV_STALL_BEGIN,
+    EV_STALL_END,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    StreamingAggregator,
+    TraceEvent,
+    Tracer,
+    audit_run,
+    audit_summary_row,
+    AUDIT_SUMMARY_HEADERS,
+    read_jsonl,
+)
+from repro.trace.report import analyze, render_report, timeline_rows, top_stall_sites
+
+
+class FakeInfo:
+    """Minimal stand-in for StaticProgramInfo: only .category is read
+    on the tracer hot path."""
+
+    def __init__(self, n=64, category=None):
+        self.category = category or [0] * n
+        self.op_name = ["op"] * n
+
+
+def retire_ev(cycle, seq=0, sidx=0, cause=SC_FU, category=0):
+    return TraceEvent(EV_RETIRE, cycle, seq, sidx, cause, category)
+
+
+class TestTraceEvent:
+    def test_kind_names(self):
+        assert TraceEvent(EV_FETCH, 0, 0, 0, 0, 0).kind_name == "fetch"
+        assert TraceEvent(EV_MEM, 0, 0, 0, 0, 0).kind_name == "mem"
+
+    def test_describe_instruction_event(self):
+        text = TraceEvent(EV_STALL_END, 17, 3, 5, SC_L1MISS, 2.5).describe()
+        assert "stall-end" in text and "#3" in text and "L1 miss" in text
+
+    def test_describe_mem_event(self):
+        text = TraceEvent(EV_MEM, 9, 1, 0x40, 0, 21).describe()
+        assert "mem" in text and "0x40" in text and "L2" in text
+
+    def test_events_are_plain_tuples(self):
+        ev = TraceEvent(EV_ISSUE, 1, 2, 3, 4, 5)
+        assert list(ev) == [EV_ISSUE, 1, 2, 3, 4, 5]
+        assert TraceEvent(*list(ev)) == ev
+
+
+class TestSinks:
+    def test_null_sink_swallows(self):
+        sink = NullSink()
+        sink.emit(retire_ev(0))
+        sink.close()  # no-op, no error
+
+    def test_ring_buffer_bounds_and_counts(self):
+        ring = RingBufferSink(capacity=4)
+        for i in range(10):
+            ring.emit(retire_ev(i, seq=i))
+        ring.emit(TraceEvent(EV_MEM, 10, 0, 0, 0, 11))
+        assert ring.total == 11
+        assert ring.counts[EV_RETIRE] == 10
+        assert ring.counts[EV_MEM] == 1
+        assert len(ring.events) == 4  # only the tail is kept
+        assert ring.events[-1].kind == EV_MEM
+        assert [e.seq for e in ring.of_kind(EV_RETIRE)] == [7, 8, 9]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, header={"benchmark": "bm", "width": 4})
+        evs = [
+            TraceEvent(EV_FETCH, 0, 0, 7, 0, 0),
+            TraceEvent(EV_STALL_END, 5, 0, 7, SC_L1HIT, 1.75),
+            retire_ev(5, sidx=7),
+        ]
+        for ev in evs:
+            sink.emit(ev)
+        sink.close()
+        assert sink.events_written == 3
+
+        header, events = read_jsonl(path)
+        assert header["type"] == "header"
+        assert header["benchmark"] == "bm"
+        got = list(events)
+        assert got == evs
+        assert got[1].value == 1.75  # float gap survives the roundtrip
+
+    def test_jsonl_truncated_tail_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, header={})
+        sink.emit(retire_ev(3))
+        sink.close()
+        with open(path, "a") as f:
+            f.write('[4, 9, 1, 0, 0')  # killed mid-write
+        _header, events = read_jsonl(path)
+        assert len(list(events)) == 1
+
+    def test_jsonl_bad_header_rejected(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="bad header"):
+            read_jsonl(bad)
+        nothdr = tmp_path / "nothdr.jsonl"
+        nothdr.write_text('[4,0,0,0,0,0]\n')
+        with pytest.raises(ValueError, match="missing trace header"):
+            read_jsonl(nothdr)
+
+
+class TestStreamingAggregator:
+    def test_empty_run(self):
+        agg = StreamingAggregator(width=4)
+        assert agg.cycles == 0
+        assert agg.busy == 0.0
+        assert agg.drain == 0.0
+
+    def test_hand_built_partition(self):
+        """4 retires over 3 cycles with one charged stall: busy + stall
+        + drain must equal the cycle count exactly."""
+        agg = StreamingAggregator(width=2)
+        agg.emit(retire_ev(0, seq=0, category=0))
+        agg.emit(retire_ev(0, seq=1, category=2))
+        agg.emit(TraceEvent(EV_STALL_END, 2, 2, 0, SC_L1MISS, 1.5))
+        agg.emit(retire_ev(2, seq=2, category=2))
+        agg.emit(retire_ev(2, seq=3, category=1))
+        assert agg.retired == 4
+        assert agg.cycles == 3
+        assert agg.busy == 2.0
+        assert agg.stalls[SC_L1MISS] == 1.5
+        assert agg.drain == 3 - 2.0 - 1.5
+        assert agg.category_dict() == {
+            "FU": 1, "Branch": 1, "Memory": 2, "VIS": 0,
+        }
+        summary = agg.summary()
+        assert summary["retired"] == 4
+        assert summary["events_seen"] == 5
+
+    def test_mem_events_counted_by_level(self):
+        agg = StreamingAggregator(width=1)
+        agg.emit(TraceEvent(EV_MEM, 0, 0, 0x10, 0, 2))
+        agg.emit(TraceEvent(EV_MEM, 1, 2, 0x20, 1, 40))
+        assert agg.mem_accesses == 2
+        assert agg.mem_by_level == {0: 1, 2: 1}
+
+
+class TestTracerReplica:
+    """The tracer's private retirement replica must agree with
+    RetireUnit on every schedule."""
+
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_gap_charging_matches_retire_unit(self, width):
+        requests = [0, 0, 0, 3, 3, 4, 9, 9, 9, 9, 9, 12, 30]
+        unit = RetireUnit(width)
+        tracer = Tracer(FakeInfo(), width)
+        ring = RingBufferSink(capacity=1024)
+        tracer.sinks.insert(0, ring)
+        for req in requests:
+            unit.retire(req, SC_FU)
+            tracer.instr(0, 0, 0, req, req, SC_FU)
+        agg = tracer.aggregator
+        assert agg.retired == len(requests) == tracer.retired
+        assert agg.cycles == unit.total_cycles
+        assert agg.busy == unit.busy_cycles
+        assert agg.stalls == unit.stalls
+        # every charged gap appears as a STALL_BEGIN/STALL_END pair
+        begins = ring.counts.get(EV_STALL_BEGIN, 0)
+        ends = ring.counts.get(EV_STALL_END, 0)
+        assert begins == ends
+        assert sum(e.value for e in ring.of_kind(EV_STALL_END)) == sum(unit.stalls)
+
+    def test_functional_chunks_accumulate(self):
+        tracer = Tracer(FakeInfo(), 4)
+        tracer.on_functional_chunk(100)
+        tracer.on_functional_chunk(42)
+        assert tracer.functional_instructions == 142
+
+    def test_context_manager_closes_sinks(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl", header={})
+        with Tracer(FakeInfo(), 2, sinks=[sink]) as tracer:
+            tracer.instr(0, 0, 0, 1, 1, SC_BRANCH)
+        assert sink._file.closed
+
+
+class TestAudit:
+    def _run_tracer(self, requests, width=2):
+        tracer = Tracer(FakeInfo(), width)
+        for req in requests:
+            tracer.instr(0, 0, 0, req, req, SC_FU)
+        tracer.on_functional_chunk(len(requests))
+        return tracer
+
+    def _stats_matching(self, tracer):
+        agg = tracer.aggregator
+        return ExecutionStats(
+            benchmark="bm", config_name="cfg",
+            instructions=agg.retired, cycles=agg.cycles, busy=agg.busy,
+            fu_stall=agg.stalls[SC_FU], branch_stall=agg.stalls[SC_BRANCH],
+            l1_hit_stall=agg.stalls[SC_L1HIT],
+            l1_miss_stall=agg.stalls[SC_L1MISS],
+            category_counts=agg.category_dict(),
+        )
+
+    def test_clean_run_passes(self):
+        tracer = self._run_tracer([0, 1, 1, 5, 5, 6])
+        report = audit_run(self._stats_matching(tracer), tracer)
+        assert report.ok
+        assert report.raise_if_failed() is report
+        assert "ok" in report.summary()
+
+    def test_dropped_cycle_detected(self):
+        tracer = self._run_tracer([0, 1, 1, 5, 5, 6])
+        stats = self._stats_matching(tracer)
+        stats.cycles += 1  # model counter drifts by one cycle
+        report = audit_run(stats, tracer)
+        assert not report.ok
+        whats = {d.what for d in report.divergences}
+        assert "total cycles" in whats
+        with pytest.raises(AuditError, match="total cycles"):
+            report.raise_if_failed()
+
+    def test_double_counted_stall_detected(self):
+        tracer = self._run_tracer([0, 4, 8])
+        stats = self._stats_matching(tracer)
+        stats.fu_stall *= 2
+        report = audit_run(stats, tracer)
+        assert any(d.what == "FU stall" for d in report.divergences)
+        # the doubled stall also breaks cycle conservation
+        assert any("drain" in d.what for d in report.divergences)
+
+    def test_mislabeled_category_detected(self):
+        tracer = self._run_tracer([0, 1, 2])
+        stats = self._stats_matching(tracer)
+        stats.category_counts["VIS"] = stats.category_counts.pop("FU")
+        report = audit_run(stats, tracer)
+        whats = {d.what for d in report.divergences}
+        assert "category[FU]" in whats and "category[VIS]" in whats
+
+    def test_functional_mismatch_detected(self):
+        tracer = self._run_tracer([0, 1, 2])
+        tracer.on_functional_chunk(7)  # machine claims extra work
+        report = audit_run(self._stats_matching(tracer), tracer)
+        assert any(d.what == "functional == retired"
+                   for d in report.divergences)
+
+    def test_requires_aggregator(self):
+        tracer = Tracer(FakeInfo(), 2, aggregate=False)
+        with pytest.raises(ValueError, match="aggregate=True"):
+            audit_run(ExecutionStats(), tracer)
+
+    def test_summary_row_matches_headers(self):
+        tracer = self._run_tracer([0, 3, 3])
+        stats = self._stats_matching(tracer)
+        report = audit_run(stats, tracer)
+        row = audit_summary_row(stats, report, "vis")
+        assert len(row) == len(AUDIT_SUMMARY_HEADERS)
+        assert row[0] == "bm" and row[1] == "vis" and row[2] == "cfg"
+
+
+class TestReport:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path, header={
+            "benchmark": "bm", "config": "cfg", "width": 2,
+            "ops": ["add", "ldw", "blt"],
+        })
+        evs = [
+            TraceEvent(EV_FETCH, 0, 0, 0, 0, 0),
+            TraceEvent(EV_ISSUE, 1, 0, 0, SC_FU, 2),
+            retire_ev(2, seq=0, sidx=0),
+            TraceEvent(EV_FETCH, 0, 1, 1, 2, 0),
+            TraceEvent(EV_ISSUE, 1, 1, 1, SC_L1MISS, 40),
+            TraceEvent(EV_STALL_BEGIN, 2, 1, 1, SC_L1MISS, 0),
+            TraceEvent(EV_STALL_END, 40, 1, 1, SC_L1MISS, 37.5),
+            retire_ev(40, seq=1, sidx=1, cause=SC_L1MISS),
+            TraceEvent(EV_MEM, 1, 2, 0x80, 0, 40),
+        ]
+        for ev in evs:
+            sink.emit(ev)
+        sink.close()
+        return path
+
+    def test_analyze_totals(self, tmp_path):
+        header, events = read_jsonl(self._write_trace(tmp_path))
+        analysis = analyze(header, events)
+        assert analysis["retired"] == 2
+        assert analysis["cycles"] == 41
+        assert analysis["total_stall"][SC_L1MISS] == 37.5
+        assert analysis["mem_by_level"] == {2: 1}
+        assert analysis["mem_by_kind"] == {0: 1}
+
+    def test_top_stall_sites_ranks_by_stall(self, tmp_path):
+        header, events = read_jsonl(self._write_trace(tmp_path))
+        analysis = analyze(header, events)
+        headers, rows = top_stall_sites(analysis, top=5)
+        assert rows[0][0] == "i1" and rows[0][1] == "ldw"
+        assert rows[0][3] == "37.5"
+        # site 0 charged nothing — filtered out
+        assert all(r[0] != "i0" for r in rows)
+
+    def test_timeline_resolves_ops(self, tmp_path):
+        header, events = read_jsonl(self._write_trace(tmp_path))
+        analysis = analyze(header, events)
+        _headers, rows = timeline_rows(analysis, limit=10)
+        assert [r[1] for r in rows] == ["add", "ldw"]
+        assert "L1 miss" in rows[1][6]
+
+    def test_render_report_end_to_end(self, tmp_path):
+        text = render_report(self._write_trace(tmp_path), top=3, timeline=8)
+        assert "trace report — bm on cfg" in text
+        assert "instructions retired : 2" in text
+        assert "pipeline timeline" in text
+        assert "stall sites" in text
+
+    def test_render_report_no_stalls(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        sink = JsonlSink(path, header={"benchmark": "bm", "config": "c"})
+        sink.emit(retire_ev(0))
+        sink.close()
+        assert "fully busy pipeline" in render_report(path)
