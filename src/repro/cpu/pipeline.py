@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from ..mem.system import A_LOAD, A_PREFETCH, A_STORE, LEVEL_L1, MemorySystem
+from ..sim.machine import SimulationError
 from ..sim.static_info import (
     CATEGORY_NAMES,
     K_BRANCH,
@@ -56,6 +57,7 @@ class _BaseModel:
         config: ProcessorConfig,
         memory: MemorySystem,
         tracer=None,
+        max_cycles=None,
     ) -> None:
         self.info = info
         self.config = config
@@ -64,6 +66,10 @@ class _BaseModel:
         #: default) the models pay a single local ``is not None`` test
         #: per instruction — nothing else.
         self.tracer = tracer
+        #: optional simulated-cycle watchdog, checked once per trace
+        #: chunk (not per instruction — the hot loops are untouched);
+        #: exceeding it raises :class:`~repro.sim.machine.SimulationError`.
+        self.max_cycles = max_cycles
         self.predictor = AgreePredictor(config.predictor_size)
         self.ras = ReturnAddressStack(config.ras_size)
         self.retire = RetireUnit(config.issue_width)
@@ -74,6 +80,20 @@ class _BaseModel:
         self.category_counts = [0, 0, 0, 0]
         self.branches = 0
         self.mispredicts = 0
+
+    def _check_cycle_budget(self) -> None:
+        """Per-chunk watchdog: a model whose simulated clock ran past
+        ``max_cycles`` is declared runaway instead of grinding on."""
+        if (
+            self.max_cycles is not None
+            and self.retire.total_cycles > self.max_cycles
+        ):
+            raise SimulationError(
+                f"exceeded max_cycles={self.max_cycles} "
+                f"(cycle-budget watchdog; retired="
+                f"{self.retire.retired} instructions at cycle "
+                f"{self.retire.total_cycles})"
+            )
 
     def _finish(self, benchmark: str) -> ExecutionStats:
         stats = ExecutionStats(
@@ -237,6 +257,9 @@ class InOrderModel(_BaseModel):
                     tracer.instr(
                         sidx, earliest, issue, complete, retire_at, cls, aux
                     )
+
+            if self.max_cycles is not None:
+                self._check_cycle_budget()
 
         return self._finish(benchmark)
 
@@ -407,6 +430,9 @@ class OutOfOrderModel(_BaseModel):
                         sidx, dispatch, issue, complete, retire_at, cls, aux
                     )
 
+            if self.max_cycles is not None:
+                self._check_cycle_budget()
+
         return self._finish(benchmark)
 
 
@@ -415,8 +441,8 @@ def make_model(
     config: ProcessorConfig,
     memory: MemorySystem,
     tracer=None,
+    max_cycles=None,
 ):
     """Instantiate the right pipeline for ``config``."""
-    if config.out_of_order:
-        return OutOfOrderModel(info, config, memory, tracer=tracer)
-    return InOrderModel(info, config, memory, tracer=tracer)
+    cls = OutOfOrderModel if config.out_of_order else InOrderModel
+    return cls(info, config, memory, tracer=tracer, max_cycles=max_cycles)

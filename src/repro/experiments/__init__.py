@@ -11,6 +11,13 @@ from .figures import (
     figure3,
     mshr_study,
 )
+from .faults import (
+    GridFailure,
+    PointFailure,
+    PointTimeout,
+    RetryPolicy,
+    RunManifest,
+)
 from .parallel import DiskCache, ParallelRunner, SimPoint
 from .runner import RunCache, simulate_program
 
@@ -25,7 +32,12 @@ __all__ = [
     "figure3",
     "mshr_study",
     "DiskCache",
+    "GridFailure",
     "ParallelRunner",
+    "PointFailure",
+    "PointTimeout",
+    "RetryPolicy",
+    "RunManifest",
     "SimPoint",
     "RunCache",
     "simulate_program",

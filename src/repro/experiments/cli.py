@@ -23,8 +23,21 @@ configuration actually changed.  ``--jobs 1`` and ``--jobs N`` produce
 byte-identical tables and CSVs.  ``--no-cache`` bypasses the disk
 cache entirely (reads *and* writes).
 
-Exit codes: 0 success, 2 argument errors, 3 attribution-audit
-divergence (``--audit``).
+Failure semantics (see EXPERIMENTS.md "Failure semantics"): every
+point runs in isolation.  By default the first failure aborts the grid
+with a ``GRID FAILURE`` line naming the point; ``--keep-going``
+completes the grid instead, rendering explicit ``FAILED(<status>)``
+markers into tables/CSVs and exiting 4.  ``--point-timeout`` bounds
+each point's wall clock; ``--max-steps`` / ``--max-cycles`` bound the
+simulation itself.  Every outcome is journaled to
+``<out>/run_manifest.jsonl`` so ``--resume`` restarts a killed run
+from where it died.  Transient worker losses are retried up to
+``--max-retries`` times with backoff; deterministic failures never
+are.
+
+Exit codes: 0 success, 1 grid aborted on a failed point (fail-fast),
+2 argument errors, 3 attribution-audit divergence (``--audit``),
+4 grid completed with failed points (``--keep-going``).
 """
 
 from __future__ import annotations
@@ -40,9 +53,16 @@ from ..mem.config import MemoryConfig
 from ..trace import AuditError, JsonlSink, Tracer
 from ..workloads.base import Variant
 from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
-from ..workloads.suite import names
+from ..workloads.suite import REGISTRY_VERSION, names
 from . import figures
-from .parallel import DEFAULT_CACHE_DIRNAME, DiskCache, ParallelRunner, print_progress
+from .faults import GridFailure, RetryPolicy, RunManifest
+from .parallel import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_DIRNAME,
+    DiskCache,
+    ParallelRunner,
+    print_progress,
+)
 from .report import format_table, write_csv
 
 SCALES = {"default": DEFAULT_SCALE, "small": SMALL_SCALE, "tiny": TINY_SCALE}
@@ -56,6 +76,12 @@ TRACE_CONFIGS = {
 
 #: exit code for an attribution-audit divergence
 EXIT_AUDIT_DIVERGENCE = 3
+
+#: exit code for a grid that completed with failed points (--keep-going)
+EXIT_GRID_FAILURES = 4
+
+#: the per-run outcome journal, relative to --out (see --resume)
+MANIFEST_NAME = "run_manifest.jsonl"
 
 EXPERIMENTS = {
     "figure1": ("E1: normalized execution time (Figure 1)",
@@ -134,6 +160,49 @@ def main(argv=None) -> int:
              "decomposition from the per-cycle event stream and fail "
              f"(exit {EXIT_AUDIT_DIVERGENCE}) on any divergence",
     )
+    fault_group = parser.add_argument_group(
+        "fault tolerance",
+        "per-point failure isolation, watchdogs, retries and resumable "
+        "runs (EXPERIMENTS.md, 'Failure semantics')",
+    )
+    fault_group.add_argument(
+        "--keep-going", action="store_true",
+        help="complete the grid around failed points (rendered as "
+             f"FAILED markers) and exit {EXIT_GRID_FAILURES} instead of "
+             "aborting on the first failure",
+    )
+    fault_group.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound per simulation point; a point that "
+             "exceeds it is reported as timed-out (worker-side SIGALRM "
+             "backstopped by a parent-side hard deadline)",
+    )
+    fault_group.add_argument(
+        "--resume", action="store_true",
+        help=f"restore completed points from <out>/{MANIFEST_NAME} "
+             "(the journal every run appends to) instead of re-simulating",
+    )
+    fault_group.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retries (with backoff) for transient losses — worker "
+             "death / pool breakage only, never deterministic failures "
+             "(default: 2; 0 disables)",
+    )
+    fault_group.add_argument(
+        "--max-tasks-per-child", type=int, default=None, metavar="N",
+        help="recycle each worker process after N points (guards "
+             "against slow leaks on long grids; needs Python >= 3.11)",
+    )
+    fault_group.add_argument(
+        "--max-steps", type=int, default=None, metavar="N",
+        help="instruction budget per simulation (default: a "
+             "size-proportional budget; runaway programs raise instead "
+             "of spinning)",
+    )
+    fault_group.add_argument(
+        "--max-cycles", type=int, default=None, metavar="N",
+        help="simulated-cycle budget per simulation (default: unbounded)",
+    )
     trace_group = parser.add_argument_group(
         "trace subcommand",
         "record a per-cycle JSONL trace of one benchmark and/or render "
@@ -184,6 +253,19 @@ def main(argv=None) -> int:
     if not args.no_cache:
         cache_dir = args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME)
         cache = DiskCache(cache_dir)
+    manifest = None
+    try:
+        manifest = RunManifest(
+            Path(args.out) / MANIFEST_NAME,
+            resume=args.resume,
+            cache_version=f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION}",
+        )
+    except OSError as exc:
+        print(
+            f"warning: cannot journal to {Path(args.out) / MANIFEST_NAME} "
+            f"({exc}); --resume will not be available for this run",
+            file=sys.stderr,
+        )
     runner = ParallelRunner(
         scale=scale,
         jobs=jobs,
@@ -191,6 +273,13 @@ def main(argv=None) -> int:
         validate=not args.no_validate,
         audit=args.audit,
         progress=None if args.quiet else print_progress(),
+        keep_going=args.keep_going,
+        point_timeout=args.point_timeout,
+        retry=RetryPolicy(max_retries=max(0, args.max_retries)),
+        manifest=manifest,
+        max_tasks_per_child=args.max_tasks_per_child,
+        max_steps=args.max_steps,
+        max_cycles=args.max_cycles,
     )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -216,7 +305,26 @@ def main(argv=None) -> int:
     except AuditError as exc:
         print(f"AUDIT FAILURE: {exc}", file=sys.stderr)
         return EXIT_AUDIT_DIVERGENCE
+    except GridFailure as exc:
+        print(f"GRID FAILURE: {exc}", file=sys.stderr)
+        if exc.failure.traceback_text:
+            print(exc.failure.traceback_text, file=sys.stderr, end="")
+        print(
+            "(re-run with --keep-going to complete the grid around "
+            "failed points, or --resume to restart from the journal)",
+            file=sys.stderr,
+        )
+        return 1
+    finally:
+        if manifest is not None:
+            manifest.close()
 
+    if runner.resumed:
+        print(
+            f"resume: {runner.resumed} point(s) restored from "
+            f"{Path(args.out) / MANIFEST_NAME}",
+            file=sys.stderr,
+        )
     if runner.simulated or runner.cache_hits:
         print(
             f"\npoints: {runner.simulated} simulated, "
@@ -235,6 +343,15 @@ def main(argv=None) -> int:
             ),
             file=sys.stderr,
         )
+    if runner.failures:
+        print(
+            f"\n{len(runner.failures)} point(s) FAILED "
+            f"(details in {Path(args.out) / MANIFEST_NAME}):",
+            file=sys.stderr,
+        )
+        for failure in runner.failures:
+            print(f"  {failure.summary()}", file=sys.stderr)
+        return EXIT_GRID_FAILURES
     return 0
 
 

@@ -1,0 +1,485 @@
+"""Fault tolerance for experiment grids.
+
+The 246-point paper grid is only useful if it *finishes*: one worker
+OOM-killed by the OS, one malformed program spinning forever, or one
+torn cache record must not abort the run and discard every in-flight
+point.  This module supplies the pieces the runner, cache and CLI
+thread together:
+
+* **failure taxonomy** — :class:`PointFailure` captures what went wrong
+  with one :class:`~repro.experiments.parallel.SimPoint` (status,
+  exception type, message, traceback, attempt count) instead of letting
+  ``future.result()`` unwind the pool; :class:`GridFailure` is the
+  fail-fast wrapper raised when ``--keep-going`` is off.
+
+* **retry policy** — :class:`RetryPolicy` bounds retries for the
+  *transient* classes (worker death / ``BrokenProcessPool``) with
+  deterministic exponential backoff + jitter; deterministic failures
+  (:class:`~repro.sim.machine.SimulationError`,
+  :class:`~repro.trace.AuditError`, timeouts) are never retried —
+  see :func:`classify`.
+
+* **watchdog** — :class:`PointTimeout` plus :func:`point_alarm`, a
+  ``SIGALRM``-based wall-clock bound a worker arms around one
+  simulation so a hung point raises instead of blocking the pool.
+
+* **run manifest** — :class:`RunManifest`, an append-only JSONL
+  journal of per-point outcomes (including the full stats payload)
+  under the results directory, so ``--resume`` restarts a killed grid
+  from where it died even with the disk cache disabled.
+
+* **fault injection** — :func:`maybe_inject`, an env-gated test hook
+  (``REPRO_FAULT_PLAN``) that the chaos harness (``tests/chaos.py``)
+  uses to deterministically kill, hang, slow-roll or fail workers.
+  With the variable unset the hook is a single global check.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import random
+import signal
+import threading
+import time
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..cpu.stats import ExecutionStats
+
+log = logging.getLogger("repro.experiments.faults")
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy
+# ---------------------------------------------------------------------------
+
+#: a deterministic exception inside the point (bad program, bug, ...)
+STATUS_FAILED = "failed"
+#: the per-point wall-clock watchdog fired
+STATUS_TIMEOUT = "timed-out"
+#: the worker process died (SIGKILL / OOM / pool breakage)
+STATUS_WORKER_LOST = "worker-lost"
+#: attribution-audit divergence — never isolated, always fatal (exit 3)
+STATUS_AUDIT = "audit"
+
+#: statuses that are worth retrying: the fault is in the *environment*
+#: (a killed worker, a broken pool), not a deterministic property of
+#: the point itself.
+TRANSIENT_STATUSES = frozenset({STATUS_WORKER_LOST})
+
+
+class PointTimeout(RuntimeError):
+    """The per-point wall-clock watchdog (``--point-timeout``) fired."""
+
+
+class GridFailure(RuntimeError):
+    """A point failed and ``--keep-going`` was off.
+
+    Carries the structured :class:`PointFailure` so callers still know
+    exactly which point died and why, even on the fail-fast path.
+    """
+
+    def __init__(self, failure: "PointFailure") -> None:
+        super().__init__(
+            f"{failure.label}: {failure.status} "
+            f"({failure.error_type}: {failure.message})"
+        )
+        self.failure = failure
+
+
+@dataclass
+class PointFailure:
+    """Structured outcome of a simulation point that did not produce
+    stats.  Appears *in place of* an :class:`ExecutionStats` in the
+    list returned by ``run_points`` under ``--keep-going``, so figure
+    drivers can render explicit ``FAILED`` markers."""
+
+    status: str
+    label: str
+    key: str = ""
+    error_type: str = ""
+    message: str = ""
+    traceback_text: str = ""
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    #: discriminator figures/drivers can test without isinstance
+    failed: bool = True
+
+    def marker(self) -> str:
+        """The cell rendered into tables/CSVs for this point."""
+        return f"FAILED({self.status})"
+
+    def summary(self) -> str:
+        first = self.message.splitlines()[0] if self.message else ""
+        return (
+            f"{self.marker()} {self.label}"
+            f" [attempt {self.attempts}]"
+            + (f": {self.error_type}: {first}" if self.error_type else "")
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "label": self.label,
+            "key": self.key,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback_text,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        label: str,
+        key: str = "",
+        attempts: int = 1,
+        elapsed: float = 0.0,
+    ) -> "PointFailure":
+        status, _transient = classify(exc)
+        return cls(
+            status=status,
+            label=label,
+            key=key,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_text="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+            elapsed=elapsed,
+        )
+
+
+def classify(exc: BaseException) -> tuple:
+    """``(status, transient)`` for an exception raised while resolving
+    one point.
+
+    * pool breakage / lost workers are *transient* — a retry on a fresh
+      pool may well succeed (the classic case: one point OOM-kills its
+      worker and takes innocent in-flight neighbours with it);
+    * timeouts are deterministic (a hung point will hang again) —
+      reported, never retried;
+    * audit divergences are never isolated at all: they mean the
+      simulator is wrong, so they propagate and the run exits 3;
+    * everything else (``SimulationError``, ``ValidationError``,
+      arbitrary bugs) is a deterministic property of the point.
+    """
+    from concurrent.futures import BrokenExecutor
+
+    from ..trace import AuditError
+
+    if isinstance(exc, AuditError):
+        return STATUS_AUDIT, False
+    if isinstance(exc, BrokenExecutor):
+        return STATUS_WORKER_LOST, True
+    if isinstance(exc, PointTimeout):
+        return STATUS_TIMEOUT, False
+    return STATUS_FAILED, False
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff + jitter.
+
+    ``delay(key, attempt)`` is a pure function of the policy seed, the
+    point's cache key and the attempt number, so two runs of the same
+    grid back off identically — chaos tests stay reproducible.
+    """
+
+    #: additional attempts after the first (0 disables retries)
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    seed: int = 0
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of point ``key``."""
+        raw = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        rng = random.Random(f"{self.seed}:{key}:{attempt}")
+        return raw * (0.5 + rng.random() / 2)  # full jitter in [raw/2, raw]
+
+    def should_retry(self, status: str, attempt: int) -> bool:
+        return status in TRANSIENT_STATUSES and attempt <= self.max_retries
+
+
+# ---------------------------------------------------------------------------
+# Per-point wall-clock watchdog (worker side)
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def point_alarm(timeout: Optional[float], label: str = ""):
+    """Raise :class:`PointTimeout` if the body runs longer than
+    ``timeout`` seconds of wall clock.
+
+    Implemented with ``SIGALRM`` so it interrupts the pure-Python
+    simulator loops between bytecodes; silently inert when ``timeout``
+    is ``None``, on non-POSIX platforms, or off the main thread (the
+    parent's hard deadline still covers those cases).
+    """
+    usable = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise PointTimeout(
+            f"point exceeded --point-timeout={timeout:g}s"
+            + (f" ({label})" if label else "")
+        )
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ---------------------------------------------------------------------------
+# Run manifest (resumable runs)
+# ---------------------------------------------------------------------------
+
+#: bump when the manifest line format changes
+MANIFEST_FORMAT_VERSION = 1
+
+
+class RunManifest:
+    """Append-only JSONL journal of per-point outcomes.
+
+    Layout: a header line, then one line per resolved point::
+
+        {"type": "header", "version": 1, "cache_version": "2.3", ...}
+        {"type": "point", "key": "...", "status": "ok", "stats": {...}}
+        {"type": "point", "key": "...", "status": "worker-lost", ...}
+
+    * Appends are single ``write`` calls of one ``\\n``-terminated line
+      followed by flush+fsync, so a SIGKILL can tear at most the final
+      line — which the loader tolerates and drops.
+    * ``ok`` lines carry the full stats payload, so ``--resume``
+      restores completed points even when the disk cache is disabled
+      or a cache record was quarantined.
+    * A header version/cache-version mismatch discards the journal
+      (with a logged warning) rather than resuming across a format or
+      registry change.
+    """
+
+    def __init__(
+        self,
+        path,
+        resume: bool = False,
+        cache_version: str = "",
+    ) -> None:
+        self.path = Path(path)
+        self.cache_version = cache_version
+        #: key -> ExecutionStats restored from a previous run
+        self.completed: Dict[str, ExecutionStats] = {}
+        #: key -> failure dict recorded by a previous run
+        self.failures: Dict[str, Dict] = {}
+        self.resumed = bool(resume and self.path.exists())
+        if self.resumed:
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if self.resumed else "w"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        if not self.resumed:
+            self._append({
+                "type": "header",
+                "version": MANIFEST_FORMAT_VERSION,
+                "cache_version": self.cache_version,
+                "created": time.time(),
+            })
+
+    # -- journal I/O --------------------------------------------------------
+
+    def _append(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:  # unwritable results dir: degrade, loudly
+            log.warning("manifest append failed (%s): %s", self.path, exc)
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError as exc:
+            log.warning("cannot read manifest %s: %s", self.path, exc)
+            self.resumed = False
+            return
+        lines = raw.splitlines()
+        if not lines:
+            self.resumed = False
+            return
+        try:
+            header = json.loads(lines[0])
+            ok_header = (
+                header.get("type") == "header"
+                and header.get("version") == MANIFEST_FORMAT_VERSION
+                and header.get("cache_version") == self.cache_version
+            )
+        except ValueError:
+            ok_header = False
+        if not ok_header:
+            log.warning(
+                "manifest %s is from an incompatible run; starting fresh",
+                self.path,
+            )
+            self.resumed = False
+            return
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # torn final append from the killed run — drop it
+                continue
+            if record.get("type") != "point" or "key" not in record:
+                continue
+            key = record["key"]
+            if record.get("status") == "ok" and record.get("stats"):
+                try:
+                    self.completed[key] = ExecutionStats.from_dict(
+                        record["stats"]
+                    )
+                except (KeyError, TypeError, ValueError):
+                    continue
+            else:
+                self.failures[key] = record
+
+    # -- recording ----------------------------------------------------------
+
+    def record_ok(
+        self,
+        key: str,
+        stats: ExecutionStats,
+        label: str = "",
+        elapsed: float = 0.0,
+    ) -> None:
+        self.completed[key] = stats
+        self.failures.pop(key, None)
+        self._append({
+            "type": "point",
+            "key": key,
+            "status": "ok",
+            "label": label,
+            "elapsed_s": round(elapsed, 6),
+            "stats": stats.to_dict(),
+        })
+
+    def record_failure(self, failure: PointFailure) -> None:
+        record = {"type": "point", **failure.to_dict()}
+        record.pop("traceback", None)  # keep the journal compact
+        self.failures[failure.key] = record
+        self._append(record)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Deterministic fault injection (chaos-test hook)
+# ---------------------------------------------------------------------------
+
+#: environment variable naming the JSON fault plan (see tests/chaos.py)
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+#: cached (plan_path, entries) so the common no-plan case costs one
+#: environment lookup per process
+_PLAN_CACHE: Optional[tuple] = None
+
+
+def _load_plan() -> tuple:
+    global _PLAN_CACHE
+    path = os.environ.get(ENV_FAULT_PLAN)
+    if _PLAN_CACHE is not None and _PLAN_CACHE[0] == path:
+        return _PLAN_CACHE
+    entries: List[Dict] = []
+    if path:
+        try:
+            plan = json.loads(Path(path).read_text(encoding="utf-8"))
+            entries = list(plan.get("faults", []))
+        except (OSError, ValueError) as exc:
+            log.warning("unreadable fault plan %s: %s", path, exc)
+    _PLAN_CACHE = (path, entries)
+    return _PLAN_CACHE
+
+
+def _claim_shot(path: str, index: int, times: int) -> bool:
+    """Atomically claim one of ``times`` firings of plan entry ``index``
+    across processes: each firing is an ``O_EXCL``-created token file
+    next to the plan, so a kill-once fault kills exactly once no matter
+    how many workers race on it."""
+    for shot in range(times):
+        token = f"{path}.fired.{index}.{shot}"
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(fd)
+        return True
+    return False
+
+
+def maybe_inject(label: str) -> None:
+    """Fire any matching fault from the ``REPRO_FAULT_PLAN`` plan.
+
+    Test-only by construction: with the environment variable unset this
+    is one cached tuple comparison.  Actions:
+
+    * ``kill``  — ``SIGKILL`` the current process (worker death /
+      ``BrokenProcessPool`` in the parent);
+    * ``hang``  — sleep far past any timeout (watchdog coverage);
+    * ``sleep`` — slow-roll the point by ``seconds`` (straggler);
+    * ``error`` — raise ``RuntimeError`` (deterministic failure).
+    """
+    path, entries = _load_plan()
+    if not entries:
+        return
+    for index, entry in enumerate(entries):
+        if entry.get("match", "") not in label:
+            continue
+        times = int(entry.get("times", 1))
+        if times >= 0 and not _claim_shot(path, index, times):
+            continue
+        action = entry.get("action", "error")
+        seconds = float(entry.get("seconds", 0.0))
+        log.warning("fault injection: %s on %s", action, label)
+        if action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "hang":
+            time.sleep(seconds or 3600.0)
+        elif action == "sleep":
+            time.sleep(seconds)
+        else:
+            raise RuntimeError(f"injected fault ({entry.get('match', '')})")

@@ -12,6 +12,17 @@ grid to ``runner.run_points()`` — either the in-process serial
 disk-cached :class:`~repro.experiments.parallel.ParallelRunner` — and
 assemble rows from the returned stats, which align 1:1 with the
 enumerated points regardless of completion order.
+
+Failure semantics: when the runner runs with ``keep_going`` (CLI
+``--keep-going``), result slots for points that could not be resolved
+hold :class:`~repro.experiments.faults.PointFailure` placeholders
+instead of stats.  Every driver renders those as explicit
+``FAILED(<status>)`` markers — and ``-`` for any derived cell that
+needs the missing number — so a partially-failed grid still produces a
+complete, honest table instead of crashing or silently dropping rows.
+Cells whose *normalization baseline* failed render
+``FAILED(baseline)``: the point itself simulated fine, but the number
+the paper normalizes against is missing.
 """
 
 from __future__ import annotations
@@ -35,6 +46,21 @@ ARCH_CONFIGS = (
 #: Figure 1's normalization baseline (Section 3: times are "normalized
 #: to the base machine"): the single-issue in-order scalar run.
 BASELINE_CONFIG = ARCH_CONFIGS[0]
+
+#: Filler for table cells that cannot be derived because an input
+#: point failed (see the module docstring).
+NA = "-"
+
+
+def _failed(stats) -> bool:
+    """True when a result slot holds a PointFailure placeholder."""
+    return bool(getattr(stats, "failed", False))
+
+
+def _marker(stats) -> str:
+    """The explicit failure marker for a failed result slot."""
+    mk = getattr(stats, "marker", None)
+    return mk() if callable(mk) else "FAILED"
 
 
 def figure1(
@@ -67,12 +93,28 @@ def figure1(
         # 1-way in-order config), not whichever point completed first —
         # out-of-order completion in parallel mode must not change the
         # normalized columns.
-        base_cycles = raw[(name, Variant.SCALAR, BASELINE_CONFIG.name)].cycles
+        base = raw[(name, Variant.SCALAR, BASELINE_CONFIG.name)]
         stats = raw[(name, variant, config.name)]
+        vlabel = "VIS" if variant is Variant.VIS else "base"
+        if _failed(stats):
+            rows.append([
+                name, vlabel, config.name, _marker(stats),
+                NA, NA, NA, NA, NA,
+            ])
+            continue
+        if _failed(base):
+            # The point simulated, but the number the paper normalizes
+            # against is missing — absolute cycles only.
+            rows.append([
+                name, vlabel, config.name, "FAILED(baseline)",
+                NA, NA, NA, NA, stats.cycles,
+            ])
+            continue
+        base_cycles = base.cycles
         comp = stats.components_normalized(base_cycles)
         rows.append([
             name,
-            "VIS" if variant is Variant.VIS else "base",
+            vlabel,
             config.name,
             f"{100 * stats.cycles / base_cycles:.1f}",
             f"{comp['Busy']:.1f}",
@@ -109,12 +151,20 @@ def figure2(
     rows: List[List] = []
     for name, variant in grid:
         stats = raw[(name, variant)]
-        base_total = raw[(name, Variant.SCALAR)].instructions
+        base = raw[(name, Variant.SCALAR)]
+        vlabel = "VIS" if variant is Variant.VIS else "base"
+        if _failed(stats):
+            rows.append([name, vlabel, _marker(stats), NA, NA, NA, NA, NA])
+            continue
         counts = stats.category_counts
+        total = (
+            "FAILED(baseline)" if _failed(base)
+            else f"{100 * stats.instructions / base.instructions:.1f}"
+        )
         rows.append([
             name,
-            "VIS" if variant is Variant.VIS else "base",
-            f"{100 * stats.instructions / base_total:.1f}",
+            vlabel,
+            total,
             counts["FU"],
             counts["Branch"],
             counts["Memory"],
@@ -153,6 +203,20 @@ def figure3(
         base = by_key[(name, Variant.VIS)]
         pf = by_key[(name, Variant.VIS_PREFETCH)]
         for label, stats in (("VIS", base), ("+PF", pf)):
+            if _failed(stats):
+                rows.append([
+                    name, label, _marker(stats), NA, NA, NA, NA, NA, NA,
+                ])
+                continue
+            if _failed(base):
+                # The +PF point simulated but its VIS normalization
+                # baseline failed.
+                rows.append([
+                    name, label, "FAILED(baseline)", NA, NA, NA, NA,
+                    stats.memory.prefetches,
+                    stats.memory.prefetch_late,
+                ])
+                continue
             comp = stats.components_normalized(base.cycles)
             rows.append([
                 name, label,
@@ -202,12 +266,21 @@ def cache_sweep(
     raw: Dict = {key: stats for key, stats in zip(grid, stats_list)}
     rows: List[List] = []
     for name in bench_names:
-        cycles = [raw[(name, size)].cycles for size in sizes]
-        rows.append(
-            [name]
-            + [f"{100 * c / cycles[0]:.1f}" for c in cycles]
-            + [f"{cycles[0] / cycles[-1]:.2f}x"]
-        )
+        cells = [raw[(name, size)] for size in sizes]
+        base = cells[0]  # normalized to the smallest capacity
+        cols: List = []
+        for stats in cells:
+            if _failed(stats):
+                cols.append(_marker(stats))
+            elif _failed(base):
+                cols.append("FAILED(baseline)")
+            else:
+                cols.append(f"{100 * stats.cycles / base.cycles:.1f}")
+        if _failed(base) or _failed(cells[-1]):
+            speedup = NA
+        else:
+            speedup = f"{base.cycles / cells[-1].cycles:.2f}x"
+        rows.append([name] + cols + [speedup])
     return headers, rows, raw
 
 
@@ -239,10 +312,10 @@ def branch_stats(
         vis = by_key[(name, Variant.VIS)]
         rows.append([
             name,
-            f"{base.mispredict_rate:.1%}",
-            f"{vis.mispredict_rate:.1%}",
-            base.branches,
-            vis.branches,
+            _marker(base) if _failed(base) else f"{base.mispredict_rate:.1%}",
+            _marker(vis) if _failed(vis) else f"{vis.mispredict_rate:.1%}",
+            NA if _failed(base) else base.branches,
+            NA if _failed(vis) else vis.branches,
         ])
         raw[name] = (base, vis)
     return headers, rows, raw
@@ -273,6 +346,11 @@ def mshr_study(
     rows: List[List] = []
     for name, variant in grid:
         stats = raw[(name, variant)]
+        if _failed(stats):
+            rows.append([
+                name, variant.value, _marker(stats), NA, NA, NA, NA,
+            ])
+            continue
         overlap = stats.memory.load_miss_overlap
         total = sum(overlap.values()) or 1
         mean = sum(k * v for k, v in overlap.items()) / total

@@ -19,20 +19,42 @@ exploits that purity twice:
   benchmark, variant, and the workload registry version).  Repeated
   CLI runs, the pytest-benchmark harness, and the golden-figure
   regression tests all skip already-simulated points.  Writes are
-  atomic (temp file + ``os.replace``), loads are corruption-tolerant
-  (a truncated or garbled record is treated as a miss and rewritten),
-  and a version stamp invalidates the whole cache when the record
-  format or the workload registry changes.
+  atomic (temp file + ``os.replace``) and *logged* (never silently
+  swallowed) when they fail; records carry a sha256 payload checksum
+  verified on load, so torn or corrupted entries are quarantined under
+  ``<cache>/quarantine/`` and recomputed rather than trusted; a
+  version stamp invalidates the whole cache when the record format or
+  the workload registry changes.
+
+Fault tolerance (see :mod:`repro.experiments.faults`): each point is
+resolved in isolation — a worker that raises, hangs past
+``point_timeout``, or dies outright (``BrokenProcessPool``) costs only
+that point.  Transient losses are retried with deterministic backoff
+on a rebuilt pool; deterministic failures either abort the grid with a
+structured :class:`~repro.experiments.faults.GridFailure` naming the
+point, or — with ``keep_going`` — turn into
+:class:`~repro.experiments.faults.PointFailure` entries in the result
+list so figures render explicit ``FAILED`` markers.  Every outcome is
+journaled to the optional :class:`~repro.experiments.faults.RunManifest`
+so a killed run resumes where it died.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import sys
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,15 +65,35 @@ from ..mem.config import MemoryConfig
 from ..workloads.base import Variant
 from ..workloads.params import DEFAULT_SCALE, WorkloadScale
 from ..workloads.suite import REGISTRY_VERSION
+from ..workloads.suite import names as _workload_names
+from .faults import (
+    STATUS_AUDIT,
+    STATUS_TIMEOUT,
+    STATUS_WORKER_LOST,
+    GridFailure,
+    PointFailure,
+    RetryPolicy,
+    RunManifest,
+    classify,
+    maybe_inject,
+    point_alarm,
+)
 from .runner import RunCache
+
+log = logging.getLogger("repro.experiments.cache")
 
 #: Bump when the on-disk record layout changes; combined with
 #: :data:`repro.workloads.suite.REGISTRY_VERSION` into the cache stamp.
-CACHE_FORMAT_VERSION = 1
+#: v2: records gained the ``payload_sha256`` checksum.
+CACHE_FORMAT_VERSION = 2
 
 #: Default location of the persistent cache, relative to the CLI's
 #: output directory.
 DEFAULT_CACHE_DIRNAME = ".simcache"
+
+#: Subdirectory (inside the cache root) where corrupted records are
+#: moved for post-mortem instead of being trusted or deleted.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 # ---------------------------------------------------------------------------
@@ -109,12 +151,17 @@ class DiskCache:
 
         <root>/CACHE_VERSION     # "<format>.<registry>" stamp
         <root>/<sha256>.json     # one record per simulation point
+        <root>/quarantine/       # corrupted records, moved aside
 
     Records carry the point description alongside the stats so the
     cache is self-describing (``jq .point`` shows what produced a
-    record).  Any unreadable record — truncated write, garbled JSON,
-    stale schema — is treated as a miss and overwritten on the next
-    store; the cache never raises on load.
+    record), plus a sha256 checksum of the stats payload.  Loading
+    never raises: a record that is unreadable, unparseable, or fails
+    its checksum is **quarantined** (moved into ``quarantine/`` with a
+    logged warning) and treated as a miss, so the point is recomputed
+    instead of a torn write poisoning a figure.  Write failures (e.g.
+    a read-only results directory) are logged and counted in
+    :attr:`write_errors`, never silently swallowed.
     """
 
     STAMP_NAME = "CACHE_VERSION"
@@ -125,21 +172,43 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: records that failed checksum/parse and were moved aside
+        self.quarantined = 0
+        #: store() calls that could not persist their record
+        self.write_errors = 0
+        #: the cache directory could not be prepared; loads still work
+        #: if records exist, stores are logged no-ops
+        self.read_only = False
         self._ensure_stamp()
 
     # -- invalidation stamp -------------------------------------------------
 
     def _ensure_stamp(self) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            self.read_only = True
+            log.warning(
+                "cannot create cache directory %s (%s); caching disabled "
+                "for this run", self.root, exc,
+            )
+            return
         stamp = self.root / self.STAMP_NAME
         try:
             current = stamp.read_text().strip()
         except OSError:
-            current = None
+            current = None  # missing stamp: fresh (or pre-stamp) cache
         if current != self.version:
             if current is not None:
                 self.clear()
-            self._atomic_write(stamp, self.version)
+            try:
+                self._atomic_write(stamp, self.version)
+            except OSError as exc:
+                self.read_only = True
+                log.warning(
+                    "cannot write cache version stamp %s (%s); treating "
+                    "cache as read-only", stamp, exc,
+                )
 
     def clear(self) -> int:
         """Drop every record (keeps the directory); returns the count."""
@@ -148,8 +217,8 @@ class DiskCache:
             try:
                 record.unlink()
                 dropped += 1
-            except OSError:
-                pass
+            except OSError as exc:
+                log.warning("could not drop cache record %s: %s", record, exc)
         return dropped
 
     # -- records ------------------------------------------------------------
@@ -157,16 +226,62 @@ class DiskCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    @staticmethod
+    def payload_checksum(stats_dict: Dict) -> str:
+        """sha256 over the canonical JSON of the stats payload."""
+        blob = json.dumps(stats_dict, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt record aside (never trust, never crash)."""
+        self.quarantined += 1
+        qdir = self.root / QUARANTINE_DIRNAME
+        try:
+            qdir.mkdir(exist_ok=True)
+            os.replace(path, qdir / path.name)
+            log.warning(
+                "quarantined corrupt cache record %s -> %s/ (%s); "
+                "the point will be recomputed",
+                path.name, QUARANTINE_DIRNAME, reason,
+            )
+        except OSError as exc:
+            log.warning(
+                "corrupt cache record %s (%s) could not be quarantined "
+                "(%s); ignoring it", path.name, reason, exc,
+            )
+
     def load(self, key: str) -> Optional[ExecutionStats]:
         """Return the cached stats for ``key``, or ``None`` on any
-        miss — including corrupted, truncated, or mismatched records."""
+        miss.  Corrupted/truncated records are quarantined + logged."""
+        path = self.path_for(key)
         try:
-            with open(self.path_for(key), "r") as f:
+            with open(path, "r") as f:
                 record = json.load(f)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            log.warning("cannot read cache record %s: %s", path, exc)
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path, "unparseable JSON (torn write?)")
+            self.misses += 1
+            return None
+        try:
             if record.get("key") != key or record.get("version") != self.version:
-                raise ValueError("stale or mismatched record")
-            stats = ExecutionStats.from_dict(record["stats"])
-        except (OSError, ValueError, KeyError, TypeError):
+                # stale schema or registry: a plain miss, overwritten
+                # by the next store
+                self.misses += 1
+                return None
+            payload = record["stats"]
+            if record.get("payload_sha256") != self.payload_checksum(payload):
+                self._quarantine(path, "payload checksum mismatch")
+                self.misses += 1
+                return None
+            stats = ExecutionStats.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            self._quarantine(path, "malformed record")
             self.misses += 1
             return None
         self.hits += 1
@@ -178,18 +293,31 @@ class DiskCache:
         stats: ExecutionStats,
         point: Optional[SimPoint] = None,
         elapsed: Optional[float] = None,
-    ) -> Path:
+    ) -> Optional[Path]:
         """Atomically persist one record (write temp + ``os.replace``),
-        so a crash mid-write can never leave a half-record behind."""
+        so a crash mid-write can never leave a half-record behind.
+        Returns ``None`` (with a logged warning) if the write failed —
+        e.g. a read-only results directory — instead of aborting the
+        grid or hiding the problem."""
+        payload = stats.to_dict()
         record = {
             "version": self.version,
             "key": key,
             "point": point.describe() if point is not None else None,
             "elapsed_s": elapsed,
-            "stats": stats.to_dict(),
+            "payload_sha256": self.payload_checksum(payload),
+            "stats": payload,
         }
         path = self.path_for(key)
-        self._atomic_write(path, json.dumps(record, sort_keys=True))
+        try:
+            self._atomic_write(path, json.dumps(record, sort_keys=True))
+        except OSError as exc:
+            self.write_errors += 1
+            log.warning(
+                "cache write failed for %s (%s); continuing without "
+                "persisting this point", path, exc,
+            )
+            return None
         self.stores += 1
         return path
 
@@ -223,17 +351,40 @@ _WORKER_CACHES: Dict[str, RunCache] = {}
 
 
 def _simulate_point(
-    point: SimPoint, validate: bool, audit: bool = False
+    point: SimPoint,
+    validate: bool,
+    audit: bool = False,
+    timeout: Optional[float] = None,
+    max_steps: Optional[int] = None,
+    max_cycles: Optional[int] = None,
 ) -> Tuple[ExecutionStats, float]:
-    """Top-level (picklable) worker entry: simulate one point."""
-    cache_key = point.scale.content_key()
-    cache = _WORKER_CACHES.get(cache_key)
-    if cache is None or cache.validate != validate or cache.audit != audit:
-        cache = RunCache(scale=point.scale, validate=validate, audit=audit)
-        _WORKER_CACHES[cache_key] = cache
-    start = time.perf_counter()
-    stats = cache.run(point.benchmark, point.variant, point.cpu, point.mem)
-    return stats, time.perf_counter() - start
+    """Top-level (picklable) worker entry: simulate one point.
+
+    ``timeout`` arms the worker-side wall-clock watchdog (SIGALRM), so
+    a hung point raises :class:`~repro.experiments.faults.PointTimeout`
+    back to the parent instead of blocking the pool; the fault-injection
+    hook fires *inside* the alarm so injected hangs are caught too.
+    """
+    label = point.label()
+    with point_alarm(timeout, label):
+        maybe_inject(label)
+        cache_key = point.scale.content_key()
+        cache = _WORKER_CACHES.get(cache_key)
+        if (
+            cache is None
+            or cache.validate != validate
+            or cache.audit != audit
+            or cache.max_steps != max_steps
+            or cache.max_cycles != max_cycles
+        ):
+            cache = RunCache(
+                scale=point.scale, validate=validate, audit=audit,
+                max_steps=max_steps, max_cycles=max_cycles,
+            )
+            _WORKER_CACHES[cache_key] = cache
+        start = time.perf_counter()
+        stats = cache.run(point.benchmark, point.variant, point.cpu, point.mem)
+        return stats, time.perf_counter() - start
 
 
 #: Progress callback signature: (k, n, point, elapsed_s, cached).
@@ -242,8 +393,6 @@ ProgressFn = Callable[[int, int, SimPoint, float, bool], None]
 
 def print_progress(stream=None) -> ProgressFn:
     """The CLI's reporter: ``[k/n] label ... 1.24s`` or ``(cached)``."""
-    import sys
-
     out = stream or sys.stderr
 
     def report(k: int, n: int, point: SimPoint, elapsed: float, cached: bool):
@@ -272,6 +421,17 @@ class ParallelRunner:
     * ``jobs > 1`` fans un-cached points out over a process pool and
       merges results back in enumeration order, so output is
       byte-identical to the serial path.
+
+    Failure semantics: every point is resolved in isolation.  By
+    default (``keep_going=False``) the first deterministic failure
+    raises :class:`~repro.experiments.faults.GridFailure` naming the
+    point; with ``keep_going=True`` the grid completes around failures
+    and the returned list carries
+    :class:`~repro.experiments.faults.PointFailure` placeholders.
+    Transient worker losses are retried per :attr:`retry` on a rebuilt
+    pool either way.  Audit divergences
+    (:class:`~repro.trace.AuditError`) are never isolated — they mean
+    the simulator itself is wrong and always propagate.
     """
 
     scale: WorkloadScale = DEFAULT_SCALE
@@ -284,10 +444,36 @@ class ParallelRunner:
     #: on — combine with ``--no-cache`` to force a full re-audit.
     audit: bool = False
     progress: Optional[ProgressFn] = None
+    #: complete the grid around failed points instead of aborting
+    keep_going: bool = False
+    #: per-point wall-clock bound (seconds); enforced in the worker by
+    #: SIGALRM and backstopped by a parent-side hard deadline that
+    #: kills and rebuilds the pool
+    point_timeout: Optional[float] = None
+    #: bounded, deterministically-jittered retries for transient
+    #: failures (worker death / pool breakage)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: journal of per-point outcomes for ``--resume``
+    manifest: Optional[RunManifest] = None
+    #: recycle worker processes after N points (guards against leaks
+    #: in long grids); requires the spawn start method
+    max_tasks_per_child: Optional[int] = None
+    #: runaway watchdogs threaded to every simulation (``None`` = the
+    #: machine's size-proportional default / unbounded cycles)
+    max_steps: Optional[int] = None
+    max_cycles: Optional[int] = None
     #: points simulated (cache misses) across the runner's lifetime
     simulated: int = 0
     #: points served from the persistent cache
     cache_hits: int = 0
+    #: points restored from the resume manifest
+    resumed: int = 0
+    #: transient retries performed
+    retried: int = 0
+    #: process pools torn down and rebuilt after breakage/timeouts
+    pool_rebuilds: int = 0
+    #: structured failures collected this run (empty on a clean grid)
+    failures: List[PointFailure] = field(default_factory=list)
     _local: Optional[RunCache] = field(default=None, repr=False)
 
     @classmethod
@@ -299,6 +485,13 @@ class ParallelRunner:
         validate: bool = True,
         progress: Optional[ProgressFn] = None,
         audit: bool = False,
+        keep_going: bool = False,
+        point_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        manifest: Optional[RunManifest] = None,
+        max_tasks_per_child: Optional[int] = None,
+        max_steps: Optional[int] = None,
+        max_cycles: Optional[int] = None,
     ) -> "ParallelRunner":
         """Convenience constructor mirroring the CLI flags."""
         return cls(
@@ -308,6 +501,13 @@ class ParallelRunner:
             validate=validate,
             progress=progress,
             audit=audit,
+            keep_going=keep_going,
+            point_timeout=point_timeout,
+            retry=retry if retry is not None else RetryPolicy(),
+            manifest=manifest,
+            max_tasks_per_child=max_tasks_per_child,
+            max_steps=max_steps,
+            max_cycles=max_cycles,
         )
 
     # -- protocol -----------------------------------------------------------
@@ -319,28 +519,46 @@ class ParallelRunner:
         cpu_config: ProcessorConfig,
         mem_config: MemoryConfig,
     ) -> ExecutionStats:
-        """Single-point convenience (RunCache-compatible)."""
+        """Single-point convenience (RunCache-compatible).  Under
+        ``keep_going`` the result may be a :class:`PointFailure`."""
         point = SimPoint(name, variant, cpu_config, mem_config, self.scale)
         return self.run_points([point])[0]
 
     def run_points(self, points: Sequence[SimPoint]) -> List[ExecutionStats]:
-        """Resolve every point; results align 1:1 with ``points``."""
+        """Resolve every point; results align 1:1 with ``points``.
+
+        Entries are :class:`ExecutionStats`, or — only under
+        ``keep_going`` — :class:`PointFailure` placeholders for points
+        that could not be resolved.
+        """
         points = list(points)
+        known = set(_workload_names())
+        for point in points:
+            if point.benchmark not in known:
+                raise KeyError(point.benchmark)
         n = len(points)
         results: List[Optional[ExecutionStats]] = [None] * n
         reported = 0
 
-        # Phase 1: persistent-cache lookups, in enumeration order.
+        # Phase 0/1: resume-manifest and persistent-cache lookups, in
+        # enumeration order.
         keys = [p.content_key() for p in points]
         todo: Dict[str, List[int]] = {}  # key -> indices needing it
         for i, (point, key) in enumerate(zip(points, keys)):
             if key in todo:  # duplicate within this grid
                 todo[key].append(i)
                 continue
-            stats = self.cache.load(key) if self.cache is not None else None
+            stats = None
+            if self.manifest is not None:
+                stats = self.manifest.completed.get(key)
+                if stats is not None:
+                    self.resumed += 1
+            if stats is None and self.cache is not None:
+                stats = self.cache.load(key)
+                if stats is not None:
+                    self.cache_hits += 1
             if stats is not None:
                 results[i] = stats
-                self.cache_hits += 1
                 reported += 1
                 self._report(reported, n, point, 0.0, cached=True)
             else:
@@ -350,7 +568,8 @@ class ParallelRunner:
         if todo:
             reported = self._simulate(points, keys, todo, results, reported, n)
 
-        assert all(r is not None for r in results)
+        missing = [i for i, r in enumerate(results) if r is None]
+        assert not missing, f"unresolved points at indices {missing}"
         return results  # type: ignore[return-value]
 
     # -- internals ----------------------------------------------------------
@@ -375,6 +594,34 @@ class ParallelRunner:
         self.simulated += 1
         if self.cache is not None:
             self.cache.store(key, stats, point=points[indices[0]], elapsed=elapsed)
+        if self.manifest is not None:
+            self.manifest.record_ok(
+                key, stats, label=points[indices[0]].label(), elapsed=elapsed
+            )
+
+    def _record_failure(
+        self,
+        failure: PointFailure,
+        indices: List[int],
+        points: List[SimPoint],
+        results: List[Optional[ExecutionStats]],
+        reported: int,
+        n: int,
+    ) -> int:
+        """Book one failed point: journal it, then either abort the
+        grid (default) or mark the result slots and carry on."""
+        self.failures.append(failure)
+        if self.manifest is not None:
+            self.manifest.record_failure(failure)
+        if not self.keep_going:
+            raise GridFailure(failure)
+        for idx in indices:
+            results[idx] = failure
+        reported += 1
+        self._report(
+            reported, n, points[indices[0]], failure.elapsed, cached=False
+        )
+        return reported
 
     def _simulate(
         self,
@@ -387,43 +634,266 @@ class ParallelRunner:
     ) -> int:
         ordered = list(todo.items())  # enumeration order (dict is ordered)
         if self.jobs <= 1 or len(ordered) == 1:
-            if (
-                self._local is None
-                or self._local.scale != self.scale
-                or self._local.audit != self.audit
-            ):
-                self._local = RunCache(
-                    scale=self.scale, validate=self.validate, audit=self.audit
-                )
-            for key, indices in ordered:
-                point = points[indices[0]]
-                start = time.perf_counter()
-                stats = self._local.run(
-                    point.benchmark, point.variant, point.cpu, point.mem
-                )
-                elapsed = time.perf_counter() - start
-                self._finish(key, indices, stats, elapsed, points, results)
-                reported += 1
-                self._report(reported, n, point, elapsed, cached=False)
-            return reported
+            return self._simulate_serial(ordered, points, results, reported, n)
+        return self._simulate_parallel(ordered, points, results, reported, n)
 
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                pool.submit(
-                    _simulate_point, points[indices[0]], self.validate,
-                    self.audit,
-                ): (key, indices)
-                for key, indices in ordered
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+    # -- serial path --------------------------------------------------------
+
+    def _simulate_serial(
+        self, ordered, points, results, reported: int, n: int
+    ) -> int:
+        if (
+            self._local is None
+            or self._local.scale != self.scale
+            or self._local.audit != self.audit
+            or self._local.max_steps != self.max_steps
+            or self._local.max_cycles != self.max_cycles
+        ):
+            self._local = RunCache(
+                scale=self.scale, validate=self.validate, audit=self.audit,
+                max_steps=self.max_steps, max_cycles=self.max_cycles,
+            )
+        for key, indices in ordered:
+            point = points[indices[0]]
+            start = time.perf_counter()
+            try:
+                with point_alarm(self.point_timeout, point.label()):
+                    maybe_inject(point.label())
+                    stats = self._local.run(
+                        point.benchmark, point.variant, point.cpu, point.mem
+                    )
+            except Exception as exc:
+                status, _transient = classify(exc)
+                if status == STATUS_AUDIT:
+                    raise  # audit divergences are never isolated
+                failure = PointFailure.from_exception(
+                    exc, point.label(), key=key,
+                    elapsed=time.perf_counter() - start,
+                )
+                reported = self._record_failure(
+                    failure, indices, points, results, reported, n
+                )
+                continue
+            elapsed = time.perf_counter() - start
+            self._finish(key, indices, stats, elapsed, points, results)
+            reported += 1
+            self._report(reported, n, point, elapsed, cached=False)
+        return reported
+
+    # -- parallel path ------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        kwargs: Dict = {"max_workers": self.jobs}
+        if self.max_tasks_per_child:
+            # worker recycling needs a restartable start method
+            import multiprocessing
+
+            if sys.version_info >= (3, 11):
+                kwargs["max_tasks_per_child"] = self.max_tasks_per_child
+                kwargs["mp_context"] = multiprocessing.get_context("spawn")
+            else:  # pragma: no cover - py<3.11 fallback
+                log.warning(
+                    "max_tasks_per_child needs Python >= 3.11; ignoring"
+                )
+        return ProcessPoolExecutor(**kwargs)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a (possibly broken or hung) pool down hard: cancel what
+        never started, kill the worker processes so a hung point cannot
+        block shutdown, and never raise."""
+        try:
+            processes = list(getattr(pool, "_processes", {}).values())
+        except Exception:  # pragma: no cover - defensive
+            processes = []
+        for proc in processes:
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _hard_deadline(self, now: float) -> Optional[float]:
+        """Parent-side backstop for a worker SIGALRM cannot interrupt:
+        twice the point timeout plus scheduling slack."""
+        if self.point_timeout is None:
+            return None
+        return now + 2.0 * self.point_timeout + 2.0
+
+    def _requeue_or_fail(
+        self,
+        key: str,
+        indices: List[int],
+        status: str,
+        message: str,
+        pending: deque,
+        attempts: Dict[str, int],
+        not_before: Dict[str, float],
+        points,
+        results,
+        reported: int,
+        n: int,
+    ) -> int:
+        """A point was lost transiently (worker death / pool breakage):
+        retry it with backoff if the budget allows, else book the
+        structured failure."""
+        point = points[indices[0]]
+        if self.retry.should_retry(status, attempts[key]):
+            self.retried += 1
+            delay = self.retry.delay(key, attempts[key])
+            not_before[key] = time.monotonic() + delay
+            log.warning(
+                "%s: %s (attempt %d); retrying in %.2fs",
+                point.label(), status, attempts[key], delay,
+            )
+            pending.append((key, indices))
+            return reported
+        failure = PointFailure(
+            status=status,
+            label=point.label(),
+            key=key,
+            error_type="BrokenProcessPool"
+            if status == STATUS_WORKER_LOST else "PointTimeout",
+            message=message,
+            attempts=attempts[key],
+        )
+        return self._record_failure(
+            failure, indices, points, results, reported, n
+        )
+
+    def _simulate_parallel(
+        self, ordered, points, results, reported: int, n: int
+    ) -> int:
+        pending: deque = deque(ordered)
+        attempts: Dict[str, int] = {key: 0 for key, _ in ordered}
+        not_before: Dict[str, float] = {}
+        inflight: Dict = {}  # future -> (key, indices, hard_deadline)
+        pool = self._new_pool()
+        try:
+            while pending or inflight:
+                now = time.monotonic()
+                # ---- submit up to the worker count; rotate past
+                # backoff-gated heads so ready work is never starved
+                scanned, limit = 0, len(pending)
+                while (
+                    pending and len(inflight) < self.jobs and scanned <= limit
+                ):
+                    key, indices = pending[0]
+                    if not_before.get(key, 0.0) > now:
+                        pending.rotate(-1)
+                        scanned += 1
+                        continue
+                    pending.popleft()
+                    attempts[key] += 1
+                    future = pool.submit(
+                        _simulate_point, points[indices[0]], self.validate,
+                        self.audit, self.point_timeout, self.max_steps,
+                        self.max_cycles,
+                    )
+                    inflight[future] = (key, indices, self._hard_deadline(now))
+                if not inflight:  # everything gated on backoff
+                    time.sleep(0.02)
+                    continue
+
+                done, _ = wait(
+                    set(inflight), timeout=0.1, return_when=FIRST_COMPLETED
+                )
+                broken: List[Tuple[str, List[int]]] = []
                 for future in done:
-                    key, indices = futures[future]
-                    stats, elapsed = future.result()
+                    key, indices, _deadline = inflight.pop(future)
+                    point = points[indices[0]]
+                    try:
+                        stats, elapsed = future.result()
+                    except BrokenExecutor:
+                        broken.append((key, indices))
+                        continue
+                    except Exception as exc:
+                        status, transient = classify(exc)
+                        if status == STATUS_AUDIT:
+                            raise
+                        if transient and self.retry.should_retry(
+                            status, attempts[key]
+                        ):
+                            self.retried += 1
+                            not_before[key] = (
+                                time.monotonic()
+                                + self.retry.delay(key, attempts[key])
+                            )
+                            pending.append((key, indices))
+                            continue
+                        failure = PointFailure.from_exception(
+                            exc, point.label(), key=key,
+                            attempts=attempts[key],
+                        )
+                        reported = self._record_failure(
+                            failure, indices, points, results, reported, n
+                        )
+                        continue
                     self._finish(key, indices, stats, elapsed, points, results)
                     reported += 1
-                    self._report(
-                        reported, n, points[indices[0]], elapsed, cached=False
+                    self._report(reported, n, point, elapsed, cached=False)
+
+                # ---- pool breakage: a worker died (SIGKILL / OOM).
+                # Every in-flight future is doomed with it; rebuild the
+                # pool and retry/fail each lost point.
+                if broken:
+                    self.pool_rebuilds += 1
+                    victims = broken + [
+                        (key, indices) for key, indices, _dl in inflight.values()
+                    ]
+                    inflight.clear()
+                    self._kill_pool(pool)
+                    pool = self._new_pool()
+                    log.warning(
+                        "worker pool broke; rebuilt (%d point(s) rescheduled)",
+                        len(victims),
                     )
+                    for key, indices in victims:
+                        reported = self._requeue_or_fail(
+                            key, indices, STATUS_WORKER_LOST,
+                            "worker process died (pool breakage)",
+                            pending, attempts, not_before,
+                            points, results, reported, n,
+                        )
+                    continue
+
+                # ---- hard-deadline sweep: a worker hung in a way the
+                # SIGALRM watchdog could not interrupt.  Kill the pool,
+                # fail the expired point(s), requeue innocent bystanders
+                # without charging their retry budget.
+                now = time.monotonic()
+                expired = [
+                    future for future, (_k, _i, deadline) in inflight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if expired:
+                    self.pool_rebuilds += 1
+                    bystanders = []
+                    timed_out = []
+                    for future, (key, indices, deadline) in list(
+                        inflight.items()
+                    ):
+                        if future in expired:
+                            timed_out.append((key, indices))
+                        else:
+                            attempts[key] -= 1  # not their fault
+                            bystanders.append((key, indices))
+                    inflight.clear()
+                    self._kill_pool(pool)
+                    pool = self._new_pool()
+                    pending.extendleft(reversed(bystanders))
+                    for key, indices in timed_out:
+                        reported = self._requeue_or_fail(
+                            key, indices, STATUS_TIMEOUT,
+                            f"exceeded hard deadline "
+                            f"(~2x --point-timeout={self.point_timeout:g}s); "
+                            f"worker killed",
+                            pending, attempts, not_before,
+                            points, results, reported, n,
+                        )
+        finally:
+            self._kill_pool(pool)
         return reported

@@ -33,6 +33,8 @@ def simulate_program(
     machine: Optional[Machine] = None,
     tracer: Optional[Tracer] = None,
     audit: bool = False,
+    max_steps: Optional[int] = None,
+    max_cycles: Optional[int] = None,
 ) -> Tuple[ExecutionStats, Machine]:
     """Run one program through the functional machine + timing model.
 
@@ -41,9 +43,16 @@ def simulate_program(
     needed and raises :class:`~repro.trace.AuditError` on any
     attribution divergence.  With neither, the timing hot paths run
     exactly as before — tracing is strictly pay-for-use.
+
+    ``max_steps`` / ``max_cycles`` are the runaway watchdogs: a bound
+    on functionally executed instructions (``None`` = the machine's
+    size-proportional default budget) and on simulated cycles (``None``
+    = unbounded); both raise
+    :class:`~repro.sim.machine.SimulationError` instead of hanging.
     """
     stats, machine, _report = _simulate(
-        program, cpu_config, mem_config, benchmark, machine, tracer, audit
+        program, cpu_config, mem_config, benchmark, machine, tracer, audit,
+        max_steps, max_cycles,
     )
     return stats, machine
 
@@ -59,7 +68,8 @@ def audited_simulate(
     """Like :func:`simulate_program` with ``audit=True``, but also
     returns the :class:`~repro.trace.AuditReport` (already verified)."""
     stats, machine, report = _simulate(
-        program, cpu_config, mem_config, benchmark, machine, tracer, True
+        program, cpu_config, mem_config, benchmark, machine, tracer, True,
+        None, None,
     )
     assert report is not None
     return stats, report, machine
@@ -73,6 +83,8 @@ def _simulate(
     machine: Optional[Machine],
     tracer: Optional[Tracer],
     audit: bool,
+    max_steps: Optional[int] = None,
+    max_cycles: Optional[int] = None,
 ) -> Tuple[ExecutionStats, Machine, Optional[AuditReport]]:
     machine = machine or Machine(program)
     machine.reset()
@@ -80,9 +92,12 @@ def _simulate(
     if tracer is None and audit:
         tracer = Tracer(info, cpu_config.issue_width)
     memory = MemorySystem(mem_config, tracer=tracer)
-    model = make_model(info, cpu_config, memory, tracer=tracer)
+    model = make_model(
+        info, cpu_config, memory, tracer=tracer, max_cycles=max_cycles
+    )
     stats = model.simulate(
-        machine.run(observer=tracer), benchmark or program.name
+        machine.run(max_instructions=max_steps, observer=tracer),
+        benchmark or program.name,
     )
     stats.check_consistency()
     report = None
@@ -104,6 +119,10 @@ class RunCache:
     #: recomputation (raises :class:`~repro.trace.AuditError` on any
     #: attribution divergence)
     audit: bool = False
+    #: runaway watchdogs forwarded to :func:`simulate_program`
+    #: (``None`` = the machine's size-proportional default / unbounded)
+    max_steps: Optional[int] = None
+    max_cycles: Optional[int] = None
     _built: Dict[Tuple[str, Variant], BuiltWorkload] = field(default_factory=dict)
     _validated: Dict[Tuple[str, Variant], bool] = field(default_factory=dict)
 
@@ -125,6 +144,8 @@ class RunCache:
             built.program, cpu_config, mem_config,
             benchmark=f"{name}[{variant.value}]",
             audit=self.audit,
+            max_steps=self.max_steps,
+            max_cycles=self.max_cycles,
         )
         key = (name, variant)
         if self.validate and not self._validated.get(key):

@@ -35,6 +35,26 @@ class SimulationError(RuntimeError):
     """A functional-execution fault (bad address, div-by-zero, runaway)."""
 
 
+# -- default step-budget watchdog -------------------------------------------
+#
+# A program with a malformed loop (e.g. a hypothesis-generated
+# ProgramBuilder program whose exit branch never fires) used to spin
+# for the full 200M-instruction ceiling before failing — minutes of
+# apparent hang in pytest.  The default budget is instead proportional
+# to program size: measured dynamic/static ratios across the suite top
+# out near ~3.2k and dynamic/memory-byte ratios near ~14, so the
+# constants below leave >10x headroom for every real workload at every
+# scale while bounding a 10-instruction runaway to ~1M steps (~1 s).
+
+#: flat floor of the default step budget
+STEP_BUDGET_BASE = 1_000_000
+#: budget granted per static instruction
+STEP_BUDGET_PER_INSTRUCTION = 1_000
+#: budget granted per byte of program memory (dynamic counts scale
+#: with data footprint, which is how WorkloadScale grows programs)
+STEP_BUDGET_PER_BYTE = 200
+
+
 class Machine:
     """Functional simulator for one program instance."""
 
@@ -80,13 +100,28 @@ class Machine:
 
     # -- execution ----------------------------------------------------------------
 
+    def default_step_budget(self) -> int:
+        """The default ``max_instructions`` watchdog: proportional to
+        program size (static instructions + memory footprint), so a
+        malformed program raises :class:`SimulationError` in seconds
+        instead of hanging pytest, while every real workload keeps
+        >10x headroom (see the module constants)."""
+        return (
+            STEP_BUDGET_BASE
+            + STEP_BUDGET_PER_INSTRUCTION * len(self._code)
+            + STEP_BUDGET_PER_BYTE * self.memory_size
+        )
+
     def run(
         self,
-        max_instructions: int = 200_000_000,
+        max_instructions: Optional[int] = None,
         chunk_size: int = 1 << 16,
         observer=None,
     ) -> Iterator[List[Event]]:
         """Execute from the entry point, yielding trace chunks.
+
+        ``max_instructions`` is the runaway watchdog; ``None`` (the
+        default) uses :meth:`default_step_budget`.
 
         Each yielded list is reused storage: consume (or copy) it before
         advancing the generator.
@@ -99,6 +134,8 @@ class Machine:
         per-chunk, not per-instruction, so it costs nothing in the
         interpreter loop.
         """
+        if max_instructions is None:
+            max_instructions = self.default_step_budget()
         events = self._events
         events.clear()
         code = self._code
@@ -116,7 +153,8 @@ class Machine:
                 if executed > max_instructions:
                     raise SimulationError(
                         f"exceeded {max_instructions} instructions "
-                        f"(pc={pc}, program={self.program.name!r})"
+                        f"(step-budget watchdog; pc={pc}, "
+                        f"program={self.program.name!r})"
                     )
         except IndexError:
             raise SimulationError(
@@ -130,14 +168,16 @@ class Machine:
             yield events
             events.clear()
 
-    def run_to_completion(self, max_instructions: int = 200_000_000) -> List[Event]:
+    def run_to_completion(
+        self, max_instructions: Optional[int] = None
+    ) -> List[Event]:
         """Execute and return the whole trace as one list (tests/small runs)."""
         trace: List[Event] = []
         for chunk in self.run(max_instructions=max_instructions):
             trace.extend(chunk)
         return trace
 
-    def run_functional(self, max_instructions: int = 200_000_000) -> int:
+    def run_functional(self, max_instructions: Optional[int] = None) -> int:
         """Execute for side effects only; returns the instruction count."""
         count = 0
         for chunk in self.run(max_instructions=max_instructions):

@@ -1,0 +1,100 @@
+"""Chaos-test helpers: deterministic fault plans for the experiment
+runner's fault-injection hook (``repro.experiments.faults.maybe_inject``).
+
+A *fault plan* is a JSON file naming which simulation points to break
+and how::
+
+    {"faults": [
+        {"match": "addition[vis]", "action": "kill", "times": 1},
+        {"match": "scale[base]", "action": "hang"},
+        {"match": "blend", "action": "error", "times": -1}
+    ]}
+
+``match`` is a substring of the point label
+(``benchmark[variant]@config``), ``action`` is one of ``kill`` /
+``hang`` / ``sleep`` / ``error`` and ``times`` bounds how often the
+entry fires across *all* processes (claimed atomically via O_EXCL
+token files; ``-1`` = every time).
+
+:class:`FaultPlan` writes the plan and points ``REPRO_FAULT_PLAN`` at
+it — either in this process (monkeypatch-style, for in-process serial
+runs) or via an environment dict handed to a subprocess.  Used by
+``tests/test_faults.py``; kept importable on its own so ad-hoc chaos
+runs work from a shell too::
+
+    python -c "
+    from tests.chaos import FaultPlan
+    ..."
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments import faults
+
+ENV = faults.ENV_FAULT_PLAN
+
+
+class FaultPlan:
+    """Write a fault plan to disk and expose it via the environment.
+
+    Entries are ``dict(match=..., action=..., times=..., seconds=...)``
+    exactly as consumed by :func:`repro.experiments.faults.maybe_inject`.
+    """
+
+    def __init__(self, directory, entries: List[Dict]) -> None:
+        self.path = Path(directory) / "fault_plan.json"
+        self.entries = entries
+        self.path.write_text(
+            json.dumps({"faults": entries}), encoding="utf-8"
+        )
+        self._previous: Optional[str] = None
+        self._armed = False
+
+    # -- in-process use -----------------------------------------------------
+
+    def arm(self) -> "FaultPlan":
+        """Point ``REPRO_FAULT_PLAN`` at the plan in this process (and,
+        via inheritance, any worker the pool spawns/forks)."""
+        self._previous = os.environ.get(ENV)
+        os.environ[ENV] = str(self.path)
+        self._armed = True
+        faults._PLAN_CACHE = None  # drop the per-process plan cache
+        return self
+
+    def disarm(self) -> None:
+        if not self._armed:
+            return
+        if self._previous is None:
+            os.environ.pop(ENV, None)
+        else:
+            os.environ[ENV] = self._previous
+        self._armed = False
+        faults._PLAN_CACHE = None
+
+    def __enter__(self) -> "FaultPlan":
+        return self.arm()
+
+    def __exit__(self, *exc_info) -> None:
+        self.disarm()
+
+    # -- subprocess use -----------------------------------------------------
+
+    def environ(self, base: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """An environment dict for ``subprocess.run(..., env=...)``."""
+        env = dict(base if base is not None else os.environ)
+        env[ENV] = str(self.path)
+        return env
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def shots_fired(self, index: int = 0) -> int:
+        """How many times plan entry ``index`` has fired (token files)."""
+        fired = 0
+        while Path(f"{self.path}.fired.{index}.{fired}").exists():
+            fired += 1
+        return fired

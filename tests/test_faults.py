@@ -1,0 +1,591 @@
+"""Chaos suite for the fault-tolerance layer (`repro.experiments.faults`).
+
+Exercises every failure class the runner is supposed to survive:
+SIGKILLed workers (pool breakage + rebuild + retry), hung workers past
+``--point-timeout``, deterministic in-point exceptions (fail-fast
+``GridFailure`` vs ``--keep-going`` FAILED markers), corrupted and
+truncated disk-cache records (quarantine + recompute), torn manifest
+lines, and a full kill-at-50%/``--resume`` round trip through the CLI
+producing byte-identical CSVs.
+
+Faults are injected deterministically through the env-gated hook in
+``repro.experiments.faults.maybe_inject`` — see ``tests/chaos.py``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments import figures
+from repro.experiments.cli import EXIT_GRID_FAILURES, main
+from repro.experiments.faults import (
+    STATUS_AUDIT,
+    STATUS_FAILED,
+    STATUS_TIMEOUT,
+    STATUS_WORKER_LOST,
+    GridFailure,
+    PointFailure,
+    PointTimeout,
+    RetryPolicy,
+    classify,
+    point_alarm,
+)
+from repro.experiments.parallel import DiskCache, ParallelRunner, SimPoint
+from repro.sim.machine import Machine, SimulationError
+from repro.trace import AuditError
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from tests.chaos import FaultPlan
+
+SUBSET = ("addition", "thresh")
+CONFIG = ProcessorConfig.inorder_1way()
+
+
+def _grid(benchmarks=SUBSET, variants=(Variant.SCALAR, Variant.VIS)):
+    mem = TINY_SCALE.memory_config()
+    return [
+        SimPoint(name, variant, CONFIG, mem, TINY_SCALE)
+        for name in benchmarks
+        for variant in variants
+    ]
+
+
+def _fingerprint(stats_list):
+    return [s.to_dict() for s in stats_list]
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy / policy units
+# ---------------------------------------------------------------------------
+
+
+class TestClassify:
+    def test_arbitrary_exception_is_deterministic(self):
+        assert classify(RuntimeError("boom")) == (STATUS_FAILED, False)
+        assert classify(SimulationError("spin")) == (STATUS_FAILED, False)
+
+    def test_timeout_is_deterministic(self):
+        assert classify(PointTimeout("slow")) == (STATUS_TIMEOUT, False)
+
+    def test_pool_breakage_is_transient(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        assert classify(BrokenProcessPool()) == (STATUS_WORKER_LOST, True)
+
+    def test_audit_never_isolated(self):
+        status, transient = classify(AuditError("divergence"))
+        assert status == STATUS_AUDIT and not transient
+
+
+class TestRetryPolicy:
+    def test_only_transient_statuses_retry(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(STATUS_WORKER_LOST, 1)
+        assert policy.should_retry(STATUS_WORKER_LOST, 2)
+        assert not policy.should_retry(STATUS_WORKER_LOST, 3)
+        for status in (STATUS_FAILED, STATUS_TIMEOUT, STATUS_AUDIT):
+            assert not policy.should_retry(status, 1)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, max_delay=0.3)
+        for attempt in (1, 2, 3):
+            first = policy.delay("k", attempt)
+            assert first == policy.delay("k", attempt)  # pure function
+            raw = min(0.3, 0.1 * 2 ** (attempt - 1))
+            assert raw / 2 <= first <= raw
+        assert policy.delay("k", 1) != policy.delay("other", 1)
+
+    def test_zero_retries_disables(self):
+        assert not RetryPolicy(max_retries=0).should_retry(
+            STATUS_WORKER_LOST, 1
+        )
+
+
+class TestPointFailure:
+    def test_marker_and_summary_name_the_point(self):
+        failure = PointFailure.from_exception(
+            RuntimeError("boom"), "addition[vis]@ooo", key="abc", attempts=2
+        )
+        assert failure.marker() == "FAILED(failed)"
+        assert "addition[vis]@ooo" in failure.summary()
+        assert "RuntimeError" in failure.summary()
+        assert "RuntimeError" in failure.traceback_text
+        assert failure.to_dict()["attempts"] == 2
+
+    def test_grid_failure_names_the_point(self):
+        failure = PointFailure.from_exception(
+            RuntimeError("boom"), "thresh[scalar]@1way"
+        )
+        with pytest.raises(GridFailure, match="thresh"):
+            raise GridFailure(failure)
+
+
+# ---------------------------------------------------------------------------
+# Watchdogs
+# ---------------------------------------------------------------------------
+
+
+class TestWatchdogs:
+    def test_point_alarm_interrupts_pure_python_loop(self):
+        with pytest.raises(PointTimeout, match="0.2"):
+            with point_alarm(0.2, "spin-test"):
+                while True:
+                    pass
+
+    def test_point_alarm_inert_when_disabled(self):
+        with point_alarm(None):
+            pass  # must not touch signal state
+
+    def test_machine_default_step_budget_stops_runaway(self):
+        """An infinite loop trips the size-proportional default budget
+        in about a second — no explicit max_instructions needed."""
+        from repro.asm import ProgramBuilder
+
+        from repro.sim.machine import (
+            STEP_BUDGET_BASE,
+            STEP_BUDGET_PER_BYTE,
+            STEP_BUDGET_PER_INSTRUCTION,
+        )
+
+        b = ProgramBuilder("runaway")
+        top = b.here()
+        b.j(top)
+        machine = Machine(b.build())
+        program = machine.program
+        budget = machine.default_step_budget()
+        assert budget == (
+            STEP_BUDGET_BASE
+            + STEP_BUDGET_PER_INSTRUCTION * len(program.instructions)
+            + STEP_BUDGET_PER_BYTE * machine.memory_size
+        )
+        # max_instructions=None resolves to the default budget (shrunk
+        # here so the test trips in milliseconds, not minutes)
+        machine.default_step_budget = lambda: 10_000
+        with pytest.raises(SimulationError, match="step-budget watchdog"):
+            machine.run_functional()
+
+    def test_machine_budget_scales_with_program(self):
+        from repro.workloads.suite import get
+
+        built = get("addition").build(Variant.SCALAR, TINY_SCALE)
+        machine = Machine(built.program)
+        # real workloads fit comfortably inside their own budget
+        machine.run_functional()
+
+    def test_pipeline_cycle_budget(self):
+        """max_cycles bounds the timing model independently of the
+        functional step budget."""
+        from repro.experiments.runner import RunCache
+
+        cache = RunCache(scale=TINY_SCALE, max_cycles=50)
+        with pytest.raises(SimulationError, match="cycle-budget watchdog"):
+            cache.run(
+                "addition", Variant.SCALAR, CONFIG,
+                TINY_SCALE.memory_config(),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Cache hardening
+# ---------------------------------------------------------------------------
+
+
+class TestCacheHardening:
+    def _prime(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        point = _grid(("addition",), (Variant.SCALAR,))[0]
+        [stats] = runner.run_points([point])
+        return cache, point, stats
+
+    def test_corrupted_record_quarantined_and_recomputed(
+        self, tmp_path, caplog
+    ):
+        cache, point, stats = self._prime(tmp_path)
+        path = cache.path_for(point.content_key())
+        record = json.loads(path.read_text())
+        record["stats"]["cycles"] = 1  # bit-rot: checksum now mismatches
+        path.write_text(json.dumps(record))
+
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.load(point.content_key()) is None
+        assert cache.quarantined == 1
+        assert "quarantined" in caplog.text and "checksum" in caplog.text
+        qdir = cache.root / "quarantine"
+        assert list(qdir.glob("*.json")), "corrupt record moved aside"
+
+        # the point recomputes to the same stats and re-populates
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache)
+        [again] = runner.run_points([point])
+        assert again.to_dict() == stats.to_dict()
+        assert runner.simulated == 1 and cache.load(point.content_key())
+
+    def test_truncated_record_quarantined(self, tmp_path, caplog):
+        cache, point, _stats = self._prime(tmp_path)
+        path = cache.path_for(point.content_key())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn write
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.load(point.content_key()) is None
+        assert cache.quarantined == 1
+        assert "torn write" in caplog.text
+
+    def test_stale_version_is_plain_miss_not_quarantine(self, tmp_path):
+        cache, point, _stats = self._prime(tmp_path)
+        path = cache.path_for(point.content_key())
+        record = json.loads(path.read_text())
+        record["version"] = "0.0"
+        path.write_text(json.dumps(record))
+        assert cache.load(point.content_key()) is None
+        assert cache.quarantined == 0
+
+    def test_write_failure_logged_not_swallowed(
+        self, tmp_path, caplog
+    ):
+        cache, point, stats = self._prime(tmp_path)
+        import shutil
+
+        shutil.rmtree(cache.root)  # yank the directory out from under it
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.store(point.content_key(), stats) is None
+        assert cache.write_errors == 1
+        assert "cache write failed" in caplog.text
+
+    def test_unwritable_cache_root_degrades_loudly(self, tmp_path, caplog):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            cache = DiskCache(blocker / "cache")
+        assert cache.read_only
+        assert "caching disabled" in caplog.text
+
+
+# ---------------------------------------------------------------------------
+# Injected faults through the runner
+# ---------------------------------------------------------------------------
+
+
+class TestInjectedFaults:
+    def test_error_fails_fast_naming_the_point(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+        with plan, pytest.raises(GridFailure, match=r"thresh\[vis\]"):
+            runner.run_points(_grid())
+
+    def test_keep_going_completes_grid_with_markers(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, keep_going=True)
+        with plan:
+            results = runner.run_points(_grid())
+        failed = [r for r in results if getattr(r, "failed", False)]
+        assert len(failed) == 1
+        assert failed[0].marker() == "FAILED(failed)"
+        assert "thresh[vis]" in failed[0].label
+        assert failed[0].error_type == "RuntimeError"
+        ok = [r for r in results if not getattr(r, "failed", False)]
+        assert len(ok) == len(_grid()) - 1  # the rest completed
+        assert len(runner.failures) == 1
+
+    def test_killed_worker_retried_and_recovered(self, tmp_path):
+        """SIGKILLing one worker breaks the whole pool; the runner
+        rebuilds it, retries the lost points, and still produces the
+        exact same stats as a clean run."""
+        clean = ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(_grid())
+        plan = FaultPlan(tmp_path, [
+            {"match": "addition[scalar]", "action": "kill", "times": 1},
+        ])
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=2)
+        with plan:
+            results = runner.run_points(_grid())
+        assert plan.shots_fired(0) == 1, "the kill actually fired"
+        assert runner.pool_rebuilds >= 1
+        assert runner.retried >= 1
+        assert _fingerprint(results) == _fingerprint(clean)
+
+    def test_repeated_kills_exhaust_retries_into_worker_lost(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "addition[scalar]", "action": "kill", "times": -1},
+        ])
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=2, keep_going=True,
+            retry=RetryPolicy(max_retries=1, base_delay=0.01),
+        )
+        with plan:
+            results = runner.run_points(_grid())
+        failed = [r for r in results if getattr(r, "failed", False)]
+        assert len(failed) == 1
+        assert failed[0].status == STATUS_WORKER_LOST
+        assert failed[0].marker() == "FAILED(worker-lost)"
+        assert failed[0].attempts == 2  # first try + one retry
+
+    def test_hung_worker_times_out(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[scalar]", "action": "hang"},
+        ])
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=2, keep_going=True, point_timeout=1.0,
+        )
+        start = time.monotonic()
+        with plan:
+            results = runner.run_points(_grid())
+        failed = [r for r in results if getattr(r, "failed", False)]
+        assert len(failed) == 1
+        assert failed[0].status == STATUS_TIMEOUT
+        assert "point-timeout" in failed[0].message
+        # the SIGALRM watchdog fired, not the 3600s sleep
+        assert time.monotonic() - start < 60
+
+    def test_straggler_just_finishes(self, tmp_path):
+        """A slow point inside the timeout is not a failure."""
+        plan = FaultPlan(tmp_path, [
+            {"match": "addition[vis]", "action": "sleep", "seconds": 0.3},
+        ])
+        clean = ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(_grid())
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=2, point_timeout=30.0,
+        )
+        with plan:
+            results = runner.run_points(_grid())
+        assert not runner.failures
+        assert _fingerprint(results) == _fingerprint(clean)
+
+    def test_combined_chaos_run(self, tmp_path):
+        """The acceptance scenario, all at once: one worker SIGKILL,
+        one corrupted cache entry, one hung point.  Under --keep-going
+        the grid completes, the kill is retried away, the corrupt
+        record is quarantined + recomputed, and exactly the one
+        unrecoverable fault (the hang) is reported."""
+        grid = _grid()  # addition/thresh x scalar/vis
+        clean = ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(grid)
+        # prime the cache with ONLY the first point, then corrupt its
+        # record — every other point must actually simulate, so the
+        # injected faults below really fire
+        cache = DiskCache(tmp_path / "cache")
+        ParallelRunner(scale=TINY_SCALE, jobs=1, cache=cache).run_points(
+            grid[:1]
+        )
+        path = cache.path_for(grid[0].content_key())
+        path.write_bytes(path.read_bytes()[:40])
+
+        plan = FaultPlan(tmp_path, [
+            {"match": "addition[vis]", "action": "kill", "times": 1},
+            {"match": "thresh[scalar]", "action": "hang", "times": -1},
+        ])
+        cache2 = DiskCache(tmp_path / "cache")
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=2, cache=cache2, keep_going=True,
+            point_timeout=1.0,
+            retry=RetryPolicy(max_retries=2, base_delay=0.01),
+        )
+        with plan:
+            results = runner.run_points(grid)
+
+        # exactly the injected unrecoverable failure is reported
+        assert [f.status for f in runner.failures] == [STATUS_TIMEOUT]
+        assert "thresh[scalar]" in runner.failures[0].label
+        # the corrupted record was quarantined and its point recomputed
+        assert cache2.quarantined == 1
+        # the killed worker's point was retried to success
+        assert runner.pool_rebuilds >= 1
+        # every other point matches an uninterrupted run exactly
+        for point, got, want in zip(grid, results, clean):
+            if getattr(got, "failed", False):
+                continue
+            assert got.to_dict() == want.to_dict(), point.label()
+
+    def test_manifest_journals_failures(self, tmp_path):
+        from repro.experiments.faults import RunManifest
+
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        manifest = RunManifest(tmp_path / "m.jsonl", cache_version="t")
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=1, keep_going=True, manifest=manifest,
+        )
+        with plan:
+            runner.run_points(_grid())
+        manifest.close()
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "m.jsonl").read_text().splitlines()
+        ]
+        ok = [l for l in lines if l.get("status") == "ok"]
+        bad = [l for l in lines if l.get("status") == STATUS_FAILED]
+        assert len(ok) == len(_grid()) - 1
+        assert len(bad) == 1 and "thresh[vis]" in bad[0]["label"]
+
+
+# ---------------------------------------------------------------------------
+# FAILED markers in figures
+# ---------------------------------------------------------------------------
+
+
+class TestFigureMarkers:
+    def test_failed_point_renders_marker_row(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, keep_going=True)
+        with plan:
+            _h, rows, _raw = figures.figure2(runner, benchmarks=SUBSET)
+        marked = [r for r in rows if r[2] == "FAILED(failed)"]
+        assert len(marked) == 1 and marked[0][0] == "thresh"
+        assert marked[0][3:] == ["-"] * 5
+        clean = [r for r in rows if "FAILED" not in str(r[2])]
+        assert len(clean) == len(rows) - 1  # the rest rendered normally
+
+    def test_failed_baseline_marks_dependent_rows(self, tmp_path):
+        """When the normalization baseline itself fails, its benchmark's
+        other rows render FAILED(baseline) + absolute numbers only."""
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[scalar]@in-order 1-way",
+             "action": "error", "times": -1},
+        ])
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, keep_going=True)
+        with plan:
+            _h, rows, _raw = figures.figure1(runner, benchmarks=SUBSET)
+        thresh = [r for r in rows if r[0] == "thresh"]
+        assert any(r[3] == "FAILED(failed)" for r in thresh)
+        assert any(r[3] == "FAILED(baseline)" for r in thresh)
+        # the un-faulted benchmark still has fully numeric rows
+        addition = [r for r in rows if r[0] == "addition"]
+        assert all("FAILED" not in str(r[3]) for r in addition)
+
+
+# ---------------------------------------------------------------------------
+# Manifest resilience + CLI round trips
+# ---------------------------------------------------------------------------
+
+
+class TestManifest:
+    def test_torn_final_line_dropped_on_resume(self, tmp_path):
+        from repro.experiments.faults import RunManifest
+
+        point = _grid(("addition",), (Variant.SCALAR,))[0]
+        manifest = RunManifest(tmp_path / "m.jsonl", cache_version="v")
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, manifest=manifest)
+        [stats] = runner.run_points([point])
+        manifest.close()
+
+        raw = (tmp_path / "m.jsonl").read_bytes()
+        # journal a torn append: half a second record
+        (tmp_path / "m.jsonl").write_bytes(
+            raw + raw.splitlines(keepends=True)[-1][:17]
+        )
+        resumed = RunManifest(
+            tmp_path / "m.jsonl", resume=True, cache_version="v"
+        )
+        assert resumed.resumed
+        restored = resumed.completed[point.content_key()]
+        assert restored.to_dict() == stats.to_dict()
+        resumed.close()
+
+    def test_incompatible_header_starts_fresh(self, tmp_path):
+        from repro.experiments.faults import RunManifest
+
+        path = tmp_path / "m.jsonl"
+        with RunManifest(path, cache_version="old") as manifest:
+            manifest.record_ok("k", _stats_fixture(), label="x")
+        fresh = RunManifest(path, resume=True, cache_version="new")
+        assert not fresh.resumed and not fresh.completed
+        fresh.close()
+
+
+def _stats_fixture():
+    runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+    return runner.run_points(_grid(("addition",), (Variant.SCALAR,)))[0]
+
+
+class TestCliFaults:
+    ARGS = [
+        "figure2", "--scale", "tiny", "--benchmarks", "addition", "thresh",
+        "--no-cache", "--quiet",
+    ]
+
+    def test_fail_fast_exits_1_naming_point(self, tmp_path, capsys):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        with plan:
+            code = main(self.ARGS + ["--out", str(tmp_path / "out")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "GRID FAILURE" in err and "thresh[vis]" in err
+
+    def test_keep_going_exits_4_with_markers_in_csv(self, tmp_path, capsys):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[vis]", "action": "error", "times": -1},
+        ])
+        with plan:
+            code = main(
+                self.ARGS
+                + ["--out", str(tmp_path / "out"), "--keep-going"]
+            )
+        assert code == EXIT_GRID_FAILURES == 4
+        err = capsys.readouterr().err
+        assert "FAILED(failed)" in err and "thresh[vis]" in err
+        csv_text = (tmp_path / "out" / "figure2_tiny.csv").read_text()
+        assert "FAILED(failed)" in csv_text
+
+    def test_resume_skips_completed_points(self, tmp_path, capsys):
+        out = str(tmp_path / "out")
+        assert main(self.ARGS + ["--out", out]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--out", out, "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "resume: 4 point(s) restored" in err
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_sigkill_midway_then_resume_is_byte_identical(self, tmp_path):
+        """The CI smoke scenario, end to end: SIGKILL the CLI partway
+        through a grid, re-run with --resume, and the CSVs match a
+        clean run byte for byte."""
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        args = [
+            sys.executable, "-m", "repro.experiments.cli",
+            "figure2", "--scale", "tiny",
+            "--benchmarks", "addition", "thresh",
+            "--no-cache", "--jobs", "1",
+        ]
+        ref = tmp_path / "ref"
+        subprocess.run(
+            args + ["--out", str(ref)], env=env, cwd=repo,
+            check=True, capture_output=True, timeout=600,
+        )
+
+        out = tmp_path / "out"
+        proc = subprocess.Popen(
+            args + ["--out", str(out)], env=env, cwd=repo,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        # kill after the first progress line: mid-grid by construction
+        assert proc.stderr.readline()
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        assert proc.returncode != 0
+
+        resumed = subprocess.run(
+            args + ["--out", str(out), "--resume"], env=env, cwd=repo,
+            check=True, capture_output=True, text=True, timeout=600,
+        )
+        assert "resume:" in resumed.stderr
+        assert (
+            (out / "figure2_tiny.csv").read_bytes()
+            == (ref / "figure2_tiny.csv").read_bytes()
+        )
