@@ -10,7 +10,7 @@ from conftest import run_once
 from repro.experiments import figure2
 from repro.experiments.report import format_table
 from repro.workloads import Variant
-from repro.workloads.suite import KERNEL_NAMES, names
+from repro.workloads.suite import names
 
 
 def test_figure2_instruction_mix(benchmark, small_cache):

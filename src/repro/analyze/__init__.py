@@ -1,0 +1,41 @@
+"""Static verification of assembled SVIS programs.
+
+The analyzer proves (or refutes) the properties the paper's numbers
+silently depend on: every register read is initialized, every memory
+access stays inside a declared buffer with the right alignment, and
+every VIS instruction runs under the GSR state it needs.  See
+DESIGN.md ("Static verification") for the diagnostic vocabulary.
+"""
+
+from .cfg import CFG, Region
+from .diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    make_diagnostic,
+)
+from .domain import StridedInterval
+from .verify import (
+    ANALYZER_VERSION,
+    VerificationError,
+    analyze_program,
+    program_digest,
+    verify_program,
+)
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "AnalysisReport",
+    "CFG",
+    "CODES",
+    "Diagnostic",
+    "Region",
+    "Severity",
+    "StridedInterval",
+    "VerificationError",
+    "analyze_program",
+    "make_diagnostic",
+    "program_digest",
+    "verify_program",
+]

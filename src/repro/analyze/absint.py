@@ -1,0 +1,901 @@
+"""Interval abstract interpretation of SVIS address arithmetic.
+
+Proves memory safety of every load/store/partial-store: each access is
+either **proven** to stay inside one declared
+:class:`~repro.asm.program.Buffer` (recorded in
+``AnalysisReport.proven_accesses`` for the dynamic cross-check),
+**provably wrong** (``E-OOB``) or provably misaligned (``W-ALIGN``)
+or **unproven**
+(data-dependent; ``I-ADDR-UNPROVEN`` / ``I-ALIGN-UNPROVEN`` infos).
+
+The engine runs per :class:`~repro.analyze.cfg.Region` on the collapsed
+graph and never propagates along back edges, so each pass is a DAG
+traversal and terminates without widening.  Loop headers are instead
+*pinned*: registers modified in the loop get either an induction
+envelope (``c0 + [0, (N-1)*d]`` from the syntactic ``add r, r, imm``
+increment ``d`` and the latch-branch trip count ``N``) or TOP.  Inner
+loops fold into the outer envelope when their trip count is exact.
+Because an inner loop's entry state depends on the outer pin and the
+outer pin depends on the inner trip count, the engine iterates a few
+passes until the trip-count memo stabilizes; loops still unstable on
+the last pass are pinned to TOP (always sound).
+
+Calls are collapsed: the callee's may-def registers (from the dataflow
+function summaries) are clobbered to TOP at the call site, and each
+callee body is analyzed as its own region with an all-TOP entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
+
+from ..asm.program import Buffer, Program
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+from ..isa.registers import GSR, NUM_REGS, ZERO
+from .cfg import CFG, E_FALL, E_TAKEN, Loop, Region
+from .dataflow import _function_summaries
+from .diagnostics import Diagnostic, make_diagnostic
+from .domain import TOP, StridedInterval
+
+SI = StridedInterval
+
+#: registers tracked per state; a missing key means TOP
+State = Dict[int, StridedInterval]
+
+_MASK64 = (1 << 64) - 1
+_MAX_PASSES = 4
+#: trip counts beyond this are treated as unknown (envelope saturates
+#: to TOP anyway; this merely skips useless bignum math)
+_MAX_TRIP = 1 << 40
+
+#: access width in bytes per memory opcode (pf is exempt: non-faulting)
+ACCESS_WIDTH: Dict[str, int] = {
+    "ldb": 1, "ldbs": 1, "stb": 1, "ldfb": 1, "stfb": 1,
+    "ldh": 2, "ldhs": 2, "sth": 2, "ldfh": 2, "stfh": 2,
+    "ldw": 4, "ldws": 4, "stw": 4, "ldfw": 4, "stfw": 4,
+    "ldx": 8, "stx": 8, "ldf": 8, "stf": 8, "pst": 8,
+}
+
+#: value range of each load destination (unsigned/signed per decoder)
+_LOAD_RANGES: Dict[str, Tuple[int, int]] = {
+    "ldb": (0, 0xFF),
+    "ldbs": (-0x80, 0x7F),
+    "ldh": (0, 0xFFFF),
+    "ldhs": (-0x8000, 0x7FFF),
+    "ldw": (0, 0xFFFFFFFF),
+    "ldws": (-(1 << 31), (1 << 31) - 1),
+    "ldfb": (0, 0xFF),
+    "ldfh": (0, 0xFFFF),
+    "ldfw": (0, 0xFFFFFFFF),
+}
+
+_PACK_OPS = ("fpack16", "fpack32", "fpackfix")
+_BYTEMASK_OPS = (
+    "edge8", "edge16", "edge32",
+    "fcmpgt16", "fcmple16", "fcmpeq16", "fcmpne16",
+    "fcmpgt32", "fcmpeq32",
+)
+
+
+def _s64(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+_ZERO_SI = StridedInterval.const(0)
+
+
+def _get(state: State, reg: int) -> StridedInterval:
+    if reg == ZERO:
+        return _ZERO_SI
+    return state.get(reg, TOP)
+
+
+def _set(state: State, reg: int, value: StridedInterval) -> None:
+    if value.is_top:
+        state.pop(reg, None)
+    else:
+        state[reg] = value
+
+
+def _join_states(a: State, b: State) -> State:
+    out: State = {}
+    for reg, val in a.items():
+        other = b.get(reg)
+        if other is None:
+            continue
+        if val is other:  # hot path: same fact object from a dominator
+            out[reg] = val
+            continue
+        joined = val.join(other)
+        if not joined.is_top:
+            out[reg] = joined
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions
+# ---------------------------------------------------------------------------
+
+
+def _alu(op: str, a: StridedInterval, b: StridedInterval) -> StridedInterval:
+    """Reg-reg integer ALU ops (also used for reg-imm via const b)."""
+    if op == "add":
+        return a.add(b)
+    if op == "sub":
+        return a.sub(b)
+    if op == "mul":
+        return a.mul(b)
+    if op == "div":
+        if b.is_singleton and b.lo > 0:
+            return a.div_trunc(b.lo)
+        return TOP
+    if op == "rem":
+        if b.is_singleton and b.lo > 0:
+            return SI.range(-(b.lo - 1), b.lo - 1) if b.lo > 1 else SI.const(0)
+        return TOP
+    if op == "and_":
+        if b.is_singleton:
+            return a.and_mask(b.lo)
+        if a.is_singleton:
+            return b.and_mask(a.lo)
+        return TOP
+    if op == "or_":
+        if a.is_singleton and b.is_singleton:
+            return SI.const(_s64((a.lo | b.lo) & _MASK64))
+        return TOP
+    if op == "xor":
+        if a.is_singleton and b.is_singleton:
+            return SI.const(_s64((a.lo ^ b.lo) & _MASK64))
+        return TOP
+    if op == "andn":
+        if b.is_singleton:
+            return a.and_mask(_s64(~b.lo & _MASK64))
+        return TOP
+    if op == "sll":
+        if b.is_singleton and 0 <= b.lo <= 63:
+            return a.shl(b.lo)
+        return TOP
+    if op == "sra":
+        if b.is_singleton and 0 <= b.lo <= 63:
+            return a.shr(b.lo)
+        return TOP
+    if op == "srl":
+        # logical == arithmetic only for non-negative operands
+        if b.is_singleton and 0 <= b.lo <= 63 and not a.is_top and a.lo >= 0:
+            return a.shr(b.lo)
+        return TOP
+    if op in ("slt", "sltu", "seq"):
+        return SI.range(0, 1)
+    return TOP
+
+
+#: compiled-plan tags (see :meth:`_Transfer._compile`)
+_T_CONST = 0   # (tag, dst, si): dst := si (si is never TOP)
+_T_COPY = 1    # (tag, dst, src): dst := src
+_T_ALU = 2     # (tag, dst, s0, s1, op): dst := _alu(op, s0, s1)
+_T_ALUI = 3    # (tag, dst, s0, si_b, op): dst := _alu(op, s0, const)
+_T_CLOB = 4    # (tag, dst): dst := TOP
+_T_CLOB2 = 5   # (tag, dst, dst2): both := TOP
+_T_SLOW = 6    # (tag,): full _Transfer.apply dispatch
+
+_ALU_OPS = frozenset(
+    ("add", "sub", "mul", "div", "rem", "and_", "or_", "xor",
+     "andn", "sll", "srl", "sra")
+)
+_RANGE01 = None  # initialized below (module load order)
+
+
+class _Transfer:
+    """Applies one instruction to a state (mutating it).
+
+    ``__init__`` pre-compiles every instruction into a small dispatch
+    tuple (``plan``) so the per-pass inner loop pays one tuple unpack
+    instead of re-classifying opcode strings on every walk; ``None``
+    entries (stores, branches, prefetches) provably do not change the
+    tracked state and are skipped outright.  ``check_plan`` marks the
+    instructions the value checker must look at (memory accesses,
+    ``wrgsr``, packs), so the fused checking pass skips the rest.
+    """
+
+    def __init__(self, cfg: CFG, summaries: Dict[int, Tuple[int, int]]):
+        self.cfg = cfg
+        self.summaries = summaries
+        self.plan: List[Optional[Tuple]] = []
+        self.check_plan: List[bool] = []
+        self._compile()
+
+    def _compile(self) -> None:
+        range01 = SI.range(0, 1)
+        bytemask = SI.range(0, 0xFF)
+        load_si = {op: SI.range(*r) for op, r in _LOAD_RANGES.items()}
+        for instr in self.cfg.instructions:
+            op = instr.op
+            self.check_plan.append(
+                op in ACCESS_WIDTH or op == "wrgsr" or op in _PACK_OPS
+            )
+            spec = instr.spec
+            dst = instr.dst
+            if spec.opclass == OpClass.CALL:
+                self.plan.append((_T_SLOW,))
+                continue
+            if dst < 0:
+                self.plan.append(None)  # provably no state effect
+                continue
+            if instr.dst2 >= 0:  # alignaddr and friends: rare, full path
+                self.plan.append((_T_SLOW,))
+                continue
+            srcs = instr.srcs
+            if op == "li":
+                si = SI.const(_s64((instr.imm or 0) & _MASK64))
+                self.plan.append((_T_CONST, dst, si))
+            elif op in ("mov", "fsrc", "fmovd"):
+                if srcs[0] == ZERO:
+                    self.plan.append((_T_CONST, dst, _ZERO_SI))
+                else:
+                    self.plan.append((_T_COPY, dst, srcs[0]))
+            elif op in ("slt", "sltu", "seq"):
+                self.plan.append((_T_CONST, dst, range01))
+            elif op in _ALU_OPS:
+                if len(srcs) == 2:
+                    self.plan.append((_T_ALU, dst, srcs[0], srcs[1], op))
+                else:
+                    si = SI.const(instr.imm or 0)
+                    self.plan.append((_T_ALUI, dst, srcs[0], si, op))
+            elif op in _LOAD_RANGES:
+                self.plan.append((_T_CONST, dst, load_si[op]))
+            elif op in ("ldx", "ldf"):
+                self.plan.append((_T_CLOB, dst))
+            elif op == "fzero":
+                self.plan.append((_T_CONST, dst, _ZERO_SI))
+            elif op == "fone":
+                self.plan.append((_T_CONST, dst, SI.const(-1)))
+            elif op in _BYTEMASK_OPS:
+                self.plan.append((_T_CONST, dst, bytemask))
+            elif op in ("alignaddr", "wrgsr", "rdgsr", "fnot", "pdist"):
+                self.plan.append((_T_SLOW,))
+            else:
+                # media arithmetic, packs, fp, array8, ... -> unknown
+                self.plan.append((_T_CLOB, dst))
+
+    def apply_block(
+        self,
+        indices,
+        work: State,
+        checker: "Optional[_Checker]" = None,
+    ) -> None:
+        """Apply a whole block through the compiled plan (the hot
+        loop); with ``checker`` the value checks are fused in."""
+        plan = self.plan
+        instructions = self.cfg.instructions
+        check_plan = self.check_plan
+        for i in indices:
+            if checker is not None and check_plan[i]:
+                checker._check_instr(i, instructions[i], work)
+            p = plan[i]
+            if p is None:
+                continue
+            tag = p[0]
+            if tag == _T_ALU:
+                a = _ZERO_SI if p[2] == ZERO else work.get(p[2], TOP)
+                b = _ZERO_SI if p[3] == ZERO else work.get(p[3], TOP)
+                v = _alu(p[4], a, b)
+                if v.is_top:
+                    work.pop(p[1], None)
+                else:
+                    work[p[1]] = v
+            elif tag == _T_ALUI:
+                a = _ZERO_SI if p[2] == ZERO else work.get(p[2], TOP)
+                v = _alu(p[4], a, p[3])
+                if v.is_top:
+                    work.pop(p[1], None)
+                else:
+                    work[p[1]] = v
+            elif tag == _T_CONST:
+                work[p[1]] = p[2]
+            elif tag == _T_COPY:
+                v = work.get(p[2], TOP)
+                if v.is_top:
+                    work.pop(p[1], None)
+                else:
+                    work[p[1]] = v
+            elif tag == _T_CLOB:
+                work.pop(p[1], None)
+            elif tag == _T_CLOB2:
+                work.pop(p[1], None)
+                work.pop(p[2], None)
+            else:  # _T_SLOW
+                self.apply(i, instructions[i], work)
+
+    def apply(self, idx: int, instr: Instruction, state: State) -> None:
+        op = instr.op
+        spec = instr.spec
+        dst = instr.dst
+
+        if spec.opclass == OpClass.CALL:
+            may_def, _must = self.summaries.get(instr.target, (0, 0))
+            for reg in range(NUM_REGS):
+                if (may_def >> reg) & 1:
+                    state.pop(reg, None)
+            if dst >= 0:
+                _set(state, dst, SI.const(idx + 1))
+            return
+        if dst < 0:
+            return
+
+        srcs = instr.srcs
+        if op == "li":
+            _set(state, dst, SI.const(_s64((instr.imm or 0) & _MASK64)))
+        elif op in ("mov", "fsrc", "fmovd"):
+            _set(state, dst, _get(state, srcs[0]))
+        elif op in ("add", "sub", "mul", "div", "rem", "and_", "or_", "xor",
+                    "andn", "sll", "srl", "sra", "slt", "sltu", "seq"):
+            a = _get(state, srcs[0])
+            b = (
+                _get(state, srcs[1])
+                if len(srcs) == 2
+                else SI.const(instr.imm or 0)
+            )
+            _set(state, dst, _alu(op, a, b))
+        elif op in _LOAD_RANGES:
+            lo, hi = _LOAD_RANGES[op]
+            _set(state, dst, SI.range(lo, hi))
+        elif op in ("ldx", "ldf"):
+            state.pop(dst, None)
+        elif op == "alignaddr":
+            a = _get(state, srcs[0])
+            b = (
+                _get(state, srcs[1])
+                if len(srcs) > 1
+                else SI.const(instr.imm or 0)
+            )
+            addr = a.add(b)
+            _set(state, dst, addr.align_down(3))
+            gsr = _get(state, GSR)
+            scale_bits = (
+                gsr.and_mask(-8) if not gsr.is_top else SI.range(0, 0x78)
+            )
+            if addr.is_singleton:
+                _set(state, GSR, scale_bits.addc(addr.lo & 7))
+            else:
+                _set(state, GSR, scale_bits.add(SI.range(0, 7)))
+        elif op == "wrgsr":
+            s = _get(state, srcs[0])
+            if not s.is_top and 0 <= s.lo and s.hi <= 0x7F:
+                _set(state, GSR, s)
+            else:
+                _set(state, GSR, SI.range(0, 0x7F))
+        elif op == "rdgsr":
+            gsr = _get(state, GSR)
+            _set(state, dst, gsr if not gsr.is_top else SI.range(0, 0x7F))
+        elif op == "fzero":
+            _set(state, dst, SI.const(0))
+        elif op == "fone":
+            _set(state, dst, SI.const(-1))
+        elif op == "fnot":
+            _set(state, dst, _get(state, srcs[0]).neg().addc(-1))
+        elif op in _BYTEMASK_OPS:
+            _set(state, dst, SI.range(0, 0xFF))
+        elif op == "pdist":
+            acc = _get(state, srcs[2])
+            _set(state, dst, acc.add(SI.range(0, 2040)))
+        else:
+            # media arithmetic, packs, fp, array8, ... -> unknown
+            state.pop(dst, None)
+            if instr.dst2 >= 0:
+                state.pop(instr.dst2, None)
+            return
+        if instr.dst2 >= 0 and op != "alignaddr":
+            state.pop(instr.dst2, None)
+
+
+# ---------------------------------------------------------------------------
+# Branch-edge refinement
+# ---------------------------------------------------------------------------
+
+
+def _refine_edge(
+    instr: Instruction, state: State, kind: str
+) -> Optional[State]:
+    """State along one outgoing edge of a conditional branch; ``None``
+    when the edge is provably dead."""
+    if kind not in (E_TAKEN, E_FALL) or instr.op not in (
+        "beq", "bne", "blt", "ble", "bgt", "bge"
+    ):
+        return state
+    out = dict(state)
+    ra, rb = instr.srcs
+    a = _get(state, ra)
+    b = _get(state, rb)
+
+    op = instr.op
+    # normalize to a-relative: bgt/bge are blt/ble with swapped operands
+    if op in ("bgt", "bge"):
+        op = {"bgt": "blt", "bge": "ble"}[op]
+        ra, rb = rb, ra
+        a, b = b, a
+    taken = kind == E_TAKEN
+
+    def commit(na: Optional[SI], nb: Optional[SI]) -> Optional[State]:
+        if na is None or nb is None:
+            return None
+        if ra != ZERO:
+            _set(out, ra, na)
+        if rb != ZERO:
+            _set(out, rb, nb)
+        return out
+
+    if op == "beq":
+        if taken:
+            m = a.meet(b)
+            return None if m is None else commit(m, m)
+        return out
+    if op == "bne":
+        if not taken:
+            m = a.meet(b)
+            return None if m is None else commit(m, m)
+        return out
+    if op == "blt":
+        if taken:  # a < b
+            return commit(a.clamp_le(b.hi - 1), b.clamp_ge(a.lo + 1))
+        return commit(a.clamp_ge(b.lo), b.clamp_le(a.hi))
+    if op == "ble":
+        if taken:  # a <= b
+            return commit(a.clamp_le(b.hi), b.clamp_ge(a.lo))
+        return commit(a.clamp_ge(b.lo + 1), b.clamp_le(a.hi - 1))
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Loop summaries: syntactic induction deltas + trip counts
+# ---------------------------------------------------------------------------
+
+
+class _LoopInfo:
+    """Per-loop induction summary (syntactic, state-independent)."""
+
+    def __init__(self, region: Region, loop: Loop) -> None:
+        self.loop = loop
+        cfg = region.cfg
+        # blocks belonging to directly-nested inner loops (their writes
+        # are accounted for by folding the inner loop's own summary)
+        inner_blocks: Set[int] = set()
+        for h in loop.inner:
+            inner_blocks |= region.loops[h].body
+        # registers written anywhere in the loop (incl. call clobbers,
+        # recorded as ("call", target) and resolved against summaries)
+        self.modified: Set[Union[int, Tuple[str, int]]] = set()
+        #: reg -> per-iteration delta from this loop's own blocks;
+        #: absent = not inductive here
+        self.deltas: Dict[int, int] = {}
+        broken: Set[int] = set()
+        latch = (
+            next(iter(loop.latches)) if len(loop.latches) == 1 else None
+        )
+        for block in loop.body:
+            in_inner = block in inner_blocks
+            for i in cfg.block_instrs(block):
+                instr = cfg.instructions[i]
+                if instr.spec.opclass == OpClass.CALL:
+                    self.modified.add(("call", instr.target))
+                for d in (instr.dst, instr.dst2):
+                    if d < 0:
+                        continue
+                    self.modified.add(d)
+                    if in_inner:
+                        continue  # folded via the inner loop's summary
+                    step = self._step_of(instr, d)
+                    if step is not None and (
+                        latch is None or region.dominates(block, latch)
+                    ):
+                        self.deltas[d] = self.deltas.get(d, 0) + step
+                    else:
+                        broken.add(d)
+        for d in broken:
+            self.deltas.pop(d, None)
+        self.broken = broken
+
+    @staticmethod
+    def _step_of(instr: Instruction, dst: int) -> Optional[int]:
+        """Delta of ``add/sub dst, dst, imm`` self-increments."""
+        if (
+            instr.op in ("add", "sub")
+            and len(instr.srcs) == 1
+            and instr.srcs[0] == dst
+            and instr.imm is not None
+        ):
+            return instr.imm if instr.op == "add" else -instr.imm
+        return None
+
+
+def _trip_count(
+    instr: Instruction, delta: Dict[int, int], state: State
+) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+    """``(n_max, n_exact, ctr_reg)`` from a latch conditional branch.
+
+    The branch is *taken* to continue the loop (do-while shape).
+    """
+    if instr.op not in ("blt", "ble", "bgt", "bge"):
+        return None, None, None
+    ra, rb = instr.srcs
+    op = instr.op
+    ctr, bound = ra, rb
+    if ra not in delta and rb in delta:
+        # counter on the right: mirror the comparison
+        ctr, bound = rb, ra
+        op = {"blt": "bgt", "ble": "bge", "bgt": "blt", "bge": "ble"}[op]
+    d = delta.get(ctr)
+    if d is None or d == 0 or bound in delta:
+        return None, None, None
+    c0 = _get(state, ctr)
+    b = _get(state, bound)
+    if c0.is_top or b.is_top:
+        return None, None, None
+
+    def count(c0v: int, bv: int) -> Optional[int]:
+        if op == "blt" and d > 0:
+            n = -((bv - c0v) // -d)  # ceil
+        elif op == "ble" and d > 0:
+            n = (bv - c0v) // d + 1
+        elif op == "bgt" and d < 0:
+            n = -((c0v - bv) // d)  # ceil((c0-b)/-d)
+        elif op == "bge" and d < 0:
+            n = (c0v - bv) // -d + 1
+        else:
+            return None
+        return max(1, n)
+
+    if d > 0:
+        n_max = count(c0.lo, b.hi)
+    else:
+        n_max = count(c0.hi, b.lo)
+    if n_max is None or n_max > _MAX_TRIP:
+        return None, None, ctr
+    n_exact = (
+        n_max if c0.is_singleton and b.is_singleton else None
+    )
+    return n_max, n_exact, ctr
+
+
+# ---------------------------------------------------------------------------
+# Region analysis
+# ---------------------------------------------------------------------------
+
+
+class _RegionAnalysis:
+    def __init__(
+        self,
+        cfg: CFG,
+        region: Region,
+        entry_state: State,
+        transfer: _Transfer,
+        summaries: Dict[int, Tuple[int, int]],
+    ) -> None:
+        self.cfg = cfg
+        self.region = region
+        self.entry_state = entry_state
+        self.transfer = transfer
+        self.summaries = summaries
+        self.loop_info = {
+            h: _LoopInfo(region, loop) for h, loop in region.loops.items()
+        }
+        #: header -> (n_max, n_exact); refreshed every pass
+        self.trips: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        self.block_in: Dict[int, State] = {}
+
+    # -- loop pinning ------------------------------------------------------
+
+    def _clobbered(self, info: _LoopInfo) -> Set[int]:
+        regs: Set[int] = set()
+        for m in info.modified:
+            if isinstance(m, tuple):  # call clobber
+                may_def, _ = self.summaries.get(m[1], (0, 0))
+                regs.update(
+                    r for r in range(NUM_REGS) if (may_def >> r) & 1
+                )
+            else:
+                regs.add(m)
+        return regs
+
+    def _fold_inner(
+        self, info: _LoopInfo, unstable: bool
+    ) -> Tuple[Dict[int, int], set]:
+        """Total per-outer-iteration deltas incl. folded inner loops;
+        returns (deltas, regs that must be TOP)."""
+        deltas = dict(info.deltas)
+        top_regs: set = set()
+        for h in info.loop.inner:
+            inner = self.loop_info[h]
+            n_max, n_exact = self.trips.get(h, (None, None))
+            foldable = (
+                not unstable
+                and inner.loop.single_exit
+                and n_exact is not None
+            )
+            inner_tot, inner_top = self._fold_inner(inner, unstable)
+            for reg in self._clobbered(inner) | inner_top:
+                if (
+                    foldable
+                    and reg in inner_tot
+                    and reg not in inner_top
+                    and reg not in info.broken
+                ):
+                    deltas[reg] = (
+                        deltas.get(reg, 0) + inner_tot[reg] * n_exact
+                    )
+                else:
+                    top_regs.add(reg)
+                    deltas.pop(reg, None)
+        return deltas, top_regs
+
+    def _pin_header(
+        self, header: int, raw_in: State, unstable: bool
+    ) -> State:
+        region = self.region
+        if header in region.irreducible_heads:
+            return {}
+        loop = region.loops.get(header)
+        if loop is None:
+            return raw_in
+        info = self.loop_info[header]
+        deltas, top_regs = self._fold_inner(info, unstable)
+        # trip count from the latch branch, using entry values
+        n_max: Optional[int] = None
+        if loop.latch_branch is not None and not unstable:
+            branch = self.cfg.instructions[loop.latch_branch]
+            n_max, n_exact, _ctr = _trip_count(branch, deltas, raw_in)
+            self.trips[header] = (n_max, n_exact)
+        state = dict(raw_in)
+        for reg in self._clobbered(info) | top_regs:
+            d = deltas.get(reg)
+            if reg in top_regs or d is None or n_max is None:
+                state.pop(reg, None)
+                continue
+            total = (n_max - 1) * d
+            env = _get(raw_in, reg).expand(
+                min(0, total), max(0, total), d
+            )
+            _set(state, reg, env)
+        return state
+
+    # -- one DAG pass ------------------------------------------------------
+
+    def run_pass(
+        self, unstable: bool = False, checker: "Optional[_Checker]" = None
+    ) -> None:
+        region = self.region
+        cfg = self.cfg
+        self.block_in = {}
+        edge_out: Dict[Tuple[int, int], Optional[State]] = {}
+        for block in region.rpo:
+            if block == region.entry:
+                raw_in: Optional[State] = dict(self.entry_state)
+            else:
+                raw_in = None
+                for pred in region.preds.get(block, ()):
+                    if (pred, block) in region.back_edges:
+                        continue
+                    contrib = edge_out.get((pred, block))
+                    if contrib is None:
+                        continue
+                    raw_in = (
+                        dict(contrib)
+                        if raw_in is None
+                        else _join_states(raw_in, contrib)
+                    )
+                if raw_in is None:
+                    continue  # dead in this pass
+            state = self._pin_header(block, raw_in, unstable)
+            self.block_in[block] = dict(state)
+            work = dict(state)
+            self.transfer.apply_block(
+                cfg.block_instrs(block), work, checker
+            )
+            term = cfg.terminator(block)
+            for tgt, kind in region.succs[block]:
+                edge_out[(block, tgt)] = _refine_edge(term, work, kind)
+
+    def run(
+        self, make_checker: "Optional[Callable[[], _Checker]]" = None
+    ) -> "Optional[_Checker]":
+        """Iterate DAG passes until the trip-count memo stabilizes.
+
+        When ``make_checker`` is given, checking is *fused* into the
+        pass expected to be final (loop-free regions converge in one
+        pass; loopy regions are checked optimistically from the second
+        pass on) instead of paying a separate walk: the attempt whose
+        pass turned out stable is returned, discarded attempts cost
+        nothing but their recording.
+        """
+        no_loops = not self.region.loops
+        prev_trips: Optional[Dict] = None
+        for _pass in range(_MAX_PASSES):
+            fuse = make_checker is not None and (
+                no_loops or prev_trips is not None
+            )
+            attempt = make_checker() if fuse else None
+            self.run_pass(checker=attempt)
+            if no_loops or self.trips == prev_trips:
+                if attempt is not None or make_checker is None:
+                    return attempt
+                # stable on the very first comparable pass but not yet
+                # checked: one more (now provably final) fused pass
+                attempt = make_checker()
+                self.run_pass(checker=attempt)
+                return attempt
+            prev_trips = dict(self.trips)
+        # cap hit: redo with still-changing loops pinned to TOP
+        attempt = make_checker() if make_checker is not None else None
+        self.run_pass(unstable=True, checker=attempt)
+        return attempt
+
+
+# ---------------------------------------------------------------------------
+# Memory / VIS-value checks
+# ---------------------------------------------------------------------------
+
+
+def _addr_interval(instr: Instruction, state: State) -> StridedInterval:
+    if instr.op == "pst":
+        base = instr.srcs[2]
+    elif instr.spec.opclass == OpClass.STORE:
+        base = instr.srcs[1]
+    else:  # loads and pf: base is the sole source
+        base = instr.srcs[0]
+    return _get(state, base).addc(instr.imm or 0)
+
+
+class _Checker:
+    """Records memory-safety / VIS-value findings for one analysis walk.
+
+    Checkers are cheap throwaway recorders: the region engine creates
+    one per fused pass attempt (see :meth:`_RegionAnalysis.run`) and
+    only the attempt that coincided with the final stable pass is
+    merged into the per-program aggregate.  Pre-seeding ``proven`` /
+    ``_seen`` / ``_counted`` from the aggregate keeps cross-region
+    deduplication identical to a single sequential walk.
+    """
+
+    def __init__(self, program: Program, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.diags: List[Diagnostic] = []
+        self.buffers: List[Buffer] = list(program.buffers.values())
+        self.proven: Dict[int, Tuple[int, int]] = {}
+        self.checked = 0
+        self._seen: Set[Tuple[str, int]] = set()
+        self._counted: Set[int] = set()
+
+    def seed_from(self, other: "_Checker") -> "_Checker":
+        """Adopt another checker's dedup state (not its findings)."""
+        self.proven.update(other.proven)
+        self._seen |= other._seen
+        self._counted |= other._counted
+        return self
+
+    def merge(self, attempt: "_Checker") -> None:
+        """Fold a committed attempt into this aggregate."""
+        self.diags.extend(attempt.diags)
+        self.proven.update(attempt.proven)
+        self._seen |= attempt._seen
+        self._counted |= attempt._counted
+        self.checked += attempt.checked
+
+    def _emit(self, code: str, idx: int, message: str) -> None:
+        if (code, idx) not in self._seen:
+            self._seen.add((code, idx))
+            self.diags.append(make_diagnostic(code, idx, message))
+
+    def _check_instr(self, i: int, instr: Instruction, state: State) -> None:
+        op = instr.op
+        if op in ACCESS_WIDTH:
+            self._check_access(i, instr, state)
+        elif op == "wrgsr":
+            s = _get(state, instr.srcs[0])
+            if not s.is_top and (s.lo > 0x7F or s.hi < 0):
+                self._emit(
+                    "W-GSR-TRUNC",
+                    i,
+                    f"wrgsr operand is provably in [{s.lo}, {s.hi}], "
+                    "outside the 7-bit GSR",
+                )
+        elif op in _PACK_OPS:
+            gsr = _get(state, GSR)
+            if gsr.is_singleton:
+                scale = (gsr.lo >> 3) & 0xF
+                if scale > 7:
+                    self._emit(
+                        "W-VSCALE",
+                        i,
+                        f"{op} runs with GSR.scale={scale}, outside the "
+                        "useful range [0, 7]",
+                    )
+
+    def _check_access(self, i: int, instr: Instruction, state: State) -> None:
+        width = ACCESS_WIDTH[instr.op]
+        addr = _addr_interval(instr, state)
+        if i in self.proven:
+            return
+        if i not in self._counted:
+            self._counted.add(i)
+            self.checked += 1
+        if addr.is_top:
+            self._emit(
+                "I-ADDR-UNPROVEN",
+                i,
+                f"{instr.op} address is data-dependent (unbounded)",
+            )
+            return
+        lo, hi = addr.lo, addr.hi + width - 1
+        inside = any(
+            buf.address <= lo and hi < buf.address + buf.size
+            for buf in self.buffers
+        )
+        disjoint = all(
+            hi < buf.address or lo >= buf.address + buf.size
+            for buf in self.buffers
+        )
+        if inside:
+            self.proven[i] = (lo, hi)
+        elif disjoint:
+            self._emit(
+                "E-OOB",
+                i,
+                f"{instr.op} accesses [0x{lo:x}, 0x{hi:x}], outside every "
+                "declared buffer",
+            )
+        else:
+            self._emit(
+                "I-ADDR-UNPROVEN",
+                i,
+                f"{instr.op} address range [0x{lo:x}, 0x{hi:x}] straddles "
+                "buffer bounds; not provable",
+            )
+        if width > 1:
+            aligned_proof = addr.stride % width == 0
+            if aligned_proof and addr.lo % width != 0:
+                self._emit(
+                    "W-ALIGN",
+                    i,
+                    f"{instr.op} address is provably ≡ "
+                    f"{addr.lo % width} (mod {width})",
+                )
+            elif not (aligned_proof and addr.lo % width == 0):
+                self._emit(
+                    "I-ALIGN-UNPROVEN",
+                    i,
+                    f"{instr.op} ({width}-byte) alignment not provable",
+                )
+
+
+def run_value_checks(
+    program: Program, cfg: CFG, diags: List[Diagnostic]
+) -> Tuple[Dict[int, Tuple[int, int]], int]:
+    """Run the abstract interpreter over every region and emit the
+    memory-safety / VIS-value diagnostics.
+
+    Returns ``(proven_accesses, checked_accesses)``.
+    """
+    if not cfg.n_blocks:
+        return {}, 0
+    summaries = _function_summaries(cfg)
+    transfer = _Transfer(cfg, summaries)
+    aggregate = _Checker(program, cfg)
+    zero_entry: State = {r: SI.const(0) for r in range(NUM_REGS)}
+    for rno, region in enumerate(cfg.regions()):
+        if rno == 0:  # main program: the machine zero-inits all regs
+            entry_state = zero_entry
+        else:
+            # function body: unknown caller context (LINK is a code
+            # index, never a data address)
+            entry_state = {ZERO: SI.const(0)}
+        analysis = _RegionAnalysis(
+            cfg, region, entry_state, transfer, summaries
+        )
+        committed = analysis.run(
+            lambda: _Checker(program, cfg).seed_from(aggregate)
+        )
+        if committed is not None:
+            aggregate.merge(committed)
+    diags.extend(aggregate.diags)
+    return aggregate.proven, aggregate.checked

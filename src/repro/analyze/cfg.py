@@ -1,0 +1,398 @@
+"""Control-flow graph construction for assembled SVIS programs.
+
+Works on the *finalized* :class:`~repro.asm.program.Program` (labels
+already resolved to instruction indices).  Two views are provided:
+
+* the **full graph** — conditional branches fork, ``j`` jumps, ``call``
+  edges into the callee entry, ``ret`` edges back to every return site
+  of the function it belongs to, ``halt`` exits.  Used for
+  reachability, unreachable-code detection and liveness.
+* the **collapsed graph** — calls fall through to their return site
+  (the callee's effect is applied via a summary) and rets stop.  This
+  is the intraprocedural view; :class:`Region` instances (one for the
+  main program, one per called function) carry reverse postorder,
+  dominators and natural loops over it, which the abstract interpreter
+  uses for induction-variable reasoning.
+
+Functions are discovered as call targets; membership by intraprocedural
+reachability.  A ``ret`` reachable from no call target is *orphaned*
+(it would jump through an uninitialized link register).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..asm.program import Program
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+
+#: edge kinds (used by the abstract interpreter for branch refinement)
+E_FALL = "fall"
+E_TAKEN = "taken"
+E_JUMP = "jump"
+E_CALL = "call"
+E_RET = "ret"
+E_CALLFALL = "callfall"  #: collapsed call -> return-site edge
+
+_COND_BRANCHES = ("beq", "bne", "blt", "ble", "bgt", "bge")
+
+Edge = Tuple[int, str]
+
+
+class CFG:
+    """Basic-block control-flow graph of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.instructions: Sequence[Instruction] = program.instructions
+        self.n = len(program.instructions)
+        self.bad_targets: List[int] = []  #: instr indices with E-BADTARGET
+        self.falloff: List[int] = []  #: instr indices that can fall off
+        self.orphan_rets: List[int] = []  #: rets outside any function
+        self._build_blocks()
+        self._build_edges()
+        self._reachability()
+
+    # -- block construction ------------------------------------------------
+
+    def _build_blocks(self) -> None:
+        leaders: Set[int] = {0} if self.n else set()
+        self.call_sites: List[int] = []
+        self.call_targets: Set[int] = set()
+        self.ret_sites: List[int] = []
+        for idx, instr in enumerate(self.instructions):
+            spec = instr.spec
+            if spec.is_control or instr.op == "halt":
+                if idx + 1 < self.n:
+                    leaders.add(idx + 1)
+                if instr.op in _COND_BRANCHES or spec.opclass in (
+                    OpClass.JUMP,
+                    OpClass.CALL,
+                ):
+                    if 0 <= instr.target < self.n:
+                        leaders.add(instr.target)
+                    else:
+                        self.bad_targets.append(idx)
+                if spec.opclass == OpClass.CALL:
+                    self.call_sites.append(idx)
+                    if 0 <= instr.target < self.n:
+                        self.call_targets.add(instr.target)
+                if spec.opclass == OpClass.RET:
+                    self.ret_sites.append(idx)
+        ordered = sorted(leaders)
+        self.blocks: List[Tuple[int, int]] = []
+        self.block_of: List[int] = [0] * self.n
+        for bi, start in enumerate(ordered):
+            end = ordered[bi + 1] if bi + 1 < len(ordered) else self.n
+            self.blocks.append((start, end))
+            for i in range(start, end):
+                self.block_of[i] = bi
+        self.n_blocks = len(self.blocks)
+
+    # -- function discovery / ret matching --------------------------------
+
+    def _function_nodes(self, entry: int) -> Set[int]:
+        """Instruction indices reachable intraprocedurally from ``entry``
+        (calls fall through to their return site; stop at ret/halt)."""
+        seen: Set[int] = set()
+        stack = [entry]
+        while stack:
+            idx = stack.pop()
+            if idx in seen or not (0 <= idx < self.n):
+                continue
+            seen.add(idx)
+            instr = self.instructions[idx]
+            spec = instr.spec
+            if instr.op == "halt" or spec.opclass == OpClass.RET:
+                continue
+            if spec.opclass == OpClass.CALL:
+                if idx + 1 < self.n:
+                    stack.append(idx + 1)  # resumes after the callee
+                continue
+            if instr.op in _COND_BRANCHES:
+                if idx + 1 < self.n:
+                    stack.append(idx + 1)
+                if 0 <= instr.target < self.n:
+                    stack.append(instr.target)
+                continue
+            if spec.opclass == OpClass.JUMP:
+                if 0 <= instr.target < self.n:
+                    stack.append(instr.target)
+                continue
+            if idx + 1 < self.n:
+                stack.append(idx + 1)
+        return seen
+
+    def _build_edges(self) -> None:
+        self.functions: Dict[int, Set[int]] = {
+            entry: self._function_nodes(entry)
+            for entry in sorted(self.call_targets)
+        }
+        ret_returns: Dict[int, List[int]] = {r: [] for r in self.ret_sites}
+        for entry, nodes in self.functions.items():
+            returns = [
+                c + 1
+                for c in self.call_sites
+                if self.instructions[c].target == entry and c + 1 < self.n
+            ]
+            for r in self.ret_sites:
+                if r in nodes:
+                    ret_returns[r].extend(returns)
+        for r in self.ret_sites:
+            if not ret_returns[r]:
+                self.orphan_rets.append(r)
+
+        self.succs: List[List[Edge]] = [[] for _ in range(self.n_blocks)]
+        self.preds: List[List[int]] = [[] for _ in range(self.n_blocks)]
+        for bi, (start, end) in enumerate(self.blocks):
+            last = end - 1
+            instr = self.instructions[last]
+            spec = instr.spec
+            targets: List[Edge] = []
+            if instr.op == "halt":
+                pass
+            elif spec.opclass == OpClass.RET:
+                targets = [
+                    (t, E_RET) for t in sorted(set(ret_returns[last]))
+                ]
+            elif instr.op in _COND_BRANCHES:
+                if last + 1 < self.n:
+                    targets.append((last + 1, E_FALL))
+                else:
+                    self.falloff.append(last)
+                if 0 <= instr.target < self.n:
+                    targets.append((instr.target, E_TAKEN))
+            elif spec.opclass == OpClass.JUMP:
+                if 0 <= instr.target < self.n:
+                    targets.append((instr.target, E_JUMP))
+            elif spec.opclass == OpClass.CALL:
+                if 0 <= instr.target < self.n:
+                    targets.append((instr.target, E_CALL))
+            else:
+                if last + 1 < self.n:
+                    targets.append((last + 1, E_FALL))
+                else:
+                    self.falloff.append(last)
+            for tgt, kind in targets:
+                tb = self.block_of[tgt]
+                self.succs[bi].append((tb, kind))
+                self.preds[tb].append(bi)
+
+    def collapsed_succs(self, block: int) -> List[Edge]:
+        """Intraprocedural successors: calls fall through to their
+        return site, rets stop."""
+        term = self.terminator(block)
+        if term.spec.opclass == OpClass.RET:
+            return []
+        if term.spec.opclass == OpClass.CALL:
+            site = self.blocks[block][1]
+            return [(self.block_of[site], E_CALLFALL)] if site < self.n else []
+        return list(self.succs[block])
+
+    # -- reachability ------------------------------------------------------
+
+    def _reachability(self) -> None:
+        self.reachable: Set[int] = set()
+        if not self.n_blocks:
+            self.rpo: List[int] = []
+            return
+        post: List[int] = []
+        state: Dict[int, int] = {0: 0}
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, si = stack[-1]
+            succs = self.succs[node]
+            if si < len(succs):
+                stack[-1] = (node, si + 1)
+                nxt = succs[si][0]
+                if nxt not in state:
+                    state[nxt] = 0
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                post.append(node)
+        self.reachable = set(post)
+        self.rpo = list(reversed(post))
+
+    # -- convenience -------------------------------------------------------
+
+    def block_instrs(self, block: int) -> range:
+        start, end = self.blocks[block]
+        return range(start, end)
+
+    def terminator(self, block: int) -> Instruction:
+        return self.instructions[self.blocks[block][1] - 1]
+
+    def regions(self) -> List["Region"]:
+        """The main region plus one per called function (in a stable
+        order, main first)."""
+        out = [Region(self, 0)] if self.n_blocks else []
+        for entry in sorted(self.functions):
+            out.append(Region(self, self.block_of[entry]))
+        return out
+
+
+@dataclass
+class Loop:
+    """One natural loop (merged over all back edges to its header)."""
+
+    header: int  #: header block id
+    body: Set[int] = field(default_factory=set)  #: block ids incl. header
+    latches: Set[int] = field(default_factory=set)
+    #: static index of the latch conditional branch, when the loop has a
+    #: single latch terminated by one (else None)
+    latch_branch: Optional[int] = None
+    #: True when the only edges leaving the loop originate at the latch
+    single_exit: bool = False
+    #: headers of loops directly nested inside this one
+    inner: Set[int] = field(default_factory=set)
+
+
+class Region:
+    """One intraprocedural subgraph (main program or one function) over
+    the collapsed edges, with RPO, dominators and natural loops."""
+
+    def __init__(self, cfg: CFG, entry: int) -> None:
+        self.cfg = cfg
+        self.entry = entry
+        self._traverse()
+        self._dominators()
+        self._find_loops()
+
+    def _traverse(self) -> None:
+        cfg = self.cfg
+        post: List[int] = []
+        state: Dict[int, int] = {self.entry: 0}
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        succs_cache: Dict[int, List[Edge]] = {}
+        while stack:
+            node, si = stack[-1]
+            succs = succs_cache.setdefault(node, cfg.collapsed_succs(node))
+            if si < len(succs):
+                stack[-1] = (node, si + 1)
+                nxt = succs[si][0]
+                if nxt not in state:
+                    state[nxt] = 0
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                post.append(node)
+        self.nodes: Set[int] = set(post)
+        self.rpo: List[int] = list(reversed(post))
+        self.rpo_index: Dict[int, int] = {b: i for i, b in enumerate(self.rpo)}
+        self.succs: Dict[int, List[Edge]] = succs_cache
+        self.preds: Dict[int, List[int]] = {b: [] for b in self.nodes}
+        for node in self.nodes:
+            for tgt, _kind in self.succs[node]:
+                self.preds[tgt].append(node)
+
+    def _dominators(self) -> None:
+        """Cooper-Harvey-Kennedy iterative idom computation."""
+        idom: Dict[int, int] = {}
+        if not self.rpo:
+            self.idom = idom
+            return
+        idom[self.entry] = self.entry
+        order = self.rpo_index
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while order[a] > order[b]:
+                    a = idom[a]
+                while order[b] > order[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo[1:]:
+                new: Optional[int] = None
+                for p in self.preds[node]:
+                    if p in idom:
+                        new = p if new is None else intersect(new, p)
+                if new is not None and idom.get(node) != new:
+                    idom[node] = new
+                    changed = True
+        self.idom = idom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does node ``a`` dominate node ``b`` within this region?"""
+        if a == b:
+            return True
+        node = b
+        while node != self.entry:
+            parent = self.idom.get(node)
+            if parent is None or parent == node:
+                return False
+            node = parent
+            if node == a:
+                return True
+        return a == self.entry
+
+    def _find_loops(self) -> None:
+        self.loops: Dict[int, Loop] = {}
+        self.back_edges: Set[Tuple[int, int]] = set()
+        self.irreducible_heads: Set[int] = set()
+        for src in self.nodes:
+            for tgt, _kind in self.succs[src]:
+                if self.rpo_index[tgt] <= self.rpo_index[src]:
+                    if self.dominates(tgt, src):
+                        self.back_edges.add((src, tgt))
+                        loop = self.loops.setdefault(tgt, Loop(header=tgt))
+                        loop.latches.add(src)
+                        self._collect_body(loop, src)
+                    else:
+                        self.irreducible_heads.add(tgt)
+        for loop in self.loops.values():
+            self._finish_loop(loop)
+        for h, loop in self.loops.items():
+            for h2, inner in self.loops.items():
+                if h2 != h and h2 in loop.body and inner.body < loop.body:
+                    loop.inner.add(h2)
+        for loop in self.loops.values():
+            direct = set(loop.inner)
+            for c in loop.inner:
+                direct -= self.loops[c].inner
+            loop.inner = direct
+
+    def _collect_body(self, loop: Loop, latch: int) -> None:
+        loop.body.add(loop.header)
+        stack = [latch]
+        while stack:
+            node = stack.pop()
+            if node in loop.body:
+                continue
+            loop.body.add(node)
+            stack.extend(p for p in self.preds.get(node, ()))
+
+    def _finish_loop(self, loop: Loop) -> None:
+        cfg = self.cfg
+        if len(loop.latches) == 1:
+            latch = next(iter(loop.latches))
+            last_idx = cfg.blocks[latch][1] - 1
+            last = cfg.instructions[last_idx]
+            if (
+                last.op in _COND_BRANCHES
+                and 0 <= last.target < cfg.n
+                and cfg.block_of[last.target] == loop.header
+            ):
+                loop.latch_branch = last_idx
+        exits = [
+            (src, tgt)
+            for src in loop.body
+            for tgt, _k in self.succs[src]
+            if tgt not in loop.body
+        ]
+        loop.single_exit = all(src in loop.latches for src, _ in exits)
+
+    def loop_of_block(self, block: int) -> Optional[Loop]:
+        """The innermost loop containing ``block`` (or None)."""
+        best: Optional[Loop] = None
+        for loop in self.loops.values():
+            if block in loop.body:
+                if best is None or len(loop.body) < len(best.body):
+                    best = loop
+        return best

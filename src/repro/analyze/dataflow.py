@@ -1,0 +1,381 @@
+"""Classic dataflow passes over the unified SVIS register file.
+
+Three cooperating analyses, all on bitsets (one bit per register of the
+unified file, GSR included):
+
+* **initialization** (forward, may/must): flags reads of registers no
+  path initializes (``E-UNINIT``, the static counterpart of
+  ``DATA_BASE``'s "a zero base register is an obvious bug" convention)
+  and reads initialized on only some paths (``W-MAYBE-UNINIT``).  GSR
+  reads by ``faligndata`` / ``fpack*`` get the more specific
+  ``V-NOALIGN`` / ``V-NOSCALE`` when no GSR-setting instruction
+  dominates them.  Calls are handled with per-function *def summaries*
+  so one call site's locals never leak into another's return site.
+* **liveness** (backward, union over the full interprocedural graph):
+  flags writes whose value no path ever reads (``W-DEADWRITE``).
+* **structure**: unreachable code (``W-UNREACHABLE``), control flow
+  that can run off the end (``E-FALLOFF``), unresolved targets
+  (``E-BADTARGET``) and leaked scratch registers (``W-REGLEAK``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..asm.program import Program
+from ..isa.instruction import Instruction
+from ..isa.opcodes import OpClass
+from ..isa.registers import GSR, NUM_REGS, ZERO, reg_name
+from .cfg import CFG
+from .diagnostics import Diagnostic, make_diagnostic
+
+ALL_REGS = (1 << NUM_REGS) - 1
+ENTRY_INIT = 1 << ZERO
+
+_PACK_OPS = ("fpack16", "fpack32", "fpackfix")
+_MAX_SUMMARY_ROUNDS = 20
+
+
+def _defs_mask(instr: Instruction) -> int:
+    mask = 0
+    if instr.dst >= 0:
+        mask |= 1 << instr.dst
+    if instr.dst2 >= 0:
+        mask |= 1 << instr.dst2
+    return mask
+
+
+def _reads(instr: Instruction) -> Tuple[int, ...]:
+    return instr.srcs
+
+
+# ---------------------------------------------------------------------------
+# Initialization analysis
+# ---------------------------------------------------------------------------
+
+
+def _collapsed_succs(cfg: CFG, block: int) -> List[int]:
+    """Intraprocedural successors: calls fall through to their return
+    site (the callee's effect is applied via its summary), rets stop."""
+    term = cfg.terminator(block)
+    if term.spec.opclass == OpClass.RET:
+        return []
+    if term.spec.opclass == OpClass.CALL:
+        site = cfg.blocks[block][1]  # return site = instr after the call
+        return [cfg.block_of[site]] if site < cfg.n else []
+    return [tgt for tgt, kind in cfg.succs[block]]
+
+
+def _function_summaries(cfg: CFG) -> Dict[int, Tuple[int, int]]:
+    """Per function entry *instruction* index: (may_def, must_def) masks
+    of registers the callee writes on some / every path to a ret."""
+    summaries: Dict[int, Tuple[int, int]] = {
+        entry: (0, 0) for entry in cfg.functions
+    }
+    entry_blocks = {entry: cfg.block_of[entry] for entry in cfg.functions}
+    func_blocks = {
+        entry: {cfg.block_of[i] for i in nodes}
+        for entry, nodes in cfg.functions.items()
+    }
+    for _round in range(_MAX_SUMMARY_ROUNDS):
+        changed = False
+        for entry, blocks in func_blocks.items():
+            may_in: Dict[int, int] = {entry_blocks[entry]: 0}
+            must_in: Dict[int, int] = {entry_blocks[entry]: 0}
+            work = [entry_blocks[entry]]
+            ret_may, ret_must, saw_ret = 0, ALL_REGS, False
+            while work:
+                block = work.pop()
+                may = may_in[block]
+                must = must_in[block]
+                for i in cfg.block_instrs(block):
+                    instr = cfg.instructions[i]
+                    d = _defs_mask(instr)
+                    if instr.spec.opclass == OpClass.CALL:
+                        s_may, s_must = summaries.get(instr.target, (0, 0))
+                        d |= s_may
+                        may |= d
+                        must |= (1 << instr.dst if instr.dst >= 0 else 0) | s_must
+                    else:
+                        may |= d
+                        must |= d
+                if cfg.terminator(block).spec.opclass == OpClass.RET:
+                    ret_may |= may
+                    ret_must &= must
+                    saw_ret = True
+                for succ in _collapsed_succs(cfg, block):
+                    if succ not in blocks:
+                        continue
+                    new_may = may_in.get(succ, 0) | may
+                    new_must = must_in.get(succ, ALL_REGS) & must
+                    if (
+                        succ not in may_in
+                        or new_may != may_in[succ]
+                        or new_must != must_in[succ]
+                    ):
+                        may_in[succ] = new_may
+                        must_in[succ] = new_must
+                        work.append(succ)
+            new_summary = (ret_may, ret_must if saw_ret else 0)
+            if new_summary != summaries[entry]:
+                summaries[entry] = new_summary
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def run_init_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
+    """Forward may/must initialization analysis + read checks."""
+    if not cfg.n_blocks:
+        return
+    summaries = _function_summaries(cfg)
+
+    may_in: Dict[int, int] = {0: ENTRY_INIT}
+    must_in: Dict[int, int] = {0: ENTRY_INIT}
+    work: List[int] = [0]
+    while work:
+        block = work.pop()
+        may = may_in[block]
+        must = must_in[block]
+        succ_states: List[Tuple[int, int, int]] = []
+        for i in cfg.block_instrs(block):
+            instr = cfg.instructions[i]
+            d = _defs_mask(instr)
+            if instr.spec.opclass == OpClass.CALL:
+                s_may, s_must = summaries.get(instr.target, (0, 0))
+                # the call edge into the callee sees LINK + caller state
+                link = 1 << instr.dst if instr.dst >= 0 else 0
+                if 0 <= instr.target < cfg.n:
+                    succ_states.append(
+                        (cfg.block_of[instr.target], may | link, must | link)
+                    )
+                may |= d | s_may
+                must |= link | s_must
+            else:
+                may |= d
+                must |= d
+        for succ in _collapsed_succs(cfg, block):
+            succ_states.append((succ, may, must))
+        for succ, s_may, s_must in succ_states:
+            new_may = may_in.get(succ, 0) | s_may
+            new_must = must_in.get(succ, ALL_REGS) & s_must
+            if (
+                succ not in may_in
+                or new_may != may_in[succ]
+                or new_must != must_in[succ]
+            ):
+                may_in[succ] = new_may
+                must_in[succ] = new_must
+                work.append(succ)
+
+    # -- read checks over every visited block -------------------------------
+    seen: Set[Tuple[str, int]] = set()
+
+    def emit(code: str, index: int, message: str) -> None:
+        if (code, index) not in seen:
+            seen.add((code, index))
+            diags.append(make_diagnostic(code, index, message))
+
+    for block in sorted(may_in):
+        may = may_in[block]
+        must = must_in[block]
+        for i in cfg.block_instrs(block):
+            instr = cfg.instructions[i]
+            for reg in _reads(instr):
+                if reg == ZERO:
+                    continue
+                if reg == GSR and instr.op == "faligndata":
+                    if not (must >> reg) & 1:
+                        emit(
+                            "V-NOALIGN",
+                            i,
+                            "faligndata reads GSR.align but no alignaddr/"
+                            "wrgsr dominates it",
+                        )
+                    continue
+                if reg == GSR and instr.op in _PACK_OPS:
+                    if not (must >> reg) & 1:
+                        emit(
+                            "V-NOSCALE",
+                            i,
+                            f"{instr.op} reads GSR.scale but no wrgsr/"
+                            "alignaddr dominates it",
+                        )
+                    continue
+                if not (may >> reg) & 1:
+                    emit(
+                        "E-UNINIT",
+                        i,
+                        f"{instr.op} reads {reg_name(reg)}, which no path "
+                        "initializes",
+                    )
+                elif not (must >> reg) & 1:
+                    emit(
+                        "W-MAYBE-UNINIT",
+                        i,
+                        f"{instr.op} reads {reg_name(reg)}, initialized on "
+                        "some but not all paths",
+                    )
+            d = _defs_mask(instr)
+            if instr.spec.opclass == OpClass.CALL:
+                s_may, s_must = summaries.get(instr.target, (0, 0))
+                may |= d | s_may
+                must |= (1 << instr.dst if instr.dst >= 0 else 0) | s_must
+            else:
+                may |= d
+                must |= d
+
+
+# ---------------------------------------------------------------------------
+# Liveness / dead writes
+# ---------------------------------------------------------------------------
+
+
+def _block_use_def(cfg: CFG, block: int) -> Tuple[int, int]:
+    """(use, def) masks: ``use`` = read before any def in this block.
+
+    ``halt`` reads the whole register file: final architectural state
+    is observable program output, so a write that survives unread to
+    program end is *not* dead — only values overwritten before any
+    read are (the "dropped computation" signal).
+    """
+    use = 0
+    defs = 0
+    for i in cfg.block_instrs(block):
+        instr = cfg.instructions[i]
+        if instr.op == "halt":
+            use |= ALL_REGS & ~defs
+            break
+        for reg in _reads(instr):
+            if not (defs >> reg) & 1:
+                use |= 1 << reg
+        defs |= _defs_mask(instr)
+    return use, defs
+
+
+def run_liveness_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
+    """Backward liveness over the full interprocedural graph; flags
+    writes that are dead on every path (``W-DEADWRITE``)."""
+    if not cfg.n_blocks:
+        return
+    use_def = [_block_use_def(cfg, b) for b in range(cfg.n_blocks)]
+    live_in: List[int] = [0] * cfg.n_blocks
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.rpo):
+            live_out = 0
+            for succ, _kind in cfg.succs[block]:
+                live_out |= live_in[succ]
+            use, defs = use_def[block]
+            new_in = use | (live_out & ~defs)
+            if new_in != live_in[block]:
+                live_in[block] = new_in
+                changed = True
+
+    for block in cfg.reachable:
+        live = 0
+        for succ, _kind in cfg.succs[block]:
+            live |= live_in[succ]
+        for i in reversed(cfg.block_instrs(block)):
+            instr = cfg.instructions[i]
+            if instr.op == "halt":
+                live = ALL_REGS
+                continue
+            d = _defs_mask(instr)
+            if (
+                d
+                and not (live & d)
+                and instr.spec.opclass != OpClass.CALL
+                # redundant GSR mode writes are defensive idiom, not
+                # dropped computations
+                and instr.op != "wrgsr"
+            ):
+                diags.append(
+                    make_diagnostic(
+                        "W-DEADWRITE",
+                        i,
+                        f"{instr.op} writes {reg_name(instr.dst)} but the "
+                        "value is never read",
+                    )
+                )
+            live &= ~d
+            for reg in _reads(instr):
+                live |= 1 << reg
+
+
+# ---------------------------------------------------------------------------
+# Structural checks
+# ---------------------------------------------------------------------------
+
+
+def run_structural_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
+    for idx in cfg.bad_targets:
+        instr = cfg.instructions[idx]
+        diags.append(
+            make_diagnostic(
+                "E-BADTARGET",
+                idx,
+                f"{instr.op} targets instruction {instr.target}, outside "
+                f"[0, {cfg.n})",
+            )
+        )
+    for idx in cfg.falloff:
+        if cfg.block_of[idx] in cfg.reachable:
+            diags.append(
+                make_diagnostic(
+                    "E-FALLOFF",
+                    idx,
+                    f"{cfg.instructions[idx].op} at the last instruction "
+                    "falls off the end of the program (missing halt)",
+                )
+            )
+    # coalesce unreachable instructions into runs
+    unreachable = sorted(
+        i
+        for block in range(cfg.n_blocks)
+        if block not in cfg.reachable
+        for i in cfg.block_instrs(block)
+    )
+    run_start = None
+    prev = None
+    for i in unreachable + [None]:
+        if run_start is None:
+            run_start = i
+        elif i is None or (prev is not None and i != prev + 1):
+            assert prev is not None
+            count = prev - run_start + 1
+            diags.append(
+                make_diagnostic(
+                    "W-UNREACHABLE",
+                    run_start,
+                    f"{count} unreachable instruction(s) "
+                    f"[{run_start}..{prev}]",
+                )
+            )
+            run_start = i
+        prev = i
+
+
+def run_regleak_checks(program: Program, diags: List[Diagnostic]) -> None:
+    """``W-REGLEAK``: scratch registers the builder reports as never
+    released *and* the program never mentions — a pure allocation leak."""
+    leaked: Tuple[int, ...] = tuple(getattr(program, "unreleased_regs", ()))
+    if not leaked:
+        return
+    mentioned = 0
+    for instr in program.instructions:
+        mentioned |= _defs_mask(instr)
+        for reg in instr.srcs:
+            mentioned |= 1 << reg
+    for reg in leaked:
+        if not (mentioned >> reg) & 1:
+            diags.append(
+                make_diagnostic(
+                    "W-REGLEAK",
+                    -1,
+                    f"scratch register {reg_name(reg)} was allocated but "
+                    "never used or released",
+                )
+            )

@@ -1,0 +1,257 @@
+"""Diagnostic vocabulary of the SVIS program verifier.
+
+Every finding the analyzer can produce is identified by a short stable
+code (asserted by the test suite, documented in DESIGN.md) with a fixed
+severity tier:
+
+* **error** — the program is provably wrong: it reads a register no
+  path ever initialized, accesses memory provably outside every
+  declared :class:`~repro.asm.program.Buffer`, uses a VIS instruction
+  whose required GSR state was never established, or control flow can
+  run off the end of the instruction stream.  Errors always gate.
+* **warning** — the program is suspicious but may be intentional
+  (dead writes, unreachable code, leaked scratch registers, dubious
+  VIS idioms).  Warnings gate only under ``--strict``.
+* **info** — the analyzer could not *prove* a property (typically a
+  data-dependent address) and is saying so.  Info never gates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Gating tier of a diagnostic (ordered: INFO < WARNING < ERROR)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+#: code -> (severity, one-line description, fix hint)
+CODES: Dict[str, Tuple[Severity, str, str]] = {
+    # -- dataflow ----------------------------------------------------------
+    "E-UNINIT": (
+        Severity.ERROR,
+        "read of a register no path initializes",
+        "initialize the register (li/la/ld*/mov) before this read; an "
+        "uninitialized base register reads address 0, below DATA_BASE",
+    ),
+    "W-MAYBE-UNINIT": (
+        Severity.WARNING,
+        "read of a register initialized on some but not all paths",
+        "hoist the initialization above the branch so every path defines "
+        "the register before this read",
+    ),
+    "W-DEADWRITE": (
+        Severity.WARNING,
+        "register write whose value is never read",
+        "delete the instruction or use its result; dead writes usually "
+        "indicate a dropped computation",
+    ),
+    # -- control flow ------------------------------------------------------
+    "E-FALLOFF": (
+        Severity.ERROR,
+        "control flow can fall off the end of the program",
+        "terminate every path with halt (ProgramBuilder.build() appends "
+        "one automatically)",
+    ),
+    "E-BADTARGET": (
+        Severity.ERROR,
+        "control-transfer target outside the program",
+        "branch/jump targets must be resolved instruction indices in "
+        "[0, len(program))",
+    ),
+    "W-UNREACHABLE": (
+        Severity.WARNING,
+        "unreachable instruction(s)",
+        "no path from the entry point reaches this code; delete it or fix "
+        "the branch that should reach it",
+    ),
+    # -- memory safety -----------------------------------------------------
+    "E-OOB": (
+        Severity.ERROR,
+        "memory access provably outside every declared buffer",
+        "the whole value range of the effective address misses every "
+        "declared Buffer; check the base register, offset, and stride "
+        "(a range below DATA_BASE means a zero/garbage base register)",
+    ),
+    "W-ALIGN": (
+        Severity.WARNING,
+        "memory access provably misaligned for its width",
+        "every possible effective address is misaligned; legal on the "
+        "byte-addressable SVIS model but a trap on real VIS hardware — "
+        "use alignaddr + faligndata for unaligned media streams",
+    ),
+    "I-ADDR-UNPROVEN": (
+        Severity.INFO,
+        "effective address could not be proven in-bounds",
+        "data-dependent address: the analyzer cannot bound it statically",
+    ),
+    "I-ALIGN-UNPROVEN": (
+        Severity.INFO,
+        "alignment of a multi-byte access could not be proven",
+        "data-dependent address: alignment is checked only dynamically",
+    ),
+    # -- VIS idioms (Table 4 semantics) ------------------------------------
+    "V-NOALIGN": (
+        Severity.ERROR,
+        "faligndata with no dominating GSR-setting instruction",
+        "every path to faligndata must execute alignaddr (or wrgsr) "
+        "first; otherwise GSR.align is whatever was left behind",
+    ),
+    "V-NOSCALE": (
+        Severity.ERROR,
+        "pack instruction with no dominating GSR-setting instruction",
+        "fpack16/fpack32/fpackfix read GSR.scale; every path must execute "
+        "wrgsr (or alignaddr) first",
+    ),
+    "W-VEDGE": (
+        Severity.WARNING,
+        "edge mask is never consumed by a partial store",
+        "edge8/16/32 produce pst byte masks; an unconsumed mask usually "
+        "means the boundary partial store is missing",
+    ),
+    "W-VSCALE": (
+        Severity.WARNING,
+        "pack scale provably outside the useful range",
+        "fpack16 consumes GSR.scale in [0, 7]; larger scales shift data "
+        "out of the clamp window",
+    ),
+    "W-GSR-TRUNC": (
+        Severity.WARNING,
+        "wrgsr operand provably exceeds the 7-bit GSR",
+        "wrgsr keeps only the low 7 bits (3-bit align + 4-bit scale); the "
+        "extra bits are silently dropped",
+    ),
+    "W-VMUL8": (
+        Severity.WARNING,
+        "8x16 multiply whose 8-bit operand holds 16-bit lanes",
+        "fmul8x16's first operand is four unsigned bytes; feeding it a "
+        "16-bit-lane value (e.g. an fexpand result) multiplies garbage",
+    ),
+    # -- assembler hygiene -------------------------------------------------
+    "W-REGLEAK": (
+        Severity.WARNING,
+        "scratch register allocated but never used or released",
+        "release() the register or delete the allocation; leaks raise "
+        "register pressure for no benefit",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, tied to a static instruction index."""
+
+    code: str
+    severity: Severity
+    index: int  #: static instruction index (-1 = whole program)
+    message: str
+    hint: str = ""
+    marker: str = ""  #: innermost Program.marker phase covering ``index``
+
+    def format(self) -> str:
+        where = f"@{self.index}" if self.index >= 0 else "@program"
+        ctx = f" [{self.marker}]" if self.marker else ""
+        return f"{self.severity.name.lower():7s} {self.code} {where}{ctx}: {self.message}"
+
+
+def make_diagnostic(
+    code: str, index: int, message: str, marker: str = ""
+) -> Diagnostic:
+    """Build a :class:`Diagnostic` with the registered severity/hint."""
+    severity, _desc, hint = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        index=index,
+        message=message,
+        hint=hint,
+        marker=marker,
+    )
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the verifier learned about one program."""
+
+    program_name: str
+    analyzer_version: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: static index -> inclusive byte interval the access provably stays
+    #: inside (the property tests replay dynamic traces against these)
+    proven_accesses: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: number of memory instructions inspected / proven in-bounds
+    checked_accesses: int = 0
+
+    # -- selection ---------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def gating(self, strict: bool = False) -> List[Diagnostic]:
+        """Diagnostics that fail verification (errors; +warnings when
+        ``strict``)."""
+        floor = Severity.WARNING if strict else Severity.ERROR
+        return [d for d in self.diagnostics if d.severity >= floor]
+
+    def ok(self, strict: bool = False) -> bool:
+        return not self.gating(strict)
+
+    # -- presentation ------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s); "
+            f"{len(self.proven_accesses)}/{self.checked_accesses} memory "
+            f"accesses proven in-bounds"
+        )
+
+    def format(self, max_infos: Optional[int] = 10, hints: bool = True) -> str:
+        lines = [self.summary()]
+        shown_infos = 0
+        for diag in sorted(
+            self.diagnostics, key=lambda d: (-int(d.severity), d.index)
+        ):
+            if diag.severity == Severity.INFO:
+                if max_infos is not None and shown_infos >= max_infos:
+                    continue
+                shown_infos += 1
+            lines.append("  " + diag.format())
+            if hints and diag.hint and diag.severity >= Severity.WARNING:
+                lines.append(f"      hint: {diag.hint}")
+        total_infos = len(self.infos)
+        if max_infos is not None and total_infos > max_infos:
+            lines.append(f"  ... and {total_infos - max_infos} more info(s)")
+        return "\n".join(lines)
+
+
+def marker_at(markers: List[Tuple[int, str]], index: int) -> str:
+    """The innermost phase marker covering a static instruction index."""
+    best = ""
+    for pos, text in markers:
+        if pos <= index:
+            best = text
+        else:
+            break
+    return best

@@ -1,0 +1,273 @@
+"""Strided-interval abstract domain for SVIS address arithmetic.
+
+A :class:`StridedInterval` over-approximates a set of signed 64-bit
+values as ``{lo + k*stride | k >= 0} ∩ [lo, hi]``.  ``stride >= 1``;
+a singleton is ``(c, c, 1)``.  The domain deliberately saturates to TOP
+well before the 64-bit wrap-around boundary (|bound| > 2**62) so every
+transfer function can use plain Python integer math without modelling
+modular wrap: any value the machine could wrap is simply unknown.
+
+The stride component is what lets the verifier prove *alignment*: an
+interval with ``stride % 8 == 0`` and ``lo % 8 == 0`` contains only
+8-byte-aligned addresses, which is exactly the precondition of ``ldf``
+streams produced by ``alignaddr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional, Tuple
+
+#: saturation bound: anything beyond this may wrap mod 2**64 -> TOP
+LIMIT = 1 << 62
+
+INT_MIN = -LIMIT
+INT_MAX = LIMIT
+
+
+def _norm(lo: int, hi: int, stride: int) -> Tuple[int, int, int]:
+    if stride < 1:
+        stride = 1
+    if lo == hi:
+        return lo, hi, 1
+    hi = lo + ((hi - lo) // stride) * stride
+    if hi == lo:
+        return lo, lo, 1
+    return lo, hi, stride
+
+
+@dataclass(frozen=True)
+class StridedInterval:
+    """``{lo, lo+stride, ..., hi}`` (inclusive, normalized)."""
+
+    lo: int
+    hi: int
+    stride: int = 1
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "StridedInterval":
+        return StridedInterval(value, value, 1)
+
+    @staticmethod
+    def range(lo: int, hi: int, stride: int = 1) -> "StridedInterval":
+        if lo > hi:
+            raise ValueError(f"empty interval [{lo}, {hi}]")
+        return StridedInterval(*_norm(lo, hi, stride))
+
+    @staticmethod
+    def top() -> "StridedInterval":
+        return TOP
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo <= INT_MIN and self.hi >= INT_MAX
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def value(self) -> Optional[int]:
+        return self.lo if self.lo == self.hi else None
+
+    def contains(self, v: int) -> bool:
+        return self.lo <= v <= self.hi and (v - self.lo) % self.stride == 0
+
+    def _sat(self) -> "StridedInterval":
+        if self.lo < INT_MIN or self.hi > INT_MAX:
+            return TOP
+        return self
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "StridedInterval") -> "StridedInterval":
+        if self is other or self == other:
+            return self  # hot path: most joins merge identical facts
+        if self.is_top or other.is_top:
+            return TOP
+        lo = min(self.lo, other.lo)
+        hi = max(self.hi, other.hi)
+        stride = gcd(
+            self.stride if not self.is_singleton else 0,
+            other.stride if not other.is_singleton else 0,
+            abs(self.lo - other.lo),
+        )
+        return StridedInterval(*_norm(lo, hi, stride or 1))._sat()
+
+    def meet(self, other: "StridedInterval") -> Optional["StridedInterval"]:
+        """Intersection hull; ``None`` when provably empty.  Strides are
+        combined conservatively (gcd keeps the result a superset of the
+        true intersection)."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        stride = max(self.stride, other.stride)
+        # keep only a stride both sides agree on (sound superset)
+        if stride > 1:
+            if (
+                self.stride % stride != 0 or other.stride % stride != 0
+            ) and not (self.is_singleton or other.is_singleton):
+                stride = gcd(self.stride, other.stride) or 1
+            base = self if self.stride >= other.stride else other
+            # snap lo up to base's grid
+            rem = (lo - base.lo) % base.stride
+            if rem:
+                lo += base.stride - rem
+            stride = base.stride
+            if lo > hi:
+                return None
+        return StridedInterval(*_norm(lo, hi, stride))
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add(self, other: "StridedInterval") -> "StridedInterval":
+        if self.is_top or other.is_top:
+            return TOP
+        stride = gcd(
+            self.stride if not self.is_singleton else 0,
+            other.stride if not other.is_singleton else 0,
+        )
+        return StridedInterval(
+            *_norm(self.lo + other.lo, self.hi + other.hi, stride or 1)
+        )._sat()
+
+    def addc(self, c: int) -> "StridedInterval":
+        if self.is_top:
+            return TOP
+        return StridedInterval(self.lo + c, self.hi + c, self.stride)._sat()
+
+    def sub(self, other: "StridedInterval") -> "StridedInterval":
+        if self.is_top or other.is_top:
+            return TOP
+        stride = gcd(
+            self.stride if not self.is_singleton else 0,
+            other.stride if not other.is_singleton else 0,
+        )
+        return StridedInterval(
+            *_norm(self.lo - other.hi, self.hi - other.lo, stride or 1)
+        )._sat()
+
+    def neg(self) -> "StridedInterval":
+        if self.is_top:
+            return TOP
+        return StridedInterval(-self.hi, -self.lo, self.stride)._sat()
+
+    def mul(self, other: "StridedInterval") -> "StridedInterval":
+        if self.is_top or other.is_top:
+            return TOP
+        corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        lo, hi = min(corners), max(corners)
+        stride = 1
+        if other.is_singleton and other.lo != 0:
+            stride = self.stride * abs(other.lo)
+        elif self.is_singleton and self.lo != 0:
+            stride = other.stride * abs(self.lo)
+        return StridedInterval(*_norm(lo, hi, stride))._sat()
+
+    def div_trunc(self, c: int) -> "StridedInterval":
+        """Divide by a positive constant (truncation toward zero is
+        monotone non-decreasing in the dividend)."""
+        if self.is_top or c <= 0:
+            return TOP
+        def q(v: int) -> int:
+            return -((-v) // c) if v < 0 else v // c
+        return StridedInterval(*_norm(q(self.lo), q(self.hi), 1))
+
+    def shl(self, c: int) -> "StridedInterval":
+        if self.is_top or c < 0 or c > 62:
+            return TOP
+        return self.mul(StridedInterval.const(1 << c))
+
+    def shr(self, c: int) -> "StridedInterval":
+        """Arithmetic right shift by a constant (floor division by 2**c,
+        monotone)."""
+        if self.is_top or c < 0:
+            return TOP
+        if c > 62:
+            c = 62
+        return StridedInterval(*_norm(self.lo >> c, self.hi >> c, 1))
+
+    def and_mask(self, mask: int) -> "StridedInterval":
+        """``x & mask`` for a constant mask."""
+        if mask >= 0:
+            # result is within [0, mask]; exact for singletons
+            if self.is_singleton and not self.is_top and self.lo >= 0:
+                return StridedInterval.const(self.lo & mask)
+            return StridedInterval(*_norm(0, mask, 1))
+        # mask = ...111000 (align-down): monotone floor to a multiple
+        low = ~mask
+        if low & (low + 1):  # not of the form 2**k - 1
+            return TOP
+        step = low + 1
+        if self.is_top:
+            return TOP
+        lo = self.lo & mask
+        hi = self.hi & mask
+        stride = step
+        if self.stride % step == 0 and self.lo & low == 0:
+            # already on the grid: align-down is the identity
+            return self
+        return StridedInterval(*_norm(lo, hi, stride))._sat()
+
+    def align_down(self, k: int) -> "StridedInterval":
+        """Floor every member to a multiple of ``2**k`` (alignaddr)."""
+        return self.and_mask(~((1 << k) - 1))
+
+    # -- refinement (branch conditions) ------------------------------------
+
+    def clamp_le(self, bound: int) -> Optional["StridedInterval"]:
+        """Members ``<= bound``; ``None`` if empty."""
+        if self.hi <= bound:
+            return self
+        if self.lo > bound:
+            return None
+        hi = self.lo + ((bound - self.lo) // self.stride) * self.stride
+        return StridedInterval(*_norm(self.lo, hi, self.stride))
+
+    def clamp_ge(self, bound: int) -> Optional["StridedInterval"]:
+        """Members ``>= bound``; ``None`` if empty."""
+        if self.lo >= bound:
+            return self
+        if self.hi < bound:
+            return None
+        rem = (bound - self.lo) % self.stride
+        lo = bound if rem == 0 else bound + (self.stride - rem)
+        if lo > self.hi:
+            return None
+        return StridedInterval(*_norm(lo, self.hi, self.stride))
+
+    # -- misc --------------------------------------------------------------
+
+    def expand(self, delta_lo: int, delta_hi: int, step: int) -> "StridedInterval":
+        """Widen by an induction envelope: the set of ``v + k*step`` with
+        accumulated offset in ``[delta_lo, delta_hi]``."""
+        if self.is_top:
+            return TOP
+        stride = gcd(
+            self.stride if not self.is_singleton else 0, abs(step)
+        )
+        return StridedInterval(
+            *_norm(self.lo + delta_lo, self.hi + delta_hi, stride or 1)
+        )._sat()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_top:
+            return "SI(TOP)"
+        if self.is_singleton:
+            return f"SI({self.lo})"
+        return f"SI([{self.lo}, {self.hi}] % {self.stride})"
+
+
+TOP = StridedInterval(INT_MIN, INT_MAX, 1)
+ZERO = StridedInterval.const(0)

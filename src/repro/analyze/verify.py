@@ -1,0 +1,257 @@
+"""Top-level entry points of the SVIS program verifier.
+
+``analyze_program`` runs every pass (structure, dataflow, value
+analysis, VIS idiom lint) and returns an
+:class:`~repro.analyze.diagnostics.AnalysisReport`; the result is
+memoized on the ``Program`` object so the pre-run gate, the ``lint``
+CLI and the tests never pay for the analysis twice.
+
+``verify_program`` is the gate: it raises :class:`VerificationError`
+when the report contains gating diagnostics (errors; plus warnings
+under ``strict``).
+
+The gate also supports a tiny persistent *verdict memo*
+(``memo_dir``): gate verdicts — the gating diagnostics only, never
+the full info-level report — are stored on disk keyed by a content
+digest of the program (:func:`program_digest`).  A repeated cold-cache
+grid run then pays only hashing (~1 ms/program) instead of the full
+multi-pass analysis; the first-ever run of a given program build still
+verifies in full.  The experiment runner points the memo at
+``<simcache>/analysis/`` so ``--no-cache`` (no persistence) also
+disables it.
+
+``ANALYZER_VERSION`` is part of the DiskCache key material — bump it
+whenever a change to the analyzer alters gate semantics, so cached
+experiment points from an older gate are re-verified instead of
+silently reused.  The digest folds the version in, so stale memo
+verdicts self-invalidate too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from ..asm.program import Program
+from .cfg import CFG
+from .dataflow import (
+    run_init_checks,
+    run_liveness_checks,
+    run_regleak_checks,
+    run_structural_checks,
+)
+from .diagnostics import AnalysisReport, Diagnostic, Severity, marker_at
+from .vislint import run_vis_idiom_checks
+
+#: bump when analyzer semantics change (part of the DiskCache key)
+ANALYZER_VERSION = 1
+
+_MEMO_ATTR = "_analysis_report"
+_VERDICT_ATTR = "_gate_verdict_digest"
+
+
+class VerificationError(Exception):
+    """A program failed static verification; carries the full report."""
+
+    def __init__(self, report: AnalysisReport, strict: bool = False) -> None:
+        self.report = report
+        self.strict = strict
+        gating = report.gating(strict)
+        summary = ", ".join(sorted({d.code for d in gating}))
+        super().__init__(
+            f"program {report.program_name!r} failed static verification "
+            f"({len(gating)} gating diagnostic(s): {summary})"
+        )
+
+
+def _apply_waivers(program: Program, diag: Diagnostic) -> Diagnostic:
+    """Demote a diagnostic to info when a builder-declared waiver span
+    covers it (never for errors — those are provably wrong programs)."""
+    if diag.severity != Severity.WARNING or diag.index < 0:
+        return diag
+    for waiver in getattr(program, "lint_waivers", ()):
+        if waiver.code == diag.code and waiver.start <= diag.index < waiver.end:
+            note = f" (waived: {waiver.reason})" if waiver.reason else " (waived)"
+            return replace(
+                diag, severity=Severity.INFO, message=diag.message + note
+            )
+    return diag
+
+
+def analyze_program(program: Program) -> AnalysisReport:
+    """Run the full static analysis over one finalized program.
+
+    The report is memoized on the program object (same instructions ->
+    same report), so repeated gating across an experiment grid is free.
+    """
+    cached = getattr(program, _MEMO_ATTR, None)
+    if isinstance(cached, AnalysisReport):
+        return cached
+
+    # deferred import: repro.analyze.absint pulls in the whole domain
+    from .absint import run_value_checks
+
+    diags: List[Diagnostic] = []
+    cfg = CFG(program)
+    run_structural_checks(cfg, diags)
+    run_init_checks(cfg, diags)
+    run_liveness_checks(cfg, diags)
+    run_regleak_checks(program, diags)
+    proven, checked = run_value_checks(program, cfg, diags)
+    run_vis_idiom_checks(cfg, diags)
+
+    markers = sorted(program.markers)
+    diags = [
+        replace(d, marker=marker_at(markers, d.index)) if d.index >= 0 else d
+        for d in diags
+    ]
+    diags = [_apply_waivers(program, d) for d in diags]
+    diags.sort(key=lambda d: (-int(d.severity), d.index, d.code))
+
+    report = AnalysisReport(
+        program_name=program.name or "<anonymous>",
+        analyzer_version=ANALYZER_VERSION,
+        diagnostics=diags,
+        proven_accesses=proven,
+        checked_accesses=checked,
+    )
+    setattr(program, _MEMO_ATTR, report)
+    return report
+
+
+def program_digest(program: Program) -> str:
+    """Stable content hash of everything the gate verdict depends on.
+
+    Covers the analyzer version, every instruction field the analysis
+    reads, the finalized buffer layout, waiver spans and leaked-register
+    metadata.  Markers are deliberately excluded: they only decorate
+    diagnostic *text*, never change what gates.
+    """
+    h = hashlib.sha256()
+    h.update(f"analyzer:{ANALYZER_VERSION}\n".encode())
+    h.update(
+        "\n".join(
+            f"{i.op};{i.dst};{i.dst2};{i.srcs};{i.imm};{i.target}"
+            for i in program.instructions
+        ).encode()
+    )
+    for name, buf in program.buffers.items():
+        h.update(
+            f"\nB;{name};{buf.size};{buf.align};{buf.skew};{buf.address}".encode()
+        )
+    for w in program.lint_waivers:
+        h.update(f"\nW;{w.code};{w.start};{w.end}".encode())
+    h.update(f"\nU;{program.unreleased_regs}".encode())
+    return h.hexdigest()
+
+
+def _memo_load(memo_dir: Path, digest: str) -> Optional[dict]:
+    """Best-effort read of one verdict record; ``None`` on any problem
+    (missing, corrupt, or written by a different analyzer version)."""
+    try:
+        with open(memo_dir / f"{digest}.json", encoding="utf-8") as fh:
+            record = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or record.get("analyzer_version") != ANALYZER_VERSION
+        or record.get("digest") != digest
+        or not isinstance(record.get("gating"), list)
+    ):
+        return None
+    return record
+
+
+def _memo_store(memo_dir: Path, digest: str, report: AnalysisReport) -> None:
+    """Best-effort atomic write of one verdict record (gating
+    diagnostics only — info-level findings are huge and never gate)."""
+    record = {
+        "analyzer_version": ANALYZER_VERSION,
+        "digest": digest,
+        "program": report.program_name,
+        "gating": [
+            {
+                "code": d.code,
+                "severity": int(d.severity),
+                "index": d.index,
+                "message": d.message,
+                "hint": d.hint,
+                "marker": d.marker,
+            }
+            for d in report.gating(strict=True)
+        ],
+        "proven": len(report.proven_accesses),
+        "checked": report.checked_accesses,
+    }
+    try:
+        memo_dir.mkdir(parents=True, exist_ok=True)
+        tmp = memo_dir / f".{digest}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(record), encoding="utf-8")
+        tmp.replace(memo_dir / f"{digest}.json")
+    except OSError:
+        pass  # a cold gate next run, nothing worse
+
+
+def _report_from_record(record: dict) -> AnalysisReport:
+    """Rehydrate a gate-sufficient report from a memo verdict.
+
+    The result carries only the gating diagnostics and access *counts*
+    — ``proven_accesses`` stays empty (the full map is never persisted).
+    It is therefore never installed as the program's full-analysis memo.
+    """
+    diags = [
+        Diagnostic(
+            code=d["code"],
+            severity=Severity(d["severity"]),
+            index=d["index"],
+            message=d["message"],
+            hint=d.get("hint", ""),
+            marker=d.get("marker", ""),
+        )
+        for d in record["gating"]
+    ]
+    return AnalysisReport(
+        program_name=record.get("program", "<memo>"),
+        analyzer_version=ANALYZER_VERSION,
+        diagnostics=diags,
+        checked_accesses=record.get("checked", 0),
+    )
+
+
+def verify_program(
+    program: Program,
+    strict: bool = False,
+    memo_dir: Optional[Path] = None,
+) -> AnalysisReport:
+    """Gate: analyze and raise :class:`VerificationError` on failure.
+
+    With ``memo_dir`` the verdict is served from / stored into the
+    persistent digest-keyed memo: a hit skips the analysis entirely and
+    returns a slim report holding only the gating diagnostics (the full
+    info-level report is available from :func:`analyze_program`, which
+    always runs the real analysis).
+    """
+    cached = getattr(program, _MEMO_ATTR, None)
+    if isinstance(cached, AnalysisReport):
+        report = cached
+    elif memo_dir is not None:
+        digest = getattr(program, _VERDICT_ATTR, None) or program_digest(
+            program
+        )
+        setattr(program, _VERDICT_ATTR, digest)
+        record = _memo_load(Path(memo_dir), digest)
+        if record is not None:
+            report = _report_from_record(record)
+        else:
+            report = analyze_program(program)
+            _memo_store(Path(memo_dir), digest, report)
+    else:
+        report = analyze_program(program)
+    if not report.ok(strict):
+        raise VerificationError(report, strict=strict)
+    return report

@@ -1,0 +1,76 @@
+"""VIS idiom lint: Table 4 producer/consumer conventions.
+
+Two checks that are structural rather than value- or init-based:
+
+* ``W-VEDGE`` — an ``edge8/16/32`` result that is never consumed as the
+  byte mask of a partial store (``pst``).  The whole point of the edge
+  instructions is to feed ``pst`` at array boundaries; an unconsumed
+  mask almost always means the boundary partial store was forgotten
+  (the workload silently over- or under-writes the edge).
+* ``W-VMUL8`` — an ``fmul8x16``-family multiply whose *8-bit* operand
+  (the first source) was most recently produced, in the same basic
+  block, by an instruction that emits 16-bit lanes (``fexpand``,
+  ``fpadd16``, ``fpsub16``, or another 8x16 multiply).  The hardware
+  interprets that operand as four unsigned bytes, so feeding it 16-bit
+  lanes multiplies garbage.  The scan is intra-block and only fires on
+  a definite producer, keeping it free of false positives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .cfg import CFG
+from .diagnostics import Diagnostic, make_diagnostic
+
+_EDGE_OPS = ("edge8", "edge16", "edge32")
+_MUL8X16_OPS = ("fmul8x16", "fmul8x16au", "fmul8x16al")
+#: ops whose result is 16-bit lanes (unfit for an 8-bit multiply input)
+_WIDE_PRODUCERS = frozenset(
+    ("fexpand", "fpadd16", "fpsub16") + _MUL8X16_OPS
+)
+
+
+def run_vis_idiom_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
+    instructions = cfg.instructions
+
+    # -- W-VEDGE: edge masks that never reach a pst --------------------------
+    pst_mask_regs: Set[int] = set()
+    for instr in instructions:
+        if instr.op == "pst":
+            pst_mask_regs.add(instr.srcs[1])
+    for idx, instr in enumerate(instructions):
+        if instr.op in _EDGE_OPS and instr.dst not in pst_mask_regs:
+            if cfg.block_of and cfg.block_of[idx] not in cfg.reachable:
+                continue
+            diags.append(
+                make_diagnostic(
+                    "W-VEDGE",
+                    idx,
+                    f"{instr.op} writes a byte mask that no pst in the "
+                    "program consumes",
+                )
+            )
+
+    # -- W-VMUL8: 16-bit-lane value fed to the 8-bit multiply operand --------
+    for block in cfg.reachable:
+        producer: dict = {}
+        for i in cfg.block_instrs(block):
+            instr = instructions[i]
+            if instr.op in _MUL8X16_OPS:
+                src8 = instr.srcs[0]
+                prod = producer.get(src8)
+                if prod is not None and prod in _WIDE_PRODUCERS:
+                    diags.append(
+                        make_diagnostic(
+                            "W-VMUL8",
+                            i,
+                            f"{instr.op} treats its first operand as four "
+                            f"unsigned bytes, but it was produced by "
+                            f"{prod} (16-bit lanes)",
+                        )
+                    )
+            if instr.dst >= 0:
+                producer[instr.dst] = instr.op
+            if instr.dst2 >= 0:
+                producer[instr.dst2] = instr.op

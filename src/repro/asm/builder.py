@@ -32,7 +32,7 @@ from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..isa.instruction import Instruction
-from ..isa.opcodes import OpClass, spec
+from ..isa.opcodes import spec
 from ..isa.registers import (
     AT,
     GSR,
@@ -44,7 +44,7 @@ from ..isa.registers import (
     freg as freg_index,
     ireg as ireg_index,
 )
-from .program import Buffer, Program, SymAddr, layout_buffers
+from .program import Buffer, LintWaiver, Program, SymAddr, layout_buffers
 
 
 class Reg(int):
@@ -81,6 +81,10 @@ class ProgramBuilder:
         # r0 zero, r1 AT, r30 SP, r31 LINK are reserved.
         self._free_iregs = [Reg(ireg_index(i)) for i in range(29, 1, -1)]
         self._free_fregs = [Reg(freg_index(i)) for i in range(NUM_FREGS - 1, -1, -1)]
+        self._allocatable = frozenset(self._free_iregs) | frozenset(
+            self._free_fregs
+        )
+        self._waivers: List[LintWaiver] = []
         self._pending_comment = ""
         self._built = False
 
@@ -123,6 +127,25 @@ class ProgramBuilder:
             yield regs if len(regs) != 1 else regs[0]
         finally:
             self.release(*regs)
+
+    # -- analyzer waivers ------------------------------------------------------
+
+    @contextmanager
+    def waive(self, *codes: str, reason: str = ""):
+        """Mark the instructions emitted inside this block as
+        *intentionally* triggering the given diagnostic codes.
+
+        The analyzer demotes matching findings in the span to info
+        instead of warning/error.  Use sparingly, with a reason — e.g.
+        a defensive dead state reset the kernel emits on purpose.
+        """
+        start = len(self._instructions)
+        try:
+            yield
+        finally:
+            end = len(self._instructions)
+            for code in codes:
+                self._waivers.append(LintWaiver(start, end, code, reason))
 
     # -- data segment ----------------------------------------------------------
 
@@ -631,6 +654,13 @@ class ProgramBuilder:
                     self._buffers[instr.imm.buffer].address + instr.imm.offset
                 )
 
+        # scratch registers allocated (absent from the free pools) but
+        # never released: reported by the analyzer as W-REGLEAK
+        in_pool = frozenset(self._free_iregs) | frozenset(self._free_fregs)
+        unreleased = tuple(
+            sorted(int(reg) for reg in self._allocatable - in_pool)
+        )
+
         return Program(
             instructions=self._instructions,
             buffers=self._buffers,
@@ -638,4 +668,6 @@ class ProgramBuilder:
             markers=list(self._markers),
             memory_size=memory_size,
             name=self.name,
+            unreleased_regs=unreleased,
+            lint_waivers=list(self._waivers),
         )

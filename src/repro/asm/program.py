@@ -27,6 +27,12 @@ class Buffer:
     address: int = -1  # assigned at finalize time
 
     def end(self) -> int:
+        if self.address < 0:
+            raise RuntimeError(
+                f"buffer {self.name!r} has no address yet: end() is only "
+                "meaningful after ProgramBuilder.build() lays out the "
+                "data segment"
+            )
         return self.address + self.size
 
 
@@ -36,6 +42,23 @@ class SymAddr:
 
     buffer: str
     offset: int = 0
+
+
+@dataclass(frozen=True)
+class LintWaiver:
+    """One builder-declared suppression span for the static analyzer.
+
+    Diagnostics with a matching code whose instruction index falls in
+    ``[start, end)`` are demoted to info (never dropped): the emitting
+    kernel has declared the finding intentional — e.g. a defensive
+    state reset that is provably dead, or a uniformly-emitted loop
+    epilogue whose last copy advances a pointer nobody reads.
+    """
+
+    start: int
+    end: int
+    code: str
+    reason: str = ""
 
 
 @dataclass
@@ -48,6 +71,11 @@ class Program:
     markers: List[Tuple[int, str]] = field(default_factory=list)
     memory_size: int = 0
     name: str = ""
+    #: scratch registers allocated but never released (reported by the
+    #: analyzer as ``W-REGLEAK`` when they are also never mentioned)
+    unreleased_regs: Tuple[int, ...] = ()
+    #: analyzer suppressions declared by the emitting kernels
+    lint_waivers: List[LintWaiver] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.instructions)

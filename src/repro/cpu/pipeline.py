@@ -90,7 +90,7 @@ class _BaseModel:
         ):
             raise SimulationError(
                 f"exceeded max_cycles={self.max_cycles} "
-                f"(cycle-budget watchdog; retired="
+                "(cycle-budget watchdog; retired="
                 f"{self.retire.retired} instructions at cycle "
                 f"{self.retire.total_cycles})"
             )

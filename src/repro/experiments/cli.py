@@ -35,9 +35,21 @@ from where it died.  Transient worker losses are retried up to
 ``--max-retries`` times with backoff; deterministic failures never
 are.
 
+Every simulation point is statically verified before its first
+simulated cycle (see DESIGN.md "Static verification"): the
+:mod:`repro.analyze` gate rejects programs with provable bugs
+(uninitialized reads, out-of-bounds accesses, missing GSR state,
+malformed control flow).  ``--no-lint`` disables the gate; the
+``lint`` subcommand runs the analyzer standalone over the workload
+suite and prints the full diagnostic report::
+
+    python -m repro.experiments.cli lint --scale tiny --strict
+    python -m repro.experiments.cli lint --benchmarks cjpeg --variant vis
+
 Exit codes: 0 success, 1 grid aborted on a failed point (fail-fast),
 2 argument errors, 3 attribution-audit divergence (``--audit``),
-4 grid completed with failed points (``--keep-going``).
+4 grid completed with failed points (``--keep-going``),
+5 static verification failed (``lint`` subcommand).
 """
 
 from __future__ import annotations
@@ -48,6 +60,7 @@ import sys
 import time
 from pathlib import Path
 
+from ..analyze import ANALYZER_VERSION
 from ..cpu.config import ProcessorConfig
 from ..mem.config import MemoryConfig
 from ..trace import AuditError, JsonlSink, Tracer
@@ -57,6 +70,7 @@ from ..workloads.suite import REGISTRY_VERSION, names
 from . import figures
 from .faults import GridFailure, RetryPolicy, RunManifest
 from .parallel import (
+    ANALYSIS_MEMO_DIRNAME,
     CACHE_FORMAT_VERSION,
     DEFAULT_CACHE_DIRNAME,
     DiskCache,
@@ -79,6 +93,9 @@ EXIT_AUDIT_DIVERGENCE = 3
 
 #: exit code for a grid that completed with failed points (--keep-going)
 EXIT_GRID_FAILURES = 4
+
+#: exit code for static-verification failures (the ``lint`` subcommand)
+EXIT_LINT_FAILURES = 5
 
 #: the per-run outcome journal, relative to --out (see --resume)
 MANIFEST_NAME = "run_manifest.jsonl"
@@ -120,7 +137,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace"],
+        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace",
+                                       "lint"],
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="default",
@@ -143,7 +161,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the persistent simulation-result cache "
-             "(neither read nor write records)",
+             "(neither read nor write records; static-verification "
+             "verdicts still persist -- they cannot affect results)",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -153,6 +172,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-point progress lines on stderr",
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the pre-run static verification gate (repro.analyze); "
+             "the escape hatch for deliberately-broken programs",
+    )
+    lint_group = parser.add_argument_group(
+        "lint subcommand",
+        "statically verify workload programs without simulating them "
+        f"(exit {EXIT_LINT_FAILURES} on gating diagnostics); DESIGN.md "
+        "'Static verification' documents every diagnostic code",
+    )
+    lint_group.add_argument(
+        "--strict", action="store_true",
+        help="gate on warnings too, not just errors",
+    )
+    lint_group.add_argument(
+        "--show-infos", action="store_true",
+        help="print info-level diagnostics (unproven-address notes) "
+             "in full instead of the first 10",
     )
     parser.add_argument(
         "--audit", action="store_true",
@@ -209,8 +248,9 @@ def main(argv=None) -> int:
         "the timeline + top-stall-sites report from an existing trace",
     )
     trace_group.add_argument(
-        "--variant", choices=[v.value for v in Variant], default="vis",
-        help="program variant to trace (default: vis)",
+        "--variant", choices=[v.value for v in Variant], default=None,
+        help="program variant to trace (default: vis) or lint "
+             "(default: every supported variant)",
     )
     trace_group.add_argument(
         "--config", choices=sorted(TRACE_CONFIGS), default="ooo-4way",
@@ -241,6 +281,8 @@ def main(argv=None) -> int:
         return 0
 
     scale = SCALES[args.scale]
+    if args.experiment == "lint":
+        return _run_lint(args, scale, parser)
     if args.experiment == "trace":
         try:
             return _run_trace(args, scale, parser)
@@ -250,15 +292,23 @@ def main(argv=None) -> int:
 
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
     cache = None
+    cache_dir = Path(args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME))
     if not args.no_cache:
-        cache_dir = args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME)
         cache = DiskCache(cache_dir)
+    # Gate verdicts persist even under --no-cache: a static-verification
+    # verdict cannot affect measured numbers, so re-timing runs skip the
+    # (expensive) analysis while still re-simulating every point.
+    # --no-lint disables the gate (and therefore the memo) entirely.
+    lint_memo_dir = None if args.no_lint else cache_dir / ANALYSIS_MEMO_DIRNAME
     manifest = None
     try:
         manifest = RunManifest(
             Path(args.out) / MANIFEST_NAME,
             resume=args.resume,
-            cache_version=f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION}",
+            cache_version=(
+                f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION}"
+                f".{ANALYZER_VERSION}"
+            ),
         )
     except OSError as exc:
         print(
@@ -280,6 +330,8 @@ def main(argv=None) -> int:
         max_tasks_per_child=args.max_tasks_per_child,
         max_steps=args.max_steps,
         max_cycles=args.max_cycles,
+        lint=not args.no_lint,
+        lint_memo_dir=lint_memo_dir,
     )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -355,6 +407,61 @@ def main(argv=None) -> int:
     return 0
 
 
+def _run_lint(args, scale, parser) -> int:
+    """The ``lint`` subcommand: statically verify workload programs.
+
+    Builds every selected (benchmark, variant) pair at the chosen
+    scale, runs the full :mod:`repro.analyze` pass stack over each, and
+    prints one report per program.  Exit 0 when no program has gating
+    diagnostics (errors; plus warnings under ``--strict``), else
+    :data:`EXIT_LINT_FAILURES`.
+    """
+    from ..analyze import analyze_program
+    from ..workloads.suite import get
+    from ..workloads.suite import names as workload_names
+
+    benchmarks = list(args.benchmarks) if args.benchmarks else list(
+        workload_names()
+    )
+    unknown = [b for b in benchmarks if b not in set(workload_names())]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+
+    failed = 0
+    checked = 0
+    start = time.time()
+    for name in benchmarks:
+        workload = get(name)
+        variants = workload.supported_variants
+        if args.variant is not None:
+            wanted = Variant(args.variant)
+            if wanted not in variants:
+                print(f"{name}: variant {wanted.value!r} not supported; "
+                      f"skipped", file=sys.stderr)
+                continue
+            variants = (wanted,)
+        for variant in variants:
+            built = workload.build(variant, scale)
+            report = analyze_program(built.program)
+            checked += 1
+            gating = report.gating(strict=args.strict)
+            status = "FAIL" if gating else "ok"
+            line = f"[{status:4s}] {name}[{variant.value}]: {report.summary()}"
+            print(line)
+            if gating or args.show_infos:
+                max_infos = None if args.show_infos else 10
+                print(report.format(max_infos=max_infos))
+            if gating:
+                failed += 1
+    mode = "strict (errors + warnings gate)" if args.strict else "errors gate"
+    print(
+        f"\nlint: {checked} program(s) verified in "
+        f"{time.time() - start:.1f}s, {failed} failed [{mode}]",
+        file=sys.stderr,
+    )
+    return EXIT_LINT_FAILURES if failed else 0
+
+
 def _run_trace(args, scale, parser) -> int:
     """The ``trace`` subcommand: record and/or report."""
     from ..trace.report import render_report
@@ -372,18 +479,19 @@ def _run_trace(args, scale, parser) -> int:
                 "--benchmarks <name> to record"
             )
         benchmark = args.benchmarks[0]
-        variant = Variant(args.variant)
+        variant_name = args.variant or "vis"
+        variant = Variant(variant_name)
         cpu = TRACE_CONFIGS[args.config]()
         mem = scale.memory_config()
         built = get(benchmark).build(variant, scale)
         info = StaticProgramInfo(built.program)
         trace_path = args.trace_out or (
             Path(args.out)
-            / f"trace_{benchmark}_{args.variant.replace('+', '_')}.jsonl"
+            / f"trace_{benchmark}_{variant_name.replace('+', '_')}.jsonl"
         )
         sink = JsonlSink(trace_path, header={
             "benchmark": benchmark,
-            "variant": args.variant,
+            "variant": variant_name,
             "config": cpu.name,
             "scale": scale.to_dict(),
             "width": cpu.issue_width,
@@ -392,7 +500,7 @@ def _run_trace(args, scale, parser) -> int:
         tracer = Tracer(info, cpu.issue_width, sinks=[sink])
         stats, report, _machine = audited_simulate(
             built.program, cpu, mem,
-            benchmark=f"{benchmark}[{args.variant}]",
+            benchmark=f"{benchmark}[{variant_name}]",
             tracer=tracer,
         )
         print(report.summary(), file=sys.stderr)

@@ -45,7 +45,7 @@ import threading
 import time
 import traceback as _traceback
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 

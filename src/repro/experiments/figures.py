@@ -30,7 +30,6 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..cpu.config import ProcessorConfig
-from ..mem.config import MemoryConfig
 from ..workloads.base import Variant
 from ..workloads.params import WorkloadScale
 from ..workloads.suite import KERNEL_NAMES, PREFETCH_NAMES, names

@@ -59,6 +59,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..analyze import ANALYZER_VERSION
 from ..cpu.config import ProcessorConfig
 from ..cpu.stats import ExecutionStats
 from ..mem.config import MemoryConfig
@@ -83,7 +84,9 @@ from .runner import RunCache
 log = logging.getLogger("repro.experiments.cache")
 
 #: Bump when the on-disk record layout changes; combined with
-#: :data:`repro.workloads.suite.REGISTRY_VERSION` into the cache stamp.
+#: :data:`repro.workloads.suite.REGISTRY_VERSION` and
+#: :data:`repro.analyze.ANALYZER_VERSION` into the cache stamp (a
+#: gate-semantics change must re-verify cached points, not reuse them).
 #: v2: records gained the ``payload_sha256`` checksum.
 CACHE_FORMAT_VERSION = 2
 
@@ -94,6 +97,10 @@ DEFAULT_CACHE_DIRNAME = ".simcache"
 #: Subdirectory (inside the cache root) where corrupted records are
 #: moved for post-mortem instead of being trusted or deleted.
 QUARANTINE_DIRNAME = "quarantine"
+
+#: Subdirectory (inside the cache root) holding the digest-keyed
+#: static-verification verdict memo (see :mod:`repro.analyze.verify`)
+ANALYSIS_MEMO_DIRNAME = "analysis"
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +132,7 @@ class SimPoint:
             "mem": self.mem.to_dict(),
             "scale": self.scale.to_dict(),
             "registry_version": REGISTRY_VERSION,
+            "analyzer_version": ANALYZER_VERSION,
         }
 
     def content_key(self) -> str:
@@ -166,9 +174,16 @@ class DiskCache:
 
     STAMP_NAME = "CACHE_VERSION"
 
-    def __init__(self, root, registry_version: int = REGISTRY_VERSION) -> None:
+    def __init__(
+        self,
+        root,
+        registry_version: int = REGISTRY_VERSION,
+        analyzer_version: int = ANALYZER_VERSION,
+    ) -> None:
         self.root = Path(root)
-        self.version = f"{CACHE_FORMAT_VERSION}.{registry_version}"
+        self.version = (
+            f"{CACHE_FORMAT_VERSION}.{registry_version}.{analyzer_version}"
+        )
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -357,6 +372,8 @@ def _simulate_point(
     timeout: Optional[float] = None,
     max_steps: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    lint: bool = True,
+    lint_memo_dir: Optional[Path] = None,
 ) -> Tuple[ExecutionStats, float]:
     """Top-level (picklable) worker entry: simulate one point.
 
@@ -376,10 +393,13 @@ def _simulate_point(
             or cache.audit != audit
             or cache.max_steps != max_steps
             or cache.max_cycles != max_cycles
+            or cache.lint != lint
+            or cache.lint_memo_dir != lint_memo_dir
         ):
             cache = RunCache(
                 scale=point.scale, validate=validate, audit=audit,
-                max_steps=max_steps, max_cycles=max_cycles,
+                max_steps=max_steps, max_cycles=max_cycles, lint=lint,
+                lint_memo_dir=lint_memo_dir,
             )
             _WORKER_CACHES[cache_key] = cache
         start = time.perf_counter()
@@ -462,6 +482,15 @@ class ParallelRunner:
     #: machine's size-proportional default / unbounded cycles)
     max_steps: Optional[int] = None
     max_cycles: Optional[int] = None
+    #: pre-run static verification gate (CLI ``--no-lint`` disables);
+    #: a gating program raises
+    #: :class:`~repro.analyze.VerificationError`, isolated like any
+    #: other deterministic point failure
+    lint: bool = True
+    #: persistent digest-keyed gate-verdict memo directory; ``None``
+    #: (the default) derives ``<cache.root>/analysis`` when a persistent
+    #: cache is attached, so ``--no-cache`` also disables it
+    lint_memo_dir: Optional[Path] = None
     #: points simulated (cache misses) across the runner's lifetime
     simulated: int = 0
     #: points served from the persistent cache
@@ -492,6 +521,7 @@ class ParallelRunner:
         max_tasks_per_child: Optional[int] = None,
         max_steps: Optional[int] = None,
         max_cycles: Optional[int] = None,
+        lint: bool = True,
     ) -> "ParallelRunner":
         """Convenience constructor mirroring the CLI flags."""
         return cls(
@@ -508,6 +538,7 @@ class ParallelRunner:
             max_tasks_per_child=max_tasks_per_child,
             max_steps=max_steps,
             max_cycles=max_cycles,
+            lint=lint,
         )
 
     # -- protocol -----------------------------------------------------------
@@ -637,6 +668,14 @@ class ParallelRunner:
             return self._simulate_serial(ordered, points, results, reported, n)
         return self._simulate_parallel(ordered, points, results, reported, n)
 
+    def _memo_dir(self) -> Optional[Path]:
+        """Where gate verdicts persist (``None`` = memo off)."""
+        if self.lint_memo_dir is not None:
+            return self.lint_memo_dir
+        if self.cache is not None and not self.cache.read_only:
+            return self.cache.root / ANALYSIS_MEMO_DIRNAME
+        return None
+
     # -- serial path --------------------------------------------------------
 
     def _simulate_serial(
@@ -648,10 +687,13 @@ class ParallelRunner:
             or self._local.audit != self.audit
             or self._local.max_steps != self.max_steps
             or self._local.max_cycles != self.max_cycles
+            or self._local.lint != self.lint
+            or self._local.lint_memo_dir != self._memo_dir()
         ):
             self._local = RunCache(
                 scale=self.scale, validate=self.validate, audit=self.audit,
                 max_steps=self.max_steps, max_cycles=self.max_cycles,
+                lint=self.lint, lint_memo_dir=self._memo_dir(),
             )
         for key, indices in ordered:
             point = points[indices[0]]
@@ -791,7 +833,7 @@ class ParallelRunner:
                     future = pool.submit(
                         _simulate_point, points[indices[0]], self.validate,
                         self.audit, self.point_timeout, self.max_steps,
-                        self.max_cycles,
+                        self.max_cycles, self.lint, self._memo_dir(),
                     )
                     inflight[future] = (key, indices, self._hard_deadline(now))
                 if not inflight:  # everything gated on backoff

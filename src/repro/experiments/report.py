@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 
 def format_table(

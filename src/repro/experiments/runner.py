@@ -10,8 +10,10 @@ decompositions conserve exactly — any divergence raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from ..analyze import verify_program
 from ..cpu.config import ProcessorConfig
 from ..cpu.pipeline import make_model
 from ..cpu.stats import ExecutionStats
@@ -35,6 +37,8 @@ def simulate_program(
     audit: bool = False,
     max_steps: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    lint: bool = True,
+    lint_memo_dir: Optional[Path] = None,
 ) -> Tuple[ExecutionStats, Machine]:
     """Run one program through the functional machine + timing model.
 
@@ -49,10 +53,22 @@ def simulate_program(
     size-proportional default budget) and on simulated cycles (``None``
     = unbounded); both raise
     :class:`~repro.sim.machine.SimulationError` instead of hanging.
+
+    ``lint`` (default on) statically verifies the program before the
+    first simulated cycle: the :mod:`repro.analyze` gate raises
+    :class:`~repro.analyze.VerificationError` on uninitialized reads,
+    provably out-of-bounds accesses, GSR-state misuse, or malformed
+    control flow.  The analysis report is memoized on the program
+    object, so re-running the same built program (the common case
+    across an experiment grid) verifies once.  ``lint=False`` is the
+    escape hatch (CLI ``--no-lint``) for deliberately-broken programs.
+    ``lint_memo_dir`` points the gate at the persistent digest-keyed
+    verdict memo (see :func:`repro.analyze.verify_program`) so repeat
+    runs pay only a content hash.
     """
     stats, machine, _report = _simulate(
         program, cpu_config, mem_config, benchmark, machine, tracer, audit,
-        max_steps, max_cycles,
+        max_steps, max_cycles, lint, lint_memo_dir,
     )
     return stats, machine
 
@@ -69,7 +85,7 @@ def audited_simulate(
     returns the :class:`~repro.trace.AuditReport` (already verified)."""
     stats, machine, report = _simulate(
         program, cpu_config, mem_config, benchmark, machine, tracer, True,
-        None, None,
+        None, None, True,
     )
     assert report is not None
     return stats, report, machine
@@ -85,7 +101,15 @@ def _simulate(
     audit: bool,
     max_steps: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    lint: bool = True,
+    lint_memo_dir: Optional[Path] = None,
 ) -> Tuple[ExecutionStats, Machine, Optional[AuditReport]]:
+    if lint:
+        # Pre-run gate: provably-wrong programs never reach the
+        # simulator.  Memoized on the program object, so repeated runs
+        # of one built program (an experiment grid) verify once; with a
+        # memo dir the verdict additionally persists across processes.
+        verify_program(program, memo_dir=lint_memo_dir)
     machine = machine or Machine(program)
     machine.reset()
     info = StaticProgramInfo(program)
@@ -123,6 +147,11 @@ class RunCache:
     #: (``None`` = the machine's size-proportional default / unbounded)
     max_steps: Optional[int] = None
     max_cycles: Optional[int] = None
+    #: pre-run static verification gate (CLI ``--no-lint`` disables)
+    lint: bool = True
+    #: persistent digest-keyed gate-verdict memo (``None`` = off);
+    #: the parallel runner points this at ``<simcache>/analysis/``
+    lint_memo_dir: Optional[Path] = None
     _built: Dict[Tuple[str, Variant], BuiltWorkload] = field(default_factory=dict)
     _validated: Dict[Tuple[str, Variant], bool] = field(default_factory=dict)
 
@@ -146,6 +175,8 @@ class RunCache:
             audit=self.audit,
             max_steps=self.max_steps,
             max_cycles=self.max_cycles,
+            lint=self.lint,
+            lint_memo_dir=self.lint_memo_dir,
         )
         key = (name, variant)
         if self.validate and not self._validated.get(key):

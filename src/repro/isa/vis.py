@@ -22,7 +22,6 @@ from __future__ import annotations
 from .bits import (
     MASK8,
     MASK16,
-    MASK32,
     MASK64,
     clamp,
     join8,

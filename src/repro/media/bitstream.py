@@ -7,8 +7,6 @@ reference codecs and the simulated benchmarks.
 
 from __future__ import annotations
 
-from typing import List
-
 
 class BitWriter:
     """Accumulates bits MSB-first; the final partial byte is padded

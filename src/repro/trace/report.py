@@ -25,7 +25,6 @@ from .events import (
     EV_STALL_END,
     LEVEL_NAMES,
     MEM_KIND_NAMES,
-    TraceEvent,
 )
 from .sinks import read_jsonl
 

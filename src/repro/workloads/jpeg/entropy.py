@@ -39,8 +39,12 @@ class EntropyUnit:
     decode_ac: str = ""
 
     def reset_encoder(self, b: ProgramBuilder, out_buffer, offset: int = 0) -> None:
-        b.li(self.bitbuf, 0)
-        b.li(self.bitcnt, 0)
+        with b.waive(
+            "W-DEADWRITE",
+            reason="baseline bit-buffer init; shadowed by per-scan resets",
+        ):
+            b.li(self.bitbuf, 0)
+            b.li(self.bitcnt, 0)
         if isinstance(out_buffer, Reg):
             b.mov(self.stream, out_buffer)
         else:
@@ -361,8 +365,12 @@ def emit_flush_encoder(b: ProgramBuilder, e: EntropyUnit) -> None:
             b.or_(e.bitbuf, e.bitbuf, mask)
     b.stb(e.bitbuf, e.stream)
     b.add(e.stream, e.stream, 1)
-    b.li(e.bitcnt, 0)
-    b.li(e.bitbuf, 0)
+    with b.waive(
+        "W-DEADWRITE",
+        reason="defensive bit-buffer reset; dead after the final flush",
+    ):
+        b.li(e.bitcnt, 0)
+        b.li(e.bitbuf, 0)
     b.bind(done)
 
 

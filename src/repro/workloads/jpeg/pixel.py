@@ -85,17 +85,22 @@ def load_pixel_constants(
     if names is None:
         names = tuple(_AU_CONSTANTS) + tuple(_BIAS_CONSTANTS)
     regs: Dict[str, Reg] = {}
-    with builder.scratch(iregs=1) as tmp:
-        for name in names:
-            reg = builder.freg()
-            builder.la(tmp, f"px_{name}")
-            if name in _AU_CONSTANTS:
-                builder.ldfw(reg, tmp)
-            else:
-                builder.ldf(reg, tmp)
-            regs[name] = reg
-    fz = builder.freg()
-    builder.fzero(fz)
+    with builder.waive(
+        "W-DEADWRITE",
+        reason="shared constant pool; a pipeline variant may not "
+        "consume every preloaded constant",
+    ):
+        with builder.scratch(iregs=1) as tmp:
+            for name in names:
+                reg = builder.freg()
+                builder.la(tmp, f"px_{name}")
+                if name in _AU_CONSTANTS:
+                    builder.ldfw(reg, tmp)
+                else:
+                    builder.ldf(reg, tmp)
+                regs[name] = reg
+        fz = builder.freg()
+        builder.fzero(fz)
     return PixelVisState(regs=regs, fz=fz)
 
 

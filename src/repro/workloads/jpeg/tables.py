@@ -155,10 +155,15 @@ def declare_codec_tables(
 def load_vis_constants(builder: ProgramBuilder, tables: CodecTables) -> Dict[str, Reg]:
     """Load every packed constant into a dedicated media register."""
     regs: Dict[str, Reg] = {}
-    with builder.scratch(iregs=1) as tmp:
-        for name, buf in tables.vis_constants.items():
-            reg = builder.freg()
-            builder.la(tmp, buf)
-            builder.ldf(reg, tmp)
-            regs[name] = reg
+    with builder.waive(
+        "W-DEADWRITE",
+        reason="shared constant pool; a pipeline variant may not "
+        "consume every preloaded constant",
+    ):
+        with builder.scratch(iregs=1) as tmp:
+            for name, buf in tables.vis_constants.items():
+                reg = builder.freg()
+                builder.la(tmp, buf)
+                builder.ldf(reg, tmp)
+                regs[name] = reg
     return regs

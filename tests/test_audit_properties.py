@@ -19,7 +19,6 @@ hunts for the program shape that breaks them.
 
 import hypothesis.strategies as st
 import numpy as np
-import pytest
 from hypothesis import given, settings
 
 from repro.asm import ProgramBuilder
@@ -27,7 +26,7 @@ from repro.cpu.config import ProcessorConfig
 from repro.cpu.stats import NUM_STALL_CLASSES
 from repro.mem import MemoryConfig
 from repro.sim.static_info import CATEGORY_NAMES
-from repro.trace import EV_RETIRE, EV_STALL_END, RingBufferSink, Tracer, audit_run
+from repro.trace import EV_RETIRE, RingBufferSink, Tracer, audit_run
 from repro.experiments.runner import audited_simulate, simulate_program
 from repro.sim.static_info import StaticProgramInfo
 

@@ -1,7 +1,5 @@
 """RunCache / simulate_program glue tests."""
 
-import pytest
-
 from repro.cpu.config import ProcessorConfig
 from repro.experiments.runner import RunCache, simulate_program
 from repro.workloads import TINY_SCALE, Variant

@@ -11,6 +11,7 @@ import json
 
 import pytest
 
+from repro.analyze import ANALYZER_VERSION
 from repro.cpu.config import ProcessorConfig
 from repro.mem.config import MemoryConfig
 from repro.experiments.parallel import (
@@ -91,6 +92,9 @@ class TestContentKey:
     def test_registry_version_in_key_material(self):
         assert _point().describe()["registry_version"] == REGISTRY_VERSION
 
+    def test_analyzer_version_in_key_material(self):
+        assert _point().describe()["analyzer_version"] == ANALYZER_VERSION
+
 
 class TestDiskCache:
     def test_round_trip(self, tmp_path, baseline_stats):
@@ -146,7 +150,21 @@ class TestDiskCache:
         assert len(newer) == 0
         assert newer.load(key) is None
         stamp = (tmp_path / DiskCache.STAMP_NAME).read_text().strip()
-        assert stamp == f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION + 1}"
+        assert stamp == (
+            f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION + 1}.{ANALYZER_VERSION}"
+        )
+
+    def test_analyzer_bump_invalidates_wholesale(
+        self, tmp_path, baseline_stats
+    ):
+        """A gate-semantics change re-verifies cached points instead of
+        silently reusing records from an older analyzer."""
+        cache = DiskCache(tmp_path)
+        key = _point().content_key()
+        cache.store(key, baseline_stats)
+        newer = DiskCache(tmp_path, analyzer_version=ANALYZER_VERSION + 1)
+        assert len(newer) == 0
+        assert newer.load(key) is None
 
     def test_record_is_self_describing(self, tmp_path, baseline_stats):
         cache = DiskCache(tmp_path)
@@ -211,7 +229,13 @@ class TestCliIntegration:
             "--cache-dir", str(cache_dir), "--jobs", "1", "--quiet",
         ])
         assert code == 0
-        assert not cache_dir.exists()
+        # no simulation-result records or version stamp...
+        assert not list(cache_dir.glob("*.json"))
+        assert not (cache_dir / "CACHE_VERSION").exists()
+        # ...but static-verification verdicts still persist: a gate
+        # verdict cannot affect measured numbers, so --no-cache timing
+        # re-runs skip the analysis while re-simulating every point
+        assert list((cache_dir / "analysis").glob("*.json"))
 
     def test_cache_dir_flag_populates(self, tmp_path, capsys):
         from repro.experiments.cli import main
