@@ -1,0 +1,67 @@
+"""Cycle-level checkpoint/restore for preemptible simulations.
+
+A long simulation point (a full-scale MPEG-2 grid cell runs hundreds of
+millions of cycles) used to be the unit of failure recovery: PR 3's
+fault layer retries a SIGKILLed *point* from cycle 0.  This package
+makes the simulator itself restorable, so a point killed at cycle 180M
+resumes from its newest on-disk snapshot instead of starting over —
+with **byte-identical** final :class:`~repro.cpu.stats.ExecutionStats`
+versus an uninterrupted run.
+
+The unit of capture is a *chunk boundary*: the functional machine
+yields its dynamic trace in chunks, and between chunks every layer of
+the stack is quiescent (no instruction is mid-decode, no pipeline event
+is half-applied), so ``snapshot()`` observes a complete, consistent
+machine state.  Snapshots cover:
+
+* the functional machine (registers incl. GSR, the full memory image,
+  resume PC, executed-instruction counters),
+* the active pipeline model (in-order or OoO: reg-ready scoreboard, FU
+  pools, memory queue, retire/branch rings, fetch/redirect state),
+* the branch predictor + return-address stack,
+* the :class:`~repro.mem.MemorySystem` (cache tag arrays with LRU/dirty
+  state, MSHRs, prefetch bookkeeping, port/bank occupancy, stats),
+* the :class:`~repro.cpu.stats.RetireUnit` partial stall accounting and
+  — when auditing — the tracer/aggregator replicas.
+
+Snapshot files are versioned, sha256-checksummed and written atomically
+(temp + ``os.replace``); corrupt snapshots are quarantined and the
+loader falls back to the next-older one, then to a cold start.  See
+EXPERIMENTS.md, "Checkpointing".
+"""
+
+from .snapshot import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_CHECKPOINT_KEEP,
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_SUFFIX,
+    CheckpointError,
+    CheckpointSession,
+    build_state,
+    identity_meta,
+    list_snapshots,
+    load_newest_valid,
+    load_snapshot,
+    quarantine_snapshot,
+    restore_state,
+    run_with_checkpoints,
+    write_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_CHECKPOINT_KEEP",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SNAPSHOT_SUFFIX",
+    "CheckpointError",
+    "CheckpointSession",
+    "build_state",
+    "identity_meta",
+    "list_snapshots",
+    "load_newest_valid",
+    "load_snapshot",
+    "quarantine_snapshot",
+    "restore_state",
+    "run_with_checkpoints",
+    "write_snapshot",
+]

@@ -1,0 +1,442 @@
+"""Snapshot files + the checkpointed simulation loop.
+
+One snapshot is a single JSON file::
+
+    {"magic": "repro-snapshot", "version": 1,
+     "meta": {...identity of the simulated point...},
+     "progress": {"retired": N, "cycles": C, "created": t},
+     "payload_sha256": "...",
+     "payload_json": "{\"machine\": ..., \"model\": ..., ...}"}
+
+The machine/pipeline/memory/tracer state lives in ``payload_json`` as
+an *embedded JSON string* and the checksum covers exactly that string —
+re-canonicalising the payload after a round trip would be fragile
+(``MemoryStats`` histograms have integer dict keys whose int-sorted and
+string-sorted orders differ), whereas hashing the stored bytes is not.
+
+``meta`` pins everything a snapshot must agree on to be restorable:
+the point's cache key, the program digest, the processor/memory
+configs, the pipeline kind and whether a tracer was attached.  A
+snapshot whose meta does not match the current run is *skipped* (cold
+start), never trusted.  A snapshot that fails its checksum, or does not
+parse, is moved to ``<dir>/quarantine/`` and the loader falls back to
+the next-older file.
+
+Writes are atomic (temp file + ``os.replace``) so a SIGKILL mid-write
+can never leave a half-snapshot with a valid name behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+log = logging.getLogger("repro.checkpoint")
+
+#: bump when the snapshot record layout (or any subsystem's
+#: ``snapshot()`` payload shape) changes incompatibly
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: first bytes of every snapshot record
+SNAPSHOT_MAGIC = "repro-snapshot"
+
+#: snapshot filename suffix; files are ``ckpt_<retired:015d>.ckpt.json``
+#: so lexicographic order == progress order
+SNAPSHOT_SUFFIX = ".ckpt.json"
+
+#: default snapshot cadence in *simulated cycles*.  Full-scale MPEG-2
+#: points run hundreds of millions of cycles, so 10M cycles yields tens
+#: of snapshots on the points that need them while a tiny-scale point
+#: (tens of thousands of cycles) writes none at all — which is exactly
+#: the overhead contract (checkpointing-enabled tiny grids must stay
+#: within a few percent of a checkpoint-free run).
+DEFAULT_CHECKPOINT_INTERVAL = 10_000_000
+
+#: snapshots retained per point (newest N; older ones are pruned after
+#: every successful write)
+DEFAULT_CHECKPOINT_KEEP = 2
+
+#: subdirectory (inside a point's snapshot directory) holding corrupt
+#: snapshots moved aside for post-mortem
+QUARANTINE_DIRNAME = "quarantine"
+
+
+class CheckpointError(RuntimeError):
+    """A snapshot file is unreadable, corrupt, or not restorable."""
+
+
+@dataclass
+class CheckpointSession:
+    """Per-point checkpointing knobs + outcome counters.
+
+    The worker arms one session per simulation point; after the run,
+    :attr:`resumed_from` names the snapshot the point restored from
+    (``None`` = cold start) and flows into the run manifest.
+    """
+
+    #: where this point's snapshots live (one directory per point)
+    directory: Path
+    #: snapshot cadence in simulated cycles
+    interval: int = DEFAULT_CHECKPOINT_INTERVAL
+    #: newest snapshots retained after each write
+    keep: int = DEFAULT_CHECKPOINT_KEEP
+    #: the point's cache content key (part of the identity meta)
+    point_key: str = ""
+    #: human-readable label (for logs / fault-injection hooks)
+    label: str = ""
+    #: snapshot filename this run restored from (``None`` = cold start)
+    resumed_from: Optional[str] = None
+    snapshots_written: int = 0
+    snapshots_quarantined: int = 0
+    #: snapshots skipped because their identity meta did not match
+    snapshots_mismatched: int = 0
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+
+    @property
+    def chunk_size(self) -> int:
+        """Trace chunk size for the checkpointed run.
+
+        Snapshots happen only at chunk boundaries, so the chunk must be
+        (much) smaller than the interval or small test intervals would
+        never fire; the default interval keeps the machine's normal
+        64K-event chunks, so enabling checkpointing does not perturb
+        the hot loop at all.
+        """
+        return min(1 << 16, max(256, self.interval // 4))
+
+
+# ---------------------------------------------------------------------------
+# Identity meta
+# ---------------------------------------------------------------------------
+
+
+def identity_meta(
+    machine, model, memory, tracer, benchmark: str, point_key: str = ""
+) -> Dict:
+    """Everything a snapshot and a would-be resumer must agree on.
+
+    Restoring into a different program, config, pipeline kind, or
+    traced-ness would silently corrupt results; any mismatch makes the
+    loader skip the snapshot (cold start) instead.
+    """
+    from ..analyze.verify import program_digest  # lazy: avoid cycle at import
+
+    return {
+        "point_key": point_key,
+        "benchmark": benchmark,
+        "program": machine.program.name,
+        "program_digest": program_digest(machine.program),
+        "memory_size": machine.memory_size,
+        "model": model.MODEL_KIND,
+        "cpu": model.config.to_dict(),
+        "mem": memory.config.to_dict(),
+        "traced": tracer is not None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Snapshot file I/O
+# ---------------------------------------------------------------------------
+
+
+def _payload_checksum(payload_json: str) -> str:
+    return hashlib.sha256(payload_json.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(directory: Path, path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=str(directory), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_snapshot(
+    directory: Path, meta: Dict, progress: Dict, payload: Dict
+) -> Path:
+    """Atomically persist one snapshot; returns its path.
+
+    ``progress`` must carry ``retired`` (used for the filename, so
+    lexicographic order is progress order); ``created`` is stamped here
+    if absent.  Raises :class:`CheckpointError` on I/O failure.
+    """
+    directory = Path(directory)
+    progress = dict(progress)
+    progress.setdefault("created", time.time())
+    payload_json = json.dumps(payload, separators=(",", ":"))
+    record = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_FORMAT_VERSION,
+        "meta": meta,
+        "progress": progress,
+        "payload_sha256": _payload_checksum(payload_json),
+        "payload_json": payload_json,
+    }
+    name = f"ckpt_{int(progress['retired']):015d}{SNAPSHOT_SUFFIX}"
+    path = directory / name
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        _atomic_write(directory, path, json.dumps(record, sort_keys=True))
+    except OSError as exc:
+        raise CheckpointError(f"cannot write snapshot {path}: {exc}") from exc
+    return path
+
+
+def load_snapshot(path: Path) -> Tuple[Dict, Dict, Dict]:
+    """Read and verify one snapshot file -> ``(meta, progress, payload)``.
+
+    Raises :class:`CheckpointError` on unreadable files, bad
+    magic/version, malformed JSON, or a payload checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        record = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"snapshot {path.name} is not valid JSON (torn write?)"
+        ) from exc
+    if not isinstance(record, dict) or record.get("magic") != SNAPSHOT_MAGIC:
+        raise CheckpointError(f"snapshot {path.name} has bad magic")
+    if record.get("version") != SNAPSHOT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"snapshot {path.name} has unsupported version "
+            f"{record.get('version')!r}"
+        )
+    payload_json = record.get("payload_json")
+    if not isinstance(payload_json, str):
+        raise CheckpointError(f"snapshot {path.name} has no payload")
+    if record.get("payload_sha256") != _payload_checksum(payload_json):
+        raise CheckpointError(
+            f"snapshot {path.name} failed its payload checksum"
+        )
+    try:
+        payload = json.loads(payload_json)
+    except ValueError as exc:  # checksum passed but payload malformed
+        raise CheckpointError(
+            f"snapshot {path.name} has malformed payload JSON"
+        ) from exc
+    meta = record.get("meta")
+    progress = record.get("progress")
+    if not isinstance(meta, dict) or not isinstance(progress, dict):
+        raise CheckpointError(f"snapshot {path.name} has malformed envelope")
+    return meta, progress, payload
+
+
+def list_snapshots(directory: Path) -> List[Path]:
+    """Snapshot files in ``directory``, oldest first (empty list if the
+    directory does not exist)."""
+    directory = Path(directory)
+    try:
+        entries = sorted(
+            p for p in directory.iterdir()
+            if p.name.startswith("ckpt_") and p.name.endswith(SNAPSHOT_SUFFIX)
+        )
+    except OSError:
+        return []
+    return entries
+
+
+def quarantine_snapshot(path: Path) -> bool:
+    """Move a corrupt snapshot into ``quarantine/`` next to it (never
+    trust it, never crash); returns ``True`` if the move happened."""
+    path = Path(path)
+    qdir = path.parent / QUARANTINE_DIRNAME
+    try:
+        qdir.mkdir(exist_ok=True)
+        os.replace(path, qdir / path.name)
+    except OSError as exc:
+        log.warning(
+            "corrupt snapshot %s could not be quarantined (%s); ignoring it",
+            path.name, exc,
+        )
+        return False
+    log.warning(
+        "quarantined corrupt snapshot %s -> %s/", path.name, QUARANTINE_DIRNAME
+    )
+    return True
+
+
+def prune_snapshots(directory: Path, keep: int) -> int:
+    """Delete all but the newest ``keep`` snapshots; returns the count
+    removed.  Failures are logged, never raised."""
+    removed = 0
+    snapshots = list_snapshots(directory)
+    if keep > 0:
+        snapshots = snapshots[:-keep]
+    for path in snapshots:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError as exc:
+            log.warning("could not prune snapshot %s: %s", path, exc)
+    return removed
+
+
+def load_newest_valid(
+    session: CheckpointSession, expected_meta: Dict
+) -> Optional[Tuple[str, Dict]]:
+    """Newest restorable snapshot for this point -> ``(name, payload)``.
+
+    Walks newest -> oldest: corrupt files are quarantined and the next
+    older one is tried; an identity-meta mismatch (different program /
+    config / pipeline / traced-ness) skips the file.  ``None`` means
+    cold start.
+    """
+    for path in reversed(list_snapshots(session.directory)):
+        try:
+            meta, _progress, payload = load_snapshot(path)
+        except CheckpointError as exc:
+            log.warning("%s; falling back to an older snapshot", exc)
+            quarantine_snapshot(path)
+            session.snapshots_quarantined += 1
+            continue
+        if meta != expected_meta:
+            log.warning(
+                "snapshot %s does not match this point's identity "
+                "(stale program/config?); skipping it", path.name,
+            )
+            session.snapshots_mismatched += 1
+            continue
+        return path.name, payload
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Whole-stack state capture / restore
+# ---------------------------------------------------------------------------
+
+
+def build_state(machine, model, memory, tracer=None) -> Dict:
+    """Serialize every layer of a quiescent (chunk-boundary) stack."""
+    return {
+        "machine": machine.snapshot(),
+        "model": model.snapshot(),
+        "memory": memory.snapshot(),
+        "tracer": tracer.snapshot() if tracer is not None else None,
+    }
+
+
+def restore_state(payload: Dict, machine, model, memory, tracer=None) -> None:
+    """Restore every layer from :func:`build_state` output.
+
+    Raises :class:`CheckpointError` if any layer rejects its state
+    (callers treat that like a corrupt snapshot).
+    """
+    try:
+        machine.restore(payload["machine"])
+        model.restore(payload["model"])
+        memory.restore(payload["memory"])
+        if tracer is not None:
+            tracer_state = payload.get("tracer")
+            if tracer_state is None:
+                raise ValueError("snapshot carries no tracer state")
+            tracer.restore(tracer_state)
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"snapshot payload rejected: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# The checkpointed simulation loop
+# ---------------------------------------------------------------------------
+
+
+def run_with_checkpoints(
+    session: CheckpointSession,
+    machine,
+    model,
+    memory,
+    tracer,
+    benchmark: str,
+    max_steps: Optional[int] = None,
+):
+    """Drive one simulation with periodic snapshots; returns its
+    :class:`~repro.cpu.stats.ExecutionStats`.
+
+    Identical in observable behaviour to
+    ``model.simulate(machine.run(...), benchmark)`` — the trace-chunk
+    partition provably cannot change the stats — except that:
+
+    * before the first cycle, the newest valid snapshot for this point
+      (if any) is restored and execution resumes mid-program
+      (``session.resumed_from`` records which file);
+    * at every chunk boundary where at least ``session.interval``
+      simulated cycles elapsed since the last snapshot, the whole stack
+      is serialized and atomically written, then snapshots beyond
+      ``session.keep`` are pruned.
+
+    Snapshots capture only quiescent state: the functional generator is
+    suspended right after yielding a chunk and the model has consumed
+    that chunk completely, so no instruction is mid-decode and no
+    pipeline event is half-applied.
+    """
+    expected_meta = identity_meta(
+        machine, model, memory, tracer, benchmark, session.point_key
+    )
+    model.begin(benchmark)
+    resume = False
+    found = load_newest_valid(session, expected_meta)
+    if found is not None:
+        name, payload = found
+        restore_state(payload, machine, model, memory, tracer)
+        session.resumed_from = name
+        resume = True
+        log.info(
+            "%s: resumed from snapshot %s (retired=%d, cycle=%d)",
+            session.label or benchmark, name,
+            model.retire.retired, model.retire.total_cycles,
+        )
+    last_cycles = model.retire.total_cycles
+    interval = session.interval
+    inject_label = f"ckpt:{session.label or benchmark}"
+    for chunk in machine.run(
+        max_instructions=max_steps,
+        chunk_size=session.chunk_size,
+        observer=tracer,
+        resume=resume,
+    ):
+        model.feed_chunk(chunk)
+        if machine.run_pc < 0:
+            break  # program halted: the final (partial) chunk
+        cycles = model.retire.total_cycles
+        if cycles - last_cycles >= interval:
+            progress = {
+                "retired": model.retire.retired,
+                "cycles": cycles,
+            }
+            write_snapshot(
+                session.directory, expected_meta, progress,
+                build_state(machine, model, memory, tracer),
+            )
+            session.snapshots_written += 1
+            prune_snapshots(session.directory, session.keep)
+            last_cycles = cycles
+            # chaos hook: lets the test harness kill/hang a worker
+            # right after it persisted a snapshot (lazy import keeps
+            # the checkpoint layer independent of the fault layer)
+            from ..experiments.faults import maybe_inject
+
+            maybe_inject(inject_label)
+    return model.finish()

@@ -10,7 +10,7 @@ table because most aliased branches agree with their own bias.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 
 class AgreePredictor:
@@ -49,6 +49,26 @@ class AgreePredictor:
     def mispredict_rate(self) -> float:
         return self.mispredictions / self.predictions if self.predictions else 0.0
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return {
+            "table": list(self.table),
+            "predictions": self.predictions,
+            "mispredictions": self.mispredictions,
+        }
+
+    def restore(self, state: Dict) -> None:
+        table = state["table"]
+        if len(table) != self.size:
+            raise ValueError(
+                f"snapshot predictor table has {len(table)} entries, "
+                f"expected {self.size}"
+            )
+        self.table[:] = [int(x) for x in table]
+        self.predictions = int(state["predictions"])
+        self.mispredictions = int(state["mispredictions"])
+
 
 class ReturnAddressStack:
     """Fixed-depth RAS; overflow wraps (oldest entry lost), underflow or
@@ -73,3 +93,17 @@ class ReturnAddressStack:
             return True
         predicted = self.stack.pop()
         return actual_target is not None and predicted != actual_target
+
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return {"stack": list(self.stack), "overflowed": self.overflowed}
+
+    def restore(self, state: Dict) -> None:
+        stack = state["stack"]
+        if len(stack) > self.size:
+            raise ValueError(
+                f"snapshot RAS depth {len(stack)} exceeds size {self.size}"
+            )
+        self.stack[:] = [int(x) for x in stack]
+        self.overflowed = int(state["overflowed"])

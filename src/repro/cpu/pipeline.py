@@ -18,11 +18,22 @@ paper's stall-attribution convention (see :mod:`repro.cpu.stats`).
 The models are deliberately recurrence-based — O(1) work per dynamic
 instruction — rather than cycle-by-cycle; DESIGN.md substitution 1
 discusses why this preserves the paper's measurements.
+
+Chunked protocol (checkpointing): :meth:`simulate` is sugar for
+``begin(benchmark)`` + ``feed_chunk(chunk)`` per trace chunk +
+``finish()``.  Every piece of mutable loop state lives on the model
+between chunks (the hot inner loops still run on local aliases, loaded
+once per ~64K-event chunk and written back after — a handful of
+attribute operations per chunk, nothing per instruction), so between
+chunks the model is quiescent and :meth:`snapshot`/:meth:`restore`
+capture or reinstate it exactly.  The chunk partition provably cannot
+change the computed stats: the models process one event at a time and
+chunk boundaries only trigger the cycle-budget check.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 from ..mem.system import A_LOAD, A_PREFETCH, A_STORE, LEVEL_L1, MemorySystem
 from ..sim.machine import SimulationError
@@ -50,6 +61,10 @@ from .stats import (
 
 class _BaseModel:
     """State and bookkeeping shared by both pipelines."""
+
+    #: discriminator stored in snapshots so a restore into the wrong
+    #: pipeline class is rejected instead of silently mixing state
+    MODEL_KIND = ""
 
     def __init__(
         self,
@@ -80,6 +95,104 @@ class _BaseModel:
         self.category_counts = [0, 0, 0, 0]
         self.branches = 0
         self.mispredicts = 0
+        self.begin("")
+
+    # -- chunked-run protocol -----------------------------------------------
+
+    def begin(self, benchmark: str = "") -> None:
+        """Initialize the per-run loop state (called by :meth:`simulate`
+        and by the checkpoint layer before a cold or resumed run)."""
+        self._benchmark = benchmark
+        self._memq: List[int] = [0] * self.config.mem_queue_size
+        self._mem_index = 0
+        self._fetch_ready = 0
+        self._redirect_until = -1
+
+    def feed_chunk(self, chunk: list) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def finish(self) -> ExecutionStats:
+        """Build the final stats after the last chunk."""
+        return self._finish(self._benchmark)
+
+    def simulate(self, chunks: Iterable[list], benchmark: str = "") -> ExecutionStats:
+        self.begin(benchmark)
+        feed = self.feed_chunk
+        for chunk in chunks:
+            feed(chunk)
+        return self.finish()
+
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Serialize all mutable model state at a chunk boundary."""
+        return {
+            "kind": self.MODEL_KIND,
+            "reg_ready": list(self.reg_ready),
+            "fus": [list(pool) for pool in self.fus],
+            "category_counts": list(self.category_counts),
+            "branches": self.branches,
+            "mispredicts": self.mispredicts,
+            "predictor": self.predictor.snapshot(),
+            "ras": self.ras.snapshot(),
+            "retire": self.retire.snapshot(),
+            "loop": self._loop_snapshot(),
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate :meth:`snapshot` state (after :meth:`begin`).
+
+        Raises ``ValueError`` on any kind/shape mismatch instead of
+        restoring partially-checked state.
+        """
+        if state["kind"] != self.MODEL_KIND:
+            raise ValueError(
+                f"snapshot is for a {state['kind']!r} pipeline, "
+                f"this model is {self.MODEL_KIND!r}"
+            )
+        reg_ready = state["reg_ready"]
+        if len(reg_ready) != len(self.reg_ready):
+            raise ValueError("snapshot reg-ready scoreboard size mismatch")
+        pools = state["fus"]
+        if len(pools) != len(self.fus) or any(
+            len(saved) != len(mine) for saved, mine in zip(pools, self.fus)
+        ):
+            raise ValueError("snapshot FU pool shape mismatch")
+        cats = state["category_counts"]
+        if len(cats) != len(self.category_counts):
+            raise ValueError("snapshot category-count size mismatch")
+        loop = state["loop"]
+        self._loop_check(loop)
+        self.reg_ready[:] = [int(x) for x in reg_ready]
+        for mine, saved in zip(self.fus, pools):
+            mine[:] = [int(x) for x in saved]
+        self.category_counts[:] = [int(x) for x in cats]
+        self.branches = int(state["branches"])
+        self.mispredicts = int(state["mispredicts"])
+        self.predictor.restore(state["predictor"])
+        self.ras.restore(state["ras"])
+        self.retire.restore(state["retire"])
+        self._loop_restore(loop)
+
+    def _loop_snapshot(self) -> Dict:
+        return {
+            "memq": list(self._memq),
+            "mem_index": self._mem_index,
+            "fetch_ready": self._fetch_ready,
+            "redirect_until": self._redirect_until,
+        }
+
+    def _loop_check(self, loop: Dict) -> None:
+        if len(loop["memq"]) != self.config.mem_queue_size:
+            raise ValueError("snapshot memory-queue size mismatch")
+
+    def _loop_restore(self, loop: Dict) -> None:
+        self._memq[:] = [int(x) for x in loop["memq"]]
+        self._mem_index = int(loop["mem_index"])
+        self._fetch_ready = int(loop["fetch_ready"])
+        self._redirect_until = int(loop["redirect_until"])
+
+    # -- shared internals ---------------------------------------------------
 
     def _check_cycle_budget(self) -> None:
         """Per-chunk watchdog: a model whose simulated clock ran past
@@ -120,7 +233,25 @@ class InOrderModel(_BaseModel):
     """In-order issue (21164 / UltraSPARC-II class): issue stalls on the
     first instruction whose operands or unit are not ready."""
 
-    def simulate(self, chunks: Iterable[list], benchmark: str = "") -> ExecutionStats:
+    MODEL_KIND = "inorder"
+
+    def begin(self, benchmark: str = "") -> None:
+        super().begin(benchmark)
+        self._prev_issue = -1
+        self._issued_in_cycle = 0
+
+    def _loop_snapshot(self) -> Dict:
+        loop = super()._loop_snapshot()
+        loop["prev_issue"] = self._prev_issue
+        loop["issued_in_cycle"] = self._issued_in_cycle
+        return loop
+
+    def _loop_restore(self, loop: Dict) -> None:
+        super()._loop_restore(loop)
+        self._prev_issue = int(loop["prev_issue"])
+        self._issued_in_cycle = int(loop["issued_in_cycle"])
+
+    def feed_chunk(self, chunk: list) -> None:
         info = self.info
         kind = info.kind
         fu_of = info.fu
@@ -145,130 +276,175 @@ class InOrderModel(_BaseModel):
         fus = self.fus
         cat_counts = self.category_counts
         memq_size = config.mem_queue_size
-        memq = [0] * memq_size
-        mem_index = 0
+        memq = self._memq
+        mem_index = self._mem_index
         tracer = self.tracer
 
-        fetch_ready = 0
-        redirect_until = -1
-        prev_issue = -1
-        issued_in_cycle = 0
+        fetch_ready = self._fetch_ready
+        redirect_until = self._redirect_until
+        prev_issue = self._prev_issue
+        issued_in_cycle = self._issued_in_cycle
 
-        for chunk in chunks:
-            for sidx, aux in chunk:
-                k = kind[sidx]
-                cat_counts[cats[sidx]] += 1
+        for sidx, aux in chunk:
+            k = kind[sidx]
+            cat_counts[cats[sidx]] += 1
 
-                earliest = fetch_ready
-                if earliest < prev_issue:
-                    earliest = prev_issue
-                if earliest == prev_issue and issued_in_cycle >= width:
-                    earliest += 1
+            earliest = fetch_ready
+            if earliest < prev_issue:
+                earliest = prev_issue
+            if earliest == prev_issue and issued_in_cycle >= width:
+                earliest += 1
 
-                ready = earliest
-                for s in srcs_of[sidx]:
-                    r = reg_ready[s]
-                    if r > ready:
-                        ready = r
+            ready = earliest
+            for s in srcs_of[sidx]:
+                r = reg_ready[s]
+                if r > ready:
+                    ready = r
 
-                units = fus[fu_of[sidx]]
-                best = 0
-                for u in range(1, len(units)):
-                    if units[u] < units[best]:
-                        best = u
-                issue = ready if ready >= units[best] else units[best]
+            units = fus[fu_of[sidx]]
+            best = 0
+            for u in range(1, len(units)):
+                if units[u] < units[best]:
+                    best = u
+            issue = ready if ready >= units[best] else units[best]
 
-                if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
-                    slot = memq[mem_index % memq_size]
-                    if slot > issue:
-                        issue = slot
+            if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+                slot = memq[mem_index % memq_size]
+                if slot > issue:
+                    issue = slot
 
-                if issue > prev_issue:
-                    prev_issue = issue
-                    issued_in_cycle = 1
-                else:
-                    issued_in_cycle += 1
+            if issue > prev_issue:
+                prev_issue = issue
+                issued_in_cycle = 1
+            else:
+                issued_in_cycle += 1
 
-                lat = latency[sidx]
-                units[best] = issue + (1 if pipelined[sidx] else lat)
+            lat = latency[sidx]
+            units[best] = issue + (1 if pipelined[sidx] else lat)
 
-                cls = SC_FU
-                if k == K_SIMPLE:
-                    complete = issue + lat
-                    if issue == redirect_until:
-                        cls = SC_BRANCH
-                elif k == K_LOAD:
-                    done, level = memory.access(A_LOAD, aux, issue + 1)
-                    complete = done
-                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+            cls = SC_FU
+            if k == K_SIMPLE:
+                complete = issue + lat
+                if issue == redirect_until:
+                    cls = SC_BRANCH
+            elif k == K_LOAD:
+                done, level = memory.access(A_LOAD, aux, issue + 1)
+                complete = done
+                cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                memq[mem_index % memq_size] = done
+                mem_index += 1
+            elif k == K_STORE:
+                done, _level = memory.access(A_STORE, aux, issue + 1)
+                complete = issue + 1
+                cls = SC_L1HIT
+                memq[mem_index % memq_size] = done
+                mem_index += 1
+            elif k == K_PREFETCH:
+                if aux:
+                    done, _level = memory.access(A_PREFETCH, aux, issue + 1)
                     memq[mem_index % memq_size] = done
                     mem_index += 1
-                elif k == K_STORE:
-                    done, _level = memory.access(A_STORE, aux, issue + 1)
-                    complete = issue + 1
-                    cls = SC_L1HIT
-                    memq[mem_index % memq_size] = done
-                    mem_index += 1
-                elif k == K_PREFETCH:
-                    if aux:
-                        done, _level = memory.access(A_PREFETCH, aux, issue + 1)
-                        memq[mem_index % memq_size] = done
-                        mem_index += 1
-                    complete = issue + 1
-                    cls = SC_L1HIT
-                elif k == K_BRANCH:
-                    complete = issue + 1
-                    self.branches += 1
-                    cls = SC_BRANCH
-                    if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
-                        self.mispredicts += 1
-                        redirect_until = complete + penalty
-                        fetch_ready = redirect_until
-                    elif aux == 1 and complete > fetch_ready:
-                        fetch_ready = complete
-                else:  # K_UNCOND: j / call / ret
-                    complete = issue + 1
-                    self.branches += 1
-                    cls = SC_BRANCH
-                    mispredicted = False
-                    if is_call[sidx]:
-                        ras.push(sidx + 1)
-                    elif is_ret[sidx]:
-                        # RAS supplies the target; only an empty stack
-                        # (after overflow) mispredicts.
-                        mispredicted = ras.pop()
-                    if is_ret[sidx] and mispredicted:
-                        self.mispredicts += 1
-                        redirect_until = complete + penalty
-                        fetch_ready = redirect_until
-                    elif complete > fetch_ready:
-                        fetch_ready = complete
+                complete = issue + 1
+                cls = SC_L1HIT
+            elif k == K_BRANCH:
+                complete = issue + 1
+                self.branches += 1
+                cls = SC_BRANCH
+                if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
+                    self.mispredicts += 1
+                    redirect_until = complete + penalty
+                    fetch_ready = redirect_until
+                elif aux == 1 and complete > fetch_ready:
+                    fetch_ready = complete
+            else:  # K_UNCOND: j / call / ret
+                complete = issue + 1
+                self.branches += 1
+                cls = SC_BRANCH
+                mispredicted = False
+                if is_call[sidx]:
+                    ras.push(sidx + 1)
+                elif is_ret[sidx]:
+                    # RAS supplies the target; only an empty stack
+                    # (after overflow) mispredicts.
+                    mispredicted = ras.pop()
+                if is_ret[sidx] and mispredicted:
+                    self.mispredicts += 1
+                    redirect_until = complete + penalty
+                    fetch_ready = redirect_until
+                elif complete > fetch_ready:
+                    fetch_ready = complete
 
-                dst = dsts[sidx]
-                if dst >= 0:
-                    reg_ready[dst] = complete
-                dst2 = dst2s[sidx]
-                if dst2 >= 0:
-                    reg_ready[dst2] = complete
+            dst = dsts[sidx]
+            if dst >= 0:
+                reg_ready[dst] = complete
+            dst2 = dst2s[sidx]
+            if dst2 >= 0:
+                reg_ready[dst2] = complete
 
-                retire_at = complete if k != K_STORE else issue + 1
-                retire.retire(retire_at, cls)
-                if tracer is not None:
-                    tracer.instr(
-                        sidx, earliest, issue, complete, retire_at, cls, aux
-                    )
+            retire_at = complete if k != K_STORE else issue + 1
+            retire.retire(retire_at, cls)
+            if tracer is not None:
+                tracer.instr(
+                    sidx, earliest, issue, complete, retire_at, cls, aux
+                )
 
-            if self.max_cycles is not None:
-                self._check_cycle_budget()
+        # write the loop state back so the model is quiescent between
+        # chunks (shared lists — memq, reg_ready, fus — were mutated in
+        # place and need no write-back)
+        self._mem_index = mem_index
+        self._fetch_ready = fetch_ready
+        self._redirect_until = redirect_until
+        self._prev_issue = prev_issue
+        self._issued_in_cycle = issued_in_cycle
 
-        return self._finish(benchmark)
+        if self.max_cycles is not None:
+            self._check_cycle_budget()
 
 
 class OutOfOrderModel(_BaseModel):
     """Out-of-order issue (21264 / R10000 class): dataflow issue inside
     a 64-entry window with in-order dispatch and retirement."""
 
-    def simulate(self, chunks: Iterable[list], benchmark: str = "") -> ExecutionStats:
+    MODEL_KIND = "ooo"
+
+    def begin(self, benchmark: str = "") -> None:
+        super().begin(benchmark)
+        self._retire_ring: List[int] = [0] * self.config.window_size
+        self._index = 0
+        self._branch_ring: List[int] = (
+            [0] * self.config.max_speculated_branches
+        )
+        self._branch_index = 0
+        self._prev_dispatch = -1
+        self._dispatched_in_cycle = 0
+
+    def _loop_snapshot(self) -> Dict:
+        loop = super()._loop_snapshot()
+        loop["retire_ring"] = list(self._retire_ring)
+        loop["index"] = self._index
+        loop["branch_ring"] = list(self._branch_ring)
+        loop["branch_index"] = self._branch_index
+        loop["prev_dispatch"] = self._prev_dispatch
+        loop["dispatched_in_cycle"] = self._dispatched_in_cycle
+        return loop
+
+    def _loop_check(self, loop: Dict) -> None:
+        super()._loop_check(loop)
+        if len(loop["retire_ring"]) != self.config.window_size:
+            raise ValueError("snapshot retire-ring size mismatch")
+        if len(loop["branch_ring"]) != self.config.max_speculated_branches:
+            raise ValueError("snapshot branch-ring size mismatch")
+
+    def _loop_restore(self, loop: Dict) -> None:
+        super()._loop_restore(loop)
+        self._retire_ring[:] = [int(x) for x in loop["retire_ring"]]
+        self._index = int(loop["index"])
+        self._branch_ring[:] = [int(x) for x in loop["branch_ring"]]
+        self._branch_index = int(loop["branch_index"])
+        self._prev_dispatch = int(loop["prev_dispatch"])
+        self._dispatched_in_cycle = int(loop["dispatched_in_cycle"])
+
+    def feed_chunk(self, chunk: list) -> None:
         info = self.info
         kind = info.kind
         fu_of = info.fu
@@ -295,145 +471,152 @@ class OutOfOrderModel(_BaseModel):
         cat_counts = self.category_counts
 
         memq_size = config.mem_queue_size
-        memq = [0] * memq_size
-        mem_index = 0
+        memq = self._memq
+        mem_index = self._mem_index
         tracer = self.tracer
-        retire_ring = [0] * window
-        index = 0
-        branch_ring = [0] * config.max_speculated_branches
-        branch_index = 0
+        retire_ring = self._retire_ring
+        index = self._index
+        branch_ring = self._branch_ring
+        branch_index = self._branch_index
 
-        fetch_ready = 0
-        redirect_until = -1
-        prev_dispatch = -1
-        dispatched_in_cycle = 0
+        fetch_ready = self._fetch_ready
+        redirect_until = self._redirect_until
+        prev_dispatch = self._prev_dispatch
+        dispatched_in_cycle = self._dispatched_in_cycle
 
-        for chunk in chunks:
-            for sidx, aux in chunk:
-                k = kind[sidx]
-                cat_counts[cats[sidx]] += 1
+        for sidx, aux in chunk:
+            k = kind[sidx]
+            cat_counts[cats[sidx]] += 1
 
-                # ---- dispatch (in order, width per cycle, window/branch caps)
-                earliest = fetch_ready
-                if earliest < prev_dispatch:
-                    earliest = prev_dispatch
-                if earliest == prev_dispatch and dispatched_in_cycle >= width:
-                    earliest += 1
-                slot_free = retire_ring[index % window]
-                if slot_free > earliest:
-                    earliest = slot_free
-                if k == K_BRANCH or k == K_UNCOND:
-                    bslot = branch_ring[branch_index % len(branch_ring)]
-                    if bslot > earliest:
-                        earliest = bslot
-                dispatch = earliest
-                if dispatch > prev_dispatch:
-                    prev_dispatch = dispatch
-                    dispatched_in_cycle = 1
-                else:
-                    dispatched_in_cycle += 1
+            # ---- dispatch (in order, width per cycle, window/branch caps)
+            earliest = fetch_ready
+            if earliest < prev_dispatch:
+                earliest = prev_dispatch
+            if earliest == prev_dispatch and dispatched_in_cycle >= width:
+                earliest += 1
+            slot_free = retire_ring[index % window]
+            if slot_free > earliest:
+                earliest = slot_free
+            if k == K_BRANCH or k == K_UNCOND:
+                bslot = branch_ring[branch_index % len(branch_ring)]
+                if bslot > earliest:
+                    earliest = bslot
+            dispatch = earliest
+            if dispatch > prev_dispatch:
+                prev_dispatch = dispatch
+                dispatched_in_cycle = 1
+            else:
+                dispatched_in_cycle += 1
 
-                # ---- issue (dataflow)
-                ready = dispatch + 1
-                for s in srcs_of[sidx]:
-                    r = reg_ready[s]
-                    if r > ready:
-                        ready = r
-                units = fus[fu_of[sidx]]
-                best = 0
-                for u in range(1, len(units)):
-                    if units[u] < units[best]:
-                        best = u
-                issue = ready if ready >= units[best] else units[best]
-                if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
-                    slot = memq[mem_index % memq_size]
-                    if slot > issue:
-                        issue = slot
-                lat = latency[sidx]
-                units[best] = issue + (1 if pipelined[sidx] else lat)
+            # ---- issue (dataflow)
+            ready = dispatch + 1
+            for s in srcs_of[sidx]:
+                r = reg_ready[s]
+                if r > ready:
+                    ready = r
+            units = fus[fu_of[sidx]]
+            best = 0
+            for u in range(1, len(units)):
+                if units[u] < units[best]:
+                    best = u
+            issue = ready if ready >= units[best] else units[best]
+            if k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+                slot = memq[mem_index % memq_size]
+                if slot > issue:
+                    issue = slot
+            lat = latency[sidx]
+            units[best] = issue + (1 if pipelined[sidx] else lat)
 
-                # ---- complete
-                cls = SC_FU
-                if k == K_SIMPLE:
-                    complete = issue + lat
-                    if dispatch == redirect_until:
-                        cls = SC_BRANCH
-                elif k == K_LOAD:
-                    done, level = memory.access(A_LOAD, aux, issue + 1)
-                    complete = done
-                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
-                    memq[mem_index % memq_size] = done
-                    mem_index += 1
-                elif k == K_STORE:
-                    done, _level = memory.access(A_STORE, aux, issue + 1)
-                    complete = done
-                    cls = SC_L1HIT
-                    memq[mem_index % memq_size] = done
-                    mem_index += 1
-                elif k == K_PREFETCH:
-                    complete = issue + 1
-                    cls = SC_L1HIT
-                    if aux:
-                        done, _level = memory.access(A_PREFETCH, aux, issue + 1)
-                        memq[mem_index % memq_size] = done
-                        mem_index += 1
-                        complete = issue + 1
-                elif k == K_BRANCH:
-                    complete = issue + 1
-                    self.branches += 1
+            # ---- complete
+            cls = SC_FU
+            if k == K_SIMPLE:
+                complete = issue + lat
+                if dispatch == redirect_until:
                     cls = SC_BRANCH
-                    branch_ring[branch_index % len(branch_ring)] = complete
-                    branch_index += 1
-                    if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
+            elif k == K_LOAD:
+                done, level = memory.access(A_LOAD, aux, issue + 1)
+                complete = done
+                cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                memq[mem_index % memq_size] = done
+                mem_index += 1
+            elif k == K_STORE:
+                done, _level = memory.access(A_STORE, aux, issue + 1)
+                complete = done
+                cls = SC_L1HIT
+                memq[mem_index % memq_size] = done
+                mem_index += 1
+            elif k == K_PREFETCH:
+                complete = issue + 1
+                cls = SC_L1HIT
+                if aux:
+                    done, _level = memory.access(A_PREFETCH, aux, issue + 1)
+                    memq[mem_index % memq_size] = done
+                    mem_index += 1
+                    complete = issue + 1
+            elif k == K_BRANCH:
+                complete = issue + 1
+                self.branches += 1
+                cls = SC_BRANCH
+                branch_ring[branch_index % len(branch_ring)] = complete
+                branch_index += 1
+                if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
+                    self.mispredicts += 1
+                    redirect_until = complete + penalty
+                    if redirect_until > fetch_ready:
+                        fetch_ready = redirect_until
+                elif aux == 1 and dispatch + 1 > fetch_ready:
+                    # One taken branch fetched per cycle.
+                    fetch_ready = dispatch + 1
+            else:  # K_UNCOND
+                complete = issue + 1
+                self.branches += 1
+                cls = SC_BRANCH
+                branch_ring[branch_index % len(branch_ring)] = complete
+                branch_index += 1
+                if is_call[sidx]:
+                    ras.push(sidx + 1)
+                    if dispatch + 1 > fetch_ready:
+                        fetch_ready = dispatch + 1
+                elif is_ret[sidx]:
+                    if ras.pop():
                         self.mispredicts += 1
                         redirect_until = complete + penalty
                         if redirect_until > fetch_ready:
                             fetch_ready = redirect_until
-                    elif aux == 1 and dispatch + 1 > fetch_ready:
-                        # One taken branch fetched per cycle.
-                        fetch_ready = dispatch + 1
-                else:  # K_UNCOND
-                    complete = issue + 1
-                    self.branches += 1
-                    cls = SC_BRANCH
-                    branch_ring[branch_index % len(branch_ring)] = complete
-                    branch_index += 1
-                    if is_call[sidx]:
-                        ras.push(sidx + 1)
-                        if dispatch + 1 > fetch_ready:
-                            fetch_ready = dispatch + 1
-                    elif is_ret[sidx]:
-                        if ras.pop():
-                            self.mispredicts += 1
-                            redirect_until = complete + penalty
-                            if redirect_until > fetch_ready:
-                                fetch_ready = redirect_until
-                        elif dispatch + 1 > fetch_ready:
-                            fetch_ready = dispatch + 1
                     elif dispatch + 1 > fetch_ready:
                         fetch_ready = dispatch + 1
+                elif dispatch + 1 > fetch_ready:
+                    fetch_ready = dispatch + 1
 
-                dst = dsts[sidx]
-                if dst >= 0:
-                    reg_ready[dst] = complete
-                dst2 = dst2s[sidx]
-                if dst2 >= 0:
-                    reg_ready[dst2] = complete
+            dst = dsts[sidx]
+            if dst >= 0:
+                reg_ready[dst] = complete
+            dst2 = dst2s[sidx]
+            if dst2 >= 0:
+                reg_ready[dst2] = complete
 
-                # Stores retire as soon as they are issued (write-buffer
-                # semantics); everything else waits for completion.
-                retire_at = issue + 1 if k == K_STORE else complete
-                retire_ring[index % window] = retire.retire(retire_at, cls)
-                index += 1
-                if tracer is not None:
-                    tracer.instr(
-                        sidx, dispatch, issue, complete, retire_at, cls, aux
-                    )
+            # Stores retire as soon as they are issued (write-buffer
+            # semantics); everything else waits for completion.
+            retire_at = issue + 1 if k == K_STORE else complete
+            retire_ring[index % window] = retire.retire(retire_at, cls)
+            index += 1
+            if tracer is not None:
+                tracer.instr(
+                    sidx, dispatch, issue, complete, retire_at, cls, aux
+                )
 
-            if self.max_cycles is not None:
-                self._check_cycle_budget()
+        # write the loop state back so the model is quiescent between
+        # chunks (the rings and queues were mutated in place)
+        self._mem_index = mem_index
+        self._index = index
+        self._branch_index = branch_index
+        self._fetch_ready = fetch_ready
+        self._redirect_until = redirect_until
+        self._prev_dispatch = prev_dispatch
+        self._dispatched_in_cycle = dispatched_in_cycle
 
-        return self._finish(benchmark)
+        if self.max_cycles is not None:
+            self._check_cycle_budget()
 
 
 def make_model(

@@ -59,6 +59,30 @@ class RetireUnit:
         self.slots = 1
         return complete
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return {
+            "width": self.width,
+            "cycle": self.cycle,
+            "slots": self.slots,
+            "retired": self.retired,
+            "stalls": list(self.stalls),
+        }
+
+    def restore(self, state: Dict) -> None:
+        if state["width"] != self.width:
+            raise ValueError(
+                f"snapshot retire width {state['width']} != {self.width}"
+            )
+        stalls = state["stalls"]
+        if len(stalls) != NUM_STALL_CLASSES:
+            raise ValueError("snapshot stall vector size mismatch")
+        self.cycle = int(state["cycle"])
+        self.slots = int(state["slots"])
+        self.retired = int(state["retired"])
+        self.stalls[:] = [float(x) for x in stalls]
+
     @property
     def total_cycles(self) -> int:
         return self.cycle + 1 if self.retired else 0

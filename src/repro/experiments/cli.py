@@ -46,6 +46,20 @@ suite and prints the full diagnostic report::
     python -m repro.experiments.cli lint --scale tiny --strict
     python -m repro.experiments.cli lint --benchmarks cjpeg --variant vis
 
+Cycle-level checkpointing (see EXPERIMENTS.md "Checkpointing") is on
+by default whenever a cache directory is available: every simulation
+point snapshots its full mid-flight state to
+``<cache>/checkpoints/<key>/`` every ``--checkpoint-interval``
+simulated cycles, so a killed run's retry (or a ``--resume`` re-run)
+restores mid-point instead of starting the point over — with
+byte-identical final stats.  ``--no-checkpoint`` disables it;
+``--checkpoint-dir`` relocates the snapshots.  With checkpointing on,
+timed-out points join worker losses in the retry budget, because each
+retry resumes from the newest snapshot and therefore makes forward
+progress.  ``cache gc`` collects quarantine/snapshot/temp debris::
+
+    python -m repro.experiments.cli cache gc --out results/
+
 Exit codes: 0 success, 1 grid aborted on a failed point (fail-fast),
 2 argument errors, 3 attribution-audit divergence (``--audit``),
 4 grid completed with failed points (``--keep-going``),
@@ -66,12 +80,26 @@ from ..mem.config import MemoryConfig
 from ..trace import AuditError, JsonlSink, Tracer
 from ..workloads.base import Variant
 from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
+from ..checkpoint import DEFAULT_CHECKPOINT_INTERVAL, DEFAULT_CHECKPOINT_KEEP
 from ..workloads.suite import REGISTRY_VERSION, names
 from . import figures
-from .faults import GridFailure, RetryPolicy, RunManifest
+from .faults import (
+    STATUS_TIMEOUT,
+    TRANSIENT_STATUSES,
+    GridFailure,
+    RetryPolicy,
+    RunManifest,
+)
+from .gc import (
+    DEFAULT_GC_MAX_AGE_HOURS,
+    DEFAULT_GC_MAX_QUARANTINE,
+    gc_cache,
+)
+from .gc import DEFAULT_GC_KEEP as DEFAULT_GC_KEEP_SNAPSHOTS
 from .parallel import (
     ANALYSIS_MEMO_DIRNAME,
     CACHE_FORMAT_VERSION,
+    CHECKPOINT_DIRNAME,
     DEFAULT_CACHE_DIRNAME,
     DiskCache,
     ParallelRunner,
@@ -138,7 +166,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace",
-                                       "lint"],
+                                       "lint", "cache"],
+    )
+    parser.add_argument(
+        "verb", nargs="?", default=None,
+        help="subcommand verb (only 'cache' takes one: 'gc' collects "
+             "quarantined records, finished points' checkpoint "
+             "snapshots, and orphaned temp files)",
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="default",
@@ -242,6 +276,57 @@ def main(argv=None) -> int:
         "--max-cycles", type=int, default=None, metavar="N",
         help="simulated-cycle budget per simulation (default: unbounded)",
     )
+    ckpt_group = parser.add_argument_group(
+        "checkpointing",
+        "cycle-level snapshots of mid-flight simulations "
+        "(EXPERIMENTS.md, 'Checkpointing'); retries and resumed runs "
+        "restore mid-point with byte-identical final stats",
+    )
+    ckpt_group.add_argument(
+        "--checkpoint-interval", type=int,
+        default=DEFAULT_CHECKPOINT_INTERVAL, metavar="CYCLES",
+        help="simulated cycles between snapshots "
+             f"(default: {DEFAULT_CHECKPOINT_INTERVAL}; snapshots only "
+             "happen at trace-chunk boundaries, never mid-cycle)",
+    )
+    ckpt_group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="snapshot location, one subdirectory per point "
+             f"(default: <cache-dir>/{CHECKPOINT_DIRNAME})",
+    )
+    ckpt_group.add_argument(
+        "--checkpoint-keep", type=int, default=DEFAULT_CHECKPOINT_KEEP,
+        metavar="N",
+        help="newest snapshots retained per point while it runs "
+             f"(default: {DEFAULT_CHECKPOINT_KEEP})",
+    )
+    ckpt_group.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="disable checkpointing entirely (kills mid-point restart "
+             "the point from scratch)",
+    )
+    gc_group = parser.add_argument_group(
+        "cache gc verb",
+        "collect on-disk debris: quarantined cache records, checkpoint "
+        "snapshots of finished points, orphaned temp files",
+    )
+    gc_group.add_argument(
+        "--gc-max-age-hours", type=float, default=DEFAULT_GC_MAX_AGE_HOURS,
+        metavar="H",
+        help="age past which quarantined records and snapshots are "
+             f"collected (default: {DEFAULT_GC_MAX_AGE_HOURS:g})",
+    )
+    gc_group.add_argument(
+        "--gc-keep", type=int, default=DEFAULT_GC_KEEP_SNAPSHOTS, metavar="N",
+        help="newest snapshots retained per point by gc "
+             f"(default: {DEFAULT_GC_KEEP_SNAPSHOTS})",
+    )
+    gc_group.add_argument(
+        "--gc-max-quarantine", type=int, default=DEFAULT_GC_MAX_QUARANTINE,
+        metavar="N",
+        help="newest quarantined files retained "
+             f"(default: {DEFAULT_GC_MAX_QUARANTINE})",
+    )
     trace_group = parser.add_argument_group(
         "trace subcommand",
         "record a per-cycle JSONL trace of one benchmark and/or render "
@@ -276,6 +361,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.experiment == "cache":
+        if args.verb != "gc":
+            parser.error("the 'cache' subcommand takes exactly one verb: gc")
+        return _run_gc(args)
+    if args.verb is not None:
+        parser.error(
+            f"unexpected positional {args.verb!r} "
+            f"(only 'cache' takes a verb)"
+        )
+
     if args.experiment == "params":
         _print_params()
         return 0
@@ -300,6 +395,20 @@ def main(argv=None) -> int:
     # (expensive) analysis while still re-simulating every point.
     # --no-lint disables the gate (and therefore the memo) entirely.
     lint_memo_dir = None if args.no_lint else cache_dir / ANALYSIS_MEMO_DIRNAME
+    # Checkpoint snapshots live beside the cache (but work with
+    # --no-cache too: snapshots hold mid-flight state, not results, so
+    # bypassing the *result* cache must not disable crash recovery).
+    checkpoint_dir = None
+    if not args.no_checkpoint:
+        checkpoint_dir = Path(
+            args.checkpoint_dir or (cache_dir / CHECKPOINT_DIRNAME)
+        )
+    # With checkpointing armed, a timed-out point's retry resumes from
+    # its newest snapshot and makes forward progress, so timeouts join
+    # the transient (retryable) statuses.
+    retry_statuses = TRANSIENT_STATUSES
+    if checkpoint_dir is not None:
+        retry_statuses = TRANSIENT_STATUSES | {STATUS_TIMEOUT}
     manifest = None
     try:
         manifest = RunManifest(
@@ -325,13 +434,19 @@ def main(argv=None) -> int:
         progress=None if args.quiet else print_progress(),
         keep_going=args.keep_going,
         point_timeout=args.point_timeout,
-        retry=RetryPolicy(max_retries=max(0, args.max_retries)),
+        retry=RetryPolicy(
+            max_retries=max(0, args.max_retries),
+            retry_statuses=retry_statuses,
+        ),
         manifest=manifest,
         max_tasks_per_child=args.max_tasks_per_child,
         max_steps=args.max_steps,
         max_cycles=args.max_cycles,
         lint=not args.no_lint,
         lint_memo_dir=lint_memo_dir,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=max(1, args.checkpoint_interval),
+        checkpoint_keep=max(1, args.checkpoint_keep),
     )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -377,6 +492,12 @@ def main(argv=None) -> int:
             f"{Path(args.out) / MANIFEST_NAME}",
             file=sys.stderr,
         )
+    if runner.checkpoint_resumes:
+        print(
+            f"checkpoint: {runner.checkpoint_resumes} simulation(s) "
+            f"resumed mid-point from snapshots under {checkpoint_dir}",
+            file=sys.stderr,
+        )
     if runner.simulated or runner.cache_hits:
         print(
             f"\npoints: {runner.simulated} simulated, "
@@ -404,6 +525,24 @@ def main(argv=None) -> int:
         for failure in runner.failures:
             print(f"  {failure.summary()}", file=sys.stderr)
         return EXIT_GRID_FAILURES
+    return 0
+
+
+def _run_gc(args) -> int:
+    """The ``cache gc`` verb: collect on-disk debris (never fails the
+    build — unremovable files are logged and counted)."""
+    cache_dir = Path(args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME))
+    checkpoint_dir = Path(
+        args.checkpoint_dir or (cache_dir / CHECKPOINT_DIRNAME)
+    )
+    report = gc_cache(
+        cache_dir,
+        checkpoint_root=checkpoint_dir,
+        max_age_s=max(0.0, args.gc_max_age_hours) * 3600.0,
+        keep_per_point=max(0, args.gc_keep),
+        max_quarantine=max(0, args.gc_max_quarantine),
+    )
+    print(report.summary())
     return 0
 
 

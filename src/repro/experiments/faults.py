@@ -204,6 +204,12 @@ class RetryPolicy:
     base_delay: float = 0.05
     max_delay: float = 1.0
     seed: int = 0
+    #: statuses worth retrying.  Default: transient environment faults
+    #: only (worker death / pool breakage).  With checkpointing armed
+    #: the CLI also opts timeouts in — a timed-out point resumed from
+    #: its newest snapshot makes forward progress each attempt, so the
+    #: retry is no longer a pointless re-run of a deterministic hang.
+    retry_statuses: frozenset = TRANSIENT_STATUSES
 
     def delay(self, key: str, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based) of point ``key``."""
@@ -212,7 +218,7 @@ class RetryPolicy:
         return raw * (0.5 + rng.random() / 2)  # full jitter in [raw/2, raw]
 
     def should_retry(self, status: str, attempt: int) -> bool:
-        return status in TRANSIENT_STATUSES and attempt <= self.max_retries
+        return status in self.retry_statuses and attempt <= self.max_retries
 
 
 # ---------------------------------------------------------------------------
@@ -281,6 +287,11 @@ class RunManifest:
     * A header version/cache-version mismatch discards the journal
       (with a logged warning) rather than resuming across a format or
       registry change.
+    * On ``--resume`` the journal is **compacted** before reopening:
+      only the latest record per point is kept (header + one line per
+      key, rewritten atomically via temp + ``os.replace``), so a long
+      run that is killed and resumed repeatedly re-parses a bounded
+      journal instead of unbounded append-only history.
     """
 
     def __init__(
@@ -295,9 +306,14 @@ class RunManifest:
         self.completed: Dict[str, ExecutionStats] = {}
         #: key -> failure dict recorded by a previous run
         self.failures: Dict[str, Dict] = {}
+        #: raw journal lines, latest per key (for compaction)
+        self._latest: Dict[str, str] = {}
+        self._header_line: Optional[str] = None
         self.resumed = bool(resume and self.path.exists())
         if self.resumed:
             self._load()
+        if self.resumed:
+            self._compact()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "a" if self.resumed else "w"
         self._fh = open(self.path, mode, encoding="utf-8")
@@ -347,6 +363,7 @@ class RunManifest:
             )
             self.resumed = False
             return
+        self._header_line = lines[0]
         for line in lines[1:]:
             try:
                 record = json.loads(line)
@@ -356,15 +373,41 @@ class RunManifest:
             if record.get("type") != "point" or "key" not in record:
                 continue
             key = record["key"]
+            self._latest[key] = line
             if record.get("status") == "ok" and record.get("stats"):
                 try:
                     self.completed[key] = ExecutionStats.from_dict(
                         record["stats"]
                     )
                 except (KeyError, TypeError, ValueError):
+                    self._latest.pop(key, None)
                     continue
+                self.failures.pop(key, None)
             else:
                 self.failures[key] = record
+                self.completed.pop(key, None)
+
+    def _compact(self) -> None:
+        """Rewrite the journal as header + latest record per point.
+
+        Atomic (temp file + ``os.replace`` in the manifest's own
+        directory) and best-effort: an unwritable results dir degrades
+        to keeping the uncompacted journal, loudly."""
+        if self._header_line is None:
+            return
+        payload = "\n".join(
+            [self._header_line, *self._latest.values()]
+        ) + "\n"
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            log.warning("manifest compaction failed (%s): %s", self.path, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     # -- recording ----------------------------------------------------------
 
@@ -374,17 +417,25 @@ class RunManifest:
         stats: ExecutionStats,
         label: str = "",
         elapsed: float = 0.0,
+        resumed_from: Optional[str] = None,
     ) -> None:
+        """Record a resolved point.  ``resumed_from`` names the
+        checkpoint snapshot this attempt restored from (``None`` = cold
+        start); it is journalled only when set, so records from
+        non-checkpointed runs stay byte-stable."""
         self.completed[key] = stats
         self.failures.pop(key, None)
-        self._append({
+        record = {
             "type": "point",
             "key": key,
             "status": "ok",
             "label": label,
             "elapsed_s": round(elapsed, 6),
             "stats": stats.to_dict(),
-        })
+        }
+        if resumed_from is not None:
+            record["resumed_from"] = resumed_from
+        self._append(record)
 
     def record_failure(self, failure: PointFailure) -> None:
         record = {"type": "point", **failure.to_dict()}

@@ -1,0 +1,206 @@
+"""Garbage collection for on-disk debris under the results directory.
+
+Long-lived result directories accumulate three kinds of junk that the
+fault-tolerance machinery deliberately leaves behind for post-mortem
+instead of deleting at the moment of failure:
+
+* **quarantined cache records** — torn/corrupt ``.simcache`` records
+  moved into ``<cache>/quarantine/`` by :class:`~repro.experiments
+  .parallel.DiskCache`;
+* **checkpoint snapshots** — per-point ``ckpt_*.ckpt.json`` files under
+  ``<cache>/checkpoints/<key>/`` (see :mod:`repro.checkpoint`).  The
+  runner prunes to the newest ``keep`` per point *while a point is
+  running*, but snapshots of points that finished successfully — and
+  quarantined snapshots — persist until collected;
+* **orphaned temp files** — ``*.tmp`` left by a SIGKILL between
+  ``mkstemp`` and ``os.replace``.
+
+:func:`gc_cache` sweeps all three with age and count caps.  It is
+deliberately boring: every unlink is individually guarded, failures are
+logged and counted (never raised), and nothing outside the given roots
+is ever touched.  The CLI exposes it as ``cache gc``::
+
+    python -m repro.experiments.cli cache gc --out results/
+    python -m repro.experiments.cli cache gc --gc-max-age-hours 1 --gc-keep 0
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from ..checkpoint.snapshot import (
+    QUARANTINE_DIRNAME as CKPT_QUARANTINE_DIRNAME,
+    SNAPSHOT_SUFFIX,
+    prune_snapshots,
+)
+from .parallel import CHECKPOINT_DIRNAME, QUARANTINE_DIRNAME
+
+log = logging.getLogger("repro.experiments.gc")
+
+#: default age (hours) past which quarantined records and finished
+#: points' snapshots are collected
+DEFAULT_GC_MAX_AGE_HOURS = 7 * 24.0
+
+#: default newest-snapshots-per-point retained by ``cache gc``
+DEFAULT_GC_KEEP = 1
+
+#: default cap on quarantined files retained (newest first)
+DEFAULT_GC_MAX_QUARANTINE = 50
+
+
+@dataclass
+class GcReport:
+    """What one :func:`gc_cache` sweep removed (and failed to remove)."""
+
+    quarantine_removed: int = 0
+    snapshots_removed: int = 0
+    tmp_removed: int = 0
+    dirs_removed: int = 0
+    errors: int = 0
+
+    @property
+    def total_removed(self) -> int:
+        return (
+            self.quarantine_removed + self.snapshots_removed
+            + self.tmp_removed + self.dirs_removed
+        )
+
+    def summary(self) -> str:
+        return (
+            f"gc: removed {self.quarantine_removed} quarantined record(s), "
+            f"{self.snapshots_removed} checkpoint snapshot(s), "
+            f"{self.tmp_removed} temp file(s), "
+            f"{self.dirs_removed} empty dir(s)"
+            + (f"; {self.errors} error(s) (see log)" if self.errors else "")
+        )
+
+
+def _unlink(path: Path, report: GcReport) -> bool:
+    try:
+        path.unlink()
+        return True
+    except OSError as exc:
+        report.errors += 1
+        log.warning("gc: could not remove %s: %s", path, exc)
+        return False
+
+
+def _mtime(path: Path) -> float:
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0  # treat unstat-able files as ancient
+
+
+def _sweep_quarantine(
+    qdir: Path, cutoff: float, max_keep: int, report: GcReport
+) -> None:
+    """Age-cap plus count-cap one quarantine directory (newest kept)."""
+    try:
+        entries = [p for p in qdir.iterdir() if p.is_file()]
+    except OSError:
+        return
+    entries.sort(key=_mtime, reverse=True)  # newest first
+    for rank, path in enumerate(entries):
+        if rank >= max_keep or _mtime(path) < cutoff:
+            if _unlink(path, report):
+                report.quarantine_removed += 1
+    _rmdir_if_empty(qdir, report)
+
+
+def _sweep_tmp(directory: Path, report: GcReport) -> None:
+    """Orphaned ``*.tmp`` from writes killed between mkstemp/replace.
+    Any .tmp file is garbage by construction: a live write holds its
+    temp file only for the duration of one ``write()+os.replace()``."""
+    try:
+        tmps = list(directory.glob("*.tmp"))
+    except OSError:
+        return
+    for path in tmps:
+        if _unlink(path, report):
+            report.tmp_removed += 1
+
+
+def _rmdir_if_empty(directory: Path, report: GcReport) -> None:
+    try:
+        directory.rmdir()  # fails (caught) unless empty
+        report.dirs_removed += 1
+    except OSError:
+        pass
+
+
+def _sweep_point_dir(
+    point_dir: Path, cutoff: float, keep: int, max_quarantine: int,
+    report: GcReport,
+) -> None:
+    """One point's snapshot directory: temp debris, count cap, age cap,
+    its own quarantine/, then the directory itself if now empty."""
+    _sweep_tmp(point_dir, report)
+    report.snapshots_removed += prune_snapshots(point_dir, keep)
+    try:
+        snapshots = sorted(point_dir.glob(f"*{SNAPSHOT_SUFFIX}"))
+    except OSError:
+        snapshots = []
+    for path in snapshots:
+        if _mtime(path) < cutoff and _unlink(path, report):
+            report.snapshots_removed += 1
+    qdir = point_dir / CKPT_QUARANTINE_DIRNAME
+    if qdir.is_dir():
+        _sweep_quarantine(qdir, cutoff, max_quarantine, report)
+    _rmdir_if_empty(point_dir, report)
+
+
+def gc_cache(
+    cache_root,
+    checkpoint_root=None,
+    max_age_s: float = DEFAULT_GC_MAX_AGE_HOURS * 3600.0,
+    keep_per_point: int = DEFAULT_GC_KEEP,
+    max_quarantine: int = DEFAULT_GC_MAX_QUARANTINE,
+    now: Optional[float] = None,
+) -> GcReport:
+    """Collect quarantine/snapshot/temp debris; returns a :class:`GcReport`.
+
+    * ``<cache_root>/quarantine/``: keep the newest ``max_quarantine``
+      files, and of those only the ones younger than ``max_age_s``;
+    * ``<checkpoint_root>/<key>/``: per point, keep the newest
+      ``keep_per_point`` snapshots younger than ``max_age_s``, drop
+      ``*.tmp`` debris, apply the same caps to the point's own
+      ``quarantine/``, and remove the directory once empty;
+    * ``<cache_root>/*.tmp``: always removed.
+
+    ``checkpoint_root`` defaults to ``<cache_root>/checkpoints``.  The
+    sweep never raises — unremovable files are logged and counted in
+    :attr:`GcReport.errors`.
+    """
+    report = GcReport()
+    cache_root = Path(cache_root)
+    checkpoint_root = (
+        Path(checkpoint_root) if checkpoint_root is not None
+        else cache_root / CHECKPOINT_DIRNAME
+    )
+    cutoff = (now if now is not None else time.time()) - max_age_s
+
+    if cache_root.is_dir():
+        _sweep_tmp(cache_root, report)
+        qdir = cache_root / QUARANTINE_DIRNAME
+        if qdir.is_dir():
+            _sweep_quarantine(qdir, cutoff, max_quarantine, report)
+
+    if checkpoint_root.is_dir():
+        try:
+            point_dirs: List[Path] = sorted(
+                p for p in checkpoint_root.iterdir() if p.is_dir()
+            )
+        except OSError:
+            point_dirs = []
+        for point_dir in point_dirs:
+            _sweep_point_dir(
+                point_dir, cutoff, keep_per_point, max_quarantine, report
+            )
+        _rmdir_if_empty(checkpoint_root, report)
+
+    return report

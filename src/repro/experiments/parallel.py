@@ -60,6 +60,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analyze import ANALYZER_VERSION
+from ..checkpoint import DEFAULT_CHECKPOINT_INTERVAL, DEFAULT_CHECKPOINT_KEEP
 from ..cpu.config import ProcessorConfig
 from ..cpu.stats import ExecutionStats
 from ..mem.config import MemoryConfig
@@ -101,6 +102,11 @@ QUARANTINE_DIRNAME = "quarantine"
 #: Subdirectory (inside the cache root) holding the digest-keyed
 #: static-verification verdict memo (see :mod:`repro.analyze.verify`)
 ANALYSIS_MEMO_DIRNAME = "analysis"
+
+#: Subdirectory (inside the cache root) holding cycle-level checkpoint
+#: snapshots, one directory per point keyed by its content hash (see
+#: :mod:`repro.checkpoint`)
+CHECKPOINT_DIRNAME = "checkpoints"
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +371,29 @@ class DiskCache:
 _WORKER_CACHES: Dict[str, RunCache] = {}
 
 
+def _checkpoint_session(
+    point: SimPoint,
+    key: str,
+    checkpoint_dir,
+    checkpoint_interval: int,
+    checkpoint_keep: int,
+):
+    """Build the per-point :class:`~repro.checkpoint.CheckpointSession`
+    (``None`` when checkpointing is off).  Each point snapshots into its
+    own content-keyed directory, so concurrent workers never collide."""
+    if checkpoint_dir is None:
+        return None
+    from ..checkpoint import CheckpointSession
+
+    return CheckpointSession(
+        directory=Path(checkpoint_dir) / key,
+        interval=checkpoint_interval,
+        keep=checkpoint_keep,
+        point_key=key,
+        label=point.label(),
+    )
+
+
 def _simulate_point(
     point: SimPoint,
     validate: bool,
@@ -374,13 +403,22 @@ def _simulate_point(
     max_cycles: Optional[int] = None,
     lint: bool = True,
     lint_memo_dir: Optional[Path] = None,
-) -> Tuple[ExecutionStats, float]:
+    checkpoint_dir=None,
+    checkpoint_interval: int = 0,
+    checkpoint_keep: int = 0,
+) -> Tuple[ExecutionStats, float, Optional[str]]:
     """Top-level (picklable) worker entry: simulate one point.
 
     ``timeout`` arms the worker-side wall-clock watchdog (SIGALRM), so
     a hung point raises :class:`~repro.experiments.faults.PointTimeout`
     back to the parent instead of blocking the pool; the fault-injection
     hook fires *inside* the alarm so injected hangs are caught too.
+
+    ``checkpoint_dir`` (when set) arms cycle-level checkpointing: the
+    run restores from this point's newest valid snapshot, writes a new
+    one every ``checkpoint_interval`` cycles, and the third element of
+    the returned tuple names the snapshot it resumed from (``None`` =
+    cold start) so the parent can journal it.
     """
     label = point.label()
     with point_alarm(timeout, label):
@@ -402,9 +440,18 @@ def _simulate_point(
                 lint_memo_dir=lint_memo_dir,
             )
             _WORKER_CACHES[cache_key] = cache
+        session = _checkpoint_session(
+            point, point.content_key(), checkpoint_dir,
+            checkpoint_interval, checkpoint_keep,
+        )
         start = time.perf_counter()
-        stats = cache.run(point.benchmark, point.variant, point.cpu, point.mem)
-        return stats, time.perf_counter() - start
+        stats = cache.run(
+            point.benchmark, point.variant, point.cpu, point.mem,
+            checkpoint=session,
+        )
+        elapsed = time.perf_counter() - start
+        resumed_from = session.resumed_from if session is not None else None
+        return stats, elapsed, resumed_from
 
 
 #: Progress callback signature: (k, n, point, elapsed_s, cached).
@@ -491,12 +538,21 @@ class ParallelRunner:
     #: (the default) derives ``<cache.root>/analysis`` when a persistent
     #: cache is attached, so ``--no-cache`` also disables it
     lint_memo_dir: Optional[Path] = None
+    #: cycle-level checkpoint snapshot root (``None`` = checkpointing
+    #: off); one subdirectory per point, keyed by its content hash
+    checkpoint_dir: Optional[Path] = None
+    #: snapshot cadence in simulated cycles
+    checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL
+    #: newest snapshots retained per point
+    checkpoint_keep: int = DEFAULT_CHECKPOINT_KEEP
     #: points simulated (cache misses) across the runner's lifetime
     simulated: int = 0
     #: points served from the persistent cache
     cache_hits: int = 0
     #: points restored from the resume manifest
     resumed: int = 0
+    #: simulations that restored mid-flight from a checkpoint snapshot
+    checkpoint_resumes: int = 0
     #: transient retries performed
     retried: int = 0
     #: process pools torn down and rebuilt after breakage/timeouts
@@ -522,6 +578,9 @@ class ParallelRunner:
         max_steps: Optional[int] = None,
         max_cycles: Optional[int] = None,
         lint: bool = True,
+        checkpoint_dir=None,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        checkpoint_keep: int = DEFAULT_CHECKPOINT_KEEP,
     ) -> "ParallelRunner":
         """Convenience constructor mirroring the CLI flags."""
         return cls(
@@ -539,6 +598,11 @@ class ParallelRunner:
             max_steps=max_steps,
             max_cycles=max_cycles,
             lint=lint,
+            checkpoint_dir=(
+                Path(checkpoint_dir) if checkpoint_dir is not None else None
+            ),
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_keep=checkpoint_keep,
         )
 
     # -- protocol -----------------------------------------------------------
@@ -619,15 +683,19 @@ class ParallelRunner:
         elapsed: float,
         points: List[SimPoint],
         results: List[Optional[ExecutionStats]],
+        resumed_from: Optional[str] = None,
     ) -> None:
         for idx in indices:
             results[idx] = stats
         self.simulated += 1
+        if resumed_from is not None:
+            self.checkpoint_resumes += 1
         if self.cache is not None:
             self.cache.store(key, stats, point=points[indices[0]], elapsed=elapsed)
         if self.manifest is not None:
             self.manifest.record_ok(
-                key, stats, label=points[indices[0]].label(), elapsed=elapsed
+                key, stats, label=points[indices[0]].label(), elapsed=elapsed,
+                resumed_from=resumed_from,
             )
 
     def _record_failure(
@@ -697,29 +765,50 @@ class ParallelRunner:
             )
         for key, indices in ordered:
             point = points[indices[0]]
-            start = time.perf_counter()
-            try:
-                with point_alarm(self.point_timeout, point.label()):
-                    maybe_inject(point.label())
-                    stats = self._local.run(
-                        point.benchmark, point.variant, point.cpu, point.mem
+            attempt = 0
+            while True:
+                attempt += 1
+                session = _checkpoint_session(
+                    point, key, self.checkpoint_dir,
+                    self.checkpoint_interval, self.checkpoint_keep,
+                )
+                start = time.perf_counter()
+                try:
+                    with point_alarm(self.point_timeout, point.label()):
+                        maybe_inject(point.label())
+                        stats = self._local.run(
+                            point.benchmark, point.variant,
+                            point.cpu, point.mem, checkpoint=session,
+                        )
+                except Exception as exc:
+                    status, _transient = classify(exc)
+                    if status == STATUS_AUDIT:
+                        raise  # audit divergences are never isolated
+                    if self.retry.should_retry(status, attempt):
+                        # e.g. a timed-out point with checkpointing on:
+                        # the retry resumes from the snapshot just
+                        # written, so each attempt makes progress
+                        self.retried += 1
+                        time.sleep(self.retry.delay(key, attempt))
+                        continue
+                    failure = PointFailure.from_exception(
+                        exc, point.label(), key=key, attempts=attempt,
+                        elapsed=time.perf_counter() - start,
                     )
-            except Exception as exc:
-                status, _transient = classify(exc)
-                if status == STATUS_AUDIT:
-                    raise  # audit divergences are never isolated
-                failure = PointFailure.from_exception(
-                    exc, point.label(), key=key,
-                    elapsed=time.perf_counter() - start,
+                    reported = self._record_failure(
+                        failure, indices, points, results, reported, n
+                    )
+                    break
+                elapsed = time.perf_counter() - start
+                self._finish(
+                    key, indices, stats, elapsed, points, results,
+                    resumed_from=(
+                        session.resumed_from if session is not None else None
+                    ),
                 )
-                reported = self._record_failure(
-                    failure, indices, points, results, reported, n
-                )
-                continue
-            elapsed = time.perf_counter() - start
-            self._finish(key, indices, stats, elapsed, points, results)
-            reported += 1
-            self._report(reported, n, point, elapsed, cached=False)
+                reported += 1
+                self._report(reported, n, point, elapsed, cached=False)
+                break
         return reported
 
     # -- parallel path ------------------------------------------------------
@@ -834,6 +923,8 @@ class ParallelRunner:
                         _simulate_point, points[indices[0]], self.validate,
                         self.audit, self.point_timeout, self.max_steps,
                         self.max_cycles, self.lint, self._memo_dir(),
+                        self.checkpoint_dir, self.checkpoint_interval,
+                        self.checkpoint_keep,
                     )
                     inflight[future] = (key, indices, self._hard_deadline(now))
                 if not inflight:  # everything gated on backoff
@@ -848,15 +939,15 @@ class ParallelRunner:
                     key, indices, _deadline = inflight.pop(future)
                     point = points[indices[0]]
                     try:
-                        stats, elapsed = future.result()
+                        stats, elapsed, resumed_from = future.result()
                     except BrokenExecutor:
                         broken.append((key, indices))
                         continue
                     except Exception as exc:
-                        status, transient = classify(exc)
+                        status, _transient = classify(exc)
                         if status == STATUS_AUDIT:
                             raise
-                        if transient and self.retry.should_retry(
+                        if self.retry.should_retry(
                             status, attempts[key]
                         ):
                             self.retried += 1
@@ -874,7 +965,10 @@ class ParallelRunner:
                             failure, indices, points, results, reported, n
                         )
                         continue
-                    self._finish(key, indices, stats, elapsed, points, results)
+                    self._finish(
+                        key, indices, stats, elapsed, points, results,
+                        resumed_from=resumed_from,
+                    )
                     reported += 1
                     self._report(reported, n, point, elapsed, cached=False)
 

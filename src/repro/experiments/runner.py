@@ -39,6 +39,7 @@ def simulate_program(
     max_cycles: Optional[int] = None,
     lint: bool = True,
     lint_memo_dir: Optional[Path] = None,
+    checkpoint=None,
 ) -> Tuple[ExecutionStats, Machine]:
     """Run one program through the functional machine + timing model.
 
@@ -65,10 +66,16 @@ def simulate_program(
     ``lint_memo_dir`` points the gate at the persistent digest-keyed
     verdict memo (see :func:`repro.analyze.verify_program`) so repeat
     runs pay only a content hash.
+
+    ``checkpoint`` (a :class:`repro.checkpoint.CheckpointSession`)
+    arms cycle-level checkpointing: the run restores from the newest
+    valid snapshot in the session directory (if any) and writes a new
+    snapshot every ``checkpoint.interval`` simulated cycles.  Final
+    stats are byte-identical to an unarmed run.
     """
     stats, machine, _report = _simulate(
         program, cpu_config, mem_config, benchmark, machine, tracer, audit,
-        max_steps, max_cycles, lint, lint_memo_dir,
+        max_steps, max_cycles, lint, lint_memo_dir, checkpoint,
     )
     return stats, machine
 
@@ -85,7 +92,7 @@ def audited_simulate(
     returns the :class:`~repro.trace.AuditReport` (already verified)."""
     stats, machine, report = _simulate(
         program, cpu_config, mem_config, benchmark, machine, tracer, True,
-        None, None, True,
+        max_steps=None, max_cycles=None, lint=True,
     )
     assert report is not None
     return stats, report, machine
@@ -103,6 +110,7 @@ def _simulate(
     max_cycles: Optional[int] = None,
     lint: bool = True,
     lint_memo_dir: Optional[Path] = None,
+    checkpoint=None,
 ) -> Tuple[ExecutionStats, Machine, Optional[AuditReport]]:
     if lint:
         # Pre-run gate: provably-wrong programs never reach the
@@ -119,10 +127,18 @@ def _simulate(
     model = make_model(
         info, cpu_config, memory, tracer=tracer, max_cycles=max_cycles
     )
-    stats = model.simulate(
-        machine.run(max_instructions=max_steps, observer=tracer),
-        benchmark or program.name,
-    )
+    if checkpoint is not None:
+        from ..checkpoint import run_with_checkpoints
+
+        stats = run_with_checkpoints(
+            checkpoint, machine, model, memory, tracer,
+            benchmark or program.name, max_steps=max_steps,
+        )
+    else:
+        stats = model.simulate(
+            machine.run(max_instructions=max_steps, observer=tracer),
+            benchmark or program.name,
+        )
     stats.check_consistency()
     report = None
     if tracer is not None:
@@ -167,6 +183,7 @@ class RunCache:
         variant: Variant,
         cpu_config: ProcessorConfig,
         mem_config: MemoryConfig,
+        checkpoint=None,
     ) -> ExecutionStats:
         built = self.built(name, variant)
         stats, machine = simulate_program(
@@ -177,6 +194,7 @@ class RunCache:
             max_cycles=self.max_cycles,
             lint=self.lint,
             lint_memo_dir=self.lint_memo_dir,
+            checkpoint=checkpoint,
         )
         key = (name, variant)
         if self.validate and not self._validated.get(key):

@@ -96,6 +96,35 @@ class _CacheLevel:
         for cache_set in self.sets:
             cache_set.clear()
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Tag arrays as ``[[line, last_use, dirty], ...]`` per set —
+        item lists preserve dict insertion order exactly, so a restored
+        level iterates identically to the original (LRU victim choice
+        is already unambiguous: ``use_counter`` values are unique)."""
+        return {
+            "use_counter": self.use_counter,
+            "sets": [
+                [[line, entry[0], entry[1]] for line, entry in cache_set.items()]
+                for cache_set in self.sets
+            ],
+        }
+
+    def restore(self, state: Dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.nsets:
+            raise ValueError(
+                f"snapshot has {len(sets)} cache sets, expected {self.nsets}"
+            )
+        for cache_set, saved in zip(self.sets, sets):
+            if len(saved) > self.assoc:
+                raise ValueError("snapshot cache set exceeds associativity")
+            cache_set.clear()
+            for line, last_use, dirty in saved:
+                cache_set[int(line)] = [int(last_use), int(dirty)]
+        self.use_counter = int(state["use_counter"])
+
 
 @dataclass
 class MemoryStats:
@@ -357,6 +386,70 @@ class MemorySystem:
         bank = line % self.config.mem_banks
         start = max(cycle, self._banks[bank])
         self._banks[bank] = start + self.config.mem_bank_busy_cycles
+
+    # -- checkpoint/restore -----------------------------------------------------
+
+    @staticmethod
+    def _mshrs_snapshot(mshrs: Dict[int, _MshrEntry]) -> List[List]:
+        return [
+            [line, e.ready, e.combines, e.level, e.from_prefetch]
+            for line, e in mshrs.items()
+        ]
+
+    @staticmethod
+    def _mshrs_restore(mshrs: Dict[int, _MshrEntry], saved: List[List]) -> None:
+        mshrs.clear()
+        for line, ready, combines, level, from_prefetch in saved:
+            mshrs[int(line)] = _MshrEntry(
+                line=int(line),
+                ready=int(ready),
+                combines=int(combines),
+                level=int(level),
+                from_prefetch=bool(from_prefetch),
+            )
+
+    def snapshot(self) -> Dict:
+        """Serialize tags/LRU/dirty state, port and bank occupancy,
+        in-flight MSHRs, prefetch bookkeeping and the stats counters.
+        Dicts are stored as item lists so insertion order — and with it
+        every ``min``/iteration tie-break — survives the round trip."""
+        return {
+            "l1": self.l1.snapshot(),
+            "l2": self.l2.snapshot(),
+            "l1_ports": list(self._l1_ports),
+            "l2_ports": list(self._l2_ports),
+            "banks": list(self._banks),
+            "l1_mshrs": self._mshrs_snapshot(self._l1_mshrs),
+            "l2_mshrs": self._mshrs_snapshot(self._l2_mshrs),
+            "prefetched_lines": [
+                [line, consumed]
+                for line, consumed in self._prefetched_lines.items()
+            ],
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Reinstate :meth:`snapshot` state.  The instance-level traced
+        ``access`` shadow (set by the constructor when a tracer is
+        attached) is deliberately untouched — traced-ness is part of the
+        snapshot identity meta, not of this payload."""
+        if len(state["l1_ports"]) != len(self._l1_ports):
+            raise ValueError("snapshot L1 port count mismatch")
+        if len(state["l2_ports"]) != len(self._l2_ports):
+            raise ValueError("snapshot L2 port count mismatch")
+        if len(state["banks"]) != len(self._banks):
+            raise ValueError("snapshot memory bank count mismatch")
+        self.l1.restore(state["l1"])
+        self.l2.restore(state["l2"])
+        self._l1_ports[:] = [int(x) for x in state["l1_ports"]]
+        self._l2_ports[:] = [int(x) for x in state["l2_ports"]]
+        self._banks[:] = [int(x) for x in state["banks"]]
+        self._mshrs_restore(self._l1_mshrs, state["l1_mshrs"])
+        self._mshrs_restore(self._l2_mshrs, state["l2_mshrs"])
+        self._prefetched_lines.clear()
+        for line, consumed in state["prefetched_lines"]:
+            self._prefetched_lines[int(line)] = bool(consumed)
+        self.stats = MemoryStats.from_dict(state["stats"])
 
     # -- maintenance --------------------------------------------------------------------
 

@@ -18,8 +18,10 @@ the scaled benchmark suite in minutes (see DESIGN.md substitution 1).
 
 from __future__ import annotations
 
+import base64
 import struct
-from typing import Iterator, List, Optional, Tuple
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +66,13 @@ class Machine:
         self.memory = bytearray(self.memory_size)
         self.regs: List[int] = [0] * NUM_REGS
         self.instruction_count = 0
+        #: resume cursor for :meth:`run`: the PC of the next instruction
+        #: as of the latest yielded chunk boundary (``-1`` once the
+        #: program has halted), and the cumulative executed-instruction
+        #: count at that boundary.  Captured by :meth:`snapshot` so a
+        #: restored machine can continue with ``run(resume=True)``.
+        self.run_pc = 0
+        self.run_executed = 0
         self._events: List[Event] = []
         self._code = [
             self._decode(instr, idx)
@@ -82,6 +91,57 @@ class Machine:
             if buf.data is not None:
                 self.memory[buf.address : buf.address + len(buf.data)] = buf.data
         self.instruction_count = 0
+        self.run_pc = 0
+        self.run_executed = 0
+        self._events.clear()
+
+    # -- checkpoint/restore -----------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Serialize the architectural state at a chunk boundary.
+
+        The memory image is zlib-compressed (level 1: the images are
+        dominated by long zero runs) and base64-encoded so the whole
+        snapshot stays JSON-safe.
+        """
+        return {
+            "memory_size": self.memory_size,
+            "regs": list(self.regs),
+            "memory_b64": base64.b64encode(
+                zlib.compress(bytes(self.memory), 1)
+            ).decode("ascii"),
+            "instruction_count": self.instruction_count,
+            "run_pc": self.run_pc,
+            "run_executed": self.run_executed,
+        }
+
+    def restore(self, state: Dict) -> None:
+        """Restore :meth:`snapshot` state *in place* (the decoded
+        closures capture ``self.regs`` / ``self.memory``, so both are
+        mutated, never replaced).  Raises ``ValueError`` on any shape
+        mismatch instead of restoring partially-checked state."""
+        if state["memory_size"] != self.memory_size:
+            raise ValueError(
+                f"snapshot memory size {state['memory_size']} != "
+                f"machine memory size {self.memory_size}"
+            )
+        regs = state["regs"]
+        if len(regs) != NUM_REGS:
+            raise ValueError(f"snapshot has {len(regs)} registers")
+        raw = zlib.decompress(base64.b64decode(state["memory_b64"]))
+        if len(raw) != self.memory_size:
+            raise ValueError(
+                f"snapshot memory image is {len(raw)} bytes, "
+                f"expected {self.memory_size}"
+            )
+        run_pc = int(state["run_pc"])
+        if run_pc < -1 or run_pc >= len(self._code):
+            raise ValueError(f"snapshot resume pc {run_pc} out of range")
+        self.regs[:] = [int(r) for r in regs]
+        self.memory[:] = raw
+        self.instruction_count = int(state["instruction_count"])
+        self.run_pc = run_pc
+        self.run_executed = int(state["run_executed"])
         self._events.clear()
 
     def read_buffer(self, name: str) -> bytes:
@@ -117,6 +177,7 @@ class Machine:
         max_instructions: Optional[int] = None,
         chunk_size: int = 1 << 16,
         observer=None,
+        resume: bool = False,
     ) -> Iterator[List[Event]]:
         """Execute from the entry point, yielding trace chunks.
 
@@ -133,19 +194,37 @@ class Machine:
         instructions the functional machine executed.  The check is
         per-chunk, not per-instruction, so it costs nothing in the
         interpreter loop.
+
+        ``resume=True`` continues from the :attr:`run_pc` /
+        :attr:`run_executed` cursor (set at every chunk boundary and
+        restored by :meth:`restore`) instead of the entry point — the
+        checkpoint layer's resume path.  Because the cursor is only
+        ever a chunk boundary, the concatenation of the chunks from the
+        original run and the resumed run is exactly the trace of an
+        uninterrupted run.
         """
         if max_instructions is None:
             max_instructions = self.default_step_budget()
         events = self._events
         events.clear()
         code = self._code
-        pc = 0
-        executed = 0
+        if resume:
+            if self.run_pc < 0:
+                raise SimulationError(
+                    "cannot resume: the program already halted"
+                )
+            pc = self.run_pc
+            executed = self.run_executed
+        else:
+            pc = 0
+            executed = 0
         try:
             while pc >= 0:
                 pc = code[pc]()
                 executed += 1
                 if len(events) >= chunk_size:
+                    self.run_pc = pc
+                    self.run_executed = executed
                     if observer is not None:
                         observer.on_functional_chunk(len(events))
                     yield events
@@ -161,6 +240,8 @@ class Machine:
                 f"control flow escaped the program (pc={pc})"
             ) from None
         # The final halt is not traced.
+        self.run_pc = -1
+        self.run_executed = executed
         self.instruction_count += executed - 1
         if events:
             if observer is not None:

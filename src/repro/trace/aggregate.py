@@ -50,6 +50,41 @@ class StreamingAggregator(TraceSink):
             self.mem_accesses += 1
             self.mem_by_level[event.seq] = self.mem_by_level.get(event.seq, 0) + 1
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return {
+            "width": self.width,
+            "retired": self.retired,
+            "last_retire_cycle": self.last_retire_cycle,
+            "stalls": list(self.stalls),
+            "category_counts": list(self.category_counts),
+            "mem_accesses": self.mem_accesses,
+            "mem_by_level": [
+                [level, count] for level, count in self.mem_by_level.items()
+            ],
+            "events_seen": self.events_seen,
+        }
+
+    def restore(self, state: Dict) -> None:
+        if state["width"] != self.width:
+            raise ValueError(
+                f"snapshot aggregator width {state['width']} != {self.width}"
+            )
+        if len(state["stalls"]) != NUM_STALL_CLASSES:
+            raise ValueError("snapshot aggregator stall vector mismatch")
+        if len(state["category_counts"]) != len(CATEGORY_NAMES):
+            raise ValueError("snapshot aggregator category vector mismatch")
+        self.retired = int(state["retired"])
+        self.last_retire_cycle = int(state["last_retire_cycle"])
+        self.stalls[:] = [float(x) for x in state["stalls"]]
+        self.category_counts[:] = [int(x) for x in state["category_counts"]]
+        self.mem_accesses = int(state["mem_accesses"])
+        self.mem_by_level.clear()
+        for level, count in state["mem_by_level"]:
+            self.mem_by_level[int(level)] = int(count)
+        self.events_seen = int(state["events_seen"])
+
     # -- derived accounting (the Section 2.3.4 partition) -------------------
 
     @property

@@ -22,7 +22,7 @@ hot path unless a ``Tracer`` is attached; the models pay one local
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from .aggregate import StreamingAggregator
 from .events import (
@@ -130,6 +130,43 @@ class Tracer:
     def on_functional_chunk(self, count: int) -> None:
         """Machine observer hook: ``count`` instructions executed."""
         self.functional_instructions += count
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """Serialize the replica retirement state + aggregator partials.
+
+        Only aggregator-only tracers (the ``--audit`` configuration)
+        are checkpointable: a file sink's already-written events cannot
+        be captured or replayed, so snapshotting one would silently
+        truncate its trace.
+        """
+        extra = [s for s in self.sinks if s is not self.aggregator]
+        if extra:
+            raise ValueError(
+                "only aggregator-only tracers are checkpointable "
+                f"(found {len(extra)} other sink(s))"
+            )
+        return {
+            "seq": self._seq,
+            "cycle": self._cycle,
+            "slots": self._slots,
+            "functional_instructions": self.functional_instructions,
+            "aggregator": (
+                self.aggregator.snapshot()
+                if self.aggregator is not None else None
+            ),
+        }
+
+    def restore(self, state: Dict) -> None:
+        if (state.get("aggregator") is None) != (self.aggregator is None):
+            raise ValueError("snapshot/tracer aggregator presence mismatch")
+        self._seq = int(state["seq"])
+        self._cycle = int(state["cycle"])
+        self._slots = int(state["slots"])
+        self.functional_instructions = int(state["functional_instructions"])
+        if self.aggregator is not None:
+            self.aggregator.restore(state["aggregator"])
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -1,0 +1,544 @@
+"""Cycle-level checkpoint/restore: snapshot files, resumable points,
+kill-mid-point chaos, manifest compaction, GC, and the CLI surface.
+
+The contract under test (see EXPERIMENTS.md "Checkpointing"): a
+simulation killed at an arbitrary cycle and resumed from its newest
+snapshot produces **byte-identical** stats — and therefore tables and
+CSVs — to an uninterrupted run, including with ``--audit`` attached.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointSession,
+    list_snapshots,
+    load_newest_valid,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.checkpoint.snapshot import prune_snapshots
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.cli import main
+from repro.experiments.faults import RunManifest
+from repro.experiments.gc import gc_cache
+from repro.experiments.parallel import ParallelRunner, SimPoint
+from repro.experiments.runner import simulate_program
+from repro.sim.static_info import StaticProgramInfo
+from repro.trace import RingBufferSink, Tracer
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import get
+from tests.chaos import FaultPlan
+
+REPO = Path(__file__).resolve().parents[1]
+CONFIG = ProcessorConfig.inorder_1way()
+
+SUBSET = ("addition", "thresh")
+
+
+def _grid(benchmarks=SUBSET, variants=(Variant.SCALAR, Variant.VIS)):
+    mem = TINY_SCALE.memory_config()
+    return [
+        SimPoint(name, variant, CONFIG, mem, TINY_SCALE)
+        for name in benchmarks
+        for variant in variants
+    ]
+
+
+def _fingerprint(stats_list):
+    return [s.to_dict() for s in stats_list]
+
+
+# ---------------------------------------------------------------------------
+# Snapshot file format
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotFormat:
+    META = {"point_key": "k", "model": "inorder"}
+
+    def test_round_trip_and_ordering(self, tmp_path):
+        p1 = write_snapshot(
+            tmp_path, self.META, {"retired": 500, "cycles": 900},
+            {"machine": {"regs": [1, 2]}, "hist": {"7": 3}},
+        )
+        p2 = write_snapshot(
+            tmp_path, self.META, {"retired": 12000, "cycles": 30000},
+            {"machine": {"regs": [3, 4]}},
+        )
+        assert list_snapshots(tmp_path) == [p1, p2]  # progress order
+        meta, progress, payload = load_snapshot(p2)
+        assert meta == self.META
+        assert progress["retired"] == 12000
+        assert "created" in progress
+        assert payload == {"machine": {"regs": [3, 4]}}
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = write_snapshot(
+            tmp_path, self.META, {"retired": 1, "cycles": 2}, {"x": 1}
+        )
+        record = json.loads(path.read_text())
+        record["payload_json"] = record["payload_json"].replace("1", "2")
+        path.write_text(json.dumps(record))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_snapshot(path)
+
+    def test_torn_write_rejected(self, tmp_path):
+        path = write_snapshot(
+            tmp_path, self.META, {"retired": 1, "cycles": 2}, {"x": 1}
+        )
+        path.write_text(path.read_text()[:40])  # SIGKILL mid-write
+        with pytest.raises(CheckpointError, match="JSON"):
+            load_snapshot(path)
+
+    def test_newest_valid_quarantines_and_falls_back(self, tmp_path):
+        older = write_snapshot(
+            tmp_path, self.META, {"retired": 100, "cycles": 5}, {"x": "old"}
+        )
+        newer = write_snapshot(
+            tmp_path, self.META, {"retired": 200, "cycles": 9}, {"x": "new"}
+        )
+        newer.write_text("garbage")  # corrupt the newest
+        session = CheckpointSession(tmp_path)
+        found = load_newest_valid(session, self.META)
+        assert found is not None
+        name, payload = found
+        assert name == older.name
+        assert payload == {"x": "old"}
+        assert session.snapshots_quarantined == 1
+        assert (tmp_path / "quarantine" / newer.name).exists()
+
+    def test_identity_mismatch_is_skipped_not_trusted(self, tmp_path):
+        write_snapshot(
+            tmp_path, self.META, {"retired": 100, "cycles": 5}, {"x": 1}
+        )
+        session = CheckpointSession(tmp_path)
+        assert load_newest_valid(session, {"point_key": "other"}) is None
+        assert session.snapshots_mismatched == 1
+        # the mismatched file is left alone (another config may own it)
+        assert len(list_snapshots(tmp_path)) == 1
+
+    def test_prune_keeps_newest(self, tmp_path):
+        paths = [
+            write_snapshot(
+                tmp_path, self.META, {"retired": r, "cycles": r}, {}
+            )
+            for r in (10, 20, 30)
+        ]
+        assert prune_snapshots(tmp_path, keep=2) == 1
+        assert list_snapshots(tmp_path) == paths[1:]
+
+    def test_session_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointSession(tmp_path, interval=0)
+
+    def test_tracer_with_extra_sink_not_checkpointable(self):
+        program = get("addition").build(Variant.SCALAR, TINY_SCALE).program
+        info = StaticProgramInfo(program)
+        tracer = Tracer(info, 4, sinks=[RingBufferSink(8)])
+        with pytest.raises(ValueError, match="sink"):
+            tracer.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Checkpointed single runs
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointedRun:
+    def _built(self):
+        return get("addition").build(Variant.SCALAR, TINY_SCALE)
+
+    def test_checkpointing_does_not_change_stats(self, tmp_path):
+        built = self._built()
+        mem = TINY_SCALE.memory_config()
+        baseline, _ = simulate_program(built.program, CONFIG, mem, lint=False)
+        session = CheckpointSession(tmp_path / "pt", interval=2000)
+        stats, machine = simulate_program(
+            built.program, CONFIG, mem, lint=False, checkpoint=session,
+        )
+        assert session.snapshots_written > 0
+        assert session.resumed_from is None  # cold start
+        assert stats.to_dict() == baseline.to_dict()
+        built.validate(machine)
+        # prune kept only the newest `keep`
+        assert len(list_snapshots(tmp_path / "pt")) <= session.keep
+
+    def test_interrupted_point_resumes_byte_identically(self, tmp_path):
+        """Fail a run mid-point (after it snapshotted), then re-run:
+        the retry restores mid-flight and the stats match an
+        uninterrupted run exactly — with auditing attached."""
+        built = self._built()
+        mem = TINY_SCALE.memory_config()
+        baseline, _ = simulate_program(
+            built.program, CONFIG, mem, lint=False, audit=True,
+        )
+        session = CheckpointSession(
+            tmp_path / "pt", interval=2000, label="victim"
+        )
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:victim", "action": "error", "times": 1},
+        ])
+        with plan:
+            with pytest.raises(RuntimeError, match="injected"):
+                simulate_program(
+                    built.program, CONFIG, mem, lint=False, audit=True,
+                    checkpoint=session,
+                )
+        assert session.snapshots_written >= 1
+        assert list_snapshots(tmp_path / "pt"), "snapshots survived the crash"
+        resumed = CheckpointSession(
+            tmp_path / "pt", interval=2000, label="victim"
+        )
+        stats, _machine = simulate_program(
+            built.program, CONFIG, mem, lint=False, audit=True,
+            checkpoint=resumed,
+        )
+        assert resumed.resumed_from is not None
+        assert stats.to_dict() == baseline.to_dict()
+
+    def test_snapshot_from_other_config_is_skipped(self, tmp_path):
+        """A snapshot written under one processor config must never be
+        restored into another: the second run cold-starts and still
+        produces its own correct stats."""
+        built = self._built()
+        mem = TINY_SCALE.memory_config()
+        first = CheckpointSession(tmp_path / "pt", interval=2000)
+        simulate_program(
+            built.program, CONFIG, mem, lint=False, checkpoint=first,
+        )
+        assert list_snapshots(tmp_path / "pt")
+        other_cpu = ProcessorConfig.ooo_4way()
+        baseline, _ = simulate_program(
+            built.program, other_cpu, mem, lint=False,
+        )
+        second = CheckpointSession(tmp_path / "pt", interval=2000)
+        stats, _m = simulate_program(
+            built.program, other_cpu, mem, lint=False, checkpoint=second,
+        )
+        assert second.resumed_from is None
+        assert second.snapshots_mismatched >= 1
+        assert stats.to_dict() == baseline.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Chaos: SIGKILL mid-point, retry resumes from the snapshot
+# ---------------------------------------------------------------------------
+
+
+class TestKillResume:
+    def test_killed_worker_retry_resumes_from_snapshot(self, tmp_path):
+        """A worker is SIGKILLed right after persisting a snapshot; the
+        rebuilt pool's retry restores mid-point (manifest records
+        ``resumed_from``) and the grid's stats are byte-identical to a
+        clean run."""
+        clean = ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(_grid())
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[scalar]", "action": "kill", "times": 1},
+        ])
+        manifest = RunManifest(tmp_path / "manifest.jsonl")
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=2,
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_interval=2000,
+            manifest=manifest,
+        )
+        with plan:
+            results = runner.run_points(_grid())
+        manifest.close()
+        assert plan.shots_fired(0) == 1, "the kill actually fired"
+        assert runner.retried >= 1
+        assert runner.checkpoint_resumes >= 1
+        assert _fingerprint(results) == _fingerprint(clean)
+        journal = (tmp_path / "manifest.jsonl").read_text()
+        assert "resumed_from" in journal
+        resumed_records = [
+            json.loads(line) for line in journal.splitlines()
+            if "resumed_from" in line
+        ]
+        assert any(
+            r["resumed_from"].startswith("ckpt_") for r in resumed_records
+        )
+
+    def test_serial_timeout_retry_resumes(self, tmp_path):
+        """With checkpointing armed the CLI opts timeouts into the
+        retry budget; model that policy here: a point that hangs once
+        (after snapshotting) is retried and the retry resumes."""
+        from repro.experiments.faults import (
+            STATUS_TIMEOUT,
+            TRANSIENT_STATUSES,
+            RetryPolicy,
+        )
+
+        clean = ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(
+            _grid(("addition",), (Variant.SCALAR,))
+        )
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[scalar]", "action": "hang", "times": 1},
+        ])
+        runner = ParallelRunner(
+            scale=TINY_SCALE, jobs=1, point_timeout=1.0,
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_interval=2000,
+            retry=RetryPolicy(
+                max_retries=2, base_delay=0.01,
+                retry_statuses=TRANSIENT_STATUSES | {STATUS_TIMEOUT},
+            ),
+        )
+        start = time.monotonic()
+        with plan:
+            results = runner.run_points(
+                _grid(("addition",), (Variant.SCALAR,))
+            )
+        assert time.monotonic() - start < 60  # watchdog, not the hang
+        assert runner.retried >= 1
+        assert runner.checkpoint_resumes >= 1
+        assert _fingerprint(results) == _fingerprint(clean)
+
+
+# ---------------------------------------------------------------------------
+# SIGKILL the whole process (subprocess): --resume + identical CSVs
+# ---------------------------------------------------------------------------
+
+
+class TestProcessKillResume:
+    def _cli(self, out, extra=()):
+        return [
+            sys.executable, "-m", "repro.experiments.cli", "figure2",
+            "--scale", "tiny", "--benchmarks", "addition",
+            "--out", str(out), "--jobs", "1", "--quiet", "--audit",
+            "--checkpoint-interval", "2000", *extra,
+        ]
+
+    def _env(self, plan=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        if plan is not None:
+            env = plan.environ(env)
+        return env
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        clean_out = tmp_path / "clean"
+        kill_out = tmp_path / "killed"
+        ref = subprocess.run(
+            self._cli(clean_out), env=self._env(), cwd=REPO,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert ref.returncode == 0, ref.stderr
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[scalar]", "action": "kill", "times": 1},
+        ])
+        killed = subprocess.run(
+            self._cli(kill_out), env=self._env(plan), cwd=REPO,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert killed.returncode != 0, "the SIGKILL landed mid-grid"
+        assert plan.shots_fired(0) == 1
+        ckpt_root = kill_out / ".simcache" / "checkpoints"
+        assert any(ckpt_root.rglob("ckpt_*.ckpt.json")), (
+            "snapshots survived the kill"
+        )
+        resumed = subprocess.run(
+            self._cli(kill_out, extra=("--resume",)), env=self._env(plan),
+            cwd=REPO, capture_output=True, text=True, timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed mid-point" in resumed.stderr
+        csv_ref = (clean_out / "figure2_tiny.csv").read_bytes()
+        csv_resumed = (kill_out / "figure2_tiny.csv").read_bytes()
+        assert csv_resumed == csv_ref
+        journal = (kill_out / "run_manifest.jsonl").read_text()
+        assert "resumed_from" in journal
+
+
+# ---------------------------------------------------------------------------
+# Run-manifest compaction
+# ---------------------------------------------------------------------------
+
+
+class TestManifestCompaction:
+    def _stats(self):
+        return ParallelRunner(scale=TINY_SCALE, jobs=1).run_points(
+            _grid(("addition",), (Variant.SCALAR,))
+        )[0]
+
+    def test_resume_compacts_to_latest_per_point(self, tmp_path):
+        path = tmp_path / "manifest.jsonl"
+        stats = self._stats()
+        with RunManifest(path, cache_version="v") as m:
+            for _ in range(4):  # repeated kills/re-records of one point
+                m.record_ok("key-a", stats, label="a")
+            m.record_ok("key-b", stats, label="b", resumed_from="ckpt_x")
+        assert len(path.read_text().splitlines()) == 6  # header + 5
+        reopened = RunManifest(path, resume=True, cache_version="v")
+        reopened.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + one line per key
+        assert json.loads(lines[0])["type"] == "header"
+        by_key = {json.loads(l)["key"]: json.loads(l) for l in lines[1:]}
+        assert set(by_key) == {"key-a", "key-b"}
+        assert by_key["key-b"]["resumed_from"] == "ckpt_x"
+        assert set(reopened.completed) == {"key-a", "key-b"}
+
+    def test_latest_record_wins_over_stale_failure(self, tmp_path):
+        from repro.experiments.faults import PointFailure
+
+        path = tmp_path / "manifest.jsonl"
+        stats = self._stats()
+        with RunManifest(path, cache_version="v") as m:
+            m.record_failure(PointFailure(
+                status="worker-lost", label="a", key="key-a",
+            ))
+            m.record_ok("key-a", stats, label="a")  # the retry succeeded
+        reopened = RunManifest(path, resume=True, cache_version="v")
+        reopened.close()
+        assert "key-a" in reopened.completed
+        assert "key-a" not in reopened.failures
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2  # compacted to the ok record only
+        assert json.loads(lines[1])["status"] == "ok"
+
+    def test_resumed_from_absent_by_default(self, tmp_path):
+        """Non-checkpointed records stay byte-stable: no resumed_from
+        field unless a resume actually happened."""
+        path = tmp_path / "manifest.jsonl"
+        with RunManifest(path, cache_version="v") as m:
+            m.record_ok("key-a", self._stats(), label="a")
+        assert "resumed_from" not in path.read_text()
+
+
+# ---------------------------------------------------------------------------
+# GC
+# ---------------------------------------------------------------------------
+
+
+def _age(path: Path, seconds: float = 10_000.0) -> None:
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestGc:
+    def test_age_and_count_caps_on_quarantine(self, tmp_path):
+        q = tmp_path / "quarantine"
+        q.mkdir()
+        old = q / "old.json"
+        old.write_text("x")
+        _age(old)
+        fresh = q / "fresh.json"
+        fresh.write_text("y")
+        report = gc_cache(tmp_path, max_age_s=3600.0)
+        assert report.quarantine_removed == 1
+        assert not old.exists() and fresh.exists()
+
+    def test_quarantine_count_cap_keeps_newest(self, tmp_path):
+        q = tmp_path / "quarantine"
+        q.mkdir()
+        for i in range(5):
+            p = q / f"f{i}.json"
+            p.write_text("x")
+            _age(p, seconds=100 * (5 - i))  # f4 newest
+        report = gc_cache(tmp_path, max_age_s=1e9, max_quarantine=2)
+        assert report.quarantine_removed == 3
+        assert sorted(p.name for p in q.iterdir()) == ["f3.json", "f4.json"]
+
+    def test_snapshot_dirs_swept_and_removed(self, tmp_path):
+        pt = tmp_path / "checkpoints" / "deadbeef"
+        pt.mkdir(parents=True)
+        for r in (10, 20, 30):
+            p = pt / f"ckpt_{r:015d}.ckpt.json"
+            p.write_text("{}")
+            _age(p)
+        (pt / "leftover.tmp").write_text("")
+        report = gc_cache(tmp_path, max_age_s=3600.0, keep_per_point=0)
+        assert report.snapshots_removed == 3
+        assert report.tmp_removed == 1
+        assert not pt.exists()  # emptied directories are removed
+        assert not (tmp_path / "checkpoints").exists()
+
+    def test_keep_retains_newest_snapshot(self, tmp_path):
+        pt = tmp_path / "checkpoints" / "cafe"
+        pt.mkdir(parents=True)
+        for r in (10, 20):
+            (pt / f"ckpt_{r:015d}.ckpt.json").write_text("{}")
+        report = gc_cache(tmp_path, max_age_s=1e9, keep_per_point=1)
+        assert report.snapshots_removed == 1
+        assert [p.name for p in sorted(pt.iterdir())] == [
+            "ckpt_000000000000020.ckpt.json"
+        ]
+
+    def test_gc_never_raises_on_missing_roots(self, tmp_path):
+        report = gc_cache(tmp_path / "nope")
+        assert report.total_removed == 0
+        assert report.errors == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestCliCheckpoint:
+    ARGS = [
+        "figure2", "--scale", "tiny", "--benchmarks", "addition",
+        "--jobs", "1", "--quiet",
+    ]
+
+    def test_small_interval_writes_snapshots(self, tmp_path, capsys):
+        code = main(self.ARGS + [
+            "--out", str(tmp_path), "--checkpoint-interval", "3000",
+        ])
+        assert code == 0
+        ckpt_root = tmp_path / ".simcache" / "checkpoints"
+        assert list(ckpt_root.rglob("ckpt_*.ckpt.json"))
+
+    def test_no_checkpoint_writes_nothing(self, tmp_path, capsys):
+        code = main(self.ARGS + [
+            "--out", str(tmp_path), "--no-checkpoint",
+            "--checkpoint-interval", "3000",
+        ])
+        assert code == 0
+        assert not (tmp_path / ".simcache" / "checkpoints").exists()
+
+    def test_cache_gc_verb(self, tmp_path, capsys):
+        cache_dir = tmp_path / ".simcache"
+        q = cache_dir / "quarantine"
+        q.mkdir(parents=True)
+        bad = q / "bad.json"
+        bad.write_text("x")
+        _age(bad)
+        pt = cache_dir / "checkpoints" / "k1"
+        pt.mkdir(parents=True)
+        for r in (1, 2, 3):
+            snap = pt / f"ckpt_{r:015d}.ckpt.json"
+            snap.write_text("{}")
+            _age(snap)
+        (pt / "junk.tmp").write_text("")
+        code = main([
+            "cache", "gc", "--out", str(tmp_path),
+            "--gc-max-age-hours", "1", "--gc-keep", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gc: removed" in out
+        assert not bad.exists()
+        assert not pt.exists()
+
+    def test_cache_requires_gc_verb(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "--out", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(["cache", "polish", "--out", str(tmp_path)])
+
+    def test_stray_verb_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["figure2", "gc", "--out", str(tmp_path)])

@@ -1,0 +1,154 @@
+"""Property-based (hypothesis) tests for cycle-level checkpoint/restore.
+
+The headline contract of :mod:`repro.checkpoint` is *byte-identical
+resume*: interrupting a simulation at any chunk boundary, serializing
+the whole stack through JSON (exactly what a snapshot file does),
+restoring into **fresh** objects and continuing must produce the same
+:class:`~repro.cpu.stats.ExecutionStats` — bit for bit — as the
+uninterrupted run, on both processor models, with and without a tracer
+attached, for arbitrary random programs.
+
+Hypothesis hunts the state a snapshot forgets: a branch-predictor
+counter, an MSHR in flight, a dirty cache line, a half-charged stall.
+Any such omission shifts at least one cycle or one stall fraction and
+the dict comparison catches it.
+"""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.checkpoint import build_state, restore_state
+from repro.cpu.pipeline import make_model
+from repro.mem.system import MemorySystem
+from repro.sim.machine import Machine
+from repro.sim.static_info import StaticProgramInfo
+from repro.trace import Tracer, audit_run
+
+from .test_audit_properties import (
+    BUF,
+    CONFIGS,
+    MAX_OFF,
+    STRIDE,
+    _mem,
+    _op,
+    build_random_program,
+)
+
+#: small chunks so even tiny random programs cross several boundaries
+CHUNK = 16
+
+#: like test_audit_properties.program_shapes but with a trip-count
+#: floor, so every program spans multiple CHUNK-sized trace chunks
+long_shapes = st.tuples(
+    st.lists(_op, min_size=2, max_size=12),   # loop body
+    st.integers(8, (BUF - MAX_OFF - 8) // STRIDE),  # trip count (>= 8)
+    st.integers(0, 2**31),                    # data seed
+)
+
+
+def _fresh_stack(program, cpu, traced):
+    machine = Machine(program)
+    machine.reset()
+    info = StaticProgramInfo(program)
+    tracer = Tracer(info, cpu.issue_width) if traced else None
+    memory = MemorySystem(_mem(), tracer=tracer)
+    model = make_model(info, cpu, memory, tracer=tracer)
+    model.begin("prop")
+    return machine, model, memory, tracer
+
+
+def _run(program, cpu, traced, snap_at=None):
+    """Run to completion.  Returns ``(stats, machine, boundaries,
+    state_json)`` where ``state_json`` is the serialized whole-stack
+    state captured at in-loop chunk boundary ``snap_at`` (1-based)."""
+    machine, model, memory, tracer = _fresh_stack(program, cpu, traced)
+    state_json = None
+    boundary = 0
+    for chunk in machine.run(chunk_size=CHUNK, observer=tracer):
+        model.feed_chunk(chunk)
+        if machine.run_pc < 0:
+            break
+        boundary += 1
+        if boundary == snap_at:
+            state_json = json.dumps(
+                build_state(machine, model, memory, tracer)
+            )
+    stats = model.finish()
+    stats.check_consistency()
+    if tracer is not None:
+        audit_run(stats, tracer).raise_if_failed()
+    return stats, machine, boundary, state_json
+
+
+def _resume_from(program, cpu, traced, state_json):
+    """Restore a JSON-round-tripped snapshot into a fresh stack and run
+    it to completion (audited when traced)."""
+    machine, model, memory, tracer = _fresh_stack(program, cpu, traced)
+    restore_state(json.loads(state_json), machine, model, memory, tracer)
+    for chunk in machine.run(chunk_size=CHUNK, observer=tracer, resume=True):
+        model.feed_chunk(chunk)
+        if machine.run_pc < 0:
+            break
+    stats = model.finish()
+    stats.check_consistency()
+    if tracer is not None:
+        audit_run(stats, tracer).raise_if_failed()
+    return stats, machine
+
+
+class TestSnapshotRestoreIdentity:
+    @given(long_shapes, st.sampled_from(CONFIGS), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_resume_is_byte_identical(self, shape, make_config, snap_seed):
+        """Snapshot at a random chunk boundary -> JSON round trip ->
+        fresh stack -> continue == straight-through run, exactly."""
+        program = build_random_program(*shape)
+        cpu = make_config()
+        straight, _m, boundaries, _ = _run(program, cpu, False)
+        assume(boundaries > 0)
+        snap_at = 1 + snap_seed % boundaries
+        _again, _m, _b, state_json = _run(program, cpu, False, snap_at)
+        assert state_json is not None
+        resumed, _machine = _resume_from(program, cpu, False, state_json)
+        assert resumed.to_dict() == straight.to_dict()
+
+    @given(long_shapes, st.sampled_from(CONFIGS), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_resume_is_audit_clean_with_tracer(
+        self, shape, make_config, snap_seed
+    ):
+        """Same identity with a tracer attached: the resumed run's
+        event-stream recomputation must agree exactly (audit passes in
+        both helpers) and produce identical stats."""
+        program = build_random_program(*shape)
+        cpu = make_config()
+        straight, _m, boundaries, _ = _run(program, cpu, True)
+        assume(boundaries > 0)
+        snap_at = 1 + snap_seed % boundaries
+        _again, _m, _b, state_json = _run(program, cpu, True, snap_at)
+        assert state_json is not None
+        resumed, _machine = _resume_from(program, cpu, True, state_json)
+        assert resumed.to_dict() == straight.to_dict()
+
+    @given(long_shapes, st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_resumed_memory_image_matches(self, shape, snap_seed):
+        """The functional machine's final memory image after a resumed
+        run equals the straight-through image (architectural state, not
+        just timing, survives the round trip)."""
+        program = build_random_program(*shape)
+        cpu = CONFIGS[1]()  # ooo_4way
+        _stats, machine_full, boundaries, _ = _run(program, cpu, False)
+        assume(boundaries > 0)
+        snap_at = 1 + snap_seed % boundaries
+        _again, _m, _b, state_json = _run(program, cpu, False, snap_at)
+        assert state_json is not None
+        _rstats, machine_resumed = _resume_from(
+            program, cpu, False, state_json
+        )
+        assert bytes(machine_resumed.memory) == bytes(machine_full.memory)
+        assert (
+            machine_resumed.instruction_count == machine_full.instruction_count
+        )

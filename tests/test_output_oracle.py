@@ -1,0 +1,69 @@
+"""Architectural output oracle: the timing models cannot change results.
+
+Every workload's final memory image is a pure function of the program
+and its inputs — the pipeline model (in-order vs out-of-order), the
+cache hierarchy, and the tracer only decide *when* things happen,
+never *what* is computed.  For each workload, with and without VIS:
+
+* the simulated machine's output validates against the workload's
+  numpy reference implementation (``BuiltWorkload.validate``) when run
+  through the full timing path, on **both** processor models;
+* the sha256 digest of the complete final memory image is identical
+  across the in-order model, the out-of-order model, and a plain
+  functional (timing-free) run.
+
+A divergence here means a timing model mutated architectural state —
+the worst possible simulator bug, invisible to cycle accounting.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.experiments.runner import simulate_program
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import get, names
+
+MODELS = {
+    "inorder": ProcessorConfig.inorder_1way,
+    "ooo": ProcessorConfig.ooo_4way,
+}
+
+#: the scalar/VIS pair (prefetch variants execute the same computation
+#: with hint instructions interleaved; covered by the workload suite)
+VARIANTS = (Variant.SCALAR, Variant.VIS)
+
+
+def _digest(machine) -> str:
+    return hashlib.sha256(bytes(machine.memory)).hexdigest()
+
+
+@pytest.mark.parametrize("name", names())
+def test_outputs_match_reference_and_agree_across_models(name):
+    workload = get(name)
+    mem = TINY_SCALE.memory_config()
+    for variant in VARIANTS:
+        if variant not in workload.supported_variants:
+            continue
+        built = workload.build(variant, TINY_SCALE)
+        # oracle 1: the timing-free functional run (the reference for
+        # "what the program computes", validated against numpy)
+        functional = built.run_and_validate()
+        expected = _digest(functional)
+        # oracle 2: both timing models, full pipeline + memory system
+        for model_name, make_config in MODELS.items():
+            stats, machine = simulate_program(
+                built.program, make_config(), mem,
+                benchmark=f"{name}[{variant.value}]", lint=False,
+            )
+            built.validate(machine)  # numpy reference check
+            assert _digest(machine) == expected, (
+                f"{name}[{variant.value}] on {model_name}: final memory "
+                f"image diverged from the functional run"
+            )
+            assert stats.instructions == functional.instruction_count, (
+                f"{name}[{variant.value}] on {model_name}: retired "
+                f"count != functionally executed count"
+            )
