@@ -1,0 +1,328 @@
+"""Engine micro-benchmark: scalar vs. vector, with per-phase attribution.
+
+Differential benchmarking in the style of the SIMD image-processing
+analysis mode (SNIPPETS.md §2): three synthetic workloads isolate the
+simulator's cost centers, and each is timed under both execution
+engines so the vector engine's speedup multiple is tracked per PR.
+
+* **MemOnly** — a load/store streaming loop: the memory hierarchy
+  model dominates (``MemorySystem.access`` per event).
+* **ComputeOnly** — a pure ALU/VIS dependency chain: functional
+  execute and the simple-op timing closures dominate; the memory
+  model is idle.
+* **Shuffle** — data-dependent branches over loaded bytes: block
+  transitions and the branch predictor path dominate (the adversarial
+  case for block-compiled execution).
+
+Per (workload, engine) the harness reports medians over ``--runs``
+(default 5) full simulations plus a one-shot attribution:
+
+* ``functional_s`` — the functional engine alone (chunks produced and
+  discarded),
+* ``memory_s`` — wall-time accumulated inside ``MemorySystem.access``
+  during one instrumented run,
+* ``timing_s`` — ``total - functional - memory``: issue/retire
+  bookkeeping in the pipeline models.
+
+Running it writes ``BENCH_<date>.json`` next to this file (or
+``--out DIR``); the committed trajectory files make engine
+regressions visible per PR.  ``--check BASELINE.json`` re-runs the
+benchmark and fails (exit 1) if the vector engine regressed more than
+``--tolerance`` (default 0.20 = 20%) against the baseline medians or
+lost its speedup multiple over scalar.  Used by the CI perf-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py \
+        --check benchmarks/BENCH_2026-08-09.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.asm import ProgramBuilder
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.pipeline import make_model
+from repro.mem import MemoryConfig
+from repro.mem.system import MemorySystem
+from repro.sim.engine import ENGINES, make_machine
+from repro.sim.static_info import StaticProgramInfo
+
+SCHEMA = 1
+ITERS = 6_000  #: loop trips per synthetic workload (~100k instructions)
+BUF = 1 << 16  #: streaming buffer (bytes); > tiny L2, so misses happen
+
+
+# -- synthetic workloads ----------------------------------------------------
+
+
+def _mem_only() -> "Program":
+    """Streaming loads/stores: every iteration touches three lines."""
+    b = ProgramBuilder("bench-memonly")
+    b.buffer("buf", BUF)
+    acc, p, t = b.iregs(3)
+    b.la(p, "buf")
+    b.li(acc, 0)
+    with b.loop(0, ITERS):
+        b.ldx(t, p, 0)
+        b.add(acc, acc, t)
+        b.ldx(t, p, 64)
+        b.add(acc, acc, t)
+        b.stx(acc, p, 128)
+        b.add(p, p, 8)
+    return b.build()
+
+
+def _compute_only() -> "Program":
+    """Pure ALU/VIS dependency chain; the memory model stays idle."""
+    b = ProgramBuilder("bench-computeonly")
+    b.buffer("buf", 64)
+    acc, t = b.iregs(2)
+    fa, fb = b.fregs(2)
+    with b.scratch(iregs=1) as p:
+        b.la(p, "buf")
+        b.ldf(fa, p)
+        b.ldf(fb, p, 8)
+    b.li(acc, 1)
+    with b.loop(0, ITERS):
+        b.add(acc, acc, 3)
+        b.xor(acc, acc, 0x55)
+        b.mul(t, acc, 7)
+        b.srl(t, t, 2)
+        b.add(acc, acc, t)
+        b.fpadd16(fa, fa, fb)
+        b.fxor(fb, fa, fb)
+    return b.build()
+
+
+def _shuffle() -> "Program":
+    """Data-dependent branches over loaded bytes: short blocks, hard
+    to predict — the adversarial case for block compilation."""
+    b = ProgramBuilder("bench-shuffle")
+    import numpy as np
+
+    rng = np.random.default_rng(0xC0FFEE)
+    data = bytes(rng.integers(0, 256, BUF, dtype=np.uint8))
+    b.buffer("buf", BUF, data=data)
+    acc, p, t = b.iregs(3)
+    b.la(p, "buf")
+    b.li(acc, 0)
+    with b.loop(0, ITERS):
+        b.ldb(t, p, 0)
+        skip = b.label()
+        b.blt(t, 128, skip)
+        b.add(acc, acc, t)
+        b.bind(skip)
+        b.ldb(t, p, 3)
+        skip2 = b.label()
+        b.bge(t, 64, skip2)
+        b.sub(acc, acc, 1)
+        b.bind(skip2)
+        b.add(p, p, 7)
+    return b.build()
+
+
+WORKLOADS = {
+    "MemOnly": _mem_only,
+    "ComputeOnly": _compute_only,
+    "Shuffle": _shuffle,
+}
+
+
+# -- measurement ------------------------------------------------------------
+
+
+def _mem_config() -> MemoryConfig:
+    return MemoryConfig().scaled(64)
+
+
+def _simulate_once(program, engine: str, instrument: bool = False,
+                   machine=None):
+    """One full simulation; returns (wall_s, mem_s or None, machine).
+
+    Passing ``machine`` back in re-times the same functional machine —
+    under the vector engine that replays the memoized trace, which is
+    exactly what an experiment grid does when it re-times one program
+    under several processor configs.
+    """
+    if machine is None:
+        machine = make_machine(program, engine)
+    machine.reset()
+    info = StaticProgramInfo(program)
+    memory = MemorySystem(_mem_config())
+    mem_acc = [0.0]
+    if instrument:
+        real = memory.access
+
+        def timed_access(kind, addr, cycle, _real=real, _acc=mem_acc):
+            t0 = time.perf_counter()
+            out = _real(kind, addr, cycle)
+            _acc[0] += time.perf_counter() - t0
+            return out
+
+        memory.access = timed_access  # instance shadow, as the tracer does
+    model = make_model(info, ProcessorConfig.ooo_4way(), memory)
+    t0 = time.perf_counter()
+    stats = model.simulate(machine.run(), program.name)
+    wall = time.perf_counter() - t0
+    stats.check_consistency()
+    return wall, (mem_acc[0] if instrument else None), machine
+
+
+def _functional_once(program, engine: str) -> float:
+    """Functional engine alone: produce and discard every chunk."""
+    machine = make_machine(program, engine)
+    machine.reset()
+    t0 = time.perf_counter()
+    for _chunk in machine.run():
+        pass
+    return time.perf_counter() - t0
+
+
+def measure(runs: int = 5) -> dict:
+    """The full benchmark matrix; medians over ``runs`` repetitions."""
+    out = {
+        "schema": SCHEMA,
+        "date": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "runs": runs,
+        "iters": ITERS,
+        "workloads": {},
+    }
+    for name, build in WORKLOADS.items():
+        program = build()
+        row = {}
+        for engine in sorted(ENGINES):
+            totals = []
+            replays = []
+            for _ in range(runs):
+                wall, _mem, machine = _simulate_once(program, engine)
+                totals.append(wall)
+                # grid-style re-timing of the same machine: under the
+                # vector engine this replays the memoized trace
+                replays.append(
+                    _simulate_once(program, engine, machine=machine)[0]
+                )
+            functionals = [
+                _functional_once(program, engine) for _ in range(runs)
+            ]
+            _wall, mem_s, _m = _simulate_once(
+                program, engine, instrument=True
+            )
+            total = statistics.median(totals)
+            functional = statistics.median(functionals)
+            timing = max(0.0, total - functional - mem_s)
+            row[engine] = {
+                "total_s": round(total, 6),
+                "replay_s": round(statistics.median(replays), 6),
+                "functional_s": round(functional, 6),
+                "memory_s": round(mem_s, 6),
+                "timing_s": round(timing, 6),
+            }
+        # the two multiples the CI gate tracks: cold (one point, one
+        # config) and grid-style (re-timing under a second config)
+        row["cold_speedup"] = round(
+            row["scalar"]["total_s"] / row["vector"]["total_s"], 3
+        )
+        row["speedup"] = round(
+            row["scalar"]["replay_s"] / row["vector"]["replay_s"], 3
+        )
+        out["workloads"][name] = row
+    return out
+
+
+# -- reporting / regression gate --------------------------------------------
+
+
+def _print_table(result: dict) -> None:
+    print(f"# engine micro-benchmark  ({result['date']}, "
+          f"python {result['python']}, {result['runs']} runs)")
+    hdr = (f"{'workload':<14}{'engine':<9}{'total':>9}{'replay':>9}"
+           f"{'functional':>12}{'memory':>9}{'timing':>9}")
+    print(hdr)
+    print("-" * len(hdr))
+    for name, row in result["workloads"].items():
+        for engine in ("scalar", "vector"):
+            e = row[engine]
+            print(f"{name:<14}{engine:<9}{e['total_s']:>9.4f}"
+                  f"{e['replay_s']:>9.4f}"
+                  f"{e['functional_s']:>12.4f}{e['memory_s']:>9.4f}"
+                  f"{e['timing_s']:>9.4f}")
+        print(f"{'':<14}{'speedup':<9}{row['cold_speedup']:>9.2f}x"
+              f"{row['speedup']:>9.2f}x")
+
+
+def check(result: dict, baseline: dict, tolerance: float) -> list:
+    """Regression verdicts vs. a committed baseline; empty = pass."""
+    problems = []
+    for name, base_row in baseline.get("workloads", {}).items():
+        row = result["workloads"].get(name)
+        if row is None:
+            problems.append(f"{name}: missing from current run")
+            continue
+        base_total = base_row["vector"]["total_s"]
+        cur_total = row["vector"]["total_s"]
+        if cur_total > base_total * (1.0 + tolerance):
+            problems.append(
+                f"{name}: vector total {cur_total:.4f}s regressed "
+                f">{tolerance:.0%} vs baseline {base_total:.4f}s"
+            )
+        base_speedup = base_row.get("speedup", 1.0)
+        cur_speedup = row["speedup"]
+        if cur_speedup < base_speedup * (1.0 - tolerance):
+            problems.append(
+                f"{name}: speedup multiple {cur_speedup:.2f}x fell "
+                f">{tolerance:.0%} below baseline {base_speedup:.2f}x"
+            )
+        if base_speedup >= 1.0 and cur_speedup < 1.0:
+            problems.append(
+                f"{name}: vector engine is now slower than scalar "
+                f"({cur_speedup:.2f}x)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--runs", type=int, default=5,
+                    help="repetitions per median (default 5)")
+    ap.add_argument("--out", type=Path, default=Path(__file__).parent,
+                    help="directory for BENCH_<date>.json")
+    ap.add_argument("--check", type=Path, default=None,
+                    help="baseline BENCH_*.json to gate against "
+                         "(no trajectory file is written)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression (default 0.20)")
+    args = ap.parse_args(argv)
+
+    result = measure(args.runs)
+    _print_table(result)
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        problems = check(result, baseline, args.tolerance)
+        if problems:
+            print("\nPERF REGRESSION:")
+            for p in problems:
+                print("  -", p)
+            return 1
+        print(f"\nok: within {args.tolerance:.0%} of {args.check}")
+        return 0
+
+    path = args.out / f"BENCH_{result['date']}.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -452,6 +452,31 @@ def _refine_edge(
 # ---------------------------------------------------------------------------
 
 
+def _loop_table(cfg: CFG):
+    """Per-instruction ``(call_target_or_None, dst, dst2, step_of_dst,
+    step_of_dst2)`` columns for :class:`_LoopInfo`, cached on the CFG —
+    every loop summary re-derives the same facts for every instruction
+    of its body otherwise (nested loops scan shared blocks repeatedly)."""
+    table = getattr(cfg, "_absint_loop_table", None)
+    if table is None:
+        step_of = _LoopInfo._step_of
+        table = []
+        for instr in cfg.instructions:
+            dst = instr.dst
+            dst2 = instr.dst2
+            table.append((
+                instr.target
+                if instr.spec.opclass == OpClass.CALL
+                else None,
+                dst,
+                dst2,
+                step_of(instr, dst) if dst >= 0 else None,
+                step_of(instr, dst2) if dst2 >= 0 else None,
+            ))
+        cfg._absint_loop_table = table
+    return table
+
+
 class _LoopInfo:
     """Per-loop induction summary (syntactic, state-independent)."""
 
@@ -473,25 +498,30 @@ class _LoopInfo:
         latch = (
             next(iter(loop.latches)) if len(loop.latches) == 1 else None
         )
+        table = _loop_table(cfg)
+        modified = self.modified
+        deltas = self.deltas
         for block in loop.body:
             in_inner = block in inner_blocks
+            dominates_latch = latch is None or region.dominates(block, latch)
             for i in cfg.block_instrs(block):
-                instr = cfg.instructions[i]
-                if instr.spec.opclass == OpClass.CALL:
-                    self.modified.add(("call", instr.target))
-                for d in (instr.dst, instr.dst2):
-                    if d < 0:
-                        continue
-                    self.modified.add(d)
-                    if in_inner:
-                        continue  # folded via the inner loop's summary
-                    step = self._step_of(instr, d)
-                    if step is not None and (
-                        latch is None or region.dominates(block, latch)
-                    ):
-                        self.deltas[d] = self.deltas.get(d, 0) + step
-                    else:
-                        broken.add(d)
+                call_t, dst, dst2, step, step2 = table[i]
+                if call_t is not None:
+                    modified.add(("call", call_t))
+                if dst >= 0:
+                    modified.add(dst)
+                    if not in_inner:
+                        if step is not None and dominates_latch:
+                            deltas[dst] = deltas.get(dst, 0) + step
+                        else:
+                            broken.add(dst)
+                if dst2 >= 0:
+                    modified.add(dst2)
+                    if not in_inner:
+                        if step2 is not None and dominates_latch:
+                            deltas[dst2] = deltas.get(dst2, 0) + step2
+                        else:
+                            broken.add(dst2)
         for d in broken:
             self.deltas.pop(d, None)
         self.broken = broken
@@ -827,14 +857,18 @@ class _Checker:
             )
             return
         lo, hi = addr.lo, addr.hi + width - 1
-        inside = any(
-            buf.address <= lo and hi < buf.address + buf.size
-            for buf in self.buffers
-        )
-        disjoint = all(
-            hi < buf.address or lo >= buf.address + buf.size
-            for buf in self.buffers
-        )
+        # One pass over the buffers: ``inside`` = some buffer contains
+        # the whole range (then ``disjoint`` is never consulted),
+        # ``disjoint`` = no buffer overlaps it.
+        inside = False
+        disjoint = True
+        for buf in self.buffers:
+            base = buf.address
+            if base <= lo and hi < base + buf.size:
+                inside = True
+                break
+            if not (hi < base or lo >= base + buf.size):
+                disjoint = False
         if inside:
             self.proven[i] = (lo, hi)
         elif disjoint:

@@ -293,6 +293,8 @@ class Region:
         idom: Dict[int, int] = {}
         if not self.rpo:
             self.idom = idom
+            self._dom_tin: Dict[int, int] = {}
+            self._dom_tout: Dict[int, int] = {}
             return
         idom[self.entry] = self.entry
         order = self.rpo_index
@@ -317,20 +319,41 @@ class Region:
                     idom[node] = new
                     changed = True
         self.idom = idom
+        # Euler-tour intervals over the dominator tree: ``a`` dominates
+        # ``b`` iff a's interval contains b's, making dominates() O(1)
+        # (loop discovery and induction summaries query it heavily).
+        children: Dict[int, List[int]] = {}
+        for node, parent in idom.items():
+            if node != parent:
+                children.setdefault(parent, []).append(node)
+        tin: Dict[int, int] = {}
+        tout: Dict[int, int] = {}
+        clock = 0
+        stack = [(self.entry, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                tout[node] = clock
+                clock += 1
+                continue
+            tin[node] = clock
+            clock += 1
+            stack.append((node, True))
+            for child in children.get(node, ()):
+                stack.append((child, False))
+        self._dom_tin = tin
+        self._dom_tout = tout
 
     def dominates(self, a: int, b: int) -> bool:
         """Does node ``a`` dominate node ``b`` within this region?"""
         if a == b:
             return True
-        node = b
-        while node != self.entry:
-            parent = self.idom.get(node)
-            if parent is None or parent == node:
-                return False
-            node = parent
-            if node == a:
-                return True
-        return a == self.entry
+        tin = self._dom_tin
+        ta = tin.get(a)
+        tb = tin.get(b)
+        if ta is None or tb is None:
+            return False
+        return ta < tb and self._dom_tout[b] < self._dom_tout[a]
 
     def _find_loops(self) -> None:
         self.loops: Dict[int, Loop] = {}

@@ -49,6 +49,32 @@ def _reads(instr: Instruction) -> Tuple[int, ...]:
     return instr.srcs
 
 
+def _instr_table(cfg: CFG):
+    """Per-instruction ``(defs_mask, call_target_or_None, srcs_mask)``
+    columns, cached on the CFG — instructions are immutable once built
+    and every pass below re-derives the same three facts millions of
+    times in its inner loop otherwise."""
+    table = getattr(cfg, "_df_table", None)
+    if table is None:
+        dmask: List[int] = []
+        call_target: List = []
+        smask: List[int] = []
+        for instr in cfg.instructions:
+            dmask.append(_defs_mask(instr))
+            call_target.append(
+                instr.target
+                if instr.spec.opclass == OpClass.CALL
+                else None
+            )
+            m = 0
+            for reg in instr.srcs:
+                m |= 1 << reg
+            smask.append(m)
+        table = (dmask, call_target, smask)
+        cfg._df_table = table
+    return table
+
+
 # ---------------------------------------------------------------------------
 # Initialization analysis
 # ---------------------------------------------------------------------------
@@ -68,7 +94,16 @@ def _collapsed_succs(cfg: CFG, block: int) -> List[int]:
 
 def _function_summaries(cfg: CFG) -> Dict[int, Tuple[int, int]]:
     """Per function entry *instruction* index: (may_def, must_def) masks
-    of registers the callee writes on some / every path to a ret."""
+    of registers the callee writes on some / every path to a ret.
+
+    Cached on the CFG: both the initialization pass and the abstract
+    interpreter need the same summaries.
+    """
+    cached = getattr(cfg, "_func_summaries", None)
+    if cached is not None:
+        return cached
+    dmask, call_target, _ = _instr_table(cfg)
+    instructions = cfg.instructions
     summaries: Dict[int, Tuple[int, int]] = {
         entry: (0, 0) for entry in cfg.functions
     }
@@ -89,14 +124,14 @@ def _function_summaries(cfg: CFG) -> Dict[int, Tuple[int, int]]:
                 may = may_in[block]
                 must = must_in[block]
                 for i in cfg.block_instrs(block):
-                    instr = cfg.instructions[i]
-                    d = _defs_mask(instr)
-                    if instr.spec.opclass == OpClass.CALL:
-                        s_may, s_must = summaries.get(instr.target, (0, 0))
-                        d |= s_may
-                        may |= d
-                        must |= (1 << instr.dst if instr.dst >= 0 else 0) | s_must
+                    target = call_target[i]
+                    if target is not None:
+                        dst = instructions[i].dst
+                        s_may, s_must = summaries.get(target, (0, 0))
+                        may |= dmask[i] | s_may
+                        must |= (1 << dst if dst >= 0 else 0) | s_must
                     else:
+                        d = dmask[i]
                         may |= d
                         must |= d
                 if cfg.terminator(block).spec.opclass == OpClass.RET:
@@ -122,6 +157,7 @@ def _function_summaries(cfg: CFG) -> Dict[int, Tuple[int, int]]:
                 changed = True
         if not changed:
             break
+    cfg._func_summaries = summaries
     return summaries
 
 
@@ -130,6 +166,8 @@ def run_init_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
     if not cfg.n_blocks:
         return
     summaries = _function_summaries(cfg)
+    dmask, call_target, _ = _instr_table(cfg)
+    instructions = cfg.instructions
 
     may_in: Dict[int, int] = {0: ENTRY_INIT}
     must_in: Dict[int, int] = {0: ENTRY_INIT}
@@ -140,19 +178,20 @@ def run_init_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
         must = must_in[block]
         succ_states: List[Tuple[int, int, int]] = []
         for i in cfg.block_instrs(block):
-            instr = cfg.instructions[i]
-            d = _defs_mask(instr)
-            if instr.spec.opclass == OpClass.CALL:
-                s_may, s_must = summaries.get(instr.target, (0, 0))
+            target = call_target[i]
+            if target is not None:
+                instr = instructions[i]
+                s_may, s_must = summaries.get(target, (0, 0))
                 # the call edge into the callee sees LINK + caller state
                 link = 1 << instr.dst if instr.dst >= 0 else 0
-                if 0 <= instr.target < cfg.n:
+                if 0 <= target < cfg.n:
                     succ_states.append(
-                        (cfg.block_of[instr.target], may | link, must | link)
+                        (cfg.block_of[target], may | link, must | link)
                     )
-                may |= d | s_may
+                may |= dmask[i] | s_may
                 must |= link | s_must
             else:
+                d = dmask[i]
                 may |= d
                 must |= d
         for succ in _collapsed_succs(cfg, block):
@@ -217,12 +256,13 @@ def run_init_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
                         f"{instr.op} reads {reg_name(reg)}, initialized on "
                         "some but not all paths",
                     )
-            d = _defs_mask(instr)
-            if instr.spec.opclass == OpClass.CALL:
-                s_may, s_must = summaries.get(instr.target, (0, 0))
-                may |= d | s_may
+            target = call_target[i]
+            if target is not None:
+                s_may, s_must = summaries.get(target, (0, 0))
+                may |= dmask[i] | s_may
                 must |= (1 << instr.dst if instr.dst >= 0 else 0) | s_must
             else:
+                d = dmask[i]
                 may |= d
                 must |= d
 
@@ -232,7 +272,9 @@ def run_init_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _block_use_def(cfg: CFG, block: int) -> Tuple[int, int]:
+def _block_use_def(
+    cfg: CFG, block: int, dmask: List[int], smask: List[int]
+) -> Tuple[int, int]:
     """(use, def) masks: ``use`` = read before any def in this block.
 
     ``halt`` reads the whole register file: final architectural state
@@ -243,14 +285,11 @@ def _block_use_def(cfg: CFG, block: int) -> Tuple[int, int]:
     use = 0
     defs = 0
     for i in cfg.block_instrs(block):
-        instr = cfg.instructions[i]
-        if instr.op == "halt":
+        if cfg.instructions[i].op == "halt":
             use |= ALL_REGS & ~defs
             break
-        for reg in _reads(instr):
-            if not (defs >> reg) & 1:
-                use |= 1 << reg
-        defs |= _defs_mask(instr)
+        use |= smask[i] & ~defs
+        defs |= dmask[i]
     return use, defs
 
 
@@ -259,7 +298,10 @@ def run_liveness_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
     writes that are dead on every path (``W-DEADWRITE``)."""
     if not cfg.n_blocks:
         return
-    use_def = [_block_use_def(cfg, b) for b in range(cfg.n_blocks)]
+    dmask, call_target, smask = _instr_table(cfg)
+    use_def = [
+        _block_use_def(cfg, b, dmask, smask) for b in range(cfg.n_blocks)
+    ]
     live_in: List[int] = [0] * cfg.n_blocks
     changed = True
     while changed:
@@ -283,11 +325,11 @@ def run_liveness_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
             if instr.op == "halt":
                 live = ALL_REGS
                 continue
-            d = _defs_mask(instr)
+            d = dmask[i]
             if (
                 d
                 and not (live & d)
-                and instr.spec.opclass != OpClass.CALL
+                and call_target[i] is None
                 # redundant GSR mode writes are defensive idiom, not
                 # dropped computations
                 and instr.op != "wrgsr"
@@ -301,8 +343,7 @@ def run_liveness_checks(cfg: CFG, diags: List[Diagnostic]) -> None:
                     )
                 )
             live &= ~d
-            for reg in _reads(instr):
-                live |= 1 << reg
+            live |= smask[i]
 
 
 # ---------------------------------------------------------------------------

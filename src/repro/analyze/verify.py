@@ -130,7 +130,14 @@ def program_digest(program: Program) -> str:
     reads, the finalized buffer layout, waiver spans and leaked-register
     metadata.  Markers are deliberately excluded: they only decorate
     diagnostic *text*, never change what gates.
+
+    Programs are immutable once built, so the digest is cached on the
+    program object (it is recomputed per checkpoint identity check and
+    per verification otherwise).
     """
+    cached = getattr(program, "_digest_cache", None)
+    if cached is not None:
+        return cached
     h = hashlib.sha256()
     h.update(f"analyzer:{ANALYZER_VERSION}\n".encode())
     h.update(
@@ -146,7 +153,12 @@ def program_digest(program: Program) -> str:
     for w in program.lint_waivers:
         h.update(f"\nW;{w.code};{w.start};{w.end}".encode())
     h.update(f"\nU;{program.unreleased_regs}".encode())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    try:
+        program._digest_cache = digest
+    except AttributeError:
+        pass  # slotted/frozen Program variants just recompute
+    return digest
 
 
 def _memo_load(memo_dir: Path, digest: str) -> Optional[dict]:

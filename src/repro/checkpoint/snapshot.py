@@ -411,6 +411,11 @@ def run_with_checkpoints(
     last_cycles = model.retire.total_cycles
     interval = session.interval
     inject_label = f"ckpt:{session.label or benchmark}"
+    # The vector engine replays memoized traces without materializing
+    # machine state until the end of the run; it reports that window via
+    # can_snapshot().  Engines without the method are always quiescent
+    # at a chunk boundary.
+    can_snapshot = getattr(machine, "can_snapshot", None)
     for chunk in machine.run(
         max_instructions=max_steps,
         chunk_size=session.chunk_size,
@@ -421,7 +426,9 @@ def run_with_checkpoints(
         if machine.run_pc < 0:
             break  # program halted: the final (partial) chunk
         cycles = model.retire.total_cycles
-        if cycles - last_cycles >= interval:
+        if cycles - last_cycles >= interval and (
+            can_snapshot is None or can_snapshot()
+        ):
             progress = {
                 "retired": model.retire.retired,
                 "cycles": cycles,

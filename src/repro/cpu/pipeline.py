@@ -47,6 +47,7 @@ from ..sim.static_info import (
     K_UNCOND,
     StaticProgramInfo,
 )
+from ..sim.vector import VectorChunk
 from .branch import AgreePredictor, ReturnAddressStack
 from .config import ProcessorConfig
 from .stats import (
@@ -96,14 +97,34 @@ class _BaseModel:
         self.branches = 0
         self.mispredicts = 0
         self.begin("")
+        #: per-static-instruction compiled timing closures (vector fast
+        #: path); populated lazily by :meth:`_mktc` on first execution
+        self._tcode: List = [None] * len(info.kind)
+        #: shared mutable run state for the compiled closures — slot
+        #: layout: 0 fetch_ready, 1 redirect_until, 2 prev issue (or
+        #: dispatch), 3 issued (dispatched) in cycle, 4 mem_index,
+        #: 5 mispredicts, 6 predictor mispredictions, 7 retire cycle,
+        #: 8 retire slots, 9 retired count; the OoO model adds
+        #: 10 window index and 11 branch-ring index
+        self._S: List[int] = [0] * 12
 
     # -- chunked-run protocol -----------------------------------------------
 
     def begin(self, benchmark: str = "") -> None:
         """Initialize the per-run loop state (called by :meth:`simulate`
-        and by the checkpoint layer before a cold or resumed run)."""
+        and by the checkpoint layer before a cold or resumed run).
+
+        Mutable *lists* are reused in place: the compiled timing
+        closures of the vector fast path capture them by identity, so
+        replacing them here would silently detach a reused model from
+        its own state.
+        """
         self._benchmark = benchmark
-        self._memq: List[int] = [0] * self.config.mem_queue_size
+        memq = getattr(self, "_memq", None)
+        if memq is None:
+            self._memq: List[int] = [0] * self.config.mem_queue_size
+        else:
+            memq[:] = [0] * len(memq)
         self._mem_index = 0
         self._fetch_ready = 0
         self._redirect_until = -1
@@ -192,6 +213,64 @@ class _BaseModel:
         self._fetch_ready = int(loop["fetch_ready"])
         self._redirect_until = int(loop["redirect_until"])
 
+    # -- vector fast path ----------------------------------------------------
+
+    def _feed_vector(self, chunk: VectorChunk) -> None:
+        """Consume one structure-of-arrays chunk via compiled closures.
+
+        Per-chunk bookkeeping (category counts, branch totals,
+        predictor prediction count) comes from the chunk's cached
+        aggregates instead of per-event increments; per-event state
+        lives in the ``_S`` slot list while the loop runs and is synced
+        back to the public attributes afterwards, so snapshots taken at
+        chunk boundaries are indistinguishable from the scalar path's.
+        """
+        counts4, nbranches, ncond = chunk.aggregates(self.info)
+        cc = self.category_counts
+        cc[0] += counts4[0]
+        cc[1] += counts4[1]
+        cc[2] += counts4[2]
+        cc[3] += counts4[3]
+        self.branches += nbranches
+        self.predictor.predictions += ncond
+        S = self._S
+        self._state_to_slots(S)
+        tc = self._tcode
+        mk = self._mktc
+        for s, a in chunk:
+            f = tc[s]
+            if f is None:
+                f = mk(s)
+            f(a)
+        self._slots_to_state(S)
+        if self.max_cycles is not None:
+            self._check_cycle_budget()
+
+    def _state_to_slots(self, S: List[int]) -> None:
+        S[0] = self._fetch_ready
+        S[1] = self._redirect_until
+        S[4] = self._mem_index
+        S[5] = self.mispredicts
+        S[6] = self.predictor.mispredictions
+        retire = self.retire
+        S[7] = retire.cycle
+        S[8] = retire.slots
+        S[9] = retire.retired
+
+    def _slots_to_state(self, S: List[int]) -> None:
+        self._fetch_ready = S[0]
+        self._redirect_until = S[1]
+        self._mem_index = S[4]
+        self.mispredicts = S[5]
+        self.predictor.mispredictions = S[6]
+        retire = self.retire
+        retire.cycle = S[7]
+        retire.slots = S[8]
+        retire.retired = S[9]
+
+    def _mktc(self, sidx: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+
     # -- shared internals ---------------------------------------------------
 
     def _check_cycle_budget(self) -> None:
@@ -251,7 +330,20 @@ class InOrderModel(_BaseModel):
         self._prev_issue = int(loop["prev_issue"])
         self._issued_in_cycle = int(loop["issued_in_cycle"])
 
+    def _state_to_slots(self, S: List[int]) -> None:
+        super()._state_to_slots(S)
+        S[2] = self._prev_issue
+        S[3] = self._issued_in_cycle
+
+    def _slots_to_state(self, S: List[int]) -> None:
+        super()._slots_to_state(S)
+        self._prev_issue = S[2]
+        self._issued_in_cycle = S[3]
+
     def feed_chunk(self, chunk: list) -> None:
+        if self.tracer is None and type(chunk) is VectorChunk:
+            self._feed_vector(chunk)
+            return
         info = self.info
         kind = info.kind
         fu_of = info.fu
@@ -284,6 +376,8 @@ class InOrderModel(_BaseModel):
         redirect_until = self._redirect_until
         prev_issue = self._prev_issue
         issued_in_cycle = self._issued_in_cycle
+        branches = self.branches
+        mispredicts = self.mispredicts
 
         for sidx, aux in chunk:
             k = kind[sidx]
@@ -348,17 +442,17 @@ class InOrderModel(_BaseModel):
                 cls = SC_L1HIT
             elif k == K_BRANCH:
                 complete = issue + 1
-                self.branches += 1
+                branches += 1
                 cls = SC_BRANCH
                 if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
-                    self.mispredicts += 1
+                    mispredicts += 1
                     redirect_until = complete + penalty
                     fetch_ready = redirect_until
                 elif aux == 1 and complete > fetch_ready:
                     fetch_ready = complete
             else:  # K_UNCOND: j / call / ret
                 complete = issue + 1
-                self.branches += 1
+                branches += 1
                 cls = SC_BRANCH
                 mispredicted = False
                 if is_call[sidx]:
@@ -368,7 +462,7 @@ class InOrderModel(_BaseModel):
                     # (after overflow) mispredicts.
                     mispredicted = ras.pop()
                 if is_ret[sidx] and mispredicted:
-                    self.mispredicts += 1
+                    mispredicts += 1
                     redirect_until = complete + penalty
                     fetch_ready = redirect_until
                 elif complete > fetch_ready:
@@ -396,9 +490,308 @@ class InOrderModel(_BaseModel):
         self._redirect_until = redirect_until
         self._prev_issue = prev_issue
         self._issued_in_cycle = issued_in_cycle
+        self.branches = branches
+        self.mispredicts = mispredicts
 
         if self.max_cycles is not None:
             self._check_cycle_budget()
+
+    def _mktc(self, sidx: int):
+        """Compile one per-static-instruction timing closure (vector
+        fast path).  Every per-``sidx`` constant is bound as a default
+        argument; mutable run state lives in the shared ``_S`` slot
+        list plus the identity-stable in-place lists (``reg_ready``,
+        FU pools, ``_memq``, ``retire.stalls``, predictor table).  The
+        arithmetic mirrors :meth:`feed_chunk` statement for statement —
+        including float operation order — so results are bit-identical.
+        """
+        info = self.info
+        k = info.kind[sidx]
+        S = self._S
+        width = self.config.issue_width
+        units = self.fus[info.fu[sidx]]
+        nu = len(units)
+        lat = info.latency[sidx]
+        badd = 1 if info.pipelined[sidx] else lat
+        srcs = info.srcs[sidx]
+        dst = info.dst[sidx]
+        dst2 = info.dst2[sidx]
+        rr = self.reg_ready
+        stalls = self.retire.stalls
+
+        if k == K_SIMPLE:
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   lat=lat, badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ready = e
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                if issue > p:
+                    S[2] = issue
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                units[best] = issue + badd
+                complete = issue + lat
+                cls = SC_BRANCH if issue == S[1] else SC_FU
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                    else:
+                        S[7] = rc + 1
+                        S[8] = 1
+                else:
+                    stalls[cls] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+
+        elif k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+            memq = self._memq
+            mqs = self.config.mem_queue_size
+            access = self.memory.access
+            akind = (
+                A_LOAD if k == K_LOAD
+                else A_STORE if k == K_STORE
+                else A_PREFETCH
+            )
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, memq=memq, mqs=mqs, access=access,
+                   akind=akind, k=k):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ready = e
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                mi = S[4]
+                slot = memq[mi % mqs]
+                if slot > issue:
+                    issue = slot
+                if issue > p:
+                    S[2] = issue
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                units[best] = issue + badd
+                if k == K_LOAD:
+                    done, level = access(akind, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                    memq[mi % mqs] = done
+                    S[4] = mi + 1
+                    ra = complete
+                elif k == K_STORE:
+                    done, _level = access(akind, aux, issue + 1)
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                    memq[mi % mqs] = done
+                    S[4] = mi + 1
+                    ra = issue + 1
+                else:  # K_PREFETCH
+                    if aux:
+                        done, _level = access(akind, aux, issue + 1)
+                        memq[mi % mqs] = done
+                        S[4] = mi + 1
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                    ra = complete
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if ra <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                    else:
+                        S[7] = rc + 1
+                        S[8] = 1
+                else:
+                    stalls[cls] += (width - S[8]) / width + (ra - rc - 1)
+                    S[7] = ra
+                    S[8] = 1
+
+        elif k == K_BRANCH:
+            predictor = self.predictor
+            table = predictor.table
+            pidx = sidx & predictor.mask
+            hint = info.hint_taken[sidx]
+            penalty = self.config.mispredict_penalty
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, table=table, pidx=pidx, hint=hint,
+                   penalty=penalty):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ready = e
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                if issue > p:
+                    S[2] = issue
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                units[best] = issue + badd
+                complete = issue + 1
+                # inline AgreePredictor.predict_and_update (the chunk
+                # prologue already counted predictions in batch)
+                taken = aux == 1
+                counter = table[pidx]
+                predicted = hint if counter >= 2 else not hint
+                if taken == hint:
+                    if counter < 3:
+                        table[pidx] = counter + 1
+                elif counter > 0:
+                    table[pidx] = counter - 1
+                if predicted != taken:
+                    S[6] += 1
+                    S[5] += 1
+                    ru = complete + penalty
+                    S[1] = ru
+                    S[0] = ru
+                elif taken and complete > S[0]:
+                    S[0] = complete
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                    else:
+                        S[7] = rc + 1
+                        S[8] = 1
+                else:
+                    stalls[SC_BRANCH] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+
+        else:  # K_UNCOND: j / call / ret
+            ras = self.ras
+            is_call = info.is_call[sidx]
+            is_ret = info.is_ret[sidx]
+            nxt = sidx + 1
+            penalty = self.config.mispredict_penalty
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, ras=ras, is_call=is_call,
+                   is_ret=is_ret, nxt=nxt, penalty=penalty):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ready = e
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                if issue > p:
+                    S[2] = issue
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                units[best] = issue + badd
+                complete = issue + 1
+                mispredicted = False
+                if is_call:
+                    ras.push(nxt)
+                elif is_ret:
+                    mispredicted = ras.pop()
+                if is_ret and mispredicted:
+                    S[5] += 1
+                    ru = complete + penalty
+                    S[1] = ru
+                    S[0] = ru
+                elif complete > S[0]:
+                    S[0] = complete
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                    else:
+                        S[7] = rc + 1
+                        S[8] = 1
+                else:
+                    stalls[SC_BRANCH] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+
+        self._tcode[sidx] = tc
+        return tc
 
 
 class OutOfOrderModel(_BaseModel):
@@ -409,11 +802,17 @@ class OutOfOrderModel(_BaseModel):
 
     def begin(self, benchmark: str = "") -> None:
         super().begin(benchmark)
-        self._retire_ring: List[int] = [0] * self.config.window_size
+        ring = getattr(self, "_retire_ring", None)
+        if ring is None:
+            self._retire_ring: List[int] = [0] * self.config.window_size
+            self._branch_ring: List[int] = (
+                [0] * self.config.max_speculated_branches
+            )
+        else:
+            # reused in place — see _BaseModel.begin
+            ring[:] = [0] * len(ring)
+            self._branch_ring[:] = [0] * len(self._branch_ring)
         self._index = 0
-        self._branch_ring: List[int] = (
-            [0] * self.config.max_speculated_branches
-        )
         self._branch_index = 0
         self._prev_dispatch = -1
         self._dispatched_in_cycle = 0
@@ -444,7 +843,24 @@ class OutOfOrderModel(_BaseModel):
         self._prev_dispatch = int(loop["prev_dispatch"])
         self._dispatched_in_cycle = int(loop["dispatched_in_cycle"])
 
+    def _state_to_slots(self, S: List[int]) -> None:
+        super()._state_to_slots(S)
+        S[2] = self._prev_dispatch
+        S[3] = self._dispatched_in_cycle
+        S[10] = self._index
+        S[11] = self._branch_index
+
+    def _slots_to_state(self, S: List[int]) -> None:
+        super()._slots_to_state(S)
+        self._prev_dispatch = S[2]
+        self._dispatched_in_cycle = S[3]
+        self._index = S[10]
+        self._branch_index = S[11]
+
     def feed_chunk(self, chunk: list) -> None:
+        if self.tracer is None and type(chunk) is VectorChunk:
+            self._feed_vector(chunk)
+            return
         info = self.info
         kind = info.kind
         fu_of = info.fu
@@ -483,6 +899,8 @@ class OutOfOrderModel(_BaseModel):
         redirect_until = self._redirect_until
         prev_dispatch = self._prev_dispatch
         dispatched_in_cycle = self._dispatched_in_cycle
+        branches = self.branches
+        mispredicts = self.mispredicts
 
         for sidx, aux in chunk:
             k = kind[sidx]
@@ -555,12 +973,12 @@ class OutOfOrderModel(_BaseModel):
                     complete = issue + 1
             elif k == K_BRANCH:
                 complete = issue + 1
-                self.branches += 1
+                branches += 1
                 cls = SC_BRANCH
                 branch_ring[branch_index % len(branch_ring)] = complete
                 branch_index += 1
                 if predictor.predict_and_update(sidx, hints[sidx], aux == 1):
-                    self.mispredicts += 1
+                    mispredicts += 1
                     redirect_until = complete + penalty
                     if redirect_until > fetch_ready:
                         fetch_ready = redirect_until
@@ -569,7 +987,7 @@ class OutOfOrderModel(_BaseModel):
                     fetch_ready = dispatch + 1
             else:  # K_UNCOND
                 complete = issue + 1
-                self.branches += 1
+                branches += 1
                 cls = SC_BRANCH
                 branch_ring[branch_index % len(branch_ring)] = complete
                 branch_index += 1
@@ -579,7 +997,7 @@ class OutOfOrderModel(_BaseModel):
                         fetch_ready = dispatch + 1
                 elif is_ret[sidx]:
                     if ras.pop():
-                        self.mispredicts += 1
+                        mispredicts += 1
                         redirect_until = complete + penalty
                         if redirect_until > fetch_ready:
                             fetch_ready = redirect_until
@@ -614,9 +1032,371 @@ class OutOfOrderModel(_BaseModel):
         self._redirect_until = redirect_until
         self._prev_dispatch = prev_dispatch
         self._dispatched_in_cycle = dispatched_in_cycle
+        self.branches = branches
+        self.mispredicts = mispredicts
 
         if self.max_cycles is not None:
             self._check_cycle_budget()
+
+    def _mktc(self, sidx: int):
+        """Compile one per-static-instruction timing closure (vector
+        fast path); see :meth:`InOrderModel._mktc`.  The OoO variant
+        adds the dispatch stage (window + speculated-branch caps) and
+        the retire ring, using ``_S`` slots 10/11 for the ring cursors.
+        """
+        info = self.info
+        k = info.kind[sidx]
+        S = self._S
+        width = self.config.issue_width
+        window = self.config.window_size
+        units = self.fus[info.fu[sidx]]
+        nu = len(units)
+        lat = info.latency[sidx]
+        badd = 1 if info.pipelined[sidx] else lat
+        srcs = info.srcs[sidx]
+        dst = info.dst[sidx]
+        dst2 = info.dst2[sidx]
+        rr = self.reg_ready
+        stalls = self.retire.stalls
+        retire_ring = self._retire_ring
+
+        if k == K_SIMPLE:
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   lat=lat, badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, ring=retire_ring, window=window):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ix = S[10]
+                slot_free = ring[ix % window]
+                if slot_free > e:
+                    e = slot_free
+                dispatch = e
+                if dispatch > p:
+                    S[2] = dispatch
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                ready = dispatch + 1
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                units[best] = issue + badd
+                complete = issue + lat
+                cls = SC_BRANCH if dispatch == S[1] else SC_FU
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                        rv = rc
+                    else:
+                        rv = rc + 1
+                        S[7] = rv
+                        S[8] = 1
+                else:
+                    stalls[cls] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+                    rv = complete
+                ring[ix % window] = rv
+                S[10] = ix + 1
+
+        elif k == K_LOAD or k == K_STORE or k == K_PREFETCH:
+            memq = self._memq
+            mqs = self.config.mem_queue_size
+            access = self.memory.access
+            akind = (
+                A_LOAD if k == K_LOAD
+                else A_STORE if k == K_STORE
+                else A_PREFETCH
+            )
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, ring=retire_ring, window=window,
+                   memq=memq, mqs=mqs, access=access, akind=akind, k=k):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ix = S[10]
+                slot_free = ring[ix % window]
+                if slot_free > e:
+                    e = slot_free
+                dispatch = e
+                if dispatch > p:
+                    S[2] = dispatch
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                ready = dispatch + 1
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                mi = S[4]
+                slot = memq[mi % mqs]
+                if slot > issue:
+                    issue = slot
+                units[best] = issue + badd
+                if k == K_LOAD:
+                    done, level = access(akind, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT if level == LEVEL_L1 else SC_L1MISS
+                    memq[mi % mqs] = done
+                    S[4] = mi + 1
+                    ra = complete
+                elif k == K_STORE:
+                    done, _level = access(akind, aux, issue + 1)
+                    complete = done
+                    cls = SC_L1HIT
+                    memq[mi % mqs] = done
+                    S[4] = mi + 1
+                    ra = issue + 1
+                else:  # K_PREFETCH
+                    complete = issue + 1
+                    cls = SC_L1HIT
+                    if aux:
+                        done, _level = access(akind, aux, issue + 1)
+                        memq[mi % mqs] = done
+                        S[4] = mi + 1
+                    ra = complete
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if ra <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                        rv = rc
+                    else:
+                        rv = rc + 1
+                        S[7] = rv
+                        S[8] = 1
+                else:
+                    stalls[cls] += (width - S[8]) / width + (ra - rc - 1)
+                    S[7] = ra
+                    S[8] = 1
+                    rv = ra
+                ring[ix % window] = rv
+                S[10] = ix + 1
+
+        elif k == K_BRANCH:
+            predictor = self.predictor
+            table = predictor.table
+            pidx = sidx & predictor.mask
+            hint = info.hint_taken[sidx]
+            penalty = self.config.mispredict_penalty
+            branch_ring = self._branch_ring
+            blen = len(branch_ring)
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, ring=retire_ring, window=window,
+                   bring=branch_ring, blen=blen, table=table,
+                   pidx=pidx, hint=hint, penalty=penalty):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ix = S[10]
+                slot_free = ring[ix % window]
+                if slot_free > e:
+                    e = slot_free
+                bix = S[11]
+                bslot = bring[bix % blen]
+                if bslot > e:
+                    e = bslot
+                dispatch = e
+                if dispatch > p:
+                    S[2] = dispatch
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                ready = dispatch + 1
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                units[best] = issue + badd
+                complete = issue + 1
+                bring[bix % blen] = complete
+                S[11] = bix + 1
+                # inline AgreePredictor.predict_and_update (the chunk
+                # prologue already counted predictions in batch)
+                taken = aux == 1
+                counter = table[pidx]
+                predicted = hint if counter >= 2 else not hint
+                if taken == hint:
+                    if counter < 3:
+                        table[pidx] = counter + 1
+                elif counter > 0:
+                    table[pidx] = counter - 1
+                if predicted != taken:
+                    S[6] += 1
+                    S[5] += 1
+                    ru = complete + penalty
+                    S[1] = ru
+                    if ru > S[0]:
+                        S[0] = ru
+                elif taken and dispatch + 1 > S[0]:
+                    # One taken branch fetched per cycle.
+                    S[0] = dispatch + 1
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                        rv = rc
+                    else:
+                        rv = rc + 1
+                        S[7] = rv
+                        S[8] = 1
+                else:
+                    stalls[SC_BRANCH] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+                    rv = complete
+                ring[ix % window] = rv
+                S[10] = ix + 1
+
+        else:  # K_UNCOND: j / call / ret
+            ras = self.ras
+            is_call = info.is_call[sidx]
+            is_ret = info.is_ret[sidx]
+            nxt = sidx + 1
+            penalty = self.config.mispredict_penalty
+            branch_ring = self._branch_ring
+            blen = len(branch_ring)
+
+            def tc(aux, S=S, srcs=srcs, rr=rr, units=units, nu=nu,
+                   badd=badd, dst=dst, dst2=dst2, width=width,
+                   stalls=stalls, ring=retire_ring, window=window,
+                   bring=branch_ring, blen=blen, ras=ras,
+                   is_call=is_call, is_ret=is_ret, nxt=nxt,
+                   penalty=penalty):
+                e = S[0]
+                p = S[2]
+                if e < p:
+                    e = p
+                if e == p and S[3] >= width:
+                    e += 1
+                ix = S[10]
+                slot_free = ring[ix % window]
+                if slot_free > e:
+                    e = slot_free
+                bix = S[11]
+                bslot = bring[bix % blen]
+                if bslot > e:
+                    e = bslot
+                dispatch = e
+                if dispatch > p:
+                    S[2] = dispatch
+                    S[3] = 1
+                else:
+                    S[3] += 1
+                ready = dispatch + 1
+                for s_ in srcs:
+                    r_ = rr[s_]
+                    if r_ > ready:
+                        ready = r_
+                best = 0
+                if nu > 1:
+                    for u_ in range(1, nu):
+                        if units[u_] < units[best]:
+                            best = u_
+                u = units[best]
+                issue = ready if ready >= u else u
+                units[best] = issue + badd
+                complete = issue + 1
+                bring[bix % blen] = complete
+                S[11] = bix + 1
+                if is_call:
+                    ras.push(nxt)
+                    if dispatch + 1 > S[0]:
+                        S[0] = dispatch + 1
+                elif is_ret:
+                    if ras.pop():
+                        S[5] += 1
+                        ru = complete + penalty
+                        S[1] = ru
+                        if ru > S[0]:
+                            S[0] = ru
+                    elif dispatch + 1 > S[0]:
+                        S[0] = dispatch + 1
+                elif dispatch + 1 > S[0]:
+                    S[0] = dispatch + 1
+                if dst >= 0:
+                    rr[dst] = complete
+                if dst2 >= 0:
+                    rr[dst2] = complete
+                S[9] += 1
+                rc = S[7]
+                if complete <= rc:
+                    if S[8] < width:
+                        S[8] += 1
+                        rv = rc
+                    else:
+                        rv = rc + 1
+                        S[7] = rv
+                        S[8] = 1
+                else:
+                    stalls[SC_BRANCH] += (
+                        (width - S[8]) / width + (complete - rc - 1)
+                    )
+                    S[7] = complete
+                    S[8] = 1
+                    rv = complete
+                ring[ix % window] = rv
+                S[10] = ix + 1
+
+        self._tcode[sidx] = tc
+        return tc
 
 
 def make_model(

@@ -77,6 +77,7 @@ from pathlib import Path
 from ..analyze import ANALYZER_VERSION
 from ..cpu.config import ProcessorConfig
 from ..mem.config import MemoryConfig
+from ..sim.engine import DEFAULT_ENGINE, ENGINES
 from ..trace import AuditError, JsonlSink, Tracer
 from ..workloads.base import Variant
 from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
@@ -211,6 +212,13 @@ def main(argv=None) -> int:
         "--no-lint", action="store_true",
         help="skip the pre-run static verification gate (repro.analyze); "
              "the escape hatch for deliberately-broken programs",
+    )
+    parser.add_argument(
+        "--engine", choices=sorted(ENGINES), default=None,
+        help="functional execution engine (default: $REPRO_ENGINE or "
+             f"'{DEFAULT_ENGINE}'); both engines produce byte-identical "
+             "results — 'scalar' is the slow reference implementation, "
+             "'vector' block-compiles and memoizes traces",
     )
     lint_group = parser.add_argument_group(
         "lint subcommand",
@@ -444,6 +452,7 @@ def main(argv=None) -> int:
         max_cycles=args.max_cycles,
         lint=not args.no_lint,
         lint_memo_dir=lint_memo_dir,
+        engine=args.engine,
         checkpoint_dir=checkpoint_dir,
         checkpoint_interval=max(1, args.checkpoint_interval),
         checkpoint_keep=max(1, args.checkpoint_keep),

@@ -406,6 +406,7 @@ def _simulate_point(
     checkpoint_dir=None,
     checkpoint_interval: int = 0,
     checkpoint_keep: int = 0,
+    engine: Optional[str] = None,
 ) -> Tuple[ExecutionStats, float, Optional[str]]:
     """Top-level (picklable) worker entry: simulate one point.
 
@@ -433,11 +434,12 @@ def _simulate_point(
             or cache.max_cycles != max_cycles
             or cache.lint != lint
             or cache.lint_memo_dir != lint_memo_dir
+            or cache.engine != engine
         ):
             cache = RunCache(
                 scale=point.scale, validate=validate, audit=audit,
                 max_steps=max_steps, max_cycles=max_cycles, lint=lint,
-                lint_memo_dir=lint_memo_dir,
+                lint_memo_dir=lint_memo_dir, engine=engine,
             )
             _WORKER_CACHES[cache_key] = cache
         session = _checkpoint_session(
@@ -538,6 +540,11 @@ class ParallelRunner:
     #: (the default) derives ``<cache.root>/analysis`` when a persistent
     #: cache is attached, so ``--no-cache`` also disables it
     lint_memo_dir: Optional[Path] = None
+    #: execution engine for every simulation (``scalar`` /
+    #: ``vector``; ``None`` = ``REPRO_ENGINE`` or the default).  Either
+    #: engine produces byte-identical stats, so the engine is *not*
+    #: part of the disk-cache key.
+    engine: Optional[str] = None
     #: cycle-level checkpoint snapshot root (``None`` = checkpointing
     #: off); one subdirectory per point, keyed by its content hash
     checkpoint_dir: Optional[Path] = None
@@ -578,6 +585,7 @@ class ParallelRunner:
         max_steps: Optional[int] = None,
         max_cycles: Optional[int] = None,
         lint: bool = True,
+        engine: Optional[str] = None,
         checkpoint_dir=None,
         checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
         checkpoint_keep: int = DEFAULT_CHECKPOINT_KEEP,
@@ -598,6 +606,7 @@ class ParallelRunner:
             max_steps=max_steps,
             max_cycles=max_cycles,
             lint=lint,
+            engine=engine,
             checkpoint_dir=(
                 Path(checkpoint_dir) if checkpoint_dir is not None else None
             ),
@@ -757,11 +766,13 @@ class ParallelRunner:
             or self._local.max_cycles != self.max_cycles
             or self._local.lint != self.lint
             or self._local.lint_memo_dir != self._memo_dir()
+            or self._local.engine != self.engine
         ):
             self._local = RunCache(
                 scale=self.scale, validate=self.validate, audit=self.audit,
                 max_steps=self.max_steps, max_cycles=self.max_cycles,
                 lint=self.lint, lint_memo_dir=self._memo_dir(),
+                engine=self.engine,
             )
         for key, indices in ordered:
             point = points[indices[0]]
@@ -924,7 +935,7 @@ class ParallelRunner:
                         self.audit, self.point_timeout, self.max_steps,
                         self.max_cycles, self.lint, self._memo_dir(),
                         self.checkpoint_dir, self.checkpoint_interval,
-                        self.checkpoint_keep,
+                        self.checkpoint_keep, self.engine,
                     )
                     inflight[future] = (key, indices, self._hard_deadline(now))
                 if not inflight:  # everything gated on backoff

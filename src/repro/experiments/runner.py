@@ -19,6 +19,7 @@ from ..cpu.pipeline import make_model
 from ..cpu.stats import ExecutionStats
 from ..mem.config import MemoryConfig
 from ..mem.system import MemorySystem
+from ..sim.engine import make_machine
 from ..sim.machine import Machine
 from ..sim.static_info import StaticProgramInfo
 from ..trace import AuditReport, Tracer, audit_run
@@ -40,6 +41,7 @@ def simulate_program(
     lint: bool = True,
     lint_memo_dir: Optional[Path] = None,
     checkpoint=None,
+    engine: Optional[str] = None,
 ) -> Tuple[ExecutionStats, Machine]:
     """Run one program through the functional machine + timing model.
 
@@ -72,10 +74,15 @@ def simulate_program(
     valid snapshot in the session directory (if any) and writes a new
     snapshot every ``checkpoint.interval`` simulated cycles.  Final
     stats are byte-identical to an unarmed run.
+
+    ``engine`` selects the execution engine for a machine built here
+    (``scalar`` / ``vector``; ``None`` = ``REPRO_ENGINE`` or the
+    default).  It is ignored when ``machine`` is passed in.  Either
+    engine produces byte-identical stats.
     """
     stats, machine, _report = _simulate(
         program, cpu_config, mem_config, benchmark, machine, tracer, audit,
-        max_steps, max_cycles, lint, lint_memo_dir, checkpoint,
+        max_steps, max_cycles, lint, lint_memo_dir, checkpoint, engine,
     )
     return stats, machine
 
@@ -98,6 +105,20 @@ def audited_simulate(
     return stats, report, machine
 
 
+def static_info(program) -> StaticProgramInfo:
+    """Per-program :class:`StaticProgramInfo`, cached on the program
+    object — it is pure static metadata, and one grid re-times each
+    built program under several processor configs."""
+    info = getattr(program, "_static_info_cache", None)
+    if info is None:
+        info = StaticProgramInfo(program)
+        try:
+            program._static_info_cache = info
+        except AttributeError:
+            pass
+    return info
+
+
 def _simulate(
     program,
     cpu_config: ProcessorConfig,
@@ -111,6 +132,7 @@ def _simulate(
     lint: bool = True,
     lint_memo_dir: Optional[Path] = None,
     checkpoint=None,
+    engine: Optional[str] = None,
 ) -> Tuple[ExecutionStats, Machine, Optional[AuditReport]]:
     if lint:
         # Pre-run gate: provably-wrong programs never reach the
@@ -118,9 +140,9 @@ def _simulate(
         # of one built program (an experiment grid) verify once; with a
         # memo dir the verdict additionally persists across processes.
         verify_program(program, memo_dir=lint_memo_dir)
-    machine = machine or Machine(program)
+    machine = machine or make_machine(program, engine)
     machine.reset()
-    info = StaticProgramInfo(program)
+    info = static_info(program)
     if tracer is None and audit:
         tracer = Tracer(info, cpu_config.issue_width)
     memory = MemorySystem(mem_config, tracer=tracer)
@@ -168,8 +190,15 @@ class RunCache:
     #: persistent digest-keyed gate-verdict memo (``None`` = off);
     #: the parallel runner points this at ``<simcache>/analysis/``
     lint_memo_dir: Optional[Path] = None
+    #: execution engine for the functional machine (``None`` = resolve
+    #: from ``REPRO_ENGINE`` / the default)
+    engine: Optional[str] = None
     _built: Dict[Tuple[str, Variant], BuiltWorkload] = field(default_factory=dict)
     _validated: Dict[Tuple[str, Variant], bool] = field(default_factory=dict)
+    #: one machine per built program, reused across processor configs —
+    #: the vector engine memoizes the functional trace on the machine,
+    #: so every re-timing after the first replays it for free
+    _machines: Dict[Tuple[str, Variant], Machine] = field(default_factory=dict)
 
     def built(self, name: str, variant: Variant) -> BuiltWorkload:
         key = (name, variant)
@@ -186,17 +215,20 @@ class RunCache:
         checkpoint=None,
     ) -> ExecutionStats:
         built = self.built(name, variant)
+        key = (name, variant)
         stats, machine = simulate_program(
             built.program, cpu_config, mem_config,
             benchmark=f"{name}[{variant.value}]",
+            machine=self._machines.get(key),
             audit=self.audit,
             max_steps=self.max_steps,
             max_cycles=self.max_cycles,
             lint=self.lint,
             lint_memo_dir=self.lint_memo_dir,
             checkpoint=checkpoint,
+            engine=self.engine,
         )
-        key = (name, variant)
+        self._machines[key] = machine
         if self.validate and not self._validated.get(key):
             built.validate(machine)
             self._validated[key] = True

@@ -36,7 +36,7 @@ LEVEL_L2 = 1
 LEVEL_MEM = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class _MshrEntry:
     line: int
     ready: int
@@ -83,8 +83,16 @@ class _CacheLevel:
             return None
         victim = None
         if len(cache_set) >= self.assoc:
-            victim_line = min(cache_set, key=lambda k: cache_set[k][0])
-            victim = (victim_line, bool(cache_set[victim_line][1]))
+            # LRU victim: min last_use (use_counter values are unique,
+            # so there is never a tie to break).
+            victim_line = -1
+            victim_use = victim_dirty = 0
+            for k, e in cache_set.items():
+                if victim_line < 0 or e[0] < victim_use:
+                    victim_line = k
+                    victim_use = e[0]
+                    victim_dirty = e[1]
+            victim = (victim_line, bool(victim_dirty))
             del cache_set[victim_line]
         cache_set[line] = [self.use_counter, 1 if dirty else 0]
         return victim
@@ -189,6 +197,15 @@ class MemorySystem:
         self._line_shift = config.line_size.bit_length() - 1
         if (1 << self._line_shift) != config.line_size:
             raise ValueError("line size must be a power of two")
+        # Hot-path scalars, read once: ``access`` runs per memory event.
+        self._l1_hit_cycles = config.l1_hit_cycles
+        self._l2_hit_cycles = config.l2_hit_cycles
+        self._combine_max = config.mshr_combine_max
+        self._l1_mshr_max = config.l1_mshrs
+        self._l2_mshr_max = config.l2_mshrs
+        self._nbanks = config.mem_banks
+        self._mem_latency = config.mem_latency_cycles
+        self._bank_busy = config.mem_bank_busy_cycles
         self.l1 = _CacheLevel(config.l1_sets, config.l1_assoc)
         self.l2 = _CacheLevel(config.l2_sets, config.l2_assoc)
         self._l1_ports = [0] * config.l1_ports
@@ -235,6 +252,51 @@ class MemorySystem:
 
         ``cycle`` is when the CPU presents the request to the L1.
         """
+        line = addr >> self._line_shift
+        l1 = self.l1
+        entry = l1.sets[line % l1.nsets].get(line)
+        if entry is not None:
+            # Fast path: line present with no in-flight fill — the
+            # overwhelmingly common case, so the port claim, prune, LRU
+            # touch and stats bumps are inlined.  Every state
+            # transition matches the general path below exactly: the
+            # port claim is computed without committing, an MSHR entry
+            # that the general path's prune would remove (ready <=
+            # start) does not count as pending, and on commit the same
+            # prune runs so later calls see an identical MSHR dict.
+            ports = self._l1_ports
+            best = 0
+            for i in range(1, len(ports)):
+                if ports[i] < ports[best]:
+                    best = i
+            free = ports[best]
+            start = cycle if free <= cycle else free
+            mshrs = self._l1_mshrs
+            pending = mshrs.get(line) if mshrs else None
+            if pending is None or pending.ready <= start:
+                ports[best] = start + 1
+                if mshrs:
+                    expired = [
+                        ln for ln, e in mshrs.items() if e.ready <= start
+                    ]
+                    for ln in expired:
+                        del mshrs[ln]
+                stats = self.stats
+                stats.l1_hits += 1
+                l1.use_counter += 1
+                entry[0] = l1.use_counter
+                if kind == A_LOAD:
+                    stats.loads += 1
+                    if self._prefetched_lines.pop(line, None) is False:
+                        stats.prefetch_useful += 1
+                elif kind == A_STORE:
+                    stats.stores += 1
+                    entry[1] = 1
+                else:
+                    stats.prefetches += 1
+                    stats.prefetch_redundant += 1
+                return start + self._l1_hit_cycles, LEVEL_L1
+
         stats = self.stats
         if kind == A_LOAD:
             stats.loads += 1
@@ -243,14 +305,24 @@ class MemorySystem:
         else:
             stats.prefetches += 1
 
-        line = addr >> self._line_shift
-        start = self._take_port(self._l1_ports, cycle)
-        self._prune(self._l1_mshrs, start)
+        # _take_port + _prune, inlined (this path runs per L1 miss).
+        ports = self._l1_ports
+        best = 0
+        for i in range(1, len(ports)):
+            if ports[i] < ports[best]:
+                best = i
+        start = cycle if ports[best] <= cycle else ports[best]
+        ports[best] = start + 1
+        mshrs = self._l1_mshrs
+        if mshrs:
+            done = [ln for ln, e in mshrs.items() if e.ready <= start]
+            for ln in done:
+                del mshrs[ln]
 
         # A line whose fill is still in flight is *not* yet present,
         # even though its tag is installed: such accesses combine into
         # the outstanding MSHR (or stall at the combine limit).
-        pending = self._l1_mshrs.get(line)
+        pending = mshrs.get(line)
         if pending is not None:
             if pending.from_prefetch and kind == A_LOAD:
                 stats.prefetch_late += 1
@@ -258,17 +330,17 @@ class MemorySystem:
                 pending.from_prefetch = False
             if kind == A_STORE:
                 self.l1.set_dirty(line)
-            if pending.combines < self.config.mshr_combine_max:
+            if pending.combines < self._combine_max:
                 pending.combines += 1
                 stats.mshr_combined += 1
                 done = pending.ready
-                if done < start + self.config.l1_hit_cycles:
-                    done = start + self.config.l1_hit_cycles
+                if done < start + self._l1_hit_cycles:
+                    done = start + self._l1_hit_cycles
                 return done, pending.level
             # Combine limit reached: the request waits for the fill and
             # then re-executes as a hit (Section 3.1's write backup).
             stats.combine_limit_stalls += 1
-            return pending.ready + self.config.l1_hit_cycles, pending.level
+            return pending.ready + self._l1_hit_cycles, pending.level
 
         if self.l1.lookup(line):
             stats.l1_hits += 1
@@ -278,19 +350,19 @@ class MemorySystem:
                 stats.prefetch_useful += 1
             if kind == A_PREFETCH:
                 stats.prefetch_redundant += 1
-            return start + self.config.l1_hit_cycles, LEVEL_L1
+            return start + self._l1_hit_cycles, LEVEL_L1
 
         # L1 miss path: allocate a fresh MSHR.
         stats.l1_misses += 1
 
         # Need a fresh L1 MSHR.
-        if len(self._l1_mshrs) >= self.config.l1_mshrs:
+        if len(mshrs) >= self._l1_mshr_max:
             stats.mshr_full_stalls += 1
-            free_at = min(entry.ready for entry in self._l1_mshrs.values())
+            free_at = min(entry.ready for entry in mshrs.values())
             start = free_at if free_at > start else start
-            self._prune(self._l1_mshrs, start)
+            self._prune(mshrs, start)
 
-        occupancy = len(self._l1_mshrs)
+        occupancy = len(mshrs)
         stats.mshr_occupancy[occupancy] = stats.mshr_occupancy.get(occupancy, 0) + 1
         if kind == A_LOAD:
             overlap = sum(
@@ -328,38 +400,49 @@ class MemorySystem:
         """L1-miss service: returns (fill-ready cycle at L1, level)."""
         stats = self.stats
         request = l1_miss_cycle + 1  # miss detection
-        start = self._take_port(self._l2_ports, request)
+        # _take_port + _prune, inlined (runs per L1 miss).
+        ports = self._l2_ports
+        best = 0
+        for i in range(1, len(ports)):
+            if ports[i] < ports[best]:
+                best = i
+        start = request if ports[best] <= request else ports[best]
+        ports[best] = start + 1
         queueing = start - request
-        self._prune(self._l2_mshrs, start)
+        mshrs = self._l2_mshrs
+        if mshrs:
+            done = [ln for ln, e in mshrs.items() if e.ready <= start]
+            for ln in done:
+                del mshrs[ln]
 
-        pending = self._l2_mshrs.get(line)
+        pending = mshrs.get(line)
         if pending is not None:
             # in-flight L2 fill: combine or stall, as at the L1
-            if pending.combines < self.config.mshr_combine_max:
+            if pending.combines < self._combine_max:
                 pending.combines += 1
-                ready = max(pending.ready, start + self.config.l2_hit_cycles)
+                ready = max(pending.ready, start + self._l2_hit_cycles)
                 return ready, LEVEL_MEM
-            return pending.ready + self.config.l2_hit_cycles, LEVEL_MEM
+            return pending.ready + self._l2_hit_cycles, LEVEL_MEM
 
         if self.l2.lookup(line):
             stats.l2_hits += 1
-            return start + self.config.l2_hit_cycles, LEVEL_L2
+            return start + self._l2_hit_cycles, LEVEL_L2
 
         stats.l2_misses += 1
-        if len(self._l2_mshrs) >= self.config.l2_mshrs:
-            free_at = min(entry.ready for entry in self._l2_mshrs.values())
+        if len(mshrs) >= self._l2_mshr_max:
+            free_at = min(entry.ready for entry in mshrs.values())
             start = free_at if free_at > start else start
-            self._prune(self._l2_mshrs, start)
+            self._prune(mshrs, start)
 
-        bank = line % self.config.mem_banks
+        bank = line % self._nbanks
         bank_start = max(start, self._banks[bank])
-        self._banks[bank] = bank_start + self.config.mem_bank_busy_cycles
+        self._banks[bank] = bank_start + self._bank_busy
         bank_queueing = bank_start - start
         # Total uncontended latency is mem_latency_cycles from the L1
         # miss; contention at the L2 port and the bank adds on top.
         ready = (
             l1_miss_cycle
-            + self.config.mem_latency_cycles
+            + self._mem_latency
             + queueing
             + bank_queueing
         )
@@ -383,9 +466,9 @@ class MemorySystem:
     def _writeback_to_memory(self, line: int, cycle: int) -> None:
         """Dirty eviction from L2: occupies a memory bank."""
         self.stats.writebacks += 1
-        bank = line % self.config.mem_banks
+        bank = line % self._nbanks
         start = max(cycle, self._banks[bank])
-        self._banks[bank] = start + self.config.mem_bank_busy_cycles
+        self._banks[bank] = start + self._bank_busy
 
     # -- checkpoint/restore -----------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""Execution-engine selection.
+
+Two functionally-identical engines exist:
+
+``scalar``
+    :class:`repro.sim.machine.Machine` — one closure per dynamic
+    instruction.  The reference implementation; always correct, never
+    caches traces, supports mid-run snapshots unconditionally.
+
+``vector``
+    :class:`repro.sim.vector.VectorMachine` — block-compiled straight
+    line execution, structure-of-arrays chunks, and trace memoization.
+    Byte-identical results (enforced by
+    ``tests/test_engine_differential.py``); the default.
+
+Resolution order: explicit argument > ``REPRO_ENGINE`` environment
+variable > ``DEFAULT_ENGINE``.  The engine changes *how fast* a point
+simulates, never *what* it produces, so it is deliberately excluded
+from disk-cache keys and checkpoint identity metadata — artifacts
+produced under either engine are interchangeable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .machine import Machine
+from .vector import VectorMachine
+
+DEFAULT_ENGINE = "vector"
+
+ENGINES = {
+    "scalar": Machine,
+    "vector": VectorMachine,
+}
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Resolve an engine name (argument > env > default), validated."""
+    name = engine or os.environ.get("REPRO_ENGINE") or DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {sorted(ENGINES)}"
+        )
+    return name
+
+
+def make_machine(
+    program, engine: Optional[str] = None, extra_memory: int = 0
+) -> Machine:
+    """Instantiate the selected engine's machine for ``program``."""
+    return ENGINES[resolve_engine(engine)](program, extra_memory)

@@ -74,11 +74,19 @@ class Machine:
         self.run_pc = 0
         self.run_executed = 0
         self._events: List[Event] = []
-        self._code = [
-            self._decode(instr, idx)
-            for idx, instr in enumerate(program.instructions)
-        ]
+        self._code = self._build_code()
         self.reset()
+
+    def _build_code(self) -> List:
+        """Compile the whole program to next-PC closures (eager).
+
+        :class:`repro.sim.vector.VectorMachine` overrides this with a
+        lazy per-instruction variant so cold code never pays decode.
+        """
+        return [
+            self._decode(instr, idx)
+            for idx, instr in enumerate(self.program.instructions)
+        ]
 
     # -- state management ------------------------------------------------------
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from ..asm.program import Program
 from ..isa.opcodes import Category, OpClass, spec
 
@@ -111,6 +113,11 @@ class StaticProgramInfo:
                 self.kind[i] = K_SIMPLE
             if op.is_memory:
                 self.size[i] = _access_size(instr.op)
+
+        # numpy columns for the vector engine's per-chunk aggregates
+        # (VectorChunk.aggregates): fancy-indexed by dynamic sidx.
+        self.kind_arr = np.array(self.kind, dtype=np.int8)
+        self.category_arr = np.array(self.category, dtype=np.int8)
 
     def __len__(self) -> int:
         return len(self.kind)

@@ -37,6 +37,19 @@ def pytest_configure(config):
             "Re-run serially, e.g. "
             "`pytest tests/test_golden_figures.py --regen-golden`."
         )
+
+    from repro.sim.engine import resolve_engine
+
+    if resolve_engine() == "scalar":
+        raise pytest.UsageError(
+            "--regen-golden refuses to run with the scalar engine "
+            "selected (REPRO_ENGINE=scalar): goldens are engine-"
+            "independent by construction, and regenerating them under "
+            "the reference engine would let a vector-engine divergence "
+            "slip into the fixtures unnoticed. Unset REPRO_ENGINE and "
+            "re-run; the differential suite is the place where the "
+            "engines are compared."
+        )
     config._regenerated_goldens = []
 
 

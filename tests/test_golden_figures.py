@@ -146,6 +146,27 @@ class TestRegenGoldenGuard:
         from tests.conftest import pytest_configure
 
         monkeypatch.delenv("PYTEST_XDIST_WORKER", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        config = self._config()
+        pytest_configure(config)  # no raise
+        assert config._regenerated_goldens == []
+
+    def test_refuses_scalar_engine_override(self, monkeypatch):
+        """Goldens are engine-independent by construction; regenerating
+        them under the scalar reference engine could bake in a vector
+        divergence, so the override is refused."""
+        from tests.conftest import pytest_configure
+
+        monkeypatch.delenv("PYTEST_XDIST_WORKER", raising=False)
+        monkeypatch.setenv("REPRO_ENGINE", "scalar")
+        with pytest.raises(pytest.UsageError, match="scalar"):
+            pytest_configure(self._config())
+
+    def test_allows_explicit_vector_engine(self, monkeypatch):
+        from tests.conftest import pytest_configure
+
+        monkeypatch.delenv("PYTEST_XDIST_WORKER", raising=False)
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
         config = self._config()
         pytest_configure(config)  # no raise
         assert config._regenerated_goldens == []
