@@ -1,0 +1,190 @@
+"""Serving-layer load benchmark: throughput under coalescing pressure.
+
+Reuses the load harness from ``tests/test_serve_load.py`` (rotating
+3-point windows over a 6-point tiny pool, pipelined over a bounded
+number of connections) and times three phases against an in-process
+:class:`~repro.serve.server.BatchServer`:
+
+* **cold** — the first wave of requests: every unique point is a miss,
+  so the figure of merit is how well coalescing collapses N requests
+  onto 6 simulations (reported as ``coalesce_ratio``);
+* **warm** — the same wave again: everything is a cache hit, so this
+  is pure protocol + event-loop throughput (requests/s);
+* **mixed** — a larger wave with priority lanes sprinkled in, the
+  closest thing to the steady-state traffic shape.
+
+Every phase re-asserts the load-test invariants (byte-identical
+results, counters add up, zero duplicate simulations) — a benchmark
+that quietly serves wrong bytes measures nothing.
+
+Writes ``BENCH_SERVE_<date>.json`` next to this file (or ``--out``).
+``--check BASELINE.json`` fails (exit 1) if warm throughput regressed
+more than ``--tolerance`` (default 0.30) against the baseline, or if
+any invariant broke.  Used by the CI serve smoke job at a reduced
+request count.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --requests 1000 --connections 50
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --check benchmarks/BENCH_SERVE_2026-08-09.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime as _dt
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent))  # tests/ (harness reuse)
+
+from tests.test_serve_load import (  # noqa: E402
+    POINT_POOL,
+    POINTS_PER_REQUEST,
+    check_invariants,
+    run_load,
+    serial_references,
+)
+
+SCHEMA = 1
+
+
+def bench_phase(cache_dir, requests: int, connections: int, workers: int,
+                references, priority_mix: bool,
+                expected_simulated: int = None) -> dict:
+    start = time.perf_counter()
+    server, outcomes = asyncio.run(
+        run_load(
+            cache_dir,
+            total_requests=requests,
+            connections=connections,
+            workers=workers,
+            priority_mix=priority_mix,
+        )
+    )
+    elapsed = time.perf_counter() - start
+    check_invariants(server, outcomes, requests, references,
+                     expected_simulated=expected_simulated)
+    stats = server.stats
+    return {
+        "requests": requests,
+        "connections": connections,
+        "points": requests * POINTS_PER_REQUEST,
+        "elapsed_s": round(elapsed, 4),
+        "requests_per_s": round(requests / elapsed, 2),
+        "points_per_s": round(requests * POINTS_PER_REQUEST / elapsed, 2),
+        "simulated": stats.simulated,
+        "coalesced": stats.coalesced,
+        "cache_hits": stats.cache_hits,
+        "coalesce_ratio": round(
+            (stats.coalesced + stats.cache_hits)
+            / max(1, requests * POINTS_PER_REQUEST),
+            4,
+        ),
+    }
+
+
+def run_benchmark(args) -> dict:
+    references = serial_references()
+    base = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    # cold + warm share one cache directory; mixed gets a fresh one so
+    # its cold fraction is reproducible
+    phases = {}
+    phases["cold"] = bench_phase(
+        base / "a", args.requests, args.connections, args.workers,
+        references, priority_mix=False,
+    )
+    phases["warm"] = bench_phase(
+        base / "a", args.requests, args.connections, args.workers,
+        references, priority_mix=False, expected_simulated=0,
+    )
+    phases["mixed"] = bench_phase(
+        base / "b", args.requests, args.connections, args.workers,
+        references, priority_mix=True,
+    )
+    return {
+        "schema": SCHEMA,
+        "date": _dt.date.today().isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "pool_points": len(POINT_POOL),
+        "points_per_request": POINTS_PER_REQUEST,
+        "workers": args.workers,
+        "phases": phases,
+    }
+
+
+def check_against(result: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures = []
+    for phase in ("warm", "mixed"):
+        base_rps = baseline["phases"][phase]["requests_per_s"]
+        now_rps = result["phases"][phase]["requests_per_s"]
+        floor = base_rps * (1.0 - tolerance)
+        line = (
+            f"{phase}: {now_rps:.1f} req/s vs baseline {base_rps:.1f} "
+            f"(floor {floor:.1f})"
+        )
+        if now_rps < floor:
+            failures.append(line)
+            print(f"REGRESSED  {line}")
+        else:
+            print(f"ok         {line}")
+    if failures:
+        print(f"\n{len(failures)} throughput regression(s) beyond "
+              f"{tolerance:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1000,
+                        help="concurrent requests per phase (default 1000)")
+    parser.add_argument("--connections", type=int, default=50,
+                        help="pipelined client connections (default 50)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server worker processes (default 2)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="result directory (default: benchmarks/)")
+    parser.add_argument("--check", default=None, metavar="BASELINE.json",
+                        help="compare against a baseline instead of "
+                             "writing a new trajectory file")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed warm/mixed throughput regression "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    for name, phase in result["phases"].items():
+        print(
+            f"{name:>6}: {phase['requests_per_s']:>8.1f} req/s  "
+            f"({phase['points_per_s']:.0f} points/s, "
+            f"simulated={phase['simulated']}, "
+            f"coalesce_ratio={phase['coalesce_ratio']:.2%})"
+        )
+
+    if args.check:
+        return check_against(result, Path(args.check), args.tolerance)
+
+    out_dir = Path(args.out) if args.out else HERE
+    out_path = out_dir / f"BENCH_SERVE_{result['date']}.json"
+    out_path.write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

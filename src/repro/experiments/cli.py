@@ -167,7 +167,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace",
-                                       "lint", "cache"],
+                                       "lint", "cache", "serve"],
     )
     parser.add_argument(
         "verb", nargs="?", default=None,
@@ -335,6 +335,37 @@ def main(argv=None) -> int:
         help="newest quarantined files retained "
              f"(default: {DEFAULT_GC_MAX_QUARANTINE})",
     )
+    serve_group = parser.add_argument_group(
+        "serve subcommand",
+        "run the simulation service: an asyncio batch API that dedupes "
+        "requests against the simcache, coalesces identical in-flight "
+        "work, and schedules misses on a preemptible worker fleet "
+        "(EXPERIMENTS.md, 'Serving')",
+    )
+    serve_group.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1 — a local trusted service)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=0, metavar="N",
+        help="bind port (default: 0 = ephemeral; the bound port is "
+             "printed on the ready line)",
+    )
+    serve_group.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="serve a unix socket at PATH instead of TCP",
+    )
+    serve_group.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="bound on not-yet-completed miss points; requests whose "
+             "new misses do not fit are rejected with a 'busy' reply "
+             "(default: 256)",
+    )
+    serve_group.add_argument(
+        "--grace", type=float, default=None, metavar="SECONDS",
+        help="graceful-shutdown drain window before in-flight points "
+             "are preempted to their newest snapshots (default: 5)",
+    )
     trace_group = parser.add_argument_group(
         "trace subcommand",
         "record a per-cycle JSONL trace of one benchmark and/or render "
@@ -382,6 +413,9 @@ def main(argv=None) -> int:
     if args.experiment == "params":
         _print_params()
         return 0
+
+    if args.experiment == "serve":
+        return _run_serve(args)
 
     scale = SCALES[args.scale]
     if args.experiment == "lint":
@@ -552,6 +586,81 @@ def _run_gc(args) -> int:
         max_quarantine=max(0, args.gc_max_quarantine),
     )
     print(report.summary())
+    return 0
+
+
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: run the simulation service until
+    SIGTERM/SIGINT (or a client ``shutdown`` request).
+
+    Prints one machine-readable ready line to stdout once the socket
+    is bound and the worker fleet is warm::
+
+        SERVE ready pid=12345 addr=127.0.0.1:43117 cache=results/simcache
+
+    so scripts (and the CI smoke job) can wait for it and parse the
+    ephemeral port.  Shutdown is graceful: in-flight points get
+    ``--grace`` seconds to finish, then are preempted — their newest
+    cycle-level snapshots survive, and a restarted server resumes them
+    mid-point when re-requested.
+    """
+    import asyncio
+    import signal
+
+    from ..serve.server import (
+        DEFAULT_GRACE_S,
+        DEFAULT_QUEUE_LIMIT,
+        DEFAULT_SERVE_CHECKPOINT_INTERVAL,
+        DEFAULT_WORKERS,
+        BatchServer,
+        ServeConfig,
+    )
+
+    cache_dir = Path(
+        args.cache_dir or (Path(args.out) / DEFAULT_CACHE_DIRNAME)
+    )
+    # the batch default snapshots every 10M cycles; a service optimizes
+    # for cheap preemption, so an untouched --checkpoint-interval means
+    # the (much tighter) serve default
+    interval = args.checkpoint_interval
+    if interval == DEFAULT_CHECKPOINT_INTERVAL:
+        interval = DEFAULT_SERVE_CHECKPOINT_INTERVAL
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        cache_dir=None if args.no_cache else cache_dir,
+        workers=args.jobs if args.jobs is not None else DEFAULT_WORKERS,
+        queue_limit=(
+            args.queue_limit if args.queue_limit is not None
+            else DEFAULT_QUEUE_LIMIT
+        ),
+        grace_s=args.grace if args.grace is not None else DEFAULT_GRACE_S,
+        point_timeout=args.point_timeout,
+        max_retries=max(0, args.max_retries),
+        checkpoint=not args.no_checkpoint,
+        checkpoint_interval=interval,
+        checkpoint_keep=args.checkpoint_keep,
+        validate=not args.no_validate,
+        lint=not args.no_lint,
+        engine=args.engine,
+    )
+
+    async def _serve() -> None:
+        server = BatchServer(config)
+        host, port = await server.start()
+        addr = host if port == -1 else f"{host}:{port}"
+        print(
+            f"SERVE ready pid={os.getpid()} addr={addr} "
+            f"cache={cache_dir if not args.no_cache else 'disabled'}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, server.request_shutdown)
+        await server.wait_stopped()
+
+    asyncio.run(_serve())
     return 0
 
 

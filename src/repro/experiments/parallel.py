@@ -108,6 +108,17 @@ ANALYSIS_MEMO_DIRNAME = "analysis"
 #: :mod:`repro.checkpoint`)
 CHECKPOINT_DIRNAME = "checkpoints"
 
+#: Subdirectory (inside the cache root) holding cross-process fill
+#: claims (advisory O_EXCL lock files, one per in-flight cache key)
+FILL_LOCKS_DIRNAME = "locks"
+
+#: Age past which an orphaned fill claim (its holder was SIGKILLed
+#: before releasing) is considered stale and broken by the next
+#: claimant.  Generous: a legitimate fill of a full-scale point can
+#: run for minutes, and breaking a *live* claim only costs a duplicate
+#: computation, never a torn record (writes stay atomic either way).
+DEFAULT_FILL_STALE_S = 600.0
+
 
 # ---------------------------------------------------------------------------
 # Simulation points
@@ -197,6 +208,10 @@ class DiskCache:
         self.quarantined = 0
         #: store() calls that could not persist their record
         self.write_errors = 0
+        #: cross-process fill claims taken by this process
+        self.claims = 0
+        #: orphaned fill claims broken (holder died without releasing)
+        self.stale_claims_broken = 0
         #: the cache directory could not be prepared; loads still work
         #: if records exist, stores are logged no-ops
         self.read_only = False
@@ -357,8 +372,163 @@ class DiskCache:
                 pass
             raise
 
+    # -- cross-process fill claims ------------------------------------------
+
+    def lock_path(self, key: str) -> Path:
+        return self.root / FILL_LOCKS_DIRNAME / f"{key}.lock"
+
+    def try_claim(
+        self, key: str, stale_after: float = DEFAULT_FILL_STALE_S
+    ) -> Optional["FillClaim"]:
+        """Try to claim the *fill* of ``key`` across processes.
+
+        Returns a :class:`FillClaim` (release it, ideally via ``with``)
+        when this process won the O_EXCL race and should compute the
+        point, or ``None`` when another live process already holds the
+        claim — the caller should then poll :meth:`load` until the
+        record appears (or the claim goes stale and a retry wins).
+
+        The claim is *advisory*: it exists so two servers/workers
+        racing the same key do not compute it twice.  It is never
+        required for safety — record writes stay atomic and
+        checksummed with or without it — so every failure mode degrades
+        to "compute anyway":
+
+        * an unwritable cache (read-only results dir) returns an
+          unbacked claim, so the caller still proceeds;
+        * a claim older than ``stale_after`` (its holder was SIGKILLed
+          mid-fill) is broken and re-taken by the next claimant.
+        """
+        lock = self.lock_path(key)
+        try:
+            lock.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return FillClaim(self, key, path=None)  # degraded: no locking
+        payload = json.dumps({"pid": os.getpid(), "time": time.time()})
+        for _attempt in (1, 2):
+            try:
+                fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if (
+                    self.claim_age(key) > stale_after
+                    or self.claim_holder_dead(key)
+                ):
+                    self.stale_claims_broken += 1
+                    log.warning(
+                        "breaking stale fill claim for %s "
+                        "(older than %gs, or holder dead)",
+                        key[:16], stale_after,
+                    )
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue  # one more O_EXCL attempt
+                return None
+            except OSError:
+                return FillClaim(self, key, path=None)  # degraded: no locking
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+            self.claims += 1
+            return FillClaim(self, key, path=lock)
+        return None  # lost the post-stale-break re-race
+
+    def claim_age(self, key: str) -> float:
+        """Seconds since the current claim on ``key`` was taken
+        (``-1.0`` when no claim exists)."""
+        try:
+            return max(0.0, time.time() - self.lock_path(key).stat().st_mtime)
+        except OSError:
+            return -1.0
+
+    def claim_holder_dead(self, key: str) -> bool:
+        """``True`` when the claim on ``key`` names a pid that provably
+        no longer exists on this host (its holder was SIGKILLed without
+        releasing).  Conservative: any doubt — unreadable payload,
+        foreign-looking pid, permission error — reads as *alive*, so a
+        live fill is never hijacked; the age-based stale break still
+        backstops those cases."""
+        try:
+            payload = json.loads(
+                self.lock_path(key).read_text(encoding="utf-8")
+            )
+            pid = int(payload["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+        if pid <= 0 or pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            pass  # e.g. EPERM: alive but not ours
+        return False
+
+    def release_claim(self, key: str) -> None:
+        try:
+            os.unlink(self.lock_path(key))
+        except OSError:
+            pass
+
+    def wait_for(
+        self,
+        key: str,
+        timeout: float = DEFAULT_FILL_STALE_S,
+        poll_interval: float = 0.05,
+        stale_after: float = DEFAULT_FILL_STALE_S,
+    ) -> Optional[ExecutionStats]:
+        """Block until another process's in-flight fill of ``key``
+        lands, then return it — or ``None`` when the claim disappears
+        or goes stale without a record (the caller should claim and
+        compute).  Purely a convenience for synchronous callers; the
+        asyncio server implements the same loop non-blockingly."""
+        deadline = time.monotonic() + timeout
+        while True:
+            stats = self.load(key)
+            if stats is not None:
+                return stats
+            age = self.claim_age(key)
+            if age < 0 or age > stale_after or self.claim_holder_dead(key):
+                return None  # released without a record, stale, or dead
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_interval)
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
+
+
+class FillClaim:
+    """RAII handle for one cross-process cache-fill claim.
+
+    ``path`` is ``None`` for a *degraded* claim — the lock directory
+    was unwritable, so no exclusion is provided but the caller still
+    proceeds (liveness over dedup, mirroring the cache's own
+    read-only degradation)."""
+
+    def __init__(self, cache: DiskCache, key: str, path: Optional[Path]):
+        self.cache = cache
+        self.key = key
+        self.path = path
+        self.released = False
+
+    @property
+    def degraded(self) -> bool:
+        return self.path is None
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        if self.path is not None:
+            self.cache.release_claim(self.key)
+
+    def __enter__(self) -> "FillClaim":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""Simulation-as-a-service: asyncio batch API over the simcache.
+
+Turns the single-process batch stack into a shared local service:
+many concurrent clients submit SimPoint grids or figure requests over
+a socket; the server dedupes against the content-addressed simcache,
+coalesces identical in-flight work, schedules misses on a preemptible
+(checkpointing) worker fleet, and streams JSONL results back.
+
+* :mod:`repro.serve.protocol` — the wire protocol (JSONL messages,
+  point specs, error codes)
+* :mod:`repro.serve.server` — :class:`BatchServer` + :class:`ServeConfig`
+* :mod:`repro.serve.client` — :class:`ServeClient` library and the
+  scripted ``python -m repro.serve.client`` CLI
+"""
+
+from .protocol import (
+    LANES,
+    PROTOCOL_VERSION,
+    SOURCE_CACHE,
+    SOURCE_COALESCED,
+    SOURCE_SIMULATED,
+    ProtocolError,
+    point_from_wire,
+    point_to_wire,
+)
+from .server import (
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_SERVE_CHECKPOINT_INTERVAL,
+    DEFAULT_WORKERS,
+    STATUS_PREEMPTED,
+    BatchServer,
+    ServeConfig,
+    ServeStats,
+)
+_CLIENT_EXPORTS = (
+    "FigureOutcome",
+    "ServeBusy",
+    "ServeClient",
+    "ServeConnectionError",
+    "SubmitOutcome",
+)
+
+
+def __getattr__(name):
+    # lazy so `python -m repro.serve.client` doesn't import the module
+    # twice (package init + runpy) and warn
+    if name in _CLIENT_EXPORTS:
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BatchServer",
+    "ServeConfig",
+    "ServeStats",
+    "ServeClient",
+    "ServeBusy",
+    "ServeConnectionError",
+    "SubmitOutcome",
+    "FigureOutcome",
+    "ProtocolError",
+    "point_from_wire",
+    "point_to_wire",
+    "PROTOCOL_VERSION",
+    "LANES",
+    "SOURCE_CACHE",
+    "SOURCE_COALESCED",
+    "SOURCE_SIMULATED",
+    "STATUS_PREEMPTED",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_SERVE_CHECKPOINT_INTERVAL",
+    "DEFAULT_WORKERS",
+]

@@ -1,0 +1,520 @@
+"""Client for the simulation service: library + scripted CLI.
+
+The library half (:class:`ServeClient`) is a thin asyncio wrapper over
+the JSONL protocol: one connection, a background reader task that
+routes incoming messages to their request by ``id``, and coroutine
+helpers for each request type.  Requests pipeline freely — hundreds may
+be in flight on one connection, which is how the load tests reach
+thousands of concurrent requests without thousands of sockets.
+
+The CLI half (``python -m repro.serve.client``) is the scripted client
+the CI smoke job and EXPERIMENTS.md workflows use::
+
+    python -m repro.serve.client --port 7421 submit \
+        --benchmarks addition,thresh --variants scalar,vis \
+        --scale tiny --repeat 3 \
+        --expect simulated=4 --expect coalesced=8
+
+Exit codes: 0 success; 1 at least one point failed; 4 an ``--expect``
+assertion failed; 7 transport trouble (connection refused, rejected
+busy after retries, torn stream).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .protocol import (
+    LANES,
+    MAX_LINE_BYTES,
+    NAMED_CONFIGS,
+    NAMED_SCALES,
+    decode,
+    encode,
+)
+
+EXIT_OK = 0
+EXIT_POINT_FAILED = 1
+EXIT_EXPECT_FAILED = 4
+EXIT_TRANSPORT = 7
+
+#: sentinel queued to every pending request when the connection drops
+_CLOSED = object()
+
+
+class ServeConnectionError(ConnectionError):
+    """The server connection failed or tore mid-request."""
+
+
+class ServeBusy(RuntimeError):
+    """The server rejected the request (admission control) and retries
+    were exhausted (or disabled)."""
+
+    def __init__(self, queue_depth: int, limit: int) -> None:
+        super().__init__(f"server busy (queue {queue_depth}/{limit})")
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything a ``submit`` request produced."""
+
+    rid: str
+    ok: int = 0
+    failed: int = 0
+    lane: str = "normal"
+    sources: Dict[str, int] = field(default_factory=dict)
+    #: per-index stats dicts (None where the point failed)
+    results: List[Optional[Dict]] = field(default_factory=list)
+    #: per-index failure dicts (None where the point succeeded)
+    failures: List[Optional[Dict]] = field(default_factory=list)
+    #: per-index resolution source (cache / coalesced / simulated)
+    point_sources: List[Optional[str]] = field(default_factory=list)
+    progress: List[Dict] = field(default_factory=list)
+    server: Dict = field(default_factory=dict)
+
+
+@dataclass
+class FigureOutcome:
+    rid: str
+    figure: str = ""
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    ok: int = 0
+    failed: int = 0
+    sources: Dict[str, int] = field(default_factory=dict)
+    server: Dict = field(default_factory=dict)
+
+
+class ServeClient:
+    """One pipelined connection to a :class:`~repro.serve.server.
+    BatchServer`.  Use as an async context manager::
+
+        async with ServeClient(port=7421) as client:
+            outcome = await client.submit(points)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        retry_busy: int = 0,
+        retry_backoff_s: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.retry_busy = retry_busy
+        self.retry_backoff_s = retry_backoff_s
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+
+    async def __aenter__(self) -> "ServeClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        try:
+            if self.unix_path:
+                self._reader, self._writer = await asyncio.open_unix_connection(
+                    self.unix_path, limit=MAX_LINE_BYTES
+                )
+            else:
+                if self.port is None:
+                    raise ValueError("port (or unix_path) is required")
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+        except OSError as exc:
+            raise ServeConnectionError(f"cannot connect: {exc}") from None
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:
+                pass
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = decode(line)
+                rid = message.get("id")
+                queue = self._queues.get(rid)
+                if queue is not None:
+                    queue.put_nowait(message)
+                # messages for unknown/finished ids (e.g. a global
+                # error with id null) are dropped; the transport-level
+                # sentinel below covers torn connections
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
+        finally:
+            for queue in self._queues.values():
+                queue.put_nowait(_CLOSED)
+
+    async def _send(self, message: Dict) -> None:
+        if self._writer is None:
+            raise ServeConnectionError("not connected")
+        try:
+            async with self._write_lock:
+                self._writer.write(encode(message))
+                await self._writer.drain()
+        except (ConnectionError, RuntimeError) as exc:
+            raise ServeConnectionError(f"send failed: {exc}") from None
+
+    def _new_request(self) -> Tuple[str, asyncio.Queue]:
+        rid = f"r{next(self._ids)}"
+        queue: asyncio.Queue = asyncio.Queue()
+        self._queues[rid] = queue
+        return rid, queue
+
+    async def _next(self, queue: asyncio.Queue) -> Dict:
+        message = await queue.get()
+        if message is _CLOSED:
+            raise ServeConnectionError("connection closed mid-request")
+        if message.get("type") == "error":
+            raise RuntimeError(
+                f"server error [{message.get('code')}]: "
+                f"{message.get('message')}"
+            )
+        return message
+
+    # -- request types ------------------------------------------------------
+
+    async def submit(
+        self,
+        points: Sequence[Dict],
+        priority: str = "normal",
+        progress: bool = False,
+    ) -> SubmitOutcome:
+        """Submit a grid of point specs; returns when every point is
+        resolved.  Retries ``busy`` rejections ``retry_busy`` times
+        with backoff, then raises :class:`ServeBusy`."""
+        attempt = 0
+        while True:
+            try:
+                return await self._submit_once(points, priority, progress)
+            except ServeBusy:
+                attempt += 1
+                if attempt > self.retry_busy:
+                    raise
+                await asyncio.sleep(self.retry_backoff_s * attempt)
+
+    async def _submit_once(
+        self, points: Sequence[Dict], priority: str, progress: bool
+    ) -> SubmitOutcome:
+        rid, queue = self._new_request()
+        try:
+            await self._send({
+                "type": "submit", "id": rid, "points": list(points),
+                "priority": priority, "progress": progress,
+            })
+            outcome = SubmitOutcome(rid=rid)
+            n = len(points)
+            outcome.results = [None] * n
+            outcome.failures = [None] * n
+            outcome.point_sources = [None] * n
+            while True:
+                message = await self._next(queue)
+                mtype = message["type"]
+                if mtype == "busy":
+                    raise ServeBusy(
+                        message.get("queue_depth", -1),
+                        message.get("limit", -1),
+                    )
+                if mtype == "ack":
+                    outcome.lane = message.get("lane", priority)
+                elif mtype == "result":
+                    index = message["index"]
+                    outcome.results[index] = message["stats"]
+                    outcome.point_sources[index] = message["source"]
+                elif mtype == "point_failed":
+                    index = message["index"]
+                    outcome.failures[index] = message["failure"]
+                elif mtype == "progress":
+                    outcome.progress.append(message)
+                elif mtype == "done":
+                    outcome.ok = message["ok"]
+                    outcome.failed = message["failed"]
+                    outcome.sources = message.get("sources", {})
+                    outcome.server = message.get("server", {})
+                    return outcome
+        finally:
+            self._queues.pop(rid, None)
+
+    async def figure(
+        self,
+        name: str,
+        scale: Optional[str] = None,
+        benchmarks: Optional[Sequence[str]] = None,
+        priority: str = "normal",
+    ) -> FigureOutcome:
+        rid, queue = self._new_request()
+        try:
+            message: Dict = {"type": "figure", "id": rid, "figure": name,
+                             "priority": priority}
+            if scale is not None:
+                message["scale"] = scale
+            if benchmarks is not None:
+                message["benchmarks"] = list(benchmarks)
+            await self._send(message)
+            outcome = FigureOutcome(rid=rid, figure=name)
+            while True:
+                reply = await self._next(queue)
+                mtype = reply["type"]
+                if mtype == "busy":
+                    raise ServeBusy(
+                        reply.get("queue_depth", -1), reply.get("limit", -1)
+                    )
+                if mtype == "table":
+                    outcome.headers = reply["headers"]
+                    outcome.rows = reply["rows"]
+                elif mtype == "done":
+                    outcome.ok = reply["ok"]
+                    outcome.failed = reply["failed"]
+                    outcome.sources = reply.get("sources", {})
+                    outcome.server = reply.get("server", {})
+                    return outcome
+        finally:
+            self._queues.pop(rid, None)
+
+    async def stats(self) -> Dict:
+        rid, queue = self._new_request()
+        try:
+            await self._send({"type": "stats", "id": rid})
+            return (await self._next(queue))["server"]
+        finally:
+            self._queues.pop(rid, None)
+
+    async def ping(self) -> bool:
+        rid, queue = self._new_request()
+        try:
+            await self._send({"type": "ping", "id": rid})
+            return (await self._next(queue))["type"] == "pong"
+        finally:
+            self._queues.pop(rid, None)
+
+    async def shutdown(self) -> None:
+        rid, queue = self._new_request()
+        try:
+            await self._send({"type": "shutdown", "id": rid})
+            await self._next(queue)  # bye
+        finally:
+            self._queues.pop(rid, None)
+
+
+# ---------------------------------------------------------------------------
+# Scripted CLI
+# ---------------------------------------------------------------------------
+
+
+def _build_points(args) -> List[Dict]:
+    benchmarks = [b for b in args.benchmarks.split(",") if b]
+    variants = [v for v in args.variants.split(",") if v]
+    configs = [c for c in args.configs.split(",") if c]
+    return [
+        {"benchmark": b, "variant": v, "cpu": c, "scale": args.scale}
+        for b in benchmarks for v in variants for c in configs
+    ]
+
+
+def _parse_expects(pairs: List[str]) -> Dict[str, int]:
+    expects = {}
+    for pair in pairs or []:
+        key, _, value = pair.partition("=")
+        try:
+            expects[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"--expect wants key=int, got {pair!r}")
+    return expects
+
+
+def _check_expects(expects: Dict[str, int], tallies: Dict[str, int]) -> int:
+    status = EXIT_OK
+    for key, want in sorted(expects.items()):
+        got = tallies.get(key, 0)
+        if got != want:
+            print(f"EXPECT FAILED: {key}: want {want}, got {got}",
+                  file=sys.stderr)
+            status = EXIT_EXPECT_FAILED
+        else:
+            print(f"expect ok: {key}={got}")
+    return status
+
+
+async def _run_submit(args) -> int:
+    points = _build_points(args)
+    if not points:
+        raise SystemExit("empty grid: check --benchmarks/--variants/--configs")
+    async with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix,
+        retry_busy=args.retry_busy,
+    ) as client:
+        outcomes = await asyncio.gather(*[
+            client.submit(points, priority=args.priority,
+                          progress=args.progress)
+            for _ in range(args.repeat)
+        ])
+    tallies: Dict[str, int] = {}
+    failed = 0
+    for outcome in outcomes:
+        failed += outcome.failed
+        tallies["ok"] = tallies.get("ok", 0) + outcome.ok
+        for key, count in outcome.sources.items():
+            tallies[key] = tallies.get(key, 0) + count
+    print(
+        f"submitted {args.repeat} x {len(points)} points: "
+        + json.dumps(tallies, sort_keys=True)
+    )
+    if args.json:
+        print(json.dumps(
+            [o.results for o in outcomes], sort_keys=True
+        ))
+    status = _check_expects(_parse_expects(args.expect), tallies)
+    if failed and status == EXIT_OK:
+        for outcome in outcomes:
+            for failure in outcome.failures:
+                if failure:
+                    print(f"point failed: {failure.get('label')}: "
+                          f"{failure.get('status')}", file=sys.stderr)
+        status = EXIT_POINT_FAILED
+    return status
+
+
+async def _run_figure(args) -> int:
+    async with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix,
+        retry_busy=args.retry_busy,
+    ) as client:
+        outcome = await client.figure(
+            args.figure, scale=args.scale,
+            benchmarks=args.benchmarks.split(",") if args.benchmarks else None,
+            priority=args.priority,
+        )
+    width = max((len(h) for h in outcome.headers), default=8) + 2
+    print("  ".join(h.ljust(width) for h in outcome.headers))
+    for row in outcome.rows:
+        print("  ".join(str(cell).ljust(width) for cell in row))
+    tallies = dict(outcome.sources)
+    tallies["ok"] = outcome.ok
+    print(f"figure {args.figure}: " + json.dumps(tallies, sort_keys=True))
+    status = _check_expects(_parse_expects(args.expect), tallies)
+    if outcome.failed and status == EXIT_OK:
+        status = EXIT_POINT_FAILED
+    return status
+
+
+async def _run_stats(args) -> int:
+    async with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix
+    ) as client:
+        snapshot = await client.stats()
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return _check_expects(_parse_expects(args.expect), snapshot)
+
+
+async def _run_ping(args) -> int:
+    async with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix
+    ) as client:
+        return EXIT_OK if await client.ping() else EXIT_TRANSPORT
+
+
+async def _run_shutdown(args) -> int:
+    async with ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix
+    ) as client:
+        await client.shutdown()
+    return EXIT_OK
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.client",
+        description="Scripted client for the simulation service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--unix", default=None,
+                        help="unix socket path (instead of host/port)")
+    parser.add_argument("--retry-busy", type=int, default=0, metavar="N",
+                        help="retry busy rejections up to N times")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="submit a grid of points")
+    p_submit.add_argument("--benchmarks", default="addition")
+    p_submit.add_argument("--variants", default="scalar")
+    p_submit.add_argument("--configs", default="ooo-4way",
+                          help=f"named configs: {', '.join(NAMED_CONFIGS)}")
+    p_submit.add_argument("--scale", default="tiny",
+                          choices=sorted(NAMED_SCALES))
+    p_submit.add_argument("--priority", default="normal", choices=LANES)
+    p_submit.add_argument("--repeat", type=int, default=1,
+                          help="send N identical concurrent requests")
+    p_submit.add_argument("--progress", action="store_true")
+    p_submit.add_argument("--expect", action="append", metavar="KEY=N",
+                          help="assert a tally (cache/coalesced/simulated/"
+                               "failed/ok) summed across repeats")
+    p_submit.add_argument("--json", action="store_true",
+                          help="also print raw per-request results")
+    p_submit.set_defaults(run=_run_submit)
+
+    p_figure = sub.add_parser("figure", help="request a rendered figure")
+    p_figure.add_argument("figure")
+    p_figure.add_argument("--scale", default=None, choices=sorted(NAMED_SCALES))
+    p_figure.add_argument("--benchmarks", default=None)
+    p_figure.add_argument("--priority", default="normal", choices=LANES)
+    p_figure.add_argument("--expect", action="append", metavar="KEY=N")
+    p_figure.set_defaults(run=_run_figure)
+
+    p_stats = sub.add_parser("stats", help="print server counters")
+    p_stats.add_argument("--expect", action="append", metavar="KEY=N")
+    p_stats.set_defaults(run=_run_stats)
+
+    sub.add_parser("ping", help="liveness probe").set_defaults(run=_run_ping)
+    sub.add_parser("shutdown", help="graceful server shutdown").set_defaults(
+        run=_run_shutdown
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(args.run(args))
+    except (ServeConnectionError, ServeBusy) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_TRANSPORT
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""Wire protocol for the simulation service: newline-delimited JSON.
+
+One message per line, UTF-8, ``\\n``-terminated.  The protocol is
+deliberately boring — any language with sockets and a JSON parser is a
+client — and *pipelined*: a client may have many requests in flight on
+one connection; every server message carries the ``id`` of the request
+it belongs to, so responses interleave freely.
+
+Client -> server
+----------------
+
+``{"type": "submit", "id": "...", "points": [SPEC...],
+   "priority": "normal"|"high"}``
+    A grid request: resolve every point, stream results back.
+    ``SPEC`` is a point spec (below).  ``priority: "high"`` routes
+    cache misses through the high lane of the miss queue.
+
+``{"type": "figure", "id": "...", "figure": "figure1", "scale":
+   "tiny", "benchmarks": ["addition"], "priority": ...}``
+    A figure request: the server enumerates the same simulation grid
+    the batch CLI would, resolves it (cache / coalesce / simulate),
+    and returns the rendered table.  A figure whose grid is fully
+    cached never touches the miss queue at all — the cached-hot lane.
+
+``{"type": "stats", "id": "..."}``
+    Server counters snapshot.
+
+``{"type": "ping", "id": "..."}``
+    Liveness probe.
+
+``{"type": "shutdown", "id": "..."}``
+    Ask the server to shut down gracefully (local trusted service;
+    same effect as SIGTERM).
+
+Server -> client
+----------------
+
+``{"type": "ack", "id", "n", "lane"}``            request admitted
+``{"type": "busy", "id", "queue_depth", "limit", "retry_after_s"}``
+    admission control rejected the request: the miss queue is full.
+    Nothing was enqueued; retry after the hinted delay.
+``{"type": "progress", "id", "k", "n", "label", "source", "elapsed_s"}``
+``{"type": "result", "id", "index", "key", "source", "stats"}``
+    one resolved point (``index`` into the request's ``points``);
+    ``source`` is ``cache`` / ``coalesced`` / ``simulated``.
+``{"type": "point_failed", "id", "index", "key", "failure"}``
+``{"type": "table", "id", "figure", "headers", "rows"}``
+``{"type": "done", "id", "ok", "failed", "sources", "server"}``
+    request complete; ``sources`` tallies this request's points by
+    resolution source, ``server`` is the live counter snapshot.
+``{"type": "error", "id", "code", "message"}``
+``{"type": "stats", "id", "server"}``, ``{"type": "pong", "id"}``,
+``{"type": "bye", "id"}``
+
+Point specs
+-----------
+
+A point spec mirrors :class:`repro.experiments.parallel.SimPoint`::
+
+    {"benchmark": "addition", "variant": "vis",
+     "cpu": "ooo-4way" | {...ProcessorConfig fields...},
+     "mem": {...MemoryConfig fields...},        # optional
+     "scale": "tiny" | {...WorkloadScale fields...}}
+
+``cpu`` and ``scale`` accept registry names (:data:`NAMED_CONFIGS`,
+:data:`NAMED_SCALES`) or full field dictionaries; ``mem`` defaults to
+the scale-matched memory configuration, exactly like the batch CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..cpu.config import ProcessorConfig
+from ..mem.config import MemoryConfig
+from ..workloads.base import Variant
+from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
+from ..workloads.suite import names as workload_names
+from ..experiments.parallel import SimPoint
+
+#: bump when a message or point-spec field changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: one message must fit in one line; grids of a few thousand points do
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+#: registry names accepted in point specs (mirrors the trace CLI)
+NAMED_CONFIGS = {
+    "inorder-1way": ProcessorConfig.inorder_1way,
+    "inorder-4way": ProcessorConfig.inorder_4way,
+    "ooo-4way": ProcessorConfig.ooo_4way,
+}
+
+NAMED_SCALES = {
+    "default": DEFAULT_SCALE,
+    "small": SMALL_SCALE,
+    "tiny": TINY_SCALE,
+}
+
+#: miss-queue lanes, in scheduling order
+LANES = ("high", "normal")
+
+# error codes carried by "error" / "busy" messages
+ERR_BAD_REQUEST = "bad-request"
+ERR_BUSY = "busy"
+ERR_SHUTTING_DOWN = "shutting-down"
+ERR_INTERNAL = "internal"
+
+# per-point resolution sources (the "result" message + done tallies)
+SOURCE_CACHE = "cache"
+SOURCE_COALESCED = "coalesced"
+SOURCE_SIMULATED = "simulated"
+SOURCES = (SOURCE_CACHE, SOURCE_COALESCED, SOURCE_SIMULATED)
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be parsed or validated.  Carries the
+    machine-readable ``code`` echoed in the error reply."""
+
+    def __init__(self, message: str, code: str = ERR_BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: Dict) -> bytes:
+    """One wire line for ``message`` (compact JSON + newline)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> Dict:
+    """Parse one wire line into a message dict (type-checked)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"unparseable message: {exc}") from None
+    if not isinstance(message, dict) or not isinstance(
+        message.get("type"), str
+    ):
+        raise ProtocolError("message must be an object with a string 'type'")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Point specs <-> SimPoint
+# ---------------------------------------------------------------------------
+
+
+def _cpu_from_wire(spec) -> ProcessorConfig:
+    if isinstance(spec, str):
+        factory = NAMED_CONFIGS.get(spec)
+        if factory is None:
+            raise ProtocolError(
+                f"unknown cpu config {spec!r}; named configs: "
+                f"{', '.join(sorted(NAMED_CONFIGS))}"
+            )
+        return factory()
+    if isinstance(spec, dict):
+        try:
+            return ProcessorConfig.from_dict(spec)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad cpu config: {exc}") from None
+    raise ProtocolError("'cpu' must be a registry name or a field dict")
+
+
+def _scale_from_wire(spec) -> "WorkloadScale":
+    from ..workloads.params import WorkloadScale
+
+    if spec is None:
+        return DEFAULT_SCALE
+    if isinstance(spec, str):
+        scale = NAMED_SCALES.get(spec)
+        if scale is None:
+            raise ProtocolError(
+                f"unknown scale {spec!r}; named scales: "
+                f"{', '.join(sorted(NAMED_SCALES))}"
+            )
+        return scale
+    if isinstance(spec, dict):
+        try:
+            return WorkloadScale.from_dict(spec)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad scale: {exc}") from None
+    raise ProtocolError("'scale' must be a registry name or a field dict")
+
+
+def _mem_from_wire(spec, scale) -> MemoryConfig:
+    if spec is None:
+        return scale.memory_config()
+    if isinstance(spec, dict):
+        try:
+            return MemoryConfig.from_dict(spec)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad mem config: {exc}") from None
+    raise ProtocolError("'mem' must be a field dict (or omitted)")
+
+
+def point_from_wire(spec: Dict) -> SimPoint:
+    """Validate one point spec and build the :class:`SimPoint`."""
+    if not isinstance(spec, dict):
+        raise ProtocolError("each point must be an object")
+    benchmark = spec.get("benchmark")
+    if benchmark not in set(workload_names()):
+        raise ProtocolError(
+            f"unknown benchmark {benchmark!r}; known: "
+            f"{', '.join(workload_names())}"
+        )
+    try:
+        variant = Variant(spec.get("variant", "scalar"))
+    except ValueError:
+        raise ProtocolError(
+            f"unknown variant {spec.get('variant')!r}; known: "
+            f"{', '.join(v.value for v in Variant)}"
+        ) from None
+    scale = _scale_from_wire(spec.get("scale"))
+    cpu = _cpu_from_wire(spec.get("cpu", "ooo-4way"))
+    mem = _mem_from_wire(spec.get("mem"), scale)
+    return SimPoint(benchmark, variant, cpu, mem, scale)
+
+
+def point_to_wire(point: SimPoint) -> Dict:
+    """The full-fidelity wire spec for ``point`` (field dicts, so the
+    receiving side reconstructs it exactly)."""
+    return {
+        "benchmark": point.benchmark,
+        "variant": point.variant.value,
+        "cpu": point.cpu.to_dict(),
+        "mem": point.mem.to_dict(),
+        "scale": point.scale.to_dict(),
+    }
+
+
+def validate_lane(priority: Optional[str]) -> str:
+    lane = priority or "normal"
+    if lane not in LANES:
+        raise ProtocolError(
+            f"unknown priority {priority!r}; expected one of {LANES}"
+        )
+    return lane

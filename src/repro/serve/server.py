@@ -1,0 +1,951 @@
+"""Simulation-as-a-service: the asyncio batch server.
+
+The batch stack (PRs 1–6) runs one grid per process.  This module
+turns it into a long-lived local service that many concurrent clients
+share, layering four serving concerns over the same worker entry point
+(:func:`repro.experiments.parallel._simulate_point`) the CLI uses:
+
+* **Dedup** — every request is resolved against the content-addressed
+  simcache first; a point anyone ever simulated is a cache hit for
+  every client forever.  Cross-process fill claims
+  (:meth:`~repro.experiments.parallel.DiskCache.try_claim`) extend the
+  guarantee across *servers* sharing one cache directory: a key being
+  filled elsewhere is awaited, not recomputed.
+
+* **Coalescing** — identical in-flight requests share one computation.
+  The first request for a cold key creates the in-flight future and is
+  charged ``simulated``; every other request awaiting that key —
+  whether from the same client, another connection, or a duplicate
+  index inside one grid — is charged ``coalesced`` and receives the
+  byte-identical result.  A point is never simulated twice.
+
+* **Admission control + priority lanes** — cache misses pass through a
+  bounded miss queue (``queue_limit``); a request whose new misses do
+  not fit is rejected atomically with a ``busy`` message (nothing is
+  enqueued) so clients back off instead of piling latency onto
+  everyone.  Cache hits bypass admission entirely — a fully-cached
+  ("hot") figure or grid is served even when the miss queue is
+  saturated.  Misses are scheduled high-lane-first.
+
+* **Preemptible workers** — misses run on a fleet of spawn-start
+  worker processes with cycle-level checkpointing armed.  A worker
+  SIGKILLed mid-point costs a pool rebuild and a retry that resumes
+  from the point's newest snapshot; a server SIGTERM checkpoints
+  in-flight work the same way (snapshots land at every interval
+  boundary, and the unfinished remainder is preempted), so a restarted
+  server completes re-requested grids from snapshots instead of from
+  cycle zero.
+
+Results stream back as JSONL messages (see :mod:`repro.serve.protocol`)
+tagged with the request id, so one connection can pipeline hundreds of
+requests.  Byte-determinism is inherited from the batch stack: every
+client asking for the same point receives the same
+:class:`~repro.cpu.stats.ExecutionStats` payload, bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import logging
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..checkpoint import DEFAULT_CHECKPOINT_KEEP
+from ..cpu.stats import ExecutionStats
+from ..experiments import figures
+from ..experiments.faults import (
+    STATUS_TIMEOUT,
+    TRANSIENT_STATUSES,
+    PointFailure,
+    RetryPolicy,
+    classify,
+)
+from ..experiments.parallel import (
+    ANALYSIS_MEMO_DIRNAME,
+    CHECKPOINT_DIRNAME,
+    DiskCache,
+    ParallelRunner,
+    SimPoint,
+    _simulate_point,
+)
+from ..workloads.suite import names as workload_names
+from . import protocol
+from .protocol import (
+    ERR_BAD_REQUEST,
+    ERR_INTERNAL,
+    ERR_SHUTTING_DOWN,
+    LANES,
+    MAX_LINE_BYTES,
+    SOURCE_CACHE,
+    SOURCE_COALESCED,
+    SOURCE_SIMULATED,
+    ProtocolError,
+    encode,
+    point_from_wire,
+    validate_lane,
+)
+
+log = logging.getLogger("repro.serve")
+
+#: a point preempted by graceful shutdown (its snapshot survives; a
+#: re-request after restart resumes from it)
+STATUS_PREEMPTED = "preempted"
+
+#: default bound on not-yet-completed miss points (queued + running)
+DEFAULT_QUEUE_LIMIT = 256
+
+#: default worker processes in the fleet
+DEFAULT_WORKERS = 2
+
+#: default checkpoint cadence for served points.  Much tighter than
+#: the batch default (10M cycles): a service optimizes for cheap
+#: preemption — kills lose at most this many cycles of progress.
+DEFAULT_SERVE_CHECKPOINT_INTERVAL = 1_000_000
+
+#: default grace period before shutdown kills in-flight workers
+DEFAULT_GRACE_S = 5.0
+
+#: figure registry served by "figure" requests (the CLI's EXPERIMENTS
+#: table re-exports these same drivers; kept here so the CLI can import
+#: the serve layer without a cycle)
+FIGURES: Dict[str, Callable] = {
+    "figure1": figures.figure1,
+    "figure2": figures.figure2,
+    "figure3": figures.figure3,
+    "l2-sweep": functools.partial(figures.cache_sweep, level="l2"),
+    "l1-sweep": functools.partial(figures.cache_sweep, level="l1"),
+    "branch-stats": figures.branch_stats,
+    "mshr": figures.mshr_study,
+}
+
+
+def _warmup() -> int:
+    """Pre-spawn worker entry (spawn workers import lazily on first
+    task; paying that once at startup keeps first-request latency and
+    the load tests honest)."""
+    return os.getpid()
+
+
+class BusyError(RuntimeError):
+    """Admission control rejected a request (miss queue full)."""
+
+    def __init__(self, queue_depth: int, limit: int) -> None:
+        super().__init__(f"miss queue full ({queue_depth}/{limit})")
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server needs, mirroring the ``serve`` CLI verb."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port after start()
+    unix_path: Optional[str] = None  # serve a unix socket instead
+    cache_dir: Optional[Path] = None  # None = serving without dedup
+    workers: int = DEFAULT_WORKERS
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    grace_s: float = DEFAULT_GRACE_S
+    point_timeout: Optional[float] = None
+    max_retries: int = 2
+    checkpoint: bool = True
+    checkpoint_interval: int = DEFAULT_SERVE_CHECKPOINT_INTERVAL
+    checkpoint_keep: int = DEFAULT_CHECKPOINT_KEEP
+    validate: bool = True
+    lint: bool = True
+    engine: Optional[str] = None
+    #: seconds between polls of a foreign (cross-server) in-flight fill
+    foreign_poll_s: float = 0.05
+    #: age past which a foreign fill claim is presumed dead
+    claim_stale_s: float = 600.0
+
+
+@dataclass
+class ServeStats:
+    """Live server counters (the ``stats`` reply / ``done.server``)."""
+
+    started_at: float = 0.0
+    connections: int = 0
+    requests: int = 0
+    figures_served: int = 0
+    busy_rejections: int = 0
+    protocol_errors: int = 0
+    points_requested: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    simulated: int = 0
+    #: another server/process filled the key while we waited on its claim
+    foreign_fills: int = 0
+    failed_points: int = 0
+    preempted_points: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    checkpoint_resumes: int = 0
+    #: keys this server simulated more than once (must stay 0 outside
+    #: worker-loss retries; the load tests assert on it)
+    duplicate_simulations: int = 0
+
+    def to_dict(self) -> Dict:
+        data = dict(vars(self))
+        data["uptime_s"] = round(time.time() - self.started_at, 3)
+        return data
+
+
+@dataclass
+class _Entry:
+    """One in-flight miss: the shared future every coalesced waiter
+    awaits.  The future resolves to ``(result, fill_source)`` where
+    ``result`` is :class:`ExecutionStats` or :class:`PointFailure` and
+    ``fill_source`` is what actually happened (``simulated`` /
+    ``cache`` for a foreign fill)."""
+
+    key: str
+    point: SimPoint
+    lane: str
+    future: "asyncio.Future" = field(repr=False, default=None)
+    elapsed: float = 0.0
+
+
+class _Connection:
+    """Per-connection write lock + request-task registry: many request
+    tasks interleave messages onto one stream, one line at a time."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.tasks: Set[asyncio.Task] = set()
+        self.handler: Optional[asyncio.Task] = None
+        self.closed = False
+
+    async def send(self, message: Dict) -> None:
+        if self.closed:
+            return
+        try:
+            async with self.lock:
+                self.writer.write(encode(message))
+                await self.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self.closed = True  # client went away; requests keep running
+
+
+class _FigureBridge:
+    """RunCache-protocol adapter handed to figure drivers.
+
+    The drivers are synchronous (``runner.run_points(...)`` blocks), so
+    the server runs them on a thread and this bridge forwards each
+    ``run_points`` call back into the event loop, where the points are
+    resolved through the same cache/coalesce/simulate path as a plain
+    grid submit.  Failures come back as :class:`PointFailure`
+    placeholders (keep-going semantics), which every driver already
+    renders as explicit FAILED cells.
+    """
+
+    def __init__(self, server: "BatchServer", scale, lane: str) -> None:
+        self.server = server
+        self.scale = scale
+        self.lane = lane
+        self.sources: Dict[str, int] = {}
+        self.n_points = 0
+
+    def run_points(self, points: Sequence[SimPoint]) -> List:
+        coro = self.server._resolve_for_bridge(list(points), self.lane, self)
+        future = asyncio.run_coroutine_threadsafe(coro, self.server._loop)
+        return future.result()
+
+
+class BatchServer:
+    """The asyncio simulation service.  See the module docstring."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.stats = ServeStats()
+        self.cache: Optional[DiskCache] = (
+            DiskCache(config.cache_dir) if config.cache_dir is not None else None
+        )
+        self._inflight: Dict[str, _Entry] = {}
+        self._pending_misses = 0
+        self._miss_queue: "asyncio.PriorityQueue" = None
+        self._seq = 0
+        self._lane_rank = {lane: rank for rank, lane in enumerate(LANES)}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._lane_workers: List[asyncio.Task] = []
+        self._connections: Set[_Connection] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._shutdown_task: Optional[asyncio.Task] = None
+        #: key -> times simulated by this server (load tests assert
+        #: every value is 1; bounded by unique keys served)
+        self.simulated_keys: Dict[str, int] = {}
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def port(self) -> Optional[int]:
+        return self.address[1] if self.address else None
+
+    def _checkpoint_dir(self) -> Optional[Path]:
+        if not self.config.checkpoint:
+            return None
+        if self.config.cache_dir is None:
+            return None
+        return Path(self.config.cache_dir) / CHECKPOINT_DIRNAME
+
+    def _memo_dir(self) -> Optional[Path]:
+        if not self.config.lint:
+            return None
+        if self.cache is None or self.cache.read_only:
+            return None
+        return self.cache.root / ANALYSIS_MEMO_DIRNAME
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        # spawn, not fork: the server process runs an event loop and
+        # helper threads (figure bridges), and forking a threaded
+        # process is where pools go to deadlock
+        import multiprocessing
+
+        return ProcessPoolExecutor(
+            max_workers=max(1, self.config.workers),
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the socket, warm the worker fleet, start the lane
+        schedulers.  Returns the bound ``(host, port)`` (port ``-1``
+        for a unix socket)."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._miss_queue = asyncio.PriorityQueue()
+        self.stats.started_at = time.time()
+        self._pool = self._new_pool()
+        # pre-spawn every worker before accepting traffic
+        await asyncio.gather(*[
+            self._loop.run_in_executor(self._pool, _warmup)
+            for _ in range(max(1, self.config.workers))
+        ])
+        if self.config.unix_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_path,
+                limit=MAX_LINE_BYTES,
+            )
+            self.address = (self.config.unix_path, -1)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port, limit=MAX_LINE_BYTES,
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+        self._lane_workers = [
+            asyncio.create_task(self._lane_worker(i))
+            for i in range(max(1, self.config.workers))
+        ]
+        log.info(
+            "serving on %s (workers=%d queue_limit=%d cache=%s)",
+            self.address, self.config.workers, self.config.queue_limit,
+            self.cache.root if self.cache else "disabled",
+        )
+        return self.address
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe: schedule a graceful shutdown."""
+        if self._shutdown_task is None and self._loop is not None:
+            self._shutdown_task = self._loop.create_task(self.shutdown())
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: refuse new work, give in-flight points one
+        grace period (their checkpoint sessions snapshot at every
+        interval boundary), then preempt hard.  Preempted points keep
+        their newest snapshot, so a restarted server resumes them
+        mid-point when re-requested."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        log.info("shutdown: draining (grace=%.1fs)", self.config.grace_s)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        inflight = [e.future for e in self._inflight.values()]
+        if inflight:
+            done, pending = await asyncio.wait(
+                inflight, timeout=self.config.grace_s
+            )
+            if pending:
+                log.warning(
+                    "shutdown: preempting %d in-flight point(s) after "
+                    "grace; snapshots survive for resume", len(pending),
+                )
+        # hard-stop the fleet; queued + running misses become preempted
+        self._kill_pool(self._pool)
+        for task in self._lane_workers:
+            task.cancel()
+        for entry in list(self._inflight.values()):
+            if not entry.future.done():
+                self.stats.preempted_points += 1
+                entry.future.set_result((
+                    PointFailure(
+                        status=STATUS_PREEMPTED,
+                        label=entry.point.label(),
+                        key=entry.key,
+                        error_type="Preempted",
+                        message=(
+                            "server shut down mid-point; re-request after "
+                            "restart resumes from the newest snapshot"
+                        ),
+                    ),
+                    SOURCE_SIMULATED,
+                    0.0,
+                ))
+        self._inflight.clear()
+        # let request tasks deliver their done/point_failed messages
+        await asyncio.sleep(0)
+        for conn in list(self._connections):
+            for task in list(conn.tasks):
+                if not task.done():
+                    await asyncio.wait({task}, timeout=1.0)
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        # closing the writers EOFs every handler's readline; reap the
+        # handler tasks so loop teardown has nothing left to cancel
+        handlers = {
+            c.handler for c in self._connections
+            if c.handler is not None and not c.handler.done()
+        }
+        if handlers:
+            _done, still = await asyncio.wait(handlers, timeout=1.0)
+            for task in still:
+                task.cancel()
+            if still:
+                await asyncio.wait(still, timeout=1.0)
+        self._stopped.set()
+        log.info("shutdown: complete (%s)", self.stats.to_dict())
+
+    @staticmethod
+    def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+        """Tear a pool down hard (kill workers, never raise) — same
+        contract as the batch runner's."""
+        if pool is None:
+            return
+        ParallelRunner._kill_pool(pool)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        conn.handler = asyncio.current_task()
+        self._connections.add(conn)
+        self.stats.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    self.stats.protocol_errors += 1
+                    await conn.send({
+                        "type": "error", "id": None,
+                        "code": ERR_BAD_REQUEST,
+                        "message": "oversized or torn message; closing",
+                    })
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except ProtocolError as exc:
+                    self.stats.protocol_errors += 1
+                    await conn.send({
+                        "type": "error", "id": None,
+                        "code": exc.code, "message": str(exc),
+                    })
+                    break
+                task = asyncio.create_task(self._dispatch(message, conn))
+                conn.tasks.add(task)
+                task.add_done_callback(conn.tasks.discard)
+        finally:
+            for task in list(conn.tasks):
+                task.cancel()
+            conn.closed = True
+            try:
+                writer.close()
+            except Exception:
+                pass
+            self._connections.discard(conn)
+
+    async def _dispatch(self, message: Dict, conn: _Connection) -> None:
+        mtype = message.get("type")
+        rid = message.get("id")
+        try:
+            if mtype == "submit":
+                await self._handle_submit(message, conn)
+            elif mtype == "figure":
+                await self._handle_figure(message, conn)
+            elif mtype == "stats":
+                await conn.send({
+                    "type": "stats", "id": rid, "server": self._snapshot(),
+                })
+            elif mtype == "ping":
+                await conn.send({"type": "pong", "id": rid})
+            elif mtype == "shutdown":
+                await conn.send({"type": "bye", "id": rid})
+                self.request_shutdown()
+            else:
+                self.stats.protocol_errors += 1
+                await conn.send({
+                    "type": "error", "id": rid, "code": ERR_BAD_REQUEST,
+                    "message": f"unknown message type {mtype!r}",
+                })
+        except ProtocolError as exc:
+            self.stats.protocol_errors += 1
+            await conn.send({
+                "type": "error", "id": rid, "code": exc.code,
+                "message": str(exc),
+            })
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # a server bug must not kill the loop
+            log.exception("request %r failed", rid)
+            await conn.send({
+                "type": "error", "id": rid, "code": ERR_INTERNAL,
+                "message": f"{type(exc).__name__}: {exc}",
+            })
+
+    def _snapshot(self) -> Dict:
+        data = self.stats.to_dict()
+        data["queue_depth"] = self._pending_misses
+        data["queue_limit"] = self.config.queue_limit
+        data["inflight"] = len(self._inflight)
+        data["draining"] = self._draining
+        data["duplicate_simulations"] = sum(
+            n - 1 for n in self.simulated_keys.values() if n > 1
+        )
+        if self.cache is not None:
+            data["disk_cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "stores": self.cache.stores,
+                "quarantined": self.cache.quarantined,
+                "claims": self.cache.claims,
+                "stale_claims_broken": self.cache.stale_claims_broken,
+            }
+        return data
+
+    # -- submit (grid) requests ---------------------------------------------
+
+    async def _handle_submit(self, message: Dict, conn: _Connection) -> None:
+        rid = message.get("id")
+        if not isinstance(rid, str) or not rid:
+            raise ProtocolError("submit needs a non-empty string 'id'")
+        raw_points = message.get("points")
+        if not isinstance(raw_points, list) or not raw_points:
+            raise ProtocolError("submit needs a non-empty 'points' list")
+        points = [point_from_wire(spec) for spec in raw_points]
+        lane = validate_lane(message.get("priority"))
+        want_progress = bool(message.get("progress", False))
+        if self._draining:
+            raise ProtocolError(
+                "server is shutting down", code=ERR_SHUTTING_DOWN
+            )
+        self.stats.requests += 1
+        self.stats.points_requested += len(points)
+        try:
+            classified = self._classify_and_enqueue(points, lane)
+        except BusyError as exc:
+            self.stats.busy_rejections += 1
+            await conn.send({
+                "type": "busy", "id": rid,
+                "queue_depth": exc.queue_depth, "limit": exc.limit,
+                "retry_after_s": 0.25,
+            })
+            return
+        n = len(points)
+        await conn.send({"type": "ack", "id": rid, "n": n, "lane": lane})
+        sources: Dict[str, int] = {}
+        ok = failed = reported = 0
+
+        async def deliver(index: int, key: str, result, source: str,
+                          elapsed: float) -> None:
+            nonlocal ok, failed, reported
+            reported += 1
+            if isinstance(result, ExecutionStats):
+                ok += 1
+                sources[source] = sources.get(source, 0) + 1
+                self._count_source(source)
+                await conn.send({
+                    "type": "result", "id": rid, "index": index,
+                    "key": key, "source": source,
+                    "stats": result.to_dict(),
+                })
+            else:
+                failed += 1
+                sources["failed"] = sources.get("failed", 0) + 1
+                self.stats.failed_points += 1
+                await conn.send({
+                    "type": "point_failed", "id": rid, "index": index,
+                    "key": key, "failure": result.to_dict(),
+                })
+            if want_progress:
+                await conn.send({
+                    "type": "progress", "id": rid, "k": reported, "n": n,
+                    "label": points[index].label(), "source": source,
+                    "elapsed_s": round(elapsed, 6),
+                })
+
+        # immediate deliveries: cache hits (and nothing else) are known
+        # synchronously and never waited on the miss queue
+        waiting: Dict[asyncio.Future, List[Tuple[int, str, str]]] = {}
+        for index, (kind, key, payload) in enumerate(classified):
+            if kind == "hit":
+                await deliver(index, key, payload, SOURCE_CACHE, 0.0)
+            else:  # kind == "future"
+                entry_future, source_if_ready = payload
+                waiting.setdefault(entry_future, []).append(
+                    (index, key, source_if_ready)
+                )
+        pending = set(waiting)
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for future in done:
+                result, fill_source, elapsed = future.result()
+                for index, key, source_if_ready in waiting[future]:
+                    source = (
+                        fill_source if source_if_ready == "creator"
+                        else SOURCE_COALESCED
+                    )
+                    await deliver(index, key, result, source, elapsed)
+        await conn.send({
+            "type": "done", "id": rid, "ok": ok, "failed": failed,
+            "sources": sources, "server": self._snapshot(),
+        })
+
+    def _count_source(self, source: str) -> None:
+        if source == SOURCE_CACHE:
+            self.stats.cache_hits += 1
+        elif source == SOURCE_COALESCED:
+            self.stats.coalesced += 1
+        elif source == SOURCE_SIMULATED:
+            self.stats.simulated += 1
+
+    def _classify_and_enqueue(
+        self, points: Sequence[SimPoint], lane: str
+    ) -> List[Tuple[str, str, object]]:
+        """Resolve each point to a hit or an in-flight future, admitting
+        new misses atomically (no ``await`` between the admission check
+        and the enqueue, so a rejected request enqueues nothing).
+
+        Returns one ``(kind, key, payload)`` per index: ``("hit", key,
+        stats)`` or ``("future", key, (future, "creator"|"waiter"))``.
+        """
+        keys = [p.content_key() for p in points]
+        plan: List[Tuple[str, str, object]] = []
+        new_keys: Dict[str, SimPoint] = {}
+        for point, key in zip(points, keys):
+            if key in self._inflight:
+                plan.append(
+                    ("future", key, (self._inflight[key].future, "waiter"))
+                )
+                continue
+            if key in new_keys:
+                plan.append(("future", key, (None, "waiter")))  # intra-dup
+                continue
+            stats = self.cache.load(key) if self.cache is not None else None
+            if stats is not None:
+                plan.append(("hit", key, stats))
+                continue
+            new_keys[key] = point
+            plan.append(("future", key, (None, "creator")))
+        if new_keys and (
+            self._pending_misses + len(new_keys) > self.config.queue_limit
+        ):
+            raise BusyError(self._pending_misses, self.config.queue_limit)
+        # admitted: register + enqueue every new key
+        created: Dict[str, asyncio.Future] = {}
+        for key, point in new_keys.items():
+            entry = _Entry(key=key, point=point, lane=lane,
+                           future=self._loop.create_future())
+            self._inflight[key] = entry
+            self._pending_misses += 1
+            self._seq += 1
+            self._miss_queue.put_nowait(
+                (self._lane_rank.get(lane, 1), self._seq, key)
+            )
+            created[key] = entry.future
+        resolved: List[Tuple[str, str, object]] = []
+        for kind, key, payload in plan:
+            if kind == "future":
+                future, role = payload
+                if future is None:  # a key this request just created
+                    future = created[key]
+                resolved.append((kind, key, (future, role)))
+            else:
+                resolved.append((kind, key, payload))
+        return resolved
+
+    # -- figure requests ----------------------------------------------------
+
+    async def _handle_figure(self, message: Dict, conn: _Connection) -> None:
+        rid = message.get("id")
+        if not isinstance(rid, str) or not rid:
+            raise ProtocolError("figure needs a non-empty string 'id'")
+        name = message.get("figure")
+        fn = FIGURES.get(name)
+        if fn is None:
+            raise ProtocolError(
+                f"unknown figure {name!r}; known: {', '.join(sorted(FIGURES))}"
+            )
+        scale = protocol._scale_from_wire(message.get("scale"))
+        benchmarks = message.get("benchmarks")
+        if benchmarks is not None:
+            known = set(workload_names())
+            bad = [b for b in benchmarks if b not in known]
+            if bad:
+                raise ProtocolError(f"unknown benchmark(s): {', '.join(bad)}")
+            benchmarks = tuple(benchmarks)
+        lane = validate_lane(message.get("priority"))
+        if self._draining:
+            raise ProtocolError(
+                "server is shutting down", code=ERR_SHUTTING_DOWN
+            )
+        self.stats.requests += 1
+        bridge = _FigureBridge(self, scale, lane)
+        await conn.send({"type": "ack", "id": rid, "n": None, "lane": lane})
+        try:
+            headers, rows, _raw = await self._loop.run_in_executor(
+                None, functools.partial(fn, bridge, benchmarks=benchmarks)
+            )
+        except BusyError as exc:
+            self.stats.busy_rejections += 1
+            await conn.send({
+                "type": "busy", "id": rid,
+                "queue_depth": exc.queue_depth, "limit": exc.limit,
+                "retry_after_s": 0.25,
+            })
+            return
+        self.stats.figures_served += 1
+        await conn.send({
+            "type": "table", "id": rid, "figure": name,
+            "headers": list(headers), "rows": [list(r) for r in rows],
+        })
+        failed = bridge.sources.get("failed", 0)
+        await conn.send({
+            "type": "done", "id": rid, "ok": bridge.n_points - failed,
+            "failed": failed, "sources": bridge.sources,
+            "server": self._snapshot(),
+        })
+
+    async def _resolve_for_bridge(
+        self, points: List[SimPoint], lane: str, bridge: _FigureBridge
+    ) -> List:
+        """Resolve a figure driver's grid through the normal path and
+        tally sources onto the bridge.  Runs in the event loop (called
+        via ``run_coroutine_threadsafe`` from the driver thread)."""
+        classified = self._classify_and_enqueue(points, lane)
+        bridge.n_points += len(points)
+        results: List = [None] * len(points)
+        for index, (kind, key, payload) in enumerate(classified):
+            if kind == "hit":
+                results[index] = payload
+                bridge.sources[SOURCE_CACHE] = (
+                    bridge.sources.get(SOURCE_CACHE, 0) + 1
+                )
+                self._count_source(SOURCE_CACHE)
+            else:
+                future, role = payload
+                result, fill_source, _elapsed = await future
+                results[index] = result
+                if isinstance(result, ExecutionStats):
+                    source = (
+                        fill_source if role == "creator"
+                        else SOURCE_COALESCED
+                    )
+                    bridge.sources[source] = bridge.sources.get(source, 0) + 1
+                    self._count_source(source)
+                else:
+                    bridge.sources["failed"] = (
+                        bridge.sources.get("failed", 0) + 1
+                    )
+                    self.stats.failed_points += 1
+        return results
+
+    # -- the miss pipeline --------------------------------------------------
+
+    async def _lane_worker(self, slot: int) -> None:
+        """One scheduler slot: pull the highest-priority queued miss,
+        fill it (claim -> simulate -> store), resolve its future."""
+        while True:
+            _rank, _seq, key = await self._miss_queue.get()
+            entry = self._inflight.get(key)
+            if entry is None or entry.future.done():
+                continue
+            if self._draining:
+                continue  # shutdown() resolves the future as preempted
+            try:
+                result, fill_source, elapsed = await self._fill_key(entry)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # defensive: a fill bug fails one key
+                log.exception("fill of %s blew up", key[:16])
+                result = PointFailure.from_exception(
+                    exc, entry.point.label(), key=key
+                )
+                fill_source, elapsed = SOURCE_SIMULATED, 0.0
+            if not entry.future.done():
+                entry.future.set_result((result, fill_source, elapsed))
+            self._inflight.pop(key, None)
+            self._pending_misses -= 1
+
+    async def _fill_key(self, entry: _Entry):
+        """Resolve one cold key: claim the fill across processes (or
+        await a foreign fill), simulate with worker-loss retries, store.
+
+        Returns ``(result, fill_source, elapsed_s)``.
+        """
+        key, point = entry.key, entry.point
+        retry = RetryPolicy(
+            max_retries=max(0, self.config.max_retries),
+            retry_statuses=(
+                TRANSIENT_STATUSES | {STATUS_TIMEOUT}
+                if self._checkpoint_dir() is not None
+                else TRANSIENT_STATUSES
+            ),
+        )
+        claim = None
+        attempts = 0
+        try:
+            while True:
+                if self.cache is not None and claim is None:
+                    claim = self.cache.try_claim(
+                        key, stale_after=self.config.claim_stale_s
+                    )
+                    if claim is None:
+                        foreign = await self._await_foreign_fill(key)
+                        if foreign is not None:
+                            self.stats.foreign_fills += 1
+                            return foreign, SOURCE_CACHE, 0.0
+                        continue  # claim vanished/stale: race again
+                attempts += 1
+                start = time.monotonic()
+                try:
+                    stats, elapsed, resumed_from = await self._run_in_pool(
+                        point
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    status, _transient = classify(exc)
+                    if self._draining:
+                        return (
+                            PointFailure(
+                                status=STATUS_PREEMPTED,
+                                label=point.label(), key=key,
+                                error_type=type(exc).__name__,
+                                message="preempted by shutdown",
+                                attempts=attempts,
+                            ),
+                            SOURCE_SIMULATED,
+                            time.monotonic() - start,
+                        )
+                    if retry.should_retry(status, attempts):
+                        self.stats.retries += 1
+                        log.warning(
+                            "%s: %s (attempt %d); retrying",
+                            point.label(), status, attempts,
+                        )
+                        await asyncio.sleep(retry.delay(key, attempts))
+                        continue
+                    return (
+                        PointFailure.from_exception(
+                            exc, point.label(), key=key, attempts=attempts,
+                            elapsed=time.monotonic() - start,
+                        ),
+                        SOURCE_SIMULATED,
+                        time.monotonic() - start,
+                    )
+                if resumed_from is not None:
+                    self.stats.checkpoint_resumes += 1
+                self.simulated_keys[key] = self.simulated_keys.get(key, 0) + 1
+                if self.cache is not None:
+                    self.cache.store(key, stats, point=point, elapsed=elapsed)
+                return stats, SOURCE_SIMULATED, elapsed
+        finally:
+            if claim is not None:
+                claim.release()
+
+    async def _await_foreign_fill(self, key: str) -> Optional[ExecutionStats]:
+        """Another process holds the fill claim for ``key``: poll for
+        its record instead of double-computing.  ``None`` means the
+        claim vanished or went stale without a record — the caller
+        should race for the claim again."""
+        while not self._draining:
+            stats = self.cache.load(key)
+            if stats is not None:
+                return stats
+            age = self.cache.claim_age(key)
+            if (
+                age < 0
+                or age > self.config.claim_stale_s
+                or self.cache.claim_holder_dead(key)
+            ):
+                return None
+            await asyncio.sleep(self.config.foreign_poll_s)
+        return None
+
+    async def _run_in_pool(self, point: SimPoint):
+        fn = functools.partial(
+            _simulate_point,
+            point,
+            self.config.validate,
+            False,  # audit: served numbers match the batch default
+            self.config.point_timeout,
+            None,  # max_steps: the machine's size-proportional default
+            None,  # max_cycles
+            self.config.lint,
+            self._memo_dir(),
+            self._checkpoint_dir(),
+            max(1, self.config.checkpoint_interval),
+            max(1, self.config.checkpoint_keep),
+            self.config.engine,
+        )
+        generation = self._pool_generation
+        try:
+            return await self._loop.run_in_executor(self._pool, fn)
+        except BrokenExecutor:
+            self._ensure_pool(generation)
+            raise
+
+    def _ensure_pool(self, broken_generation: int) -> None:
+        """Single-flight pool rebuild after breakage.  A SIGKILLed
+        worker dooms every in-flight future of its pool generation, so
+        several fills notice near-simultaneously; only the first caller
+        per generation swaps the pool (no ``await`` in here — the event
+        loop makes the check-and-swap atomic)."""
+        if broken_generation != self._pool_generation:
+            return  # someone already replaced this generation
+        if self._draining:
+            return  # shutdown owns the pool now
+        self._pool_generation += 1
+        self.stats.pool_rebuilds += 1
+        broken, self._pool = self._pool, self._new_pool()
+        self._kill_pool(broken)
+        log.warning(
+            "worker pool broke; rebuilt (generation %d)",
+            self._pool_generation,
+        )

@@ -31,12 +31,20 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments import faults
 
 ENV = faults.ENV_FAULT_PLAN
+
+REPO = Path(__file__).resolve().parents[1]
 
 
 class FaultPlan:
@@ -98,3 +106,118 @@ class FaultPlan:
         while Path(f"{self.path}.fired.{index}.{fired}").exists():
             fired += 1
         return fired
+
+
+# ---------------------------------------------------------------------------
+# Serve-mode chaos: a managed simulation-service subprocess
+# ---------------------------------------------------------------------------
+
+
+def serve_env(plan: Optional[FaultPlan] = None) -> Dict[str, str]:
+    """Subprocess environment with ``repro`` importable (and the fault
+    plan armed, when given) — spawn-started serve workers inherit it."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if plan is not None:
+        env = plan.environ(env)
+    return env
+
+
+_READY_RE = re.compile(
+    r"SERVE ready pid=(?P<pid>\d+) addr=(?P<host>[\d.]+):(?P<port>\d+)"
+)
+
+
+class ServeProcess:
+    """A ``repro-experiments serve`` subprocess under test control.
+
+    Starts the server, waits for (and parses) its machine-readable
+    ready line, and exposes the chaos handles the serve tests need:
+    ``sigterm()`` / ``sigkill()`` the *server*, while ``FaultPlan``
+    entries on ``ckpt:`` labels break its *workers* deterministically.
+    Use as a context manager; exit terminates the server (SIGKILL
+    fallback) and captures stderr in ``stderr_text``.
+    """
+
+    def __init__(
+        self,
+        out_dir,
+        args: Sequence[str] = (),
+        plan: Optional[FaultPlan] = None,
+        start_timeout: float = 120.0,
+    ) -> None:
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments.cli", "serve",
+                "--out", str(out_dir), *args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=REPO,
+            env=serve_env(plan),
+        )
+        self.port: Optional[int] = None
+        self.stderr_text = ""
+        deadline = time.monotonic() + start_timeout
+        line = ""
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select(
+                [self.proc.stdout], [], [], min(1.0, start_timeout)
+            )
+            if not ready:
+                if self.proc.poll() is not None:
+                    break
+                continue
+            line = self.proc.stdout.readline()
+            break
+        match = _READY_RE.search(line or "")
+        if match is None:
+            self._reap(5.0)
+            raise RuntimeError(
+                f"server never became ready (stdout={line!r}, "
+                f"stderr={self.stderr_text[-2000:]!r})"
+            )
+        self.port = int(match.group("port"))
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def sigterm(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+
+    def wait(self, timeout: float = 30.0) -> int:
+        """Wait for exit; returns the return code (collects stderr)."""
+        self._reap(timeout)
+        return self.proc.returncode
+
+    def _reap(self, timeout: float) -> None:
+        if getattr(self, "_reaped", False):
+            return
+        try:
+            _, err = self.proc.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            _, err = self.proc.communicate(timeout=10.0)
+        except ValueError:  # pipes already closed
+            err = ""
+        self.stderr_text += err or ""
+        self._reaped = True
+
+    def __enter__(self) -> "ServeProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=15.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        self._reap(10.0)

@@ -1,0 +1,392 @@
+"""Simulation service: protocol, server semantics, coalescing.
+
+Covers the serving layer end to end *in process* (server and clients
+share one event loop; worker processes are real spawn-started
+children):
+
+* wire protocol round-trips and validation errors;
+* cold / warm resolution sources and byte-identical results versus a
+  serial ``_simulate_point`` reference (the exact function the batch
+  CLI runs per point);
+* the coalescing determinism guarantee: N concurrent identical grid
+  requests from separate connections → exactly one underlying
+  simulation per unique point, every reply bit-equal;
+* admission control (``busy`` rejects enqueue *nothing*), priority
+  lanes, cached-hot figure requests bypassing the miss queue,
+  per-point failure streaming, and graceful shutdown.
+
+The thousand-request sweep lives in ``test_serve_load.py``; chaos
+(kills) in ``test_serve_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.parallel import _simulate_point
+from repro.serve import protocol
+from repro.serve.client import ServeBusy, ServeClient
+from repro.serve.protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    point_from_wire,
+    point_to_wire,
+    validate_lane,
+)
+from repro.serve.server import BatchServer, ServeConfig
+from tests.chaos import FaultPlan
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+ADDITION = {"benchmark": "addition", "variant": "scalar", "scale": "tiny"}
+ADDITION_VIS = {"benchmark": "addition", "variant": "vis", "scale": "tiny"}
+THRESH = {"benchmark": "thresh", "variant": "scalar", "scale": "tiny"}
+
+
+def serial_reference(spec) -> dict:
+    """What the batch CLI would compute for ``spec``: the same worker
+    entry point, run serially in this process, JSON-round-tripped the
+    way the wire does."""
+    stats, _elapsed, _resumed = _simulate_point(
+        point_from_wire(spec), True
+    )
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+class ServerHarness:
+    """Start a :class:`BatchServer` inside the running loop and hand
+    out connected clients; tears everything down on exit."""
+
+    def __init__(self, server: BatchServer) -> None:
+        self.server = server
+        self.clients = []
+
+    async def client(self, **kwargs) -> ServeClient:
+        client = ServeClient(port=self.server.port, **kwargs)
+        await client.connect()
+        self.clients.append(client)
+        return client
+
+
+def run_with_server(test_coro, tmp_path=None, **config_kwargs):
+    """Drive one async test body under a live server.
+
+    ``tmp_path`` (when given) becomes the cache directory; without it
+    the server runs cache-less.  The body receives the harness.
+    """
+    config_kwargs.setdefault("workers", 1)
+    config_kwargs.setdefault("checkpoint", False)
+    config = ServeConfig(
+        cache_dir=tmp_path if tmp_path is not None else None,
+        **config_kwargs,
+    )
+
+    async def main():
+        server = BatchServer(config)
+        await server.start()
+        harness = ServerHarness(server)
+        try:
+            await asyncio.wait_for(test_coro(harness), timeout=300)
+        finally:
+            for client in harness.clients:
+                await client.close()
+            await server.shutdown()
+        return server
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"type": "submit", "id": "r1", "points": [ADDITION]}
+        assert decode(encode(message)) == message
+
+    def test_encode_is_one_line(self):
+        assert encode({"type": "ping", "id": "x"}).endswith(b"\n")
+        assert encode({"type": "ping", "id": "x"}).count(b"\n") == 1
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode(b'["a", "list"]\n')
+        with pytest.raises(ProtocolError):
+            decode(b'{"no": "type"}\n')
+
+    def test_point_spec_roundtrip_preserves_content_key(self):
+        point = point_from_wire(ADDITION_VIS)
+        again = point_from_wire(point_to_wire(point))
+        assert again.content_key() == point.content_key()
+        assert again.label() == point.label()
+
+    def test_point_from_wire_named_config_and_scale(self):
+        point = point_from_wire(
+            {"benchmark": "thresh", "cpu": "inorder-1way", "scale": "small"}
+        )
+        assert point.cpu.issue_width == 1
+        assert point.variant.value == "scalar"  # the default
+
+    def test_point_from_wire_rejects_unknowns(self):
+        for bad in (
+            {"benchmark": "nope"},
+            {**ADDITION, "variant": "turbo"},
+            {**ADDITION, "cpu": "cray-1"},
+            {**ADDITION, "scale": "galactic"},
+            "not-a-dict",
+        ):
+            with pytest.raises(ProtocolError):
+                point_from_wire(bad)
+
+    def test_validate_lane(self):
+        assert validate_lane(None) == "normal"
+        assert validate_lane("high") == "high"
+        with pytest.raises(ProtocolError):
+            validate_lane("ludicrous")
+
+
+# ---------------------------------------------------------------------------
+# Resolution sources: cold / warm / coalesced
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_cold_then_warm_and_serial_byte_identity(self, tmp_path):
+        reference = serial_reference(ADDITION)
+
+        async def body(h: ServerHarness):
+            client = await h.client()
+            cold = await client.submit([ADDITION])
+            assert cold.ok == 1 and cold.failed == 0
+            assert cold.sources == {"simulated": 1}
+            assert cold.results[0] == reference
+            warm = await client.submit([ADDITION])
+            assert warm.sources == {"cache": 1}
+            assert warm.results[0] == reference
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.simulated == 1
+        assert server.stats.cache_hits == 1
+        assert dict(server.simulated_keys) and all(
+            n == 1 for n in server.simulated_keys.values()
+        )
+
+    def test_coalescing_determinism(self, tmp_path):
+        """Satellite: N concurrent identical grid requests → exactly
+        one underlying simulation per point, all replies bit-equal to
+        the serial reference."""
+        grid = [ADDITION, ADDITION_VIS]
+        references = [serial_reference(spec) for spec in grid]
+        n_clients = 8
+
+        async def body(h: ServerHarness):
+            clients = [await h.client() for _ in range(n_clients)]
+            outcomes = await asyncio.gather(*[
+                client.submit(grid) for client in clients
+            ])
+            tallies = {}
+            for outcome in outcomes:
+                assert outcome.ok == len(grid) and outcome.failed == 0
+                assert outcome.results == references  # bit-equal
+                for key, count in outcome.sources.items():
+                    tallies[key] = tallies.get(key, 0) + count
+            # one creator per unique point; everyone else coalesced
+            # (a fast fill may finish before later requests arrive,
+            # which makes those cache hits — never a re-simulation)
+            assert tallies.get("simulated") == len(grid)
+            total = sum(tallies.values())
+            assert total == n_clients * len(grid)
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.simulated == 2
+        assert all(n == 1 for n in server.simulated_keys.values())
+        assert server.stats.simulated + server.stats.coalesced + \
+            server.stats.cache_hits == n_clients * 2
+
+    def test_intra_request_duplicates_coalesce(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            outcome = await client.submit([ADDITION, ADDITION, ADDITION])
+            assert outcome.ok == 3
+            assert outcome.sources == {"simulated": 1, "coalesced": 2}
+            assert outcome.results[0] == outcome.results[1] == \
+                outcome.results[2]
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.simulated == 1
+
+    def test_progress_messages_stream(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            outcome = await client.submit([ADDITION, THRESH], progress=True)
+            assert [p["k"] for p in outcome.progress] == [1, 2]
+            assert all(p["n"] == 2 for p in outcome.progress)
+            assert {p["source"] for p in outcome.progress} == {"simulated"}
+
+        run_with_server(body, tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Admission control + lanes
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_busy_rejects_without_enqueuing(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            with pytest.raises(ServeBusy):
+                await client.submit([ADDITION, THRESH])  # 2 misses > 1
+            stats = await client.stats()
+            assert stats["busy_rejections"] == 1
+            assert stats["queue_depth"] == 0  # nothing was enqueued
+            assert stats["inflight"] == 0
+            # a grid that fits is admitted and completes
+            outcome = await client.submit([ADDITION])
+            assert outcome.ok == 1
+
+        run_with_server(body, tmp_path, queue_limit=1)
+
+    def test_cache_hits_bypass_admission(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            await client.submit([ADDITION])  # fill
+            # hits are resolved before the admission check ever runs
+            outcome = await client.submit([ADDITION])
+            assert outcome.sources == {"cache": 1}
+
+        run_with_server(body, tmp_path, queue_limit=1)
+
+    def test_priority_lane_is_acknowledged(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            outcome = await client.submit([ADDITION], priority="high")
+            assert outcome.lane == "high"
+            assert outcome.ok == 1
+
+        run_with_server(body, tmp_path)
+
+    def test_client_busy_retry(self, tmp_path):
+        """retry_busy re-sends after backoff; the retry lands once the
+        first grid's misses drain."""
+
+        async def body(h: ServerHarness):
+            eager = await h.client()
+            patient = await h.client(retry_busy=20)
+            first = asyncio.create_task(eager.submit([ADDITION, THRESH]))
+            while h.server._pending_misses < 2:  # first grid owns the queue
+                await asyncio.sleep(0.01)
+            second = await patient.submit([ADDITION_VIS, THRESH])
+            assert second.ok == 2
+            outcome = await first
+            assert outcome.ok == 2
+
+        run_with_server(body, tmp_path, queue_limit=2)
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+
+class TestFigures:
+    def test_figure_request_cold_then_cached_hot(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            cold = await client.figure(
+                "figure2", scale="tiny", benchmarks=["addition"]
+            )
+            assert cold.rows and cold.headers
+            assert cold.sources.get("simulated") == 2  # scalar + vis
+            before = (await client.stats())["simulated"]
+            hot = await client.figure(
+                "figure2", scale="tiny", benchmarks=["addition"]
+            )
+            assert hot.rows == cold.rows
+            assert hot.sources == {"cache": 2}
+            after = (await client.stats())["simulated"]
+            assert after == before  # cached-hot: miss queue untouched
+
+        run_with_server(body, tmp_path)
+
+    def test_unknown_figure_is_bad_request(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            with pytest.raises(RuntimeError, match="unknown figure"):
+                await client.figure("figure99")
+
+        run_with_server(body, tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Errors, failures, lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestErrorsAndLifecycle:
+    def test_bad_point_spec_is_error_reply(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            with pytest.raises(RuntimeError, match="unknown benchmark"):
+                await client.submit([{"benchmark": "nope"}])
+            assert await client.ping()  # connection survives
+
+        run_with_server(body, tmp_path)
+
+    def test_unknown_message_type_is_error_reply(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            rid, queue = client._new_request()
+            await client._send({"type": "frobnicate", "id": rid})
+            with pytest.raises(RuntimeError, match="unknown message type"):
+                await client._next(queue)
+
+        run_with_server(body, tmp_path)
+
+    def test_injected_point_failure_streams_back(self, tmp_path):
+        plan = FaultPlan(tmp_path, [
+            {"match": "thresh[scalar]", "action": "error", "times": -1},
+        ])
+
+        async def body(h: ServerHarness):
+            client = await h.client()
+            outcome = await client.submit([ADDITION, THRESH])
+            assert outcome.ok == 1 and outcome.failed == 1
+            assert outcome.results[0] is not None
+            failure = outcome.failures[1]
+            assert failure["status"] == "failed"
+            assert "injected fault" in failure["message"]
+
+        with plan:
+            server = run_with_server(body, tmp_path)
+        assert server.stats.failed_points == 1
+
+    def test_stats_and_ping_and_shutdown_message(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            assert await client.ping()
+            stats = await client.stats()
+            assert stats["connections"] == 1
+            assert stats["queue_limit"] == 256
+            await client.shutdown()
+            await asyncio.wait_for(h.server.wait_stopped(), timeout=30)
+
+        run_with_server(body, tmp_path)
+
+    def test_submit_while_draining_is_rejected(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            h.server._draining = True
+            with pytest.raises(RuntimeError, match="shutting down"):
+                await client.submit([ADDITION])
+            h.server._draining = False
+
+        run_with_server(body, tmp_path)

@@ -1,0 +1,149 @@
+"""Chaos tests for the serving layer: kills land, results survive.
+
+Two scenarios from the issue, both against a *real* server subprocess
+(``repro-experiments serve``) managed by :class:`tests.chaos.ServeProcess`,
+with faults injected deterministically through the ``ckpt:`` labels
+(the hook fires right **after** a cycle-level snapshot is persisted,
+so a snapshot provably exists when the fault lands):
+
+* **Worker SIGKILL mid-point** — the fault plan SIGKILLs the worker
+  right after its first snapshot.  The pool breaks, the server
+  rebuilds it and retries, the retry restores from the snapshot, and
+  the waiting client receives a result byte-identical to the serial
+  reference — it never learns anything went wrong.
+
+* **Server SIGTERM mid-grid** — a worker is slow-rolled mid-point
+  (after snapshotting); SIGTERM with a short grace window preempts it.
+  The client is told (``preempted`` failure or torn connection), the
+  server exits 0, the snapshot survives on disk, and a restarted
+  server serving the same cache completes the re-request by resuming
+  mid-point (``checkpoint_resumes >= 1``) with byte-identical stats.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.parallel import _simulate_point
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    SubmitOutcome,
+)
+from repro.serve.protocol import point_from_wire
+from tests.chaos import FaultPlan, ServeProcess
+
+ADDITION = {"benchmark": "addition", "variant": "scalar", "scale": "tiny"}
+ADDITION_VIS = {"benchmark": "addition", "variant": "vis", "scale": "tiny"}
+
+#: small enough that a tiny-scale point writes several snapshots
+CKPT_ARGS = ("--jobs", "1", "--checkpoint-interval", "2000")
+
+
+def serial_reference(spec) -> dict:
+    stats, _elapsed, _resumed = _simulate_point(point_from_wire(spec), True)
+    return json.loads(json.dumps(stats.to_dict(), sort_keys=True))
+
+
+def snapshot_files(out_dir: Path):
+    return list(
+        (out_dir / ".simcache" / "checkpoints").rglob("ckpt_*.ckpt.json")
+    )
+
+
+async def _submit_one(port: int, spec, **client_kwargs) -> SubmitOutcome:
+    async with ServeClient(port=port, **client_kwargs) as client:
+        return await client.submit([spec])
+
+
+async def _stats(port: int) -> dict:
+    async with ServeClient(port=port) as client:
+        return await client.stats()
+
+
+class TestWorkerKillMidPoint:
+    def test_client_gets_result_via_checkpoint_resume(self, tmp_path):
+        reference = serial_reference(ADDITION)
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[scalar]", "action": "kill", "times": 1},
+        ])
+        with ServeProcess(tmp_path / "out", CKPT_ARGS, plan=plan) as serve:
+            outcome, stats = asyncio.run(self._drive(serve.port))
+        assert plan.shots_fired(0) == 1, "the SIGKILL landed"
+        # the client never noticed: one clean, byte-identical result
+        assert outcome.ok == 1 and outcome.failed == 0
+        assert outcome.results[0] == reference
+        assert outcome.point_sources[0] == "simulated"
+        # and the server paid for it the way the design says it must
+        assert stats["pool_rebuilds"] >= 1
+        assert stats["retries"] >= 1
+        assert stats["checkpoint_resumes"] >= 1
+        assert stats["duplicate_simulations"] == 0
+
+    @staticmethod
+    async def _drive(port):
+        outcome = await _submit_one(port, ADDITION)
+        stats = await _stats(port)
+        return outcome, stats
+
+
+class TestServerSigtermMidGrid:
+    def test_restart_completes_from_snapshots(self, tmp_path):
+        out_dir = tmp_path / "out"
+        reference = serial_reference(ADDITION_VIS)
+        # slow-roll the point right after its first snapshot, so the
+        # SIGTERM provably lands mid-point with a snapshot on disk
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[vis]", "action": "sleep",
+             "seconds": 120, "times": 1},
+        ])
+
+        with ServeProcess(
+            out_dir, CKPT_ARGS + ("--grace", "0.5"), plan=plan
+        ) as serve:
+            preempted = asyncio.run(
+                self._submit_then_sigterm(serve, out_dir)
+            )
+            assert serve.wait(timeout=30) == 0, serve.stderr_text[-2000:]
+        # the kill interrupted the point, not the bookkeeping
+        assert plan.shots_fired(0) == 1
+        assert snapshot_files(out_dir), "snapshots survived the SIGTERM"
+        if preempted is not None:  # reply raced the close and won
+            assert preempted.failed == 1
+            assert preempted.failures[0]["status"] == "preempted"
+
+        # restart on the same cache: the re-request resumes mid-point
+        with ServeProcess(out_dir, CKPT_ARGS, plan=plan) as serve:
+            outcome, stats = asyncio.run(self._redrive(serve.port))
+        assert outcome.ok == 1 and outcome.failed == 0
+        assert outcome.results[0] == reference
+        assert stats["checkpoint_resumes"] >= 1, (
+            "the restarted server started from cycle 0 instead of the "
+            "surviving snapshot"
+        )
+
+    @staticmethod
+    async def _submit_then_sigterm(serve, out_dir):
+        """Submit, wait for the worker's first snapshot to hit disk
+        (the deterministic 'mid-point' signal), then SIGTERM."""
+        async with ServeClient(port=serve.port) as client:
+            task = asyncio.create_task(client.submit([ADDITION_VIS]))
+            deadline = time.monotonic() + 90
+            while not snapshot_files(out_dir):
+                if time.monotonic() > deadline:  # pragma: no cover
+                    raise AssertionError("no snapshot ever appeared")
+                await asyncio.sleep(0.05)
+            serve.sigterm()
+            try:
+                return await asyncio.wait_for(task, timeout=30)
+            except (ServeConnectionError, asyncio.TimeoutError):
+                return None  # torn connection is an accepted outcome
+
+    @staticmethod
+    async def _redrive(port):
+        outcome = await _submit_one(port, ADDITION_VIS)
+        stats = await _stats(port)
+        return outcome, stats

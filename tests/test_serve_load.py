@@ -1,0 +1,184 @@
+"""Load test: many concurrent clients hammering overlapping grids.
+
+The acceptance bar for the serving layer: with ≥1000 concurrent
+requests over overlapping tiny grids,
+
+* every client receives byte-identical results (equal to a serial
+  ``_simulate_point`` reference computed up front),
+* the per-request source tallies add up exactly to the server's
+  global counters (nothing double-counted, nothing lost), and
+* **no point is simulated twice** — one underlying simulation per
+  unique point, everything else cache hits or coalesced waits.
+
+Requests pipeline over a bounded number of connections (the protocol
+is id-tagged JSONL, so one socket carries many in-flight requests);
+that is how a single test process sustains a thousand concurrent
+requests without a thousand file descriptors.
+
+The full 1000-request sweep runs under ``-m slow`` (the golden/CI-slow
+lane, as the CI serve job configures it); the tier-1 lane runs the
+same harness at 120 requests.  ``benchmarks/bench_serve.py`` reuses
+this module's harness for timed runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments.parallel import _simulate_point
+from repro.serve.client import ServeClient
+from repro.serve.protocol import point_from_wire
+from repro.serve.server import BatchServer, ServeConfig
+
+#: six unique tiny points; every request's grid is a rotating
+#: 3-point window over this pool, so neighbouring requests overlap
+#: on 2 of 3 points — maximal coalescing pressure
+POINT_POOL = [
+    {"benchmark": benchmark, "variant": variant, "scale": "tiny"}
+    for benchmark in ("addition", "thresh", "scaling")
+    for variant in ("scalar", "vis")
+]
+
+POINTS_PER_REQUEST = 3
+
+
+def grid_for_request(index: int) -> list:
+    return [
+        POINT_POOL[(index + offset) % len(POINT_POOL)]
+        for offset in range(POINTS_PER_REQUEST)
+    ]
+
+
+def serial_references() -> dict:
+    """key -> JSON-round-tripped stats dict, computed serially through
+    the batch worker entry point (the byte-identity oracle)."""
+    references = {}
+    for spec in POINT_POOL:
+        point = point_from_wire(spec)
+        stats, _elapsed, _resumed = _simulate_point(point, True)
+        references[point.content_key()] = json.loads(
+            json.dumps(stats.to_dict(), sort_keys=True)
+        )
+    return references
+
+
+async def run_load(
+    cache_dir,
+    total_requests: int,
+    connections: int,
+    workers: int = 2,
+    priority_mix: bool = True,
+):
+    """Drive ``total_requests`` concurrent submits over ``connections``
+    pipelined client connections against a fresh in-process server.
+
+    Returns ``(server, outcomes)`` after graceful shutdown.
+    """
+    config = ServeConfig(
+        cache_dir=cache_dir,
+        workers=workers,
+        checkpoint=False,
+        queue_limit=4096,  # admission off the table: this test is
+    )                      # about dedup/coalescing, not backpressure
+    server = BatchServer(config)
+    await server.start()
+    clients = []
+    try:
+        for _ in range(connections):
+            client = ServeClient(port=server.port)
+            await client.connect()
+            clients.append(client)
+
+        async def one_request(index: int):
+            client = clients[index % connections]
+            priority = (
+                "high" if priority_mix and index % 7 == 0 else "normal"
+            )
+            return await client.submit(
+                grid_for_request(index), priority=priority
+            )
+
+        outcomes = await asyncio.gather(*[
+            one_request(index) for index in range(total_requests)
+        ])
+    finally:
+        for client in clients:
+            await client.close()
+        await server.shutdown()
+    return server, outcomes
+
+
+def check_invariants(server, outcomes, total_requests: int, references,
+                     expected_simulated: int = None):
+    """The three load-test guarantees, asserted exactly.
+
+    ``expected_simulated`` defaults to one simulation per unique point
+    (a cold cache); pass 0 for a fully warm cache.
+    """
+    if expected_simulated is None:
+        expected_simulated = len(POINT_POOL)
+    tallies = {}
+    for index, outcome in enumerate(outcomes):
+        grid = grid_for_request(index)
+        assert outcome.ok == len(grid), (
+            f"request {index}: {outcome.ok} ok of {len(grid)}"
+        )
+        assert outcome.failed == 0
+        for spec, result, source in zip(
+            grid, outcome.results, outcome.point_sources
+        ):
+            key = point_from_wire(spec).content_key()
+            assert result == references[key], (
+                f"request {index}: divergent result for {key[:16]}"
+            )
+            tallies[source] = tallies.get(source, 0) + 1
+
+    total_points = total_requests * POINTS_PER_REQUEST
+    assert sum(tallies.values()) == total_points
+
+    # per-request tallies add up exactly to the global counters
+    stats = server.stats
+    assert tallies.get("simulated", 0) == stats.simulated
+    assert tallies.get("coalesced", 0) == stats.coalesced
+    assert tallies.get("cache", 0) == stats.cache_hits
+    assert stats.simulated + stats.coalesced + stats.cache_hits == \
+        total_points
+    assert stats.failed_points == 0
+    assert stats.busy_rejections == 0
+
+    # no point simulated twice, and every expected miss exactly once
+    assert stats.simulated == expected_simulated
+    assert set(server.simulated_keys) <= set(references)
+    assert len(server.simulated_keys) == expected_simulated
+    duplicates = {
+        key: count for key, count in server.simulated_keys.items()
+        if count != 1
+    }
+    assert duplicates == {}, f"points simulated twice: {duplicates}"
+
+
+class TestServeLoad:
+    def test_load_tier1_120_requests(self, tmp_path):
+        """The tier-1 lane: same harness, 120 concurrent requests."""
+        references = serial_references()
+        server, outcomes = asyncio.run(
+            run_load(tmp_path, total_requests=120, connections=12)
+        )
+        check_invariants(server, outcomes, 120, references)
+
+    @pytest.mark.slow
+    def test_load_1000_requests(self, tmp_path):
+        """The acceptance bar: ≥1000 concurrent requests, zero
+        duplicate simulations, zero divergent results."""
+        references = serial_references()
+        server, outcomes = asyncio.run(
+            run_load(tmp_path, total_requests=1000, connections=50)
+        )
+        check_invariants(server, outcomes, 1000, references)
+        # with 1000 requests over 6 unique points, coalescing and the
+        # cache must absorb essentially everything
+        assert server.stats.coalesced + server.stats.cache_hits == \
+            1000 * POINTS_PER_REQUEST - len(POINT_POOL)

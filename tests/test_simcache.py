@@ -8,6 +8,7 @@ stamp invalidates wholesale.
 
 import dataclasses
 import json
+import os
 
 import pytest
 
@@ -216,6 +217,197 @@ class TestRunnerCacheBehaviour:
         )
         runner.run_points([_point(cpu=changed)])
         assert runner.simulated == 2  # second point was not served stale
+
+
+def _race_fill(cache_dir, key, counter_dir, barrier, results):
+    """One contender in the cross-process fill race (run in a child
+    process): claim-or-wait, ``compute`` = create a token file + store
+    a recognizable record.  Appends (pid, source) to ``results``."""
+    import dataclasses as _dc
+    import os
+    import tempfile as _tf
+
+    from repro.experiments.parallel import DiskCache as _DiskCache
+
+    cache = _DiskCache(cache_dir)
+    barrier.wait()  # maximize the O_EXCL collision window
+    claim = cache.try_claim(key)
+    if claim is None:
+        stats = cache.wait_for(key, timeout=30.0)
+        assert stats is not None, "waiter timed out without a record"
+        results.append((os.getpid(), "waited"))
+        return
+    with claim:
+        # "compute": leave a token proving this process did the work
+        fd, tok = _tf.mkstemp(dir=str(counter_dir), prefix="computed-")
+        os.close(fd)
+        from repro.experiments.parallel import ParallelRunner
+
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1)
+        stats = runner.run_points([_point()])[0]
+        cache.store(key, _dc.replace(stats, cycles=424242))
+    results.append((os.getpid(), "computed"))
+
+
+class TestFillClaims:
+    """Cross-process advisory locks around cache fills: two
+    servers/workers racing one key must not double-compute (and records
+    stay atomic regardless — the claim is advisory, never load-bearing
+    for integrity)."""
+
+    KEY = "k" * 64
+
+    def test_claim_is_exclusive_then_released(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        claim = cache.try_claim(self.KEY)
+        assert claim is not None and not claim.degraded
+        assert cache.try_claim(self.KEY) is None  # held
+        claim.release()
+        second = cache.try_claim(self.KEY)  # reusable after release
+        assert second is not None
+        second.release()
+        assert cache.claims == 2
+
+    def test_context_manager_releases_on_error(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(RuntimeError):
+            with cache.try_claim(self.KEY):
+                raise RuntimeError("fill blew up")
+        assert cache.try_claim(self.KEY) is not None  # not wedged
+
+    def test_stale_claim_is_broken(self, tmp_path):
+        """A claim whose holder was SIGKILLed (never released) must not
+        wedge the key forever: past ``stale_after`` the next claimant
+        breaks it and computes."""
+        cache = DiskCache(tmp_path)
+        cache.try_claim(self.KEY)  # orphaned on purpose
+        past = __import__("time").time() - 120.0
+        os.utime(cache.lock_path(self.KEY), (past, past))
+        claim = cache.try_claim(self.KEY, stale_after=60.0)
+        assert claim is not None
+        assert cache.stale_claims_broken == 1
+        claim.release()
+
+    def test_fresh_claim_is_not_broken(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.try_claim(self.KEY)
+        assert cache.try_claim(self.KEY, stale_after=60.0) is None
+        assert cache.stale_claims_broken == 0
+
+    def _plant_foreign_claim(self, cache, pid) -> None:
+        lock = cache.lock_path(self.KEY)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(
+            json.dumps({"pid": pid, "time": __import__("time").time()}),
+            encoding="utf-8",
+        )
+
+    def test_dead_holder_claim_is_broken_immediately(self, tmp_path):
+        """A claim naming a pid that no longer exists (its holder was
+        SIGKILLed) is broken right away — no 10-minute stale wait for a
+        restarted server."""
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()  # reaped: the pid provably does not exist any more
+        cache = DiskCache(tmp_path)
+        self._plant_foreign_claim(cache, proc.pid)
+        assert cache.claim_holder_dead(self.KEY)
+        claim = cache.try_claim(self.KEY, stale_after=3600.0)
+        assert claim is not None
+        assert cache.stale_claims_broken == 1
+        claim.release()
+        # wait_for sees through a dead holder the same way
+        self._plant_foreign_claim(cache, proc.pid)
+        assert cache.wait_for(self.KEY, timeout=30.0) is None
+
+    def test_live_foreign_holder_is_respected(self, tmp_path):
+        """pid 1 is alive but not ours (EPERM): the claim must hold."""
+        cache = DiskCache(tmp_path)
+        self._plant_foreign_claim(cache, 1)
+        assert not cache.claim_holder_dead(self.KEY)
+        assert cache.try_claim(self.KEY, stale_after=3600.0) is None
+        assert cache.stale_claims_broken == 0
+
+    def test_unreadable_claim_payload_reads_as_alive(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        lock = cache.lock_path(self.KEY)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("not json", encoding="utf-8")
+        assert not cache.claim_holder_dead(self.KEY)
+
+    def test_unwritable_lock_dir_degrades_to_computing(self, tmp_path):
+        """Liveness over dedup: if the lock directory cannot be created
+        the claim is granted unbacked, so fills still happen."""
+        root = tmp_path / "cache"
+        cache = DiskCache(root)
+        (root / "locks").write_text("a file where the dir should be")
+        claim = cache.try_claim(self.KEY)
+        assert claim is not None and claim.degraded
+        claim.release()  # no-op, no crash
+
+    def test_wait_for_returns_none_when_claim_released_empty(self, tmp_path):
+        """A holder that releases without storing (its fill failed)
+        unblocks waiters with ``None`` so they claim and compute."""
+        cache = DiskCache(tmp_path)
+        claim = cache.try_claim(self.KEY)
+        claim.release()
+        assert cache.wait_for(self.KEY, timeout=5.0) is None
+
+    def test_wait_for_sees_record_land(self, tmp_path, baseline_stats):
+        import threading
+
+        cache = DiskCache(tmp_path)
+        claim = cache.try_claim(self.KEY)
+
+        def fill():
+            cache.store(self.KEY, baseline_stats)
+            claim.release()
+
+        t = threading.Timer(0.2, fill)
+        t.start()
+        try:
+            got = cache.wait_for(self.KEY, timeout=10.0)
+        finally:
+            t.join()
+        assert got == baseline_stats
+
+    def test_concurrent_processes_compute_exactly_once(self, tmp_path):
+        """The satellite's regression: N processes race one cold key;
+        exactly one simulates, every process ends with the same record,
+        and the record is not torn."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        manager = ctx.Manager()
+        results = manager.list()
+        barrier = ctx.Barrier(4)
+        counter_dir = tmp_path / "tokens"
+        counter_dir.mkdir()
+        cache_dir = tmp_path / "cache"
+        key = _point().content_key()
+        procs = [
+            ctx.Process(
+                target=_race_fill,
+                args=(str(cache_dir), key, str(counter_dir), barrier, results),
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        outcomes = sorted(source for _pid, source in results)
+        assert outcomes.count("computed") == 1, outcomes
+        assert outcomes.count("waited") == 3, outcomes
+        assert len(list(counter_dir.glob("computed-*"))) == 1
+        # the one stored record is intact and served to a fresh reader
+        stats = DiskCache(cache_dir).load(key)
+        assert stats is not None and stats.cycles == 424242
+        # no claim survives the race
+        assert not DiskCache(cache_dir).lock_path(key).exists()
 
 
 class TestCliIntegration:
