@@ -295,6 +295,21 @@ def prune_snapshots(directory: Path, keep: int) -> int:
     return removed
 
 
+def snapshot_progress(directory: Path) -> Optional[Tuple[str, Dict]]:
+    """Name + progress dict of the newest *readable* snapshot in a
+    point's directory, without restoring its payload.  Crash recovery
+    uses this for provenance: a replayed point can report how far its
+    resumable snapshot had progressed before the kill.  ``None`` means
+    no readable snapshot (cold start)."""
+    for path in reversed(list_snapshots(directory)):
+        try:
+            _meta, progress, _payload = load_snapshot(path)
+        except CheckpointError:
+            continue
+        return path.name, progress
+    return None
+
+
 def load_newest_valid(
     session: CheckpointSession, expected_meta: Dict
 ) -> Optional[Tuple[str, Dict]]:

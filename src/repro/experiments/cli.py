@@ -335,6 +335,12 @@ def main(argv=None) -> int:
         help="newest quarantined files retained "
              f"(default: {DEFAULT_GC_MAX_QUARANTINE})",
     )
+    gc_group.add_argument(
+        "--release-poisoned", action="store_true",
+        help="drop 'poisoned' quarantine records from the serve journal "
+             "so the next server admits those points again (run against "
+             "a stopped server)",
+    )
     serve_group = parser.add_argument_group(
         "serve subcommand",
         "run the simulation service: an asyncio batch API that dedupes "
@@ -365,6 +371,17 @@ def main(argv=None) -> int:
         "--grace", type=float, default=None, metavar="SECONDS",
         help="graceful-shutdown drain window before in-flight points "
              "are preempted to their newest snapshots (default: 5)",
+    )
+    serve_group.add_argument(
+        "--poison-threshold", type=int, default=None, metavar="N",
+        help="consecutive attributed worker deaths before a point is "
+             "quarantined as 'poisoned' (0 disables; default: 3)",
+    )
+    serve_group.add_argument(
+        "--stall-grace", type=float, default=300.0, metavar="SECONDS",
+        help="with pending misses and no retire progress for this long, "
+             "proactively rebuild a wedged worker pool "
+             "(0 disables; default: 300)",
     )
     trace_group = parser.add_argument_group(
         "trace subcommand",
@@ -584,6 +601,7 @@ def _run_gc(args) -> int:
         max_age_s=max(0.0, args.gc_max_age_hours) * 3600.0,
         keep_per_point=max(0, args.gc_keep),
         max_quarantine=max(0, args.gc_max_quarantine),
+        release_poisoned=args.release_poisoned,
     )
     print(report.summary())
     return 0
@@ -609,6 +627,7 @@ def _run_serve(args) -> int:
 
     from ..serve.server import (
         DEFAULT_GRACE_S,
+        DEFAULT_POISON_THRESHOLD,
         DEFAULT_QUEUE_LIMIT,
         DEFAULT_SERVE_CHECKPOINT_INTERVAL,
         DEFAULT_WORKERS,
@@ -636,6 +655,12 @@ def _run_serve(args) -> int:
             else DEFAULT_QUEUE_LIMIT
         ),
         grace_s=args.grace if args.grace is not None else DEFAULT_GRACE_S,
+        poison_threshold=(
+            max(0, args.poison_threshold)
+            if args.poison_threshold is not None
+            else DEFAULT_POISON_THRESHOLD
+        ),
+        stall_grace_s=max(0.0, args.stall_grace),
         point_timeout=args.point_timeout,
         max_retries=max(0, args.max_retries),
         checkpoint=not args.no_checkpoint,

@@ -65,6 +65,11 @@ STATUS_TIMEOUT = "timed-out"
 STATUS_WORKER_LOST = "worker-lost"
 #: attribution-audit divergence — never isolated, always fatal (exit 3)
 STATUS_AUDIT = "audit"
+#: the point repeatedly killed its worker (>= the poison threshold of
+#: consecutive attributed pool-rebuild generations) and was quarantined
+#: by the serving layer instead of being retried forever; released only
+#: by ``cache gc --release-poisoned``
+STATUS_POISONED = "poisoned"
 
 #: statuses that are worth retrying: the fault is in the *environment*
 #: (a killed worker, a broken pool), not a deterministic property of

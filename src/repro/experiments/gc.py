@@ -13,19 +13,31 @@ instead of deleting at the moment of failure:
   running*, but snapshots of points that finished successfully — and
   quarantined snapshots — persist until collected;
 * **orphaned temp files** — ``*.tmp`` left by a SIGKILL between
-  ``mkstemp`` and ``os.replace``.
+  ``mkstemp`` and ``os.replace``;
+* **serve-layer debris** — the crash-only serving journal
+  (``serve_journal.jsonl``, see :mod:`repro.serve.journal`) keeps
+  ``poisoned`` quarantine records forever by design (they block
+  re-admission), journals from an incompatible cache generation are
+  dead weight, and ``serve_running/`` worker markers of dead pids are
+  orphans of a killed server.
 
-:func:`gc_cache` sweeps all three with age and count caps.  It is
+:func:`gc_cache` sweeps all of these with age and count caps.  It is
 deliberately boring: every unlink is individually guarded, failures are
 logged and counted (never raised), and nothing outside the given roots
 is ever touched.  The CLI exposes it as ``cache gc``::
 
     python -m repro.experiments.cli cache gc --out results/
     python -m repro.experiments.cli cache gc --gc-max-age-hours 1 --gc-keep 0
+    python -m repro.experiments.cli cache gc --release-poisoned
+
+``--release-poisoned`` is the only way back for a quarantined point: it
+rewrites the journal without the ``poisoned`` records, so the next
+server admits those points again.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import time
 from dataclasses import dataclass
@@ -37,6 +49,15 @@ from ..checkpoint.snapshot import (
     SNAPSHOT_SUFFIX,
     prune_snapshots,
 )
+from ..serve.journal import (
+    JOURNAL_FORMAT_VERSION,
+    STATUS_POISONED,
+    TERMINAL_STATUSES,
+    journal_path,
+    load_journal_records,
+    rewrite_journal,
+)
+from ..serve.server import SERVE_RUNNING_DIRNAME, _pid_alive
 from .parallel import CHECKPOINT_DIRNAME, QUARANTINE_DIRNAME
 
 log = logging.getLogger("repro.experiments.gc")
@@ -60,6 +81,14 @@ class GcReport:
     snapshots_removed: int = 0
     tmp_removed: int = 0
     dirs_removed: int = 0
+    #: dead-pid worker markers swept from ``serve_running/``
+    markers_removed: int = 0
+    #: whole journal files dropped (incompatible format/cache generation)
+    journals_removed: int = 0
+    #: aged terminal journal records pruned
+    journal_records_removed: int = 0
+    #: quarantined (``poisoned``) points released back to admission
+    poisoned_released: int = 0
     errors: int = 0
 
     @property
@@ -67,6 +96,8 @@ class GcReport:
         return (
             self.quarantine_removed + self.snapshots_removed
             + self.tmp_removed + self.dirs_removed
+            + self.markers_removed + self.journals_removed
+            + self.journal_records_removed + self.poisoned_released
         )
 
     def summary(self) -> str:
@@ -74,7 +105,13 @@ class GcReport:
             f"gc: removed {self.quarantine_removed} quarantined record(s), "
             f"{self.snapshots_removed} checkpoint snapshot(s), "
             f"{self.tmp_removed} temp file(s), "
-            f"{self.dirs_removed} empty dir(s)"
+            f"{self.dirs_removed} empty dir(s), "
+            f"{self.markers_removed} worker marker(s), "
+            f"{self.journal_records_removed} journal record(s)"
+            + (f", {self.journals_removed} dead journal(s)"
+               if self.journals_removed else "")
+            + (f"; released {self.poisoned_released} poisoned point(s)"
+               if self.poisoned_released else "")
             + (f"; {self.errors} error(s) (see log)" if self.errors else "")
         )
 
@@ -154,12 +191,87 @@ def _sweep_point_dir(
     _rmdir_if_empty(point_dir, report)
 
 
+def _current_cache_version() -> str:
+    """The cache stamp this build writes (mirrors ``DiskCache.version``);
+    a journal from any other generation can never be replayed."""
+    from .parallel import (
+        ANALYZER_VERSION,
+        CACHE_FORMAT_VERSION,
+        REGISTRY_VERSION,
+    )
+
+    return f"{CACHE_FORMAT_VERSION}.{REGISTRY_VERSION}.{ANALYZER_VERSION}"
+
+
+def _sweep_markers(marker_dir: Path, report: GcReport) -> None:
+    """Dead-pid worker markers under ``serve_running/`` (orphans of a
+    SIGKILLed server).  Markers of live pids are left alone — a running
+    server's workers are mid-point."""
+    try:
+        markers = sorted(marker_dir.glob("*.json"))
+    except OSError:
+        return
+    for path in markers:
+        try:
+            pid = json.loads(path.read_text(encoding="utf-8")).get("pid")
+        except (OSError, ValueError):
+            pid = None  # torn marker: garbage
+        if isinstance(pid, int) and _pid_alive(pid):
+            continue
+        if _unlink(path, report):
+            report.markers_removed += 1
+    _rmdir_if_empty(marker_dir, report)
+
+
+def _sweep_journal(
+    cache_root: Path, cutoff: float, release_poisoned: bool,
+    report: GcReport,
+) -> None:
+    """The serve journal: drop it wholesale when its header is from an
+    incompatible format or cache generation (orphaned segment — nothing
+    in it can be replayed); otherwise prune aged terminal records and,
+    with ``release_poisoned``, rewrite without quarantine records so
+    the next server admits those points again.  Run against a stopped
+    server — a live server holds the journal open for append."""
+    path = journal_path(cache_root)
+    if not path.exists():
+        return
+    header, records = load_journal_records(path)
+    if (
+        header is None
+        or header.get("version") != JOURNAL_FORMAT_VERSION
+        or header.get("cache_version") != _current_cache_version()
+    ):
+        if _unlink(path, report):
+            report.journals_removed += 1
+        return
+    keep: List[dict] = []
+    dropped = False
+    for _key, record in sorted(records.items()):
+        status = record.get("status")
+        if status == STATUS_POISONED:
+            if release_poisoned:
+                report.poisoned_released += 1
+                dropped = True
+                continue
+        elif status in TERMINAL_STATUSES and record.get("at", 0.0) < cutoff:
+            # terminal history stranded by a kill before the server's
+            # shutdown compaction could drop it
+            report.journal_records_removed += 1
+            dropped = True
+            continue
+        keep.append(record)
+    if dropped and not rewrite_journal(path, keep):
+        report.errors += 1
+
+
 def gc_cache(
     cache_root,
     checkpoint_root=None,
     max_age_s: float = DEFAULT_GC_MAX_AGE_HOURS * 3600.0,
     keep_per_point: int = DEFAULT_GC_KEEP,
     max_quarantine: int = DEFAULT_GC_MAX_QUARANTINE,
+    release_poisoned: bool = False,
     now: Optional[float] = None,
 ) -> GcReport:
     """Collect quarantine/snapshot/temp debris; returns a :class:`GcReport`.
@@ -170,7 +282,12 @@ def gc_cache(
       ``keep_per_point`` snapshots younger than ``max_age_s``, drop
       ``*.tmp`` debris, apply the same caps to the point's own
       ``quarantine/``, and remove the directory once empty;
-    * ``<cache_root>/*.tmp``: always removed.
+    * ``<cache_root>/*.tmp``: always removed;
+    * ``<cache_root>/serve_running/``: dead-pid worker markers removed;
+    * ``<cache_root>/serve_journal.jsonl``: removed wholesale when from
+      an incompatible cache generation; aged terminal records pruned;
+      ``release_poisoned`` drops quarantine records (re-admitting the
+      points).
 
     ``checkpoint_root`` defaults to ``<cache_root>/checkpoints``.  The
     sweep never raises — unremovable files are logged and counted in
@@ -189,6 +306,10 @@ def gc_cache(
         qdir = cache_root / QUARANTINE_DIRNAME
         if qdir.is_dir():
             _sweep_quarantine(qdir, cutoff, max_quarantine, report)
+        marker_dir = cache_root / SERVE_RUNNING_DIRNAME
+        if marker_dir.is_dir():
+            _sweep_markers(marker_dir, report)
+        _sweep_journal(cache_root, cutoff, release_poisoned, report)
 
     if checkpoint_root.is_dir():
         try:

@@ -15,9 +15,19 @@ the CI smoke job and EXPERIMENTS.md workflows use::
         --scale tiny --repeat 3 \
         --expect simulated=4 --expect coalesced=8
 
+With ``--reconnect N`` (library: ``ServeClient(reconnect=N)``) a
+transport fault mid-request no longer strands in-flight waiters: the
+client reconnects with bounded deterministic jittered backoff
+(:class:`~repro.experiments.faults.RetryPolicy`) and idempotently
+resubmits every pending request — the server's simcache dedup and
+request coalescing make a resubmitted request converge on the same
+bytes without duplicate simulation.  ``--retry-busy`` backoff uses the
+same policy (deterministic jitter, capped), and the exit diagnostics
+carry the attempt counter.
+
 Exit codes: 0 success; 1 at least one point failed; 4 an ``--expect``
 assertion failed; 7 transport trouble (connection refused, rejected
-busy after retries, torn stream).
+busy after retries, torn stream after reconnect attempts).
 """
 
 from __future__ import annotations
@@ -26,18 +36,23 @@ import argparse
 import asyncio
 import itertools
 import json
+import logging
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..experiments.faults import RetryPolicy
 from .protocol import (
     LANES,
     MAX_LINE_BYTES,
     NAMED_CONFIGS,
     NAMED_SCALES,
+    ProtocolError,
     decode,
     encode,
 )
+
+log = logging.getLogger("repro.serve.client")
 
 EXIT_OK = 0
 EXIT_POINT_FAILED = 1
@@ -45,6 +60,7 @@ EXIT_EXPECT_FAILED = 4
 EXIT_TRANSPORT = 7
 
 #: sentinel queued to every pending request when the connection drops
+#: for good (reconnect disabled or exhausted)
 _CLOSED = object()
 
 
@@ -54,12 +70,14 @@ class ServeConnectionError(ConnectionError):
 
 class ServeBusy(RuntimeError):
     """The server rejected the request (admission control) and retries
-    were exhausted (or disabled)."""
+    were exhausted (or disabled).  ``attempts`` counts the submits that
+    were rejected (surfaced in the CLI's exit diagnostics)."""
 
     def __init__(self, queue_depth: int, limit: int) -> None:
         super().__init__(f"server busy (queue {queue_depth}/{limit})")
         self.queue_depth = queue_depth
         self.limit = limit
+        self.attempts = 1
 
 
 @dataclass
@@ -108,19 +126,47 @@ class ServeClient:
         unix_path: Optional[str] = None,
         retry_busy: int = 0,
         retry_backoff_s: float = 0.25,
+        reconnect: int = 0,
+        reconnect_backoff_s: float = 0.05,
     ) -> None:
         self.host = host
         self.port = port
         self.unix_path = unix_path
         self.retry_busy = retry_busy
         self.retry_backoff_s = retry_backoff_s
+        #: transport-fault reconnect attempts per outage (0 = fail fast)
+        self.reconnect = reconnect
+        #: deterministic jittered backoff, shared with the batch
+        #: stack's retry machinery
+        self._backoff = RetryPolicy(
+            max_retries=max(reconnect, retry_busy),
+            base_delay=reconnect_backoff_s,
+            max_delay=2.0,
+        )
+        self._busy_backoff = RetryPolicy(
+            max_retries=retry_busy,
+            base_delay=retry_backoff_s,
+            max_delay=5.0,
+        )
+        #: healed connections (observability + test assertions)
+        self.reconnects = 0
+        #: undecodable server lines seen (logged, then surfaced as a
+        #: transport fault — never silently swallowed)
+        self.decode_errors = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
         self._queues: Dict[str, asyncio.Queue] = {}
+        #: rid -> request message, for idempotent resubmission after a
+        #: reconnect (removed when the request completes)
+        self._sent: Dict[str, Dict] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
         self._closed = False
+        #: the connection is gone for good (reconnect exhausted)
+        self._dead = False
+        self._healed = asyncio.Event()
+        self._healed.set()
 
     async def __aenter__(self) -> "ServeClient":
         await self.connect()
@@ -129,7 +175,7 @@ class ServeClient:
     async def __aexit__(self, *exc) -> None:
         await self.close()
 
-    async def connect(self) -> None:
+    async def _open_transport(self) -> None:
         try:
             if self.unix_path:
                 self._reader, self._writer = await asyncio.open_unix_connection(
@@ -143,6 +189,21 @@ class ServeClient:
                 )
         except OSError as exc:
             raise ServeConnectionError(f"cannot connect: {exc}") from None
+
+    async def connect(self) -> None:
+        """Open the connection (with bounded backoff when
+        ``reconnect`` is enabled — a client started against a server
+        that is still restarting rides out the gap)."""
+        attempt = 0
+        while True:
+            try:
+                await self._open_transport()
+                break
+            except ServeConnectionError:
+                attempt += 1
+                if attempt > self.reconnect:
+                    raise
+                await asyncio.sleep(self._backoff.delay("connect", attempt))
         self._reader_task = asyncio.create_task(self._read_loop())
 
     async def close(self) -> None:
@@ -159,43 +220,134 @@ class ServeClient:
             except Exception:
                 pass
 
+    # -- transport: pump / heal / resubmit ----------------------------------
+
     async def _read_loop(self) -> None:
+        """Route incoming messages until the transport faults; then try
+        to heal (bounded reconnect + idempotent resubmission) and keep
+        pumping.  Only when healing is disabled or exhausted do pending
+        requests see the ``_CLOSED`` sentinel."""
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                fault = await self._pump()
+                if self._closed:
                     break
-                message = decode(line)
-                rid = message.get("id")
-                queue = self._queues.get(rid)
-                if queue is not None:
-                    queue.put_nowait(message)
-                # messages for unknown/finished ids (e.g. a global
-                # error with id null) are dropped; the transport-level
-                # sentinel below covers torn connections
+                if not self.reconnect or not await self._heal(fault):
+                    break
         except asyncio.CancelledError:
             raise
-        except Exception:
-            pass
         finally:
+            self._dead = True
+            self._healed.set()  # unblock senders waiting on a heal
             for queue in self._queues.values():
                 queue.put_nowait(_CLOSED)
 
-    async def _send(self, message: Dict) -> None:
+    async def _pump(self) -> str:
+        """Read + route messages until the connection faults.  Returns
+        the fault description.  Decode failures are logged and treated
+        as faults (framing is lost), never silently swallowed."""
+        while True:
+            try:
+                line = await self._reader.readline()
+            except (ConnectionError, OSError, ValueError) as exc:
+                return f"read failed: {exc}"
+            if not line:
+                return "server closed the connection"
+            try:
+                message = decode(line)
+            except ProtocolError as exc:
+                self.decode_errors += 1
+                log.error(
+                    "undecodable server message (%.60r): %s", line, exc
+                )
+                return f"undecodable message: {exc}"
+            rid = message.get("id")
+            queue = self._queues.get(rid)
+            if queue is not None:
+                queue.put_nowait(message)
+            # messages for unknown/finished ids (e.g. a global error
+            # with id null, or replays of a completed request after a
+            # reconnect) are dropped
+
+    async def _heal(self, fault: str) -> bool:
+        """Bounded reconnect with deterministic jittered backoff, then
+        idempotent resubmission of every pending request (the server's
+        dedup/coalescing guarantees byte-identical convergence)."""
+        self._healed.clear()
+        for attempt in range(1, self.reconnect + 1):
+            await asyncio.sleep(self._backoff.delay("reconnect", attempt))
+            if self._closed:
+                return False
+            try:
+                await self._open_transport()
+            except ServeConnectionError as exc:
+                log.warning(
+                    "reconnect %d/%d failed: %s",
+                    attempt, self.reconnect, exc,
+                )
+                continue
+            self.reconnects += 1
+            log.warning(
+                "reconnected after %s (attempt %d); resubmitting %d "
+                "pending request(s)", fault, attempt, len(self._sent),
+            )
+            await self._resubmit_pending()
+            self._healed.set()
+            return True
+        log.error(
+            "connection lost (%s); gave up after %d reconnect attempt(s)",
+            fault, self.reconnect,
+        )
+        return False
+
+    async def _resubmit_pending(self) -> None:
+        for _rid, message in sorted(self._sent.items()):
+            try:
+                await self._send_raw(message)
+            except ServeConnectionError:
+                return  # the next pump/heal cycle takes over
+
+    async def _send_raw(self, message: Dict) -> None:
         if self._writer is None:
             raise ServeConnectionError("not connected")
         try:
             async with self._write_lock:
                 self._writer.write(encode(message))
                 await self._writer.drain()
-        except (ConnectionError, RuntimeError) as exc:
+        except (ConnectionError, OSError, RuntimeError) as exc:
             raise ServeConnectionError(f"send failed: {exc}") from None
+
+    async def _send(self, message: Dict) -> None:
+        rid = message.get("id")
+        if isinstance(rid, str):
+            self._sent[rid] = message
+        try:
+            await self._send_raw(message)
+        except ServeConnectionError:
+            if not self.reconnect or self._closed or self._dead:
+                raise
+            # the read loop owns healing; once healed, the pending-set
+            # resubmission (which includes this message) has gone out
+            try:
+                await asyncio.wait_for(self._healed.wait(), timeout=60.0)
+            except asyncio.TimeoutError:
+                raise ServeConnectionError(
+                    "send failed and reconnect never completed"
+                ) from None
+            if self._dead:
+                raise ServeConnectionError(
+                    "send failed and reconnect was exhausted"
+                ) from None
 
     def _new_request(self) -> Tuple[str, asyncio.Queue]:
         rid = f"r{next(self._ids)}"
         queue: asyncio.Queue = asyncio.Queue()
         self._queues[rid] = queue
         return rid, queue
+
+    def _finish_request(self, rid: str) -> None:
+        self._queues.pop(rid, None)
+        self._sent.pop(rid, None)
 
     async def _next(self, queue: asyncio.Queue) -> Dict:
         message = await queue.get()
@@ -217,17 +369,20 @@ class ServeClient:
         progress: bool = False,
     ) -> SubmitOutcome:
         """Submit a grid of point specs; returns when every point is
-        resolved.  Retries ``busy`` rejections ``retry_busy`` times
-        with backoff, then raises :class:`ServeBusy`."""
+        resolved.  Retries ``busy`` rejections ``retry_busy`` times with
+        deterministic jittered backoff (the batch stack's
+        :class:`RetryPolicy`), then raises :class:`ServeBusy` carrying
+        the attempt counter."""
         attempt = 0
         while True:
             try:
                 return await self._submit_once(points, priority, progress)
-            except ServeBusy:
+            except ServeBusy as busy:
                 attempt += 1
+                busy.attempts = attempt
                 if attempt > self.retry_busy:
                     raise
-                await asyncio.sleep(self.retry_backoff_s * attempt)
+                await asyncio.sleep(self._busy_backoff.delay("busy", attempt))
 
     async def _submit_once(
         self, points: Sequence[Dict], priority: str, progress: bool
@@ -269,7 +424,7 @@ class ServeClient:
                     outcome.server = message.get("server", {})
                     return outcome
         finally:
-            self._queues.pop(rid, None)
+            self._finish_request(rid)
 
     async def figure(
         self,
@@ -277,6 +432,26 @@ class ServeClient:
         scale: Optional[str] = None,
         benchmarks: Optional[Sequence[str]] = None,
         priority: str = "normal",
+    ) -> FigureOutcome:
+        attempt = 0
+        while True:
+            try:
+                return await self._figure_once(
+                    name, scale, benchmarks, priority
+                )
+            except ServeBusy as busy:
+                attempt += 1
+                busy.attempts = attempt
+                if attempt > self.retry_busy:
+                    raise
+                await asyncio.sleep(self._busy_backoff.delay("busy", attempt))
+
+    async def _figure_once(
+        self,
+        name: str,
+        scale: Optional[str],
+        benchmarks: Optional[Sequence[str]],
+        priority: str,
     ) -> FigureOutcome:
         rid, queue = self._new_request()
         try:
@@ -305,7 +480,7 @@ class ServeClient:
                     outcome.server = reply.get("server", {})
                     return outcome
         finally:
-            self._queues.pop(rid, None)
+            self._finish_request(rid)
 
     async def stats(self) -> Dict:
         rid, queue = self._new_request()
@@ -313,7 +488,17 @@ class ServeClient:
             await self._send({"type": "stats", "id": rid})
             return (await self._next(queue))["server"]
         finally:
-            self._queues.pop(rid, None)
+            self._finish_request(rid)
+
+    async def health(self) -> Dict:
+        """Supervised health plane: journal lag, pool generation and
+        stall state, quarantine counts, per-lane queue depths."""
+        rid, queue = self._new_request()
+        try:
+            await self._send({"type": "health", "id": rid})
+            return (await self._next(queue))["health"]
+        finally:
+            self._finish_request(rid)
 
     async def ping(self) -> bool:
         rid, queue = self._new_request()
@@ -321,7 +506,7 @@ class ServeClient:
             await self._send({"type": "ping", "id": rid})
             return (await self._next(queue))["type"] == "pong"
         finally:
-            self._queues.pop(rid, None)
+            self._finish_request(rid)
 
     async def shutdown(self) -> None:
         rid, queue = self._new_request()
@@ -329,7 +514,7 @@ class ServeClient:
             await self._send({"type": "shutdown", "id": rid})
             await self._next(queue)  # bye
         finally:
-            self._queues.pop(rid, None)
+            self._finish_request(rid)
 
 
 # ---------------------------------------------------------------------------
@@ -371,14 +556,19 @@ def _check_expects(expects: Dict[str, int], tallies: Dict[str, int]) -> int:
     return status
 
 
+def _client_for(args) -> ServeClient:
+    return ServeClient(
+        host=args.host, port=args.port, unix_path=args.unix,
+        retry_busy=args.retry_busy, retry_backoff_s=args.retry_backoff,
+        reconnect=args.reconnect,
+    )
+
+
 async def _run_submit(args) -> int:
     points = _build_points(args)
     if not points:
         raise SystemExit("empty grid: check --benchmarks/--variants/--configs")
-    async with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix,
-        retry_busy=args.retry_busy,
-    ) as client:
+    async with _client_for(args) as client:
         outcomes = await asyncio.gather(*[
             client.submit(points, priority=args.priority,
                           progress=args.progress)
@@ -411,10 +601,7 @@ async def _run_submit(args) -> int:
 
 
 async def _run_figure(args) -> int:
-    async with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix,
-        retry_busy=args.retry_busy,
-    ) as client:
+    async with _client_for(args) as client:
         outcome = await client.figure(
             args.figure, scale=args.scale,
             benchmarks=args.benchmarks.split(",") if args.benchmarks else None,
@@ -434,25 +621,41 @@ async def _run_figure(args) -> int:
 
 
 async def _run_stats(args) -> int:
-    async with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix
-    ) as client:
+    async with _client_for(args) as client:
         snapshot = await client.stats()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
     return _check_expects(_parse_expects(args.expect), snapshot)
 
 
+def _flatten(tree: Dict, prefix: str = "") -> Dict[str, int]:
+    """Dotted-key int leaves of a nested dict (``pool.generation`` ...)
+    so ``health --expect`` can assert on any counter."""
+    flat: Dict[str, int] = {}
+    for key, value in tree.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{name}."))
+        elif isinstance(value, bool):
+            flat[name] = int(value)
+        elif isinstance(value, int):
+            flat[name] = value
+    return flat
+
+
+async def _run_health(args) -> int:
+    async with _client_for(args) as client:
+        health = await client.health()
+    print(json.dumps(health, indent=2, sort_keys=True))
+    return _check_expects(_parse_expects(args.expect), _flatten(health))
+
+
 async def _run_ping(args) -> int:
-    async with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix
-    ) as client:
+    async with _client_for(args) as client:
         return EXIT_OK if await client.ping() else EXIT_TRANSPORT
 
 
 async def _run_shutdown(args) -> int:
-    async with ServeClient(
-        host=args.host, port=args.port, unix_path=args.unix
-    ) as client:
+    async with _client_for(args) as client:
         await client.shutdown()
     return EXIT_OK
 
@@ -467,7 +670,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--unix", default=None,
                         help="unix socket path (instead of host/port)")
     parser.add_argument("--retry-busy", type=int, default=0, metavar="N",
-                        help="retry busy rejections up to N times")
+                        help="retry busy rejections up to N times "
+                             "(deterministic jittered backoff)")
+    parser.add_argument("--retry-backoff", type=float, default=0.25,
+                        metavar="S", help="base busy-retry delay (doubles "
+                        "per attempt, jittered, capped)")
+    parser.add_argument("--reconnect", type=int, default=0, metavar="N",
+                        help="on a transport fault, reconnect up to N times "
+                             "and idempotently resubmit pending requests")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_submit = sub.add_parser("submit", help="submit a grid of points")
@@ -500,6 +710,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--expect", action="append", metavar="KEY=N")
     p_stats.set_defaults(run=_run_stats)
 
+    p_health = sub.add_parser(
+        "health", help="print the supervised health plane"
+    )
+    p_health.add_argument("--expect", action="append", metavar="KEY=N",
+                          help="assert a dotted health counter, e.g. "
+                               "quarantine.poisoned=0")
+    p_health.set_defaults(run=_run_health)
+
     sub.add_parser("ping", help="liveness probe").set_defaults(run=_run_ping)
     sub.add_parser("shutdown", help="graceful server shutdown").set_defaults(
         run=_run_shutdown
@@ -511,7 +729,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return asyncio.run(args.run(args))
-    except (ServeConnectionError, ServeBusy) as exc:
+    except ServeBusy as exc:
+        print(
+            f"error: {exc} after {exc.attempts} attempt(s) "
+            f"(--retry-busy {args.retry_busy})",
+            file=sys.stderr,
+        )
+        return EXIT_TRANSPORT
+    except ServeConnectionError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_TRANSPORT
 

@@ -1,0 +1,351 @@
+"""Durable request journal: the crash-only half of the serve layer.
+
+:class:`ServeJournal` is the serving twin of the batch stack's
+:class:`~repro.experiments.faults.RunManifest`: an append-only JSONL
+file (``<state-dir>/serve_journal.jsonl``) with the same durability
+contract — every append is one ``write`` of one ``\\n``-terminated line
+followed by flush+fsync, so a SIGKILL tears at most the final line,
+which the loader tolerates and drops — and the same bounded-growth
+contract (latest-record-per-key compaction, rewritten atomically via
+temp + ``os.replace``).
+
+What it journals differs from the manifest, because a *service* must
+survive losing its process, not just its grid:
+
+* an ``admitted`` record is written (and fsynced) for every new miss
+  **before the client is acked**, carrying the full-fidelity wire spec
+  (:func:`~repro.serve.protocol.point_to_wire`), so a restarted server
+  can reconstruct and finish the point even if no client ever returns;
+* a terminal record (``ok`` / ``failed`` / ``poisoned`` /
+  ``preempted``) replaces it when the point resolves, carrying
+  checkpoint provenance (``resumed_from``) and the resolution source —
+  not the stats payload, which lives in the content-addressed simcache;
+* ``poisoned`` records persist across restarts and block re-admission
+  until ``cache gc --release-poisoned`` sweeps them;
+* ``admitted`` records carry the point's attributed ``worker_losses``
+  count, so a poison point cannot reset its strike count by killing
+  the whole server.
+
+Journal statuses::
+
+    admitted   accepted, not yet resolved (replayed on restart)
+    preempted  shutdown preempted it mid-point (replayed on restart)
+    ok         resolved with stats (terminal; stats in simcache)
+    failed     resolved as a PointFailure (terminal)
+    poisoned   quarantined after repeated worker kills (terminal,
+               blocks admission until released)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..experiments.faults import STATUS_POISONED, PointFailure
+
+log = logging.getLogger("repro.serve.journal")
+
+#: the journal file, directly under the serve state dir (= cache root)
+JOURNAL_FILENAME = "serve_journal.jsonl"
+
+#: bump when the journal line format changes incompatibly
+JOURNAL_FORMAT_VERSION = 1
+
+#: journal record statuses
+STATUS_ADMITTED = "admitted"
+STATUS_OK = "ok"
+
+#: statuses that mean "unfinished — replay me after a crash"
+REPLAY_STATUSES = frozenset({STATUS_ADMITTED, "preempted"})
+
+#: statuses that end a point's journal lifecycle
+TERMINAL_STATUSES = frozenset({STATUS_OK, "failed", STATUS_POISONED})
+
+
+def journal_path(state_dir) -> Path:
+    return Path(state_dir) / JOURNAL_FILENAME
+
+
+def load_journal_records(
+    path, cache_version: Optional[str] = None
+) -> Tuple[Optional[Dict], Dict[str, Dict]]:
+    """Parse a journal into ``(header, latest-record-per-key)``.
+
+    Torn final lines (SIGKILL mid-append) are dropped; a missing file
+    yields ``(None, {})``.  When ``cache_version`` is given, a header
+    from a different format/registry generation is treated as absent —
+    its records describe points whose keys no longer mean the same
+    thing, so replaying them would be wrong.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return None, {}
+    lines = raw.splitlines()
+    if not lines:
+        return None, {}
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        header = None
+    if (
+        not isinstance(header, dict)
+        or header.get("type") != "header"
+        or header.get("version") != JOURNAL_FORMAT_VERSION
+        or (
+            cache_version is not None
+            and header.get("cache_version") != cache_version
+        )
+    ):
+        return None, {}
+    latest: Dict[str, Dict] = {}
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn final append from a killed server
+        if (
+            not isinstance(record, dict)
+            or record.get("type") != "point"
+            or not record.get("key")
+        ):
+            continue
+        latest[record["key"]] = record
+    return header, latest
+
+
+class ServeJournal:
+    """Append-only fsynced request journal for one serve state dir.
+
+    Opening the journal loads any prior generation's records, compacts
+    them (header + latest record per key, atomic rewrite) and reopens
+    for append — so a crash-restart loop re-parses a bounded file, not
+    unbounded history.  A header from an incompatible format or cache
+    generation is discarded with a logged warning, exactly like the
+    run manifest.
+    """
+
+    def __init__(self, state_dir, cache_version: str = "") -> None:
+        self.path = journal_path(state_dir)
+        self.cache_version = cache_version
+        #: key -> latest record (all statuses)
+        self.records: Dict[str, Dict] = {}
+        header, latest = load_journal_records(self.path)
+        if self.path.exists() and header is None:
+            log.warning(
+                "journal %s is unreadable or from an incompatible build; "
+                "starting fresh", self.path,
+            )
+        elif header is not None and (
+            header.get("cache_version") != cache_version
+        ):
+            log.warning(
+                "journal %s is from cache generation %r (this build: %r); "
+                "starting fresh", self.path,
+                header.get("cache_version"), cache_version,
+            )
+        else:
+            self.records = latest
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._header_line = json.dumps({
+            "type": "header",
+            "kind": "serve-journal",
+            "version": JOURNAL_FORMAT_VERSION,
+            "cache_version": cache_version,
+            "created": time.time(),
+        }, sort_keys=True, separators=(",", ":"))
+        self.compact()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- queries ------------------------------------------------------------
+
+    def pending(self) -> Dict[str, Dict]:
+        """Unfinished points (``admitted`` / ``preempted``) to replay."""
+        return {
+            key: record for key, record in self.records.items()
+            if record.get("status") in REPLAY_STATUSES
+        }
+
+    def poisoned(self) -> Dict[str, Dict]:
+        """Quarantined points, blocked from admission until released."""
+        return {
+            key: record for key, record in self.records.items()
+            if record.get("status") == STATUS_POISONED
+        }
+
+    def lag(self) -> int:
+        """Admitted-but-unresolved record count (the health verb's
+        ``journal_lag``): how much work a crash right now would carry
+        over to the next incarnation."""
+        return len(self.pending())
+
+    # -- journal I/O --------------------------------------------------------
+
+    def _append(self, record: Dict) -> None:
+        self.records[record["key"]] = record
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        try:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except (OSError, ValueError) as exc:  # unwritable dir: degrade loudly
+            log.warning("journal append failed (%s): %s", self.path, exc)
+
+    def compact(self) -> None:
+        """Atomically rewrite as header + latest record per key,
+        dropping terminal ``ok``/``failed`` history (their payloads
+        live in the simcache; keeping every completion forever would
+        grow the journal with every point ever served).  ``admitted``,
+        ``preempted`` and ``poisoned`` records — the ones a restart
+        acts on — survive compaction."""
+        keep = {
+            key: record for key, record in self.records.items()
+            if record.get("status") not in (STATUS_OK, "failed")
+        }
+        payload = "\n".join([
+            self._header_line,
+            *(
+                json.dumps(r, sort_keys=True, separators=(",", ":"))
+                for r in keep.values()
+            ),
+        ]) + "\n"
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            log.warning("journal compaction failed (%s): %s", self.path, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        # os.replace orphans any open append handle's inode; reopen so
+        # subsequent appends land in the compacted file
+        fh = getattr(self, "_fh", None)
+        if fh is not None and not fh.closed:
+            try:
+                fh.close()
+                self._fh = open(self.path, "a", encoding="utf-8")
+            except OSError as exc:
+                log.warning("journal reopen failed (%s): %s", self.path, exc)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except (OSError, ValueError):
+            pass
+
+    # -- recording ----------------------------------------------------------
+
+    def record_admitted(
+        self,
+        key: str,
+        spec: Dict,
+        lane: str,
+        label: str,
+        worker_losses: int = 0,
+    ) -> None:
+        """Journal an admitted miss *before* the client is acked.
+        ``spec`` is the full-fidelity wire spec
+        (:func:`~repro.serve.protocol.point_to_wire`) so a restarted
+        server reconstructs the exact point."""
+        self._append({
+            "type": "point",
+            "key": key,
+            "status": STATUS_ADMITTED,
+            "label": label,
+            "lane": lane,
+            "spec": spec,
+            "worker_losses": worker_losses,
+            "at": time.time(),
+        })
+
+    def record_ok(
+        self,
+        key: str,
+        label: str,
+        source: str,
+        elapsed: float = 0.0,
+        resumed_from: Optional[str] = None,
+        recovered: bool = False,
+    ) -> None:
+        """Terminal success.  ``resumed_from`` names the checkpoint
+        snapshot the winning attempt restored from (checkpoint
+        provenance); ``recovered`` marks a point the *replay* found
+        already present in the simcache (finished, but the terminal
+        record was lost to the kill)."""
+        record = {
+            "type": "point",
+            "key": key,
+            "status": STATUS_OK,
+            "label": label,
+            "source": source,
+            "elapsed_s": round(elapsed, 6),
+            "at": time.time(),
+        }
+        if resumed_from is not None:
+            record["resumed_from"] = resumed_from
+        if recovered:
+            record["recovered"] = True
+        self._append(record)
+
+    def record_failure(
+        self, failure: PointFailure, diagnostics: Optional[Dict] = None
+    ) -> None:
+        """Terminal failure (including ``poisoned`` and shutdown
+        ``preempted`` — the latter is replayed on restart).
+        ``diagnostics`` carries quarantine forensics (strike count,
+        attributed pool generations) for ``poisoned`` records."""
+        record = {"type": "point", **failure.to_dict(), "at": time.time()}
+        record.pop("traceback", None)  # keep the journal compact
+        if failure.status in REPLAY_STATUSES:
+            # a preempted point is replayed on restart: carry the spec,
+            # lane and strike count forward from its admitted record
+            prior = self.records.get(failure.key) or {}
+            for carried in ("spec", "lane", "worker_losses"):
+                if carried in prior:
+                    record.setdefault(carried, prior[carried])
+        if diagnostics:
+            record["diagnostics"] = diagnostics
+        self._append(record)
+
+
+def rewrite_journal(
+    path, records: Iterable[Dict], header_line: Optional[str] = None
+) -> bool:
+    """Offline atomic rewrite (``cache gc``): header + given records.
+    The journal must not be open for append elsewhere.  Returns
+    ``False`` (logged) on failure."""
+    path = Path(path)
+    if header_line is None:
+        try:
+            header_line = path.read_text(
+                encoding="utf-8"
+            ).splitlines()[0]
+        except (OSError, IndexError):
+            return False
+    payload = "\n".join([
+        header_line,
+        *(
+            json.dumps(r, sort_keys=True, separators=(",", ":"))
+            for r in records
+        ),
+    ]) + "\n"
+    tmp = path.with_name(path.name + ".compact.tmp")
+    try:
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        return True
+    except OSError as exc:
+        log.warning("journal rewrite failed (%s): %s", path, exc)
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False

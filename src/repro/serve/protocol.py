@@ -25,6 +25,11 @@ Client -> server
 ``{"type": "stats", "id": "..."}``
     Server counters snapshot.
 
+``{"type": "health", "id": "..."}``
+    Supervised health plane: journal lag (admitted-but-unresolved
+    points), pool generation + stall-watchdog state, quarantine
+    (poisoned-point) counts, and per-lane miss-queue depths.
+
 ``{"type": "ping", "id": "..."}``
     Liveness probe.
 
@@ -44,13 +49,18 @@ Server -> client
     one resolved point (``index`` into the request's ``points``);
     ``source`` is ``cache`` / ``coalesced`` / ``simulated``.
 ``{"type": "point_failed", "id", "index", "key", "failure"}``
+    ``failure.status`` follows the batch taxonomy (``failed`` /
+    ``timed-out`` / ``worker-lost`` / ``preempted``) plus the serving
+    layer's ``poisoned``: the point is quarantined after repeated
+    attributed worker deaths and is refused without simulation until
+    ``cache gc --release-poisoned``.
 ``{"type": "table", "id", "figure", "headers", "rows"}``
 ``{"type": "done", "id", "ok", "failed", "sources", "server"}``
     request complete; ``sources`` tallies this request's points by
     resolution source, ``server`` is the live counter snapshot.
 ``{"type": "error", "id", "code", "message"}``
-``{"type": "stats", "id", "server"}``, ``{"type": "pong", "id"}``,
-``{"type": "bye", "id"}``
+``{"type": "stats", "id", "server"}``, ``{"type": "health", "id",
+"health"}``, ``{"type": "pong", "id"}``, ``{"type": "bye", "id"}``
 
 Point specs
 -----------
@@ -80,7 +90,9 @@ from ..workloads.suite import names as workload_names
 from ..experiments.parallel import SimPoint
 
 #: bump when a message or point-spec field changes incompatibly
-PROTOCOL_VERSION = 1
+#: (v2: ``health`` verb + ``poisoned`` failure status; existing v1
+#: messages are unchanged)
+PROTOCOL_VERSION = 2
 
 #: one message must fit in one line; grids of a few thousand points do
 MAX_LINE_BYTES = 16 * 1024 * 1024

@@ -36,6 +36,33 @@ share, layering four serving concerns over the same worker entry point
   server completes re-requested grids from snapshots instead of from
   cycle zero.
 
+* **Crash-only operation** — every admitted miss is journaled (fsynced
+  append to ``<state-dir>/serve_journal.jsonl``, see
+  :mod:`repro.serve.journal`) *before* the client is acked, and its
+  terminal status (with checkpoint provenance) replaces the record when
+  it resolves.  On startup the server replays the journal: unfinished
+  points whose results landed in the simcache before the kill are
+  terminalized without re-simulation, the rest are re-enqueued as
+  *orphan* misses that resume from their newest snapshots — so a
+  SIGKILLed server restarted against the same state dir completes the
+  original workload byte-identically with zero duplicate simulations.
+
+* **Poison-point quarantine** — each worker drops a pid-named marker
+  file (``<state-dir>/serve_running/<pid>.json``) naming the point it
+  is simulating.  When the pool breaks, the dead pids' markers
+  attribute the loss to the exact culprit point(s); innocent in-flight
+  neighbours are retried without a strike.  A point attributed
+  ``poison_threshold`` consecutive worker deaths terminates as
+  ``poisoned`` (journaled with diagnostics, excluded from future
+  admission until ``cache gc --release-poisoned``) instead of
+  crash-looping the fleet forever.
+
+* **Supervised health plane** — the ``health`` protocol verb reports
+  journal lag, pool generation, quarantine count and per-lane queue
+  depths; a stall watchdog (``--stall-grace``) detects a wedged pool
+  (pending misses but no retire progress) and proactively rebuilds it,
+  attributing a strike to every point that was running at stall time.
+
 Results stream back as JSONL messages (see :mod:`repro.serve.protocol`)
 tagged with the request id, so one connection can pipeline hundreds of
 requests.  Byte-determinism is inherited from the batch stack: every
@@ -47,6 +74,7 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import json
 import logging
 import os
 import time
@@ -56,10 +84,13 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..checkpoint import DEFAULT_CHECKPOINT_KEEP
+from ..checkpoint.snapshot import snapshot_progress
 from ..cpu.stats import ExecutionStats
 from ..experiments import figures
 from ..experiments.faults import (
+    STATUS_POISONED,
     STATUS_TIMEOUT,
+    STATUS_WORKER_LOST,
     TRANSIENT_STATUSES,
     PointFailure,
     RetryPolicy,
@@ -75,6 +106,7 @@ from ..experiments.parallel import (
 )
 from ..workloads.suite import names as workload_names
 from . import protocol
+from .journal import ServeJournal
 from .protocol import (
     ERR_BAD_REQUEST,
     ERR_INTERNAL,
@@ -87,6 +119,7 @@ from .protocol import (
     ProtocolError,
     encode,
     point_from_wire,
+    point_to_wire,
     validate_lane,
 )
 
@@ -110,6 +143,20 @@ DEFAULT_SERVE_CHECKPOINT_INTERVAL = 1_000_000
 #: default grace period before shutdown kills in-flight workers
 DEFAULT_GRACE_S = 5.0
 
+#: consecutive attributed worker deaths before a point is quarantined
+DEFAULT_POISON_THRESHOLD = 3
+
+#: default stall-watchdog grace (seconds without retire progress while
+#: misses are pending before the pool is declared wedged and rebuilt);
+#: 0 disables the watchdog — the serve CLI opts in with --stall-grace
+DEFAULT_STALL_GRACE_S = 0.0
+
+#: per-worker running-point markers, under the serve state dir.  Each
+#: worker writes ``<pid>.json`` naming the point it is simulating and
+#: unlinks it when done; after pool breakage the dead pids' surviving
+#: markers attribute the loss to the exact culprit point(s).
+SERVE_RUNNING_DIRNAME = "serve_running"
+
 #: figure registry served by "figure" requests (the CLI's EXPERIMENTS
 #: table re-exports these same drivers; kept here so the CLI can import
 #: the serve layer without a cycle)
@@ -129,6 +176,61 @@ def _warmup() -> int:
     task; paying that once at startup keeps first-request latency and
     the load tests honest)."""
     return os.getpid()
+
+
+def _attributed_simulate(marker_dir: Optional[str], key: str, label: str,
+                         args: tuple):
+    """Worker-side entry: run one point with a running-point marker on
+    disk, so a worker death is attributable to the point that killed
+    it.  The marker is best-effort — an unwritable state dir degrades
+    to unattributed losses (the PR-3 behaviour), never to a failure."""
+    marker = None
+    if marker_dir:
+        try:
+            os.makedirs(marker_dir, exist_ok=True)
+            marker = Path(marker_dir) / f"{os.getpid()}.json"
+            marker.write_text(json.dumps({
+                "pid": os.getpid(), "key": key, "label": label,
+                "started": time.time(),
+            }, sort_keys=True), encoding="utf-8")
+        except OSError:
+            marker = None
+    try:
+        return _simulate_point(*args)
+    finally:
+        if marker is not None:
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Signal-0 liveness probe (EPERM counts as alive).
+
+    A zombie counts as *dead*: a SIGKILLed pool worker is our own
+    child, and attribution runs in the instant between the pool
+    breaking and concurrent.futures reaping the corpse — signal 0
+    still reaches it, but it will never run again.
+    """
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as fh:
+            data = fh.read()
+        # state is the field right after the parenthesised comm (which
+        # may itself contain spaces and parens — split on the *last* ')')
+        if data[data.rindex(b")") + 2: data.rindex(b")") + 3] == b"Z":
+            return False
+    except (OSError, ValueError):
+        pass  # no procfs: fall back to the signal probe's answer
+    return True
 
 
 class BusyError(RuntimeError):
@@ -163,6 +265,11 @@ class ServeConfig:
     foreign_poll_s: float = 0.05
     #: age past which a foreign fill claim is presumed dead
     claim_stale_s: float = 600.0
+    #: consecutive attributed worker deaths before quarantine (<=0
+    #: disables poisoning — every worker-lost retry is unconditional)
+    poison_threshold: int = DEFAULT_POISON_THRESHOLD
+    #: stall-watchdog grace in seconds (<=0 disables the watchdog)
+    stall_grace_s: float = DEFAULT_STALL_GRACE_S
 
 
 @dataclass
@@ -186,6 +293,19 @@ class ServeStats:
     retries: int = 0
     pool_rebuilds: int = 0
     checkpoint_resumes: int = 0
+    #: journal replay at startup: unfinished points re-enqueued ...
+    journal_replayed: int = 0
+    #: ... and unfinished points found already complete in the simcache
+    #: (terminalized without re-simulation — the zero-duplicate half of
+    #: crash recovery)
+    journal_recovered: int = 0
+    #: points quarantined after repeated attributed worker deaths
+    poisoned: int = 0
+    #: submits refused because the point is quarantined
+    poisoned_rejections: int = 0
+    #: pool rebuilds forced by the stall watchdog (subset of
+    #: ``pool_rebuilds``)
+    stall_rebuilds: int = 0
     #: keys this server simulated more than once (must stay 0 outside
     #: worker-loss retries; the load tests assert on it)
     duplicate_simulations: int = 0
@@ -209,6 +329,12 @@ class _Entry:
     lane: str
     future: "asyncio.Future" = field(repr=False, default=None)
     elapsed: float = 0.0
+    #: checkpoint snapshot the winning attempt restored from (journal
+    #: provenance; None = cold start)
+    resumed_from: Optional[str] = None
+    #: replayed from the journal at startup — no client is waiting on
+    #: the future, the server finishes it for the journal's sake
+    orphan: bool = False
 
 
 class _Connection:
@@ -272,9 +398,21 @@ class BatchServer:
         self._miss_queue: "asyncio.PriorityQueue" = None
         self._seq = 0
         self._lane_rank = {lane: rank for rank, lane in enumerate(LANES)}
+        self._lane_depths: Dict[str, int] = {lane: 0 for lane in LANES}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_generation = 0
         self._lane_workers: List[asyncio.Task] = []
+        #: the durable request journal (crash-only mode; None without a
+        #: writable state dir)
+        self.journal: Optional[ServeJournal] = None
+        #: key -> poisoned journal record; blocks admission
+        self._poisoned: Dict[str, Dict] = {}
+        #: key -> attributed consecutive worker deaths (strike count)
+        self._worker_losses: Dict[str, int] = {}
+        #: key -> pool generations whose death was attributed to it
+        self._loss_generations: Dict[str, List[int]] = {}
+        self._last_progress = time.monotonic()
+        self._stall_task: Optional[asyncio.Task] = None
         self._connections: Set[_Connection] = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -306,6 +444,11 @@ class BatchServer:
             return None
         return self.cache.root / ANALYSIS_MEMO_DIRNAME
 
+    def _marker_dir(self) -> Optional[Path]:
+        if self.cache is None or self.cache.read_only:
+            return None
+        return self.cache.root / SERVE_RUNNING_DIRNAME
+
     def _new_pool(self) -> ProcessPoolExecutor:
         # spawn, not fork: the server process runs an event loop and
         # helper threads (figure bridges), and forking a threaded
@@ -318,9 +461,10 @@ class BatchServer:
         )
 
     async def start(self) -> Tuple[str, int]:
-        """Bind the socket, warm the worker fleet, start the lane
-        schedulers.  Returns the bound ``(host, port)`` (port ``-1``
-        for a unix socket)."""
+        """Bind the socket, warm the worker fleet, replay the request
+        journal, start the lane schedulers and the stall watchdog.
+        Returns the bound ``(host, port)`` (port ``-1`` for a unix
+        socket)."""
         self._loop = asyncio.get_running_loop()
         self._stopped = asyncio.Event()
         self._miss_queue = asyncio.PriorityQueue()
@@ -331,6 +475,12 @@ class BatchServer:
             self._loop.run_in_executor(self._pool, _warmup)
             for _ in range(max(1, self.config.workers))
         ])
+        if self.cache is not None and not self.cache.read_only:
+            self.journal = ServeJournal(
+                self.cache.root, cache_version=self.cache.version
+            )
+            self._sweep_stale_markers()
+            self._replay_journal()
         if self.config.unix_path:
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.config.unix_path,
@@ -348,12 +498,102 @@ class BatchServer:
             asyncio.create_task(self._lane_worker(i))
             for i in range(max(1, self.config.workers))
         ]
+        if self.config.stall_grace_s > 0:
+            self._stall_task = asyncio.create_task(self._stall_watchdog())
         log.info(
-            "serving on %s (workers=%d queue_limit=%d cache=%s)",
+            "serving on %s (workers=%d queue_limit=%d cache=%s journal=%s)",
             self.address, self.config.workers, self.config.queue_limit,
             self.cache.root if self.cache else "disabled",
+            self.journal.path if self.journal else "disabled",
         )
         return self.address
+
+    # -- crash recovery -----------------------------------------------------
+
+    def _sweep_stale_markers(self) -> None:
+        """Remove running-point markers whose pid is dead — leftovers
+        of a killed previous incarnation.  They are *not* attributed:
+        a SIGKILL of the whole server says nothing about the points
+        (the journal's persisted ``worker_losses`` counts carry real
+        strikes across restarts).  Live-pid markers belong to another
+        server sharing the state dir and are left alone."""
+        mdir = self._marker_dir()
+        if mdir is None or not mdir.is_dir():
+            return
+        for path in list(mdir.glob("*.json")):
+            try:
+                pid = json.loads(
+                    path.read_text(encoding="utf-8")
+                ).get("pid")
+            except (OSError, ValueError):
+                pid = None
+            if isinstance(pid, int) and _pid_alive(pid):
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def _replay_journal(self) -> None:
+        """Hard-kill recovery: restore quarantine + strike state, then
+        finish what the previous incarnation admitted.  Unfinished
+        points already present in the simcache (the kill only lost the
+        terminal record) are terminalized without re-simulation; the
+        rest re-enqueue as orphan misses and resume from their newest
+        snapshots inside ``_simulate_point``."""
+        journal = self.journal
+        if journal is None:
+            return
+        self._poisoned = dict(journal.poisoned())
+        for key, record in journal.pending().items():
+            strikes = record.get("worker_losses", 0)
+            if isinstance(strikes, int) and strikes > 0:
+                self._worker_losses[key] = strikes
+            label = record.get("label") or key[:16]
+            if self.cache is not None and self.cache.load(key) is not None:
+                journal.record_ok(key, label, SOURCE_CACHE, recovered=True)
+                self.stats.journal_recovered += 1
+                continue
+            try:
+                point = point_from_wire(record.get("spec"))
+            except ProtocolError as exc:
+                log.warning("journal: cannot replay %s: %s", label, exc)
+                journal.record_failure(PointFailure(
+                    status="failed", label=label, key=key,
+                    error_type="ReplayError", message=str(exc),
+                ))
+                continue
+            lane = record.get("lane")
+            if lane not in LANES:
+                lane = "normal"
+            entry = _Entry(key=key, point=point, lane=lane,
+                           future=self._loop.create_future(), orphan=True)
+            self._inflight[key] = entry
+            self._pending_misses += 1
+            self._enqueue_miss(lane, key)
+            self.stats.journal_replayed += 1
+            ckpt_dir = self._checkpoint_dir()
+            snap = (
+                snapshot_progress(ckpt_dir / key)
+                if ckpt_dir is not None else None
+            )
+            if snap is not None:
+                log.info(
+                    "journal: %s re-enqueued; will resume from %s (%s)",
+                    label, snap[0], snap[1],
+                )
+        if (
+            self.stats.journal_replayed
+            or self.stats.journal_recovered
+            or self._poisoned
+        ):
+            log.info(
+                "journal replay: %d unfinished point(s) re-enqueued, "
+                "%d recovered from cache, %d poisoned",
+                self.stats.journal_replayed, self.stats.journal_recovered,
+                len(self._poisoned),
+            )
+        journal.compact()
 
     def request_shutdown(self) -> None:
         """Signal-handler-safe: schedule a graceful shutdown."""
@@ -389,25 +629,29 @@ class BatchServer:
                 )
         # hard-stop the fleet; queued + running misses become preempted
         self._kill_pool(self._pool)
+        self._clear_markers()
+        if self._stall_task is not None:
+            self._stall_task.cancel()
         for task in self._lane_workers:
             task.cancel()
         for entry in list(self._inflight.values()):
             if not entry.future.done():
                 self.stats.preempted_points += 1
-                entry.future.set_result((
-                    PointFailure(
-                        status=STATUS_PREEMPTED,
-                        label=entry.point.label(),
-                        key=entry.key,
-                        error_type="Preempted",
-                        message=(
-                            "server shut down mid-point; re-request after "
-                            "restart resumes from the newest snapshot"
-                        ),
+                failure = PointFailure(
+                    status=STATUS_PREEMPTED,
+                    label=entry.point.label(),
+                    key=entry.key,
+                    error_type="Preempted",
+                    message=(
+                        "server shut down mid-point; re-request after "
+                        "restart resumes from the newest snapshot"
                     ),
-                    SOURCE_SIMULATED,
-                    0.0,
-                ))
+                )
+                entry.future.set_result((failure, SOURCE_SIMULATED, 0.0))
+                # journaled as non-terminal: the next incarnation
+                # replays it (spec carried over from its admitted line)
+                if self.journal is not None:
+                    self.journal.record_failure(failure)
         self._inflight.clear()
         # let request tasks deliver their done/point_failed messages
         await asyncio.sleep(0)
@@ -432,6 +676,9 @@ class BatchServer:
                 task.cancel()
             if still:
                 await asyncio.wait(still, timeout=1.0)
+        if self.journal is not None:
+            self.journal.compact()
+            self.journal.close()
         self._stopped.set()
         log.info("shutdown: complete (%s)", self.stats.to_dict())
 
@@ -500,6 +747,10 @@ class BatchServer:
                 await conn.send({
                     "type": "stats", "id": rid, "server": self._snapshot(),
                 })
+            elif mtype == "health":
+                await conn.send({
+                    "type": "health", "id": rid, "health": self._health(),
+                })
             elif mtype == "ping":
                 await conn.send({"type": "pong", "id": rid})
             elif mtype == "shutdown":
@@ -544,7 +795,48 @@ class BatchServer:
                 "claims": self.cache.claims,
                 "stale_claims_broken": self.cache.stale_claims_broken,
             }
+        data["journal_lag"] = self.journal.lag() if self.journal else 0
+        data["quarantined_points"] = len(self._poisoned)
         return data
+
+    def _health(self) -> Dict:
+        """The supervised health plane: one structured snapshot of the
+        crash-only machinery (the ``health`` protocol verb)."""
+        now = time.monotonic()
+        stalled_for = (
+            round(now - self._last_progress, 3)
+            if self._pending_misses > 0 else 0.0
+        )
+        return {
+            "healthy": not self._draining,
+            "draining": self._draining,
+            "uptime_s": round(time.time() - self.stats.started_at, 3),
+            "journal": {
+                "path": str(self.journal.path) if self.journal else None,
+                "lag": self.journal.lag() if self.journal else 0,
+                "replayed": self.stats.journal_replayed,
+                "recovered": self.stats.journal_recovered,
+            },
+            "pool": {
+                "generation": self._pool_generation,
+                "workers": max(1, self.config.workers),
+                "rebuilds": self.stats.pool_rebuilds,
+                "stall_rebuilds": self.stats.stall_rebuilds,
+                "stall_grace_s": self.config.stall_grace_s,
+                "stalled_for_s": stalled_for,
+            },
+            "quarantine": {
+                "poisoned": len(self._poisoned),
+                "rejections": self.stats.poisoned_rejections,
+                "threshold": self.config.poison_threshold,
+            },
+            "lanes": {
+                lane: self._lane_depths.get(lane, 0) for lane in LANES
+            },
+            "queue_depth": self._pending_misses,
+            "queue_limit": self.config.queue_limit,
+            "inflight": len(self._inflight),
+        }
 
     # -- submit (grid) requests ---------------------------------------------
 
@@ -613,6 +905,11 @@ class BatchServer:
         for index, (kind, key, payload) in enumerate(classified):
             if kind == "hit":
                 await deliver(index, key, payload, SOURCE_CACHE, 0.0)
+            elif kind == "poisoned":
+                self.stats.poisoned_rejections += 1
+                await deliver(
+                    index, key, self._poisoned_failure(key), SOURCE_CACHE, 0.0
+                )
             else:  # kind == "future"
                 entry_future, source_if_ready = payload
                 waiting.setdefault(entry_future, []).append(
@@ -652,12 +949,16 @@ class BatchServer:
         and the enqueue, so a rejected request enqueues nothing).
 
         Returns one ``(kind, key, payload)`` per index: ``("hit", key,
-        stats)`` or ``("future", key, (future, "creator"|"waiter"))``.
+        stats)``, ``("poisoned", key, record)`` for a quarantined
+        point, or ``("future", key, (future, "creator"|"waiter"))``.
         """
         keys = [p.content_key() for p in points]
         plan: List[Tuple[str, str, object]] = []
         new_keys: Dict[str, SimPoint] = {}
         for point, key in zip(points, keys):
+            if key in self._poisoned:
+                plan.append(("poisoned", key, self._poisoned[key]))
+                continue
             if key in self._inflight:
                 plan.append(
                     ("future", key, (self._inflight[key].future, "waiter"))
@@ -676,17 +977,19 @@ class BatchServer:
             self._pending_misses + len(new_keys) > self.config.queue_limit
         ):
             raise BusyError(self._pending_misses, self.config.queue_limit)
-        # admitted: register + enqueue every new key
+        # admitted: journal (fsynced, before the ack), register, enqueue
         created: Dict[str, asyncio.Future] = {}
         for key, point in new_keys.items():
+            if self.journal is not None:
+                self.journal.record_admitted(
+                    key, point_to_wire(point), lane, point.label(),
+                    worker_losses=self._worker_losses.get(key, 0),
+                )
             entry = _Entry(key=key, point=point, lane=lane,
                            future=self._loop.create_future())
             self._inflight[key] = entry
             self._pending_misses += 1
-            self._seq += 1
-            self._miss_queue.put_nowait(
-                (self._lane_rank.get(lane, 1), self._seq, key)
-            )
+            self._enqueue_miss(lane, key)
             created[key] = entry.future
         resolved: List[Tuple[str, str, object]] = []
         for kind, key, payload in plan:
@@ -698,6 +1001,28 @@ class BatchServer:
             else:
                 resolved.append((kind, key, payload))
         return resolved
+
+    def _enqueue_miss(self, lane: str, key: str) -> None:
+        self._seq += 1
+        self._lane_depths[lane] = self._lane_depths.get(lane, 0) + 1
+        self._miss_queue.put_nowait(
+            (self._lane_rank.get(lane, 1), self._seq, key)
+        )
+
+    def _poisoned_failure(self, key: str) -> PointFailure:
+        """The rejection delivered for a quarantined point."""
+        record = self._poisoned.get(key, {})
+        return PointFailure(
+            status=STATUS_POISONED,
+            label=record.get("label", key[:16]),
+            key=key,
+            error_type=record.get("error_type", ""),
+            message=record.get("message") or (
+                "point is quarantined (repeated worker deaths); release "
+                "with 'cache gc --release-poisoned'"
+            ),
+            attempts=int(record.get("attempts", 1) or 1),
+        )
 
     # -- figure requests ----------------------------------------------------
 
@@ -767,6 +1092,11 @@ class BatchServer:
                     bridge.sources.get(SOURCE_CACHE, 0) + 1
                 )
                 self._count_source(SOURCE_CACHE)
+            elif kind == "poisoned":
+                self.stats.poisoned_rejections += 1
+                self.stats.failed_points += 1
+                results[index] = self._poisoned_failure(key)
+                bridge.sources["failed"] = bridge.sources.get("failed", 0) + 1
             else:
                 future, role = payload
                 result, fill_source, _elapsed = await future
@@ -792,6 +1122,10 @@ class BatchServer:
         fill it (claim -> simulate -> store), resolve its future."""
         while True:
             _rank, _seq, key = await self._miss_queue.get()
+            lane = LANES[_rank] if 0 <= _rank < len(LANES) else "normal"
+            self._lane_depths[lane] = max(
+                0, self._lane_depths.get(lane, 0) - 1
+            )
             entry = self._inflight.get(key)
             if entry is None or entry.future.done():
                 continue
@@ -811,6 +1145,30 @@ class BatchServer:
                 entry.future.set_result((result, fill_source, elapsed))
             self._inflight.pop(key, None)
             self._pending_misses -= 1
+            self._last_progress = time.monotonic()
+            self._journal_terminal(entry, result, fill_source, elapsed)
+
+    def _journal_terminal(self, entry: _Entry, result, fill_source: str,
+                          elapsed: float) -> None:
+        """Replace the point's ``admitted`` journal record with its
+        terminal status (checkpoint provenance included)."""
+        if self.journal is None:
+            return
+        if isinstance(result, ExecutionStats):
+            self.journal.record_ok(
+                entry.key, entry.point.label(), fill_source,
+                elapsed=elapsed, resumed_from=entry.resumed_from,
+            )
+        else:
+            diagnostics = None
+            if result.status == STATUS_POISONED:
+                diagnostics = {
+                    "worker_losses": self._worker_losses.get(entry.key, 0),
+                    "generations": list(
+                        self._loss_generations.get(entry.key, [])
+                    ),
+                }
+            self.journal.record_failure(result, diagnostics=diagnostics)
 
     async def _fill_key(self, entry: _Entry):
         """Resolve one cold key: claim the fill across processes (or
@@ -863,7 +1221,51 @@ class BatchServer:
                             SOURCE_SIMULATED,
                             time.monotonic() - start,
                         )
-                    if retry.should_retry(status, attempts):
+                    if status == STATUS_WORKER_LOST:
+                        # the pool rebuild attributed every in-flight
+                        # marker before this exception unwound, so the
+                        # strike count is current
+                        strikes = self._worker_losses.get(key, 0)
+                        if (
+                            self.config.poison_threshold > 0
+                            and strikes >= self.config.poison_threshold
+                        ):
+                            failure = PointFailure(
+                                status=STATUS_POISONED,
+                                label=point.label(), key=key,
+                                error_type=type(exc).__name__,
+                                message=(
+                                    f"worker died {strikes} consecutive "
+                                    "times running this point (pool "
+                                    "generations "
+                                    f"{self._loss_generations.get(key, [])}"
+                                    "); quarantined — release with "
+                                    "'cache gc --release-poisoned'"
+                                ),
+                                attempts=attempts,
+                                elapsed=time.monotonic() - start,
+                            )
+                            self._poisoned[key] = failure.to_dict()
+                            self.stats.poisoned += 1
+                            log.error(
+                                "%s: poisoned after %d attributed worker "
+                                "death(s)", point.label(), strikes,
+                            )
+                            return (
+                                failure, SOURCE_SIMULATED,
+                                time.monotonic() - start,
+                            )
+                        # innocents of a poison point's pool kills get a
+                        # stretched worker-lost budget: they must outlive
+                        # the culprit's entire strike run plus their own
+                        # transient retries
+                        retryable = attempts <= (
+                            max(0, self.config.max_retries)
+                            + max(1, self.config.poison_threshold)
+                        )
+                    else:
+                        retryable = retry.should_retry(status, attempts)
+                    if retryable:
                         self.stats.retries += 1
                         log.warning(
                             "%s: %s (attempt %d); retrying",
@@ -881,6 +1283,8 @@ class BatchServer:
                     )
                 if resumed_from is not None:
                     self.stats.checkpoint_resumes += 1
+                    entry.resumed_from = resumed_from
+                self._worker_losses.pop(key, None)  # survived: clear strikes
                 self.simulated_keys[key] = self.simulated_keys.get(key, 0) + 1
                 if self.cache is not None:
                     self.cache.store(key, stats, point=point, elapsed=elapsed)
@@ -909,8 +1313,7 @@ class BatchServer:
         return None
 
     async def _run_in_pool(self, point: SimPoint):
-        fn = functools.partial(
-            _simulate_point,
+        args = (
             point,
             self.config.validate,
             False,  # audit: served numbers match the batch default
@@ -923,6 +1326,14 @@ class BatchServer:
             max(1, self.config.checkpoint_interval),
             max(1, self.config.checkpoint_keep),
             self.config.engine,
+        )
+        marker_dir = self._marker_dir()
+        fn = functools.partial(
+            _attributed_simulate,
+            str(marker_dir) if marker_dir is not None else None,
+            point.content_key(),
+            point.label(),
+            args,
         )
         generation = self._pool_generation
         try:
@@ -941,11 +1352,115 @@ class BatchServer:
             return  # someone already replaced this generation
         if self._draining:
             return  # shutdown owns the pool now
+        self._rebuild_pool("breakage")
+
+    def _rebuild_pool(self, reason: str) -> None:
+        """Swap in a fresh pool.  Runs synchronously (no ``await``), so
+        attribution, the generation bump and the swap are atomic with
+        respect to the event loop.  Attribution must happen *before*
+        the old pool is killed — markers are per-worker files the kill
+        orphans, and `_clear_markers` sweeps whatever remains."""
+        culprits = self._attribute_worker_losses()
         self._pool_generation += 1
         self.stats.pool_rebuilds += 1
+        if reason == "stall":
+            self.stats.stall_rebuilds += 1
         broken, self._pool = self._pool, self._new_pool()
         self._kill_pool(broken)
+        self._clear_markers()
         log.warning(
-            "worker pool broke; rebuilt (generation %d)",
-            self._pool_generation,
+            "worker pool %s; rebuilt (generation %d, %d loss(es) "
+            "attributed)",
+            "wedged (stall watchdog)" if reason == "stall" else "broke",
+            self._pool_generation, len(culprits),
         )
+
+    def _attribute_worker_losses(self) -> List[str]:
+        """Charge a strike to every point whose running marker is on
+        disk at rebuild time — i.e. every point in flight when the pool
+        died or wedged.
+
+        Guilt cannot be narrowed to dead pids: the executor sets our
+        ``BrokenExecutor`` while the self-killed culprit can still show
+        as running (SIGKILL delivery races the pipe breaking) and it
+        SIGTERMs the innocent workers itself moments later, so by any
+        later observation *everyone* is dead.  In-flight-at-breakage is
+        the honest signal; innocents are protected structurally — their
+        strikes clear on the next success and they carry a stretched
+        worker-lost retry budget until then.  Attributed strikes are
+        re-journaled onto the point's ``admitted`` record so a poison
+        point cannot reset its count by killing the server."""
+        mdir = self._marker_dir()
+        if mdir is None or not mdir.is_dir():
+            return []
+        culprits: List[Tuple[str, str]] = []
+        try:
+            markers = list(mdir.glob("*.json"))
+        except OSError:
+            return []
+        for path in markers:
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                record = {}
+            key = record.get("key")
+            if key:
+                culprits.append((key, record.get("label", "")))
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for key, label in culprits:
+            self._worker_losses[key] = self._worker_losses.get(key, 0) + 1
+            self._loss_generations.setdefault(key, []).append(
+                self._pool_generation
+            )
+            entry = self._inflight.get(key)
+            if self.journal is not None and entry is not None:
+                self.journal.record_admitted(
+                    key, point_to_wire(entry.point), entry.lane,
+                    entry.point.label(),
+                    worker_losses=self._worker_losses[key],
+                )
+            log.warning(
+                "worker loss attributed to %s (strike %d)",
+                label or key[:16], self._worker_losses[key],
+            )
+        return [key for key, _label in culprits]
+
+    def _clear_markers(self) -> None:
+        mdir = self._marker_dir()
+        if mdir is None or not mdir.is_dir():
+            return
+        for path in list(mdir.glob("*.json")):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    async def _stall_watchdog(self) -> None:
+        """The health plane's self-check: pending misses with no retire
+        progress for ``stall_grace_s`` means the pool is wedged (a hung
+        worker ``BrokenExecutor`` never fires for); rebuild it
+        proactively.  The doomed ``run_in_executor`` futures then raise
+        ``BrokenExecutor``, retry on the fresh pool, and resume from
+        their newest snapshots — and a point that wedges the pool
+        repeatedly accumulates strikes toward quarantine."""
+        grace = self.config.stall_grace_s
+        poll = max(0.05, min(1.0, grace / 4))
+        while not self._draining:
+            await asyncio.sleep(poll)
+            if self._draining:
+                return
+            if self._pending_misses <= 0:
+                self._last_progress = time.monotonic()
+                continue
+            if time.monotonic() - self._last_progress < grace:
+                continue
+            log.warning(
+                "stall watchdog: no retire progress for %.1fs with %d "
+                "pending miss(es); rebuilding the pool",
+                grace, self._pending_misses,
+            )
+            self._rebuild_pool("stall")
+            self._last_progress = time.monotonic()

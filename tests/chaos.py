@@ -113,6 +113,18 @@ class FaultPlan:
 # ---------------------------------------------------------------------------
 
 
+def free_port() -> int:
+    """An OS-assigned free TCP port, released for immediate reuse —
+    lets a restarted server bind the *same* address its predecessor
+    had, so reconnecting clients heal onto the new incarnation."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
 def serve_env(plan: Optional[FaultPlan] = None) -> Dict[str, str]:
     """Subprocess environment with ``repro`` importable (and the fault
     plan armed, when given) — spawn-started serve workers inherit it."""
@@ -158,6 +170,11 @@ class ServeProcess:
             text=True,
             cwd=REPO,
             env=serve_env(plan),
+            # own session: the server becomes its process group's
+            # leader, so sigkill_tree can take out orphaned spawn
+            # workers too (an idle orphan blocks on its call queue
+            # forever and would hold our stderr pipe open)
+            start_new_session=True,
         )
         self.port: Optional[int] = None
         self.stderr_text = ""
@@ -191,6 +208,14 @@ class ServeProcess:
 
     def sigkill(self) -> None:
         self.proc.kill()
+
+    def sigkill_tree(self) -> None:
+        """SIGKILL the server *and* its worker pool (the whole process
+        group) — the no-survivors crash the journal must recover from."""
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            self.proc.kill()
 
     def wait(self, timeout: float = 30.0) -> int:
         """Wait for exit; returns the return code (collects stderr)."""

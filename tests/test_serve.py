@@ -26,9 +26,14 @@ import json
 
 import pytest
 
-from repro.experiments.parallel import _simulate_point
+from repro.experiments.parallel import DiskCache, _simulate_point
 from repro.serve import protocol
-from repro.serve.client import ServeBusy, ServeClient
+from repro.serve.client import ServeBusy, ServeClient, ServeConnectionError
+from repro.serve.journal import (
+    ServeJournal,
+    journal_path,
+    load_journal_records,
+)
 from repro.serve.protocol import (
     ProtocolError,
     decode,
@@ -390,3 +395,201 @@ class TestErrorsAndLifecycle:
             h.server._draining = False
 
         run_with_server(body, tmp_path)
+
+
+# ---------------------------------------------------------------------------
+# Crash-only serving: journal, replay, quarantine, health
+# ---------------------------------------------------------------------------
+
+
+class TestCrashOnly:
+    def test_health_verb(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()
+            health = await client.health()
+            assert health["healthy"] is True
+            assert health["draining"] is False
+            assert health["journal"]["lag"] == 0
+            assert health["journal"]["path"].endswith("serve_journal.jsonl")
+            assert health["pool"]["generation"] == 0
+            assert health["quarantine"]["poisoned"] == 0
+            assert set(health["lanes"]) == set(protocol.LANES)
+            assert health["queue_limit"] == h.server.config.queue_limit
+
+        run_with_server(body, tmp_path)
+
+    def test_admitted_before_ack_then_terminal_ok(self, tmp_path):
+        key = point_from_wire(ADDITION).content_key()
+
+        async def body(h: ServerHarness):
+            client = await h.client()
+            await client.submit([ADDITION])
+            record = h.server.journal.records[key]
+            assert record["status"] == "ok"
+            assert record["source"] == "simulated"
+            assert record["elapsed_s"] > 0
+
+        run_with_server(body, tmp_path)
+        # shutdown compacted the journal: terminal ok history is gone
+        # from disk, only the compatible header remains
+        header, records = load_journal_records(journal_path(tmp_path))
+        assert header is not None
+        assert records == {}
+
+    def test_replay_finishes_admitted_point(self, tmp_path):
+        """A journal with an unfinished ``admitted`` record (the
+        previous incarnation was SIGKILLed before resolving it) is
+        replayed: the orphan miss completes with no client asking."""
+        reference = serial_reference(ADDITION)
+        point = point_from_wire(ADDITION)
+        cache = DiskCache(tmp_path)
+        journal = ServeJournal(tmp_path, cache_version=cache.version)
+        journal.record_admitted(
+            point.content_key(), point_to_wire(point), "normal",
+            point.label(),
+        )
+        journal.close()
+
+        async def body(h: ServerHarness):
+            client = await h.client()
+            deadline = asyncio.get_running_loop().time() + 120
+            while (await client.health())["journal"]["lag"] > 0:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.05)
+            outcome = await client.submit([ADDITION])
+            assert outcome.sources == {"cache": 1}
+            assert outcome.results[0] == reference
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.journal_replayed == 1
+        assert server.stats.journal_recovered == 0
+        assert all(n == 1 for n in server.simulated_keys.values())
+
+    def test_replay_recovers_cached_point_without_resimulation(
+        self, tmp_path
+    ):
+        """An unfinished record whose result *did* land in the simcache
+        before the kill is terminalized from the cache — the
+        zero-duplicate half of crash recovery."""
+        point = point_from_wire(ADDITION)
+        key = point.content_key()
+        stats, elapsed, _resumed = _simulate_point(point, True)
+        cache = DiskCache(tmp_path)
+        cache.store(key, stats, point=point, elapsed=elapsed)
+        journal = ServeJournal(tmp_path, cache_version=cache.version)
+        journal.record_admitted(
+            key, point_to_wire(point), "normal", point.label()
+        )
+        journal.close()
+
+        async def body(h: ServerHarness):
+            client = await h.client()
+            health = await client.health()
+            assert health["journal"]["recovered"] == 1
+            assert health["journal"]["lag"] == 0
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.journal_recovered == 1
+        assert server.stats.journal_replayed == 0
+        assert server.stats.simulated == 0  # never re-simulated
+
+    def test_poisoned_point_is_refused_without_simulation(self, tmp_path):
+        key = point_from_wire(ADDITION).content_key()
+
+        async def body(h: ServerHarness):
+            h.server._poisoned[key] = {
+                "label": "addition[scalar]", "status": "poisoned",
+            }
+            client = await h.client()
+            outcome = await client.submit([ADDITION, THRESH])
+            assert outcome.ok == 1 and outcome.failed == 1
+            failure = outcome.failures[0]
+            assert failure["status"] == "poisoned"
+            assert "release" in failure["message"]
+            health = await client.health()
+            assert health["quarantine"]["rejections"] == 1
+
+        server = run_with_server(body, tmp_path)
+        assert server.stats.poisoned_rejections == 1
+        assert key not in server.simulated_keys  # quarantine held
+
+
+class TestReconnectingClient:
+    def test_reconnect_resubmits_pending_request(self, tmp_path):
+        """Tear the server side of the connection mid-request: a
+        reconnect-enabled client heals, idempotently resubmits, and
+        the request completes as if nothing happened."""
+        reference = serial_reference(ADDITION)
+
+        async def body(h: ServerHarness):
+            client = await h.client(reconnect=10)
+            task = asyncio.create_task(client.submit([ADDITION]))
+            while not h.server._inflight:
+                await asyncio.sleep(0.005)
+            for conn in list(h.server._connections):
+                conn.closed = True
+                conn.writer.close()
+            outcome = await asyncio.wait_for(task, timeout=240)
+            assert outcome.ok == 1
+            assert outcome.results[0] == reference
+            assert client.reconnects >= 1
+
+        server = run_with_server(body, tmp_path)
+        # the resubmitted request coalesced/cache-hit; never re-simulated
+        assert all(n == 1 for n in server.simulated_keys.values())
+
+    def test_no_reconnect_fails_fast(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client()  # reconnect disabled (default)
+            task = asyncio.create_task(client.submit([ADDITION]))
+            while not h.server._inflight:
+                await asyncio.sleep(0.005)
+            for conn in list(h.server._connections):
+                conn.closed = True
+                conn.writer.close()
+            with pytest.raises(ServeConnectionError):
+                await asyncio.wait_for(task, timeout=60)
+
+        run_with_server(body, tmp_path)
+
+    def test_decode_errors_are_logged_and_surfaced(self):
+        """An undecodable server line is a transport fault: counted,
+        logged, and the pending request raises — never silently
+        swallowed (the old ``except Exception: pass``)."""
+
+        async def main():
+            async def handler(reader, writer):
+                writer.write(b"}{ not json\n")
+                await writer.drain()
+
+            gateway = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = gateway.sockets[0].getsockname()[1]
+            client = ServeClient(port=port)
+            await client.connect()
+            rid, queue = client._new_request()
+            try:
+                await client._send({"type": "ping", "id": rid})
+                with pytest.raises(ServeConnectionError):
+                    await asyncio.wait_for(client._next(queue), timeout=30)
+            finally:
+                client._finish_request(rid)
+                await client.close()
+                gateway.close()
+                await gateway.wait_closed()
+            assert client.decode_errors == 1
+
+        asyncio.run(main())
+
+    def test_busy_retry_uses_policy_and_counts_attempts(self, tmp_path):
+        async def body(h: ServerHarness):
+            client = await h.client(retry_busy=2, retry_backoff_s=0.01)
+            # saturate the queue so every submit of 2 misses is refused
+            h.server._pending_misses = h.server.config.queue_limit
+            try:
+                with pytest.raises(ServeBusy) as excinfo:
+                    await client.submit([ADDITION, THRESH])
+            finally:
+                h.server._pending_misses = 0
+            assert excinfo.value.attempts == 3  # 1 try + 2 retries
+
+        run_with_server(body, tmp_path, queue_limit=1)

@@ -18,12 +18,27 @@ so a snapshot provably exists when the fault lands):
   server exits 0, the snapshot survives on disk, and a restarted
   server serving the same cache completes the re-request by resuming
   mid-point (``checkpoint_resumes >= 1``) with byte-identical stats.
+
+* **Server SIGKILL mid-grid** (crash-only) — no grace, no shutdown
+  hook: the journal alone carries the workload.  The restarted server
+  replays it, finishes the stranded point with *no client asking*, and
+  its counters (``journal_replayed`` / ``journal_recovered`` /
+  ``checkpoint_resumes`` / ``duplicate_simulations``) exactly match
+  the per-request tallies the clients observed.
+
+* **Poison-point quarantine** — a point whose worker dies three
+  consecutive attributed times terminates ``poisoned`` within the
+  retry budget while the rest of the grid completes; resubmission is
+  refused without simulation, and the quarantine record survives in
+  the journal for ``cache gc --release-poisoned``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import time
 from pathlib import Path
 
@@ -33,7 +48,9 @@ from repro.serve.client import (
     ServeConnectionError,
     SubmitOutcome,
 )
+from repro.serve.journal import journal_path, load_journal_records
 from repro.serve.protocol import point_from_wire
+from repro.serve.server import SERVE_RUNNING_DIRNAME
 from tests.chaos import FaultPlan, ServeProcess
 
 ADDITION = {"benchmark": "addition", "variant": "scalar", "scale": "tiny"}
@@ -52,6 +69,21 @@ def snapshot_files(out_dir: Path):
     return list(
         (out_dir / ".simcache" / "checkpoints").rglob("ckpt_*.ckpt.json")
     )
+
+
+def kill_orphan_workers(out_dir: Path) -> None:
+    """SIGKILL workers orphaned by a server SIGKILL (a kill -9 takes
+    the server, not its pool).  Their pids are exactly what the crash
+    attribution markers record — the same files ``cache gc`` sweeps."""
+    marker_dir = out_dir / ".simcache" / SERVE_RUNNING_DIRNAME
+    if not marker_dir.is_dir():
+        return
+    for marker in marker_dir.glob("*.json"):
+        try:
+            pid = int(json.loads(marker.read_text(encoding="utf-8"))["pid"])
+            os.kill(pid, signal.SIGKILL)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            pass
 
 
 async def _submit_one(port: int, spec, **client_kwargs) -> SubmitOutcome:
@@ -147,3 +179,159 @@ class TestServerSigtermMidGrid:
         outcome = await _submit_one(port, ADDITION_VIS)
         stats = await _stats(port)
         return outcome, stats
+
+
+class TestServerSigkillRecovery:
+    """Crash-only proof: SIGKILL (no shutdown hook runs) strands a
+    mid-flight point; the journal alone recovers it, byte-identically,
+    with zero duplicate simulations — and the restarted server's
+    counters exactly match what the clients observed."""
+
+    def test_journal_replay_completes_the_workload(self, tmp_path):
+        out_dir = tmp_path / "out"
+        references = {
+            "addition": serial_reference(ADDITION),
+            "vis": serial_reference(ADDITION_VIS),
+        }
+        # slow-roll the second point right after its first snapshot so
+        # the SIGKILL provably lands mid-point, snapshot on disk
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[vis]", "action": "sleep",
+             "seconds": 120, "times": 1},
+        ])
+
+        with ServeProcess(out_dir, CKPT_ARGS, plan=plan) as serve:
+            asyncio.run(self._submit_then_sigkill(serve, plan, out_dir))
+            assert serve.wait(timeout=30) != 0  # killed, not graceful
+        assert plan.shots_fired(0) == 1
+
+        # the fsynced journal survived the kill: the finished point is
+        # terminal, the stranded one still admitted
+        state_dir = out_dir / ".simcache"
+        _header, records = load_journal_records(journal_path(state_dir))
+        vis_key = point_from_wire(ADDITION_VIS).content_key()
+        add_key = point_from_wire(ADDITION).content_key()
+        assert records[add_key]["status"] == "ok"
+        assert records[vis_key]["status"] == "admitted"
+
+        with ServeProcess(out_dir, CKPT_ARGS, plan=plan) as serve:
+            outcome, health, stats = asyncio.run(self._redrive(serve.port))
+
+        # byte-identical completion of the original workload
+        assert outcome.ok == 2 and outcome.failed == 0
+        assert outcome.results[0] == references["addition"]
+        assert outcome.results[1] == references["vis"]
+
+        # counters exactly match the per-request client tallies: the
+        # finished point was a cache hit, the stranded one resolved by
+        # the replayed orphan (our request saw it as coalesced if it
+        # was still in flight, cache if the orphan won the race)
+        tallies = dict(outcome.sources)
+        assert stats["cache_hits"] == tallies.get("cache", 0)
+        assert stats["coalesced"] == tallies.get("coalesced", 0)
+        assert stats["simulated"] == tallies.get("simulated", 0)
+        assert sum(tallies.values()) == 2  # every point accounted for
+        assert stats["journal_replayed"] == 1
+        assert stats["journal_recovered"] == 0
+        assert stats["checkpoint_resumes"] == 1, (
+            "the replayed point restarted from cycle 0 instead of its "
+            "surviving snapshot"
+        )
+        assert stats["duplicate_simulations"] == 0
+        assert stats["poisoned"] == 0
+        assert stats["pool_rebuilds"] == 0
+        assert health["journal"]["lag"] == 0
+        assert health["quarantine"]["poisoned"] == 0
+
+    @staticmethod
+    async def _submit_then_sigkill(serve, plan, out_dir):
+        async with ServeClient(port=serve.port) as client:
+            task = asyncio.create_task(
+                client.submit([ADDITION, ADDITION_VIS])
+            )
+            deadline = time.monotonic() + 90
+            while plan.shots_fired(0) < 1:
+                assert time.monotonic() < deadline, "slow-roll never fired"
+                await asyncio.sleep(0.05)
+            serve.sigkill()
+            # kill -9 orphans the sleeping worker too; take it down so
+            # it cannot hold the server's pipes (or the point) hostage
+            kill_orphan_workers(out_dir)
+            try:
+                await asyncio.wait_for(task, timeout=30)
+            except (ServeConnectionError, asyncio.TimeoutError):
+                pass  # torn connection: the journal owns the rest
+
+    @staticmethod
+    async def _redrive(port):
+        async with ServeClient(port=port) as client:
+            outcome = await client.submit([ADDITION, ADDITION_VIS])
+            # the orphan resolves before 'done' is sent for any request
+            # coalescing onto it; lag 0 means the journal is settled
+            deadline = time.monotonic() + 120
+            while (await client.health())["journal"]["lag"] > 0:
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.05)
+            health = await client.health()
+            stats = await client.stats()
+        return outcome, health, stats
+
+
+class TestPoisonQuarantine:
+    """A point that SIGKILLs its worker three consecutive times is
+    quarantined within the retry budget; the rest of the grid
+    completes; resubmission is refused without simulation; the
+    quarantine record survives in the journal."""
+
+    def test_three_kills_poison_the_point(self, tmp_path):
+        out_dir = tmp_path / "out"
+        reference = serial_reference(ADDITION)
+        plan = FaultPlan(tmp_path, [
+            {"match": "ckpt:addition[vis]", "action": "kill", "times": 3},
+        ])
+        # tighter snapshot cadence: the kill fires after *each* snapshot,
+        # and three strikes must fit inside the point's ~6k cycles
+        args = ("--jobs", "1", "--checkpoint-interval", "1000",
+                "--poison-threshold", "3", "--max-retries", "2")
+
+        with ServeProcess(out_dir, args, plan=plan) as serve:
+            outcome, again, health, stats = asyncio.run(
+                self._drive(serve.port)
+            )
+            serve.sigterm()
+            assert serve.wait(timeout=30) == 0
+
+        assert plan.shots_fired(0) == 3, "all three kills landed"
+        # the innocent rest of the grid completed byte-identically
+        assert outcome.ok == 1 and outcome.failed == 1
+        assert outcome.results[0] == reference
+        failure = outcome.failures[1]
+        assert failure["status"] == "poisoned"
+        assert failure["attempts"] == 3  # within the retry budget
+        assert "release" in failure["message"]
+        # resubmission is refused without touching the fleet
+        assert again.failed == 1
+        assert again.failures[0]["status"] == "poisoned"
+        assert stats["poisoned"] == 1
+        assert stats["poisoned_rejections"] >= 1
+        assert stats["pool_rebuilds"] == 3
+        assert health["quarantine"]["poisoned"] == 1
+        assert health["quarantine"]["threshold"] == 3
+
+        # the quarantine record survived shutdown compaction: the next
+        # incarnation (and `cache gc --release-poisoned`) can see it
+        _header, records = load_journal_records(
+            journal_path(out_dir / ".simcache")
+        )
+        vis_key = point_from_wire(ADDITION_VIS).content_key()
+        assert records[vis_key]["status"] == "poisoned"
+        assert records[vis_key]["diagnostics"]["worker_losses"] == 3
+
+    @staticmethod
+    async def _drive(port):
+        async with ServeClient(port=port) as client:
+            outcome = await client.submit([ADDITION, ADDITION_VIS])
+            again = await client.submit([ADDITION_VIS])
+            health = await client.health()
+            stats = await client.stats()
+        return outcome, again, health, stats

@@ -1,0 +1,154 @@
+"""The crash-only acceptance harness: SIGKILL at 50% of the
+120-request load run, restart against the same state dir, and the
+original workload still completes byte-identically with zero duplicate
+simulations.
+
+This is the subprocess twin of ``tests/test_serve_load.py`` (which
+drives an in-process server): a *real* ``repro-experiments serve``
+process on a *fixed* port, reconnect-enabled clients with requests in
+flight, a kill -9 with no goodbye, and a restarted incarnation the
+same clients heal onto.  What the test proves end to end:
+
+* clients ride out the crash: bounded jittered reconnect plus
+  idempotent resubmission of every pending request (the server's
+  journal + dedup make resubmission safe), with no request dropped and
+  no divergent bytes;
+* the second incarnation never re-simulates a point the first one
+  completed (the disk cache and journal carry the work forward), and
+  simulates nothing twice itself (``duplicate_simulations == 0``);
+* the post-crash state dir is clean: the journal settles to zero lag
+  and ``cache gc`` sweeps the crash debris without errors.
+
+The CI serve job runs the same choreography from the shell (scripted
+client with ``--reconnect``); this test is the hermetic version.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.experiments.gc import gc_cache
+from repro.serve.client import ServeClient
+from repro.serve.protocol import point_from_wire
+from tests.chaos import ServeProcess, free_port
+from tests.test_serve_load import (
+    POINT_POOL,
+    POINTS_PER_REQUEST,
+    grid_for_request,
+    serial_references,
+)
+
+TOTAL_REQUESTS = 120
+CONNECTIONS = 12
+
+#: real checkpoints + a roomy queue: admission control is not what
+#: this test is about, surviving a kill -9 is
+SERVE_ARGS = (
+    "--jobs", "2", "--checkpoint-interval", "2000",
+    "--queue-limit", "4096",
+)
+
+
+class TestCrashLoadHarness:
+    def test_sigkill_at_half_load_completes_byte_identically(
+        self, tmp_path
+    ):
+        references = serial_references()
+        out_dir = tmp_path / "out"
+        port = free_port()
+        args = SERVE_ARGS + ("--port", str(port))
+
+        results = asyncio.run(self._drive(out_dir, port, args))
+        outcomes, stats, health, reconnects = results
+
+        # every one of the 120 requests completed, byte-identically
+        assert len(outcomes) == TOTAL_REQUESTS
+        for index, outcome in enumerate(outcomes):
+            grid = grid_for_request(index)
+            assert outcome.ok == len(grid), (
+                f"request {index}: {outcome.ok} ok of {len(grid)}"
+            )
+            assert outcome.failed == 0
+            for spec, result in zip(grid, outcome.results):
+                key = point_from_wire(spec).content_key()
+                assert result == references[key], (
+                    f"request {index}: divergent result for {key[:16]}"
+                )
+
+        # the kill landed mid-run and the clients actually healed
+        assert reconnects >= 1, "no client ever needed to reconnect"
+        # the second incarnation duplicated nothing: it simulates only
+        # points the crash stranded (at most one run per unique point);
+        # everything the first server completed arrives from its disk
+        # cache, and its own books balance point for point
+        assert stats["duplicate_simulations"] == 0
+        assert stats["simulated"] <= len(POINT_POOL)
+        assert stats["simulated"] + stats["cache_hits"] \
+            + stats["coalesced"] == stats["points_requested"]
+        # the restarted server really served the resubmitted tail of
+        # the load (at most the uncompleted half, at least something)
+        assert 0 < stats["points_requested"] \
+            <= (TOTAL_REQUESTS - TOTAL_REQUESTS // 2) * POINTS_PER_REQUEST
+        assert len(POINT_POOL) >= stats["journal_replayed"]
+        assert health["journal"]["lag"] == 0
+        assert health["quarantine"]["poisoned"] == 0
+
+        # the crash debris sweeps clean
+        report = gc_cache(out_dir / ".simcache")
+        assert report.errors == 0
+
+    async def _drive(self, out_dir, port, args):
+        serve = await asyncio.to_thread(ServeProcess, out_dir, args)
+        clients = []
+        completed = []
+        try:
+            for _ in range(CONNECTIONS):
+                client = ServeClient(
+                    port=port, reconnect=30, reconnect_backoff_s=0.1
+                )
+                await client.connect()
+                clients.append(client)
+
+            async def one_request(index: int):
+                client = clients[index % CONNECTIONS]
+                outcome = await client.submit(grid_for_request(index))
+                completed.append(index)
+                return outcome
+
+            tasks = [
+                asyncio.create_task(one_request(index))
+                for index in range(TOTAL_REQUESTS)
+            ]
+
+            # kill -9 at 50% completion, with requests still in flight
+            deadline = time.monotonic() + 120
+            while len(completed) < TOTAL_REQUESTS // 2:
+                assert time.monotonic() < deadline, (
+                    f"only {len(completed)} requests completed"
+                )
+                await asyncio.sleep(0.01)
+            serve.sigkill_tree()
+            await asyncio.to_thread(serve.wait, 30)
+
+            # same state dir, same port: the clients' reconnect loops
+            # find the new incarnation on their own
+            serve = await asyncio.to_thread(
+                ServeProcess, out_dir, args
+            )
+            outcomes = await asyncio.gather(*tasks)
+
+            async with ServeClient(port=port) as probe:
+                deadline = time.monotonic() + 60
+                while (await probe.health())["journal"]["lag"] > 0:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.05)
+                health = await probe.health()
+                stats = await probe.stats()
+            reconnects = sum(client.reconnects for client in clients)
+            return outcomes, stats, health, reconnects
+        finally:
+            for client in clients:
+                await client.close()
+            serve.sigterm()
+            await asyncio.to_thread(serve.wait, 30)

@@ -1,0 +1,247 @@
+"""Unit tests for the crash-only serving journal and its gc sweeps.
+
+The journal's durability semantics (fsynced appends, torn-final-line
+tolerance, latest-record-per-key compaction, incompatible-header
+discard) mirror the batch stack's ``RunManifest`` and are tested the
+same way: against real files, including deliberately torn ones.  The
+``cache gc`` half covers the serve-layer debris sweeps: dead-pid worker
+markers, orphaned journals from another cache generation, aged terminal
+records, and ``--release-poisoned``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.faults import STATUS_POISONED, PointFailure
+from repro.experiments.gc import _current_cache_version, gc_cache
+from repro.serve.journal import (
+    JOURNAL_FORMAT_VERSION,
+    STATUS_ADMITTED,
+    ServeJournal,
+    journal_path,
+    load_journal_records,
+    rewrite_journal,
+)
+from repro.serve.server import SERVE_RUNNING_DIRNAME
+
+VERSION = "2.1.1"  # an arbitrary-but-consistent cache generation
+
+SPEC = {"benchmark": "addition", "variant": "scalar", "scale": "tiny"}
+
+
+def make_journal(tmp_path, cache_version=VERSION) -> ServeJournal:
+    return ServeJournal(tmp_path, cache_version=cache_version)
+
+
+def poisoned_failure(key: str) -> PointFailure:
+    return PointFailure(
+        status=STATUS_POISONED, label="addition[scalar]", key=key,
+        error_type="BrokenExecutor", message="worker died 3 times",
+    )
+
+
+class TestJournalLifecycle:
+    def test_admitted_then_ok_is_not_pending(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted("k1", SPEC, "normal", "addition[scalar]")
+        assert set(journal.pending()) == {"k1"}
+        assert journal.lag() == 1
+        journal.record_ok("k1", "addition[scalar]", "simulated", elapsed=1.5)
+        assert journal.pending() == {}
+        assert journal.lag() == 0
+        journal.close()
+
+    def test_records_survive_reopen(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted(
+            "k1", SPEC, "high", "addition[scalar]", worker_losses=2
+        )
+        journal.record_failure(poisoned_failure("k2"))
+        journal.close()
+        again = make_journal(tmp_path)
+        pending = again.pending()
+        assert pending["k1"]["spec"] == SPEC
+        assert pending["k1"]["lane"] == "high"
+        assert pending["k1"]["worker_losses"] == 2
+        assert set(again.poisoned()) == {"k2"}
+        again.close()
+
+    def test_compaction_drops_terminal_keeps_actionable(self, tmp_path):
+        journal = make_journal(tmp_path)
+        for i in range(5):
+            journal.record_admitted(f"ok{i}", SPEC, "normal", "x")
+            journal.record_ok(f"ok{i}", "x", "simulated")
+        journal.record_admitted("pending", SPEC, "normal", "x")
+        journal.record_failure(poisoned_failure("poison"))
+        journal.compact()
+        _header, records = load_journal_records(journal.path)
+        assert set(records) == {"pending", "poison"}
+        # the append handle survived the compaction rewrite: new
+        # records land in the compacted file, not an orphaned inode
+        journal.record_admitted("after", SPEC, "normal", "x")
+        journal.close()
+        _header, records = load_journal_records(journal.path)
+        assert set(records) == {"pending", "poison", "after"}
+
+    def test_preempted_record_carries_replay_fields_forward(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted(
+            "k1", SPEC, "high", "addition[scalar]", worker_losses=1
+        )
+        journal.record_failure(PointFailure(
+            status="preempted", label="addition[scalar]", key="k1",
+            error_type="Preempted", message="shutdown",
+        ))
+        journal.close()
+        again = make_journal(tmp_path)
+        record = again.pending()["k1"]
+        assert record["status"] == "preempted"
+        assert record["spec"] == SPEC
+        assert record["lane"] == "high"
+        assert record["worker_losses"] == 1
+        again.close()
+
+    def test_resumed_from_provenance_recorded(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_ok(
+            "k1", "x", "simulated", resumed_from="ckpt_000004000.ckpt.json"
+        )
+        assert journal.records["k1"]["resumed_from"].startswith("ckpt_")
+        journal.close()
+
+
+class TestJournalDurability:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "point", "key": "torn", "stat')  # SIGKILL
+        again = make_journal(tmp_path)
+        assert set(again.records) == {"k1"}
+        again.close()
+
+    def test_incompatible_cache_version_starts_fresh(self, tmp_path):
+        journal = make_journal(tmp_path, cache_version="1.0.0")
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.close()
+        again = make_journal(tmp_path, cache_version="9.9.9")
+        assert again.records == {}
+        again.close()
+        header, _ = load_journal_records(journal_path(tmp_path))
+        assert header["cache_version"] == "9.9.9"
+
+    def test_garbage_header_starts_fresh(self, tmp_path):
+        path = journal_path(tmp_path)
+        path.write_text("not json at all\n", encoding="utf-8")
+        journal = make_journal(tmp_path)
+        assert journal.records == {}
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.close()
+        header, records = load_journal_records(path)
+        assert header["version"] == JOURNAL_FORMAT_VERSION
+        assert set(records) == {"k1"}
+
+    def test_loader_version_gate(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.close()
+        header, records = load_journal_records(
+            journal.path, cache_version=VERSION
+        )
+        assert header is not None and set(records) == {"k1"}
+        header, records = load_journal_records(
+            journal.path, cache_version="other"
+        )
+        assert header is None and records == {}
+
+    def test_rewrite_journal_atomic(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.record_admitted("k2", SPEC, "normal", "y")
+        journal.close()
+        kept = [journal.records["k2"]]
+        assert rewrite_journal(journal.path, kept)
+        _header, records = load_journal_records(journal.path)
+        assert set(records) == {"k2"}
+
+
+class TestGcServeSweeps:
+    def _marker(self, tmp_path, pid: int, name: str = None):
+        mdir = tmp_path / SERVE_RUNNING_DIRNAME
+        mdir.mkdir(exist_ok=True)
+        path = mdir / (name or f"{pid}.json")
+        path.write_text(
+            json.dumps({"pid": pid, "key": "k", "label": "x"}),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_dead_pid_markers_swept_live_kept(self, tmp_path):
+        # pid 1 is init (alive, not ours); a huge pid is certainly dead
+        dead = self._marker(tmp_path, 2 ** 22 + 12345, name="dead.json")
+        live = self._marker(tmp_path, os.getpid(), name="live.json")
+        report = gc_cache(tmp_path)
+        assert report.markers_removed == 1
+        assert not dead.exists() and live.exists()
+
+    def test_torn_marker_is_swept(self, tmp_path):
+        mdir = tmp_path / SERVE_RUNNING_DIRNAME
+        mdir.mkdir()
+        (mdir / "torn.json").write_text('{"pid": ', encoding="utf-8")
+        report = gc_cache(tmp_path)
+        assert report.markers_removed == 1
+        assert not mdir.exists()  # emptied directory removed too
+
+    def test_incompatible_journal_removed_wholesale(self, tmp_path):
+        journal = make_journal(tmp_path, cache_version="0.0.0-ancient")
+        journal.record_admitted("k1", SPEC, "normal", "x")
+        journal.close()
+        report = gc_cache(tmp_path)
+        assert report.journals_removed == 1
+        assert not journal_path(tmp_path).exists()
+
+    def test_compatible_journal_keeps_pending_prunes_aged_terminal(
+        self, tmp_path
+    ):
+        journal = make_journal(
+            tmp_path, cache_version=_current_cache_version()
+        )
+        journal.record_admitted("pending", SPEC, "normal", "x")
+        journal.record_admitted("done", SPEC, "normal", "y")
+        journal.record_ok("done", "y", "simulated")
+        journal.close()
+        report = gc_cache(tmp_path, max_age_s=0.0, now=time.time() + 60)
+        assert report.journals_removed == 0
+        assert report.journal_records_removed == 1
+        _header, records = load_journal_records(journal_path(tmp_path))
+        assert set(records) == {"pending"}
+        assert records["pending"]["status"] == STATUS_ADMITTED
+
+    def test_release_poisoned(self, tmp_path):
+        version = _current_cache_version()
+        journal = make_journal(tmp_path, cache_version=version)
+        journal.record_admitted("pending", SPEC, "normal", "x")
+        journal.record_failure(poisoned_failure("poison"))
+        journal.close()
+        # without the flag the quarantine record is untouchable
+        report = gc_cache(tmp_path, max_age_s=0.0, now=time.time() + 60)
+        assert report.poisoned_released == 0
+        again = make_journal(tmp_path, cache_version=version)
+        assert set(again.poisoned()) == {"poison"}
+        again.close()
+        # with it, the record is dropped and the point is admissible
+        report = gc_cache(tmp_path, release_poisoned=True)
+        assert report.poisoned_released == 1
+        released = make_journal(tmp_path, cache_version=version)
+        assert released.poisoned() == {}
+        assert set(released.pending()) == {"pending"}
+        released.close()
+
+    def test_summary_mentions_serve_sweeps(self, tmp_path):
+        self._marker(tmp_path, 2 ** 22 + 54321, name="dead.json")
+        report = gc_cache(tmp_path)
+        assert "1 worker marker(s)" in report.summary()
