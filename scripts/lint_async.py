@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""AST lint: no blocking calls inside ``async def`` bodies.
+
+The serve layer (``src/repro/serve/``) runs its entire control plane on
+one asyncio event loop; a single synchronous ``time.sleep``, file read
+or subprocess call in an ``async def`` stalls every connected client at
+once.  Blocking work belongs in the worker pool
+(``loop.run_in_executor``) or in synchronous helpers invoked *before*
+the loop starts serving.
+
+This linter walks every function with Python's own ``ast`` module (no
+third-party deps) and reports a finding when the **innermost** enclosing
+function frame is ``async`` and the call matches a blocking pattern:
+
+======================  =================================================
+code                    pattern
+======================  =================================================
+``A-ASYNC-SLEEP``       ``time.sleep(...)``
+``A-ASYNC-SUBPROC``     ``subprocess.run/call/check_call/check_output/
+                        Popen/getoutput/getstatusoutput(...)``
+``A-ASYNC-IO``          bare ``open(...)`` / ``io.open(...)``; blocking
+                        ``os`` syscalls (``fsync``, ``replace``,
+                        ``rename``, ``remove``, ``unlink``,
+                        ``makedirs``, ``rmdir``); ``pathlib``-style
+                        method calls (``.read_text``, ``.write_text``,
+                        ``.read_bytes``, ``.write_bytes``, ``.unlink``,
+                        ``.mkdir``, ``.rmdir``, ``.touch``)
+======================  =================================================
+
+Sync ``def`` nested inside an ``async def`` is *not* flagged: a closure
+handed to ``run_in_executor`` is exactly where blocking calls should
+live.  ``asyncio.open_connection``-style names are not file I/O and are
+never flagged.
+
+Waivers — mirroring the assembly builder's ``b.waive(code, reason=...)``
+idiom — are trailing comments on the offending line::
+
+    data = path.read_text()  # async-waive(A-ASYNC-IO): startup path, loop not serving yet
+
+A waiver names the exact code it demotes (comma-separate for several)
+and should carry a reason after the colon.  Waived findings are printed
+as notes and do not fail the lint; a waiver whose code matches nothing
+on its line is itself an error (``A-STALE-WAIVER``), so waivers cannot
+silently outlive the code they excuse.
+
+Usage::
+
+    python scripts/lint_async.py [paths...]   # default: src/repro/serve
+
+Exit status 0 when clean (waived-only counts as clean), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Set, Tuple
+
+DEFAULT_ROOT = Path("src/repro/serve")
+
+CODE_SLEEP = "A-ASYNC-SLEEP"
+CODE_SUBPROC = "A-ASYNC-SUBPROC"
+CODE_IO = "A-ASYNC-IO"
+CODE_STALE = "A-STALE-WAIVER"
+
+#: subprocess entry points that block until the child finishes (Popen
+#: itself blocks on fork/exec and is a smell on the loop regardless)
+_SUBPROCESS_CALLS = {
+    "run", "call", "check_call", "check_output", "Popen",
+    "getoutput", "getstatusoutput",
+}
+
+#: blocking os-module syscalls the serve layer actually uses
+_OS_CALLS = {
+    "fsync", "replace", "rename", "remove", "unlink", "makedirs", "rmdir",
+}
+
+#: pathlib-style blocking methods, flagged on *any* receiver (untyped
+#: AST cannot resolve the receiver; these names are unambiguous enough)
+_PATH_METHODS = {
+    "read_text", "write_text", "read_bytes", "write_bytes",
+    "unlink", "mkdir", "rmdir", "touch",
+}
+
+#: ``# async-waive(CODE[, CODE...]): reason`` trailing comment
+_WAIVER_RE = re.compile(
+    r"#\s*async-waive\(\s*([A-Z0-9ASYNC, \-]+?)\s*\)\s*(?::\s*(.*))?$"
+)
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    code: str
+    call: str
+    waived: bool
+    reason: str
+
+
+def _call_target(node: ast.Call) -> Tuple[str, Optional[str], str]:
+    """Return ``(dotted_name, receiver_head, attr)`` for a call.
+
+    ``dotted_name`` is the best-effort source text of the callee;
+    ``receiver_head`` is the leftmost name (``time`` in
+    ``time.sleep``), or ``None`` for a bare-name call; ``attr`` is the
+    final attribute (``sleep``), or the bare name itself.
+    """
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id, None, func.id
+    if isinstance(func, ast.Attribute):
+        head: Optional[ast.expr] = func.value
+        while isinstance(head, ast.Attribute):
+            head = head.value
+        head_name = head.id if isinstance(head, ast.Name) else None
+        try:
+            dotted = ast.unparse(func)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            dotted = f"?.{func.attr}"
+        return dotted, head_name, func.attr
+    return "<dynamic>", None, ""
+
+
+def classify_call(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(code, dotted_name)`` when the call matches a blocking
+    pattern, else ``None``."""
+    dotted, head, attr = _call_target(node)
+    if head == "time" and attr == "sleep":
+        return CODE_SLEEP, dotted
+    if head == "subprocess" and attr in _SUBPROCESS_CALLS:
+        return CODE_SUBPROC, dotted
+    if head is None and attr == "open":
+        return CODE_IO, dotted
+    if head == "io" and attr == "open":
+        return CODE_IO, dotted
+    if head == "os" and attr in _OS_CALLS:
+        return CODE_IO, dotted
+    # pathlib-style method on any receiver *except* asyncio/aio wrappers
+    if head not in ("asyncio",) and attr in _PATH_METHODS:
+        return CODE_IO, dotted
+    return None
+
+
+class _AsyncFrameVisitor(ast.NodeVisitor):
+    """Collect blocking calls whose innermost function frame is async."""
+
+    def __init__(self) -> None:
+        self.frames: List[str] = []
+        self.hits: List[Tuple[int, str, str]] = []  # (lineno, code, call)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.frames.append("sync")
+        self.generic_visit(node)
+        self.frames.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.frames.append("async")
+        self.generic_visit(node)
+        self.frames.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.frames and self.frames[-1] == "async":
+            match = classify_call(node)
+            if match is not None:
+                self.hits.append((node.lineno, match[0], match[1]))
+        self.generic_visit(node)
+
+
+def _waivers_by_line(source: str) -> Dict[int, Tuple[Set[str], str]]:
+    waivers: Dict[int, Tuple[Set[str], str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _WAIVER_RE.search(line)
+        if m:
+            codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            waivers[lineno] = (codes, (m.group(2) or "").strip())
+    return waivers
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source text; returns all findings, including
+    waived ones and stale waivers."""
+    tree = ast.parse(source, filename=path)
+    visitor = _AsyncFrameVisitor()
+    visitor.visit(tree)
+    waivers = _waivers_by_line(source)
+    used_waiver_lines: Set[int] = set()
+    findings: List[Finding] = []
+    for lineno, code, call in visitor.hits:
+        waiver = waivers.get(lineno)
+        if waiver is not None and code in waiver[0]:
+            used_waiver_lines.add(lineno)
+            findings.append(
+                Finding(path, lineno, code, call, True, waiver[1])
+            )
+        else:
+            findings.append(Finding(path, lineno, code, call, False, ""))
+    for lineno, (codes, reason) in sorted(waivers.items()):
+        if lineno not in used_waiver_lines:
+            findings.append(Finding(
+                path, lineno, CODE_STALE,
+                f"async-waive({', '.join(sorted(codes))})", False, reason,
+            ))
+    return findings
+
+
+def lint_paths(paths: List[Path]) -> List[Finding]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file in files:
+        findings.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="flag blocking calls inside async def bodies",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, default=[DEFAULT_ROOT],
+        help=f"files or directories to lint (default: {DEFAULT_ROOT})",
+    )
+    args = parser.parse_args(argv)
+    findings = lint_paths(list(args.paths))
+    errors = 0
+    for f in findings:
+        if f.waived:
+            note = f" — {f.reason}" if f.reason else ""
+            print(f"{f.path}:{f.line}: note: {f.code} {f.call} waived{note}")
+        else:
+            print(
+                f"{f.path}:{f.line}: error: {f.code} blocking call "
+                f"{f.call!r} in async def body"
+            )
+            errors += 1
+    checked = {f.path for f in findings}
+    if errors:
+        print(f"lint_async: {errors} error(s)")
+        return 1
+    waived = sum(1 for f in findings if f.waived)
+    print(
+        f"lint_async: clean ({waived} waived)" if waived or checked
+        else "lint_async: clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,12 @@ from .diagnostics import (
     make_diagnostic,
 )
 from .domain import StridedInterval
+from .throughput import (
+    BlockBound,
+    LoopBound,
+    ThroughputReport,
+    analyze_throughput,
+)
 from .verify import (
     ANALYZER_VERSION,
     VerificationError,
@@ -27,14 +33,18 @@ from .verify import (
 __all__ = [
     "ANALYZER_VERSION",
     "AnalysisReport",
+    "BlockBound",
     "CFG",
     "CODES",
     "Diagnostic",
+    "LoopBound",
     "Region",
     "Severity",
     "StridedInterval",
+    "ThroughputReport",
     "VerificationError",
     "analyze_program",
+    "analyze_throughput",
     "make_diagnostic",
     "program_digest",
     "verify_program",

@@ -27,6 +27,7 @@ callee body is analyzed as its own region with an all-TOP entry.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..asm.program import Buffer, Program
@@ -541,13 +542,14 @@ class _LoopInfo:
 
 def _trip_count(
     instr: Instruction, delta: Dict[int, int], state: State
-) -> Tuple[Optional[int], Optional[int], Optional[int]]:
-    """``(n_max, n_exact, ctr_reg)`` from a latch conditional branch.
+) -> Tuple[Optional[int], Optional[int], Optional[int], Optional[int]]:
+    """``(n_max, n_exact, ctr_reg, bound_reg)`` from a latch
+    conditional branch.
 
     The branch is *taken* to continue the loop (do-while shape).
     """
     if instr.op not in ("blt", "ble", "bgt", "bge"):
-        return None, None, None
+        return None, None, None, None
     ra, rb = instr.srcs
     op = instr.op
     ctr, bound = ra, rb
@@ -557,11 +559,11 @@ def _trip_count(
         op = {"blt": "bgt", "ble": "bge", "bgt": "blt", "bge": "ble"}[op]
     d = delta.get(ctr)
     if d is None or d == 0 or bound in delta:
-        return None, None, None
+        return None, None, None, None
     c0 = _get(state, ctr)
     b = _get(state, bound)
     if c0.is_top or b.is_top:
-        return None, None, None
+        return None, None, None, None
 
     def count(c0v: int, bv: int) -> Optional[int]:
         if op == "blt" and d > 0:
@@ -581,11 +583,11 @@ def _trip_count(
     else:
         n_max = count(c0.hi, b.lo)
     if n_max is None or n_max > _MAX_TRIP:
-        return None, None, ctr
+        return None, None, ctr, bound
     n_exact = (
         n_max if c0.is_singleton and b.is_singleton else None
     )
-    return n_max, n_exact, ctr
+    return n_max, n_exact, ctr, bound
 
 
 # ---------------------------------------------------------------------------
@@ -612,6 +614,18 @@ class _RegionAnalysis:
         }
         #: header -> (n_max, n_exact); refreshed every pass
         self.trips: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        #: header -> (n_max, n_exact, ctr_reg, bound_reg); parallel to
+        #: ``trips`` (kept separate so ``_fold_inner``'s 2-tuple unpack
+        #: stays untouched), consumed by the throughput analyzer
+        self.trip_meta: Dict[
+            int,
+            Tuple[Optional[int], Optional[int], Optional[int], Optional[int]],
+        ] = {}
+        #: True when the final pass ran with a converged trip memo;
+        #: False on the cap-hit path, where the last (unstable) pass
+        #: does *not* refresh ``trips`` — consumers must then distrust
+        #: every trip count of this region
+        self.stable: bool = False
         self.block_in: Dict[int, State] = {}
 
     # -- loop pinning ------------------------------------------------------
@@ -674,8 +688,9 @@ class _RegionAnalysis:
         n_max: Optional[int] = None
         if loop.latch_branch is not None and not unstable:
             branch = self.cfg.instructions[loop.latch_branch]
-            n_max, n_exact, _ctr = _trip_count(branch, deltas, raw_in)
+            n_max, n_exact, ctr, bound = _trip_count(branch, deltas, raw_in)
             self.trips[header] = (n_max, n_exact)
+            self.trip_meta[header] = (n_max, n_exact, ctr, bound)
         state = dict(raw_in)
         for reg in self._clobbered(info) | top_regs:
             d = deltas.get(reg)
@@ -747,6 +762,7 @@ class _RegionAnalysis:
             attempt = make_checker() if fuse else None
             self.run_pass(checker=attempt)
             if no_loops or self.trips == prev_trips:
+                self.stable = True
                 if attempt is not None or make_checker is None:
                     return attempt
                 # stable on the very first comparable pass but not yet
@@ -755,7 +771,9 @@ class _RegionAnalysis:
                 self.run_pass(checker=attempt)
                 return attempt
             prev_trips = dict(self.trips)
-        # cap hit: redo with still-changing loops pinned to TOP
+        # cap hit: redo with still-changing loops pinned to TOP.  Note
+        # ``trips`` is *not* refreshed by the unstable pass — it holds
+        # the last unconverged memo, which is why ``stable`` stays False.
         attempt = make_checker() if make_checker is not None else None
         self.run_pass(unstable=True, checker=attempt)
         return attempt
@@ -792,6 +810,10 @@ class _Checker:
         self.diags: List[Diagnostic] = []
         self.buffers: List[Buffer] = list(program.buffers.values())
         self.proven: Dict[int, Tuple[int, int]] = {}
+        #: instr -> (lo, hi, stride) of the proven *start-address*
+        #: interval (``proven`` stores the byte range incl. width);
+        #: consumed by the throughput analyzer's footprint model
+        self.proven_si: Dict[int, Tuple[int, int, int]] = {}
         self.checked = 0
         self._seen: Set[Tuple[str, int]] = set()
         self._counted: Set[int] = set()
@@ -799,6 +821,7 @@ class _Checker:
     def seed_from(self, other: "_Checker") -> "_Checker":
         """Adopt another checker's dedup state (not its findings)."""
         self.proven.update(other.proven)
+        self.proven_si.update(other.proven_si)
         self._seen |= other._seen
         self._counted |= other._counted
         return self
@@ -807,6 +830,7 @@ class _Checker:
         """Fold a committed attempt into this aggregate."""
         self.diags.extend(attempt.diags)
         self.proven.update(attempt.proven)
+        self.proven_si.update(attempt.proven_si)
         self._seen |= attempt._seen
         self._counted |= attempt._counted
         self.checked += attempt.checked
@@ -871,6 +895,7 @@ class _Checker:
                 disjoint = False
         if inside:
             self.proven[i] = (lo, hi)
+            self.proven_si[i] = (addr.lo, addr.hi, addr.stride)
         elif disjoint:
             self._emit(
                 "E-OOB",
@@ -902,16 +927,82 @@ class _Checker:
                 )
 
 
-def run_value_checks(
-    program: Program, cfg: CFG, diags: List[Diagnostic]
-) -> Tuple[Dict[int, Tuple[int, int]], int]:
-    """Run the abstract interpreter over every region and emit the
-    memory-safety / VIS-value diagnostics.
+@dataclass
+class RegionFacts:
+    """Loop facts the abstract interpreter proved for one region."""
 
-    Returns ``(proven_accesses, checked_accesses)``.
+    #: the region's entry block
+    entry: int
+    #: True when the final pass ran with a converged trip-count memo;
+    #: False on the pass-cap path (every trip count is then stale and
+    #: must be distrusted wholesale)
+    stable: bool
+    #: header block -> (n_max, n_exact) iterations *per loop entry*
+    trips: Dict[int, Tuple[Optional[int], Optional[int]]] = field(
+        default_factory=dict
+    )
+    #: headers whose trip counts survive the invariance audit: region
+    #: stable, the counter's delta is purely this loop's own syntactic
+    #: self-increments (untouched by inner loops), and the bound
+    #: register is not modified anywhere in the loop body (including
+    #: via call clobbers)
+    trusted: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class AbsintFacts:
+    """Everything the strided-interval pass proved, packaged for
+    consumers beyond the safety gate (the throughput analyzer)."""
+
+    #: instr -> (lo, hi) proven in-bounds byte range (incl. width)
+    proven: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: memory accesses examined (proven + unproven)
+    checked: int = 0
+    #: instr -> (lo, hi, stride) proven start-address interval
+    proven_si: Dict[int, Tuple[int, int, int]] = field(default_factory=dict)
+    #: one entry per region, in :meth:`CFG.regions` order (main first)
+    regions: List[RegionFacts] = field(default_factory=list)
+
+
+def _trusted_headers(analysis: _RegionAnalysis) -> Set[int]:
+    """Headers whose per-entry trip counts are safe to *trust* (not
+    merely to use for envelope pinning): see :attr:`RegionFacts.trusted`.
     """
+    trusted: Set[int] = set()
+    if not analysis.stable:
+        return trusted
+    for header, (n_max, _n_exact, ctr, bound) in analysis.trip_meta.items():
+        if n_max is None or ctr is None:
+            continue
+        info = analysis.loop_info[header]
+        # counter delta must be this loop's own syntactic increments
+        if ctr not in info.deltas:
+            continue
+        inner_clobbered: Set[int] = set()
+        for inner_header in info.loop.inner:
+            inner_clobbered |= analysis._clobbered(
+                analysis.loop_info[inner_header]
+            )
+        if ctr in inner_clobbered:
+            continue
+        # bound register must be loop-invariant (incl. call clobbers)
+        if bound is not None and bound != ZERO:
+            if bound in analysis._clobbered(info):
+                continue
+        trusted.add(header)
+    return trusted
+
+
+def analyze_values(
+    program: Program, cfg: CFG, diags: List[Diagnostic]
+) -> AbsintFacts:
+    """Run the abstract interpreter over every region, emit the
+    memory-safety / VIS-value diagnostics into ``diags``, and return
+    the full :class:`AbsintFacts` (proven access intervals + audited
+    per-region loop trip counts)."""
+    facts = AbsintFacts()
     if not cfg.n_blocks:
-        return {}, 0
+        return facts
     summaries = _function_summaries(cfg)
     transfer = _Transfer(cfg, summaries)
     aggregate = _Checker(program, cfg)
@@ -931,5 +1022,26 @@ def run_value_checks(
         )
         if committed is not None:
             aggregate.merge(committed)
+        facts.regions.append(RegionFacts(
+            entry=region.entry,
+            stable=analysis.stable,
+            trips=dict(analysis.trips),
+            trusted=_trusted_headers(analysis),
+        ))
     diags.extend(aggregate.diags)
-    return aggregate.proven, aggregate.checked
+    facts.proven = aggregate.proven
+    facts.checked = aggregate.checked
+    facts.proven_si = aggregate.proven_si
+    return facts
+
+
+def run_value_checks(
+    program: Program, cfg: CFG, diags: List[Diagnostic]
+) -> Tuple[Dict[int, Tuple[int, int]], int]:
+    """Run the abstract interpreter over every region and emit the
+    memory-safety / VIS-value diagnostics.
+
+    Returns ``(proven_accesses, checked_accesses)``.
+    """
+    facts = analyze_values(program, cfg, diags)
+    return facts.proven, facts.checked

@@ -133,6 +133,14 @@ CODES: Dict[str, Tuple[Severity, str, str]] = {
         "fmul8x16's first operand is four unsigned bytes; feeding it a "
         "16-bit-lane value (e.g. an fexpand result) multiplies garbage",
     ),
+    # -- static throughput model -------------------------------------------
+    "W-UNBOUNDED-LOOP": (
+        Severity.WARNING,
+        "loop trip count could not be bounded; cycle upper bound is infinite",
+        "the throughput analyzer needs a counted loop (li bound; add/sub "
+        "counter by a constant; blt/bge-style exit) to bound iterations — "
+        "restructure the loop or accept an unbounded upper cycle bound",
+    ),
     # -- assembler hygiene -------------------------------------------------
     "W-REGLEAK": (
         Severity.WARNING,

@@ -1,0 +1,746 @@
+"""Static cycle-bound analyzer (llvm-mca / roofline style).
+
+For any assembled :class:`~repro.asm.program.Program` and any
+``(ProcessorConfig, MemoryConfig)`` pair this module computes, *without
+simulating*, a whole-program **lower and upper bound on cycles** plus a
+per-basic-block bottleneck table.  Three consumers:
+
+* ``analyze throughput`` / ``lint --perf`` CLI surfaces (human table +
+  machine-readable JSON);
+* the **bracketing suite** — for every workload × config × variant the
+  tests assert ``lower <= ExecutionStats.cycles <= upper`` on both
+  engines, a free differential oracle over the timing models;
+* the ``--prune-static`` design-space mode — a config point whose lower
+  bound is already beaten by a cheaper simulated point cannot join the
+  Pareto frontier and is skipped (provenance goes to the run manifest).
+
+**Soundness contract.**  The *enforced* whole-program lower bound uses
+only components proved against the timing recurrences in
+``repro.cpu.pipeline`` (they are identical for the scalar and vector
+engines by construction):
+
+* **issue**: at most ``issue_width`` instructions retire per cycle and
+  every retire cycle is >= 1, so ``cycles >= ceil(N/width) + 1``;
+* **functional units**: each op claims one unit of its class and
+  strictly advances that unit's clock, so some unit reaches
+  ``ceil(N_F/units_F)`` and ``cycles >= ceil(N_F/units_F) + 1``;
+* **accumulator dependence chains**: a register whose every potential
+  writer is either a self-referencing simple op (``complete >=
+  reg_ready[r] + lat``) or an execute-at-most-once initializer that
+  dominates every accumulate site advances ``reg_ready[r]`` by ``lat``
+  per accumulate, so ``cycles >= sum(lat * min_execs) + 1``;
+* **L1 ports / memory queue**: every ``memory.access`` claims an L1
+  port whose clock advances by one per claim, and a memory op ``Q``
+  positions later in the memory queue cannot issue before the earlier
+  op's completion.
+
+Trip counts come from the abstract interpreter's induction envelopes
+(:func:`repro.analyze.absint.analyze_values`); only counts that survive
+the invariance audit (:attr:`RegionFacts.trusted`) are used.  The upper
+bound charges each instruction the worst-case amount it can advance any
+clock of the machine (a monotone-potential argument); any reachable
+block whose execution count cannot be bounded makes the upper bound
+infinite and emits ``W-UNBOUNDED-LOOP``.
+
+Per-block *attribution* (the mca-style table) additionally uses the
+proven strided-interval footprint of each access (unique cache lines ×
+miss cost, best/worst).  Footprint attribution is display-only: a
+strided interval over-approximates the true footprint, so it never
+feeds the enforced lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..asm.program import Program
+from ..cpu.config import ProcessorConfig
+from ..mem.config import MemoryConfig
+from ..sim.static_info import (
+    FU_NAMES,
+    K_BRANCH,
+    K_LOAD,
+    K_PREFETCH,
+    K_SIMPLE,
+    K_STORE,
+    K_UNCOND,
+    NUM_FU_TYPES,
+    StaticProgramInfo,
+)
+from .absint import AbsintFacts, RegionFacts, analyze_values
+from .cfg import CFG, Loop, Region
+from .diagnostics import Diagnostic, make_diagnostic
+
+#: execution-count type: ``None`` means unbounded (∞)
+Count = Optional[int]
+
+
+def _mul(a: Count, b: Count) -> Count:
+    if a == 0 or b == 0:
+        return 0
+    if a is None or b is None:
+        return None
+    return a * b
+
+
+def _add(a: Count, b: Count) -> Count:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _fmt_count(c: Count) -> str:
+    return "inf" if c is None else str(c)
+
+
+# ---------------------------------------------------------------------------
+# Result objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LoopBound:
+    """Iteration bounds of one natural loop, per entry of the loop."""
+
+    header: int  #: header block id
+    region_entry: int  #: entry block of the owning region
+    branch_index: int  #: static index anchoring diagnostics
+    n_min: int  #: guaranteed completed iterations per entry
+    n_max: Count  #: max iterations per entry (None = unbounded)
+    trusted: bool  #: trip count survived the invariance audit
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "header": self.header,
+            "region_entry": self.region_entry,
+            "branch_index": self.branch_index,
+            "n_min": self.n_min,
+            "n_max": self.n_max,
+            "trusted": self.trusted,
+        }
+
+
+@dataclass
+class BlockBound:
+    """Per-execution bottleneck attribution for one basic block.
+
+    All ``*_cycles`` figures are steady-state cycles *per execution of
+    the block*; ``bound_cycles`` is their max and ``binding`` names the
+    component that set it.  This is attribution (mca-style), not the
+    enforced whole-program bound.
+    """
+
+    block: int
+    region_entry: int
+    first: int  #: first static instruction index
+    last: int  #: last static instruction index (inclusive)
+    exec_min: int
+    exec_max: Count
+    slots: int  #: traced instructions per execution
+    issue_cycles: float
+    dep_cycles: float  #: intra-block critical path (latency chain)
+    fu_cycles: float
+    fu_binding: str  #: FU class behind ``fu_cycles``
+    mem_ops: int  #: loads + stores per execution
+    lines_per_exec: float  #: est. new cache lines touched per execution
+    mem_cycles_best: float  #: all-hit / streaming-bandwidth estimate
+    mem_cycles_worst: float  #: every new line takes the full miss chain
+    bound_cycles: float
+    binding: str
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "block": self.block,
+            "region_entry": self.region_entry,
+            "range": [self.first, self.last],
+            "exec_min": self.exec_min,
+            "exec_max": self.exec_max,
+            "slots": self.slots,
+            "issue_cycles": round(self.issue_cycles, 3),
+            "dep_cycles": round(self.dep_cycles, 3),
+            "fu_cycles": round(self.fu_cycles, 3),
+            "fu_binding": self.fu_binding,
+            "mem_ops": self.mem_ops,
+            "lines_per_exec": round(self.lines_per_exec, 3),
+            "mem_cycles_best": round(self.mem_cycles_best, 3),
+            "mem_cycles_worst": round(self.mem_cycles_worst, 3),
+            "bound_cycles": round(self.bound_cycles, 3),
+            "binding": self.binding,
+            "utilization": {
+                k: round(v, 3) for k, v in self.utilization.items()
+            },
+        }
+
+
+@dataclass
+class ThroughputReport:
+    """Static cycle bounds + bottleneck attribution for one program."""
+
+    program_name: str
+    config_name: str
+    lower: int
+    upper: Count  #: None = unbounded (some trip count unprovable)
+    lower_binding: str  #: component that set ``lower``
+    lower_components: Dict[str, int] = field(default_factory=dict)
+    #: bounds on the traced dynamic instruction count
+    instr_min: int = 0
+    instr_max: Count = 0
+    blocks: List[BlockBound] = field(default_factory=list)
+    loops: List[LoopBound] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def bounded(self) -> bool:
+        return self.upper is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program_name,
+            "config": self.config_name,
+            "lower": self.lower,
+            "upper": self.upper,
+            "lower_binding": self.lower_binding,
+            "lower_components": dict(self.lower_components),
+            "instr_min": self.instr_min,
+            "instr_max": self.instr_max,
+            "blocks": [b.to_dict() for b in self.blocks],
+            "loops": [lp.to_dict() for lp in self.loops],
+            "diagnostics": [
+                {"code": d.code, "index": d.index, "message": d.message}
+                for d in self.diagnostics
+            ],
+        }
+
+    # -- presentation ------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_name} @ {self.config_name}: "
+            f"cycles in [{self.lower}, {_fmt_count(self.upper)}] "
+            f"(binding: {self.lower_binding}); "
+            f"instructions in [{self.instr_min}, "
+            f"{_fmt_count(self.instr_max)}]"
+        )
+
+    def format(self, max_blocks: Optional[int] = None) -> str:
+        lines = [self.summary()]
+        comps = ", ".join(
+            f"{k}={v}" for k, v in sorted(
+                self.lower_components.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"  lower-bound components: {comps}")
+        for d in self.diagnostics:
+            lines.append("  " + d.format())
+        hdr = (
+            f"  {'block':>5} {'instrs':>7} {'execs':>15} {'issue':>7} "
+            f"{'dep':>7} {'fu':>7} {'mem':>9} {'bound':>7} "
+            f"{'util%':>5}  binding"
+        )
+        lines.append(hdr)
+        shown = self.blocks
+        if max_blocks is not None:
+            shown = sorted(
+                self.blocks,
+                key=lambda b: -(b.bound_cycles * (b.exec_min or 1)),
+            )[:max_blocks]
+            shown.sort(key=lambda b: b.block)
+        for b in shown:
+            execs = f"{b.exec_min}..{_fmt_count(b.exec_max)}"
+            util = b.utilization.get(b.binding, 1.0)
+            lines.append(
+                f"  {b.block:>5} {b.first:>3}-{b.last:<3} {execs:>15} "
+                f"{b.issue_cycles:>7.1f} {b.dep_cycles:>7.1f} "
+                f"{b.fu_cycles:>7.1f} "
+                f"{b.mem_cycles_best:>4.1f}/{b.mem_cycles_worst:<6.1f} "
+                f"{b.bound_cycles:>7.1f} {util * 100:>5.0f}  {b.binding}"
+            )
+        if max_blocks is not None and len(self.blocks) > len(shown):
+            lines.append(
+                f"  ... {len(self.blocks) - len(shown)} more block(s)"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Execution-count bounds
+# ---------------------------------------------------------------------------
+
+
+def _region_exits(region: Region) -> List[int]:
+    """Blocks that leave the region (halt / ret / no successor)."""
+    return [b for b in region.rpo if not region.succs[b]]
+
+
+def _loop_min_factor(
+    region: Region,
+    rfacts: RegionFacts,
+    loop: Loop,
+    block: int,
+    exits: List[int],
+) -> int:
+    """Guaranteed executions of ``block`` per entry of ``loop``.
+
+    ``n_exact`` applies only when the loop provably completes exactly
+    that many iterations (single latch, exits only at the latch, no
+    halt/ret inside the body) and ``block`` is on every iteration's
+    path (it dominates the latch; since the header dominates the body,
+    every header->latch path then passes through ``block``).
+    """
+    if loop.header not in rfacts.trusted:
+        return 1
+    n_exact = rfacts.trips.get(loop.header, (None, None))[1]
+    if n_exact is None:
+        return 1
+    if len(loop.latches) != 1 or not loop.single_exit:
+        return 1
+    latch = next(iter(loop.latches))
+    if not region.dominates(block, latch):
+        return 1
+    if any(e in loop.body for e in exits):
+        return 1
+    return max(1, n_exact)
+
+
+def _region_rel_counts(
+    region: Region, rfacts: RegionFacts
+) -> Tuple[Dict[int, int], Dict[int, Count]]:
+    """Per-block (min, max) executions per entry of the region."""
+    exits = _region_exits(region)
+    unbounded = bool(region.irreducible_heads)
+    relmin: Dict[int, int] = {}
+    relmax: Dict[int, Count] = {}
+    loops = list(region.loops.values())
+    for b in region.rpo:
+        enclosing = [lp for lp in loops if b in lp.body]
+        mx: Count = 1
+        if unbounded:
+            mx = None
+        else:
+            for lp in enclosing:
+                if lp.header in rfacts.trusted:
+                    mx = _mul(mx, rfacts.trips[lp.header][0])
+                else:
+                    mx = None
+                    break
+        mn = 0
+        if all(region.dominates(b, e) for e in exits):
+            mn = 1
+            for lp in enclosing:
+                mn *= _loop_min_factor(region, rfacts, lp, b, exits)
+        relmin[b] = mn
+        relmax[b] = mx
+    return relmin, relmax
+
+
+def _entry_counts(
+    cfg: CFG,
+    regions: List[Region],
+    rel: List[Tuple[Dict[int, int], Dict[int, Count]]],
+    info: StaticProgramInfo,
+) -> Tuple[List[int], List[Count], Set[int]]:
+    """Interprocedural (min, max) entry counts per region.
+
+    Kahn's algorithm over the call graph; any region left unprocessed
+    sits in (or downstream of) a call-graph cycle and gets ``(0, inf)``.
+    Returns ``(entry_min, entry_max, cyclic_region_indices)``.
+    """
+    entry_of = {r.entry: idx for idx, r in enumerate(regions)}
+    edges: List[List[Tuple[int, int, Count]]] = [[] for _ in regions]
+    indeg = [0] * len(regions)
+    for idx, region in enumerate(regions):
+        relmin, relmax = rel[idx]
+        for b in region.rpo:
+            last = cfg.blocks[b][1] - 1
+            if not info.is_call[last]:
+                continue
+            target = cfg.instructions[last].target
+            if not (0 <= target < cfg.n):
+                continue
+            callee = entry_of.get(cfg.block_of[target])
+            if callee is None:
+                continue
+            edges[idx].append((callee, relmin[b], relmax[b]))
+            indeg[callee] += 1
+    entry_min = [0] * len(regions)
+    entry_max: List[Count] = [0] * len(regions)
+    entry_min[0] = 1
+    entry_max[0] = 1
+    done: Set[int] = set()
+    queue = [i for i in range(len(regions)) if indeg[i] == 0]
+    while queue:
+        idx = queue.pop()
+        done.add(idx)
+        for callee, site_min, site_max in edges[idx]:
+            entry_min[callee] += entry_min[idx] * site_min
+            entry_max[callee] = _add(
+                entry_max[callee], _mul(entry_max[idx], site_max)
+            )
+            indeg[callee] -= 1
+            if indeg[callee] == 0:
+                queue.append(callee)
+    cyclic = set(range(len(regions))) - done
+    for idx in cyclic:
+        entry_min[idx] = 0
+        entry_max[idx] = None
+    return entry_min, entry_max, cyclic
+
+
+# ---------------------------------------------------------------------------
+# Lower-bound components
+# ---------------------------------------------------------------------------
+
+
+def _dep_chain_components(
+    info: StaticProgramInfo,
+    cfg: CFG,
+    main: Region,
+    instr_min: List[int],
+    instr_max: List[Count],
+) -> Dict[str, int]:
+    """Accumulator dependence-chain lower bounds, one per register.
+
+    Register ``r`` qualifies when every writer that can execute is
+    either an *advancer* — a simple op ``r = f(r, ...)`` whose
+    ``complete >= reg_ready[r] + lat`` — or a *resetter* that executes
+    at most once and whose block dominates every advancer's block (so
+    all resets precede all accumulation).  Then the final
+    ``reg_ready[r]`` is at least the sum of advancer latencies over
+    their guaranteed executions, and some instruction completes that
+    late.
+    """
+    writers: Dict[int, List[int]] = {}
+    for i in range(len(info)):
+        if info.op_name[i] == "halt":
+            continue
+        for d in (info.dst[i], info.dst2[i]):
+            if d >= 0:
+                writers.setdefault(d, []).append(i)
+    comps: Dict[str, int] = {}
+    for reg, ws in writers.items():
+        active = [i for i in ws if instr_max[i] != 0]
+        if not active:
+            continue
+        advancers = [
+            i
+            for i in active
+            if info.kind[i] == K_SIMPLE
+            and info.dst[i] == reg
+            and info.dst2[i] < 0
+            and reg in info.srcs[i]
+        ]
+        if not advancers:
+            continue
+        total = sum(info.latency[i] * instr_min[i] for i in advancers)
+        if total <= 0:
+            continue
+        adv_set = set(advancers)
+        ok = True
+        for i in active:
+            if cfg.block_of[i] not in main.nodes:
+                ok = False  # written outside main: order unknowable
+                break
+            if i in adv_set:
+                continue
+            mx = instr_max[i]
+            if mx is None or mx > 1:
+                ok = False
+                break
+            if not all(
+                main.dominates(cfg.block_of[i], cfg.block_of[a])
+                for a in advancers
+            ):
+                ok = False
+                break
+        if ok:
+            comps[f"dep-chain(r{reg})"] = total + 1
+    return comps
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+def analyze_throughput(
+    program: Program,
+    cpu: ProcessorConfig,
+    mem: MemoryConfig,
+    facts: Optional[AbsintFacts] = None,
+    cfg: Optional[CFG] = None,
+) -> ThroughputReport:
+    """Static cycle bounds + per-block bottleneck attribution.
+
+    ``facts``/``cfg`` may be passed to reuse an existing abstract-
+    interpretation run (they must belong to ``program``).
+    """
+    if cfg is None:
+        cfg = CFG(program)
+    if facts is None:
+        scratch: List[Diagnostic] = []
+        facts = analyze_values(program, cfg, scratch)
+    info = StaticProgramInfo(program)
+    n = len(info)
+    report = ThroughputReport(
+        program_name=program.name,
+        config_name=cpu.name,
+        lower=0,
+        upper=0,
+        lower_binding="empty",
+    )
+    if n == 0 or not cfg.n_blocks:
+        return report
+
+    regions = cfg.regions()
+    rel = [
+        _region_rel_counts(region, rfacts)
+        for region, rfacts in zip(regions, facts.regions)
+    ]
+    entry_min, entry_max, cyclic = _entry_counts(cfg, regions, rel, info)
+
+    # per-static-instruction execution bounds (blocks shared between
+    # regions accumulate; the final halt is never traced)
+    instr_min = [0] * n
+    instr_max: List[Count] = [0] * n
+    for idx, region in enumerate(regions):
+        relmin, relmax = rel[idx]
+        for b in region.rpo:
+            bmin = entry_min[idx] * relmin[b]
+            bmax = _mul(entry_max[idx], relmax[b])
+            for i in cfg.block_instrs(b):
+                instr_min[i] += bmin
+                instr_max[i] = _add(instr_max[i], bmax)
+    for i in range(n):
+        if info.op_name[i] == "halt":
+            instr_min[i] = 0
+            instr_max[i] = 0
+
+    # -- diagnostics for unbounded execution counts ------------------------
+    for idx, (region, rfacts) in enumerate(zip(regions, facts.regions)):
+        if entry_max[idx] == 0:
+            continue
+        anchor = cfg.blocks[region.entry][0]
+        if idx in cyclic:
+            report.diagnostics.append(make_diagnostic(
+                "W-UNBOUNDED-LOOP",
+                anchor,
+                "recursive call cycle: entry count unbounded",
+            ))
+        if region.irreducible_heads:
+            report.diagnostics.append(make_diagnostic(
+                "W-UNBOUNDED-LOOP",
+                anchor,
+                "irreducible control flow: iteration counts unbounded",
+            ))
+        for header, loop in sorted(region.loops.items()):
+            n_max, n_exact = rfacts.trips.get(header, (None, None))
+            trusted = header in rfacts.trusted
+            branch_index = (
+                loop.latch_branch
+                if loop.latch_branch is not None
+                else cfg.blocks[header][0]
+            )
+            n_min = 1
+            if trusted and n_exact is not None:
+                if (
+                    len(loop.latches) == 1
+                    and loop.single_exit
+                    and not any(
+                        e in loop.body for e in _region_exits(region)
+                    )
+                ):
+                    n_min = max(1, n_exact)
+            report.loops.append(LoopBound(
+                header=header,
+                region_entry=region.entry,
+                branch_index=branch_index,
+                n_min=n_min,
+                n_max=n_max if trusted else None,
+                trusted=trusted,
+            ))
+            if not trusted:
+                report.diagnostics.append(make_diagnostic(
+                    "W-UNBOUNDED-LOOP",
+                    branch_index,
+                    f"trip count of loop at block {header} not provable"
+                    "; upper cycle bound is unbounded",
+                ))
+
+    # -- whole-program lower bound -----------------------------------------
+    width = cpu.issue_width
+    fu_units = cpu.fu_counts()
+    n_min_total = sum(instr_min)
+    n_max_total: Count = 0
+    for i in range(n):
+        n_max_total = _add(n_max_total, instr_max[i])
+    report.instr_min = n_min_total
+    report.instr_max = n_max_total
+
+    comps: Dict[str, int] = {}
+    if n_min_total > 0:
+        comps["issue"] = _ceil_div(n_min_total, width) + 1
+        fu_min = [0] * NUM_FU_TYPES
+        for i in range(n):
+            fu_min[info.fu[i]] += instr_min[i]
+        for f in range(NUM_FU_TYPES):
+            if fu_min[f] > 0:
+                comps[f"fu:{FU_NAMES[f]}"] = (
+                    _ceil_div(fu_min[f], fu_units[f]) + 1
+                )
+        comps.update(
+            _dep_chain_components(info, cfg, regions[0], instr_min, instr_max)
+        )
+        loads_min = sum(
+            instr_min[i] for i in range(n) if info.kind[i] == K_LOAD
+        )
+        ls_min = loads_min + sum(
+            instr_min[i] for i in range(n) if info.kind[i] == K_STORE
+        )
+        ports = mem.l1_ports
+        h_load = max(
+            1,
+            min(mem.l1_hit_cycles, 1 + mem.l2_hit_cycles,
+                mem.mem_latency_cycles),
+        )
+        if loads_min > 0:
+            comps["l1-ports"] = (loads_min - 1) // ports + h_load + 1
+        if ls_min > cpu.mem_queue_size:
+            comps["mem-queue"] = (
+                (ls_min - cpu.mem_queue_size - 1) // ports + 3
+            )
+    if comps:
+        report.lower_binding = max(comps, key=lambda k: comps[k])
+        report.lower = comps[report.lower_binding]
+    report.lower_components = comps
+
+    # -- whole-program upper bound (monotone-potential charges) ------------
+    w_mem = (
+        mem.mem_latency_cycles
+        + mem.mem_bank_busy_cycles
+        + mem.l1_hit_cycles
+        + mem.l2_hit_cycles
+        + 4
+    )
+    upper: Count = 0
+    for i in range(n):
+        k = info.kind[i]
+        if k in (K_LOAD, K_STORE, K_PREFETCH):
+            charge = w_mem + 4
+        elif k in (K_BRANCH, K_UNCOND):
+            charge = cpu.mispredict_penalty + 4
+        else:
+            charge = info.latency[i] + 3
+        upper = _add(upper, _mul(instr_max[i], charge))
+    report.upper = _add(upper, cpu.mispredict_penalty + 8)
+
+    # -- per-block attribution table ---------------------------------------
+    line = mem.line_size
+    banks = max(1, mem.mem_banks)
+    for idx, region in enumerate(regions):
+        relmin, relmax = rel[idx]
+        for b in region.rpo:
+            first, end = cfg.blocks[b]
+            body = [
+                i for i in cfg.block_instrs(b)
+                if info.op_name[i] != "halt"
+            ]
+            if not body:
+                continue
+            exec_min = entry_min[idx] * relmin[b]
+            exec_max = _mul(entry_max[idx], relmax[b])
+            slots = len(body)
+            issue_c = slots / width
+            fu_cnt = [0] * NUM_FU_TYPES
+            depth: Dict[int, float] = {}
+            crit = 0.0
+            mem_ops = 0
+            lines_per_exec = 0.0
+            for i in body:
+                fu_cnt[info.fu[i]] += 1
+                k = info.kind[i]
+                if k == K_SIMPLE:
+                    step = float(info.latency[i])
+                elif k == K_LOAD:
+                    step = 1.0 + mem.l1_hit_cycles
+                else:
+                    step = 1.0
+                base = 0.0
+                for s in info.srcs[i]:
+                    base = max(base, depth.get(s, 0.0))
+                cur = base + step
+                crit = max(crit, cur)
+                if info.dst[i] >= 0:
+                    depth[info.dst[i]] = cur
+                if info.dst2[i] >= 0:
+                    depth[info.dst2[i]] = cur
+                if k in (K_LOAD, K_STORE):
+                    mem_ops += 1
+                    si = facts.proven_si.get(i)
+                    if si is not None and exec_max not in (None, 0):
+                        lo, hi, _stride = si
+                        total_lines = (
+                            (hi + info.size[i] - 1) // line - lo // line + 1
+                        )
+                        assert exec_max is not None
+                        lines_per_exec += min(
+                            1.0, total_lines / exec_max
+                        )
+                    else:
+                        lines_per_exec += 1.0
+            fu_best = 0
+            fu_c = 0.0
+            for f in range(NUM_FU_TYPES):
+                c = fu_cnt[f] / fu_units[f]
+                if c > fu_c:
+                    fu_c = c
+                    fu_best = f
+            mem_best = 0.0
+            mem_worst = 0.0
+            if mem_ops:
+                mem_best = max(
+                    mem_ops / mem.l1_ports,
+                    lines_per_exec * mem.mem_bank_busy_cycles / banks,
+                )
+                mem_worst = (
+                    lines_per_exec
+                    * (mem.mem_latency_cycles + mem.mem_bank_busy_cycles)
+                    + mem_ops / mem.l1_ports
+                )
+            parts = {
+                "issue": issue_c,
+                "dep-chain": crit,
+                f"fu:{FU_NAMES[fu_best]}": fu_c,
+                "memory": mem_best,
+            }
+            binding = max(parts, key=lambda p: parts[p])
+            bound = parts[binding]
+            report.blocks.append(BlockBound(
+                block=b,
+                region_entry=region.entry,
+                first=first,
+                last=end - 1,
+                exec_min=exec_min,
+                exec_max=exec_max,
+                slots=slots,
+                issue_cycles=issue_c,
+                dep_cycles=crit,
+                fu_cycles=fu_c,
+                fu_binding=FU_NAMES[fu_best],
+                mem_ops=mem_ops,
+                lines_per_exec=lines_per_exec,
+                mem_cycles_best=mem_best,
+                mem_cycles_worst=mem_worst,
+                bound_cycles=bound,
+                binding=binding,
+                utilization={
+                    p: (v / bound if bound else 0.0)
+                    for p, v in parts.items()
+                },
+            ))
+    return report

@@ -34,9 +34,12 @@ import logging
 import os
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..cpu.stats import ExecutionStats
 
 log = logging.getLogger("repro.checkpoint")
 
@@ -122,8 +125,13 @@ class CheckpointSession:
 
 
 def identity_meta(
-    machine, model, memory, tracer, benchmark: str, point_key: str = ""
-) -> Dict:
+    machine: Any,
+    model: Any,
+    memory: Any,
+    tracer: Any,
+    benchmark: str,
+    point_key: str = "",
+) -> Dict[str, Any]:
     """Everything a snapshot and a would-be resumer must agree on.
 
     Restoring into a different program, config, pipeline kind, or
@@ -171,7 +179,10 @@ def _atomic_write(directory: Path, path: Path, text: str) -> None:
 
 
 def write_snapshot(
-    directory: Path, meta: Dict, progress: Dict, payload: Dict
+    directory: Path,
+    meta: Dict[str, Any],
+    progress: Dict[str, Any],
+    payload: Dict[str, Any],
 ) -> Path:
     """Atomically persist one snapshot; returns its path.
 
@@ -201,7 +212,9 @@ def write_snapshot(
     return path
 
 
-def load_snapshot(path: Path) -> Tuple[Dict, Dict, Dict]:
+def load_snapshot(
+    path: Path,
+) -> Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
     """Read and verify one snapshot file -> ``(meta, progress, payload)``.
 
     Raises :class:`CheckpointError` on unreadable files, bad
@@ -295,7 +308,7 @@ def prune_snapshots(directory: Path, keep: int) -> int:
     return removed
 
 
-def snapshot_progress(directory: Path) -> Optional[Tuple[str, Dict]]:
+def snapshot_progress(directory: Path) -> Optional[Tuple[str, Dict[str, Any]]]:
     """Name + progress dict of the newest *readable* snapshot in a
     point's directory, without restoring its payload.  Crash recovery
     uses this for provenance: a replayed point can report how far its
@@ -311,8 +324,8 @@ def snapshot_progress(directory: Path) -> Optional[Tuple[str, Dict]]:
 
 
 def load_newest_valid(
-    session: CheckpointSession, expected_meta: Dict
-) -> Optional[Tuple[str, Dict]]:
+    session: CheckpointSession, expected_meta: Dict[str, Any]
+) -> Optional[Tuple[str, Dict[str, Any]]]:
     """Newest restorable snapshot for this point -> ``(name, payload)``.
 
     Walks newest -> oldest: corrupt files are quarantined and the next
@@ -344,7 +357,9 @@ def load_newest_valid(
 # ---------------------------------------------------------------------------
 
 
-def build_state(machine, model, memory, tracer=None) -> Dict:
+def build_state(
+    machine: Any, model: Any, memory: Any, tracer: Any = None
+) -> Dict[str, Any]:
     """Serialize every layer of a quiescent (chunk-boundary) stack."""
     return {
         "machine": machine.snapshot(),
@@ -354,7 +369,13 @@ def build_state(machine, model, memory, tracer=None) -> Dict:
     }
 
 
-def restore_state(payload: Dict, machine, model, memory, tracer=None) -> None:
+def restore_state(
+    payload: Dict[str, Any],
+    machine: Any,
+    model: Any,
+    memory: Any,
+    tracer: Any = None,
+) -> None:
     """Restore every layer from :func:`build_state` output.
 
     Raises :class:`CheckpointError` if any layer rejects its state
@@ -380,13 +401,13 @@ def restore_state(payload: Dict, machine, model, memory, tracer=None) -> None:
 
 def run_with_checkpoints(
     session: CheckpointSession,
-    machine,
-    model,
-    memory,
-    tracer,
+    machine: Any,
+    model: Any,
+    memory: Any,
+    tracer: Any,
     benchmark: str,
     max_steps: Optional[int] = None,
-):
+) -> "ExecutionStats":
     """Drive one simulation with periodic snapshots; returns its
     :class:`~repro.cpu.stats.ExecutionStats`.
 
@@ -461,4 +482,5 @@ def run_with_checkpoints(
             from ..experiments.faults import maybe_inject
 
             maybe_inject(inject_label)
-    return model.finish()
+    stats: "ExecutionStats" = model.finish()
+    return stats

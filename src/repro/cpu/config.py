@@ -93,5 +93,60 @@ class ProcessorConfig:
         """4-way out-of-order (21264 / R10000 class): the default."""
         return cls(name="out-of-order 4-way")
 
+    # -- intermediate/extreme points of the Table 2 design space -----------
+
+    @classmethod
+    def inorder_2way(cls) -> "ProcessorConfig":
+        """2-way in-order: midpoint between the base and the 21164 class."""
+        return cls(
+            name="in-order 2-way",
+            out_of_order=False,
+            issue_width=2,
+            window_size=32,
+            int_alu_units=1,
+            fp_units=1,
+            addr_units=1,
+        )
+
+    @classmethod
+    def ooo_2way(cls) -> "ProcessorConfig":
+        """2-way out-of-order with a half-size window."""
+        return cls(
+            name="out-of-order 2-way",
+            issue_width=2,
+            window_size=32,
+            int_alu_units=1,
+            fp_units=1,
+            addr_units=1,
+        )
+
+    @classmethod
+    def ooo_8way(cls) -> "ProcessorConfig":
+        """8-way out-of-order: the aggressive end of the design space."""
+        return cls(
+            name="out-of-order 8-way",
+            issue_width=8,
+            window_size=128,
+            mem_queue_size=64,
+            int_alu_units=4,
+            fp_units=4,
+            addr_units=4,
+            vis_add_units=2,
+            vis_mul_units=2,
+        )
+
     def renamed(self, name: str) -> "ProcessorConfig":
         return replace(self, name=name)
+
+
+#: The six-point config grid the static-bounds bracketing suite sweeps:
+#: the paper's three Figure 1 machines plus the 2-way pair and an 8-way
+#: extreme, covering both pipelines and a 4x spread in issue width.
+PAPER_CONFIGS = (
+    ProcessorConfig.inorder_1way(),
+    ProcessorConfig.inorder_2way(),
+    ProcessorConfig.inorder_4way(),
+    ProcessorConfig.ooo_2way(),
+    ProcessorConfig.ooo_4way(),
+    ProcessorConfig.ooo_8way(),
+)

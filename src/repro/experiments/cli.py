@@ -46,6 +46,19 @@ suite and prints the full diagnostic report::
     python -m repro.experiments.cli lint --scale tiny --strict
     python -m repro.experiments.cli lint --benchmarks cjpeg --variant vis
 
+Static throughput analysis (see EXPERIMENTS.md "Static throughput
+analysis") bounds a program's cycle count without simulating it: the
+``analyze throughput`` verb prints per-block bottleneck tables (lower
+bound, binding resource, utilization), ``lint --perf`` appends a
+one-line bound summary per program, and the ``sweep`` experiment's
+``--prune-static`` flag uses the lower bounds to skip config points
+that provably cannot join the cost/cycles Pareto frontier::
+
+    python -m repro.experiments.cli analyze throughput --scale tiny \\
+        --benchmarks dotprod --config ooo-4way
+    python -m repro.experiments.cli analyze throughput --json > bounds.json
+    python -m repro.experiments.cli sweep --scale tiny --prune-static
+
 Cycle-level checkpointing (see EXPERIMENTS.md "Checkpointing") is on
 by default whenever a cache directory is available: every simulation
 point snapshots its full mid-flight state to
@@ -110,11 +123,14 @@ from .report import format_table, write_csv
 
 SCALES = {"default": DEFAULT_SCALE, "small": SMALL_SCALE, "tiny": TINY_SCALE}
 
-#: --config choices for the ``trace`` subcommand.
+#: --config choices for the ``trace`` and ``analyze`` subcommands.
 TRACE_CONFIGS = {
     "inorder-1way": ProcessorConfig.inorder_1way,
+    "inorder-2way": ProcessorConfig.inorder_2way,
     "inorder-4way": ProcessorConfig.inorder_4way,
+    "ooo-2way": ProcessorConfig.ooo_2way,
     "ooo-4way": ProcessorConfig.ooo_4way,
+    "ooo-8way": ProcessorConfig.ooo_8way,
 }
 
 #: exit code for an attribution-audit divergence
@@ -166,14 +182,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["ablation", "params", "all", "trace",
-                                       "lint", "cache", "serve"],
+        choices=sorted(EXPERIMENTS) + ["ablation", "analyze", "params",
+                                       "all", "sweep", "trace", "lint",
+                                       "cache", "serve"],
     )
     parser.add_argument(
         "verb", nargs="?", default=None,
-        help="subcommand verb (only 'cache' takes one: 'gc' collects "
-             "quarantined records, finished points' checkpoint "
-             "snapshots, and orphaned temp files)",
+        help="subcommand verb ('cache' takes 'gc': collect quarantined "
+             "records, finished points' checkpoint snapshots, and "
+             "orphaned temp files; 'analyze' takes 'throughput': static "
+             "cycle bounds + per-block bottleneck attribution)",
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="default",
@@ -234,6 +252,35 @@ def main(argv=None) -> int:
         "--show-infos", action="store_true",
         help="print info-level diagnostics (unproven-address notes) "
              "in full instead of the first 10",
+    )
+    perf_group = parser.add_argument_group(
+        "static throughput analysis",
+        "mca-style cycle bounds without simulating "
+        "(EXPERIMENTS.md, 'Static throughput analysis'): "
+        "'analyze throughput' prints per-block bottleneck tables, "
+        "'lint --perf' appends a bound summary per program, and the "
+        "'sweep' experiment accepts --prune-static",
+    )
+    perf_group.add_argument(
+        "--perf", action="store_true",
+        help="(lint) also run the static throughput analyzer and print "
+             "each program's cycle bounds + binding bottleneck",
+    )
+    perf_group.add_argument(
+        "--json", action="store_true",
+        help="(analyze throughput) emit machine-readable JSON reports "
+             "on stdout instead of tables",
+    )
+    perf_group.add_argument(
+        "--max-blocks", type=int, default=12, metavar="K",
+        help="(analyze throughput) hottest basic blocks shown per "
+             "program table (default: 12; JSON always carries all)",
+    )
+    perf_group.add_argument(
+        "--prune-static", action="store_true",
+        help="(sweep) skip simulating config points whose static lower "
+             "bound is dominated by an already-simulated point; pruned "
+             "points are journaled to the run manifest",
     )
     parser.add_argument(
         "--audit", action="store_true",
@@ -421,10 +468,16 @@ def main(argv=None) -> int:
         if args.verb != "gc":
             parser.error("the 'cache' subcommand takes exactly one verb: gc")
         return _run_gc(args)
+    if args.experiment == "analyze":
+        if args.verb != "throughput":
+            parser.error(
+                "the 'analyze' subcommand takes exactly one verb: throughput"
+            )
+        return _run_analyze(args, SCALES[args.scale], parser)
     if args.verb is not None:
         parser.error(
             f"unexpected positional {args.verb!r} "
-            f"(only 'cache' takes a verb)"
+            f"(only 'cache' and 'analyze' take a verb)"
         )
 
     if args.experiment == "params":
@@ -510,8 +563,8 @@ def main(argv=None) -> int:
     )
     benchmarks = tuple(args.benchmarks) if args.benchmarks else None
     todo = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    if args.experiment == "ablation":
-        todo = ["ablation"]
+    if args.experiment in ("ablation", "sweep"):
+        todo = [args.experiment]
 
     try:
         for key in todo:
@@ -519,6 +572,16 @@ def main(argv=None) -> int:
             if key == "ablation":
                 title = "E10: footnote-3 source-tuning ablation"
                 headers, rows, _ = figures.ablation(None, scale)
+            elif key == "sweep":
+                title = "E11: design-space sweep (width x window)"
+                headers, rows, raw = figures.design_sweep(
+                    runner, benchmarks, prune=args.prune_static
+                )
+                print(
+                    f"sweep: {raw['simulated']} point(s) simulated, "
+                    f"{raw['pruned']} pruned by static lower bounds",
+                    file=sys.stderr,
+                )
             else:
                 title, fn = EXPERIMENTS[key]
                 headers, rows, _ = fn(runner, benchmarks)
@@ -689,6 +752,67 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_analyze(args, scale, parser) -> int:
+    """The ``analyze throughput`` verb: static cycle bounds, no simulation.
+
+    Builds every selected (benchmark, variant) pair at the chosen scale
+    and prints one mca-style per-block bottleneck table per program
+    (EXPERIMENTS.md, "Static throughput analysis"), or a JSON array of
+    reports with ``--json``.  Always exits 0: unbounded loops are
+    reported as diagnostics in the table/JSON, not failures.
+    """
+    import json
+
+    from ..analyze import analyze_throughput
+    from ..workloads.suite import get
+    from ..workloads.suite import names as workload_names
+
+    benchmarks = list(args.benchmarks) if args.benchmarks else list(
+        workload_names()
+    )
+    unknown = [b for b in benchmarks if b not in set(workload_names())]
+    if unknown:
+        parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
+
+    cpu = TRACE_CONFIGS[args.config]()
+    mem = scale.memory_config()
+    reports = []
+    start = time.time()
+    for name in benchmarks:
+        workload = get(name)
+        variants = workload.supported_variants
+        if args.variant is not None:
+            wanted = Variant(args.variant)
+            if wanted not in variants:
+                print(f"{name}: variant {wanted.value!r} not supported; "
+                      f"skipped", file=sys.stderr)
+                continue
+            variants = (wanted,)
+        for variant in variants:
+            built = workload.build(variant, scale)
+            rep = analyze_throughput(built.program, cpu, mem)
+            if args.json:
+                entry = rep.to_dict()
+                entry["benchmark"] = name
+                entry["variant"] = variant.value
+                reports.append(entry)
+            else:
+                print(f"=== {name}[{variant.value}] @ {args.config} "
+                      f"[scale={args.scale}] ===")
+                print(rep.format(max_blocks=args.max_blocks))
+                print()
+    if args.json:
+        json.dump(reports, sys.stdout, indent=2)
+        print()
+    else:
+        print(
+            f"analyze: {len(benchmarks)} benchmark(s) bounded in "
+            f"{time.time() - start:.1f}s (static only; nothing simulated)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _run_lint(args, scale, parser) -> int:
     """The ``lint`` subcommand: statically verify workload programs.
 
@@ -709,6 +833,7 @@ def _run_lint(args, scale, parser) -> int:
     if unknown:
         parser.error(f"unknown benchmark(s): {', '.join(unknown)}")
 
+    perf_cpu = TRACE_CONFIGS[args.config]() if args.perf else None
     failed = 0
     checked = 0
     start = time.time()
@@ -735,6 +860,13 @@ def _run_lint(args, scale, parser) -> int:
                 print(report.format(max_infos=max_infos))
             if gating:
                 failed += 1
+            if perf_cpu is not None:
+                from ..analyze import analyze_throughput
+
+                rep = analyze_throughput(
+                    built.program, perf_cpu, scale.memory_config()
+                )
+                print(f"       perf: {rep.summary()}")
     mode = "strict (errors + warnings gate)" if args.strict else "errors gate"
     print(
         f"\nlint: {checked} program(s) verified in "

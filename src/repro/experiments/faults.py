@@ -448,6 +448,30 @@ class RunManifest:
         self.failures[failure.key] = record
         self._append(record)
 
+    def record_pruned(
+        self,
+        key: str,
+        label: str,
+        lower: int,
+        cost: int,
+        dominated_by: str,
+    ) -> None:
+        """Journal a config point skipped by static bound dominance
+        (``--prune-static``): its cycle lower bound is already beaten
+        by the simulated ``dominated_by`` point at no greater hardware
+        cost, so it cannot join the Pareto frontier.  Pruned records
+        are provenance only — ``--resume`` ignores them (they are not
+        ``point`` records) and a later unpruned run simulates the
+        point normally."""
+        self._append({
+            "type": "pruned",
+            "key": key,
+            "label": label,
+            "lower": lower,
+            "cost": cost,
+            "dominated_by": dominated_by,
+        })
+
     def close(self) -> None:
         try:
             self._fh.close()

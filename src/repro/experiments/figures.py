@@ -27,9 +27,11 @@ the paper normalizes against is missing.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from ..cpu.config import ProcessorConfig
+from ..mem.config import MemoryConfig
 from ..workloads.base import Variant
 from ..workloads.params import WorkloadScale
 from ..workloads.suite import KERNEL_NAMES, PREFETCH_NAMES, names
@@ -361,6 +363,163 @@ def mshr_study(
             stats.memory.combine_limit_stalls,
             f"{stats.memory.l1_miss_rate:.3f}",
         ])
+    return headers, rows, raw
+
+
+#: E11 design-space sweep grid: out-of-order issue width × window size.
+#: Windows deliberately extend well past the paper's machines: the
+#: narrow-width × huge-window corner is exactly the provably-wasteful
+#: region a static pruning oracle exists to skip.
+SWEEP_WIDTHS = (1, 2, 4, 8)
+SWEEP_WINDOWS = (8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: the sweep's default benchmark subset (kernels with distinct
+#: bottleneck profiles: VIS-adder-bound, dep-chain-bound, branch-heavy)
+SWEEP_BENCHMARKS = ("addition", "dotprod", "thresh")
+
+
+def sweep_memory_config(scale) -> MemoryConfig:
+    """The sweep's near-ideal memory system (low-latency L2 and DRAM).
+
+    E11 explores the *CPU* design space, so memory latencies are
+    idealized to isolate issue-width/window bottlenecks — the classic
+    ILP-study methodology.  This is also what makes static pruning
+    effective: with memory time mostly hidden, measured cycles sit
+    close to the analyzer's CPU-side lower bounds, so bound dominance
+    can actually fire.  The memory-bound regime is covered by E1-E9,
+    which keep the paper's full hierarchy latencies.
+    """
+    return replace(
+        scale.memory_config(),
+        l2_hit_cycles=4,
+        mem_latency_cycles=8,
+        mem_bank_busy_cycles=2,
+    )
+
+
+def sweep_config(width: int, window: int) -> ProcessorConfig:
+    """One out-of-order sweep point; functional units scale with width
+    the way the paper's 1-way/4-way points do."""
+    iu = max(1, width // 2)
+    vu = max(1, width // 4)
+    return ProcessorConfig(
+        name=f"ooo-{width}w-win{window}",
+        out_of_order=True,
+        issue_width=width,
+        window_size=window,
+        int_alu_units=iu,
+        fp_units=iu,
+        addr_units=iu,
+        vis_add_units=vu,
+        vis_mul_units=vu,
+    )
+
+
+def sweep_cost(config: ProcessorConfig) -> int:
+    """The sweep's hardware-cost metric (issue width × window slots)."""
+    return config.issue_width * config.window_size
+
+
+def design_sweep(
+    runner,
+    benchmarks: Tuple[str, ...] = None,
+    prune: bool = False,
+) -> Tuple[List[str], List[List], Dict]:
+    """E11 — design-space sweep over issue width × window size (VIS
+    variant), with optional static pruning.
+
+    With ``prune=True`` each config's static cycle lower bound
+    (:func:`repro.analyze.throughput.analyze_throughput`) is compared
+    against already-simulated points in ascending cost order: a point
+    whose lower bound is dominated by a simulated point (cheaper and at
+    least as fast, or no costlier and strictly faster) can never join
+    the cost/cycles Pareto frontier, so it is skipped and journaled to
+    the run manifest as a ``pruned`` record.  Because measured cycles
+    of a dominated point can only be *worse* than its lower bound, the
+    frontier rows are byte-identical with and without pruning.
+    """
+    from ..analyze.throughput import analyze_throughput
+    from ..workloads.suite import get
+
+    scale = runner.scale
+    mem = sweep_memory_config(scale)
+    variant = Variant.VIS
+    configs = sorted(
+        (
+            sweep_config(w, win)
+            for w in SWEEP_WIDTHS
+            for win in SWEEP_WINDOWS
+        ),
+        key=lambda c: (sweep_cost(c), c.issue_width, c.name),
+    )
+    headers = [
+        "benchmark", "config", "width", "window", "cost",
+        "static lower", "cycles", "status", "frontier",
+    ]
+    manifest = getattr(runner, "manifest", None)
+    rows: List[List] = []
+    raw: Dict = {"pruned": 0, "simulated": 0, "stats": {}}
+    for name in (benchmarks or SWEEP_BENCHMARKS):
+        built = get(name).build(variant, scale)
+        simulated: List[Tuple[int, int, str]] = []  # (cost, cycles, cfg)
+        cells: Dict[str, List] = {}
+        for config in configs:
+            cost = sweep_cost(config)
+            lower = analyze_throughput(built.program, config, mem).lower
+            dominator = None
+            if prune:
+                for cost_p, cycles_p, name_p in simulated:
+                    if (cost_p < cost and cycles_p <= lower) or (
+                        cost_p <= cost and cycles_p < lower
+                    ):
+                        dominator = name_p
+                        break
+            if dominator is not None:
+                raw["pruned"] += 1
+                point = SimPoint(name, variant, config, mem, scale)
+                if manifest is not None:
+                    manifest.record_pruned(
+                        point.content_key(),
+                        point.label(),
+                        lower=lower,
+                        cost=cost,
+                        dominated_by=dominator,
+                    )
+                cells[config.name] = [
+                    name, config.name, config.issue_width,
+                    config.window_size, cost, lower, NA,
+                    f"pruned({dominator})", "",
+                ]
+                continue
+            stats = runner.run(name, variant, config, mem)
+            if _failed(stats):
+                cells[config.name] = [
+                    name, config.name, config.issue_width,
+                    config.window_size, cost, lower, _marker(stats),
+                    "failed", "",
+                ]
+                continue
+            raw["simulated"] += 1
+            raw["stats"][(name, config.name)] = stats
+            simulated.append((cost, stats.cycles, config.name))
+            cells[config.name] = [
+                name, config.name, config.issue_width,
+                config.window_size, cost, lower, stats.cycles,
+                "simulated", "",
+            ]
+        # cost/cycles Pareto frontier over the simulated points
+        for cost, cycles, cfg_name in simulated:
+            dominated = any(
+                (c2 <= cost and y2 < cycles) or (c2 < cost and y2 <= cycles)
+                for c2, y2, n2 in simulated
+                if n2 != cfg_name
+            )
+            if not dominated:
+                cells[cfg_name][8] = "*"
+        rows.extend(
+            cells[config.name] for config in configs
+            if config.name in cells
+        )
     return headers, rows, raw
 
 

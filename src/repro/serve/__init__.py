@@ -41,7 +41,7 @@ _CLIENT_EXPORTS = (
 )
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # lazy so `python -m repro.serve.client` doesn't import the module
     # twice (package init + runpy) and warn
     if name in _CLIENT_EXPORTS:

@@ -39,7 +39,7 @@ import json
 import logging
 import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..experiments.faults import RetryPolicy
 from .protocol import (
@@ -90,13 +90,13 @@ class SubmitOutcome:
     lane: str = "normal"
     sources: Dict[str, int] = field(default_factory=dict)
     #: per-index stats dicts (None where the point failed)
-    results: List[Optional[Dict]] = field(default_factory=list)
+    results: List[Optional[Dict[str, Any]]] = field(default_factory=list)
     #: per-index failure dicts (None where the point succeeded)
-    failures: List[Optional[Dict]] = field(default_factory=list)
+    failures: List[Optional[Dict[str, Any]]] = field(default_factory=list)
     #: per-index resolution source (cache / coalesced / simulated)
     point_sources: List[Optional[str]] = field(default_factory=list)
-    progress: List[Dict] = field(default_factory=list)
-    server: Dict = field(default_factory=dict)
+    progress: List[Dict[str, Any]] = field(default_factory=list)
+    server: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -104,11 +104,11 @@ class FigureOutcome:
     rid: str
     figure: str = ""
     headers: List[str] = field(default_factory=list)
-    rows: List[List] = field(default_factory=list)
+    rows: List[List[Any]] = field(default_factory=list)
     ok: int = 0
     failed: int = 0
     sources: Dict[str, int] = field(default_factory=dict)
-    server: Dict = field(default_factory=dict)
+    server: Dict[str, Any] = field(default_factory=dict)
 
 
 class ServeClient:
@@ -155,11 +155,11 @@ class ServeClient:
         self.decode_errors = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
-        self._reader_task: Optional[asyncio.Task] = None
-        self._queues: Dict[str, asyncio.Queue] = {}
+        self._reader_task: Optional[asyncio.Task[None]] = None
+        self._queues: Dict[str, "asyncio.Queue[Any]"] = {}
         #: rid -> request message, for idempotent resubmission after a
         #: reconnect (removed when the request completes)
-        self._sent: Dict[str, Dict] = {}
+        self._sent: Dict[str, Dict[str, Any]] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
         self._closed = False
@@ -172,7 +172,7 @@ class ServeClient:
         await self.connect()
         return self
 
-    async def __aexit__(self, *exc) -> None:
+    async def __aexit__(self, *exc: object) -> None:
         await self.close()
 
     async def _open_transport(self) -> None:
@@ -247,8 +247,11 @@ class ServeClient:
         the fault description.  Decode failures are logged and treated
         as faults (framing is lost), never silently swallowed."""
         while True:
+            reader = self._reader
+            if reader is None:
+                return "not connected"
             try:
-                line = await self._reader.readline()
+                line = await reader.readline()
             except (ConnectionError, OSError, ValueError) as exc:
                 return f"read failed: {exc}"
             if not line:
@@ -307,7 +310,7 @@ class ServeClient:
             except ServeConnectionError:
                 return  # the next pump/heal cycle takes over
 
-    async def _send_raw(self, message: Dict) -> None:
+    async def _send_raw(self, message: Dict[str, Any]) -> None:
         if self._writer is None:
             raise ServeConnectionError("not connected")
         try:
@@ -317,7 +320,7 @@ class ServeClient:
         except (ConnectionError, OSError, RuntimeError) as exc:
             raise ServeConnectionError(f"send failed: {exc}") from None
 
-    async def _send(self, message: Dict) -> None:
+    async def _send(self, message: Dict[str, Any]) -> None:
         rid = message.get("id")
         if isinstance(rid, str):
             self._sent[rid] = message
@@ -339,9 +342,9 @@ class ServeClient:
                     "send failed and reconnect was exhausted"
                 ) from None
 
-    def _new_request(self) -> Tuple[str, asyncio.Queue]:
+    def _new_request(self) -> Tuple[str, "asyncio.Queue[Any]"]:
         rid = f"r{next(self._ids)}"
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: "asyncio.Queue[Any]" = asyncio.Queue()
         self._queues[rid] = queue
         return rid, queue
 
@@ -349,7 +352,7 @@ class ServeClient:
         self._queues.pop(rid, None)
         self._sent.pop(rid, None)
 
-    async def _next(self, queue: asyncio.Queue) -> Dict:
+    async def _next(self, queue: "asyncio.Queue[Any]") -> Dict[str, Any]:
         message = await queue.get()
         if message is _CLOSED:
             raise ServeConnectionError("connection closed mid-request")
@@ -364,7 +367,7 @@ class ServeClient:
 
     async def submit(
         self,
-        points: Sequence[Dict],
+        points: Sequence[Dict[str, Any]],
         priority: str = "normal",
         progress: bool = False,
     ) -> SubmitOutcome:
@@ -385,7 +388,10 @@ class ServeClient:
                 await asyncio.sleep(self._busy_backoff.delay("busy", attempt))
 
     async def _submit_once(
-        self, points: Sequence[Dict], priority: str, progress: bool
+        self,
+        points: Sequence[Dict[str, Any]],
+        priority: str,
+        progress: bool,
     ) -> SubmitOutcome:
         rid, queue = self._new_request()
         try:
@@ -455,8 +461,8 @@ class ServeClient:
     ) -> FigureOutcome:
         rid, queue = self._new_request()
         try:
-            message: Dict = {"type": "figure", "id": rid, "figure": name,
-                             "priority": priority}
+            message: Dict[str, Any] = {"type": "figure", "id": rid,
+                                       "figure": name, "priority": priority}
             if scale is not None:
                 message["scale"] = scale
             if benchmarks is not None:
@@ -482,21 +488,23 @@ class ServeClient:
         finally:
             self._finish_request(rid)
 
-    async def stats(self) -> Dict:
+    async def stats(self) -> Dict[str, Any]:
         rid, queue = self._new_request()
         try:
             await self._send({"type": "stats", "id": rid})
-            return (await self._next(queue))["server"]
+            snapshot: Dict[str, Any] = (await self._next(queue))["server"]
+            return snapshot
         finally:
             self._finish_request(rid)
 
-    async def health(self) -> Dict:
+    async def health(self) -> Dict[str, Any]:
         """Supervised health plane: journal lag, pool generation and
         stall state, quarantine counts, per-lane queue depths."""
         rid, queue = self._new_request()
         try:
             await self._send({"type": "health", "id": rid})
-            return (await self._next(queue))["health"]
+            health: Dict[str, Any] = (await self._next(queue))["health"]
+            return health
         finally:
             self._finish_request(rid)
 
@@ -504,7 +512,7 @@ class ServeClient:
         rid, queue = self._new_request()
         try:
             await self._send({"type": "ping", "id": rid})
-            return (await self._next(queue))["type"] == "pong"
+            return bool((await self._next(queue))["type"] == "pong")
         finally:
             self._finish_request(rid)
 
@@ -522,7 +530,7 @@ class ServeClient:
 # ---------------------------------------------------------------------------
 
 
-def _build_points(args) -> List[Dict]:
+def _build_points(args: argparse.Namespace) -> List[Dict[str, Any]]:
     benchmarks = [b for b in args.benchmarks.split(",") if b]
     variants = [v for v in args.variants.split(",") if v]
     configs = [c for c in args.configs.split(",") if c]
@@ -532,8 +540,8 @@ def _build_points(args) -> List[Dict]:
     ]
 
 
-def _parse_expects(pairs: List[str]) -> Dict[str, int]:
-    expects = {}
+def _parse_expects(pairs: Optional[List[str]]) -> Dict[str, int]:
+    expects: Dict[str, int] = {}
     for pair in pairs or []:
         key, _, value = pair.partition("=")
         try:
@@ -556,7 +564,7 @@ def _check_expects(expects: Dict[str, int], tallies: Dict[str, int]) -> int:
     return status
 
 
-def _client_for(args) -> ServeClient:
+def _client_for(args: argparse.Namespace) -> ServeClient:
     return ServeClient(
         host=args.host, port=args.port, unix_path=args.unix,
         retry_busy=args.retry_busy, retry_backoff_s=args.retry_backoff,
@@ -564,7 +572,7 @@ def _client_for(args) -> ServeClient:
     )
 
 
-async def _run_submit(args) -> int:
+async def _run_submit(args: argparse.Namespace) -> int:
     points = _build_points(args)
     if not points:
         raise SystemExit("empty grid: check --benchmarks/--variants/--configs")
@@ -600,7 +608,7 @@ async def _run_submit(args) -> int:
     return status
 
 
-async def _run_figure(args) -> int:
+async def _run_figure(args: argparse.Namespace) -> int:
     async with _client_for(args) as client:
         outcome = await client.figure(
             args.figure, scale=args.scale,
@@ -620,14 +628,14 @@ async def _run_figure(args) -> int:
     return status
 
 
-async def _run_stats(args) -> int:
+async def _run_stats(args: argparse.Namespace) -> int:
     async with _client_for(args) as client:
         snapshot = await client.stats()
     print(json.dumps(snapshot, indent=2, sort_keys=True))
     return _check_expects(_parse_expects(args.expect), snapshot)
 
 
-def _flatten(tree: Dict, prefix: str = "") -> Dict[str, int]:
+def _flatten(tree: Dict[str, Any], prefix: str = "") -> Dict[str, int]:
     """Dotted-key int leaves of a nested dict (``pool.generation`` ...)
     so ``health --expect`` can assert on any counter."""
     flat: Dict[str, int] = {}
@@ -642,19 +650,19 @@ def _flatten(tree: Dict, prefix: str = "") -> Dict[str, int]:
     return flat
 
 
-async def _run_health(args) -> int:
+async def _run_health(args: argparse.Namespace) -> int:
     async with _client_for(args) as client:
         health = await client.health()
     print(json.dumps(health, indent=2, sort_keys=True))
     return _check_expects(_parse_expects(args.expect), _flatten(health))
 
 
-async def _run_ping(args) -> int:
+async def _run_ping(args: argparse.Namespace) -> int:
     async with _client_for(args) as client:
         return EXIT_OK if await client.ping() else EXIT_TRANSPORT
 
 
-async def _run_shutdown(args) -> int:
+async def _run_shutdown(args: argparse.Namespace) -> int:
     async with _client_for(args) as client:
         await client.shutdown()
     return EXIT_OK
@@ -728,7 +736,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return asyncio.run(args.run(args))
+        status: int = asyncio.run(args.run(args))
+        return status
     except ServeBusy as exc:
         print(
             f"error: {exc} after {exc.attempts} attempt(s) "

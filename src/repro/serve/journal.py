@@ -43,7 +43,7 @@ import logging
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from ..experiments.faults import STATUS_POISONED, PointFailure
 
@@ -66,13 +66,13 @@ REPLAY_STATUSES = frozenset({STATUS_ADMITTED, "preempted"})
 TERMINAL_STATUSES = frozenset({STATUS_OK, "failed", STATUS_POISONED})
 
 
-def journal_path(state_dir) -> Path:
+def journal_path(state_dir: Union[str, Path]) -> Path:
     return Path(state_dir) / JOURNAL_FILENAME
 
 
 def load_journal_records(
-    path, cache_version: Optional[str] = None
-) -> Tuple[Optional[Dict], Dict[str, Dict]]:
+    path: Union[str, Path], cache_version: Optional[str] = None
+) -> Tuple[Optional[Dict[str, Any]], Dict[str, Dict[str, Any]]]:
     """Parse a journal into ``(header, latest-record-per-key)``.
 
     Torn final lines (SIGKILL mid-append) are dropped; a missing file
@@ -103,7 +103,7 @@ def load_journal_records(
         )
     ):
         return None, {}
-    latest: Dict[str, Dict] = {}
+    latest: Dict[str, Dict[str, Any]] = {}
     for line in lines[1:]:
         try:
             record = json.loads(line)
@@ -130,11 +130,13 @@ class ServeJournal:
     run manifest.
     """
 
-    def __init__(self, state_dir, cache_version: str = "") -> None:
+    def __init__(
+        self, state_dir: Union[str, Path], cache_version: str = ""
+    ) -> None:
         self.path = journal_path(state_dir)
         self.cache_version = cache_version
         #: key -> latest record (all statuses)
-        self.records: Dict[str, Dict] = {}
+        self.records: Dict[str, Dict[str, Any]] = {}
         header, latest = load_journal_records(self.path)
         if self.path.exists() and header is None:
             log.warning(
@@ -164,14 +166,14 @@ class ServeJournal:
 
     # -- queries ------------------------------------------------------------
 
-    def pending(self) -> Dict[str, Dict]:
+    def pending(self) -> Dict[str, Dict[str, Any]]:
         """Unfinished points (``admitted`` / ``preempted``) to replay."""
         return {
             key: record for key, record in self.records.items()
             if record.get("status") in REPLAY_STATUSES
         }
 
-    def poisoned(self) -> Dict[str, Dict]:
+    def poisoned(self) -> Dict[str, Dict[str, Any]]:
         """Quarantined points, blocked from admission until released."""
         return {
             key: record for key, record in self.records.items()
@@ -186,7 +188,7 @@ class ServeJournal:
 
     # -- journal I/O --------------------------------------------------------
 
-    def _append(self, record: Dict) -> None:
+    def _append(self, record: Dict[str, Any]) -> None:
         self.records[record["key"]] = record
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         try:
@@ -246,7 +248,7 @@ class ServeJournal:
     def record_admitted(
         self,
         key: str,
-        spec: Dict,
+        spec: Dict[str, Any],
         lane: str,
         label: str,
         worker_losses: int = 0,
@@ -280,7 +282,7 @@ class ServeJournal:
         provenance); ``recovered`` marks a point the *replay* found
         already present in the simcache (finished, but the terminal
         record was lost to the kill)."""
-        record = {
+        record: Dict[str, Any] = {
             "type": "point",
             "key": key,
             "status": STATUS_OK,
@@ -296,13 +298,17 @@ class ServeJournal:
         self._append(record)
 
     def record_failure(
-        self, failure: PointFailure, diagnostics: Optional[Dict] = None
+        self,
+        failure: PointFailure,
+        diagnostics: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Terminal failure (including ``poisoned`` and shutdown
         ``preempted`` — the latter is replayed on restart).
         ``diagnostics`` carries quarantine forensics (strike count,
         attributed pool generations) for ``poisoned`` records."""
-        record = {"type": "point", **failure.to_dict(), "at": time.time()}
+        record: Dict[str, Any] = {
+            "type": "point", **failure.to_dict(), "at": time.time(),
+        }
         record.pop("traceback", None)  # keep the journal compact
         if failure.status in REPLAY_STATUSES:
             # a preempted point is replayed on restart: carry the spec,
@@ -317,7 +323,9 @@ class ServeJournal:
 
 
 def rewrite_journal(
-    path, records: Iterable[Dict], header_line: Optional[str] = None
+    path: Union[str, Path],
+    records: Iterable[Dict[str, Any]],
+    header_line: Optional[str] = None,
 ) -> bool:
     """Offline atomic rewrite (``cache gc``): header + given records.
     The journal must not be open for append elsewhere.  Returns

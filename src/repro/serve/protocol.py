@@ -80,12 +80,17 @@ the scale-matched memory configuration, exactly like the batch CLI.
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from ..cpu.config import ProcessorConfig
 from ..mem.config import MemoryConfig
 from ..workloads.base import Variant
-from ..workloads.params import DEFAULT_SCALE, SMALL_SCALE, TINY_SCALE
+from ..workloads.params import (
+    DEFAULT_SCALE,
+    SMALL_SCALE,
+    TINY_SCALE,
+    WorkloadScale,
+)
 from ..workloads.suite import names as workload_names
 from ..experiments.parallel import SimPoint
 
@@ -135,14 +140,14 @@ class ProtocolError(ValueError):
         self.code = code
 
 
-def encode(message: Dict) -> bytes:
+def encode(message: Dict[str, Any]) -> bytes:
     """One wire line for ``message`` (compact JSON + newline)."""
     return (
         json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
     ).encode("utf-8")
 
 
-def decode(line: bytes) -> Dict:
+def decode(line: bytes) -> Dict[str, Any]:
     """Parse one wire line into a message dict (type-checked)."""
     try:
         message = json.loads(line.decode("utf-8"))
@@ -160,7 +165,7 @@ def decode(line: bytes) -> Dict:
 # ---------------------------------------------------------------------------
 
 
-def _cpu_from_wire(spec) -> ProcessorConfig:
+def _cpu_from_wire(spec: Any) -> ProcessorConfig:
     if isinstance(spec, str):
         factory = NAMED_CONFIGS.get(spec)
         if factory is None:
@@ -177,9 +182,7 @@ def _cpu_from_wire(spec) -> ProcessorConfig:
     raise ProtocolError("'cpu' must be a registry name or a field dict")
 
 
-def _scale_from_wire(spec) -> "WorkloadScale":
-    from ..workloads.params import WorkloadScale
-
+def _scale_from_wire(spec: Any) -> WorkloadScale:
     if spec is None:
         return DEFAULT_SCALE
     if isinstance(spec, str):
@@ -198,7 +201,7 @@ def _scale_from_wire(spec) -> "WorkloadScale":
     raise ProtocolError("'scale' must be a registry name or a field dict")
 
 
-def _mem_from_wire(spec, scale) -> MemoryConfig:
+def _mem_from_wire(spec: Any, scale: WorkloadScale) -> MemoryConfig:
     if spec is None:
         return scale.memory_config()
     if isinstance(spec, dict):
@@ -209,7 +212,7 @@ def _mem_from_wire(spec, scale) -> MemoryConfig:
     raise ProtocolError("'mem' must be a field dict (or omitted)")
 
 
-def point_from_wire(spec: Dict) -> SimPoint:
+def point_from_wire(spec: Any) -> SimPoint:
     """Validate one point spec and build the :class:`SimPoint`."""
     if not isinstance(spec, dict):
         raise ProtocolError("each point must be an object")
@@ -232,7 +235,7 @@ def point_from_wire(spec: Dict) -> SimPoint:
     return SimPoint(benchmark, variant, cpu, mem, scale)
 
 
-def point_to_wire(point: SimPoint) -> Dict:
+def point_to_wire(point: SimPoint) -> Dict[str, Any]:
     """The full-fidelity wire spec for ``point`` (field dicts, so the
     receiving side reconstructs it exactly)."""
     return {

@@ -81,7 +81,7 @@ import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..checkpoint import DEFAULT_CHECKPOINT_KEEP
 from ..checkpoint.snapshot import snapshot_progress
@@ -160,7 +160,7 @@ SERVE_RUNNING_DIRNAME = "serve_running"
 #: figure registry served by "figure" requests (the CLI's EXPERIMENTS
 #: table re-exports these same drivers; kept here so the CLI can import
 #: the serve layer without a cycle)
-FIGURES: Dict[str, Callable] = {
+FIGURES: Dict[str, Callable[..., Any]] = {
     "figure1": figures.figure1,
     "figure2": figures.figure2,
     "figure3": figures.figure3,
@@ -178,8 +178,9 @@ def _warmup() -> int:
     return os.getpid()
 
 
-def _attributed_simulate(marker_dir: Optional[str], key: str, label: str,
-                         args: tuple):
+def _attributed_simulate(
+    marker_dir: Optional[str], key: str, label: str, args: Tuple[Any, ...]
+) -> Any:
     """Worker-side entry: run one point with a running-point marker on
     disk, so a worker death is attributable to the point that killed
     it.  The marker is best-effort — an unwritable state dir degrades
@@ -310,8 +311,8 @@ class ServeStats:
     #: worker-loss retries; the load tests assert on it)
     duplicate_simulations: int = 0
 
-    def to_dict(self) -> Dict:
-        data = dict(vars(self))
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = dict(vars(self))
         data["uptime_s"] = round(time.time() - self.started_at, 3)
         return data
 
@@ -327,7 +328,7 @@ class _Entry:
     key: str
     point: SimPoint
     lane: str
-    future: "asyncio.Future" = field(repr=False, default=None)
+    future: "asyncio.Future[Any]" = field(repr=False, default=None)
     elapsed: float = 0.0
     #: checkpoint snapshot the winning attempt restored from (journal
     #: provenance; None = cold start)
@@ -344,11 +345,11 @@ class _Connection:
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.lock = asyncio.Lock()
-        self.tasks: Set[asyncio.Task] = set()
-        self.handler: Optional[asyncio.Task] = None
+        self.tasks: Set["asyncio.Task[None]"] = set()
+        self.handler: Optional["asyncio.Task[Any]"] = None
         self.closed = False
 
-    async def send(self, message: Dict) -> None:
+    async def send(self, message: Dict[str, Any]) -> None:
         if self.closed:
             return
         try:
@@ -371,17 +372,20 @@ class _FigureBridge:
     renders as explicit FAILED cells.
     """
 
-    def __init__(self, server: "BatchServer", scale, lane: str) -> None:
+    def __init__(self, server: "BatchServer", scale: Any, lane: str) -> None:
         self.server = server
         self.scale = scale
         self.lane = lane
         self.sources: Dict[str, int] = {}
         self.n_points = 0
 
-    def run_points(self, points: Sequence[SimPoint]) -> List:
+    def run_points(self, points: Sequence[SimPoint]) -> List[Any]:
         coro = self.server._resolve_for_bridge(list(points), self.lane, self)
-        future = asyncio.run_coroutine_threadsafe(coro, self.server._loop)
-        return future.result()
+        loop = self.server._loop
+        assert loop is not None, "server not started"
+        future = asyncio.run_coroutine_threadsafe(coro, loop)
+        results: List[Any] = future.result()
+        return results
 
 
 class BatchServer:
@@ -395,30 +399,32 @@ class BatchServer:
         )
         self._inflight: Dict[str, _Entry] = {}
         self._pending_misses = 0
-        self._miss_queue: "asyncio.PriorityQueue" = None
+        self._miss_queue: Optional[
+            "asyncio.PriorityQueue[Tuple[int, int, str]]"
+        ] = None
         self._seq = 0
         self._lane_rank = {lane: rank for rank, lane in enumerate(LANES)}
         self._lane_depths: Dict[str, int] = {lane: 0 for lane in LANES}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_generation = 0
-        self._lane_workers: List[asyncio.Task] = []
+        self._lane_workers: List["asyncio.Task[None]"] = []
         #: the durable request journal (crash-only mode; None without a
         #: writable state dir)
         self.journal: Optional[ServeJournal] = None
         #: key -> poisoned journal record; blocks admission
-        self._poisoned: Dict[str, Dict] = {}
+        self._poisoned: Dict[str, Dict[str, Any]] = {}
         #: key -> attributed consecutive worker deaths (strike count)
         self._worker_losses: Dict[str, int] = {}
         #: key -> pool generations whose death was attributed to it
         self._loss_generations: Dict[str, List[int]] = {}
         self._last_progress = time.monotonic()
-        self._stall_task: Optional[asyncio.Task] = None
+        self._stall_task: Optional["asyncio.Task[None]"] = None
         self._connections: Set[_Connection] = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._draining = False
         self._stopped: Optional[asyncio.Event] = None
-        self._shutdown_task: Optional[asyncio.Task] = None
+        self._shutdown_task: Optional["asyncio.Task[None]"] = None
         #: key -> times simulated by this server (load tests assert
         #: every value is 1; bounded by unique keys served)
         self.simulated_keys: Dict[str, int] = {}
@@ -465,14 +471,15 @@ class BatchServer:
         journal, start the lane schedulers and the stall watchdog.
         Returns the bound ``(host, port)`` (port ``-1`` for a unix
         socket)."""
-        self._loop = asyncio.get_running_loop()
+        loop = asyncio.get_running_loop()
+        self._loop = loop
         self._stopped = asyncio.Event()
         self._miss_queue = asyncio.PriorityQueue()
         self.stats.started_at = time.time()
         self._pool = self._new_pool()
         # pre-spawn every worker before accepting traffic
         await asyncio.gather(*[
-            self._loop.run_in_executor(self._pool, _warmup)
+            loop.run_in_executor(self._pool, _warmup)
             for _ in range(max(1, self.config.workers))
         ])
         if self.cache is not None and not self.cache.read_only:
@@ -481,19 +488,23 @@ class BatchServer:
             )
             self._sweep_stale_markers()
             self._replay_journal()
-        if self.config.unix_path:
+        address: Tuple[str, int]
+        unix_path = self.config.unix_path
+        if unix_path:
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=self.config.unix_path,
+                self._handle_connection, path=unix_path,
                 limit=MAX_LINE_BYTES,
             )
-            self.address = (self.config.unix_path, -1)
+            address = (unix_path, -1)
         else:
-            self._server = await asyncio.start_server(
+            server = await asyncio.start_server(
                 self._handle_connection, host=self.config.host,
                 port=self.config.port, limit=MAX_LINE_BYTES,
             )
-            sock = self._server.sockets[0]
-            self.address = sock.getsockname()[:2]
+            self._server = server
+            sock = server.sockets[0]
+            address = sock.getsockname()[:2]
+        self.address = address
         self._lane_workers = [
             asyncio.create_task(self._lane_worker(i))
             for i in range(max(1, self.config.workers))
@@ -506,7 +517,7 @@ class BatchServer:
             self.cache.root if self.cache else "disabled",
             self.journal.path if self.journal else "disabled",
         )
-        return self.address
+        return address
 
     # -- crash recovery -----------------------------------------------------
 
@@ -544,6 +555,8 @@ class BatchServer:
         journal = self.journal
         if journal is None:
             return
+        loop = self._loop
+        assert loop is not None, "replay runs inside start()"
         self._poisoned = dict(journal.poisoned())
         for key, record in journal.pending().items():
             strikes = record.get("worker_losses", 0)
@@ -567,7 +580,7 @@ class BatchServer:
             if lane not in LANES:
                 lane = "normal"
             entry = _Entry(key=key, point=point, lane=lane,
-                           future=self._loop.create_future(), orphan=True)
+                           future=loop.create_future(), orphan=True)
             self._inflight[key] = entry
             self._pending_misses += 1
             self._enqueue_miss(lane, key)
@@ -601,7 +614,9 @@ class BatchServer:
             self._shutdown_task = self._loop.create_task(self.shutdown())
 
     async def wait_stopped(self) -> None:
-        await self._stopped.wait()
+        stopped = self._stopped
+        assert stopped is not None, "server not started"
+        await stopped.wait()
 
     async def shutdown(self) -> None:
         """Graceful stop: refuse new work, give in-flight points one
@@ -609,8 +624,10 @@ class BatchServer:
         interval boundary), then preempt hard.  Preempted points keep
         their newest snapshot, so a restarted server resumes them
         mid-point when re-requested."""
+        stopped = self._stopped
+        assert stopped is not None, "server not started"
         if self._draining:
-            await self._stopped.wait()
+            await stopped.wait()
             return
         self._draining = True
         log.info("shutdown: draining (grace=%.1fs)", self.config.grace_s)
@@ -679,7 +696,7 @@ class BatchServer:
         if self.journal is not None:
             self.journal.compact()
             self.journal.close()
-        self._stopped.set()
+        stopped.set()
         log.info("shutdown: complete (%s)", self.stats.to_dict())
 
     @staticmethod
@@ -735,7 +752,9 @@ class BatchServer:
                 pass
             self._connections.discard(conn)
 
-    async def _dispatch(self, message: Dict, conn: _Connection) -> None:
+    async def _dispatch(
+        self, message: Dict[str, Any], conn: _Connection
+    ) -> None:
         mtype = message.get("type")
         rid = message.get("id")
         try:
@@ -777,7 +796,7 @@ class BatchServer:
                 "message": f"{type(exc).__name__}: {exc}",
             })
 
-    def _snapshot(self) -> Dict:
+    def _snapshot(self) -> Dict[str, Any]:
         data = self.stats.to_dict()
         data["queue_depth"] = self._pending_misses
         data["queue_limit"] = self.config.queue_limit
@@ -799,7 +818,7 @@ class BatchServer:
         data["quarantined_points"] = len(self._poisoned)
         return data
 
-    def _health(self) -> Dict:
+    def _health(self) -> Dict[str, Any]:
         """The supervised health plane: one structured snapshot of the
         crash-only machinery (the ``health`` protocol verb)."""
         now = time.monotonic()
@@ -840,7 +859,9 @@ class BatchServer:
 
     # -- submit (grid) requests ---------------------------------------------
 
-    async def _handle_submit(self, message: Dict, conn: _Connection) -> None:
+    async def _handle_submit(
+        self, message: Dict[str, Any], conn: _Connection
+    ) -> None:
         rid = message.get("id")
         if not isinstance(rid, str) or not rid:
             raise ProtocolError("submit needs a non-empty string 'id'")
@@ -871,7 +892,7 @@ class BatchServer:
         sources: Dict[str, int] = {}
         ok = failed = reported = 0
 
-        async def deliver(index: int, key: str, result, source: str,
+        async def deliver(index: int, key: str, result: Any, source: str,
                           elapsed: float) -> None:
             nonlocal ok, failed, reported
             reported += 1
@@ -901,7 +922,7 @@ class BatchServer:
 
         # immediate deliveries: cache hits (and nothing else) are known
         # synchronously and never waited on the miss queue
-        waiting: Dict[asyncio.Future, List[Tuple[int, str, str]]] = {}
+        waiting: Dict["asyncio.Future[Any]", List[Tuple[int, str, str]]] = {}
         for index, (kind, key, payload) in enumerate(classified):
             if kind == "hit":
                 await deliver(index, key, payload, SOURCE_CACHE, 0.0)
@@ -943,7 +964,7 @@ class BatchServer:
 
     def _classify_and_enqueue(
         self, points: Sequence[SimPoint], lane: str
-    ) -> List[Tuple[str, str, object]]:
+    ) -> List[Tuple[str, str, Any]]:
         """Resolve each point to a hit or an in-flight future, admitting
         new misses atomically (no ``await`` between the admission check
         and the enqueue, so a rejected request enqueues nothing).
@@ -953,7 +974,7 @@ class BatchServer:
         point, or ``("future", key, (future, "creator"|"waiter"))``.
         """
         keys = [p.content_key() for p in points]
-        plan: List[Tuple[str, str, object]] = []
+        plan: List[Tuple[str, str, Any]] = []
         new_keys: Dict[str, SimPoint] = {}
         for point, key in zip(points, keys):
             if key in self._poisoned:
@@ -978,7 +999,9 @@ class BatchServer:
         ):
             raise BusyError(self._pending_misses, self.config.queue_limit)
         # admitted: journal (fsynced, before the ack), register, enqueue
-        created: Dict[str, asyncio.Future] = {}
+        loop = self._loop
+        assert loop is not None, "server not started"
+        created: Dict[str, "asyncio.Future[Any]"] = {}
         for key, point in new_keys.items():
             if self.journal is not None:
                 self.journal.record_admitted(
@@ -986,12 +1009,12 @@ class BatchServer:
                     worker_losses=self._worker_losses.get(key, 0),
                 )
             entry = _Entry(key=key, point=point, lane=lane,
-                           future=self._loop.create_future())
+                           future=loop.create_future())
             self._inflight[key] = entry
             self._pending_misses += 1
             self._enqueue_miss(lane, key)
             created[key] = entry.future
-        resolved: List[Tuple[str, str, object]] = []
+        resolved: List[Tuple[str, str, Any]] = []
         for kind, key, payload in plan:
             if kind == "future":
                 future, role = payload
@@ -1003,11 +1026,11 @@ class BatchServer:
         return resolved
 
     def _enqueue_miss(self, lane: str, key: str) -> None:
+        queue = self._miss_queue
+        assert queue is not None, "server not started"
         self._seq += 1
         self._lane_depths[lane] = self._lane_depths.get(lane, 0) + 1
-        self._miss_queue.put_nowait(
-            (self._lane_rank.get(lane, 1), self._seq, key)
-        )
+        queue.put_nowait((self._lane_rank.get(lane, 1), self._seq, key))
 
     def _poisoned_failure(self, key: str) -> PointFailure:
         """The rejection delivered for a quarantined point."""
@@ -1026,7 +1049,9 @@ class BatchServer:
 
     # -- figure requests ----------------------------------------------------
 
-    async def _handle_figure(self, message: Dict, conn: _Connection) -> None:
+    async def _handle_figure(
+        self, message: Dict[str, Any], conn: _Connection
+    ) -> None:
         rid = message.get("id")
         if not isinstance(rid, str) or not rid:
             raise ProtocolError("figure needs a non-empty string 'id'")
@@ -1052,8 +1077,10 @@ class BatchServer:
         self.stats.requests += 1
         bridge = _FigureBridge(self, scale, lane)
         await conn.send({"type": "ack", "id": rid, "n": None, "lane": lane})
+        loop = self._loop
+        assert loop is not None, "server not started"
         try:
-            headers, rows, _raw = await self._loop.run_in_executor(
+            headers, rows, _raw = await loop.run_in_executor(
                 None, functools.partial(fn, bridge, benchmarks=benchmarks)
             )
         except BusyError as exc:
@@ -1078,13 +1105,13 @@ class BatchServer:
 
     async def _resolve_for_bridge(
         self, points: List[SimPoint], lane: str, bridge: _FigureBridge
-    ) -> List:
+    ) -> List[Any]:
         """Resolve a figure driver's grid through the normal path and
         tally sources onto the bridge.  Runs in the event loop (called
         via ``run_coroutine_threadsafe`` from the driver thread)."""
         classified = self._classify_and_enqueue(points, lane)
         bridge.n_points += len(points)
-        results: List = [None] * len(points)
+        results: List[Any] = [None] * len(points)
         for index, (kind, key, payload) in enumerate(classified):
             if kind == "hit":
                 results[index] = payload
@@ -1120,8 +1147,10 @@ class BatchServer:
     async def _lane_worker(self, slot: int) -> None:
         """One scheduler slot: pull the highest-priority queued miss,
         fill it (claim -> simulate -> store), resolve its future."""
+        queue = self._miss_queue
+        assert queue is not None, "server not started"
         while True:
-            _rank, _seq, key = await self._miss_queue.get()
+            _rank, _seq, key = await queue.get()
             lane = LANES[_rank] if 0 <= _rank < len(LANES) else "normal"
             self._lane_depths[lane] = max(
                 0, self._lane_depths.get(lane, 0) - 1
@@ -1148,7 +1177,7 @@ class BatchServer:
             self._last_progress = time.monotonic()
             self._journal_terminal(entry, result, fill_source, elapsed)
 
-    def _journal_terminal(self, entry: _Entry, result, fill_source: str,
+    def _journal_terminal(self, entry: _Entry, result: Any, fill_source: str,
                           elapsed: float) -> None:
         """Replace the point's ``admitted`` journal record with its
         terminal status (checkpoint provenance included)."""
@@ -1170,7 +1199,7 @@ class BatchServer:
                 }
             self.journal.record_failure(result, diagnostics=diagnostics)
 
-    async def _fill_key(self, entry: _Entry):
+    async def _fill_key(self, entry: _Entry) -> Tuple[Any, str, float]:
         """Resolve one cold key: claim the fill across processes (or
         await a foreign fill), simulate with worker-loss retries, store.
 
@@ -1298,21 +1327,23 @@ class BatchServer:
         its record instead of double-computing.  ``None`` means the
         claim vanished or went stale without a record — the caller
         should race for the claim again."""
+        cache = self.cache
+        assert cache is not None, "foreign fills need a cache"
         while not self._draining:
-            stats = self.cache.load(key)
+            stats = cache.load(key)
             if stats is not None:
                 return stats
-            age = self.cache.claim_age(key)
+            age = cache.claim_age(key)
             if (
                 age < 0
                 or age > self.config.claim_stale_s
-                or self.cache.claim_holder_dead(key)
+                or cache.claim_holder_dead(key)
             ):
                 return None
             await asyncio.sleep(self.config.foreign_poll_s)
         return None
 
-    async def _run_in_pool(self, point: SimPoint):
+    async def _run_in_pool(self, point: SimPoint) -> Any:
         args = (
             point,
             self.config.validate,
@@ -1336,8 +1367,10 @@ class BatchServer:
             args,
         )
         generation = self._pool_generation
+        loop = self._loop
+        assert loop is not None, "server not started"
         try:
-            return await self._loop.run_in_executor(self._pool, fn)
+            return await loop.run_in_executor(self._pool, fn)
         except BrokenExecutor:
             self._ensure_pool(generation)
             raise

@@ -1,0 +1,205 @@
+"""Tests for ``scripts/lint_async.py`` — the no-blocking-calls-in-async
+lint that gates ``src/repro/serve/`` in CI.
+
+The linter is exercised on synthetic sources (flagging, innermost-frame
+logic, waivers, stale waivers) and then on the real serve tree, which
+must be clean: a regression that introduces ``time.sleep`` into an
+async handler fails here before it fails in CI.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from lint_async import (  # noqa: E402
+    CODE_IO,
+    CODE_SLEEP,
+    CODE_STALE,
+    CODE_SUBPROC,
+    lint_paths,
+    lint_source,
+)
+
+
+def _lint(code: str):
+    return lint_source(textwrap.dedent(code))
+
+
+def _errors(findings):
+    return [f for f in findings if not f.waived]
+
+
+class TestFlagging:
+    def test_time_sleep_in_async_def(self):
+        findings = _lint(
+            """
+            import time
+            async def handler():
+                time.sleep(1)
+            """
+        )
+        assert [f.code for f in _errors(findings)] == [CODE_SLEEP]
+
+    def test_subprocess_in_async_def(self):
+        findings = _lint(
+            """
+            import subprocess
+            async def handler():
+                subprocess.run(["ls"])
+                subprocess.check_output(["ls"])
+            """
+        )
+        assert [f.code for f in _errors(findings)] == [
+            CODE_SUBPROC, CODE_SUBPROC,
+        ]
+
+    def test_sync_file_io_in_async_def(self):
+        findings = _lint(
+            """
+            import os
+            async def handler(path):
+                with open(path) as fh:
+                    data = fh.read()
+                text = path.read_text()
+                os.fsync(3)
+                os.replace(path, path)
+            """
+        )
+        assert [f.code for f in _errors(findings)] == [CODE_IO] * 4
+
+    def test_asyncio_sleep_and_open_connection_not_flagged(self):
+        findings = _lint(
+            """
+            import asyncio
+            async def handler(host):
+                await asyncio.sleep(1)
+                r, w = await asyncio.open_connection(host, 1)
+                r2, w2 = await asyncio.open_unix_connection(host)
+            """
+        )
+        assert findings == []
+
+    def test_sync_def_not_flagged(self):
+        findings = _lint(
+            """
+            import time
+            def helper():
+                time.sleep(1)
+                open("x")
+            """
+        )
+        assert findings == []
+
+    def test_nested_sync_def_inside_async_not_flagged(self):
+        # a closure handed to run_in_executor is exactly where blocking
+        # calls belong — only the innermost frame's kind counts
+        findings = _lint(
+            """
+            import time
+            async def handler(loop):
+                def work():
+                    time.sleep(1)
+                    return open("x").read()
+                return await loop.run_in_executor(None, work)
+            """
+        )
+        assert findings == []
+
+    def test_async_def_nested_inside_sync_def_is_flagged(self):
+        findings = _lint(
+            """
+            import time
+            def outer():
+                async def inner():
+                    time.sleep(1)
+                return inner
+            """
+        )
+        assert [f.code for f in _errors(findings)] == [CODE_SLEEP]
+
+
+class TestWaivers:
+    def test_waiver_demotes_finding(self):
+        findings = _lint(
+            """
+            async def handler(path):
+                data = path.read_text()  # async-waive(A-ASYNC-IO): startup, loop idle
+            """
+        )
+        assert _errors(findings) == []
+        assert len(findings) == 1
+        assert findings[0].waived
+        assert findings[0].reason == "startup, loop idle"
+
+    def test_waiver_must_name_the_right_code(self):
+        findings = _lint(
+            """
+            import time
+            async def handler():
+                time.sleep(1)  # async-waive(A-ASYNC-IO): wrong code
+            """
+        )
+        # the sleep stays an error AND the mismatched waiver is stale
+        codes = sorted(f.code for f in _errors(findings))
+        assert codes == sorted([CODE_SLEEP, CODE_STALE])
+
+    def test_stale_waiver_is_an_error(self):
+        findings = _lint(
+            """
+            async def handler():
+                return 1  # async-waive(A-ASYNC-IO): nothing here anymore
+            """
+        )
+        assert [f.code for f in _errors(findings)] == [CODE_STALE]
+
+    def test_multi_code_waiver(self):
+        findings = _lint(
+            """
+            import time
+            async def handler():
+                time.sleep(open("x"))  # async-waive(A-ASYNC-SLEEP, A-ASYNC-IO): test fixture
+            """
+        )
+        assert _errors(findings) == []
+        assert all(f.waived for f in findings)
+
+
+class TestServeTreeClean:
+    def test_serve_layer_has_no_blocking_async_calls(self):
+        serve = REPO_ROOT / "src" / "repro" / "serve"
+        findings = lint_paths([serve])
+        errors = _errors(findings)
+        assert errors == [], (
+            "blocking calls in async def bodies under src/repro/serve:\n"
+            + "\n".join(f"{f.path}:{f.line}: {f.code} {f.call}" for f in errors)
+        )
+
+
+class TestCli:
+    def test_main_exit_codes(self, tmp_path, capsys):
+        from lint_async import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\nasync def f():\n    time.sleep(1)\n",
+            encoding="utf-8",
+        )
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "A-ASYNC-SLEEP" in out and "error" in out
+
+        good = tmp_path / "good.py"
+        good.write_text(
+            "import asyncio\nasync def f():\n    await asyncio.sleep(1)\n",
+            encoding="utf-8",
+        )
+        assert main([str(good)]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,333 @@
+"""Bracketing and attribution tests for :mod:`repro.analyze.throughput`.
+
+The static analyzer's contract is a *guarantee*, not a heuristic:
+for every program the simulator accepts,
+
+    ``report.lower  <=  ExecutionStats.cycles  <=  report.upper``
+
+on every processor configuration and on both execution engines (which
+are byte-identical by construction, so a violation on either is an
+analyzer bug, never an engine bug).  These tests enforce the contract
+three ways:
+
+* a fast subset on every run (kernels x paper configs x engines);
+* the full tiny grid — every workload x supported variant x all six
+  paper configs x both engines — under ``@pytest.mark.slow`` (the CI
+  bracketing gate; zero violations tolerated);
+* a golden fixture of (bounds, binding bottleneck) for all 48 tiny
+  programs, regenerable with ``--regen-golden``.
+
+Attribution is cross-checked against the *measured* stall
+decomposition (Section 2.3.4 accounting): the analyzer's issue-width
+component must reproduce the audited ``busy`` time, and a
+functional-unit binding must coincide with nonzero measured FU stall
+time.  Finally the ``--prune-static`` sweep oracle is run against an
+unpruned control sweep: >= 30% of points pruned, byte-identical Pareto
+frontier, and pruned-point provenance in the run manifest.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analyze import analyze_throughput
+from repro.asm import ProgramBuilder
+from repro.cpu.config import PAPER_CONFIGS, ProcessorConfig
+from repro.experiments import figures
+from repro.experiments.faults import RunManifest
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import audited_simulate, simulate_program
+from repro.workloads.base import Variant
+from repro.workloads.params import TINY_SCALE
+from repro.workloads.suite import get, names
+
+from tests.test_golden_figures import _golden_path, _read_golden, regen_golden
+
+ENGINES = ("vector", "scalar")
+
+#: fast always-on subset: two kernels with different bottleneck
+#: profiles, the narrowest and widest paper machines, both engines.
+FAST_POINTS = [
+    (bench, variant, config)
+    for bench in ("dotprod", "thresh")
+    for variant in ("scalar", "vis")
+    for config in (ProcessorConfig.inorder_1way, ProcessorConfig.ooo_8way)
+]
+
+
+def _bracket(program, benchmark, cpu, mem):
+    """Assert the bracketing contract for one point on both engines."""
+    report = analyze_throughput(program, cpu, mem)
+    for engine in ENGINES:
+        stats, _ = simulate_program(
+            program, cpu, mem, benchmark, engine=engine
+        )
+        assert report.lower <= stats.cycles, (
+            f"{benchmark} @ {cpu.name} [{engine}]: lower bound "
+            f"{report.lower} > simulated {stats.cycles}"
+        )
+        if report.upper is not None:
+            assert stats.cycles <= report.upper, (
+                f"{benchmark} @ {cpu.name} [{engine}]: simulated "
+                f"{stats.cycles} > upper bound {report.upper}"
+            )
+        assert report.instr_min <= stats.instructions, (
+            f"{benchmark} @ {cpu.name}: instr_min {report.instr_min} > "
+            f"executed {stats.instructions}"
+        )
+        if report.instr_max is not None:
+            assert stats.instructions <= report.instr_max, (
+                f"{benchmark} @ {cpu.name}: executed "
+                f"{stats.instructions} > instr_max {report.instr_max}"
+            )
+    return report
+
+
+class TestBracketingFast:
+    @pytest.mark.parametrize(
+        "bench,variant,make_config",
+        FAST_POINTS,
+        ids=[f"{b}-{v}-{c.__name__}" for b, v, c in FAST_POINTS],
+    )
+    def test_bounds_bracket_simulation(self, bench, variant, make_config):
+        scale = TINY_SCALE
+        built = get(bench).build(Variant(variant), scale)
+        report = _bracket(
+            built.program, bench, make_config(), scale.memory_config()
+        )
+        # straight counted kernels have exact induction envelopes, so
+        # the instruction-count interval collapses to a single point;
+        # thresh[scalar] takes data-dependent branches and keeps a
+        # genuine interval
+        if bench == "dotprod":
+            assert report.instr_min == report.instr_max
+
+    def test_report_structure(self):
+        scale = TINY_SCALE
+        built = get("dotprod").build(Variant.VIS, scale)
+        report = analyze_throughput(
+            built.program, ProcessorConfig.ooo_4way(), scale.memory_config()
+        )
+        assert report.bounded
+        assert report.lower_binding in report.lower_components
+        assert report.lower == max(report.lower_components.values())
+        assert report.blocks, "per-block table must not be empty"
+        for block in report.blocks:
+            assert block.exec_min <= (
+                block.exec_max if block.exec_max is not None else math.inf
+            )
+            assert block.bound_cycles >= 0
+            assert block.binding in block.utilization
+        # rendering must not raise and must mention the binding resource
+        text = report.format(max_blocks=4)
+        assert report.lower_binding in text
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["lower"] == report.lower
+
+
+@pytest.mark.slow
+class TestBracketingFullGrid:
+    """The CI bracketing gate: every tiny workload x variant x all six
+    paper configs x both engines.  Zero violations tolerated."""
+
+    @pytest.mark.parametrize("bench", names())
+    def test_full_grid(self, bench):
+        scale = TINY_SCALE
+        mem = scale.memory_config()
+        workload = get(bench)
+        for variant in workload.supported_variants:
+            built = workload.build(variant, scale)
+            for config in PAPER_CONFIGS:
+                _bracket(built.program, bench, config, mem)
+
+
+class TestUnboundedLoop:
+    def _data_dependent_program(self):
+        b = ProgramBuilder("datadep")
+        b.buffer("n", 8, data=(3).to_bytes(8, "little"))
+        p, r, acc = b.iregs(3)
+        b.la(p, "n")
+        b.ldx(r, p, 0)          # trip count comes from memory
+        b.li(acc, 0)
+        top = b.label()
+        b.bind(top)
+        b.add(acc, acc, 1)
+        b.sub(r, r, 1)
+        b.bgt(r, 0, top)
+        return b.build()
+
+    def test_unbounded_upper_and_diagnostic(self):
+        program = self._data_dependent_program()
+        cpu = ProcessorConfig.ooo_4way()
+        mem = TINY_SCALE.memory_config()
+        report = analyze_throughput(program, cpu, mem)
+        assert report.upper is None
+        assert not report.bounded
+        assert report.instr_max is None
+        assert any(
+            d.code == "W-UNBOUNDED-LOOP" for d in report.diagnostics
+        ), "data-dependent trip count must raise W-UNBOUNDED-LOOP"
+        # the lower bound still holds
+        for engine in ENGINES:
+            stats, _ = simulate_program(
+                program, cpu, mem, "datadep", engine=engine
+            )
+            assert report.lower <= stats.cycles
+
+    def test_counted_loop_has_no_unbounded_diag(self):
+        built = get("dotprod").build(Variant.SCALAR, TINY_SCALE)
+        report = analyze_throughput(
+            built.program, ProcessorConfig.ooo_4way(),
+            TINY_SCALE.memory_config(),
+        )
+        assert report.bounded
+        assert not [
+            d for d in report.diagnostics if d.code == "W-UNBOUNDED-LOOP"
+        ]
+
+
+class TestTraceCrossCheck:
+    """Analyzer attribution vs the audited stall decomposition."""
+
+    @pytest.mark.parametrize(
+        "bench,variant", [("addition", "vis"), ("dotprod", "scalar")]
+    )
+    def test_issue_component_matches_measured_busy(self, bench, variant):
+        """The issue-width component is ceil(N/width)+1; the audited
+        decomposition's busy time is exactly N/width.  With exact
+        instruction envelopes the two must coincide to rounding."""
+        scale = TINY_SCALE
+        cpu = ProcessorConfig.ooo_4way()
+        built = get(bench).build(Variant(variant), scale)
+        report = analyze_throughput(built.program, cpu, scale.memory_config())
+        stats, audit, _ = audited_simulate(
+            built.program, cpu, scale.memory_config(), benchmark=bench
+        )
+        assert audit.ok
+        assert report.instr_min == report.instr_max == stats.instructions
+        issue = report.lower_components["issue"]
+        assert issue == math.ceil(stats.instructions / cpu.issue_width) + 1
+        assert abs((issue - 1) - stats.busy) < 1.0
+
+    @pytest.mark.parametrize(
+        "bench,variant", [("addition", "vis"), ("dotprod", "scalar")]
+    )
+    def test_fu_binding_implies_measured_fu_stalls(self, bench, variant):
+        """When the analyzer attributes the whole-program bound to a
+        functional unit, the measured run must actually stall on FUs."""
+        scale = TINY_SCALE
+        cpu = ProcessorConfig.ooo_4way()
+        built = get(bench).build(Variant(variant), scale)
+        report = analyze_throughput(built.program, cpu, scale.memory_config())
+        assert report.lower_binding.startswith("fu:")
+        stats, audit, _ = audited_simulate(
+            built.program, cpu, scale.memory_config(), benchmark=bench
+        )
+        assert audit.ok
+        assert stats.fu_stall > 0.0
+
+
+class TestPruneStatic:
+    """--prune-static: >= 30% pruned, byte-identical Pareto frontier,
+    pruned-point provenance in the run manifest."""
+
+    BENCHMARKS = ("dotprod", "thresh")
+
+    def _sweep(self, tmp_path, prune):
+        manifest = RunManifest(
+            tmp_path / f"manifest_{'p' if prune else 'u'}.jsonl",
+            resume=False, cache_version="test",
+        )
+        runner = ParallelRunner(scale=TINY_SCALE, jobs=1, manifest=manifest)
+        try:
+            headers, rows, raw = figures.design_sweep(
+                runner, self.BENCHMARKS, prune=prune
+            )
+        finally:
+            manifest.close()
+        return headers, rows, raw, manifest.path
+
+    def test_prune_demo(self, tmp_path):
+        headers, pruned_rows, raw, manifest_path = self._sweep(
+            tmp_path, prune=True
+        )
+        _, control_rows, control_raw, _ = self._sweep(tmp_path, prune=False)
+
+        total = len(control_rows)
+        assert raw["pruned"] + raw["simulated"] == total
+        assert raw["pruned"] >= 0.30 * total, (
+            f"pruned only {raw['pruned']}/{total} points"
+        )
+        assert control_raw["pruned"] == 0
+
+        # byte-identical Pareto frontier
+        fcol = headers.index("frontier")
+        scol = headers.index("status")
+        frontier = [r for r in pruned_rows if r[fcol] == "*"]
+        control_frontier = [r for r in control_rows if r[fcol] == "*"]
+        assert frontier == control_frontier
+
+        # every pruned point was off-frontier in the control sweep
+        key = lambda r: (r[0], r[1])
+        control_by_key = {key(r): r for r in control_rows}
+        pruned_points = [r for r in pruned_rows if r[scol].startswith("pruned")]
+        for row in pruned_points:
+            assert control_by_key[key(row)][fcol] == "", (
+                f"pruned point {key(row)} is on the control frontier"
+            )
+
+        # provenance: one manifest record per pruned point, naming its
+        # dominator and carrying the bound that justified the skip
+        records = [
+            json.loads(line)
+            for line in manifest_path.read_text().splitlines()
+        ]
+        pruned_records = [r for r in records if r.get("type") == "pruned"]
+        assert len(pruned_records) == raw["pruned"]
+        lcol = headers.index("static lower")
+        lowers = {key(r): r[lcol] for r in pruned_points}
+        for record in pruned_records:
+            assert record["dominated_by"]
+            assert record["cost"] > 0
+            assert record["lower"] in lowers.values()
+
+
+@pytest.mark.slow
+def test_golden_throughput_bounds(request):
+    """Golden (bounds, binding) for all 48 tiny programs at the
+    paper's central ooo-4way machine; regen with ``--regen-golden``."""
+    scale = TINY_SCALE
+    cpu = ProcessorConfig.ooo_4way()
+    mem = scale.memory_config()
+    headers = [
+        "benchmark", "variant", "instr min", "instr max",
+        "lower", "upper", "binding",
+    ]
+    produced = []
+    for bench in names():
+        workload = get(bench)
+        for variant in workload.supported_variants:
+            built = workload.build(variant, scale)
+            report = analyze_throughput(built.program, cpu, mem)
+            produced.append([
+                bench,
+                variant.value,
+                str(report.instr_min),
+                "inf" if report.instr_max is None else str(report.instr_max),
+                str(report.lower),
+                "inf" if report.upper is None else str(report.upper),
+                report.lower_binding,
+            ])
+    assert len(produced) == 48
+
+    path = _golden_path("throughput_bounds")
+    if request.config.getoption("--regen-golden"):
+        regen_golden(request.config, path, headers, produced)
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it with "
+        f"pytest tests/test_throughput.py --regen-golden"
+    )
+    golden_headers, golden_rows = _read_golden(path)
+    assert headers == golden_headers
+    assert produced == golden_rows

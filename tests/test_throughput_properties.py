@@ -1,0 +1,92 @@
+"""Property-based (hypothesis) tests for the throughput analyzer.
+
+For *randomized* tiny programs — the same strategy space as the audit
+properties: random ALU / load / store / VIS / forward-branch mixes
+inside a counted loop — and *randomized* processor configurations, the
+bracketing contract must hold unconditionally:
+
+    ``lower <= simulated cycles <= upper``
+
+on both execution engines, with the instruction envelope bracketing
+the retired count.  Random loop bodies exercise bound components the
+curated workloads cannot (accumulator dep chains through every ALU
+op, store-only memory traffic, degenerate single-instruction bodies),
+and random configs exercise every resource bound (width-1 machines,
+single-unit FU pools, tiny memory queues).  Hypothesis hunts for the
+(program, config) pair that breaks the analyzer's soundness proof.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analyze import analyze_throughput
+from repro.cpu.config import ProcessorConfig
+from repro.mem import MemoryConfig
+from repro.experiments.runner import simulate_program
+
+from tests.test_audit_properties import build_random_program, program_shapes
+
+ENGINES = ("vector", "scalar")
+
+#: randomized machines: both pipeline models, widths 1-8, small and
+#: large windows/queues, single- and dual-unit FU pools
+processor_configs = st.builds(
+    ProcessorConfig,
+    name=st.just("randcfg"),
+    out_of_order=st.booleans(),
+    issue_width=st.sampled_from((1, 2, 4, 8)),
+    window_size=st.sampled_from((8, 16, 64)),
+    mem_queue_size=st.sampled_from((4, 16, 32)),
+    mispredict_penalty=st.sampled_from((3, 7)),
+    int_alu_units=st.integers(1, 2),
+    fp_units=st.integers(1, 2),
+    addr_units=st.integers(1, 2),
+    vis_add_units=st.integers(1, 2),
+    vis_mul_units=st.integers(1, 2),
+)
+
+
+def _mem():
+    # tiny caches so random programs actually miss
+    return MemoryConfig().scaled(64)
+
+
+class TestRandomProgramBracketing:
+    @given(program_shapes, processor_configs)
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_bracket_random_programs(self, shape, config):
+        """lower <= cycles <= upper for every random (program, config)
+        pair the verifier accepts, on both engines."""
+        program = build_random_program(*shape)
+        mem = _mem()
+        report = analyze_throughput(program, config, mem)
+        assert report.upper is not None, (
+            "builder loops are counted; the upper bound must be finite"
+        )
+        assert report.lower <= report.upper
+        for engine in ENGINES:
+            stats, _ = simulate_program(
+                program, config, mem, "randprog", engine=engine
+            )
+            assert report.lower <= stats.cycles <= report.upper, (
+                f"bracketing violated [{engine}] {config.content_key()}: "
+                f"[{report.lower}, {report.upper}] vs {stats.cycles}"
+            )
+            assert report.instr_min <= stats.instructions
+            assert report.instr_max is None or (
+                stats.instructions <= report.instr_max
+            )
+
+    @given(program_shapes, processor_configs)
+    @settings(max_examples=20, deadline=None)
+    def test_attribution_is_well_formed(self, shape, config):
+        """The binding resource is always one of the components, the
+        lower bound is their max, and per-block records cover every
+        reachable instruction of the main region."""
+        program = build_random_program(*shape)
+        report = analyze_throughput(program, config, _mem())
+        assert report.lower == max(report.lower_components.values())
+        assert report.lower_binding in report.lower_components
+        for block in report.blocks:
+            assert block.first <= block.last
+            assert block.bound_cycles >= 0
